@@ -1,0 +1,200 @@
+// Benchmarks regenerating every figure and experiment of the paper (one
+// per entry in DESIGN.md's experiment index), plus scaling benchmarks of
+// the core solvers. Run with:
+//
+//	go test -bench=. -benchmem
+package dispersal
+
+import (
+	"fmt"
+	"testing"
+
+	"dispersal/internal/experiments"
+	"dispersal/internal/game"
+	"dispersal/internal/ifd"
+	"dispersal/internal/optimize"
+	"dispersal/internal/policy"
+	"dispersal/internal/search"
+	"dispersal/internal/site"
+	"dispersal/internal/spoa"
+)
+
+// benchReport runs one experiment entry point under the benchmark loop and
+// fails the bench if the experiment stops reproducing the paper.
+func benchReport(b *testing.B, run func() (experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Pass {
+			b.Fatalf("%s no longer reproduces the paper", rep.ID)
+		}
+	}
+}
+
+// BenchmarkFigure1Left regenerates E1 (Figure 1, f2 = 0.3).
+func BenchmarkFigure1Left(b *testing.B) { benchReport(b, experiments.E1Figure1Left) }
+
+// BenchmarkFigure1Right regenerates E2 (Figure 1, f2 = 0.5).
+func BenchmarkFigure1Right(b *testing.B) { benchReport(b, experiments.E2Figure1Right) }
+
+// BenchmarkObservation1 regenerates E3.
+func BenchmarkObservation1(b *testing.B) { benchReport(b, experiments.E3Observation1) }
+
+// BenchmarkTheorem3ESS regenerates E4.
+func BenchmarkTheorem3ESS(b *testing.B) { benchReport(b, experiments.E4Theorem3ESS) }
+
+// BenchmarkTheorem4Optimality regenerates E5.
+func BenchmarkTheorem4Optimality(b *testing.B) { benchReport(b, experiments.E5Theorem4Optimality) }
+
+// BenchmarkCorollary5 regenerates E6.
+func BenchmarkCorollary5(b *testing.B) { benchReport(b, experiments.E6Corollary5) }
+
+// BenchmarkTheorem6Criticality regenerates E7.
+func BenchmarkTheorem6Criticality(b *testing.B) { benchReport(b, experiments.E7Theorem6Criticality) }
+
+// BenchmarkSharingSPoABound regenerates E8.
+func BenchmarkSharingSPoABound(b *testing.B) { benchReport(b, experiments.E8SharingSPoABound) }
+
+// BenchmarkConstantPolicyAnarchy regenerates E9.
+func BenchmarkConstantPolicyAnarchy(b *testing.B) {
+	benchReport(b, experiments.E9ConstantPolicyAnarchy)
+}
+
+// BenchmarkMonteCarloEngine regenerates E10.
+func BenchmarkMonteCarloEngine(b *testing.B) { benchReport(b, experiments.E10MonteCarloValidation) }
+
+// BenchmarkReplicatorConvergence regenerates E11.
+func BenchmarkReplicatorConvergence(b *testing.B) {
+	benchReport(b, experiments.E11ReplicatorConvergence)
+}
+
+// BenchmarkBayesianSearch regenerates E12.
+func BenchmarkBayesianSearch(b *testing.B) { benchReport(b, experiments.E12BayesianSearch) }
+
+// BenchmarkGrantMechanism regenerates E13.
+func BenchmarkGrantMechanism(b *testing.B) { benchReport(b, experiments.E13GrantMechanism) }
+
+// BenchmarkTravelCosts regenerates E14 (Section 5.1 extension ablation).
+func BenchmarkTravelCosts(b *testing.B) { benchReport(b, experiments.E14TravelCosts) }
+
+// BenchmarkCapacityConstraint regenerates E15 (Section 5.1 extension
+// ablation).
+func BenchmarkCapacityConstraint(b *testing.B) { benchReport(b, experiments.E15CapacityConstraint) }
+
+// BenchmarkSpeciesCompetition regenerates E16 (Section 5.2 extension).
+func BenchmarkSpeciesCompetition(b *testing.B) { benchReport(b, experiments.E16SpeciesCompetition) }
+
+// BenchmarkPureEquilibria regenerates E17 (Section 1.2 discussion).
+func BenchmarkPureEquilibria(b *testing.B) { benchReport(b, experiments.E17PureEquilibria) }
+
+// BenchmarkAsymptotics regenerates E18 (large-k structure of sigma*).
+func BenchmarkAsymptotics(b *testing.B) { benchReport(b, experiments.E18Asymptotics) }
+
+// BenchmarkRepeatedDepletion regenerates E19 (depletion-regrowth harvest).
+func BenchmarkRepeatedDepletion(b *testing.B) { benchReport(b, experiments.E19RepeatedDepletion) }
+
+// BenchmarkNoisyValues regenerates E20 (robustness to value noise).
+func BenchmarkNoisyValues(b *testing.B) { benchReport(b, experiments.E20NoisyValues) }
+
+// BenchmarkCompetitionSweep regenerates E21 (Figure 1 generalized to k>2).
+func BenchmarkCompetitionSweep(b *testing.B) {
+	benchReport(b, experiments.E21CompetitionSweepLargerGames)
+}
+
+// BenchmarkMechanismDiscovery regenerates E22 (policy search finds Cexc).
+func BenchmarkMechanismDiscovery(b *testing.B) { benchReport(b, experiments.E22MechanismDiscovery) }
+
+// BenchmarkInverseIFD regenerates E23 (occupancy -> values inversion).
+func BenchmarkInverseIFD(b *testing.B) { benchReport(b, experiments.E23InverseIFD) }
+
+// --- Core-solver scaling benchmarks -------------------------------------
+
+// BenchmarkSigmaStarClosedForm measures the paper's pseudocode across
+// problem sizes.
+func BenchmarkSigmaStarClosedForm(b *testing.B) {
+	for _, m := range []int{10, 100, 1000, 10000} {
+		f := site.Zipf(m, 1, 1)
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ifd.Exclusive(f, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGeneralIFDSolver measures the bisection solver on the sharing
+// policy across sizes.
+func BenchmarkGeneralIFDSolver(b *testing.B) {
+	for _, m := range []int{10, 100, 1000} {
+		f := site.Zipf(m, 1, 1)
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ifd.Solve(f, 8, policy.Sharing{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaxCoverageWaterFilling measures the KKT optimizer.
+func BenchmarkMaxCoverageWaterFilling(b *testing.B) {
+	for _, m := range []int{10, 100, 1000, 10000} {
+		f := site.Geometric(m, 1, 0.999)
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := optimize.MaxCoverage(f, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonteCarloThroughput measures simulated rounds/op across worker
+// counts (the engine's parallel-scaling story).
+func BenchmarkMonteCarloThroughput(b *testing.B) {
+	f := site.Zipf(100, 1, 1)
+	p, _, err := ifd.Exclusive(f, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := game.Config{F: f, K: 16, C: policy.Exclusive{},
+				Rounds: 20000, Workers: workers, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := game.Simulate(cfg, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSPoAWorstCaseSearch measures the adversarial value-function
+// search.
+func BenchmarkSPoAWorstCaseSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := spoa.WorstCase(policy.Sharing{}, 4, []int{2, 8, 16}, 50, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchSubstrate measures one full search experiment.
+func BenchmarkSearchSubstrate(b *testing.B) {
+	prior := site.Zipf(50, 1, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Run(search.Config{
+			Prior: prior, K: 4, Algorithm: search.StrategyAStar, Trials: 500, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

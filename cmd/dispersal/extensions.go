@@ -1,0 +1,292 @@
+package main
+
+// Subcommands for the model extensions: travel costs, consumption capacity,
+// two-species competition, pure-equilibrium enumeration, Bayesian search,
+// and large-k asymptotics.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dispersal/internal/asymptotic"
+	"dispersal/internal/capacity"
+	"dispersal/internal/cliutil"
+	"dispersal/internal/coverage"
+	"dispersal/internal/pureeq"
+	"dispersal/internal/repeated"
+	"dispersal/internal/search"
+	"dispersal/internal/species"
+	"dispersal/internal/table"
+	"dispersal/internal/travelcost"
+)
+
+func cmdTravelCost(args []string) error {
+	fs := flag.NewFlagSet("travelcost", flag.ContinueOnError)
+	g := addGameFlags(fs, true)
+	costs := fs.String("t", "", "comma-separated travel costs t(x) >= 0 (default all zero)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, k, c, err := g.parse()
+	if err != nil {
+		return err
+	}
+	t := travelcost.Uniform(len(f), 0)
+	if *costs != "" {
+		t, err = parseCosts(*costs, len(f))
+		if err != nil {
+			return err
+		}
+	}
+	p, nu, err := travelcost.Solve(f, t, k, c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("travel-cost IFD:\n  p  = %s\n  nu = %.9g\n", cliutil.FormatStrategy(p), nu)
+	fmt.Printf("  coverage (values only) = %.9g\n", coverage.Cover(f, p, k))
+	eq, opt, err := travelcost.CoverageDistortion(f, t, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  vs cost-free optimum   = %.9g (fraction %.6f)\n", opt, eq/opt)
+	return nil
+}
+
+func cmdCapacity(args []string) error {
+	fs := flag.NewFlagSet("capacity", flag.ContinueOnError)
+	g := addGameFlags(fs, false)
+	cap := fs.Float64("cap", 0.5, "per-individual consumption capacity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, k, _, err := g.parse()
+	if err != nil {
+		return err
+	}
+	sCons, optCons, ratio, err := capacity.SigmaStarGap(f, k, *cap)
+	if err != nil {
+		return err
+	}
+	p, _, err := capacity.MaxConsumption(f, k, *cap)
+	if err != nil {
+		return err
+	}
+	tb := table.New("quantity", "value")
+	tb.AddRowf("capacity", *cap)
+	tb.AddRowf("Consume(sigma*)", sCons)
+	tb.AddRowf("optimal consumption", optCons)
+	tb.AddRowf("sigma* / optimum", ratio)
+	tb.AddRowf("consumption-optimal p", cliutil.FormatStrategy(p))
+	return tb.Render(os.Stdout)
+}
+
+func cmdSpecies(args []string) error {
+	fs := flag.NewFlagSet("species", flag.ContinueOnError)
+	values := fs.String("f", "1,0.9,0.8,0.7", "shared patch values")
+	ka := fs.Int("ka", 4, "species A group size")
+	kb := fs.Int("kb", 4, "species B group size")
+	pa := fs.String("policyA", "exclusive", "species A congestion policy")
+	pb := fs.String("policyB", "sharing", "species B congestion policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := cliutil.ParseValues(*values)
+	if err != nil {
+		return err
+	}
+	ca, err := cliutil.ParsePolicy(*pa)
+	if err != nil {
+		return err
+	}
+	cb, err := cliutil.ParsePolicy(*pb)
+	if err != nil {
+		return err
+	}
+	out, err := species.Intakes(f,
+		species.Species{Name: "A", K: *ka, C: ca},
+		species.Species{Name: "B", K: *kb, C: cb})
+	if err != nil {
+		return err
+	}
+	tb := table.New("feeding order", "A ("+ca.Name()+")", "B ("+cb.Name()+")")
+	tb.AddRowf("A first", out.AFirst.A, out.AFirst.B)
+	tb.AddRowf("B first", out.BFirst.A, out.BFirst.B)
+	tb.AddRowf("alternating", out.Alternating.A, out.Alternating.B)
+	return tb.Render(os.Stdout)
+}
+
+func cmdPure(args []string) error {
+	fs := flag.NewFlagSet("pure", flag.ContinueOnError)
+	g := addGameFlags(fs, true)
+	limit := fs.Int("limit", 0, "profile-space cap M^k (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, k, c, err := g.parse()
+	if err != nil {
+		return err
+	}
+	sum, err := pureeq.Enumerate(f, k, c, *limit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiles examined: %d\n", sum.Profiles)
+	fmt.Printf("pure Nash equilibria: %d (k! = %d)\n", sum.Equilibria, pureeq.Factorial(k))
+	if sum.Equilibria > 0 {
+		fmt.Printf("coverage range: [%.6g, %.6g]\n", sum.WorstCoverage, sum.BestCoverage)
+		fmt.Printf("example equilibria (player -> site, 1-based):\n")
+		for _, w := range sum.Witnesses {
+			parts := make([]string, len(w))
+			for i, x := range w {
+				parts[i] = strconv.Itoa(x + 1)
+			}
+			fmt.Printf("  (%s)\n", strings.Join(parts, " "))
+		}
+	}
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	values := fs.String("f", "", "box prior weights (default zipf over -m boxes)")
+	m := fs.Int("m", 25, "number of boxes when -f is not given")
+	k := fs.Int("k", 4, "number of searchers")
+	trials := fs.Int("trials", 20000, "Monte-Carlo trials")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var prior []float64
+	if *values != "" {
+		f, err := cliutil.ParseValues(*values)
+		if err != nil {
+			return err
+		}
+		prior = f
+	} else {
+		prior = zipfPrior(*m)
+	}
+	tb := table.New("algorithm", "mean rounds", "95% CI", "found frac")
+	for _, a := range []search.Algorithm{
+		search.StrategyCoordinated, search.StrategyAStar, search.StrategyPrior,
+		search.StrategyUniform, search.StrategyGreedy,
+	} {
+		res, err := search.Run(search.Config{
+			Prior: prior, K: *k, Algorithm: a, Trials: *trials, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		tb.AddRowf(a.String(), res.Time.Mean, res.Time.CI95, res.FoundFrac)
+	}
+	return tb.Render(os.Stdout)
+}
+
+func cmdAsymptotic(args []string) error {
+	fs := flag.NewFlagSet("asymptotic", flag.ContinueOnError)
+	g := addGameFlags(fs, false)
+	kMax := fs.Int("kmax", 256, "largest k in the sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, _, _, err := g.parse()
+	if err != nil {
+		return err
+	}
+	tb := table.New("k", "support W", "approx W", "coverage", "miss", "nu")
+	for k := 2; k <= *kMax; k *= 2 {
+		wExact, err := asymptotic.SupportSize(f, k)
+		if err != nil {
+			return err
+		}
+		wApprox, err := asymptotic.ApproxSupportSize(f, k)
+		if err != nil {
+			return err
+		}
+		miss, pred, err := asymptotic.MissIdentity(f, k)
+		if err != nil {
+			return err
+		}
+		tb.AddRowf(k, wExact, wApprox, f.Sum()-miss, miss, pred/float64(max(wExact-1, 1)))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if kFull, err := asymptotic.PlayersForFullSupport(f, 1<<16); err == nil {
+		fmt.Printf("smallest k with full support: %d\n", kFull)
+	}
+	return nil
+}
+
+func cmdRepeated(args []string) error {
+	fs := flag.NewFlagSet("repeated", flag.ContinueOnError)
+	g := addGameFlags(fs, true)
+	regrowth := fs.Float64("r", 0.2, "per-bout regrowth fraction in [0,1]")
+	bouts := fs.Int("bouts", 800, "number of foraging bouts")
+	adaptive := fs.Bool("adaptive", true, "re-equilibrate on current stocks each bout")
+	stochastic := fs.Bool("stochastic", false, "use the Monte-Carlo simulator instead of the mean field")
+	seed := fs.Uint64("seed", 1, "random seed (stochastic mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, k, c, err := g.parse()
+	if err != nil {
+		return err
+	}
+	cfg := repeated.Config{
+		F: f, K: k, C: c, Regrowth: *regrowth, Bouts: *bouts,
+		Adaptive: *adaptive, Seed: *seed,
+	}
+	var res repeated.Result
+	if *stochastic {
+		res, err = repeated.Simulate(cfg)
+	} else {
+		res, err = repeated.MeanField(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	tb := table.New("quantity", "value")
+	tb.AddRowf("mode", map[bool]string{true: "stochastic", false: "mean-field"}[*stochastic])
+	tb.AddRowf("harvest per bout", res.Harvest.Mean)
+	tb.AddRowf("harvest stddev", res.Harvest.StdDev)
+	tb.AddRowf("mean total stock", res.MeanStock)
+	return tb.Render(os.Stdout)
+}
+
+func parseCosts(s string, m int) (travelcost.Costs, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != m {
+		return nil, fmt.Errorf("expected %d costs, got %d", m, len(parts))
+	}
+	t := make(travelcost.Costs, m)
+	for i, raw := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cost %d (%q): %w", i+1, raw, err)
+		}
+		t[i] = v
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func zipfPrior(m int) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = 1 / float64(i+1)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

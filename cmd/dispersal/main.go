@@ -1,0 +1,318 @@
+// Command dispersal is the interactive CLI of the library: it computes
+// IFDs, optimal-coverage strategies, prices of anarchy, ESS audits, and
+// Monte-Carlo simulations for user-specified games.
+//
+// Usage:
+//
+//	dispersal <subcommand> [flags]
+//
+// Subcommands:
+//
+//	ifd       compute the Ideal Free Distribution (symmetric equilibrium)
+//	optimal   compute the coverage-optimal symmetric strategy sigma*
+//	spoa      compute the symmetric price of anarchy of a policy
+//	ess       audit the equilibrium for evolutionary stability
+//	simulate  run the parallel Monte-Carlo engine
+//
+// Common flags: -f comma-separated site values (non-increasing, positive),
+// -k player count, -policy policy spec (see -h of each subcommand).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+
+	"dispersal/internal/cliutil"
+	"dispersal/internal/coverage"
+	"dispersal/internal/ess"
+	"dispersal/internal/game"
+	"dispersal/internal/ifd"
+	"dispersal/internal/optimize"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/spoa"
+	"dispersal/internal/strategy"
+	"dispersal/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dispersal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "ifd":
+		return cmdIFD(args[1:])
+	case "optimal":
+		return cmdOptimal(args[1:])
+	case "spoa":
+		return cmdSPoA(args[1:])
+	case "ess":
+		return cmdESS(args[1:])
+	case "simulate":
+		return cmdSimulate(args[1:])
+	case "travelcost":
+		return cmdTravelCost(args[1:])
+	case "capacity":
+		return cmdCapacity(args[1:])
+	case "species":
+		return cmdSpecies(args[1:])
+	case "repeated":
+		return cmdRepeated(args[1:])
+	case "pure":
+		return cmdPure(args[1:])
+	case "search":
+		return cmdSearch(args[1:])
+	case "asymptotic":
+		return cmdAsymptotic(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `dispersal — the Collet-Korman dispersal game toolbox
+
+subcommands:
+  ifd       -f 1,0.5 -k 2 -policy exclusive    symmetric equilibrium
+  optimal   -f 1,0.5 -k 2                      coverage-optimal sigma*
+  spoa      -f 1,0.5 -k 2 -policy sharing      symmetric price of anarchy
+  ess       -f 1,0.5 -k 2 -mutants 50          ESS audit of the equilibrium
+  simulate  -f 1,0.5 -k 2 -policy exclusive -rounds 100000   Monte-Carlo
+
+extensions:
+  travelcost -f 1,0.5 -k 2 -t 0.2,0       IFD with per-site visiting costs
+  capacity   -f 1,0.5 -k 4 -cap 0.25      consumption-capacity analysis
+  species    -f 1,0.9 -ka 4 -kb 4 -policyA exclusive -policyB sharing
+  pure       -f 1,0.8,0.6 -k 3            enumerate pure Nash equilibria
+  search     -m 25 -k 4                   Bayesian-search comparison
+  repeated   -f 1,0.8 -k 2 -r 0.2         depletion-regrowth foraging
+  asymptotic -f 1,0.9,0.8 -kmax 256       large-k structure of sigma*
+
+policies: exclusive | sharing | constant | twopoint:<c2> | powerlaw:<beta>
+          | cooperative:<gamma> | aggressive:<penalty>
+`)
+}
+
+// gameFlags adds the common -f/-k/-policy flags to a FlagSet.
+type gameFlags struct {
+	values *string
+	k      *int
+	policy *string
+}
+
+func addGameFlags(fs *flag.FlagSet, withPolicy bool) gameFlags {
+	g := gameFlags{
+		values: fs.String("f", "1,0.5", "comma-separated site values, non-increasing"),
+		k:      fs.Int("k", 2, "number of players"),
+	}
+	if withPolicy {
+		g.policy = fs.String("policy", "exclusive", "congestion policy spec")
+	}
+	return g
+}
+
+func (g gameFlags) parse() (site.Values, int, policy.Congestion, error) {
+	f, err := cliutil.ParseValues(*g.values)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if *g.k < 1 {
+		return nil, 0, nil, fmt.Errorf("k must be >= 1")
+	}
+	var c policy.Congestion = policy.Exclusive{}
+	if g.policy != nil {
+		c, err = cliutil.ParsePolicy(*g.policy)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	return f, *g.k, c, nil
+}
+
+func cmdIFD(args []string) error {
+	fs := flag.NewFlagSet("ifd", flag.ContinueOnError)
+	g := addGameFlags(fs, true)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, k, c, err := g.parse()
+	if err != nil {
+		return err
+	}
+	eq, nu, err := ifd.Solve(f, k, c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("game: M=%d sites, k=%d players, policy=%s\n", len(f), k, c.Name())
+	fmt.Printf("IFD (unique symmetric Nash equilibrium):\n  p  = %s\n", cliutil.FormatStrategy(eq))
+	fmt.Printf("  nu = %.9g (common equilibrium payoff)\n", nu)
+	fmt.Printf("  coverage = %.9g\n", coverage.Cover(f, eq, k))
+	if w, ok := eq.IsPrefixSupport(1e-9); ok {
+		fmt.Printf("  support  = sites 1..%d\n", w)
+	}
+	return nil
+}
+
+func cmdOptimal(args []string) error {
+	fs := flag.NewFlagSet("optimal", flag.ContinueOnError)
+	g := addGameFlags(fs, false)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, k, _, err := g.parse()
+	if err != nil {
+		return err
+	}
+	p, res, err := ifd.Exclusive(f, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sigma* (coverage-optimal symmetric strategy, Theorem 4):\n")
+	fmt.Printf("  p = %s\n", cliutil.FormatStrategy(p))
+	fmt.Printf("  W = %d sites in support, alpha = %.9g\n", res.W, res.Alpha)
+	fmt.Printf("  coverage = %.9g\n", coverage.Cover(f, p, k))
+	fmt.Printf("  Observation-1 bound (1-1/e)*best-k = %.9g\n", coverage.ObservationOneBound(f, k))
+	// Cross-check through the independent water-filling optimizer.
+	q, _, err := optimize.MaxCoverage(f, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  KKT optimizer agreement (L-inf)   = %.3g\n", p.LInf(q))
+	return nil
+}
+
+func cmdSPoA(args []string) error {
+	fs := flag.NewFlagSet("spoa", flag.ContinueOnError)
+	g := addGameFlags(fs, true)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, k, c, err := g.parse()
+	if err != nil {
+		return err
+	}
+	inst, err := spoa.Compute(f, k, c)
+	if err != nil {
+		return err
+	}
+	tb := table.New("quantity", "value")
+	tb.AddRowf("policy", c.Name())
+	tb.AddRowf("equilibrium coverage", inst.EqCoverage)
+	tb.AddRowf("optimal coverage", inst.OptCoverage)
+	tb.AddRowf("SPoA", inst.Ratio)
+	return tb.Render(os.Stdout)
+}
+
+func cmdESS(args []string) error {
+	fs := flag.NewFlagSet("ess", flag.ContinueOnError)
+	g := addGameFlags(fs, true)
+	mutants := fs.Int("mutants", 50, "number of random mutants to audit")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, k, c, err := g.parse()
+	if err != nil {
+		return err
+	}
+	resident, _, err := ifd.Solve(f, k, c)
+	if err != nil {
+		return err
+	}
+	rng := newRand(*seed)
+	panel := ess.MutantFamily(rng, resident, f, *mutants)
+	rep, err := ess.Audit(f, c, k, resident, panel, 1e-9)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resident (IFD) = %s\n", cliutil.FormatStrategy(resident))
+	fmt.Printf("mutants tested = %d\n", rep.Mutants)
+	fmt.Printf("invasions      = %d\n", rep.Failures)
+	fmt.Printf("worst margin   = %.3e\n", rep.WorstMargin)
+	if rep.Failures > 0 {
+		fmt.Printf("first invader  = %s (%s)\n", cliutil.FormatStrategy(rep.FirstFailure), rep.FirstFailureReason)
+	} else {
+		fmt.Println("verdict        = evolutionarily stable against the panel")
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	g := addGameFlags(fs, true)
+	rounds := fs.Int("rounds", 100000, "number of one-shot games")
+	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	strat := fs.String("strategy", "", "strategy to simulate as comma-separated probabilities (default: the IFD)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, k, c, err := g.parse()
+	if err != nil {
+		return err
+	}
+	var p strategy.Strategy
+	if *strat == "" {
+		p, _, err = ifd.Solve(f, k, c)
+	} else {
+		p, err = parseStrategy(*strat)
+	}
+	if err != nil {
+		return err
+	}
+	res, err := game.Simulate(game.Config{
+		F: f, K: k, C: c, Rounds: *rounds, Seed: *seed, Workers: *workers,
+	}, p)
+	if err != nil {
+		return err
+	}
+	tb := table.New("statistic", "mean", "stddev", "95% CI")
+	tb.AddRowf("coverage", res.Coverage.Mean, res.Coverage.StdDev, res.Coverage.CI95)
+	tb.AddRowf("payoff/player", res.Payoff.Mean, res.Payoff.StdDev, res.Payoff.CI95)
+	tb.AddRowf("colliding frac", res.CollisionFrac.Mean, res.CollisionFrac.StdDev, res.CollisionFrac.CI95)
+	tb.AddRowf("distinct sites", res.DistinctSites.Mean, res.DistinctSites.StdDev, res.DistinctSites.CI95)
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("analytic coverage = %.9g\n", coverage.Cover(f, p, k))
+	return nil
+}
+
+// parseStrategy parses a comma-separated probability vector (unlike site
+// values, strategies need not be sorted and may contain zeros).
+func parseStrategy(s string) (strategy.Strategy, error) {
+	parts := strings.Split(s, ",")
+	p := make(strategy.Strategy, 0, len(parts))
+	for i, raw := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			return nil, fmt.Errorf("strategy entry %d (%q): %w", i+1, raw, err)
+		}
+		p = append(p, v)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// newRand builds a deterministic generator for the ESS mutant panel.
+func newRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x2545f4914f6cdd1d))
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// runQuiet executes run() with stdout redirected to /dev/null so test logs
+// stay readable; the assertions here are about error behaviour and flag
+// plumbing, not output formatting.
+func runQuiet(t *testing.T, args ...string) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return run(args)
+}
+
+func TestEverySubcommandRuns(t *testing.T) {
+	cases := [][]string{
+		{"ifd", "-f", "1,0.5", "-k", "2", "-policy", "exclusive"},
+		{"ifd", "-f", "1,0.5", "-k", "3", "-policy", "twopoint:-0.25"},
+		{"optimal", "-f", "1,0.8,0.3", "-k", "3"},
+		{"spoa", "-f", "1,0.9,0.8", "-k", "3", "-policy", "sharing"},
+		{"ess", "-f", "1,0.5", "-k", "2", "-mutants", "10"},
+		{"simulate", "-f", "1,0.5", "-k", "2", "-rounds", "2000"},
+		{"simulate", "-f", "1,0.5", "-k", "2", "-rounds", "1000", "-strategy", "0.3,0.7"},
+		{"travelcost", "-f", "1,0.5", "-k", "2", "-t", "0.2,0"},
+		{"travelcost", "-f", "1,0.5", "-k", "2"},
+		{"capacity", "-f", "1,0.3", "-k", "4", "-cap", "0.25"},
+		{"species", "-f", "1,0.9,0.8", "-ka", "3", "-kb", "3"},
+		{"pure", "-f", "1,0.8,0.6", "-k", "2"},
+		{"search", "-m", "10", "-k", "2", "-trials", "300"},
+		{"asymptotic", "-f", "1,0.9,0.8", "-kmax", "8"},
+		{"repeated", "-f", "1,0.8", "-k", "2", "-r", "0.5", "-bouts", "50"},
+		{"repeated", "-f", "1,0.8", "-k", "2", "-r", "0.5", "-bouts", "50", "-stochastic"},
+		{"help"},
+	}
+	for _, args := range cases {
+		if err := runQuiet(t, args...); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"ifd", "-f", "0.5,1"}, // unsorted values
+		{"ifd", "-f", "1,0.5", "-k", "0"},
+		{"ifd", "-policy", "bogus"},
+		{"simulate", "-strategy", "0.5,0.6"}, // not a distribution
+		{"travelcost", "-f", "1,0.5", "-t", "0.1"},    // wrong cost count
+		{"travelcost", "-f", "1,0.5", "-t", "-0.1,0"}, // negative cost
+		{"capacity", "-cap", "-1"},
+		{"species", "-policyA", "nope"},
+		{"pure", "-f", "1,0.9", "-k", "30"}, // blows the enumeration limit
+		{"repeated", "-r", "2"},
+		{"search", "-f", "0.5,1"},
+	}
+	for _, args := range cases {
+		if err := runQuiet(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	p, err := parseStrategy("0.25, 0.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0.25 || p[1] != 0.75 {
+		t.Errorf("parsed %v", p)
+	}
+	if _, err := parseStrategy("0.5,abc"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseStrategy("0.5,0.6"); err == nil {
+		t.Error("non-distribution accepted")
+	}
+}
+
+func TestParseCosts(t *testing.T) {
+	c, err := parseCosts("0.1, 0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 0.1 || c[1] != 0 {
+		t.Errorf("parsed %v", c)
+	}
+	if _, err := parseCosts("0.1", 2); err == nil {
+		t.Error("wrong count accepted")
+	}
+	if _, err := parseCosts("x,y", 2); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestZipfPrior(t *testing.T) {
+	p := zipfPrior(4)
+	if len(p) != 4 || p[0] != 1 || p[3] != 0.25 {
+		t.Errorf("zipfPrior = %v", p)
+	}
+	// Must be non-increasing (site.Values convention).
+	for i := 1; i < len(p); i++ {
+		if p[i] > p[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestUsageMentionsEverySubcommand(t *testing.T) {
+	// The usage text is the CLI's contract; keep it in sync with run().
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	usage()
+	w.Close()
+	os.Stderr = old
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	text := string(buf[:n])
+	for _, sub := range []string{"ifd", "optimal", "spoa", "ess", "simulate",
+		"travelcost", "capacity", "species", "pure", "search", "asymptotic"} {
+		if !strings.Contains(text, sub) {
+			t.Errorf("usage text missing %q", sub)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command figures regenerates the paper's Figure 1 (both panels) as CSV
+// data, SVG renderings, and terminal ASCII charts.
+//
+// Usage:
+//
+//	figures [-out DIR] [-points N] [-ascii]
+//
+// Files written to DIR (default "out"):
+//
+//	figure1_left.csv / figure1_left.svg    (f = (1, 0.3))
+//	figure1_right.csv / figure1_right.svg  (f = (1, 0.5))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dispersal/internal/experiments"
+	"dispersal/internal/plot"
+)
+
+func main() {
+	out := flag.String("out", "out", "output directory")
+	points := flag.Int("points", experiments.Figure1Points, "points on the c-grid")
+	ascii := flag.Bool("ascii", true, "also print ASCII charts to stdout")
+	flag.Parse()
+	if err := run(*out, *points, *ascii); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, points int, ascii bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	panels := []struct {
+		name string
+		f2   float64
+	}{
+		{"figure1_left", 0.3},
+		{"figure1_right", 0.5},
+	}
+	for _, p := range panels {
+		panel, err := experiments.Figure1Panel(p.f2, points)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.name, err)
+		}
+		if err := writeChart(outDir, p.name, panel.Chart(), ascii); err != nil {
+			return err
+		}
+	}
+
+	// The derived extension figure (E21): the Figure 1 shape at k > 2.
+	sweep, err := experiments.E21CompetitionSweepLargerGames()
+	if err != nil {
+		return err
+	}
+	for i, chart := range sweep.Charts {
+		name := "competition_sweep"
+		if i > 0 {
+			name = fmt.Sprintf("competition_sweep_%d", i+1)
+		}
+		if err := writeChart(outDir, name, chart, ascii); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeChart emits one chart as CSV + SVG files and optionally as an ASCII
+// rendering on stdout.
+func writeChart(outDir, name string, chart *plot.Chart, ascii bool) error {
+	csvPath := filepath.Join(outDir, name+".csv")
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := chart.WriteCSV(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+
+	svgPath := filepath.Join(outDir, name+".svg")
+	sf, err := os.Create(svgPath)
+	if err != nil {
+		return err
+	}
+	if err := chart.RenderSVG(sf, 640, 480); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", csvPath, svgPath)
+
+	if ascii {
+		fmt.Println()
+		if err := chart.RenderASCII(os.Stdout, 72, 18); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

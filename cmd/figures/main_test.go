@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllFigureFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Small grid to keep the test fast; ascii disabled to avoid noise.
+	if err := run(dir, 11, false); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"figure1_left.csv", "figure1_left.svg",
+		"figure1_right.csv", "figure1_right.svg",
+		"competition_sweep.csv", "competition_sweep.svg",
+	}
+	for _, name := range want {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing output %s: %v", name, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+		if strings.HasSuffix(name, ".svg") && !strings.Contains(string(data), "<svg") {
+			t.Errorf("%s is not an SVG", name)
+		}
+		if strings.HasSuffix(name, ".csv") && !strings.Contains(string(data), ",") {
+			t.Errorf("%s is not a CSV", name)
+		}
+	}
+}
+
+func TestRunCSVHasThreeSeries(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure1_left.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.Split(strings.Split(string(data), "\n")[0], ",")
+	if len(header) != 4 { // c + 3 series
+		t.Errorf("header = %v", header)
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	if err := run("/dev/null/nope", 5, false); err == nil {
+		t.Error("invalid output directory accepted")
+	}
+}

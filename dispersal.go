@@ -1,0 +1,237 @@
+// Package dispersal is a Go implementation of the dispersal game of
+//
+//	Simon Collet and Amos Korman,
+//	"Intense Competition can Drive Selfish Explorers to Optimize Coverage",
+//	SPAA 2018 (arXiv:1805.01319),
+//
+// together with everything needed to reproduce the paper's results: Ideal
+// Free Distribution solvers, the closed-form optimal strategy sigma*, ESS
+// audits, Symmetric Price of Anarchy computation, a parallel Monte-Carlo
+// game engine, evolutionary dynamics, and the Bayesian-search and
+// grant-mechanism substrates the paper connects to.
+//
+// The central object is Game: M sites of values f(1) >= ... >= f(M) > 0,
+// k players, and a congestion reward policy I(x, l) = f(x) * C(l).
+//
+//	g, err := dispersal.NewGame(dispersal.Values{1, 0.5}, 2, dispersal.Exclusive())
+//	sigma, _ := g.IFD()          // the unique symmetric equilibrium
+//	p, cover, _ := g.OptimalCoverage() // the best symmetric coverage
+//	ratio, _ := g.SPoA()         // == 1 for the exclusive policy (Cor. 5)
+//
+// The headline results of the paper, in API form:
+//   - Theorem 3: under Exclusive(), Game.ESSAudit reports no successful
+//     invader of the IFD.
+//   - Theorem 4: Game.IFD and Game.OptimalCoverage coincide under
+//     Exclusive().
+//   - Corollary 5: Game.SPoA returns 1 under Exclusive().
+//   - Theorem 6: for any other congestion policy some Game has SPoA > 1
+//     (see spoa.WorstCase via Game.SPoA on slow-decay values).
+package dispersal
+
+import (
+	"errors"
+	"fmt"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/dynamics"
+	"dispersal/internal/ess"
+	"dispersal/internal/game"
+	"dispersal/internal/ifd"
+	"dispersal/internal/optimize"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/spoa"
+	"dispersal/internal/strategy"
+)
+
+// Re-exported core types. These aliases are the public names of the
+// library's domain types; the implementations live in focused internal
+// packages.
+type (
+	// Values is a site-value function f(1) >= ... >= f(M) > 0.
+	Values = site.Values
+	// Strategy is a mixed strategy (probability distribution) over sites.
+	Strategy = strategy.Strategy
+	// Congestion is a congestion function C(l) with C(1) = 1,
+	// non-increasing.
+	Congestion = policy.Congestion
+	// SimulationResult aggregates Monte-Carlo statistics.
+	SimulationResult = game.Result
+	// ESSReport summarizes an uninvadability audit.
+	ESSReport = ess.AuditReport
+	// SPoAInstance is a priced game instance (equilibrium vs optimum).
+	SPoAInstance = spoa.Instance
+)
+
+// Exclusive returns the paper's critical "Judgment of Solomon" policy:
+// full reward alone, nothing under any collision.
+func Exclusive() Congestion { return policy.Exclusive{} }
+
+// Sharing returns the scramble-competition policy C(l) = 1/l.
+func Sharing() Congestion { return policy.Sharing{} }
+
+// Constant returns the congestion-free policy C == 1.
+func Constant() Congestion { return policy.Constant{} }
+
+// TwoPoint returns the Figure 1 family: C(1) = 1, C(l >= 2) = c2.
+func TwoPoint(c2 float64) Congestion { return policy.TwoPoint{C2: c2} }
+
+// PowerLaw returns C(l) = l^(-beta).
+func PowerLaw(beta float64) Congestion { return policy.PowerLaw{Beta: beta} }
+
+// Cooperative returns C(l) = gamma^(l-1) (each extra visitor costs a factor
+// gamma < 1 — milder than equal sharing).
+func Cooperative(gamma float64) Congestion { return policy.Cooperative{Gamma: gamma} }
+
+// Aggressive returns C(1) = 1, C(l) = -penalty*(l-1): collisions injure.
+func Aggressive(penalty float64) Congestion { return policy.Aggressive{Penalty: penalty} }
+
+// Game is an instance of the dispersal game.
+type Game struct {
+	f site.Values
+	k int
+	c policy.Congestion
+}
+
+// ErrNilPolicy is returned by NewGame when no congestion policy is given.
+var ErrNilPolicy = errors.New("dispersal: nil congestion policy")
+
+// NewGame validates and constructs a game. f must be sorted non-increasing
+// and strictly positive, k >= 1, and c a valid congestion policy up to k.
+func NewGame(f Values, k int, c Congestion) (*Game, error) {
+	if c == nil {
+		return nil, ErrNilPolicy
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dispersal: player count k must be >= 1, got %d", k)
+	}
+	if err := policy.Validate(c, k); err != nil {
+		return nil, err
+	}
+	return &Game{f: f.Clone(), k: k, c: c}, nil
+}
+
+// MustGame is NewGame that panics on error; intended for examples and tests.
+func MustGame(f Values, k int, c Congestion) *Game {
+	g, err := NewGame(f, k, c)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Values returns a copy of the game's site values.
+func (g *Game) Values() Values { return g.f.Clone() }
+
+// Players returns k.
+func (g *Game) Players() int { return g.k }
+
+// Policy returns the game's congestion policy.
+func (g *Game) Policy() Congestion { return g.c }
+
+// String implements fmt.Stringer.
+func (g *Game) String() string {
+	return fmt.Sprintf("dispersal.Game{M=%d, k=%d, C=%s}", len(g.f), g.k, g.c.Name())
+}
+
+// IFD returns the game's Ideal Free Distribution — its unique symmetric
+// Nash equilibrium (Observation 2) — and the common equilibrium payoff nu.
+func (g *Game) IFD() (Strategy, float64, error) {
+	if policy.IsExclusive(g.c, g.k) {
+		p, res, err := ifd.Exclusive(g.f, g.k)
+		return p, res.Nu, err
+	}
+	return ifd.Solve(g.f, g.k, g.c)
+}
+
+// SigmaStar returns the closed-form IFD of the exclusive policy on this
+// game's values (regardless of the game's own policy), with its support
+// size W and normalization alpha. This is the paper's Algorithm sigma*.
+func (g *Game) SigmaStar() (Strategy, int, float64, error) {
+	p, res, err := ifd.Exclusive(g.f, g.k)
+	return p, res.W, res.Alpha, err
+}
+
+// Coverage returns Cover(p) = sum_x f(x) (1 - (1-p(x))^k) for this game.
+func (g *Game) Coverage(p Strategy) (float64, error) {
+	return coverage.CoverChecked(g.f, p, g.k)
+}
+
+// OptimalCoverage returns the symmetric strategy maximizing coverage and
+// its coverage value. By Theorem 4 this equals SigmaStar.
+func (g *Game) OptimalCoverage() (Strategy, float64, error) {
+	p, _, err := optimize.MaxCoverage(g.f, g.k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, coverage.Cover(g.f, p, g.k), nil
+}
+
+// ExpectedPayoff returns the expected payoff of a focal player using rho
+// while all other players use p.
+func (g *Game) ExpectedPayoff(rho, p Strategy) (float64, error) {
+	if len(rho) != len(g.f) || len(p) != len(g.f) {
+		return 0, coverage.ErrDim
+	}
+	return coverage.ExpectedPayoff(g.f, rho, p, g.k, g.c), nil
+}
+
+// Welfare returns the symmetric individual welfare sum_x p(x) nu_p(x).
+func (g *Game) Welfare(p Strategy) (float64, error) {
+	return g.ExpectedPayoff(p, p)
+}
+
+// MaxWelfare returns the symmetric strategy maximizing Welfare and its
+// value (the "Welfare Optimum" curve of Figure 1).
+func (g *Game) MaxWelfare(seed uint64) (Strategy, float64, error) {
+	return optimize.MaxWelfare(g.f, g.k, g.c, 8, seed)
+}
+
+// SPoA returns the Symmetric Price of Anarchy of this game: the ratio of
+// the optimal symmetric coverage to the coverage of the worst symmetric
+// equilibrium under the game's policy.
+func (g *Game) SPoA() (SPoAInstance, error) {
+	return spoa.Compute(g.f, g.k, g.c)
+}
+
+// ESSAudit tests the game's IFD against the provided mutants (Section 1.4
+// characterization); pass nil to use an automatically generated panel of
+// nMutants random plus structured mutants.
+func (g *Game) ESSAudit(mutants []Strategy, nMutants int, seed uint64) (ESSReport, error) {
+	resident, _, err := g.IFD()
+	if err != nil {
+		return ESSReport{}, err
+	}
+	if mutants == nil {
+		mutants = ess.MutantFamily(newRand(seed), resident, g.f, nMutants)
+	}
+	return ess.Audit(g.f, g.c, g.k, resident, mutants, 1e-9)
+}
+
+// Simulate runs the parallel Monte-Carlo engine for rounds one-shot games
+// with every player using p.
+func (g *Game) Simulate(p Strategy, rounds int, seed uint64) (SimulationResult, error) {
+	return game.Simulate(game.Config{
+		F: g.f, K: g.k, C: g.c, Rounds: rounds, Seed: seed,
+	}, p)
+}
+
+// SimulateProfile runs the engine with per-player strategies.
+func (g *Game) SimulateProfile(profile []Strategy, rounds int, seed uint64) (SimulationResult, error) {
+	return game.SimulateProfile(game.Config{
+		F: g.f, K: g.k, C: g.c, Rounds: rounds, Seed: seed,
+	}, profile)
+}
+
+// Replicator integrates replicator dynamics from init and returns the final
+// state; with defaultOpts (zero value) it runs until drift vanishes.
+func (g *Game) Replicator(init Strategy, opts dynamics.ReplicatorOptions) (dynamics.ReplicatorResult, error) {
+	return dynamics.Replicator(g.f, g.k, g.c, init, opts)
+}
+
+// ReplicatorOptions re-exports the dynamics options type for callers of
+// Game.Replicator.
+type ReplicatorOptions = dynamics.ReplicatorOptions

@@ -1,0 +1,234 @@
+package dispersal
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"dispersal/internal/site"
+)
+
+func TestNewGameValidation(t *testing.T) {
+	if _, err := NewGame(Values{1, 0.5}, 2, nil); !errors.Is(err, ErrNilPolicy) {
+		t.Errorf("nil policy: %v", err)
+	}
+	if _, err := NewGame(Values{0.5, 1}, 2, Exclusive()); err == nil {
+		t.Error("unsorted values accepted")
+	}
+	if _, err := NewGame(Values{1, 0.5}, 0, Exclusive()); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewGame(nil, 2, Exclusive()); err == nil {
+		t.Error("nil values accepted")
+	}
+	g, err := NewGame(Values{1, 0.5}, 2, Exclusive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Players() != 2 || len(g.Values()) != 2 {
+		t.Errorf("game metadata: %v", g)
+	}
+}
+
+func TestMustGamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGame did not panic on invalid input")
+		}
+	}()
+	MustGame(nil, 2, Exclusive())
+}
+
+func TestGameIsDefensivelyCopied(t *testing.T) {
+	f := Values{1, 0.5}
+	g := MustGame(f, 2, Exclusive())
+	f[0] = 99
+	if g.Values()[0] != 1 {
+		t.Error("game aliases the caller's value slice")
+	}
+	v := g.Values()
+	v[0] = 77
+	if g.Values()[0] != 1 {
+		t.Error("Values() exposes internal state")
+	}
+}
+
+func TestGameString(t *testing.T) {
+	g := MustGame(Values{1, 0.5}, 3, Sharing())
+	s := g.String()
+	if !strings.Contains(s, "M=2") || !strings.Contains(s, "k=3") || !strings.Contains(s, "sharing") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTheoremsEndToEnd(t *testing.T) {
+	// The paper's four main results through the public API only.
+	g := MustGame(site.SlowDecay(12, 3), 3, Exclusive())
+
+	// Theorem 4 / Corollary 5: IFD == optimal coverage, SPoA == 1.
+	eq, nu, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nu <= 0 {
+		t.Errorf("nu = %v", nu)
+	}
+	opt, optCover, err := g.OptimalCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := eq.LInf(opt); d > 1e-9 {
+		t.Errorf("Theorem 4 violated through facade: IFD vs optimum differ by %v", d)
+	}
+	inst, err := g.SPoA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inst.Ratio-1) > 1e-6 {
+		t.Errorf("Corollary 5: SPoA = %v", inst.Ratio)
+	}
+	eqCover, err := g.Coverage(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eqCover-optCover) > 1e-9 {
+		t.Errorf("coverages differ: %v vs %v", eqCover, optCover)
+	}
+
+	// Theorem 3: the IFD is uninvadable.
+	rep, err := g.ESSAudit(nil, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures > 0 {
+		t.Errorf("Theorem 3: %d mutants invade (%s)", rep.Failures, rep.FirstFailureReason)
+	}
+
+	// Theorem 6: sharing on the same values has SPoA > 1.
+	gs := MustGame(g.Values(), 3, Sharing())
+	instS, err := gs.SPoA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instS.Ratio <= 1 {
+		t.Errorf("Theorem 6: sharing SPoA = %v", instS.Ratio)
+	}
+}
+
+func TestSigmaStarAccessors(t *testing.T) {
+	g := MustGame(Values{1, 0.3}, 2, Sharing()) // policy irrelevant to SigmaStar
+	p, w, alpha, err := g.SigmaStar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("W = %d", w)
+	}
+	if math.Abs(alpha-0.3/1.3) > 1e-12 {
+		t.Errorf("alpha = %v", alpha)
+	}
+	if math.Abs(p[0]-(1-alpha)) > 1e-12 {
+		t.Errorf("p = %v", p)
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	cases := []struct {
+		c    Congestion
+		l    int
+		want float64
+	}{
+		{Exclusive(), 2, 0},
+		{Sharing(), 4, 0.25},
+		{Constant(), 9, 1},
+		{TwoPoint(-0.3), 5, -0.3},
+		{PowerLaw(2), 2, 0.25},
+		{Cooperative(0.5), 3, 0.25},
+		{Aggressive(1), 3, -2},
+	}
+	for _, c := range cases {
+		if got := c.c.At(c.l); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s.At(%d) = %v, want %v", c.c.Name(), c.l, got, c.want)
+		}
+		if c.c.At(1) != 1 {
+			t.Errorf("%s.At(1) != 1", c.c.Name())
+		}
+	}
+}
+
+func TestWelfareAndMaxWelfare(t *testing.T) {
+	g := MustGame(Values{1, 0.5}, 2, Exclusive())
+	p, v, err := g.MaxWelfare(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form: max of q(1-q)(1+0.5) at q = 1/2.
+	if math.Abs(v-0.375) > 1e-9 {
+		t.Errorf("max welfare = %v, want 0.375", v)
+	}
+	w, err := g.Welfare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-v) > 1e-12 {
+		t.Errorf("Welfare(argmax) = %v != %v", w, v)
+	}
+}
+
+func TestExpectedPayoffDimCheck(t *testing.T) {
+	g := MustGame(Values{1, 0.5}, 2, Exclusive())
+	if _, err := g.ExpectedPayoff(Strategy{1}, Strategy{0.5, 0.5}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestSimulateThroughFacade(t *testing.T) {
+	g := MustGame(Values{1, 0.5}, 2, Exclusive())
+	eq, nu, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Simulate(eq, 100_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Payoff.Mean-nu) > 4*res.Payoff.CI95+1e-9 {
+		t.Errorf("simulated payoff %v vs nu %v", res.Payoff.Mean, nu)
+	}
+	// Asymmetric profile.
+	res2, err := g.SimulateProfile([]Strategy{{1, 0}, {0, 1}}, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Coverage.Mean != 1.5 {
+		t.Errorf("disjoint profile coverage = %v", res2.Coverage.Mean)
+	}
+}
+
+func TestReplicatorThroughFacade(t *testing.T) {
+	g := MustGame(Values{1, 0.3}, 2, Exclusive())
+	eq, _, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Replicator(Strategy{0.5, 0.5}, ReplicatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Final.TV(eq); d > 1e-6 {
+		t.Errorf("replicator end state off the IFD by %v", d)
+	}
+}
+
+func TestIFDGeneralPolicyThroughFacade(t *testing.T) {
+	g := MustGame(Values{1, 0.8}, 2, Sharing())
+	eq, _, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed interior equilibrium (see ifd tests): p1 = 2/3.
+	if math.Abs(eq[0]-2.0/3) > 1e-6 {
+		t.Errorf("sharing IFD = %v, want p1=2/3", eq)
+	}
+}

@@ -1,0 +1,68 @@
+package dispersal_test
+
+import (
+	"fmt"
+
+	"dispersal"
+)
+
+// The two-site, two-player game of Figure 1's left panel under the
+// exclusive policy: the equilibrium is the coverage optimum.
+func ExampleNewGame() {
+	g, err := dispersal.NewGame(dispersal.Values{1, 0.3}, 2, dispersal.Exclusive())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g)
+	// Output:
+	// dispersal.Game{M=2, k=2, C=exclusive}
+}
+
+func ExampleGame_IFD() {
+	g := dispersal.MustGame(dispersal.Values{1, 0.3}, 2, dispersal.Exclusive())
+	sigma, nu, _ := g.IFD()
+	fmt.Printf("sigma* = [%.4f %.4f], nu = %.4f\n", sigma[0], sigma[1], nu)
+	// Output:
+	// sigma* = [0.7692 0.2308], nu = 0.2308
+}
+
+func ExampleGame_SPoA() {
+	f := dispersal.Values{1, 0.95, 0.9, 0.85, 0.8, 0.75}
+	exclusive := dispersal.MustGame(f, 3, dispersal.Exclusive())
+	sharing := dispersal.MustGame(f, 3, dispersal.Sharing())
+
+	a, _ := exclusive.SPoA()
+	b, _ := sharing.SPoA()
+	fmt.Printf("exclusive: %.4f\n", a.Ratio)
+	fmt.Printf("sharing:   %.4f (> 1)\n", b.Ratio)
+	// Output:
+	// exclusive: 1.0000
+	// sharing:   1.0162 (> 1)
+}
+
+func ExampleGame_OptimalCoverage() {
+	g := dispersal.MustGame(dispersal.Values{1, 0.3}, 2, dispersal.Exclusive())
+	p, cover, _ := g.OptimalCoverage()
+	sigma, _, _ := g.IFD()
+	fmt.Printf("optimum = [%.4f %.4f], coverage %.4f\n", p[0], p[1], cover)
+	fmt.Printf("equals the equilibrium (Theorem 4): %v\n", sigma.LInf(p) < 1e-9)
+	// Output:
+	// optimum = [0.7692 0.2308], coverage 1.0692
+	// equals the equilibrium (Theorem 4): true
+}
+
+func ExampleGame_ESSAudit() {
+	g := dispersal.MustGame(dispersal.Values{1, 0.5, 0.25}, 3, dispersal.Exclusive())
+	rep, _ := g.ESSAudit(nil, 40, 7)
+	fmt.Printf("mutants defeated: %v (invasions: %d)\n", rep.Failures == 0, rep.Failures)
+	// Output:
+	// mutants defeated: true (invasions: 0)
+}
+
+func ExampleGame_PureEquilibria() {
+	g := dispersal.MustGame(dispersal.Values{1, 0.8, 0.6}, 2, dispersal.Exclusive())
+	sum, _ := g.PureEquilibria(0)
+	fmt.Printf("pure equilibria: %d, coverage %.1f\n", sum.Equilibria, sum.BestCoverage)
+	// Output:
+	// pure equilibria: 2, coverage 1.8
+}

@@ -1,0 +1,71 @@
+// Bayesian search: the connection to parallel search without coordination
+// (Section 2.1 of the paper; Korman-Rodeh SIROCCO 2017).
+//
+// A treasure is hidden in one of M boxes according to a known prior; k
+// searchers, unable to coordinate, each open one box per round. The paper
+// notes that sigma* — the optimal dispersal strategy — is exactly round one
+// of the A* search algorithm. This example checks the identity and races
+// sigma*-based search against baselines.
+//
+// Run with: go run ./examples/bayesiansearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/search"
+	"dispersal/internal/site"
+	"dispersal/internal/table"
+)
+
+func main() {
+	prior := site.Zipf(25, 1, 1) // Zipfian prior over 25 boxes
+	const k = 4
+
+	// The identity: round 1 of the search algorithm == sigma*.
+	round1, err := search.RoundOneDistribution(prior, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigma, res, err := ifd.Exclusive(prior, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("boxes: %d, searchers: %d\n", len(prior), k)
+	fmt.Printf("sigma* support: boxes 1..%d; round-1 law == sigma*: %v\n\n",
+		res.W, round1.LInf(sigma) == 0)
+
+	tb := table.New("algorithm", "mean rounds to find", "95% CI", "vs coordinated")
+	var coordMean float64
+	algos := []search.Algorithm{
+		search.StrategyCoordinated,
+		search.StrategyAStar,
+		search.StrategyPrior,
+		search.StrategyUniform,
+		search.StrategyGreedy,
+	}
+	for _, a := range algos {
+		r, err := search.Run(search.Config{
+			Prior: prior, K: k, Algorithm: a, Trials: 30_000, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if a == search.StrategyCoordinated {
+			coordMean = r.Time.Mean
+		}
+		tb.AddRowf(a.String(), r.Time.Mean, r.Time.CI95, fmt.Sprintf("%.2fx", r.Time.Mean/coordMean))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncoordinated search is the (unreachable) lower bound; greedy searchers")
+	fmt.Println("all collide on the best boxes and uniform ones ignore the prior.")
+	fmt.Println("note: only round 1 of the true A* is specified by the paper (== sigma*);")
+	fmt.Println("the multi-round extension here re-applies sigma* myopically to each")
+	fmt.Println("searcher's residual prior, which is not the full A* schedule — on")
+	fmt.Println("fat-tailed priors it can trail simple prior-sampling in later rounds.")
+}

@@ -1,0 +1,66 @@
+// Depletion: repeated foraging over regrowing patches (the "other forms of
+// repetition" left open in Section 5.1 of the paper).
+//
+// Patches lose their stock when visited and recover a fraction r of the
+// deficit between bouts. Species re-equilibrate on the current stocks every
+// bout. In steady state the harvest equals the regrowth inflow, so the
+// policy that covers the current stocks best — the exclusive policy, by
+// Theorem 4 — sustains the highest long-run harvest.
+//
+// Run with: go run ./examples/depletion
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/repeated"
+	"dispersal/internal/site"
+	"dispersal/internal/table"
+)
+
+func main() {
+	f := site.Geometric(8, 1, 0.8)
+	const k = 4
+	fmt.Printf("patches: %d (values %.3g..%.3g), foragers per bout: %d\n\n", len(f), f[0], f[len(f)-1], k)
+
+	policies := []policy.Congestion{
+		policy.Exclusive{},
+		policy.Sharing{},
+		policy.Constant{},
+	}
+	tb := table.New("regrowth r", "exclusive harvest", "sharing harvest", "constant harvest")
+	for _, r := range []float64{0.05, 0.1, 0.2, 0.5, 1.0} {
+		row := make([]any, 0, 4)
+		row = append(row, r)
+		for _, c := range policies {
+			res, err := repeated.MeanField(repeated.Config{
+				F: f, K: k, C: c, Regrowth: r, Bouts: 800, Adaptive: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, res.Harvest.Mean)
+		}
+		tb.AddRowf(row...)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nslow regrowth punishes redundant visits hardest: the exclusive")
+	fmt.Println("policy's collision aversion keeps stocks grazed down evenly and")
+	fmt.Println("converts the regrowth into harvest at the highest rate.")
+
+	// A stochastic run for one setting, to show the simulator.
+	res, err := repeated.Simulate(repeated.Config{
+		F: f, K: k, C: policy.Exclusive{}, Regrowth: 0.2, Bouts: 5000, Seed: 1, Adaptive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstochastic check (r=0.2, exclusive): harvest %.4f +- %.4f per bout\n",
+		res.Harvest.Mean, res.Harvest.CI95)
+}

@@ -1,0 +1,84 @@
+// Foraging: the paper's motivating ecology scenario (Sections 1 and 5.2).
+//
+// A colony of bats splits nightly into groups of k = 8 that forage over a
+// field of 40 patches with heavy-tailed quality. We compare how three
+// "species" — differing only in their collision attitude (aggressive,
+// exclusive-level, and peaceful sharing) — cover the field at their
+// respective evolutionary equilibria, reproducing the paper's takeaway that
+// the more competitive species covers the resources better.
+//
+// Run with: go run ./examples/foraging
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+
+	"dispersal"
+	"dispersal/internal/site"
+	"dispersal/internal/table"
+)
+
+func main() {
+	const (
+		patches = 40
+		bats    = 8
+	)
+	// Heavy-tailed patch quality, as in natural resource landscapes.
+	rng := rand.New(rand.NewPCG(2018, 5))
+	field := site.RandomExponential(rng, patches, 1.0)
+	total := field.Sum()
+
+	species := []struct {
+		name     string
+		attitude dispersal.Congestion
+		story    string
+	}{
+		{"peaceful (sharing)", dispersal.Sharing(), "colliding bats split the patch"},
+		{"moderate", dispersal.TwoPoint(0.2), "collisions waste most of the patch"},
+		{"solomon (exclusive)", dispersal.Exclusive(), "colliding bats get nothing"},
+		{"vicious (aggressive)", dispersal.Aggressive(0.5), "collisions injure"},
+	}
+
+	tb := table.New("species", "collision rule", "equilibrium coverage", "% of field", "per-bat payoff")
+	var exclusiveCover float64
+	for _, sp := range species {
+		g, err := dispersal.NewGame(field, bats, sp.attitude)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eq, nu, err := g.IFD()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cover, err := g.Coverage(eq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sp.name == "solomon (exclusive)" {
+			exclusiveCover = cover
+		}
+		tb.AddRowf(sp.name, sp.story, cover, 100*cover/total, nu)
+	}
+	fmt.Printf("field: %d patches, total value %.3f; %d bats per group\n\n", patches, total, bats)
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The group-level ceiling, for context.
+	g, err := dispersal.NewGame(field, bats, dispersal.Exclusive())
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, best, err := g.OptimalCoverage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest possible symmetric coverage: %.4f\n", best)
+	fmt.Printf("the exclusive-policy species achieves it exactly: %.4f (Theorem 4)\n", exclusiveCover)
+	fmt.Println("\npaper's takeaway: a species whose conspecific collisions are costly")
+	fmt.Println("(at the Judgment-of-Solomon level) covers the shared field optimally,")
+	fmt.Println("out-consuming a peaceful species feeding on the same patches.")
+}

@@ -1,0 +1,62 @@
+// Grants: the research-funding scenario from the paper's introduction and
+// Section 1.6 (after Kleinberg & Oren).
+//
+// A foundation wants k researchers to spread over research topics of
+// differing importance so that the community's total covered importance is
+// maximal. Two mechanisms are compared:
+//
+//  1. Reward redesign (Kleinberg-Oren): keep "credit sharing" (collided
+//     topics split credit) and re-choose the grant sizes — which requires
+//     knowing how many researchers will show up.
+//  2. Congestion redesign (this paper): keep grants equal to topic
+//     importance and make credit exclusive — scooped researchers get
+//     nothing. No knowledge of k needed.
+//
+// Run with: go run ./examples/grants
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dispersal/internal/grants"
+	"dispersal/internal/site"
+	"dispersal/internal/table"
+)
+
+func main() {
+	const trueK = 6
+	// Topic importances: a few hot topics, a long tail of niche ones.
+	topics := site.Zipf(18, 1, 0.6)
+
+	out, err := grants.Compare(topics, trueK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topics: %d, researchers: %d, optimal coverage: %.4f\n\n", len(topics), trueK, out.OptCoverage)
+
+	tb := table.New("mechanism", "coverage", "fraction of optimum", "needs k?")
+	tb.AddRowf("do nothing (credit sharing)", out.SharingCoverage, out.SharingCoverage/out.OptCoverage, "no")
+	tb.AddRowf("redesign grant sizes [KO11]", out.GrantCoverage, out.GrantCoverage/out.OptCoverage, "YES")
+	tb.AddRowf("exclusive credit (this paper)", out.ExclusiveCoverage, out.ExclusiveCoverage/out.OptCoverage, "no")
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// What happens when the foundation guesses k wrong?
+	fmt.Printf("\nsensitivity: grants were designed for k' researchers, %d showed up\n\n", trueK)
+	tb2 := table.New("designed for k'", "grant mechanism", "exclusive policy")
+	for _, designK := range []int{2, 3, 4, 6, 9, 12} {
+		gFrac, eFrac, err := grants.MisestimatedK(topics, designK, trueK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb2.AddRowf(designK, fmt.Sprintf("%.4f of optimum", gFrac), fmt.Sprintf("%.4f of optimum", eFrac))
+	}
+	if err := tb2.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe congestion-policy mechanism is invariant to the misestimate;")
+	fmt.Println("the reward-redesign mechanism degrades away from k' = k.")
+}

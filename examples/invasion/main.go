@@ -1,0 +1,78 @@
+// Invasion: evolutionary stability in a finite population (Theorem 3).
+//
+// A population of 2000 foragers plays sigma* under the exclusive policy. We
+// inject a 10% minority of mutants that overweight the best patch and watch
+// Wright-Fisher selection push them out; then we flip roles and watch
+// sigma* invade a uniform-playing resident population. The trajectories are
+// rendered as ASCII charts.
+//
+// Run with: go run ./examples/invasion
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dispersal/internal/dynamics"
+	"dispersal/internal/ifd"
+	"dispersal/internal/plot"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+func main() {
+	f := site.TwoSite(0.5)
+	const k = 2
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedyMutant := strategy.Strategy{0.95, 0.05}
+
+	fmt.Printf("patches f = %v, group size k = %d, policy = exclusive\n", f, k)
+	fmt.Printf("resident sigma* = [%.4f %.4f], mutant = %v\n\n", sigma[0], sigma[1], greedyMutant)
+
+	runAndPlot("mutant vs sigma*-resident (Theorem 3: repelled)", dynamics.InvasionConfig{
+		F: f, K: k, C: policy.Exclusive{},
+		Resident: sigma, Mutant: greedyMutant,
+		PopSize: 2000, InitialMutantFrac: 0.10,
+		Generations: 250, GamesPerGen: 8, Selection: 3, Seed: 7,
+	})
+
+	runAndPlot("sigma*-mutant vs uniform resident (invades)", dynamics.InvasionConfig{
+		F: f, K: k, C: policy.Exclusive{},
+		Resident: strategy.Uniform(2), Mutant: sigma,
+		PopSize: 2000, InitialMutantFrac: 0.10,
+		Generations: 250, GamesPerGen: 8, Selection: 3, Seed: 11,
+	})
+}
+
+func runAndPlot(title string, cfg dynamics.InvasionConfig) {
+	res, err := dynamics.Invasion(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xs := make([]float64, len(res.MutantFrac))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	chart := &plot.Chart{
+		Title:  title,
+		XLabel: "generation",
+		YLabel: "mutant fraction",
+		Series: []plot.Series{{Name: "mutant fraction", X: xs, Y: res.MutantFrac}},
+	}
+	if err := chart.RenderASCII(os.Stdout, 72, 14); err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case res.Extinct:
+		fmt.Printf("-> mutant extinct after %d generations\n\n", len(res.MutantFrac)-1)
+	case res.Fixed:
+		fmt.Printf("-> mutant fixed after %d generations\n\n", len(res.MutantFrac)-1)
+	default:
+		fmt.Printf("-> final mutant fraction: %.3f\n\n", res.MutantFrac[len(res.MutantFrac)-1])
+	}
+}

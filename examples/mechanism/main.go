@@ -1,0 +1,56 @@
+// Mechanism: discovering the Judgment-of-Solomon policy by optimization.
+//
+// A mechanism designer wants selfish explorers to cover sites as well as
+// possible, and can only choose how harshly collisions are punished — the
+// congestion function C(l). Knowing nothing of the paper's Theorems 4 and
+// 6, the designer runs a blind coordinate-descent search over table
+// policies, scoring each candidate by the coverage of its equilibrium.
+// The search converges to C(l >= 2) = 0: the exclusive policy.
+//
+// Run with: go run ./examples/mechanism
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dispersal"
+	"dispersal/internal/table"
+)
+
+func main() {
+	landscapes := []struct {
+		name string
+		f    dispersal.Values
+		k    int
+	}{
+		{"two sites (1, 0.3)", dispersal.Values{1, 0.3}, 2},
+		{"eight geometric sites", dispersal.Values{1, 0.75, 0.5625, 0.4219, 0.3164, 0.2373, 0.178, 0.1335}, 3},
+		{"five zipf sites", dispersal.Values{1, 0.5, 1.0 / 3, 0.25, 0.2}, 4},
+	}
+
+	tb := table.New("landscape", "k", "levels C(2..k) found", "designed coverage", "sigma* coverage")
+	for _, l := range landscapes {
+		g, err := dispersal.NewGame(l.f, l.k, dispersal.Sharing()) // designer starts from sharing
+		if err != nil {
+			log.Fatal(err)
+		}
+		design, err := g.DesignOptimalPolicy(42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, optCover, err := g.OptimalCoverage()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRowf(l.name, l.k, fmt.Sprintf("%.4f", design.Levels), design.Coverage, optCover)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nevery search lands on all-zero collision rewards — the exclusive")
+	fmt.Println("policy — and exactly the optimal coverage, as Theorems 4 and 6 predict:")
+	fmt.Println("punish collisions totally (but not more) and selfish equilibrium")
+	fmt.Println("behaviour becomes group-optimal.")
+}

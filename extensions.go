@@ -1,0 +1,90 @@
+package dispersal
+
+// Public entry points for the model extensions (paper Sections 1.2, 5.1,
+// 5.2): travel costs, consumption capacity, interspecies competition, and
+// pure-equilibrium enumeration. Each wraps the corresponding internal
+// subsystem; see DESIGN.md for the modelling details.
+
+import (
+	"dispersal/internal/capacity"
+	"dispersal/internal/infer"
+	"dispersal/internal/mechanism"
+	"dispersal/internal/pureeq"
+	"dispersal/internal/species"
+	"dispersal/internal/travelcost"
+)
+
+// TravelCosts is a per-site visiting-cost vector t(x) >= 0 (Section 5.1
+// extension): the payoff becomes f(x)*C(l) - t(x).
+type TravelCosts = travelcost.Costs
+
+// IFDWithTravelCosts returns the unique symmetric equilibrium of this game
+// extended with travel costs t, and its equilibrium payoff. Unlike the base
+// game, the support need not be a prefix of the sites, and the exclusive
+// policy no longer guarantees optimal coverage (experiment E14).
+func (g *Game) IFDWithTravelCosts(t TravelCosts) (Strategy, float64, error) {
+	return travelcost.Solve(g.f, t, g.k, g.c)
+}
+
+// Consumption returns the expected group consumption of strategy p when
+// each individual can consume at most cap value units at its site
+// (Section 5.1 extension). cap = math.Inf(1) recovers Coverage exactly.
+func (g *Game) Consumption(p Strategy, cap float64) (float64, error) {
+	return capacity.Consumption(g.f, p, g.k, cap)
+}
+
+// MaxConsumption returns the symmetric strategy maximizing Consumption at
+// capacity cap, and its value. At finite capacities this differs from
+// SigmaStar (experiment E15).
+func (g *Game) MaxConsumption(cap float64) (Strategy, float64, error) {
+	return capacity.MaxConsumption(g.f, g.k, cap)
+}
+
+// CompetingSpecies describes one species in the two-species competition of
+// Section 5.2.
+type CompetingSpecies = species.Species
+
+// SpeciesOutcome reports expected per-bout intakes of two species under
+// each feeding order.
+type SpeciesOutcome = species.Outcome
+
+// CompeteSpecies computes the exact expected intakes of two species
+// foraging over this game's patches at different times of day, each playing
+// its own within-species equilibrium (Section 5.2). The game's own k and
+// policy are not used — each species carries its own.
+func (g *Game) CompeteSpecies(a, b CompetingSpecies) (SpeciesOutcome, error) {
+	return species.Intakes(g.f, a, b)
+}
+
+// PureEquilibria enumerates all pure Nash equilibria of this game by brute
+// force over the M^k profiles (Section 1.2). limit bounds the state space
+// (<= 0 uses the package default).
+func (g *Game) PureEquilibria(limit int) (pureeq.Summary, error) {
+	return pureeq.Enumerate(g.f, g.k, g.c, limit)
+}
+
+// PureEquilibriaSummary re-exports the enumeration summary type.
+type PureEquilibriaSummary = pureeq.Summary
+
+// PolicyDesign is a congestion policy found by DesignOptimalPolicy.
+type PolicyDesign = mechanism.Design
+
+// DesignOptimalPolicy searches the space of table congestion policies for
+// the one whose equilibrium maximizes coverage on this game's values. By
+// Theorems 4 and 6 the search converges to the exclusive policy; exposing
+// the optimizer lets users verify that claim on their own landscapes
+// (experiment E22).
+func (g *Game) DesignOptimalPolicy(seed uint64) (PolicyDesign, error) {
+	return mechanism.Optimize(g.f, g.k, mechanism.Options{Seed: seed})
+}
+
+// ValueEstimate is an inverse-IFD estimate of relative site values.
+type ValueEstimate = infer.Estimate
+
+// InferValues recovers relative site values from observed per-player
+// occupancy probabilities, assuming the population plays the symmetric
+// equilibrium of policy c with k players per game (the empirical IFD
+// methodology; experiment E23).
+func InferValues(occupancy []float64, k int, c Congestion) (ValueEstimate, error) {
+	return infer.Values(occupancy, k, c, 1e-6)
+}

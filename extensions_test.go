@@ -1,0 +1,137 @@
+package dispersal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIFDWithTravelCostsThroughFacade(t *testing.T) {
+	g := MustGame(Values{1, 0.5}, 2, Exclusive())
+	// Zero costs reproduce the base IFD.
+	base, nuBase, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, nu, err := g.IFDWithTravelCosts(TravelCosts{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := base.LInf(p); d > 1e-7 {
+		t.Errorf("zero-cost IFD off by %v", d)
+	}
+	if math.Abs(nu-nuBase) > 1e-6 {
+		t.Errorf("nu %v vs %v", nu, nuBase)
+	}
+	// A prohibitive cost on site 1 pushes all mass to site 2.
+	p2, _, err := g.IFDWithTravelCosts(TravelCosts{0.9, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2[1] < 0.9 {
+		t.Errorf("blocked site still explored: %v", p2)
+	}
+}
+
+func TestConsumptionThroughFacade(t *testing.T) {
+	g := MustGame(Values{1, 0.5}, 2, Exclusive())
+	u := Strategy{0.5, 0.5}
+	unbounded, err := g.Consumption(u, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, err := g.Coverage(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(unbounded-cover) > 1e-12 {
+		t.Errorf("unbounded consumption %v != coverage %v", unbounded, cover)
+	}
+	bounded, err := g.Consumption(u, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded >= unbounded {
+		t.Errorf("capacity did not bind: %v >= %v", bounded, unbounded)
+	}
+	// Optimal consumption at the bound is at least sigma*'s.
+	_, opt, err := g.MaxConsumption(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, _, _, err := g.SigmaStar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sCons, err := g.Consumption(sigma, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt < sCons-1e-9 {
+		t.Errorf("MaxConsumption %v below sigma* consumption %v", opt, sCons)
+	}
+}
+
+func TestCompeteSpeciesThroughFacade(t *testing.T) {
+	g := MustGame(Values{1, 0.9, 0.8, 0.7}, 2, Exclusive())
+	out, err := g.CompeteSpecies(
+		CompetingSpecies{Name: "solomon", K: 3, C: Exclusive()},
+		CompetingSpecies{Name: "peaceful", K: 3, C: Sharing()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Alternating.A <= out.Alternating.B {
+		t.Errorf("exclusive species should win: %+v", out.Alternating)
+	}
+}
+
+func TestDesignOptimalPolicyThroughFacade(t *testing.T) {
+	g := MustGame(Values{1, 0.5}, 2, Sharing())
+	d, err := g.DesignOptimalPolicy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxLevelMagnitude() > 0.05 {
+		t.Errorf("designer missed the exclusive policy: levels %v", d.Levels)
+	}
+	_, optCover, err := g.OptimalCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Coverage-optCover) > 1e-4 {
+		t.Errorf("designed coverage %v vs optimum %v", d.Coverage, optCover)
+	}
+}
+
+func TestInferValuesThroughFacade(t *testing.T) {
+	g := MustGame(Values{1, 0.5}, 3, Exclusive())
+	eq, _, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := InferValues(eq, 3, Exclusive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := est.MaxRelativeError(g.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("inversion error %v", worst)
+	}
+}
+
+func TestPureEquilibriaThroughFacade(t *testing.T) {
+	g := MustGame(Values{1, 0.8, 0.6}, 2, Exclusive())
+	sum, err := g.PureEquilibria(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Equilibria != 2 { // the 2! assignments onto the top-2 sites
+		t.Errorf("pure equilibria = %d, want 2", sum.Equilibria)
+	}
+	if sum.BestCoverage != 1.8 {
+		t.Errorf("coverage = %v, want 1.8", sum.BestCoverage)
+	}
+}

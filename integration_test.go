@@ -1,0 +1,145 @@
+package dispersal
+
+// Cross-module integration tests: every pipeline a downstream user would
+// compose (equilibrium -> simulation -> inference; dynamics -> equilibrium;
+// policy design -> equilibrium -> coverage) on games larger than the unit
+// tests use. Long-running cases are guarded by testing.Short.
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/site"
+)
+
+func TestPipelineEquilibriumSimulationInference(t *testing.T) {
+	// Theory -> engine -> inverse theory on a mid-sized game.
+	f := Values(site.Zipf(15, 2, 0.8))
+	g := MustGame(f, 6, Exclusive())
+	sigma, nu, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Simulate(sigma, 400_000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated payoff matches nu.
+	if d := math.Abs(res.Payoff.Mean - nu); d > 4*res.Payoff.CI95+1e-9 {
+		t.Errorf("payoff %v vs nu %v", res.Payoff.Mean, nu)
+	}
+	// Observed occupancy inverts back to the values.
+	est, err := InferValues(res.Occupancy, 6, Exclusive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := est.MaxRelativeError(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.05 {
+		t.Errorf("inferred values off by %v", worst)
+	}
+}
+
+func TestPipelineDynamicsAgreeWithSolver(t *testing.T) {
+	// Replicator dynamics from three different starts all land on the
+	// solver's IFD, for a non-trivial policy.
+	f := Values(site.Geometric(7, 1, 0.8))
+	g := MustGame(f, 4, TwoPoint(-0.2))
+	eq, _, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := []Strategy{
+		{1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 7},
+		{0.9, 0.1, 0, 0, 0, 0, 0},
+		{0.05, 0.05, 0.05, 0.05, 0.1, 0.2, 0.5},
+	}
+	for i, s := range starts {
+		r, err := g.Replicator(s, ReplicatorOptions{Steps: 80000, Floor: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := r.Final.TV(eq); d > 1e-4 {
+			t.Errorf("start %d: TV to IFD = %v", i, d)
+		}
+	}
+}
+
+func TestPipelinePolicyDesignOnRandomLandscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy design is slow; run without -short")
+	}
+	rng := rand.New(rand.NewPCG(77, 77))
+	f := Values(site.Random(rng, 6, 0.3, 2))
+	g := MustGame(f, 3, Sharing())
+	d, err := g.DesignOptimalPolicy(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, optCover, err := g.OptimalCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Coverage-optCover) > 1e-3 {
+		t.Errorf("designed %v vs optimal %v (levels %v)", d.Coverage, optCover, d.Levels)
+	}
+}
+
+func TestLargeGameSolversScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-game sweep; run without -short")
+	}
+	// 10k sites, 64 players: closed form, optimizer, and coverage stay
+	// consistent at scale.
+	f := Values(site.Zipf(10_000, 1, 0.9))
+	g := MustGame(f, 64, Exclusive())
+	sigma, _, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, optCover, err := g.OptimalCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sigma.LInf(opt); d > 1e-8 {
+		t.Errorf("Theorem 4 at scale: deviation %v", d)
+	}
+	eqCover, err := g.Coverage(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eqCover-optCover) > 1e-8*optCover {
+		t.Errorf("coverages diverge at scale: %v vs %v", eqCover, optCover)
+	}
+	bound := (1 - 1/math.E) * f.PrefixSum(64)
+	if eqCover <= bound {
+		t.Errorf("Observation 1 fails at scale: %v <= %v", eqCover, bound)
+	}
+}
+
+func TestConcurrentGamesAreIndependent(t *testing.T) {
+	// Games are safe to use from concurrent goroutines (read-only state).
+	f := Values{1, 0.7, 0.4}
+	g := MustGame(f, 3, Exclusive())
+	const n = 16
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(seed uint64) {
+			eq, _, err := g.IFD()
+			if err != nil {
+				errs <- err
+				return
+			}
+			_, err = g.Simulate(eq, 5_000, seed)
+			errs <- err
+		}(uint64(i))
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package asymptotic analyzes the large-k behaviour of the paper's optimal
+// strategy sigma* — material the paper does not spell out but that follows
+// from its closed form, and that a user sizing a deployment (how many
+// explorers do I need?) would want:
+//
+//   - Support growth: W(k) is the largest y with
+//     sum_{x<=y} (1 - (f(y)/f(x))^(1/(k-1))) <= 1; a first-order expansion
+//     of the exponent gives the log-criterion
+//     W(k) ~ max{ y : sum_{x<=y} ln(f(x)/f(y)) <= k-1 }.
+//   - The exact miss identity: writing nu = alpha^(k-1) for the equilibrium
+//     payoff, the uncovered value satisfies
+//     Miss(sigma*) = (W-1)*nu + sum_{x>W} f(x)
+//     exactly, because (1-sigma*(x))^k = alpha^k f(x)^(-k/(k-1)) sums
+//     against f(x) to alpha^k * sum f(x)^(-1/(k-1)) = (W-1)*alpha^(k-1).
+//   - The uniform limit: once W = M, sigma* approaches the uniform
+//     distribution at rate 1/(k-1), with
+//     lim (k-1) * (sigma*(x) - 1/M) = ((M-1)/M) * (ln f(x) - avg ln f) —
+//     see LimitCorrection.
+//
+// Experiment E18 verifies all three numerically.
+package asymptotic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/site"
+)
+
+// ErrPlayers is returned for invalid player counts.
+var ErrPlayers = errors.New("asymptotic: player count k must be >= 2")
+
+// SupportSize returns the exact support size W(k) of sigma*.
+func SupportSize(f site.Values, k int) (int, error) {
+	_, res, err := ifd.Exclusive(f, k)
+	if err != nil {
+		return 0, err
+	}
+	return res.W, nil
+}
+
+// ApproxSupportSize returns the first-order (log-criterion) approximation
+// of W(k): the largest y with sum_{x<=y} ln(f(x)/f(y)) <= k-1.
+func ApproxSupportSize(f site.Values, k int) (int, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	w := 1
+	for y := 2; y <= len(f); y++ {
+		var s numeric.Accumulator
+		for x := 0; x < y; x++ {
+			s.Add(math.Log(f[x] / f[y-1]))
+		}
+		if s.Sum() <= float64(k-1) {
+			w = y
+		} else {
+			break
+		}
+	}
+	return w, nil
+}
+
+// MissIdentity returns the exact uncovered value Miss(sigma*) and its
+// closed-form prediction (W-1)*nu + sum_{x>W} f(x). The two agree to
+// machine precision for every game; the test suite asserts it.
+func MissIdentity(f site.Values, k int) (measured, predicted float64, err error) {
+	sigma, res, err := ifd.Exclusive(f, k)
+	if err != nil {
+		return 0, 0, err
+	}
+	measured = coverage.Miss(f, sigma, k)
+	var tail numeric.Accumulator
+	for x := res.W; x < len(f); x++ {
+		tail.Add(f[x])
+	}
+	predicted = float64(res.W-1)*res.Nu + tail.Sum()
+	return measured, predicted, nil
+}
+
+// LimitCorrection returns, for a game with full support (W = M), the
+// predicted first-order deviation of sigma* from uniform:
+//
+//	sigma*(x) ~ 1/M + d[x] / (k-1),
+//	d[x] = ((M-1)/M) * (ln f(x) - (1/M) sum_y ln f(y)),
+//
+// (expand f^(-1/(k-1)) = exp(-ln f/(k-1)) to first order in 1/(k-1) inside
+// the paper's closed form), so that (k-1)*(sigma*(x) - 1/M) -> d[x].
+func LimitCorrection(f site.Values) []float64 {
+	m := len(f)
+	logs := make([]float64, m)
+	var mean numeric.Accumulator
+	for x, v := range f {
+		logs[x] = math.Log(v)
+		mean.Add(logs[x])
+	}
+	mu := mean.Sum() / float64(m)
+	scale := float64(m-1) / float64(m)
+	for x := range logs {
+		logs[x] = scale * (logs[x] - mu)
+	}
+	return logs
+}
+
+// ScaledDeviation returns (k-1) * (sigma*(x) - 1/M) for each site, the
+// quantity that converges to LimitCorrection. It errors if the support is
+// not yet full at this k (the limit statement assumes W = M).
+func ScaledDeviation(f site.Values, k int) ([]float64, error) {
+	sigma, res, err := ifd.Exclusive(f, k)
+	if err != nil {
+		return nil, err
+	}
+	m := len(f)
+	if res.W != m {
+		return nil, fmt.Errorf("asymptotic: support W=%d < M=%d at k=%d; increase k", res.W, m, k)
+	}
+	out := make([]float64, m)
+	for x := range sigma {
+		out[x] = float64(k-1) * (sigma[x] - 1/float64(m))
+	}
+	return out, nil
+}
+
+// PlayersForFullSupport returns the smallest k at which sigma* explores
+// every site (W = M), found by doubling + binary search; maxK bounds the
+// search (<= 0 uses 1<<20).
+func PlayersForFullSupport(f site.Values, maxK int) (int, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if maxK <= 0 {
+		maxK = 1 << 20
+	}
+	m := len(f)
+	if m == 1 {
+		return 1, nil
+	}
+	full := func(k int) (bool, error) {
+		w, err := SupportSize(f, k)
+		if err != nil {
+			return false, err
+		}
+		return w == m, nil
+	}
+	// Doubling to bracket.
+	hi := 2
+	for {
+		ok, err := full(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
+		if hi >= maxK {
+			return 0, fmt.Errorf("asymptotic: no full support up to k=%d", maxK)
+		}
+		hi *= 2
+		if hi > maxK {
+			hi = maxK
+		}
+	}
+	lo := hi / 2
+	if lo < 2 {
+		lo = 2
+	}
+	// Binary search for the threshold (full(k) is monotone in k: more
+	// players flatten the equilibrium and can only widen the support).
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := full(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, nil
+}

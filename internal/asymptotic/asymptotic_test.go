@@ -1,0 +1,180 @@
+package asymptotic
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/site"
+)
+
+func TestMissIdentityExact(t *testing.T) {
+	// Miss(sigma*) == (W-1)*nu + tail, to machine precision, for random
+	// games — a strong structural check on the closed form.
+	rng := rand.New(rand.NewPCG(18, 5))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.IntN(30)
+		k := 2 + rng.IntN(20)
+		f := site.Random(rng, m, 0.05, 5)
+		measured, predicted, err := MissIdentity(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(measured, predicted, 1e-9) {
+			t.Fatalf("M=%d k=%d: miss %v != predicted %v", m, k, measured, predicted)
+		}
+	}
+}
+
+func TestApproxSupportSizeTracksExact(t *testing.T) {
+	f := site.Geometric(40, 1, 0.9)
+	for _, k := range []int{2, 4, 8, 16, 32, 64} {
+		exact, err := SupportSize(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := ApproxSupportSize(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First-order approximation: allow a small absolute slack that
+		// shrinks relative to W.
+		diff := exact - approx
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 2+exact/5 {
+			t.Errorf("k=%d: exact W=%d, approx=%d", k, exact, approx)
+		}
+	}
+}
+
+func TestSupportSizeMonotoneInK(t *testing.T) {
+	f := site.Zipf(25, 1, 1)
+	prev := 0
+	for _, k := range []int{2, 3, 5, 9, 17, 33} {
+		w, err := SupportSize(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < prev {
+			t.Fatalf("support shrank at k=%d: %d < %d", k, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestScaledDeviationConvergesToLimitCorrection(t *testing.T) {
+	f := site.Values{1, 0.8, 0.6, 0.4}
+	want := LimitCorrection(f)
+	var prevErr float64 = math.Inf(1)
+	for _, k := range []int{8, 32, 128, 512} {
+		got, err := ScaledDeviation(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for x := range got {
+			if d := math.Abs(got[x] - want[x]); d > worst {
+				worst = d
+			}
+		}
+		if worst > prevErr+1e-9 {
+			t.Fatalf("k=%d: deviation error grew: %v after %v", k, worst, prevErr)
+		}
+		prevErr = worst
+	}
+	if prevErr > 0.02 {
+		t.Errorf("limit error at k=512 still %v", prevErr)
+	}
+}
+
+func TestScaledDeviationRequiresFullSupport(t *testing.T) {
+	f := site.Geometric(30, 1, 0.2) // steep: W << M at small k
+	if _, err := ScaledDeviation(f, 2); err == nil {
+		t.Error("partial support accepted")
+	}
+}
+
+func TestLimitCorrectionZeroMean(t *testing.T) {
+	f := site.Zipf(9, 1, 1)
+	d := LimitCorrection(f)
+	var sum float64
+	for _, v := range d {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("corrections sum to %v, want 0", sum)
+	}
+	// Decreasing values => decreasing corrections.
+	for i := 1; i < len(d); i++ {
+		if d[i] > d[i-1]+1e-12 {
+			t.Fatalf("corrections not ordered at %d", i)
+		}
+	}
+}
+
+func TestPlayersForFullSupport(t *testing.T) {
+	f := site.Geometric(10, 1, 0.5)
+	kFull, err := PlayersForFullSupport(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the threshold is tight.
+	w, err := SupportSize(f, kFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 10 {
+		t.Errorf("W(kFull)=%d, want 10", w)
+	}
+	if kFull > 2 {
+		wBefore, err := SupportSize(f, kFull-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wBefore == 10 {
+			t.Errorf("threshold not minimal: W(k-1)=%d", wBefore)
+		}
+	}
+}
+
+func TestPlayersForFullSupportUniformValues(t *testing.T) {
+	// Equal values: full support at every k >= 2.
+	f := site.Uniform(5, 1)
+	kFull, err := PlayersForFullSupport(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kFull != 2 {
+		t.Errorf("kFull = %d, want 2", kFull)
+	}
+}
+
+func TestPlayersForFullSupportSingleSite(t *testing.T) {
+	kFull, err := PlayersForFullSupport(site.Values{3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kFull != 1 {
+		t.Errorf("kFull = %d, want 1", kFull)
+	}
+}
+
+func TestPlayersForFullSupportRespectsMaxK(t *testing.T) {
+	// An extremely steep landscape needs a huge k; a tiny cap must error.
+	f := site.Geometric(20, 1, 1e-6)
+	if _, err := PlayersForFullSupport(f, 4); err == nil {
+		t.Error("capped search should fail")
+	}
+}
+
+func TestApproxSupportSizeErrors(t *testing.T) {
+	if _, err := ApproxSupportSize(site.Values{1, 0.5}, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := ApproxSupportSize(site.Values{0.5, 1}, 3); err == nil {
+		t.Error("unsorted accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Package capacity implements the second relaxation the paper proposes in
+// Section 5.1: "there is a maximum capacity of consumption per individual".
+// The coverage functional generalizes to the expected group consumption
+//
+//	Consume(p) = sum_x E[ min(f(x), Cap * N_x) ],  N_x ~ Binomial(k, p(x)),
+//
+// where Cap is the most one individual can consume at a site. Cap = +Inf
+// recovers the paper's coverage (a single visitor consumes the full site);
+// finite Cap rewards sending several players to rich sites, so the
+// coverage-optimal sigma* is no longer consumption-optimal — this package
+// quantifies the divergence (experiment E15).
+package capacity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/numeric"
+	"dispersal/internal/optimize"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// Errors returned by the package.
+var (
+	ErrCap     = errors.New("capacity: per-individual capacity must be positive")
+	ErrPlayers = errors.New("capacity: player count k must be >= 1")
+	ErrDim     = errors.New("capacity: strategy and value dimensions differ")
+)
+
+// Consumption returns the expected group consumption of symmetric strategy
+// p with per-individual capacity cap. cap = math.Inf(1) reproduces
+// coverage.Cover exactly.
+func Consumption(f site.Values, p strategy.Strategy, k int, cap float64) (float64, error) {
+	if len(f) != len(p) {
+		return 0, ErrDim
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	if cap <= 0 || math.IsNaN(cap) {
+		return 0, fmt.Errorf("%w: cap=%v", ErrCap, cap)
+	}
+	if math.IsInf(cap, 1) {
+		return coverage.Cover(f, p, k), nil
+	}
+	var acc numeric.Accumulator
+	for x := range f {
+		acc.Add(siteConsumption(f[x], p[x], k, cap))
+	}
+	return acc.Sum(), nil
+}
+
+// siteConsumption is E[min(fx, cap*N)] with N ~ Binomial(k, q).
+func siteConsumption(fx, q float64, k int, cap float64) float64 {
+	// Visitors beyond ceil(fx/cap) add nothing; exploit that to shorten
+	// the sum when cap is large.
+	full := int(math.Ceil(fx / cap))
+	var acc numeric.Accumulator
+	tailMass := 1.0 // P[N >= full]
+	for n := 0; n < full && n <= k; n++ {
+		w := numeric.BinomialPMF(k, n, q)
+		acc.Add(w * cap * float64(n))
+		tailMass -= w
+	}
+	if full <= k && tailMass > 0 {
+		acc.Add(tailMass * fx)
+	}
+	return acc.Sum()
+}
+
+// marginal returns the derivative of siteConsumption with respect to q:
+// d/dq E[phi(N)] = k * E[phi(N'+1) - phi(N')], N' ~ Binomial(k-1, q), with
+// phi(n) = min(fx, cap*n).
+func marginal(fx, q float64, k int, cap float64) float64 {
+	phi := func(n int) float64 { return math.Min(fx, cap*float64(n)) }
+	var acc numeric.Accumulator
+	for n := 0; n <= k-1; n++ {
+		w := numeric.BinomialPMF(k-1, n, q)
+		if w == 0 {
+			continue
+		}
+		acc.Add(w * (phi(n+1) - phi(n)))
+	}
+	return float64(k) * acc.Sum()
+}
+
+// MaxConsumption returns the symmetric strategy maximizing Consumption and
+// its value. The objective is separable and concave in p (min(f, cap*n) is
+// concave in n, and binomial expectations of concave functions are concave
+// in the success probability), so projected gradient from the uniform
+// start converges to the global optimum; extra starts guard the boundary.
+func MaxConsumption(f site.Values, k int, cap float64) (strategy.Strategy, float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if k < 1 {
+		return nil, 0, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	if cap <= 0 || math.IsNaN(cap) {
+		return nil, 0, fmt.Errorf("%w: cap=%v", ErrCap, cap)
+	}
+	m := len(f)
+	if math.IsInf(cap, 1) {
+		p, _, err := optimize.MaxCoverage(f, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, coverage.Cover(f, p, k), nil
+	}
+	obj := func(p strategy.Strategy) float64 {
+		var acc numeric.Accumulator
+		for x := range p {
+			acc.Add(siteConsumption(f[x], p[x], k, cap))
+		}
+		return acc.Sum()
+	}
+	grad := func(p strategy.Strategy, g []float64) {
+		for x := range p {
+			g[x] = marginal(f[x], p[x], k, cap)
+		}
+	}
+	starts := []strategy.Strategy{
+		strategy.Uniform(m),
+		strategy.UniformFirst(m, minInt(k, m)),
+		strategy.Delta(m, 0),
+	}
+	if sigma, _, err := optimize.MaxCoverage(f, k); err == nil {
+		starts = append(starts, sigma)
+	}
+	if prop, err := strategy.Proportional(f); err == nil {
+		starts = append(starts, prop)
+	}
+	var best strategy.Strategy
+	bestVal := math.Inf(-1)
+	for _, s := range starts {
+		p, v := optimize.ProjectedGradient(obj, grad, s, optimize.PGOptions{MaxIter: 5000})
+		if v > bestVal {
+			best, bestVal = p.Clone(), v
+		}
+	}
+	return best, bestVal, nil
+}
+
+// SigmaStarGap reports how far the paper's sigma* falls below the
+// consumption optimum at capacity cap: it returns Consumption(sigma*),
+// the optimal consumption, and their ratio (<= 1).
+func SigmaStarGap(f site.Values, k int, cap float64) (sigmaCons, optCons, ratio float64, err error) {
+	sigma, _, err := optimize.MaxCoverage(f, k)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sigmaCons, err = Consumption(f, sigma, k, cap)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	_, optCons, err = MaxConsumption(f, k, cap)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if optCons <= 0 {
+		return sigmaCons, optCons, 1, nil
+	}
+	return sigmaCons, optCons, sigmaCons / optCons, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

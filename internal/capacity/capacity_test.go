@@ -1,0 +1,241 @@
+package capacity
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/numeric"
+	"dispersal/internal/optimize"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+func TestInfiniteCapacityEqualsCoverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 5))
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + rng.IntN(10)
+		k := 1 + rng.IntN(8)
+		f := site.Random(rng, m, 0.2, 3)
+		p := randomStrategy(rng, m)
+		got, err := Consumption(f, p, k, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := coverage.Cover(f, p, k)
+		if !numeric.AlmostEqual(got, want, 1e-10) {
+			t.Fatalf("inf-cap consumption %v != coverage %v", got, want)
+		}
+	}
+}
+
+func TestLargeFiniteCapacityApproachesCoverage(t *testing.T) {
+	f := site.Values{1, 0.5}
+	p := strategy.Uniform(2)
+	got, err := Consumption(f, p, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := coverage.Cover(f, p, 3)
+	if !numeric.AlmostEqual(got, want, 1e-9) {
+		t.Errorf("cap=100: %v vs %v", got, want)
+	}
+}
+
+func TestConsumptionHandComputed(t *testing.T) {
+	// One site of value 1, k=2, cap=0.4, p=(1): N=2 surely, consumption
+	// min(1, 0.8) = 0.8.
+	f := site.Values{1}
+	p := strategy.Strategy{1}
+	got, err := Consumption(f, p, 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 0.8, 1e-12) {
+		t.Errorf("consumption = %v, want 0.8", got)
+	}
+	// cap=0.6: min(1, 1.2) = 1.
+	got, err = Consumption(f, p, 2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("consumption = %v, want 1", got)
+	}
+}
+
+func TestConsumptionBinomialMixture(t *testing.T) {
+	// Two sites, k=2, p=(1/2,1/2), cap=0.3, f=(1, 1).
+	// Per site: N ~ Bin(2, 1/2): P(0)=1/4 -> 0, P(1)=1/2 -> 0.3, P(2)=1/4 -> 0.6.
+	// E = 0.15+0.15 = 0.3 per site, 0.6 total.
+	f := site.Values{1, 1}
+	p := strategy.Uniform(2)
+	got, err := Consumption(f, p, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 0.6, 1e-12) {
+		t.Errorf("consumption = %v, want 0.6", got)
+	}
+}
+
+func TestConsumptionMonotoneInCap(t *testing.T) {
+	f := site.Geometric(4, 1, 0.6)
+	p := strategy.Uniform(4)
+	prev := 0.0
+	for _, cap := range []float64{0.05, 0.1, 0.2, 0.5, 1, 5} {
+		got, err := Consumption(f, p, 3, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Fatalf("consumption decreased at cap=%v", cap)
+		}
+		prev = got
+	}
+}
+
+func TestConsumptionErrors(t *testing.T) {
+	f := site.Values{1, 0.5}
+	if _, err := Consumption(f, strategy.Uniform(3), 2, 1); !errors.Is(err, ErrDim) {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := Consumption(f, strategy.Uniform(2), 0, 1); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Consumption(f, strategy.Uniform(2), 2, 0); !errors.Is(err, ErrCap) {
+		t.Error("cap=0 accepted")
+	}
+	if _, err := Consumption(f, strategy.Uniform(2), 2, math.NaN()); !errors.Is(err, ErrCap) {
+		t.Error("NaN cap accepted")
+	}
+}
+
+func TestMarginalMatchesFiniteDifference(t *testing.T) {
+	for _, cap := range []float64{0.2, 0.5, 2} {
+		for _, q := range []float64{0.1, 0.4, 0.8} {
+			h := 1e-6
+			fd := (siteConsumption(1, q+h, 5, cap) - siteConsumption(1, q-h, 5, cap)) / (2 * h)
+			got := marginal(1, q, 5, cap)
+			if !numeric.AlmostEqual(got, fd, 1e-4) {
+				t.Errorf("cap=%v q=%v: marginal %v, fd %v", cap, q, got, fd)
+			}
+		}
+	}
+}
+
+func TestMaxConsumptionInfiniteCapMatchesSigmaStar(t *testing.T) {
+	f := site.Geometric(6, 1, 0.7)
+	k := 3
+	p, v, err := MaxConsumption(f, k, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, _, err := optimize.MaxCoverage(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.LInf(sigma); d > 1e-9 {
+		t.Errorf("inf-cap optimum differs from sigma* by %v", d)
+	}
+	if !numeric.AlmostEqual(v, coverage.Cover(f, sigma, k), 1e-9) {
+		t.Errorf("value %v", v)
+	}
+}
+
+func TestMaxConsumptionBeatsSigmaStarAtSmallCap(t *testing.T) {
+	// With a tight per-individual capacity and a dominant site, the
+	// optimal plan sends more players to the rich site than sigma* does.
+	f := site.Values{1, 0.1}
+	k := 4
+	cap := 0.25
+	sCons, optCons, ratio, err := SigmaStarGap(f, k, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio >= 1-1e-6 {
+		t.Errorf("expected a strict gap: sigma* %v, optimum %v, ratio %v", sCons, optCons, ratio)
+	}
+	if sCons > optCons+1e-9 {
+		t.Errorf("sigma* exceeds the optimum: %v > %v", sCons, optCons)
+	}
+}
+
+func TestMaxConsumptionIsActuallyOptimal(t *testing.T) {
+	// Grid-check on a 2-site game that PGA found the global optimum.
+	f := site.Values{1, 0.4}
+	k := 3
+	cap := 0.3
+	_, v, err := MaxConsumption(f, k, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for i := 0; i <= 1000; i++ {
+		q := float64(i) / 1000
+		c, err := Consumption(f, strategy.Strategy{q, 1 - q}, k, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > best {
+			best = c
+		}
+	}
+	if v < best-1e-6 {
+		t.Errorf("PGA value %v below grid best %v", v, best)
+	}
+}
+
+func TestSigmaStarGapVanishesAtExtremesPeaksBetween(t *testing.T) {
+	// The sigma*-vs-optimum consumption gap is non-monotone in cap: with a
+	// tiny capacity consumption is ~cap*k for every strategy (ratio 1);
+	// with a huge capacity consumption is coverage, which sigma* optimizes
+	// (ratio 1); in between sigma* is strictly suboptimal.
+	f := site.Values{1, 0.3}
+	k := 3
+	ratioAt := func(cap float64) float64 {
+		_, _, ratio, err := SigmaStarGap(f, k, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio > 1+1e-9 {
+			t.Fatalf("ratio %v above 1 at cap=%v", ratio, cap)
+		}
+		return ratio
+	}
+	if r := ratioAt(0.001); !numeric.AlmostEqual(r, 1, 1e-4) {
+		t.Errorf("tiny-cap ratio = %v, want ~1", r)
+	}
+	if r := ratioAt(100); !numeric.AlmostEqual(r, 1, 1e-6) {
+		t.Errorf("large-cap ratio = %v, want 1", r)
+	}
+	if r := ratioAt(0.3); r >= 1-1e-4 {
+		t.Errorf("mid-cap ratio = %v, want a strict gap", r)
+	}
+}
+
+func TestMaxConsumptionErrors(t *testing.T) {
+	if _, _, err := MaxConsumption(site.Values{0.5, 1}, 2, 1); err == nil {
+		t.Error("unsorted f accepted")
+	}
+	if _, _, err := MaxConsumption(site.Values{1}, 0, 1); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := MaxConsumption(site.Values{1}, 2, -1); !errors.Is(err, ErrCap) {
+		t.Error("negative cap accepted")
+	}
+}
+
+func randomStrategy(rng *rand.Rand, m int) strategy.Strategy {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = rng.ExpFloat64() + 1e-9
+	}
+	p, err := strategy.FromWeights(w)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,90 @@
+// Package cliutil holds the flag-parsing helpers shared by the cmd/ tools:
+// parsing comma-separated site values and congestion-policy specs.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+// ParseValues parses a comma-separated list of site values, e.g. "1,0.5,.2",
+// and validates the site.Values conventions.
+func ParseValues(s string) (site.Values, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cliutil: empty value list")
+	}
+	parts := strings.Split(s, ",")
+	f := make(site.Values, 0, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: value %d (%q): %w", i+1, p, err)
+		}
+		f = append(f, v)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParsePolicy parses a congestion-policy spec:
+//
+//	exclusive | sharing | constant
+//	twopoint:<c2> | powerlaw:<beta> | cooperative:<gamma> | aggressive:<penalty>
+func ParsePolicy(s string) (policy.Congestion, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(strings.ToLower(s)), ":")
+	parseArg := func() (float64, error) {
+		if !hasArg {
+			return 0, fmt.Errorf("cliutil: policy %q requires a parameter (e.g. %q)", name, name+":0.5")
+		}
+		return strconv.ParseFloat(arg, 64)
+	}
+	switch name {
+	case "exclusive", "exc":
+		return policy.Exclusive{}, nil
+	case "sharing", "share":
+		return policy.Sharing{}, nil
+	case "constant", "const":
+		return policy.Constant{}, nil
+	case "twopoint", "cc":
+		v, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return policy.TwoPoint{C2: v}, nil
+	case "powerlaw":
+		v, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return policy.PowerLaw{Beta: v}, nil
+	case "cooperative", "coop":
+		v, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return policy.Cooperative{Gamma: v}, nil
+	case "aggressive", "aggr":
+		v, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return policy.Aggressive{Penalty: v}, nil
+	default:
+		return nil, fmt.Errorf("cliutil: unknown policy %q (want exclusive, sharing, constant, twopoint:<c>, powerlaw:<b>, cooperative:<g>, aggressive:<p>)", s)
+	}
+}
+
+// FormatStrategy renders a strategy vector compactly for terminal output.
+func FormatStrategy(p []float64) string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = strconv.FormatFloat(v, 'f', 6, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

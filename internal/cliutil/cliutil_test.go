@@ -1,0 +1,82 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"dispersal/internal/policy"
+)
+
+func TestParseValues(t *testing.T) {
+	f, err := ParseValues("1, 0.5 ,0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 3 || f[0] != 1 || f[1] != 0.5 || f[2] != 0.2 {
+		t.Errorf("parsed %v", f)
+	}
+}
+
+func TestParseValuesErrors(t *testing.T) {
+	cases := []string{"", "  ", "1,abc", "0.5,1", "1,-1", "1,,2"}
+	for _, s := range cases {
+		if _, err := ParseValues(s); err == nil {
+			t.Errorf("ParseValues(%q) accepted", s)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+	}{
+		{"exclusive", "exclusive"},
+		{"EXC", "exclusive"},
+		{"sharing", "sharing"},
+		{"share", "sharing"},
+		{"constant", "constant"},
+		{"twopoint:0.25", "twopoint(c=0.25)"},
+		{"cc:-0.5", "twopoint(c=-0.5)"},
+		{"powerlaw:2", "powerlaw(beta=2)"},
+		{"cooperative:0.9", "cooperative(gamma=0.9)"},
+		{"aggr:1.5", "aggressive(penalty=1.5)"},
+	}
+	for _, c := range cases {
+		p, err := ParsePolicy(c.in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", c.in, err)
+			continue
+		}
+		if p.Name() != c.name {
+			t.Errorf("ParsePolicy(%q) = %s, want %s", c.in, p.Name(), c.name)
+		}
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, s := range []string{"bogus", "twopoint", "twopoint:x", "powerlaw:", ""} {
+		if _, err := ParsePolicy(s); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", s)
+		}
+	}
+}
+
+func TestParsePolicyRoundTripsThroughValidate(t *testing.T) {
+	for _, s := range []string{"exclusive", "sharing", "constant", "twopoint:0.3", "powerlaw:1.5", "cooperative:0.8", "aggressive:0.5"} {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := policy.Validate(p, 10); err != nil {
+			t.Errorf("%q parses to invalid policy: %v", s, err)
+		}
+	}
+}
+
+func TestFormatStrategy(t *testing.T) {
+	s := FormatStrategy([]float64{0.5, 0.5})
+	if !strings.HasPrefix(s, "[0.5") || !strings.HasSuffix(s, "]") {
+		t.Errorf("FormatStrategy = %q", s)
+	}
+}

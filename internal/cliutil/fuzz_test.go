@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"testing"
+)
+
+// FuzzParseValues asserts the parser never panics and that anything it
+// accepts is a valid site.Values vector.
+func FuzzParseValues(f *testing.F) {
+	for _, seed := range []string{
+		"1,0.5", "1", "", "1,0.5,0.25", "1,,2", "abc", "1e9,1e-9",
+		"-1,-2", "0.5, 0.5", "inf,nan", "1,0.999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		vals, err := ParseValues(s)
+		if err != nil {
+			return
+		}
+		if err := vals.Validate(); err != nil {
+			t.Fatalf("ParseValues(%q) returned invalid values %v: %v", s, vals, err)
+		}
+	})
+}
+
+// FuzzParsePolicy asserts the policy parser never panics and that accepted
+// policies satisfy the congestion axioms.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"exclusive", "sharing", "constant", "twopoint:0.3", "twopoint:-0.5",
+		"powerlaw:2", "cooperative:0.9", "aggressive:1", "bogus", ":", "twopoint:",
+		"POWERLAW:1.5", "aggr:0", "coop:1e-9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		if c.At(1) != 1 {
+			t.Fatalf("ParsePolicy(%q) accepted a policy with C(1) = %v", s, c.At(1))
+		}
+	})
+}

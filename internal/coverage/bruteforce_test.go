@@ -1,0 +1,193 @@
+package coverage
+
+// Brute-force validation: for small games, every analytic quantity in this
+// package is recomputed by exhaustive enumeration over all joint site
+// choices, weighting each profile by its probability. This is the ground
+// truth the closed forms must match.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// enumerate iterates all M^n assignments of n players to M sites, calling
+// visit with the assignment and its probability under the per-player
+// distributions probs (probs[i] is player i's strategy).
+func enumerate(m, n int, probs []strategy.Strategy, visit func(assign []int, p float64)) {
+	assign := make([]int, n)
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= m
+	}
+	for idx := 0; idx < total; idx++ {
+		v := idx
+		p := 1.0
+		for i := 0; i < n; i++ {
+			assign[i] = v % m
+			v /= m
+			p *= probs[i][assign[i]]
+		}
+		if p > 0 {
+			visit(assign, p)
+		}
+	}
+}
+
+func repeatStrategy(p strategy.Strategy, n int) []strategy.Strategy {
+	out := make([]strategy.Strategy, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func TestCoverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 1))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.IntN(3)
+		k := 1 + rng.IntN(4)
+		f := site.Random(rng, m, 0.2, 2)
+		p := randomStrategy(rng, m)
+		var want numeric.Accumulator
+		enumerate(m, k, repeatStrategy(p, k), func(assign []int, prob float64) {
+			seen := map[int]bool{}
+			var cov float64
+			for _, x := range assign {
+				if !seen[x] {
+					seen[x] = true
+					cov += f[x]
+				}
+			}
+			want.Add(prob * cov)
+		})
+		if got := Cover(f, p, k); !numeric.AlmostEqual(got, want.Sum(), 1e-10) {
+			t.Fatalf("M=%d k=%d: Cover %v != brute force %v", m, k, got, want.Sum())
+		}
+	}
+}
+
+func TestSiteValueMatchesBruteForce(t *testing.T) {
+	// nu_p(x): focal player fixed at x, k-1 opponents play p.
+	rng := rand.New(rand.NewPCG(100, 2))
+	policies := []policy.Congestion{
+		policy.Exclusive{}, policy.Sharing{}, policy.Constant{},
+		policy.TwoPoint{C2: -0.3}, policy.Cooperative{Gamma: 0.8},
+	}
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.IntN(3)
+		k := 2 + rng.IntN(3)
+		f := site.Random(rng, m, 0.2, 2)
+		p := randomStrategy(rng, m)
+		for _, c := range policies {
+			for x := 0; x < m; x++ {
+				var want numeric.Accumulator
+				enumerate(m, k-1, repeatStrategy(p, k-1), func(assign []int, prob float64) {
+					l := 1
+					for _, y := range assign {
+						if y == x {
+							l++
+						}
+					}
+					want.Add(prob * policy.Reward(c, f[x], l))
+				})
+				if got := SiteValue(f, p, k, c, x); !numeric.AlmostEqual(got, want.Sum(), 1e-10) {
+					t.Fatalf("%s M=%d k=%d x=%d: %v != %v", c.Name(), m, k, x, got, want.Sum())
+				}
+			}
+		}
+	}
+}
+
+func TestCrossPayoffMatchesBruteForce(t *testing.T) {
+	// E(rho; sigma^a, pi^b): focal player plays rho, a opponents sigma, b
+	// opponents pi.
+	rng := rand.New(rand.NewPCG(100, 3))
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.IntN(2)
+		a := rng.IntN(3)
+		b := rng.IntN(3)
+		f := site.Random(rng, m, 0.2, 2)
+		rho := randomStrategy(rng, m)
+		sigma := randomStrategy(rng, m)
+		pi := randomStrategy(rng, m)
+		for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}, policy.Aggressive{Penalty: 0.4}} {
+			probs := make([]strategy.Strategy, 0, 1+a+b)
+			probs = append(probs, rho)
+			for i := 0; i < a; i++ {
+				probs = append(probs, sigma)
+			}
+			for i := 0; i < b; i++ {
+				probs = append(probs, pi)
+			}
+			var want numeric.Accumulator
+			enumerate(m, 1+a+b, probs, func(assign []int, prob float64) {
+				x := assign[0]
+				l := 0
+				for _, y := range assign {
+					if y == x {
+						l++
+					}
+				}
+				want.Add(prob * policy.Reward(c, f[x], l))
+			})
+			got, err := CrossPayoff(f, c, rho, sigma, pi, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !numeric.AlmostEqual(got, want.Sum(), 1e-10) {
+				t.Fatalf("%s M=%d a=%d b=%d: %v != %v", c.Name(), m, a, b, got, want.Sum())
+			}
+		}
+	}
+}
+
+func TestInvasionPayoffMatchesBruteForceOverTypes(t *testing.T) {
+	// U[rho; (1-eps)sigma + eps*pi]: each opponent independently is a
+	// pi-player with probability eps; enumerate both the type vector and
+	// the site assignment.
+	f := site.Values{1, 0.5}
+	rho := strategy.Strategy{0.6, 0.4}
+	sigma := strategy.Strategy{0.8, 0.2}
+	pi := strategy.Strategy{0.1, 0.9}
+	k := 3
+	eps := 0.3
+	c := policy.Sharing{}
+
+	var want numeric.Accumulator
+	// Opponent type vectors: 2^(k-1).
+	for types := 0; types < 1<<(k-1); types++ {
+		typeProb := 1.0
+		probs := []strategy.Strategy{rho}
+		for i := 0; i < k-1; i++ {
+			if types&(1<<i) != 0 {
+				typeProb *= eps
+				probs = append(probs, pi)
+			} else {
+				typeProb *= 1 - eps
+				probs = append(probs, sigma)
+			}
+		}
+		enumerate(len(f), k, probs, func(assign []int, prob float64) {
+			x := assign[0]
+			l := 0
+			for _, y := range assign {
+				if y == x {
+					l++
+				}
+			}
+			want.Add(typeProb * prob * policy.Reward(c, f[x], l))
+		})
+	}
+	got, err := InvasionPayoff(f, c, k, rho, sigma, pi, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, want.Sum(), 1e-10) {
+		t.Fatalf("InvasionPayoff %v != brute force %v", got, want.Sum())
+	}
+}

@@ -1,0 +1,210 @@
+// Package coverage implements the payoff and welfare calculus of the
+// dispersal game: the coverage functional Cover(p), the site values nu_p(x)
+// (Eq. 2 of the paper), expected individual payoffs, and the exact
+// cross-strategy payoffs E(rho; sigma^a, pi^b) needed by the ESS analysis.
+//
+// All quantities here are exact expectations (no sampling); the Monte-Carlo
+// engine in internal/game validates them empirically.
+package coverage
+
+import (
+	"errors"
+	"fmt"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// Validation errors.
+var (
+	ErrDim     = errors.New("coverage: strategy and value lengths differ")
+	ErrPlayers = errors.New("coverage: player count k must be >= 1")
+)
+
+// check validates the common (f, p, k) argument triple.
+func check(f site.Values, p strategy.Strategy, k int) error {
+	if len(f) != len(p) {
+		return fmt.Errorf("%w: M=%d sites, strategy over %d", ErrDim, len(f), len(p))
+	}
+	if k < 1 {
+		return fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	return nil
+}
+
+// Cover returns the expected weighted coverage of symmetric strategy p with
+// k players (Eq. 1):
+//
+//	Cover(p) = sum_x f(x) * (1 - (1-p(x))^k).
+func Cover(f site.Values, p strategy.Strategy, k int) float64 {
+	var acc numeric.Accumulator
+	for x := range f {
+		acc.Add(f[x] * (1 - numeric.PowOneMinus(p[x], k)))
+	}
+	return acc.Sum()
+}
+
+// CoverChecked is Cover with argument validation.
+func CoverChecked(f site.Values, p strategy.Strategy, k int) (float64, error) {
+	if err := check(f, p, k); err != nil {
+		return 0, err
+	}
+	return Cover(f, p, k), nil
+}
+
+// Miss returns T(p) = sum_x f(x) * (1-p(x))^k, the expected value left
+// uncovered. Maximizing Cover is equivalent to minimizing Miss (Section 2.2).
+func Miss(f site.Values, p strategy.Strategy, k int) float64 {
+	var acc numeric.Accumulator
+	for x := range f {
+		acc.Add(f[x] * numeric.PowOneMinus(p[x], k))
+	}
+	return acc.Sum()
+}
+
+// SiteValue returns nu_p(x) (Eq. 2): the expected payoff for exploring site
+// x (0-based) when each of the other k-1 players independently plays p,
+// under reward policy I(x, l) = f(x) * C(l):
+//
+//	nu_p(x) = sum_{l=1..k} I(x, l) * P[Binomial(k-1, p(x)) == l-1].
+func SiteValue(f site.Values, p strategy.Strategy, k int, c policy.Congestion, x int) float64 {
+	q := p[x]
+	var acc numeric.Accumulator
+	for l := 1; l <= k; l++ {
+		w := numeric.BinomialPMF(k-1, l-1, q)
+		if w == 0 {
+			continue
+		}
+		acc.Add(policy.Reward(c, f[x], l) * w)
+	}
+	return acc.Sum()
+}
+
+// SiteValues returns nu_p(x) for every site.
+func SiteValues(f site.Values, p strategy.Strategy, k int, c policy.Congestion) []float64 {
+	out := make([]float64, len(f))
+	for x := range f {
+		out[x] = SiteValue(f, p, k, c, x)
+	}
+	return out
+}
+
+// ExclusiveSiteValue is the closed form of nu_p(x) under the exclusive
+// policy: f(x) * (1 - p(x))^(k-1) (Section 2.1). It is used on hot paths and
+// cross-checked against SiteValue in the tests.
+func ExclusiveSiteValue(f site.Values, p strategy.Strategy, k, x int) float64 {
+	return f[x] * numeric.PowOneMinus(p[x], k-1)
+}
+
+// ExpectedPayoff returns the expected payoff of a focal player playing rho
+// while the other k-1 players play p: sum_x rho(x) * nu_p(x). With rho == p
+// this is the symmetric-profile individual welfare (the quantity maximized
+// by the blue curve of Figure 1).
+func ExpectedPayoff(f site.Values, rho, p strategy.Strategy, k int, c policy.Congestion) float64 {
+	var acc numeric.Accumulator
+	for x := range f {
+		if rho[x] == 0 {
+			continue
+		}
+		acc.Add(rho[x] * SiteValue(f, p, k, c, x))
+	}
+	return acc.Sum()
+}
+
+// CrossPayoff returns the exact payoff E(rho; sigma^a, pi^b) of a focal
+// player using rho against a opponents playing sigma and b opponents playing
+// pi, with a + b == k - 1 (Section 1.4). The occupancy of the focal site
+// among opponents is the sum of two independent binomials, expanded exactly:
+//
+//	E = sum_x rho(x) sum_{i<=a} sum_{j<=b}
+//	     Bin(a,i,sigma(x)) * Bin(b,j,pi(x)) * f(x) * C(1+i+j).
+//
+// Complexity O(M * a * b).
+func CrossPayoff(f site.Values, c policy.Congestion, rho, sigma, pi strategy.Strategy, a, b int) (float64, error) {
+	if len(f) != len(rho) || len(f) != len(sigma) || len(f) != len(pi) {
+		return 0, ErrDim
+	}
+	if a < 0 || b < 0 {
+		return 0, fmt.Errorf("%w: a=%d b=%d", ErrPlayers, a, b)
+	}
+	var acc numeric.Accumulator
+	for x := range f {
+		r := rho[x]
+		if r == 0 {
+			continue
+		}
+		var inner numeric.Accumulator
+		for i := 0; i <= a; i++ {
+			wi := numeric.BinomialPMF(a, i, sigma[x])
+			if wi == 0 {
+				continue
+			}
+			for j := 0; j <= b; j++ {
+				wj := numeric.BinomialPMF(b, j, pi[x])
+				if wj == 0 {
+					continue
+				}
+				inner.Add(wi * wj * policy.Reward(c, f[x], 1+i+j))
+			}
+		}
+		acc.Add(r * inner.Sum())
+	}
+	return acc.Sum(), nil
+}
+
+// InvasionPayoff returns U[rho; (1-eps)sigma + eps*pi] (Eq. 3): the average
+// payoff of a rho-player matched against k-1 opponents drawn from a
+// population with a (1-eps) fraction of sigma-players and eps of pi-players.
+// It expands Eq. 3 term by term over the number of pi-opponents.
+func InvasionPayoff(f site.Values, c policy.Congestion, k int, rho, sigma, pi strategy.Strategy, eps float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	var acc numeric.Accumulator
+	for m := 0; m <= k-1; m++ {
+		// m opponents play pi, k-1-m play sigma.
+		w := numeric.BinomialPMF(k-1, m, eps)
+		if w == 0 {
+			continue
+		}
+		e, err := CrossPayoff(f, c, rho, sigma, pi, k-1-m, m)
+		if err != nil {
+			return 0, err
+		}
+		acc.Add(w * e)
+	}
+	return acc.Sum(), nil
+}
+
+// InvasionPayoffMixture computes the same quantity as InvasionPayoff via the
+// marginal shortcut: because congestion payoffs depend only on the count of
+// opponents at the focal site, and each opponent's site choice has marginal
+// law (1-eps)sigma + eps*pi, U equals ExpectedPayoff against the mixture.
+// The two implementations are cross-validated in the tests; this one is
+// O(M*k) instead of O(M*k^3).
+func InvasionPayoffMixture(f site.Values, c policy.Congestion, k int, rho, sigma, pi strategy.Strategy, eps float64) (float64, error) {
+	mix, err := strategy.Mix(sigma, pi, eps)
+	if err != nil {
+		return 0, err
+	}
+	if err := check(f, mix, k); err != nil {
+		return 0, err
+	}
+	return ExpectedPayoff(f, rho, mix, k, c), nil
+}
+
+// BestAchievable returns sum_{x<=k} f(x), the coverage of a fully
+// coordinated assignment of the k players to the k best sites — the
+// comparator of Observation 1.
+func BestAchievable(f site.Values, k int) float64 {
+	return f.PrefixSum(k)
+}
+
+// ObservationOneBound returns (1 - 1/e) * BestAchievable(f, k), the lower
+// bound that Cover(p*) must exceed by Observation 1.
+func ObservationOneBound(f site.Values, k int) float64 {
+	const oneMinusInvE = 1 - 1/2.718281828459045235360287471352662497757
+	return oneMinusInvE * BestAchievable(f, k)
+}

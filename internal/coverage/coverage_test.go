@@ -1,0 +1,326 @@
+package coverage
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+func TestCoverHandComputed(t *testing.T) {
+	f := site.Values{1, 0.3}
+	p := strategy.Strategy{0.5, 0.5}
+	// k=2: 1*(1-0.25) + 0.3*(1-0.25) = 0.975.
+	if got := Cover(f, p, 2); !numeric.AlmostEqual(got, 0.975, 1e-12) {
+		t.Errorf("Cover = %v, want 0.975", got)
+	}
+	// k=1: 1*0.5 + 0.3*0.5 = 0.65.
+	if got := Cover(f, p, 1); !numeric.AlmostEqual(got, 0.65, 1e-12) {
+		t.Errorf("Cover k=1 = %v, want 0.65", got)
+	}
+}
+
+func TestCoverPointMass(t *testing.T) {
+	f := site.Values{2, 1}
+	p := strategy.Delta(2, 0)
+	// Everyone on site 1: coverage = f(1) regardless of k.
+	for _, k := range []int{1, 2, 10} {
+		if got := Cover(f, p, k); !numeric.AlmostEqual(got, 2, 1e-12) {
+			t.Errorf("k=%d Cover = %v, want 2", k, got)
+		}
+	}
+}
+
+func TestCoverPlusMissIsTotal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.IntN(20)
+		k := 1 + rng.IntN(10)
+		f := site.Random(rng, m, 0.1, 5)
+		p := randomStrategy(rng, m)
+		total := f.Sum()
+		if got := Cover(f, p, k) + Miss(f, p, k); !numeric.AlmostEqual(got, total, 1e-9) {
+			t.Fatalf("Cover+Miss = %v, want %v", got, total)
+		}
+	}
+}
+
+func TestCoverMonotoneInK(t *testing.T) {
+	f := site.Geometric(5, 1, 0.7)
+	p := strategy.Uniform(5)
+	prev := 0.0
+	for k := 1; k <= 12; k++ {
+		c := Cover(f, p, k)
+		if c < prev-1e-12 {
+			t.Fatalf("coverage decreased at k=%d: %v < %v", k, c, prev)
+		}
+		prev = c
+	}
+	// And approaches the full total.
+	if got := Cover(f, p, 500); !numeric.AlmostEqual(got, f.Sum(), 1e-6) {
+		t.Errorf("large-k coverage = %v, want ~%v", got, f.Sum())
+	}
+}
+
+func TestCoverChecked(t *testing.T) {
+	f := site.Values{1, 0.5}
+	if _, err := CoverChecked(f, strategy.Uniform(3), 2); !errors.Is(err, ErrDim) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+	if _, err := CoverChecked(f, strategy.Uniform(2), 0); !errors.Is(err, ErrPlayers) {
+		t.Errorf("k=0: %v", err)
+	}
+	if got, err := CoverChecked(f, strategy.Uniform(2), 2); err != nil || got <= 0 {
+		t.Errorf("valid call: %v, %v", got, err)
+	}
+}
+
+func TestSiteValueExclusiveClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	c := policy.Exclusive{}
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.IntN(10)
+		k := 1 + rng.IntN(12)
+		f := site.Random(rng, m, 0.1, 3)
+		p := randomStrategy(rng, m)
+		for x := range f {
+			general := SiteValue(f, p, k, c, x)
+			closed := ExclusiveSiteValue(f, p, k, x)
+			if !numeric.AlmostEqual(general, closed, 1e-10) {
+				t.Fatalf("x=%d k=%d: general %v != closed %v", x, k, general, closed)
+			}
+		}
+	}
+}
+
+func TestSiteValueSharingTwoPlayers(t *testing.T) {
+	// k=2 sharing: nu(x) = f(x) * [(1-q) + q/2] = f(x)(1 - q/2).
+	f := site.Values{1, 0.5}
+	p := strategy.Strategy{0.6, 0.4}
+	for x := range f {
+		want := f[x] * (1 - p[x]/2)
+		if got := SiteValue(f, p, 2, policy.Sharing{}, x); !numeric.AlmostEqual(got, want, 1e-12) {
+			t.Errorf("x=%d: %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestSiteValueConstantPolicy(t *testing.T) {
+	// C == 1: nu(x) = f(x) always.
+	f := site.Geometric(4, 1, 0.5)
+	p := strategy.Uniform(4)
+	for x := range f {
+		if got := SiteValue(f, p, 7, policy.Constant{}, x); !numeric.AlmostEqual(got, f[x], 1e-12) {
+			t.Errorf("x=%d: %v, want %v", x, got, f[x])
+		}
+	}
+}
+
+func TestSiteValuesVector(t *testing.T) {
+	f := site.Values{1, 0.3}
+	p := strategy.Strategy{0.7, 0.3}
+	vs := SiteValues(f, p, 2, policy.Exclusive{})
+	if len(vs) != 2 {
+		t.Fatalf("len = %d", len(vs))
+	}
+	if !numeric.AlmostEqual(vs[0], 0.3, 1e-12) || !numeric.AlmostEqual(vs[1], 0.21, 1e-12) {
+		t.Errorf("SiteValues = %v", vs)
+	}
+}
+
+func TestExpectedPayoffSingleSite(t *testing.T) {
+	// One site, k players, sharing: payoff = f * E[1/(1+Bin(k-1,1))] = f/k.
+	f := site.Values{3}
+	p := strategy.Strategy{1}
+	for _, k := range []int{1, 2, 5} {
+		want := 3 / float64(k)
+		if got := ExpectedPayoff(f, p, p, k, policy.Sharing{}); !numeric.AlmostEqual(got, want, 1e-12) {
+			t.Errorf("k=%d: %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCrossPayoffDegeneratesToExpectedPayoff(t *testing.T) {
+	// E(rho; p^{k-1}, pi^0) must equal ExpectedPayoff(rho against p).
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.IntN(8)
+		k := 1 + rng.IntN(8)
+		f := site.Random(rng, m, 0.1, 2)
+		rho := randomStrategy(rng, m)
+		p := randomStrategy(rng, m)
+		pi := randomStrategy(rng, m)
+		for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}, policy.TwoPoint{C2: -0.3}} {
+			got, err := CrossPayoff(f, c, rho, p, pi, k-1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ExpectedPayoff(f, rho, p, k, c)
+			if !numeric.AlmostEqual(got, want, 1e-9) {
+				t.Fatalf("%s k=%d: cross %v != expected %v", c.Name(), k, got, want)
+			}
+		}
+	}
+}
+
+func TestCrossPayoffSymmetricInOpponentSplit(t *testing.T) {
+	// When sigma == pi, the split (a, b) must not matter.
+	f := site.Values{1, 0.6, 0.2}
+	rho := strategy.Strategy{0.5, 0.3, 0.2}
+	sigma := strategy.Strategy{0.4, 0.4, 0.2}
+	c := policy.Sharing{}
+	ref, err := CrossPayoff(f, c, rho, sigma, sigma, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a <= 4; a++ {
+		got, err := CrossPayoff(f, c, rho, sigma, sigma, a, 4-a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(got, ref, 1e-10) {
+			t.Errorf("split (%d,%d): %v != %v", a, 4-a, got, ref)
+		}
+	}
+}
+
+func TestCrossPayoffErrors(t *testing.T) {
+	f := site.Values{1}
+	one := strategy.Strategy{1}
+	two := strategy.Uniform(2)
+	if _, err := CrossPayoff(f, policy.Sharing{}, two, one, one, 1, 0); !errors.Is(err, ErrDim) {
+		t.Errorf("dim: %v", err)
+	}
+	if _, err := CrossPayoff(f, policy.Sharing{}, one, one, one, -1, 0); !errors.Is(err, ErrPlayers) {
+		t.Errorf("negative a: %v", err)
+	}
+}
+
+func TestInvasionPayoffMatchesMixture(t *testing.T) {
+	// Eq. (3) expansion vs marginal-mixture shortcut: must agree exactly
+	// for congestion policies.
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + rng.IntN(6)
+		k := 2 + rng.IntN(6)
+		eps := rng.Float64()
+		f := site.Random(rng, m, 0.2, 2)
+		rho := randomStrategy(rng, m)
+		sg := randomStrategy(rng, m)
+		pi := randomStrategy(rng, m)
+		for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}, policy.Aggressive{Penalty: 0.5}} {
+			a, err := InvasionPayoff(f, c, k, rho, sg, pi, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := InvasionPayoffMixture(f, c, k, rho, sg, pi, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !numeric.AlmostEqual(a, b, 1e-9) {
+				t.Fatalf("%s k=%d eps=%v: Eq3 %v != mixture %v", c.Name(), k, eps, a, b)
+			}
+		}
+	}
+}
+
+func TestInvasionPayoffEpsZero(t *testing.T) {
+	// eps = 0 reduces to the pure resident game.
+	f := site.Values{1, 0.4}
+	sg := strategy.Strategy{0.7, 0.3}
+	pi := strategy.Strategy{0.1, 0.9}
+	got, err := InvasionPayoff(f, policy.Exclusive{}, 3, sg, sg, pi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedPayoff(f, sg, sg, 3, policy.Exclusive{})
+	if !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("eps=0: %v != %v", got, want)
+	}
+}
+
+func TestInvasionPayoffBadK(t *testing.T) {
+	f := site.Values{1}
+	one := strategy.Strategy{1}
+	if _, err := InvasionPayoff(f, policy.Sharing{}, 0, one, one, one, 0.1); !errors.Is(err, ErrPlayers) {
+		t.Errorf("k=0: %v", err)
+	}
+}
+
+func TestObservationOneBound(t *testing.T) {
+	f := site.Values{1, 1, 1}
+	want := (1 - 1/math.E) * 2
+	if got := ObservationOneBound(f, 2); !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("bound = %v, want %v", got, want)
+	}
+	if got := BestAchievable(f, 2); got != 2 {
+		t.Errorf("BestAchievable = %v", got)
+	}
+	if got := BestAchievable(f, 10); got != 3 {
+		t.Errorf("BestAchievable clamps: %v", got)
+	}
+}
+
+func TestObservationOneHoldsForUniformFirstK(t *testing.T) {
+	// The proof of Observation 1: Cover(uniform over top k) already beats
+	// the bound.
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.IntN(30)
+		k := 1 + rng.IntN(m)
+		f := site.Random(rng, m, 0.05, 4)
+		ph := strategy.UniformFirst(m, k)
+		if Cover(f, ph, k) <= ObservationOneBound(f, k)-1e-12 {
+			t.Fatalf("Observation 1 violated: M=%d k=%d", m, k)
+		}
+	}
+}
+
+func TestCoverShiftTowardUncoveredQuick(t *testing.T) {
+	// Property from the Theorem 4 proof: moving mass epsilon from a
+	// lower-marginal site to a higher-marginal one increases coverage.
+	f := site.Values{1, 0.3}
+	k := 3
+	prop := func(raw float64) bool {
+		q := 0.1 + 0.8*math.Abs(math.Mod(raw, 1))
+		p := strategy.Strategy{q, 1 - q}
+		// Marginal of site x: f(x)*k*(1-p(x))^(k-1).
+		m0 := f[0] * 3 * math.Pow(1-p[0], 2)
+		m1 := f[1] * 3 * math.Pow(1-p[1], 2)
+		eps := 1e-4
+		var shifted strategy.Strategy
+		if m0 > m1 {
+			shifted = strategy.Strategy{q + eps, 1 - q - eps}
+		} else if m1 > m0 {
+			shifted = strategy.Strategy{q - eps, 1 - q + eps}
+		} else {
+			return true
+		}
+		return Cover(f, shifted, k) > Cover(f, p, k)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomStrategy draws a Dirichlet-ish random distribution over m sites.
+func randomStrategy(rng *rand.Rand, m int) strategy.Strategy {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = rng.ExpFloat64()
+		if w[i] <= 0 {
+			w[i] = 1e-9
+		}
+	}
+	p, err := strategy.FromWeights(w)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

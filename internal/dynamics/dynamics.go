@@ -1,0 +1,468 @@
+// Package dynamics implements the evolutionary and learning dynamics used to
+// probe the stability results of the paper: replicator dynamics on the
+// strategy simplex, damped best-response iteration, and finite-population
+// Wright-Fisher invasion experiments that test ESS resistance empirically.
+//
+// The replicator flow for the symmetric dispersal game is
+//
+//	dp(x)/dt = p(x) * (nu_p(x) - sum_y p(y) nu_p(y)),
+//
+// whose interior rest points are exactly the IFD (all explored sites share
+// the same value). Observation 2 then implies trajectories converge to the
+// unique symmetric equilibrium for congestion policies, which the tests and
+// experiment E11 verify numerically.
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// Errors returned by the dynamics drivers.
+var (
+	ErrSteps    = errors.New("dynamics: step count must be >= 1")
+	ErrStepSize = errors.New("dynamics: step size must be positive")
+	ErrPop      = errors.New("dynamics: population size must be >= 2")
+)
+
+// ReplicatorOptions configure Replicator.
+type ReplicatorOptions struct {
+	// Steps is the number of Euler steps (default 10000).
+	Steps int
+	// Dt is the Euler step size (default 0.1).
+	Dt float64
+	// Tol stops the integration early when the L-infinity drift falls
+	// below it (default 1e-13).
+	Tol float64
+	// RecordEvery, when > 0, appends the state to the returned trajectory
+	// every RecordEvery steps.
+	RecordEvery int
+	// Floor keeps a tiny positive mass on every site so that the interior
+	// flow can reach sites the initial condition misses (default 0; set to
+	// e.g. 1e-9 when starting from sparse initial conditions).
+	Floor float64
+}
+
+func (o ReplicatorOptions) withDefaults() (ReplicatorOptions, error) {
+	if o.Steps == 0 {
+		o.Steps = 10000
+	}
+	if o.Steps < 1 {
+		return o, fmt.Errorf("%w: %d", ErrSteps, o.Steps)
+	}
+	if o.Dt == 0 {
+		o.Dt = 0.1
+	}
+	if o.Dt <= 0 {
+		return o, fmt.Errorf("%w: %v", ErrStepSize, o.Dt)
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-13
+	}
+	return o, nil
+}
+
+// ReplicatorResult carries the outcome of a replicator integration.
+type ReplicatorResult struct {
+	// Final is the state after the last step.
+	Final strategy.Strategy
+	// Steps is the number of steps actually taken.
+	Steps int
+	// Converged reports whether the drift tolerance was reached.
+	Converged bool
+	// Trajectory holds recorded states when RecordEvery > 0 (including the
+	// initial state).
+	Trajectory []strategy.Strategy
+}
+
+// Replicator integrates the replicator dynamics from init under (f, k, c).
+// Payoffs may be negative (aggressive policies); the update uses the
+// exponential (Maynard Smith) form p <- p * exp(dt * (nu - avg)), which is
+// positivity-preserving for any payoff range and has the same rest points.
+func Replicator(f site.Values, k int, c policy.Congestion, init strategy.Strategy, opts ReplicatorOptions) (ReplicatorResult, error) {
+	if err := f.Validate(); err != nil {
+		return ReplicatorResult{}, err
+	}
+	if len(init) != len(f) {
+		return ReplicatorResult{}, fmt.Errorf("dynamics: init has %d sites, want %d", len(init), len(f))
+	}
+	if err := init.Validate(); err != nil {
+		return ReplicatorResult{}, err
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return ReplicatorResult{}, err
+	}
+	p := init.Clone()
+	if opts.Floor > 0 {
+		for x := range p {
+			if p[x] < opts.Floor {
+				p[x] = opts.Floor
+			}
+		}
+		if _, err := p.Normalize(); err != nil {
+			return ReplicatorResult{}, err
+		}
+	}
+	res := ReplicatorResult{}
+	if opts.RecordEvery > 0 {
+		res.Trajectory = append(res.Trajectory, p.Clone())
+	}
+	values := make([]float64, len(p))
+	for step := 1; step <= opts.Steps; step++ {
+		var avg numeric.Accumulator
+		for x := range p {
+			values[x] = coverage.SiteValue(f, p, k, c, x)
+			avg.Add(p[x] * values[x])
+		}
+		mean := avg.Sum()
+		drift := 0.0
+		for x := range p {
+			d := math.Abs(p[x] * (values[x] - mean))
+			if d > drift {
+				drift = d
+			}
+		}
+		if drift < opts.Tol {
+			res.Final = p
+			res.Steps = step - 1
+			res.Converged = true
+			return res, nil
+		}
+		for x := range p {
+			if p[x] == 0 {
+				continue
+			}
+			g := opts.Dt * (values[x] - mean)
+			// Clamp the exponent for numerical safety under extreme
+			// aggressive payoffs.
+			p[x] *= math.Exp(numeric.Clamp(g, -30, 30))
+		}
+		if _, err := p.Normalize(); err != nil {
+			return ReplicatorResult{}, err
+		}
+		if opts.RecordEvery > 0 && step%opts.RecordEvery == 0 {
+			res.Trajectory = append(res.Trajectory, p.Clone())
+		}
+	}
+	res.Final = p
+	res.Steps = opts.Steps
+	return res, nil
+}
+
+// BestResponseOptions configure BestResponse.
+type BestResponseOptions struct {
+	// Iters bounds the iterations (default 50000).
+	Iters int
+	// Tol is the exploitability tolerance: iteration stops once
+	// max_x nu_p(x) - sum_x p(x) nu_p(x) drops below Tol (default 1e-9).
+	Tol float64
+}
+
+func (o BestResponseOptions) withDefaults() (BestResponseOptions, error) {
+	if o.Iters == 0 {
+		o.Iters = 50000
+	}
+	if o.Iters < 1 {
+		return o, fmt.Errorf("%w: %d", ErrSteps, o.Iters)
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	if o.Tol < 0 {
+		return o, fmt.Errorf("%w: tol %v", ErrStepSize, o.Tol)
+	}
+	return o, nil
+}
+
+// BestResponse runs fictitious-play dynamics: at step t the state moves a
+// 1/(t+2) fraction toward the exact best response against itself (ties
+// split uniformly). The time-averaged play converges to the symmetric
+// equilibrium in this class of games; iteration stops once the
+// exploitability max_x nu_p(x) - E_p[nu_p] falls below opts.Tol. It returns
+// the final state and the number of iterations used.
+func BestResponse(f site.Values, k int, c policy.Congestion, init strategy.Strategy, opts BestResponseOptions) (strategy.Strategy, int, error) {
+	if err := f.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := init.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(init) != len(f) {
+		return nil, 0, fmt.Errorf("dynamics: init has %d sites, want %d", len(init), len(f))
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, 0, err
+	}
+	p := init.Clone()
+	values := make([]float64, len(p))
+	for it := 1; it <= opts.Iters; it++ {
+		for x := range p {
+			values[x] = coverage.SiteValue(f, p, k, c, x)
+		}
+		_, best := numeric.MaxIndex(values)
+		var avg numeric.Accumulator
+		for x := range p {
+			avg.Add(p[x] * values[x])
+		}
+		if best-avg.Sum() < opts.Tol {
+			return p, it, nil
+		}
+		// Uniform mixture over (near-)tied best responses.
+		ties := 0
+		for _, v := range values {
+			if best-v <= 1e-12*(1+math.Abs(best)) {
+				ties++
+			}
+		}
+		step := 1 / float64(it+2)
+		for x := range p {
+			target := 0.0
+			if best-values[x] <= 1e-12*(1+math.Abs(best)) {
+				target = 1 / float64(ties)
+			}
+			p[x] += step * (target - p[x])
+		}
+	}
+	return p, opts.Iters, nil
+}
+
+// InvasionConfig drives a finite-population Wright-Fisher invasion
+// experiment: a population of N agents, a (1-eps) fraction playing the
+// resident and eps the mutant, matched uniformly at random into k-tuples
+// each generation; reproduction is payoff-proportional with selection
+// strength s.
+type InvasionConfig struct {
+	// F, K, C define the game.
+	F site.Values
+	K int
+	C policy.Congestion
+	// Resident and Mutant are the two competing strategies.
+	Resident, Mutant strategy.Strategy
+	// PopSize is the population size N (default 1000).
+	PopSize int
+	// InitialMutantFrac is eps (default 0.05).
+	InitialMutantFrac float64
+	// Generations to simulate (default 200).
+	Generations int
+	// GamesPerGen is the number of k-tuple games each agent plays per
+	// generation; payoffs are averaged before selection, which reduces the
+	// sampling noise of single games (default 4).
+	GamesPerGen int
+	// Selection is the linear selection strength: fitness_i =
+	// max(0, 1 + Selection * (avgPayoff_i - populationMean)). Linear
+	// fitness keeps selection unbiased in expected payoff (an exponential
+	// map would favour high-variance strategies regardless of mean).
+	// Default 1.0.
+	Selection float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (c InvasionConfig) withDefaults() InvasionConfig {
+	if c.PopSize == 0 {
+		c.PopSize = 1000
+	}
+	if c.InitialMutantFrac == 0 {
+		c.InitialMutantFrac = 0.05
+	}
+	if c.Generations == 0 {
+		c.Generations = 200
+	}
+	if c.GamesPerGen == 0 {
+		c.GamesPerGen = 4
+	}
+	if c.Selection == 0 {
+		c.Selection = 1
+	}
+	return c
+}
+
+// InvasionResult reports a Wright-Fisher run.
+type InvasionResult struct {
+	// MutantFrac is the mutant fraction per generation (Generations+1
+	// entries including the initial state).
+	MutantFrac []float64
+	// Extinct reports whether the mutant died out.
+	Extinct bool
+	// Fixed reports whether the mutant took over the whole population.
+	Fixed bool
+}
+
+// Invasion runs the finite-population experiment. Each generation every
+// agent plays one k-tuple game (tuples drawn by random permutation; a final
+// partial tuple is padded with resampled agents), then the next generation
+// is sampled payoff-proportionally.
+func Invasion(cfg InvasionConfig) (InvasionResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.F.Validate(); err != nil {
+		return InvasionResult{}, err
+	}
+	if cfg.K < 1 {
+		return InvasionResult{}, fmt.Errorf("%w: k=%d", ErrSteps, cfg.K)
+	}
+	if cfg.PopSize < 2 {
+		return InvasionResult{}, fmt.Errorf("%w: N=%d", ErrPop, cfg.PopSize)
+	}
+	if err := cfg.Resident.Validate(); err != nil {
+		return InvasionResult{}, fmt.Errorf("resident: %w", err)
+	}
+	if err := cfg.Mutant.Validate(); err != nil {
+		return InvasionResult{}, fmt.Errorf("mutant: %w", err)
+	}
+	resSampler, err := strategy.NewSampler(cfg.Resident)
+	if err != nil {
+		return InvasionResult{}, err
+	}
+	mutSampler, err := strategy.NewSampler(cfg.Mutant)
+	if err != nil {
+		return InvasionResult{}, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1f123bb5))
+
+	n := cfg.PopSize
+	// isMutant[i] tags agent i's type.
+	isMutant := make([]bool, n)
+	mutants := int(math.Round(cfg.InitialMutantFrac * float64(n)))
+	if mutants < 1 {
+		mutants = 1
+	}
+	for i := 0; i < mutants; i++ {
+		isMutant[i] = true
+	}
+	rng.Shuffle(n, func(i, j int) { isMutant[i], isMutant[j] = isMutant[j], isMutant[i] })
+
+	res := InvasionResult{MutantFrac: make([]float64, 0, cfg.Generations+1)}
+	res.MutantFrac = append(res.MutantFrac, float64(mutants)/float64(n))
+
+	perm := make([]int, n)
+	payoff := make([]float64, n)
+	choices := make([]int, cfg.K)
+	members := make([]int, cfg.K)
+	counts := map[int]int{}
+	fitness := make([]float64, n)
+	next := make([]bool, n)
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		for i := range payoff {
+			payoff[i] = 0
+		}
+		for round := 0; round < cfg.GamesPerGen; round++ {
+			// Match into k-tuples by random permutation.
+			for i := range perm {
+				perm[i] = i
+			}
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			for start := 0; start < n; start += cfg.K {
+				for slot := 0; slot < cfg.K; slot++ {
+					idx := start + slot
+					if idx < n {
+						members[slot] = perm[idx]
+					} else {
+						// Pad the final tuple with random already-played
+						// agents; only the real members get paid.
+						members[slot] = perm[rng.IntN(n)]
+					}
+				}
+				clear(counts)
+				for slot := 0; slot < cfg.K; slot++ {
+					var x int
+					if isMutant[members[slot]] {
+						x = mutSampler.Sample(rng)
+					} else {
+						x = resSampler.Sample(rng)
+					}
+					choices[slot] = x
+					counts[x]++
+				}
+				for slot := 0; slot < cfg.K; slot++ {
+					idx := start + slot
+					if idx >= n {
+						continue
+					}
+					x := choices[slot]
+					payoff[perm[idx]] += policy.Reward(cfg.C, cfg.F[x], counts[x])
+				}
+			}
+		}
+		// Linear payoff-proportional reproduction on per-generation
+		// average payoffs.
+		var meanPay float64
+		for i := range payoff {
+			payoff[i] /= float64(cfg.GamesPerGen)
+			meanPay += payoff[i]
+		}
+		meanPay /= float64(n)
+		var totalFit float64
+		for i := range fitness {
+			fitness[i] = 1 + cfg.Selection*(payoff[i]-meanPay)
+			if fitness[i] < 0 {
+				fitness[i] = 0
+			}
+			totalFit += fitness[i]
+		}
+		if totalFit <= 0 {
+			// Degenerate selection (all fitness clamped away): fall back
+			// to neutral drift for this generation.
+			for i := range fitness {
+				fitness[i] = 1
+			}
+			totalFit = float64(n)
+		}
+		for i := range next {
+			r := rng.Float64() * totalFit
+			acc := 0.0
+			pick := n - 1
+			for j := 0; j < n; j++ {
+				acc += fitness[j]
+				if r <= acc {
+					pick = j
+					break
+				}
+			}
+			next[i] = isMutant[pick]
+		}
+		copy(isMutant, next)
+		mutants = 0
+		for _, b := range isMutant {
+			if b {
+				mutants++
+			}
+		}
+		res.MutantFrac = append(res.MutantFrac, float64(mutants)/float64(n))
+		if mutants == 0 {
+			res.Extinct = true
+			break
+		}
+		if mutants == n {
+			res.Fixed = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// ConvergesToIFD integrates the replicator dynamics from init and reports
+// the total-variation distance of the final state to the IFD of (f, k, c).
+// It is a convenience wrapper used by experiment E11 and the tests.
+func ConvergesToIFD(f site.Values, k int, c policy.Congestion, init strategy.Strategy, opts ReplicatorOptions) (float64, error) {
+	eq, _, err := ifd.Solve(f, k, c)
+	if err != nil {
+		return 0, err
+	}
+	r, err := Replicator(f, k, c, init, opts)
+	if err != nil {
+		return 0, err
+	}
+	return r.Final.TV(eq), nil
+}

@@ -1,0 +1,273 @@
+package dynamics
+
+import (
+	"errors"
+	"testing"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+func TestReplicatorConvergesToIFDExclusive(t *testing.T) {
+	f := site.TwoSite(0.3)
+	k := 2
+	dist, err := ConvergesToIFD(f, k, policy.Exclusive{}, strategy.Uniform(2), ReplicatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist > 1e-6 {
+		t.Errorf("replicator missed the IFD by TV=%v", dist)
+	}
+}
+
+func TestReplicatorConvergesAcrossPolicies(t *testing.T) {
+	f := site.Geometric(5, 1, 0.7)
+	k := 3
+	policies := []policy.Congestion{
+		policy.Exclusive{},
+		policy.Sharing{},
+		policy.TwoPoint{C2: 0.25},
+		policy.TwoPoint{C2: -0.25},
+		policy.PowerLaw{Beta: 2},
+	}
+	for _, c := range policies {
+		dist, err := ConvergesToIFD(f, k, c, strategy.Uniform(5), ReplicatorOptions{Steps: 60000})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if dist > 1e-4 {
+			t.Errorf("%s: TV to IFD = %v", c.Name(), dist)
+		}
+	}
+}
+
+func TestReplicatorFromSkewedStart(t *testing.T) {
+	// Start nearly concentrated; the floor lets mass flow back.
+	f := site.TwoSite(0.5)
+	init := strategy.Strategy{0.999, 0.001}
+	r, err := Replicator(f, 2, policy.Exclusive{}, init, ReplicatorOptions{Steps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _, err := ifd.Exclusive(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Final.TV(eq); d > 1e-5 {
+		t.Errorf("TV = %v from skewed start", d)
+	}
+}
+
+func TestReplicatorRestPointIsFixed(t *testing.T) {
+	// Starting exactly at the IFD, the dynamics must not move.
+	f := site.Geometric(4, 1, 0.6)
+	k := 3
+	eq, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Replicator(f, k, policy.Exclusive{}, eq, ReplicatorOptions{Steps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Error("IFD start did not register as converged")
+	}
+	if d := r.Final.TV(eq); d > 1e-9 {
+		t.Errorf("rest point drifted by %v", d)
+	}
+}
+
+func TestReplicatorTrajectoryRecording(t *testing.T) {
+	f := site.TwoSite(0.5)
+	r, err := Replicator(f, 2, policy.Sharing{}, strategy.Uniform(2),
+		ReplicatorOptions{Steps: 100, RecordEvery: 10, Tol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trajectory) < 5 {
+		t.Errorf("trajectory has %d states", len(r.Trajectory))
+	}
+	for i, p := range r.Trajectory {
+		if err := p.Validate(); err != nil {
+			t.Errorf("trajectory[%d] invalid: %v", i, err)
+		}
+	}
+}
+
+func TestReplicatorAggressivePolicyStaysOnSimplex(t *testing.T) {
+	// Negative payoffs exercise the exponential update's clamping.
+	f := site.TwoSite(0.4)
+	r, err := Replicator(f, 4, policy.Aggressive{Penalty: 2}, strategy.Uniform(2),
+		ReplicatorOptions{Steps: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Final.Validate(); err != nil {
+		t.Errorf("final state invalid: %v", err)
+	}
+}
+
+func TestReplicatorErrors(t *testing.T) {
+	f := site.TwoSite(0.5)
+	if _, err := Replicator(f, 2, policy.Sharing{}, strategy.Uniform(3), ReplicatorOptions{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Replicator(f, 2, policy.Sharing{}, strategy.Uniform(2), ReplicatorOptions{Steps: -1}); !errors.Is(err, ErrSteps) {
+		t.Error("negative steps accepted")
+	}
+	if _, err := Replicator(f, 2, policy.Sharing{}, strategy.Uniform(2), ReplicatorOptions{Dt: -1}); !errors.Is(err, ErrStepSize) {
+		t.Error("negative dt accepted")
+	}
+	if _, err := Replicator(site.Values{0.5, 1}, 2, policy.Sharing{}, strategy.Uniform(2), ReplicatorOptions{}); err == nil {
+		t.Error("unsorted f accepted")
+	}
+}
+
+func TestBestResponseFindsEquilibrium(t *testing.T) {
+	f := site.Geometric(4, 1, 0.7)
+	k := 3
+	for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}} {
+		p, _, err := BestResponse(f, k, c, strategy.Uniform(4), BestResponseOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		eq, _, err := ifd.Solve(f, k, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := p.TV(eq); d > 5e-3 {
+			t.Errorf("%s: best-response fixed point off by TV=%v", c.Name(), d)
+		}
+	}
+}
+
+func TestBestResponseErrors(t *testing.T) {
+	f := site.TwoSite(0.5)
+	u := strategy.Uniform(2)
+	if _, _, err := BestResponse(f, 2, policy.Sharing{}, strategy.Uniform(3), BestResponseOptions{}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, _, err := BestResponse(f, 2, policy.Sharing{}, u, BestResponseOptions{Tol: -1}); !errors.Is(err, ErrStepSize) {
+		t.Error("negative tol accepted")
+	}
+	if _, _, err := BestResponse(f, 2, policy.Sharing{}, u, BestResponseOptions{Iters: -3}); !errors.Is(err, ErrSteps) {
+		t.Error("negative iters accepted")
+	}
+	if _, _, err := BestResponse(site.Values{0.5, 1}, 2, policy.Sharing{}, u, BestResponseOptions{}); err == nil {
+		t.Error("unsorted f accepted")
+	}
+}
+
+func TestBestResponseAlreadyAtEquilibrium(t *testing.T) {
+	f := site.TwoSite(0.8)
+	eq, _, err := ifd.Exclusive(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, iters, err := BestResponse(f, 2, policy.Exclusive{}, eq, BestResponseOptions{Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 1 {
+		t.Errorf("took %d iterations from the equilibrium", iters)
+	}
+	if d := p.TV(eq); d > 1e-9 {
+		t.Errorf("moved away from equilibrium by %v", d)
+	}
+}
+
+func TestInvasionMutantRepelledAtESS(t *testing.T) {
+	// Theorem 3, finite-population check: a mutant deviating from sigma*
+	// under the exclusive policy should (usually) shrink.
+	f := site.TwoSite(0.5)
+	k := 2
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutant := strategy.Strategy{0.95, 0.05} // overweights the top site
+	cfg := InvasionConfig{
+		F: f, K: k, C: policy.Exclusive{},
+		Resident: sigma, Mutant: mutant,
+		PopSize: 2000, InitialMutantFrac: 0.10,
+		Generations: 300, GamesPerGen: 8, Selection: 3, Seed: 7,
+	}
+	res, err := Invasion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := res.MutantFrac[0]
+	end := res.MutantFrac[len(res.MutantFrac)-1]
+	if !(res.Extinct || end < start/2) {
+		t.Errorf("mutant not repelled: %v -> %v (extinct=%v)", start, end, res.Extinct)
+	}
+}
+
+func TestInvasionResidentBeatenWhenUnstable(t *testing.T) {
+	// Flip the roles: a uniform resident on skewed values is invaded by
+	// the IFD mutant.
+	f := site.TwoSite(0.2)
+	k := 2
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := InvasionConfig{
+		F: f, K: k, C: policy.Exclusive{},
+		Resident: strategy.Uniform(2), Mutant: sigma,
+		PopSize: 2000, InitialMutantFrac: 0.10,
+		Generations: 300, GamesPerGen: 8, Selection: 3, Seed: 11,
+	}
+	res, err := Invasion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := res.MutantFrac[len(res.MutantFrac)-1]
+	if !(res.Fixed || end > 0.3) {
+		t.Errorf("advantageous mutant failed to grow: %v -> %v", res.MutantFrac[0], end)
+	}
+}
+
+func TestInvasionValidation(t *testing.T) {
+	f := site.TwoSite(0.5)
+	u := strategy.Uniform(2)
+	bad := InvasionConfig{F: f, K: 0, C: policy.Exclusive{}, Resident: u, Mutant: u}
+	if _, err := Invasion(bad); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad = InvasionConfig{F: f, K: 2, C: policy.Exclusive{}, Resident: u, Mutant: u, PopSize: 1}
+	if _, err := Invasion(bad); !errors.Is(err, ErrPop) {
+		t.Error("N=1 accepted")
+	}
+	bad = InvasionConfig{F: f, K: 2, C: policy.Exclusive{}, Resident: strategy.Strategy{0.5, 0.6}, Mutant: u}
+	if _, err := Invasion(bad); err == nil {
+		t.Error("invalid resident accepted")
+	}
+}
+
+func TestInvasionDeterministicPerSeed(t *testing.T) {
+	f := site.TwoSite(0.5)
+	u := strategy.Uniform(2)
+	d := strategy.Strategy{0.8, 0.2}
+	cfg := InvasionConfig{F: f, K: 2, C: policy.Sharing{}, Resident: u, Mutant: d,
+		PopSize: 200, Generations: 20, Seed: 5}
+	a, err := Invasion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Invasion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.MutantFrac) != len(b.MutantFrac) {
+		t.Fatal("trajectory lengths differ")
+	}
+	for i := range a.MutantFrac {
+		if a.MutantFrac[i] != b.MutantFrac[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

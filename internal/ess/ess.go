@@ -1,0 +1,236 @@
+// Package ess implements the Evolutionary Stable Strategy machinery of
+// Section 1.4: exact cross-strategy payoffs under k-tuple random matching,
+// the two-condition ESS characterization with its index m_pi, and randomized
+// uninvadability audits used to verify Theorem 3 (sigma* is an ESS under the
+// exclusive policy) numerically.
+package ess
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// Errors returned by the audit functions.
+var (
+	ErrDim = errors.New("ess: mismatched dimensions")
+)
+
+// Payoff returns E(rho; sigma^a, pi^b), the expected payoff of a rho-player
+// against a sigma-players and b pi-players, with a+b = k-1 implied by the
+// caller. It is a thin, readable wrapper over coverage.CrossPayoff.
+func Payoff(f site.Values, c policy.Congestion, rho, sigma, pi strategy.Strategy, a, b int) (float64, error) {
+	return coverage.CrossPayoff(f, c, rho, sigma, pi, a, b)
+}
+
+// Verdict is the outcome of testing one mutant against a resident.
+type Verdict struct {
+	// MIndex is the characterization index m_pi: the number of leading
+	// levels at which resident and mutant tie before the resident's strict
+	// advantage appears. Valid only when Stable.
+	MIndex int
+	// Stable reports whether the ESS characterization conditions hold
+	// against this mutant.
+	Stable bool
+	// Margin is the resident's payoff advantage at level MIndex (strictly
+	// positive when Stable).
+	Margin float64
+	// Reason describes a failure, empty when Stable.
+	Reason string
+}
+
+// Characterize tests the ESS characterization of Section 1.4 for resident
+// sigma against mutant pi: it searches for the index m in [0, k-1] with
+//
+//	E(sigma; sigma^(k-m-1), pi^m) > E(pi; sigma^(k-m-1), pi^m)
+//	E(sigma; sigma^(k-l-1), pi^l) = E(pi; sigma^(k-l-1), pi^l)  for l < m.
+//
+// Ties are resolved with tolerance tol (absolute, on payoff differences).
+func Characterize(f site.Values, c policy.Congestion, k int, sigma, pi strategy.Strategy, tol float64) (Verdict, error) {
+	if len(f) != len(sigma) || len(f) != len(pi) {
+		return Verdict{}, ErrDim
+	}
+	for m := 0; m <= k-1; m++ {
+		es, err := Payoff(f, c, sigma, sigma, pi, k-m-1, m)
+		if err != nil {
+			return Verdict{}, err
+		}
+		ep, err := Payoff(f, c, pi, sigma, pi, k-m-1, m)
+		if err != nil {
+			return Verdict{}, err
+		}
+		d := es - ep
+		switch {
+		case d > tol:
+			return Verdict{MIndex: m, Stable: true, Margin: d}, nil
+		case d < -tol:
+			return Verdict{
+				MIndex: m,
+				Margin: d,
+				Reason: fmt.Sprintf("mutant strictly better at level m=%d (margin %.3e)", m, d),
+			}, nil
+		default:
+			// Tie within tolerance: move to the next level.
+		}
+	}
+	return Verdict{
+		MIndex: k - 1,
+		Reason: "resident and mutant tie at every level: neutral drift, not an ESS against this mutant",
+	}, nil
+}
+
+// InvasionMargin returns U[sigma; mix] - U[pi; mix] for the post-invasion
+// population mix = (1-eps)sigma + eps*pi (Eq. 3). sigma is uninvadable by pi
+// at invasion size eps iff the margin is strictly positive.
+func InvasionMargin(f site.Values, c policy.Congestion, k int, sigma, pi strategy.Strategy, eps float64) (float64, error) {
+	us, err := coverage.InvasionPayoffMixture(f, c, k, sigma, sigma, pi, eps)
+	if err != nil {
+		return 0, err
+	}
+	up, err := coverage.InvasionPayoffMixture(f, c, k, pi, sigma, pi, eps)
+	if err != nil {
+		return 0, err
+	}
+	return us - up, nil
+}
+
+// StrongStability checks the strengthened criterion proved in Section 3:
+// for mutants pi supported inside the resident's support,
+// E(sigma; pi^l, sigma^(k-l-1)) > E(pi; pi^l, sigma^(k-l-1)) for every
+// 1 <= l <= k-2 (not just l = m_pi). It returns the minimum margin across
+// levels, which must be positive for distinct mutants, together with the
+// level attaining it.
+func StrongStability(f site.Values, c policy.Congestion, k int, sigma, pi strategy.Strategy) (minMargin float64, atLevel int, err error) {
+	if k < 3 {
+		// No levels in [1, k-2]; the criterion is vacuous.
+		return 0, -1, nil
+	}
+	first := true
+	for l := 1; l <= k-2; l++ {
+		es, err := Payoff(f, c, sigma, pi, sigma, l, k-l-1)
+		if err != nil {
+			return 0, 0, err
+		}
+		ep, err := Payoff(f, c, pi, pi, sigma, l, k-l-1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d := es - ep; first || d < minMargin {
+			minMargin, atLevel, first = d, l, false
+		}
+	}
+	return minMargin, atLevel, nil
+}
+
+// AuditReport summarizes an uninvadability audit of a resident strategy.
+type AuditReport struct {
+	// Mutants is the number of mutants tested.
+	Mutants int
+	// Failures counts mutants violating the characterization.
+	Failures int
+	// WorstMargin is the smallest strict margin observed among stable
+	// verdicts (small positive margins indicate near-neutral mutants).
+	WorstMargin float64
+	// FirstFailure, if Failures > 0, is a witness mutant.
+	FirstFailure strategy.Strategy
+	// FirstFailureReason explains the witness.
+	FirstFailureReason string
+}
+
+// Audit tests the resident sigma against every provided mutant with
+// Characterize and aggregates the outcome. Mutants equal to sigma (within
+// 1e-12 in L-infinity) are skipped: the definition of ESS quantifies over
+// pi != sigma.
+func Audit(f site.Values, c policy.Congestion, k int, sigma strategy.Strategy, mutants []strategy.Strategy, tol float64) (AuditReport, error) {
+	rep := AuditReport{WorstMargin: -1}
+	for _, pi := range mutants {
+		if sigma.LInf(pi) < 1e-12 {
+			continue
+		}
+		rep.Mutants++
+		v, err := Characterize(f, c, k, sigma, pi, tol)
+		if err != nil {
+			return rep, err
+		}
+		if !v.Stable {
+			rep.Failures++
+			if rep.FirstFailure == nil {
+				rep.FirstFailure = pi.Clone()
+				rep.FirstFailureReason = v.Reason
+			}
+			continue
+		}
+		if rep.WorstMargin < 0 || v.Margin < rep.WorstMargin {
+			rep.WorstMargin = v.Margin
+		}
+	}
+	return rep, nil
+}
+
+// MutantFamily generates a diverse panel of mutant strategies against a
+// resident over m sites: structured deviations (point masses, uniform,
+// support truncations, value-proportional) plus n random draws. All mutants
+// are valid distributions.
+func MutantFamily(rng *rand.Rand, resident strategy.Strategy, f site.Values, n int) []strategy.Strategy {
+	m := len(resident)
+	var out []strategy.Strategy
+	// Vertices.
+	for x := 0; x < m; x++ {
+		out = append(out, strategy.Delta(m, x))
+	}
+	// Uniform and truncated uniforms.
+	out = append(out, strategy.Uniform(m))
+	for _, w := range []int{1, 2, m / 2} {
+		if w >= 1 && w < m {
+			out = append(out, strategy.UniformFirst(m, w))
+		}
+	}
+	// Value-proportional.
+	if prop, err := strategy.Proportional(f); err == nil {
+		out = append(out, prop)
+	}
+	// Local perturbations of the resident.
+	for i := 0; i < 4; i++ {
+		pert := resident.Clone()
+		x := rng.IntN(m)
+		y := rng.IntN(m)
+		if x != y {
+			d := 0.05 * rng.Float64() * pert[x]
+			pert[x] -= d
+			pert[y] += d
+		}
+		if pert.Validate() == nil {
+			out = append(out, pert)
+		}
+	}
+	// Random Dirichlet-like mutants.
+	for i := 0; i < n; i++ {
+		w := make([]float64, m)
+		for j := range w {
+			w[j] = rng.ExpFloat64()
+			if w[j] <= 0 {
+				w[j] = 1e-9
+			}
+		}
+		if p, err := strategy.FromWeights(w); err == nil {
+			out = append(out, p)
+		}
+	}
+	// Sparse random mutants (random support pairs).
+	for i := 0; i < n/2; i++ {
+		x, y := rng.IntN(m), rng.IntN(m)
+		if x == y {
+			continue
+		}
+		t := rng.Float64()
+		p := make(strategy.Strategy, m)
+		p[x], p[y] = t, 1-t
+		out = append(out, p)
+	}
+	return out
+}

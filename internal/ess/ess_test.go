@@ -1,0 +1,279 @@
+package ess
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+const tol = 1e-10
+
+// TestTheorem3SigmaStarIsESS is the paper's Theorem 3 in numerical form:
+// under the exclusive policy, sigma* survives the characterization test
+// against a large panel of mutants across many random games.
+func TestTheorem3SigmaStarIsESS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1805, 1319))
+	for trial := 0; trial < 15; trial++ {
+		m := 2 + rng.IntN(8)
+		k := 2 + rng.IntN(6)
+		f := site.Random(rng, m, 0.1, 3)
+		sigma, _, err := ifd.Exclusive(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutants := MutantFamily(rng, sigma, f, 20)
+		rep, err := Audit(f, policy.Exclusive{}, k, sigma, mutants, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failures > 0 {
+			t.Fatalf("M=%d k=%d: %d/%d mutants defeat sigma*: %s (mutant %v)",
+				m, k, rep.Failures, rep.Mutants, rep.FirstFailureReason, rep.FirstFailure)
+		}
+		if rep.Mutants == 0 {
+			t.Fatalf("no mutants tested")
+		}
+	}
+}
+
+func TestCharacterizeMutantOutsideSupport(t *testing.T) {
+	// Section 3: mutants whose support leaves [1, W] lose already at m=0.
+	f := site.Geometric(6, 1, 0.3) // steep: W < 6 for small k
+	k := 2
+	sigma, res, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W >= 6 {
+		t.Skip("need truncated support for this scenario")
+	}
+	pi := strategy.Delta(6, 5) // worst site, outside support
+	v, err := Characterize(f, policy.Exclusive{}, k, sigma, pi, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Stable || v.MIndex != 0 {
+		t.Errorf("outside-support mutant: verdict %+v, want stable at m=0", v)
+	}
+}
+
+func TestCharacterizeMutantInsideSupportTiesAtZero(t *testing.T) {
+	// Mutants supported inside [1, W] tie at m=0 (both earn nu against
+	// sigma^(k-1)) and lose at m=1.
+	f := site.TwoSite(0.5)
+	k := 3
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := strategy.Strategy{0.9, 0.1}
+	v, err := Characterize(f, policy.Exclusive{}, k, sigma, pi, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Stable {
+		t.Fatalf("verdict %+v", v)
+	}
+	if v.MIndex != 1 {
+		t.Errorf("m_pi = %d, want 1 (Eq. 11 ties at level 0)", v.MIndex)
+	}
+}
+
+func TestCharacterizeDetectsUnstableResident(t *testing.T) {
+	// A non-equilibrium resident (uniform when values are skewed) is
+	// invadable by the IFD itself at m=0.
+	f := site.TwoSite(0.2)
+	k := 2
+	resident := strategy.Uniform(2)
+	pi, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Characterize(f, policy.Exclusive{}, k, resident, pi, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Stable {
+		t.Errorf("uniform resident reported stable against sigma*: %+v", v)
+	}
+}
+
+func TestCharacterizeNeutralDrift(t *testing.T) {
+	// Under the constant policy every strategy earns f-weighted payoff
+	// independent of opponents; two argmax point masses tie at all levels.
+	f := site.Values{1, 1}
+	sigma := strategy.Delta(2, 0)
+	pi := strategy.Delta(2, 1)
+	v, err := Characterize(f, policy.Constant{}, 3, sigma, pi, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Stable {
+		t.Errorf("neutral mutant reported defeated: %+v", v)
+	}
+	if v.Reason == "" {
+		t.Error("want a drift explanation")
+	}
+}
+
+func TestCharacterizeDimMismatch(t *testing.T) {
+	f := site.TwoSite(0.5)
+	if _, err := Characterize(f, policy.Exclusive{}, 2, strategy.Uniform(3), strategy.Uniform(2), tol); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestInvasionMarginPositiveForSmallEps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 2))
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.IntN(5)
+		k := 2 + rng.IntN(5)
+		f := site.Random(rng, m, 0.2, 2)
+		sigma, _, err := ifd.Exclusive(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pi := range MutantFamily(rng, sigma, f, 6) {
+			if sigma.LInf(pi) < 1e-9 {
+				continue
+			}
+			margin, err := InvasionMargin(f, policy.Exclusive{}, k, sigma, pi, 0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if margin <= 0 {
+				t.Fatalf("M=%d k=%d: mutant %v invades at eps=0.01 (margin %v)", m, k, pi, margin)
+			}
+		}
+	}
+}
+
+func TestInvasionMarginZeroAgainstSelf(t *testing.T) {
+	f := site.TwoSite(0.4)
+	sigma, _, err := ifd.Exclusive(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margin, err := InvasionMargin(f, policy.Exclusive{}, 3, sigma, sigma, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(margin, 0, 1e-12) {
+		t.Errorf("self margin = %v", margin)
+	}
+}
+
+func TestStrongStabilityAllLevels(t *testing.T) {
+	// Section 3 proves strict inequality for every level 1 <= l <= k-2 for
+	// in-support mutants — stronger than the characterization needs.
+	f := site.TwoSite(0.6)
+	k := 6
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(10, 20))
+	for trial := 0; trial < 20; trial++ {
+		q := rng.Float64()
+		pi := strategy.Strategy{q, 1 - q}
+		if sigma.LInf(pi) < 1e-9 {
+			continue
+		}
+		min, level, err := StrongStability(f, policy.Exclusive{}, k, sigma, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min <= 0 {
+			t.Fatalf("strict stability fails at level %d for mutant %v: margin %v", level, pi, min)
+		}
+	}
+}
+
+func TestStrongStabilityVacuousForSmallK(t *testing.T) {
+	f := site.TwoSite(0.5)
+	sigma, _, err := ifd.Exclusive(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, level, err := StrongStability(f, policy.Exclusive{}, 2, sigma, strategy.Uniform(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 0 || level != -1 {
+		t.Errorf("k=2 should be vacuous: %v, %d", min, level)
+	}
+}
+
+func TestSharingIFDIsAlsoUninvadableByCharacterization(t *testing.T) {
+	// The IFD is an ESS for other congestion policies too (the literature
+	// result the paper cites); verify for sharing on a small game.
+	f := site.TwoSite(0.7)
+	k := 3
+	sigma, _, err := ifd.Solve(f, k, policy.Sharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(6, 7))
+	rep, err := Audit(f, policy.Sharing{}, k, sigma, MutantFamily(rng, sigma, f, 15), 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures > 0 {
+		t.Errorf("sharing IFD invadable: %s", rep.FirstFailureReason)
+	}
+}
+
+func TestAuditSkipsResidentItself(t *testing.T) {
+	f := site.TwoSite(0.5)
+	sigma, _, err := ifd.Exclusive(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(f, policy.Exclusive{}, 2, sigma, []strategy.Strategy{sigma.Clone()}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mutants != 0 {
+		t.Errorf("resident counted as mutant: %+v", rep)
+	}
+}
+
+func TestMutantFamilyValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	f := site.Geometric(5, 1, 0.8)
+	resident := strategy.Uniform(5)
+	for i, p := range MutantFamily(rng, resident, f, 10) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("mutant %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestPayoffAgainstMixedOpponents(t *testing.T) {
+	// Hand check: M=1 forces everyone to the single site. Exclusive, k=3:
+	// focal payoff 0 regardless of the opponent split.
+	f := site.Values{2}
+	one := strategy.Strategy{1}
+	for a := 0; a <= 2; a++ {
+		got, err := Payoff(f, policy.Exclusive{}, one, one, one, a, 2-a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Errorf("a=%d: payoff %v, want 0", a, got)
+		}
+	}
+	// Sharing, k=3, single site: payoff = 2/3.
+	got, err := Payoff(f, policy.Sharing{}, one, one, one, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 2.0/3, 1e-12) {
+		t.Errorf("sharing payoff = %v, want 2/3", got)
+	}
+}

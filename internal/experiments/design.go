@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/game"
+	"dispersal/internal/ifd"
+	"dispersal/internal/infer"
+	"dispersal/internal/mechanism"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/table"
+)
+
+// E22MechanismDiscovery runs the constructive form of Theorem 6: a
+// coordinate-descent search over table congestion policies, knowing nothing
+// about the paper's analysis, lands on the exclusive policy and its
+// coverage on every tested landscape.
+func E22MechanismDiscovery() (Report, error) {
+	tb := table.New("landscape", "k", "optimized coverage", "sigma* coverage", "max |C(l)| found")
+	pass := true
+	cases := []struct {
+		name string
+		f    site.Values
+		k    int
+	}{
+		{"two-site f2=0.3", site.TwoSite(0.3), 2},
+		{"geometric(8, 0.75)", site.Geometric(8, 1, 0.75), 3},
+		{"slow-decay(12, 3)", site.SlowDecay(12, 3), 3},
+		{"zipf(10, 1)", site.Zipf(10, 1, 1), 4},
+	}
+	for _, c := range cases {
+		d, err := mechanism.Optimize(c.f, c.k, mechanism.Options{Seed: 22})
+		if err != nil {
+			return Report{ID: "E22"}, err
+		}
+		sigma, _, err := ifd.Exclusive(c.f, c.k)
+		if err != nil {
+			return Report{ID: "E22"}, err
+		}
+		want := coverage.Cover(c.f, sigma, c.k)
+		tb.AddRowf(c.name, c.k, d.Coverage, want, d.MaxLevelMagnitude())
+		if !numeric.AlmostEqual(d.Coverage, want, 1e-3) {
+			pass = false
+		}
+		if d.MaxLevelMagnitude() > 0.05 {
+			pass = false
+		}
+	}
+	return Report{
+		ID:    "E22",
+		Title: "Theorem 6, constructively: policy search discovers the exclusive policy",
+		PaperClaim: "the exclusive policy is the unique congestion policy with optimal " +
+			"equilibrium coverage; a blind optimizer over table policies must therefore find it",
+		Table: tb,
+		Pass:  pass,
+	}, nil
+}
+
+// E23InverseIFD closes the loop between theory and the simulator: occupancy
+// observed in simulated equilibrium play is inverted back into the site
+// values that generated it, with error shrinking in the sample size.
+func E23InverseIFD() (Report, error) {
+	f := site.Geometric(5, 1, 0.75)
+	k := 3
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		return Report{ID: "E23"}, err
+	}
+	tb := table.New("simulated rounds", "max relative error on support")
+	pass := true
+	prev := 2.0
+	shrank := false
+	for i, rounds := range []int{2_000, 20_000, 200_000, 2_000_000} {
+		res, err := game.Simulate(game.Config{
+			F: f, K: k, C: policy.Exclusive{}, Rounds: rounds, Seed: uint64(230 + i),
+		}, sigma)
+		if err != nil {
+			return Report{ID: "E23"}, err
+		}
+		est, err := infer.Values(res.Occupancy, k, policy.Exclusive{}, 1e-4)
+		if err != nil {
+			return Report{ID: "E23"}, err
+		}
+		worst, err := est.MaxRelativeError(f)
+		if err != nil {
+			return Report{ID: "E23"}, err
+		}
+		tb.AddRowf(rounds, worst)
+		if worst < prev {
+			shrank = true
+		}
+		prev = worst
+	}
+	if prev > 0.01 || !shrank {
+		pass = false
+	}
+	// And the exact-inversion sanity check across policies.
+	for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}, policy.PowerLaw{Beta: 2}} {
+		eq, _, err := ifd.Solve(f, k, c)
+		if err != nil {
+			return Report{ID: "E23"}, err
+		}
+		est, err := infer.Values(eq, k, c, 1e-12)
+		if err != nil {
+			return Report{ID: "E23"}, err
+		}
+		worst, err := est.MaxRelativeError(f)
+		if err != nil {
+			return Report{ID: "E23"}, err
+		}
+		if worst > 1e-6 {
+			pass = false
+		}
+	}
+	return Report{
+		ID:    "E23",
+		Title: "Inverse IFD: observed occupancy recovers the site values",
+		PaperClaim: "(IFD literature, Section 1.3) equilibrium occupancy identifies relative " +
+			"patch quality; simulated equilibrium play inverts back to the generating values",
+		Table: tb,
+		Notes: []string{fmt.Sprintf("exact-occupancy inversion verified for exclusive, sharing, and powerlaw policies on M=%d, k=%d", len(f), k)},
+		Pass:  pass,
+	}, nil
+}

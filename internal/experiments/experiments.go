@@ -1,0 +1,461 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/dynamics"
+	"dispersal/internal/ess"
+	"dispersal/internal/game"
+	"dispersal/internal/grants"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/search"
+	"dispersal/internal/site"
+	"dispersal/internal/spoa"
+	"dispersal/internal/strategy"
+	"dispersal/internal/table"
+)
+
+// familyGrid returns the named value-function instances shared by several
+// experiments.
+func familyGrid(k int) []struct {
+	name string
+	f    site.Values
+} {
+	return []struct {
+		name string
+		f    site.Values
+	}{
+		{"two-site f2=0.3", site.TwoSite(0.3)},
+		{"two-site f2=0.5", site.TwoSite(0.5)},
+		{"geometric(20, 0.8)", site.Geometric(20, 1, 0.8)},
+		{"zipf(30, s=1)", site.Zipf(30, 1, 1)},
+		{"uniform(10)", site.Uniform(10, 1)},
+		{fmt.Sprintf("slow-decay(4k, k=%d)", k), site.SlowDecay(4*k, k)},
+		{"linear(15, 1..0.5)", site.Linear(15, 1, 0.5)},
+	}
+}
+
+// E3Observation1 checks Cover(sigma*) > (1 - 1/e) * sum_{x<=k} f(x) across
+// the family grid and a k sweep.
+func E3Observation1() (Report, error) {
+	tb := table.New("value function", "k", "Cover(sigma*)", "(1-1/e)*best-k", "ratio")
+	pass := true
+	for _, k := range []int{2, 3, 5, 10} {
+		for _, fam := range familyGrid(k) {
+			sigma, _, err := ifd.Exclusive(fam.f, k)
+			if err != nil {
+				return Report{ID: "E3"}, err
+			}
+			cov := coverage.Cover(fam.f, sigma, k)
+			bound := coverage.ObservationOneBound(fam.f, k)
+			tb.AddRowf(fam.name, k, cov, bound, cov/bound)
+			if cov <= bound {
+				pass = false
+			}
+		}
+	}
+	return Report{
+		ID:         "E3",
+		Title:      "Observation 1: optimal coverage beats (1-1/e) of the coordinated best",
+		PaperClaim: "Cover(p*) > (1 - 1/e) * sum_{x<=k} f(x) for every value function",
+		Table:      tb,
+		Pass:       pass,
+	}, nil
+}
+
+// E4Theorem3ESS audits sigma* against mutant panels across the family grid.
+func E4Theorem3ESS() (Report, error) {
+	rng := rand.New(rand.NewPCG(3, 1805))
+	tb := table.New("value function", "k", "mutants", "invasions", "worst margin")
+	pass := true
+	for _, k := range []int{2, 3, 6} {
+		for _, fam := range familyGrid(k) {
+			sigma, _, err := ifd.Exclusive(fam.f, k)
+			if err != nil {
+				return Report{ID: "E4"}, err
+			}
+			mutants := ess.MutantFamily(rng, sigma, fam.f, 30)
+			rep, err := ess.Audit(fam.f, policy.Exclusive{}, k, sigma, mutants, 1e-9)
+			if err != nil {
+				return Report{ID: "E4"}, err
+			}
+			tb.AddRowf(fam.name, k, rep.Mutants, rep.Failures, rep.WorstMargin)
+			if rep.Failures > 0 {
+				pass = false
+			}
+		}
+	}
+	return Report{
+		ID:         "E4",
+		Title:      "Theorem 3: sigma* is an ESS under the exclusive policy",
+		PaperClaim: "no mutant strategy can invade a sigma*-playing population under Iexc",
+		Table:      tb,
+		Pass:       pass,
+	}, nil
+}
+
+// E5Theorem4Optimality compares Cover(sigma*) against named rival
+// strategies on every family.
+func E5Theorem4Optimality() (Report, error) {
+	k := 4
+	tb := table.New("value function", "sigma*", "uniform", "top-k uniform", "proportional", "greedy", "sharing IFD")
+	pass := true
+	for _, fam := range familyGrid(k) {
+		m := len(fam.f)
+		sigma, _, err := ifd.Exclusive(fam.f, k)
+		if err != nil {
+			return Report{ID: "E5"}, err
+		}
+		prop, err := strategy.Proportional(fam.f)
+		if err != nil {
+			return Report{ID: "E5"}, err
+		}
+		shareEq, _, err := ifd.Solve(fam.f, k, policy.Sharing{})
+		if err != nil {
+			return Report{ID: "E5"}, err
+		}
+		rivals := []strategy.Strategy{
+			strategy.Uniform(m),
+			strategy.UniformFirst(m, k),
+			prop,
+			strategy.Delta(m, 0),
+			shareEq,
+		}
+		best := coverage.Cover(fam.f, sigma, k)
+		row := []any{fam.name, best}
+		for _, r := range rivals {
+			c := coverage.Cover(fam.f, r, k)
+			row = append(row, c)
+			if c > best+1e-9 {
+				pass = false
+			}
+		}
+		tb.AddRowf(row...)
+	}
+	return Report{
+		ID:         "E5",
+		Title:      "Theorem 4: sigma* maximizes coverage among symmetric strategies",
+		PaperClaim: "Cover(sigma*) >= Cover(sigma) for every sigma, with equality only at sigma*",
+		Table:      tb,
+		Pass:       pass,
+	}, nil
+}
+
+// E6Corollary5 sweeps SPoA(Cexc, f) over the grid; all values must be 1.
+func E6Corollary5() (Report, error) {
+	tb := table.New("value function", "k", "SPoA(exclusive)")
+	pass := true
+	worst := 1.0
+	for _, k := range []int{2, 4, 8} {
+		for _, fam := range familyGrid(k) {
+			inst, err := spoa.Compute(fam.f, k, policy.Exclusive{})
+			if err != nil {
+				return Report{ID: "E6"}, err
+			}
+			tb.AddRowf(fam.name, k, inst.Ratio)
+			if math.Abs(inst.Ratio-1) > 1e-6 {
+				pass = false
+			}
+			if inst.Ratio > worst {
+				worst = inst.Ratio
+			}
+		}
+	}
+	return Report{
+		ID:         "E6",
+		Title:      "Corollary 5: SPoA of the exclusive policy is exactly 1",
+		PaperClaim: "SPoA(Cexc) = 1",
+		Table:      tb,
+		Notes:      []string{fmt.Sprintf("largest measured ratio: %.9f", worst)},
+		Pass:       pass,
+	}, nil
+}
+
+// E7Theorem6Criticality shows SPoA(C) > 1 for every non-exclusive policy on
+// the slow-decay witness from the Theorem 6 proof.
+func E7Theorem6Criticality() (Report, error) {
+	k := 4
+	f := site.SlowDecay(4*k, k)
+	tb := table.New("policy", "SPoA on slow-decay f", "equilibrium coverage", "optimal coverage")
+	pass := true
+	policies := []policy.Congestion{
+		policy.Exclusive{},
+		policy.Sharing{},
+		policy.Constant{},
+		policy.TwoPoint{C2: 0.25},
+		policy.TwoPoint{C2: -0.25},
+		policy.PowerLaw{Beta: 2},
+		policy.Cooperative{Gamma: 0.9},
+		policy.Aggressive{Penalty: 0.5},
+	}
+	for _, c := range policies {
+		inst, err := spoa.Compute(f, k, c)
+		if err != nil {
+			return Report{ID: "E7"}, err
+		}
+		tb.AddRowf(c.Name(), inst.Ratio, inst.EqCoverage, inst.OptCoverage)
+		exclusive := policy.IsExclusive(c, k)
+		if exclusive && math.Abs(inst.Ratio-1) > 1e-6 {
+			pass = false
+		}
+		if !exclusive && inst.Ratio <= 1+1e-9 {
+			pass = false
+		}
+	}
+	return Report{
+		ID:         "E7",
+		Title:      "Theorem 6: every non-exclusive policy has SPoA > 1",
+		PaperClaim: "for any congestion function C != Cexc there is a value function with SPoA(C, f) > 1",
+		Table:      tb,
+		Pass:       pass,
+	}, nil
+}
+
+// E8SharingSPoABound sweeps random games and verifies the Vetta/Kleinberg-
+// Oren bound SPoA(share) <= 2, reporting the worst case found.
+func E8SharingSPoABound() (Report, error) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	tb := table.New("game", "M", "k", "SPoA(sharing)")
+	pass := true
+	worst := spoa.Instance{Ratio: 1}
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.IntN(25)
+		k := 2 + rng.IntN(10)
+		f := site.Random(rng, m, 0.05, 5)
+		inst, err := spoa.Compute(f, k, policy.Sharing{})
+		if err != nil {
+			return Report{ID: "E8"}, err
+		}
+		if inst.Ratio > worst.Ratio {
+			worst = inst
+			tb.AddRowf(fmt.Sprintf("random #%d (new worst)", trial), m, k, inst.Ratio)
+		}
+		if inst.Ratio > 2+1e-9 || inst.Ratio < 1-1e-9 {
+			pass = false
+		}
+	}
+	wc, err := spoa.WorstCase(policy.Sharing{}, 4, []int{2, 8, 16, 32}, 200, 17)
+	if err != nil {
+		return Report{ID: "E8"}, err
+	}
+	tb.AddRowf("adversarial search", len(wc.F), wc.K, wc.Ratio)
+	if wc.Ratio > 2+1e-9 {
+		pass = false
+	}
+	return Report{
+		ID:         "E8",
+		Title:      "Sharing policy SPoA stays below 2",
+		PaperClaim: "SPoA(Cshare) <= 2 (via Vetta / Kleinberg-Oren)",
+		Table:      tb,
+		Notes:      []string{fmt.Sprintf("worst ratio found: %.6f (bound 2)", wc.Ratio)},
+		Pass:       pass,
+	}, nil
+}
+
+// E9ConstantPolicyAnarchy shows SPoA(C==1) growing like k on near-uniform
+// value functions.
+func E9ConstantPolicyAnarchy() (Report, error) {
+	tb := table.New("k", "M", "SPoA(constant)", "SPoA / k")
+	pass := true
+	prev := 0.0
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		m := 4 * k
+		f := site.Linear(m, 1, 0.95)
+		inst, err := spoa.Compute(f, k, policy.Constant{})
+		if err != nil {
+			return Report{ID: "E9"}, err
+		}
+		tb.AddRowf(k, m, inst.Ratio, inst.Ratio/float64(k))
+		if inst.Ratio <= prev {
+			pass = false
+		}
+		prev = inst.Ratio
+	}
+	if prev < 16 { // at k=32 the gap should be a large fraction of k
+		pass = false
+	}
+	return Report{
+		ID:         "E9",
+		Title:      "C == 1 policy: anarchy grows like k",
+		PaperClaim: "taking C == 1 yields SPoA of roughly k on slowly decreasing value functions",
+		Table:      tb,
+		Pass:       pass,
+	}, nil
+}
+
+// E10MonteCarloValidation cross-checks the Monte-Carlo engine against the
+// analytic coverage and payoff on several games.
+func E10MonteCarloValidation() (Report, error) {
+	tb := table.New("game", "analytic cover", "simulated cover", "|z|", "analytic payoff", "simulated payoff")
+	pass := true
+	rows := []struct {
+		name string
+		f    site.Values
+		k    int
+		c    policy.Congestion
+	}{
+		{"two-site, exclusive", site.TwoSite(0.3), 2, policy.Exclusive{}},
+		{"two-site, sharing", site.TwoSite(0.5), 2, policy.Sharing{}},
+		{"geometric, aggressive", site.Geometric(8, 1, 0.7), 4, policy.Aggressive{Penalty: 0.5}},
+		{"zipf, powerlaw", site.Zipf(12, 1, 1), 6, policy.PowerLaw{Beta: 2}},
+	}
+	for i, r := range rows {
+		eq, _, err := ifd.Solve(r.f, r.k, r.c)
+		if err != nil {
+			return Report{ID: "E10"}, err
+		}
+		wantCover := coverage.Cover(r.f, eq, r.k)
+		wantPay := coverage.ExpectedPayoff(r.f, eq, eq, r.k, r.c)
+		res, err := game.Simulate(game.Config{
+			F: r.f, K: r.k, C: r.c, Rounds: 400_000, Seed: uint64(100 + i),
+		}, eq)
+		if err != nil {
+			return Report{ID: "E10"}, err
+		}
+		z := math.Abs(res.Coverage.Mean-wantCover) / (res.Coverage.CI95/1.96 + 1e-15)
+		tb.AddRowf(r.name, wantCover, res.Coverage.Mean, z, wantPay, res.Payoff.Mean)
+		if z > 5 {
+			pass = false
+		}
+		if math.Abs(res.Payoff.Mean-wantPay) > 5*(res.Payoff.CI95/1.96)+1e-9 {
+			pass = false
+		}
+	}
+	return Report{
+		ID:         "E10",
+		Title:      "Monte-Carlo engine matches the analytic calculus",
+		PaperClaim: "(methodological) Eq. 1 and Eq. 2 describe the simulated game",
+		Table:      tb,
+		Pass:       pass,
+	}, nil
+}
+
+// E11ReplicatorConvergence integrates replicator dynamics to the IFD for
+// several policies.
+func E11ReplicatorConvergence() (Report, error) {
+	f := site.Geometric(6, 1, 0.7)
+	k := 3
+	tb := table.New("policy", "TV(final, IFD)", "steps", "converged")
+	pass := true
+	for _, c := range []policy.Congestion{
+		policy.Exclusive{}, policy.Sharing{}, policy.TwoPoint{C2: -0.25}, policy.PowerLaw{Beta: 2},
+	} {
+		eq, _, err := ifd.Solve(f, k, c)
+		if err != nil {
+			return Report{ID: "E11"}, err
+		}
+		r, err := dynamics.Replicator(f, k, c, strategy.Uniform(6), dynamics.ReplicatorOptions{Steps: 60000})
+		if err != nil {
+			return Report{ID: "E11"}, err
+		}
+		tv := r.Final.TV(eq)
+		tb.AddRowf(c.Name(), tv, r.Steps, r.Converged)
+		if tv > 1e-4 {
+			pass = false
+		}
+	}
+	return Report{
+		ID:         "E11",
+		Title:      "Replicator dynamics converge to the IFD",
+		PaperClaim: "the IFD is the unique symmetric equilibrium (Observation 2) and evolutionarily attracting",
+		Table:      tb,
+		Pass:       pass,
+	}, nil
+}
+
+// E12BayesianSearch verifies the round-1 identity with sigma* and compares
+// expected discovery times across algorithms.
+func E12BayesianSearch() (Report, error) {
+	prior := site.Zipf(30, 1, 1)
+	k := 4
+	round1, err := search.RoundOneDistribution(prior, k)
+	if err != nil {
+		return Report{ID: "E12"}, err
+	}
+	sigma, _, err := ifd.Exclusive(prior, k)
+	if err != nil {
+		return Report{ID: "E12"}, err
+	}
+	identity := round1.LInf(sigma) == 0
+
+	tb := table.New("algorithm", "mean discovery round", "95% CI", "found frac")
+	results := map[search.Algorithm]float64{}
+	for _, a := range []search.Algorithm{
+		search.StrategyAStar, search.StrategyPrior, search.StrategyUniform,
+		search.StrategyGreedy, search.StrategyCoordinated,
+	} {
+		res, err := search.Run(search.Config{
+			Prior: prior, K: k, Algorithm: a, Trials: 20_000, Seed: 12,
+		})
+		if err != nil {
+			return Report{ID: "E12"}, err
+		}
+		results[a] = res.Time.Mean
+		tb.AddRowf(a.String(), res.Time.Mean, res.Time.CI95, res.FoundFrac)
+	}
+	pass := identity &&
+		results[search.StrategyAStar] <= results[search.StrategyUniform] &&
+		results[search.StrategyAStar] <= results[search.StrategyGreedy] &&
+		results[search.StrategyAStar] >= results[search.StrategyCoordinated]-0.05
+	notes := []string{
+		fmt.Sprintf("round-1 law of the sigma*-based searcher equals sigma* exactly: %v", identity),
+		"only round 1 of A* is specified in the paper; the multi-round extension here " +
+			"is a myopic per-searcher re-application of sigma* (see DESIGN.md substitutions) " +
+			"and is compared against uncoordinated baselines, not against the true A*",
+	}
+	return Report{
+		ID:         "E12",
+		Title:      "Bayesian parallel search: sigma* is round 1 of A*",
+		PaperClaim: "algorithm sigma* is identical to the first round of A* [24]; uncoordinated sigma*-search approaches coordinated performance",
+		Table:      tb,
+		Notes:      notes,
+		Pass:       pass,
+	}, nil
+}
+
+// E13GrantMechanism compares the Kleinberg-Oren reward redesign with the
+// exclusive congestion policy, including sensitivity to a misestimated k.
+func E13GrantMechanism() (Report, error) {
+	k := 6
+	f := site.SlowDecay(24, k)
+	out, err := grants.Compare(f, k)
+	if err != nil {
+		return Report{ID: "E13"}, err
+	}
+	tb := table.New("design k", "true k", "grant coverage frac", "exclusive coverage frac")
+	pass := numeric.AlmostEqual(out.GrantCoverage, out.OptCoverage, 1e-4) &&
+		numeric.AlmostEqual(out.ExclusiveCoverage, out.OptCoverage, 1e-6)
+	sawDegradation := false
+	for _, designK := range []int{2, 3, 6, 12, 24} {
+		gFrac, eFrac, err := grants.MisestimatedK(f, designK, k)
+		if err != nil {
+			return Report{ID: "E13"}, err
+		}
+		tb.AddRowf(designK, k, gFrac, eFrac)
+		if !numeric.AlmostEqual(eFrac, 1, 1e-6) {
+			pass = false
+		}
+		if designK != k && gFrac < 1-1e-4 {
+			sawDegradation = true
+		}
+	}
+	if !sawDegradation {
+		pass = false
+	}
+	return Report{
+		ID:    "E13",
+		Title: "Grant mechanism [23] vs the exclusive congestion policy",
+		PaperClaim: "reward redesign achieves optimal coverage but requires knowing k; " +
+			"the exclusive policy is k-free and always optimal",
+		Table: tb,
+		Notes: []string{fmt.Sprintf(
+			"with k known exactly: optimum %.6f, grants %.6f, exclusive %.6f, plain sharing %.6f",
+			out.OptCoverage, out.GrantCoverage, out.ExclusiveCoverage, out.SharingCoverage)},
+		Pass: pass,
+	}, nil
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dispersal/internal/numeric"
+)
+
+func TestFigure1PanelLeftEndpoints(t *testing.T) {
+	p, err := Figure1Panel(0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.C) != 11 || p.C[0] != -0.5 || p.C[10] != 0.5 {
+		t.Fatalf("grid: %v", p.C)
+	}
+	// Hand-computed values for f=(1,0.3), k=2 (see derivation in tests of
+	// internal/ifd): optimum coverage with alpha = 0.3/1.3.
+	alpha := 0.3 / 1.3
+	wantOpt := 1*(1-alpha*alpha) + 0.3*(1-(1-alpha)*(1-alpha))
+	for _, v := range p.Optimum {
+		if !numeric.AlmostEqual(v, wantOpt, 1e-9) {
+			t.Fatalf("optimum series %v, want constant %v", v, wantOpt)
+		}
+	}
+	// ESS at c=0 equals the optimum.
+	if !numeric.AlmostEqual(p.ESS[5], wantOpt, 1e-6) {
+		t.Errorf("ESS(c=0) = %v, want %v", p.ESS[5], wantOpt)
+	}
+	// ESS at c=0.5 (sharing): boundary equilibrium (1,0), coverage 1.
+	if !numeric.AlmostEqual(p.ESS[10], 1, 1e-6) {
+		t.Errorf("ESS(c=0.5) = %v, want 1", p.ESS[10])
+	}
+	// Welfare-optimal coverage at c=0: symmetric (1/2,1/2), coverage 0.975.
+	if !numeric.AlmostEqual(p.Welfare[5], 0.975, 1e-6) {
+		t.Errorf("Welfare(c=0) = %v, want 0.975", p.Welfare[5])
+	}
+	// At k=2 and c=0.5 the welfare optimum coincides with the coverage
+	// optimum (marginal conditions match; see figure1.go verify()).
+	if !numeric.AlmostEqual(p.Welfare[10], wantOpt, 1e-6) {
+		t.Errorf("Welfare(c=0.5) = %v, want %v", p.Welfare[10], wantOpt)
+	}
+}
+
+func TestFigure1PanelESSPeaksAtZero(t *testing.T) {
+	for _, f2 := range []float64{0.3, 0.5} {
+		p, err := Figure1Panel(f2, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, peak := numeric.MaxIndex(p.ESS)
+		if !numeric.AlmostEqual(peak, p.ESS[10], 1e-9) {
+			t.Errorf("f2=%v: ESS peak %v is not at c=0 (%v)", f2, peak, p.ESS[10])
+		}
+	}
+}
+
+func TestFigure1Verify(t *testing.T) {
+	p, err := Figure1Panel(0.5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, notes := p.verify()
+	if !ok {
+		t.Errorf("verify failed: %v", notes)
+	}
+	// A panel missing c=0 must fail verification.
+	p2 := p
+	p2.C = numeric.Linspace(-0.5, 0.5, 20) // even count skips 0
+	if ok, _ := p2.verify(); ok {
+		t.Error("grid without c=0 verified")
+	}
+}
+
+func TestFigure1Chart(t *testing.T) {
+	p, err := Figure1Panel(0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := p.Chart()
+	if len(ch.Series) != 3 {
+		t.Fatalf("series: %d", len(ch.Series))
+	}
+	var b strings.Builder
+	if err := ch.RenderASCII(&b, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.RenderSVG(&b, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep, err := E3Observation1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Error("E3 failed")
+	}
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "E3") || !strings.Contains(b.String(), "PASS") {
+		t.Errorf("render: %q", b.String())
+	}
+	b.Reset()
+	if err := rep.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "## E3") {
+		t.Errorf("markdown: %q", b.String())
+	}
+}
+
+func TestSummaryCountsPasses(t *testing.T) {
+	reports := []Report{
+		{ID: "A", Title: "a", Pass: true},
+		{ID: "B", Title: "b", Pass: false},
+	}
+	s := Summary(reports)
+	if !strings.Contains(s, "1/2") {
+		t.Errorf("summary: %q", s)
+	}
+	if !strings.Contains(s, "FAIL") {
+		t.Errorf("summary missing FAIL: %q", s)
+	}
+}
+
+// The individual experiment smoke tests below keep the fast theorem checks
+// (E3-E7, E9, E11, E13) under direct test; the slower stochastic ones
+// (E1/E2/E8/E10/E12) are exercised via `go test -run TestAllExperiments`
+// and the benchmarks.
+
+func TestFastExperimentsPass(t *testing.T) {
+	for _, run := range []func() (Report, error){
+		E3Observation1,
+		E5Theorem4Optimality,
+		E6Corollary5,
+		E7Theorem6Criticality,
+		E9ConstantPolicyAnarchy,
+		E13GrantMechanism,
+		E14TravelCosts,
+		E15CapacityConstraint,
+		E16SpeciesCompetition,
+		E17PureEquilibria,
+		E18Asymptotics,
+		E20NoisyValues,
+	} {
+		rep, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", rep.ID, err)
+		}
+		if !rep.Pass {
+			t.Errorf("%s (%s) failed:\n%s", rep.ID, rep.Title, rep.Table.String())
+		}
+	}
+}
+
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow; run without -short")
+	}
+	for _, rep := range All() {
+		if !rep.Pass {
+			var b strings.Builder
+			_ = rep.Render(&b)
+			t.Errorf("%s failed:\n%s", rep.ID, b.String())
+		}
+	}
+}
+
+func TestCompetitionSweepSeriesShape(t *testing.T) {
+	// Thin direct test of the E21 machinery at low resolution.
+	series, err := CompetitionSweep(fTestLandscape(), []int{2, 4}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series: %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.C) != 11 || len(s.Fraction) != 11 {
+			t.Fatalf("k=%d: grid sizes %d/%d", s.K, len(s.C), len(s.Fraction))
+		}
+		mid := len(s.C) / 2
+		if !numeric.AlmostEqual(s.Fraction[mid], 1, 1e-6) {
+			t.Errorf("k=%d: fraction at c=0 is %v, want 1", s.K, s.Fraction[mid])
+		}
+		for i, v := range s.Fraction {
+			if v > 1+1e-7 {
+				t.Errorf("k=%d: fraction %v > 1 at index %d", s.K, v, i)
+			}
+		}
+	}
+}
+
+func fTestLandscape() []float64 {
+	out := make([]float64, 8)
+	v := 1.0
+	for i := range out {
+		out[i] = v
+		v *= 0.8
+	}
+	return out
+}

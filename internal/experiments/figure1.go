@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/optimize"
+	"dispersal/internal/plot"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/table"
+)
+
+// Figure1Points is the default resolution of the Figure 1 sweep.
+const Figure1Points = 101
+
+// Panel holds the three series of one Figure 1 panel: coverage as a
+// function of the competition parameter c for the two-point policy family
+// Cc (C(1)=1, C(2)=c), with k=2 players and sites f=(1, F2).
+type Panel struct {
+	// F2 is the second site's value (0.3 for the left panel, 0.5 right).
+	F2 float64
+	// C is the competition-parameter grid (the x-axis, [-0.5, 0.5]).
+	C []float64
+	// ESS is Cover(IFD(Cc)) per grid point — the red series.
+	ESS []float64
+	// Optimum is the best symmetric coverage (constant; green).
+	Optimum []float64
+	// Welfare is the coverage of the welfare-maximizing symmetric strategy
+	// per grid point — the blue series.
+	Welfare []float64
+}
+
+// Figure1Panel computes one panel of Figure 1 on a grid of points values of
+// c spanning [-0.5, 0.5].
+func Figure1Panel(f2 float64, points int) (Panel, error) {
+	if points < 2 {
+		points = Figure1Points
+	}
+	const k = 2
+	f := site.TwoSite(f2)
+	p := Panel{
+		F2:      f2,
+		C:       numeric.Linspace(-0.5, 0.5, points),
+		ESS:     make([]float64, points),
+		Optimum: make([]float64, points),
+		Welfare: make([]float64, points),
+	}
+	opt, _, err := optimize.MaxCoverage(f, k)
+	if err != nil {
+		return Panel{}, err
+	}
+	optCover := coverage.Cover(f, opt, k)
+	for i, c := range p.C {
+		pol := policy.TwoPoint{C2: c}
+		eq, _, err := ifd.Solve(f, k, pol)
+		if err != nil {
+			return Panel{}, fmt.Errorf("c=%v: %w", c, err)
+		}
+		p.ESS[i] = coverage.Cover(f, eq, k)
+		p.Optimum[i] = optCover
+		w, _, err := optimize.MaxWelfare(f, k, pol, 6, 1805+uint64(i))
+		if err != nil {
+			return Panel{}, fmt.Errorf("c=%v welfare: %w", c, err)
+		}
+		p.Welfare[i] = coverage.Cover(f, w, k)
+	}
+	return p, nil
+}
+
+// Chart converts the panel into a renderable chart with the paper's
+// series names and colors (red ESS, green optimum, blue welfare optimum).
+func (p Panel) Chart() *plot.Chart {
+	return &plot.Chart{
+		Title:  fmt.Sprintf("Figure 1: coverage vs competition (f(x1)=1, f(x2)=%g, k=2)", p.F2),
+		XLabel: "c",
+		YLabel: "Coverage",
+		Series: []plot.Series{
+			{Name: "ESS", X: p.C, Y: p.ESS},
+			{Name: "Optimum Coverage", X: p.C, Y: p.Optimum},
+			{Name: "Welfare Optimum", X: p.C, Y: p.Welfare},
+		},
+	}
+}
+
+// verify checks the qualitative structure the paper's Figure 1 exhibits:
+//
+//  1. the ESS coverage is maximal at c = 0 (the exclusive policy) and
+//     touches the optimum there (Theorems 4 + 6);
+//  2. the ESS coverage is strictly below the optimum away from c = 0;
+//  3. all series lie within [f(1), f(1)+f(2)];
+//  4. at c = 0.5 (the sharing policy at k = 2) the welfare optimum
+//     coincides with the coverage optimum (the k=2 sharing marginal
+//     condition f(x)(1-p(x)) matches the coverage KKT condition).
+func (p Panel) verify() (bool, []string) {
+	var notes []string
+	ok := true
+
+	zeroIdx := -1
+	for i, c := range p.C {
+		if math.Abs(c) < 1e-12 {
+			zeroIdx = i
+			break
+		}
+	}
+	if zeroIdx < 0 {
+		return false, []string{"grid does not contain c=0"}
+	}
+	if !numeric.AlmostEqual(p.ESS[zeroIdx], p.Optimum[zeroIdx], 1e-6) {
+		ok = false
+		notes = append(notes, fmt.Sprintf("ESS at c=0 (%.6f) != optimum (%.6f)", p.ESS[zeroIdx], p.Optimum[zeroIdx]))
+	} else {
+		notes = append(notes, fmt.Sprintf("ESS touches the optimum at c=0: coverage %.6f", p.ESS[zeroIdx]))
+	}
+	for i, c := range p.C {
+		if p.ESS[i] > p.Optimum[i]+1e-7 {
+			ok = false
+			notes = append(notes, fmt.Sprintf("ESS exceeds optimum at c=%v", c))
+			break
+		}
+	}
+	// Strictly below optimum at the extremes.
+	if !(p.ESS[0] < p.Optimum[0]-1e-6 && p.ESS[len(p.C)-1] < p.Optimum[len(p.C)-1]-1e-6) {
+		ok = false
+		notes = append(notes, "ESS is not strictly suboptimal at c=-0.5 / c=0.5")
+	}
+	last := len(p.C) - 1
+	if numeric.AlmostEqual(p.Welfare[last], p.Optimum[last], 1e-5) {
+		notes = append(notes, "welfare optimum meets the coverage optimum at c=0.5 (sharing), as in the paper's figure")
+	} else {
+		ok = false
+		notes = append(notes, fmt.Sprintf("welfare optimum at c=0.5 (%.6f) does not meet the optimum (%.6f)", p.Welfare[last], p.Optimum[last]))
+	}
+	return ok, notes
+}
+
+// report builds the experiment report for one panel.
+func figure1Report(id string, f2 float64) (Report, error) {
+	panel, err := Figure1Panel(f2, Figure1Points)
+	if err != nil {
+		return Report{ID: id}, err
+	}
+	ok, notes := panel.verify()
+	tb := table.New("c", "ESS coverage", "Optimum coverage", "Welfare-opt coverage")
+	for i, c := range panel.C {
+		// Table rows at the paper-legible resolution (every 0.1).
+		if math.Mod(math.Abs(c)+1e-9, 0.1) > 2e-9 {
+			continue
+		}
+		tb.AddRowf(fmt.Sprintf("%+.1f", c), panel.ESS[i], panel.Optimum[i], panel.Welfare[i])
+	}
+	return Report{
+		ID:    id,
+		Title: fmt.Sprintf("Figure 1 (f2=%g): coverage vs competition extent", f2),
+		PaperClaim: "coverage of the ESS peaks exactly at the exclusive policy c=0, where it " +
+			"equals the optimal symmetric coverage; it is strictly below optimal for every other c",
+		Table:  tb,
+		Charts: []*plot.Chart{panel.Chart()},
+		Notes:  notes,
+		Pass:   ok,
+	}, nil
+}
+
+// E1Figure1Left reproduces the left panel of Figure 1 (f = (1, 0.3)).
+func E1Figure1Left() (Report, error) { return figure1Report("E1", 0.3) }
+
+// E2Figure1Right reproduces the right panel of Figure 1 (f = (1, 0.5)).
+func E2Figure1Right() (Report, error) { return figure1Report("E2", 0.5) }

@@ -1,0 +1,160 @@
+// Package experiments implements the paper-reproduction harness: one entry
+// point per experiment in DESIGN.md's index (E1-E23), each returning a
+// structured Report with a rendered table, optional charts, and a Pass flag
+// recording whether the paper's qualitative claim held on this run.
+//
+// cmd/paperbench renders all reports (and regenerates EXPERIMENTS.md);
+// bench_test.go at the module root wraps each entry point in a testing.B
+// benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dispersal/internal/plot"
+	"dispersal/internal/table"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// PaperClaim states what the paper asserts.
+	PaperClaim string
+	// Table holds the measured rows.
+	Table *table.Table
+	// Charts holds optional figures (E1/E2).
+	Charts []*plot.Chart
+	// Notes carries free-form observations.
+	Notes []string
+	// Pass records whether the claim held numerically.
+	Pass bool
+}
+
+// Render writes a human-readable report section.
+func (r *Report) Render(w io.Writer) error {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s [%s]\n", r.ID, r.Title, status); err != nil {
+		return err
+	}
+	if r.PaperClaim != "" {
+		if _, err := fmt.Fprintf(w, "   paper: %s\n", r.PaperClaim); err != nil {
+			return err
+		}
+	}
+	if r.Table != nil {
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		if err := r.Table.Render(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Charts {
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		if err := c.RenderASCII(w, 64, 16); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "   note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// RenderMarkdown writes the report as a Markdown section (used to build
+// EXPERIMENTS.md).
+func (r *Report) RenderMarkdown(w io.Writer) error {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n**Status: %s.** %s\n\n", r.ID, r.Title, status, r.PaperClaim); err != nil {
+		return err
+	}
+	if r.Table != nil {
+		if err := r.Table.RenderMarkdown(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "- %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// All runs every experiment in order. Experiments are independent; an error
+// in one is recorded in its report (Pass=false) rather than aborting the
+// suite.
+func All() []Report {
+	runners := []func() (Report, error){
+		E1Figure1Left,
+		E2Figure1Right,
+		E3Observation1,
+		E4Theorem3ESS,
+		E5Theorem4Optimality,
+		E6Corollary5,
+		E7Theorem6Criticality,
+		E8SharingSPoABound,
+		E9ConstantPolicyAnarchy,
+		E10MonteCarloValidation,
+		E11ReplicatorConvergence,
+		E12BayesianSearch,
+		E13GrantMechanism,
+		E14TravelCosts,
+		E15CapacityConstraint,
+		E16SpeciesCompetition,
+		E17PureEquilibria,
+		E18Asymptotics,
+		E19RepeatedDepletion,
+		E20NoisyValues,
+		E21CompetitionSweepLargerGames,
+		E22MechanismDiscovery,
+		E23InverseIFD,
+	}
+	out := make([]Report, 0, len(runners))
+	for _, run := range runners {
+		rep, err := run()
+		if err != nil {
+			rep.Pass = false
+			rep.Notes = append(rep.Notes, fmt.Sprintf("experiment error: %v", err))
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// Summary renders a one-line-per-experiment pass/fail overview.
+func Summary(reports []Report) string {
+	var b strings.Builder
+	passed := 0
+	for _, r := range reports {
+		status := "PASS"
+		if r.Pass {
+			passed++
+		} else {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-4s %-52s %s\n", r.ID, r.Title, status)
+	}
+	fmt.Fprintf(&b, "%d/%d experiments reproduce the paper's claims\n", passed, len(reports))
+	return b.String()
+}

@@ -1,0 +1,237 @@
+// Package game is the Monte-Carlo engine for the one-shot dispersal game:
+// k players sample sites from their strategies, collide, and collect rewards
+// under a congestion policy. It validates the analytic quantities of
+// internal/coverage empirically and powers the stochastic experiments.
+//
+// Rounds are sharded across a worker pool; each worker owns a deterministic
+// PCG stream derived from the configured seed, so results are reproducible
+// for a fixed (seed, workers) pair and statistically equivalent across
+// worker counts. Per-worker statistics merge via Welford combination, so the
+// engine is lock-free on the hot path.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/stats"
+	"dispersal/internal/strategy"
+)
+
+// Errors returned by the simulator.
+var (
+	ErrRounds  = errors.New("game: rounds must be >= 1")
+	ErrPlayers = errors.New("game: player count k must be >= 1")
+	ErrProfile = errors.New("game: profile must supply one strategy per player")
+)
+
+// Config describes a simulation.
+type Config struct {
+	// F is the site-value function.
+	F site.Values
+	// K is the number of players.
+	K int
+	// C is the congestion policy.
+	C policy.Congestion
+	// Rounds is the number of independent one-shot games to play.
+	Rounds int
+	// Workers is the worker-pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Rounds {
+		cfg.Workers = cfg.Rounds
+	}
+	return cfg
+}
+
+func (cfg Config) validate() error {
+	if err := cfg.F.Validate(); err != nil {
+		return err
+	}
+	if cfg.K < 1 {
+		return fmt.Errorf("%w: k=%d", ErrPlayers, cfg.K)
+	}
+	if cfg.Rounds < 1 {
+		return fmt.Errorf("%w: rounds=%d", ErrRounds, cfg.Rounds)
+	}
+	return policy.Validate(cfg.C, cfg.K)
+}
+
+// Result aggregates per-round statistics of a simulation.
+type Result struct {
+	// Coverage summarizes the realized weighted coverage per round.
+	Coverage stats.Summary
+	// Payoff summarizes per-player realized payoffs.
+	Payoff stats.Summary
+	// CollisionFrac summarizes the per-round fraction of players that
+	// shared their site with at least one other player.
+	CollisionFrac stats.Summary
+	// DistinctSites summarizes the per-round count of distinct visited
+	// sites.
+	DistinctSites stats.Summary
+	// Occupancy[x] is the empirical probability that a given player chose
+	// site x (averaged over players and rounds).
+	Occupancy []float64
+	// Rounds echoes the number of rounds simulated.
+	Rounds int
+}
+
+// Simulate plays cfg.Rounds one-shot games in which every player draws its
+// site independently from p.
+func Simulate(cfg Config, p strategy.Strategy) (Result, error) {
+	if len(p) != len(cfg.F) {
+		return Result{}, fmt.Errorf("%w: %d sites, strategy over %d", ErrProfile, len(cfg.F), len(p))
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	smp, err := strategy.NewSampler(p)
+	if err != nil {
+		return Result{}, err
+	}
+	samplers := make([]*strategy.Sampler, cfg.K)
+	for i := range samplers {
+		samplers[i] = smp
+	}
+	return run(cfg.withDefaults(), samplers)
+}
+
+// SimulateProfile plays an asymmetric profile: player i draws from
+// profile[i]. len(profile) must equal cfg.K.
+func SimulateProfile(cfg Config, profile []strategy.Strategy) (Result, error) {
+	if len(profile) != cfg.K {
+		return Result{}, fmt.Errorf("%w: k=%d, got %d strategies", ErrProfile, cfg.K, len(profile))
+	}
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	samplers := make([]*strategy.Sampler, cfg.K)
+	for i, p := range profile {
+		if len(p) != len(cfg.F) {
+			return Result{}, fmt.Errorf("%w: player %d strategy has %d sites, want %d",
+				ErrProfile, i+1, len(p), len(cfg.F))
+		}
+		s, err := strategy.NewSampler(p)
+		if err != nil {
+			return Result{}, fmt.Errorf("player %d: %w", i+1, err)
+		}
+		samplers[i] = s
+	}
+	return run(cfg.withDefaults(), samplers)
+}
+
+// workerState carries one worker's private accumulators.
+type workerState struct {
+	coverage  stats.Welford
+	payoff    stats.Welford
+	collision stats.Welford
+	distinct  stats.Welford
+	occupancy []int64
+}
+
+func run(cfg Config, samplers []*strategy.Sampler) (Result, error) {
+	m := len(cfg.F)
+	workers := cfg.Workers
+	states := make([]workerState, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Split rounds as evenly as possible.
+		lo := cfg.Rounds * w / workers
+		hi := cfg.Rounds * (w + 1) / workers
+		if hi == lo {
+			continue
+		}
+		wg.Add(1)
+		go func(w, rounds int) {
+			defer wg.Done()
+			st := &states[w]
+			st.occupancy = make([]int64, m)
+			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(w)+0x5bf0_3635))
+			choices := make([]int, cfg.K)
+			counts := make([]int, m)
+			touched := make([]int, 0, cfg.K)
+			for r := 0; r < rounds; r++ {
+				playRound(cfg, samplers, rng, choices, counts, &touched, st)
+			}
+		}(w, hi-lo)
+	}
+	wg.Wait()
+
+	var res Result
+	var cov, pay, col, dis stats.Welford
+	occ := make([]int64, m)
+	for i := range states {
+		cov.Merge(states[i].coverage)
+		pay.Merge(states[i].payoff)
+		col.Merge(states[i].collision)
+		dis.Merge(states[i].distinct)
+		for x, c := range states[i].occupancy {
+			occ[x] += c
+		}
+	}
+	res.Coverage = cov.Summarize()
+	res.Payoff = pay.Summarize()
+	res.CollisionFrac = col.Summarize()
+	res.DistinctSites = dis.Summarize()
+	res.Occupancy = make([]float64, m)
+	totalChoices := float64(cfg.Rounds) * float64(cfg.K)
+	for x, c := range occ {
+		res.Occupancy[x] = float64(c) / totalChoices
+	}
+	res.Rounds = cfg.Rounds
+	return res, nil
+}
+
+// playRound executes one one-shot game, updating the worker state in place.
+// counts must be all-zero on entry and is restored to all-zero on exit via
+// the touched list, keeping the per-round cost O(k) independent of M.
+func playRound(cfg Config, samplers []*strategy.Sampler, rng *rand.Rand,
+	choices, counts []int, touched *[]int, st *workerState) {
+
+	*touched = (*touched)[:0]
+	for i := range choices {
+		x := samplers[i].Sample(rng)
+		choices[i] = x
+		if counts[x] == 0 {
+			*touched = append(*touched, x)
+		}
+		counts[x]++
+		st.occupancy[x]++
+	}
+
+	var roundCoverage float64
+	colliding := 0
+	for _, x := range *touched {
+		roundCoverage += cfg.F[x]
+		if counts[x] > 1 {
+			colliding += counts[x]
+		}
+	}
+	for i := range choices {
+		x := choices[i]
+		st.payoff.Add(policy.Reward(cfg.C, cfg.F[x], counts[x]))
+	}
+	st.coverage.Add(roundCoverage)
+	st.collision.Add(float64(colliding) / float64(cfg.K))
+	st.distinct.Add(float64(len(*touched)))
+
+	for _, x := range *touched {
+		counts[x] = 0
+	}
+}

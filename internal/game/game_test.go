@@ -1,0 +1,258 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+func baseConfig() Config {
+	return Config{
+		F:      site.TwoSite(0.3),
+		K:      2,
+		C:      policy.Exclusive{},
+		Rounds: 50_000,
+		Seed:   1,
+	}
+}
+
+func TestSimulateMatchesAnalyticCoverage(t *testing.T) {
+	games := []struct {
+		f site.Values
+		k int
+		c policy.Congestion
+		p strategy.Strategy
+	}{
+		{site.TwoSite(0.3), 2, policy.Exclusive{}, strategy.Uniform(2)},
+		{site.TwoSite(0.5), 2, policy.Sharing{}, strategy.Strategy{0.7, 0.3}},
+		{site.Geometric(6, 1, 0.6), 4, policy.TwoPoint{C2: -0.25}, strategy.Uniform(6)},
+		{site.Zipf(10, 1, 1), 5, policy.Sharing{}, strategy.UniformFirst(10, 5)},
+	}
+	for _, g := range games {
+		cfg := Config{F: g.f, K: g.k, C: g.c, Rounds: 200_000, Seed: 42}
+		res, err := Simulate(cfg, g.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := coverage.Cover(g.f, g.p, g.k)
+		if d := math.Abs(res.Coverage.Mean - want); d > 4*res.Coverage.CI95+1e-9 {
+			t.Errorf("M=%d k=%d %s: empirical coverage %v vs analytic %v (CI %v)",
+				len(g.f), g.k, g.c.Name(), res.Coverage.Mean, want, res.Coverage.CI95)
+		}
+		wantPay := coverage.ExpectedPayoff(g.f, g.p, g.p, g.k, g.c)
+		if d := math.Abs(res.Payoff.Mean - wantPay); d > 4*res.Payoff.CI95+1e-9 {
+			t.Errorf("payoff: empirical %v vs analytic %v", res.Payoff.Mean, wantPay)
+		}
+	}
+}
+
+func TestSimulateOccupancyMatchesStrategy(t *testing.T) {
+	p := strategy.Strategy{0.6, 0.3, 0.1}
+	cfg := Config{F: site.Values{1, 0.5, 0.2}, K: 3, C: policy.Sharing{}, Rounds: 100_000, Seed: 7}
+	res, err := Simulate(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range p {
+		if d := math.Abs(res.Occupancy[x] - p[x]); d > 0.01 {
+			t.Errorf("site %d occupancy %v, want %v", x, res.Occupancy[x], p[x])
+		}
+	}
+}
+
+func TestSimulateAtEquilibriumPayoffMatchesNu(t *testing.T) {
+	// At the IFD, the mean payoff must match the equilibrium value nu.
+	f := site.Geometric(5, 1, 0.7)
+	k := 3
+	sigma, res0, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{F: f, K: k, C: policy.Exclusive{}, Rounds: 300_000, Seed: 11}
+	res, err := Simulate(cfg, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(res.Payoff.Mean - res0.Nu); d > 4*res.Payoff.CI95+1e-9 {
+		t.Errorf("payoff %v vs nu %v", res.Payoff.Mean, res0.Nu)
+	}
+}
+
+func TestSimulateDeterministicForSeedAndWorkers(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Workers = 4
+	a, err := Simulate(cfg, strategy.Uniform(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg, strategy.Uniform(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Coverage.Mean != b.Coverage.Mean || a.Payoff.Mean != b.Payoff.Mean {
+		t.Error("same seed+workers produced different results")
+	}
+}
+
+func TestSimulateWorkerCountInvariantInDistribution(t *testing.T) {
+	// Different worker counts give statistically equivalent results.
+	cfg := baseConfig()
+	cfg.Rounds = 200_000
+	p := strategy.Uniform(2)
+	cfg.Workers = 1
+	a, err := Simulate(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Simulate(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(a.Coverage.Mean - b.Coverage.Mean); d > 4*(a.Coverage.CI95+b.Coverage.CI95) {
+		t.Errorf("worker counts disagree: %v vs %v", a.Coverage.Mean, b.Coverage.Mean)
+	}
+}
+
+func TestSimulateProfileAsymmetric(t *testing.T) {
+	// Two players on disjoint sites never collide: coverage is exactly
+	// f(1)+f(2) every round, payoffs are full values.
+	f := site.TwoSite(0.3)
+	cfg := Config{F: f, K: 2, C: policy.Exclusive{}, Rounds: 10_000, Seed: 3}
+	res, err := SimulateProfile(cfg, []strategy.Strategy{
+		strategy.Delta(2, 0),
+		strategy.Delta(2, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage.Mean != 1.3 || res.Coverage.StdDev != 0 {
+		t.Errorf("coverage %v +- %v, want exactly 1.3", res.Coverage.Mean, res.Coverage.StdDev)
+	}
+	if res.CollisionFrac.Mean != 0 {
+		t.Errorf("collisions %v, want 0", res.CollisionFrac.Mean)
+	}
+	if res.DistinctSites.Mean != 2 {
+		t.Errorf("distinct sites %v, want 2", res.DistinctSites.Mean)
+	}
+}
+
+func TestSimulateFullCollision(t *testing.T) {
+	// Everyone forced to site 1 under exclusive: zero payoff, full
+	// collision, coverage = f(1).
+	f := site.TwoSite(0.5)
+	cfg := Config{F: f, K: 4, C: policy.Exclusive{}, Rounds: 5_000, Seed: 9}
+	res, err := Simulate(cfg, strategy.Delta(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payoff.Mean != 0 {
+		t.Errorf("payoff %v, want 0", res.Payoff.Mean)
+	}
+	if res.CollisionFrac.Mean != 1 {
+		t.Errorf("collision frac %v, want 1", res.CollisionFrac.Mean)
+	}
+	if res.Coverage.Mean != 1 {
+		t.Errorf("coverage %v, want 1", res.Coverage.Mean)
+	}
+}
+
+func TestSimulateSingleWorkerSmallRounds(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Rounds = 3
+	cfg.Workers = 16 // more workers than rounds: must clamp, not hang
+	res, err := Simulate(cfg, strategy.Uniform(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 || res.Coverage.N != 3 {
+		t.Errorf("rounds: %+v", res)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	cfg := baseConfig()
+	if _, err := Simulate(cfg, strategy.Uniform(3)); !errors.Is(err, ErrProfile) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+	if _, err := Simulate(cfg, strategy.Strategy{0.5, 0.6}); err == nil {
+		t.Error("invalid strategy accepted")
+	}
+	cfg.Rounds = 0
+	if _, err := Simulate(cfg, strategy.Uniform(2)); !errors.Is(err, ErrRounds) {
+		t.Errorf("rounds=0: %v", err)
+	}
+	cfg = baseConfig()
+	cfg.K = 0
+	if _, err := Simulate(cfg, strategy.Uniform(2)); !errors.Is(err, ErrPlayers) {
+		t.Errorf("k=0: %v", err)
+	}
+	cfg = baseConfig()
+	cfg.F = site.Values{0.3, 1}
+	if _, err := Simulate(cfg, strategy.Uniform(2)); err == nil {
+		t.Error("unsorted values accepted")
+	}
+}
+
+func TestSimulateProfileErrors(t *testing.T) {
+	cfg := baseConfig()
+	if _, err := SimulateProfile(cfg, []strategy.Strategy{strategy.Uniform(2)}); !errors.Is(err, ErrProfile) {
+		t.Errorf("wrong profile size: %v", err)
+	}
+	if _, err := SimulateProfile(cfg, []strategy.Strategy{
+		strategy.Uniform(2), strategy.Uniform(5),
+	}); !errors.Is(err, ErrProfile) {
+		t.Errorf("mismatched player strategy: %v", err)
+	}
+}
+
+func TestCollisionFracMatchesAnalytic(t *testing.T) {
+	// For k=2 uniform over 2 sites, both collide with probability 1/2, so
+	// expected colliding fraction is 1/2.
+	cfg := baseConfig()
+	cfg.Rounds = 200_000
+	res, err := Simulate(cfg, strategy.Uniform(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(res.CollisionFrac.Mean - 0.5); d > 0.01 {
+		t.Errorf("collision frac %v, want 0.5", res.CollisionFrac.Mean)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	f := site.Zipf(100, 1, 1)
+	p, _, err := ifd.Exclusive(f, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{F: f, K: 10, C: policy.Exclusive{}, Rounds: 10_000, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateSerialVsParallel(b *testing.B) {
+	f := site.Zipf(50, 1, 1)
+	p := strategy.Uniform(50)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := Config{F: f, K: 8, C: policy.Sharing{}, Rounds: 50_000, Seed: 1, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(cfg, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+// Package grants reconstructs the Kleinberg-Oren [23] style mechanism the
+// paper contrasts with congestion-policy design (Section 1.6): a central
+// entity (a research foundation) keeps the sharing policy fixed but re-picks
+// the rewards r(x) attached to sites (grant sizes attached to topics) so
+// that the sharing-policy equilibrium lands on the coverage-optimal
+// distribution sigma* of the true value function f.
+//
+// Two properties matter for the comparison with the exclusive policy:
+//
+//  1. The reward redesign requires knowing the number of players k — the
+//     exclusive congestion policy does not (Section 1.1). MisestimatedK
+//     quantifies the coverage lost when the design-time k is wrong.
+//  2. The mechanism divorces rewards from values: r(x) != f(x), which is
+//     infeasible in ecological settings where f(x) is the amount of food.
+package grants
+
+import (
+	"errors"
+	"fmt"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/optimize"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// ErrPlayers is returned for invalid player counts.
+var ErrPlayers = errors.New("grants: player count k must be >= 2")
+
+// Design is a reward redesign for the sharing policy.
+type Design struct {
+	// Rewards is the redesigned reward vector r (a valid site.Values).
+	Rewards site.Values
+	// Target is the coverage-optimal strategy sigma* of the true values
+	// that the design implements as the sharing equilibrium.
+	Target strategy.Strategy
+	// Nu is the common equilibrium payoff under the design.
+	Nu float64
+}
+
+// shareGee is g(q) = E[1/(1 + Binomial(k-1, q))] = (1 - (1-q)^k) / (k q),
+// the sharing-policy congestion discount (g(0) = 1).
+func shareGee(k int, q float64) float64 {
+	return ifd.Gee(policy.Sharing{}, k, q)
+}
+
+// Rewards computes the reward redesign for the game (f, k): the returned
+// Design.Rewards, played under the sharing policy by k players, has its
+// unique IFD at sigma*(f, k), so the equilibrium coverage (measured with the
+// TRUE values f) is optimal.
+//
+// Construction: on the support of sigma*, set r(x) = nu / g(sigma*(x)) with
+// g the sharing discount and nu := 1 (rewards are scale-free); off support,
+// set r(x) = 0.9 * nu * f(x)/f(W+1) <= 0.9 * nu so unexplored sites stay
+// strictly unattractive. The vector is then rescaled to preserve the total
+// budget sum r = sum f.
+func Rewards(f site.Values, k int) (Design, error) {
+	if err := f.Validate(); err != nil {
+		return Design{}, err
+	}
+	if k < 2 {
+		return Design{}, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	target, _, err := optimize.MaxCoverage(f, k)
+	if err != nil {
+		return Design{}, err
+	}
+	m := len(f)
+	w, ok := target.IsPrefixSupport(1e-12)
+	if !ok {
+		return Design{}, fmt.Errorf("grants: optimal strategy support is not a prefix (got %v)", target)
+	}
+	const nu = 1.0
+	r := make(site.Values, m)
+	for x := 0; x < w; x++ {
+		r[x] = nu / shareGee(k, target[x])
+	}
+	for x := w; x < m; x++ {
+		// Strictly below nu, decreasing with the true value ordering.
+		r[x] = 0.9 * nu * f[x] / f[w-1]
+		if r[x] >= r[w-1] {
+			r[x] = 0.9 * r[w-1]
+		}
+	}
+	// Budget-preserving rescale (equilibria are invariant to scaling).
+	scale := f.Sum() / r.Sum()
+	for x := range r {
+		r[x] *= scale
+	}
+	if err := r.Validate(); err != nil {
+		return Design{}, fmt.Errorf("grants: designed rewards invalid: %w", err)
+	}
+	return Design{Rewards: r, Target: target, Nu: nu * scale}, nil
+}
+
+// EquilibriumCoverage returns the coverage — measured with the true values
+// f — of the sharing-policy equilibrium induced by the reward vector r when
+// k players actually show up.
+func EquilibriumCoverage(f, r site.Values, k int) (float64, strategy.Strategy, error) {
+	if len(f) != len(r) {
+		return 0, nil, errors.New("grants: reward and value dimensions differ")
+	}
+	eq, _, err := ifd.Solve(r, k, policy.Sharing{})
+	if err != nil {
+		return 0, nil, err
+	}
+	return coverage.Cover(f, eq, k), eq, nil
+}
+
+// Outcome compares mechanisms on one game.
+type Outcome struct {
+	// OptCoverage is Cover(sigma*), the ceiling.
+	OptCoverage float64
+	// GrantCoverage is the coverage achieved by the reward redesign.
+	GrantCoverage float64
+	// ExclusiveCoverage is the coverage achieved by switching the
+	// congestion policy to exclusive and leaving rewards = values.
+	ExclusiveCoverage float64
+	// SharingCoverage is the do-nothing baseline: sharing policy with
+	// rewards = values.
+	SharingCoverage float64
+}
+
+// Compare evaluates the grant mechanism, the exclusive congestion policy,
+// and the untouched sharing baseline on the same game.
+func Compare(f site.Values, k int) (Outcome, error) {
+	opt, _, err := optimize.MaxCoverage(f, k)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{OptCoverage: coverage.Cover(f, opt, k)}
+
+	design, err := Rewards(f, k)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.GrantCoverage, _, err = EquilibriumCoverage(f, design.Rewards, k)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	excl, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.ExclusiveCoverage = coverage.Cover(f, excl, k)
+
+	shareEq, _, err := ifd.Solve(f, k, policy.Sharing{})
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.SharingCoverage = coverage.Cover(f, shareEq, k)
+	return out, nil
+}
+
+// MisestimatedK designs rewards for designK players but lets trueK players
+// play, returning the achieved coverage fraction (achieved / optimal at
+// trueK). The exclusive policy's specification does not depend on k, so its
+// fraction is 1 by Theorem 4 regardless of the misestimate; the gap between
+// the two is experiment E13.
+func MisestimatedK(f site.Values, designK, trueK int) (grantFrac, exclusiveFrac float64, err error) {
+	design, err := Rewards(f, designK)
+	if err != nil {
+		return 0, 0, err
+	}
+	opt, _, err := optimize.MaxCoverage(f, trueK)
+	if err != nil {
+		return 0, 0, err
+	}
+	optCover := coverage.Cover(f, opt, trueK)
+
+	grantCover, _, err := EquilibriumCoverage(f, design.Rewards, trueK)
+	if err != nil {
+		return 0, 0, err
+	}
+	excl, _, err := ifd.Exclusive(f, trueK)
+	if err != nil {
+		return 0, 0, err
+	}
+	exclCover := coverage.Cover(f, excl, trueK)
+	return grantCover / optCover, exclCover / optCover, nil
+}

@@ -1,0 +1,128 @@
+package grants
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+func TestRewardsImplementSigmaStarUnderSharing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 11))
+	for trial := 0; trial < 25; trial++ {
+		m := 2 + rng.IntN(12)
+		k := 2 + rng.IntN(8)
+		f := site.Random(rng, m, 0.1, 4)
+		design, err := Rewards(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, _, err := ifd.Solve(design.Rewards, k, policy.Sharing{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := eq.LInf(design.Target); d > 1e-6 {
+			t.Fatalf("M=%d k=%d: sharing equilibrium misses sigma* by %v", m, k, d)
+		}
+	}
+}
+
+func TestRewardsAreValidAndBudgetPreserving(t *testing.T) {
+	f := site.Geometric(10, 1, 0.8)
+	design, err := Rewards(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := design.Rewards.Validate(); err != nil {
+		t.Errorf("rewards invalid: %v", err)
+	}
+	if !numeric.AlmostEqual(design.Rewards.Sum(), f.Sum(), 1e-9) {
+		t.Errorf("budget changed: %v vs %v", design.Rewards.Sum(), f.Sum())
+	}
+}
+
+func TestRewardsErrors(t *testing.T) {
+	if _, err := Rewards(site.Values{1, 0.5}, 1); !errors.Is(err, ErrPlayers) {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Rewards(site.Values{0.5, 1}, 3); err == nil {
+		t.Error("unsorted f accepted")
+	}
+}
+
+func TestCompareGrantAndExclusiveBothOptimal(t *testing.T) {
+	// With k known exactly, both mechanisms reach the optimum; plain
+	// sharing does not (on a slow-decay instance with a real gap).
+	k := 4
+	f := site.SlowDecay(16, k)
+	out, err := Compare(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(out.GrantCoverage, out.OptCoverage, 1e-4) {
+		t.Errorf("grant mechanism suboptimal: %v vs %v", out.GrantCoverage, out.OptCoverage)
+	}
+	if !numeric.AlmostEqual(out.ExclusiveCoverage, out.OptCoverage, 1e-6) {
+		t.Errorf("exclusive policy suboptimal: %v vs %v", out.ExclusiveCoverage, out.OptCoverage)
+	}
+	if out.SharingCoverage >= out.OptCoverage-1e-9 {
+		t.Errorf("sharing baseline unexpectedly optimal: %v vs %v", out.SharingCoverage, out.OptCoverage)
+	}
+}
+
+func TestMisestimatedKDegradesGrantsNotExclusive(t *testing.T) {
+	k := 6
+	f := site.SlowDecay(24, k)
+	grantFrac, exclFrac, err := MisestimatedK(f, 2, k) // designed for 2, played by 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(exclFrac, 1, 1e-6) {
+		t.Errorf("exclusive fraction = %v, want 1 (k-free mechanism)", exclFrac)
+	}
+	if grantFrac >= exclFrac-1e-6 {
+		t.Errorf("misdesigned grants (%v) should fall below exclusive (%v)", grantFrac, exclFrac)
+	}
+	if grantFrac <= 0 || grantFrac > 1+1e-9 {
+		t.Errorf("grant fraction out of range: %v", grantFrac)
+	}
+}
+
+func TestMisestimatedKExactEstimateIsOptimal(t *testing.T) {
+	f := site.Geometric(8, 1, 0.7)
+	grantFrac, exclFrac, err := MisestimatedK(f, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(grantFrac, 1, 1e-4) {
+		t.Errorf("exact-k grant fraction = %v, want 1", grantFrac)
+	}
+	if !numeric.AlmostEqual(exclFrac, 1, 1e-6) {
+		t.Errorf("exclusive fraction = %v, want 1", exclFrac)
+	}
+}
+
+func TestEquilibriumCoverageDimCheck(t *testing.T) {
+	if _, _, err := EquilibriumCoverage(site.Values{1, 0.5}, site.Values{1}, 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestShareGeeClosedForm(t *testing.T) {
+	// g(q) = (1-(1-q)^k)/(kq) for q > 0.
+	for _, k := range []int{2, 3, 8} {
+		for _, q := range []float64{0.1, 0.5, 0.9, 1} {
+			want := (1 - numeric.PowOneMinus(q, k)) / (float64(k) * q)
+			if got := shareGee(k, q); !numeric.AlmostEqual(got, want, 1e-10) {
+				t.Errorf("k=%d q=%v: %v != %v", k, q, got, want)
+			}
+		}
+		if got := shareGee(k, 0); !numeric.AlmostEqual(got, 1, 1e-12) {
+			t.Errorf("g(0) = %v", got)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package ifd_test
+
+import (
+	"fmt"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+// The paper's running two-site instance: sigma* in closed form.
+func ExampleExclusive() {
+	f := site.TwoSite(0.3) // f = (1, 0.3)
+	sigma, res, err := ifd.Exclusive(f, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("W = %d, alpha = %.4f\n", res.W, res.Alpha)
+	fmt.Printf("sigma* = [%.4f %.4f]\n", sigma[0], sigma[1])
+	// Output:
+	// W = 2, alpha = 0.2308
+	// sigma* = [0.7692 0.2308]
+}
+
+// The general solver handles any congestion policy; here the sharing
+// policy pushes all equilibrium mass onto the top site.
+func ExampleSolve() {
+	f := site.TwoSite(0.5)
+	eq, nu, err := ifd.Solve(f, 2, policy.Sharing{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("equilibrium = [%.3f %.3f], nu = %.3f\n", eq[0], eq[1], nu)
+	// Output:
+	// equilibrium = [1.000 0.000], nu = 0.500
+}
+
+// Check validates the IFD conditions of a candidate strategy.
+func ExampleCheck() {
+	f := site.TwoSite(0.3)
+	sigma, _, err := ifd.Exclusive(f, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ifd.Check(f, sigma, 2, policy.Exclusive{}, 1e-9) == nil)
+	// Output:
+	// true
+}

@@ -1,0 +1,286 @@
+// Package ifd computes Ideal Free Distributions — the unique symmetric Nash
+// equilibria of the dispersal game (Observation 2 of the paper).
+//
+// Two solvers are provided. Exclusive implements the paper's closed-form
+// pseudocode for sigma* under the exclusive policy Cexc (Section 2.1):
+//
+//	sigma*(x) = 1 - alpha / f(x)^(1/(k-1))   for x <= W, else 0,
+//	W     = argmax { y : sum_{x<=y} (1 - (f(y)/f(x))^(1/(k-1))) <= 1 },
+//	alpha = (W-1) / sum_{x<=W} f(x)^(-1/(k-1)).
+//
+// Solve handles any congestion policy by exploiting the factorization
+// nu_p(x) = f(x) * g(p(x)) with g(q) = E[C(1 + Binomial(k-1, q))], which is
+// strictly decreasing in q whenever C is not constant on {1..k}; it bisects
+// on the common equilibrium value nu, inverting g per site with Brent's
+// method.
+package ifd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// Errors returned by the solvers and the checker.
+var (
+	ErrPlayers     = errors.New("ifd: player count k must be >= 1")
+	ErrNotIFD      = errors.New("ifd: strategy violates the IFD conditions")
+	ErrSolveFailed = errors.New("ifd: equilibrium search failed")
+)
+
+// Result carries the structural quantities of a closed-form sigma*.
+type Result struct {
+	// W is the support size: sigma*(x) > 0 exactly for x in [1, W].
+	W int
+	// Alpha is the normalization factor of the Pareto form.
+	Alpha float64
+	// Nu is the common equilibrium value nu_p(x) = alpha^(k-1) on the
+	// support.
+	Nu float64
+}
+
+// Exclusive returns the IFD sigma* under the exclusive reward policy,
+// following the paper's pseudocode exactly. For k = 1 the game degenerates
+// to a single searcher whose unique equilibrium (and optimum) is the point
+// mass on the most valuable site.
+func Exclusive(f site.Values, k int) (strategy.Strategy, Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, Result{}, err
+	}
+	if k < 1 {
+		return nil, Result{}, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	m := len(f)
+	if k == 1 {
+		return strategy.Delta(m, 0), Result{W: 1, Alpha: 0, Nu: f[0]}, nil
+	}
+	inv := 1 / float64(k-1)
+
+	// W = largest y such that sum_{x<=y} (1 - (f(y)/f(x))^(1/(k-1))) <= 1.
+	// The partial sums are non-decreasing in y, so a linear scan with early
+	// exit is exact.
+	w := 1
+	for y := 2; y <= m; y++ {
+		var s numeric.Accumulator
+		fy := f[y-1]
+		for x := 0; x < y; x++ {
+			s.Add(1 - math.Pow(fy/f[x], inv))
+		}
+		if s.Sum() <= 1 {
+			w = y
+		} else {
+			break
+		}
+	}
+
+	// alpha = (W-1) / sum_{x<=W} f(x)^(-1/(k-1)).
+	var denom numeric.Accumulator
+	for x := 0; x < w; x++ {
+		denom.Add(math.Pow(f[x], -inv))
+	}
+	alpha := float64(w-1) / denom.Sum()
+
+	p := make(strategy.Strategy, m)
+	for x := 0; x < w; x++ {
+		p[x] = 1 - alpha*math.Pow(f[x], -inv)
+	}
+	// Guard against rounding pushing masses slightly negative (tied values
+	// at the support boundary) and renormalize the residue.
+	for x := range p {
+		if p[x] < 0 {
+			p[x] = 0
+		}
+	}
+	if _, err := p.Normalize(); err != nil {
+		return nil, Result{}, fmt.Errorf("%w: %v", ErrSolveFailed, err)
+	}
+	nu := math.Pow(alpha, float64(k-1))
+	if w == 1 {
+		nu = 0 // single-site support with k >= 2: collisions are certain
+	}
+	return p, Result{W: w, Alpha: alpha, Nu: nu}, nil
+}
+
+// Gee returns g(q) = E[C(1 + Binomial(k-1, q))] = sum_{l=1..k} C(l) *
+// P[Bin(k-1, q) = l-1], the congestion-discount factor at visit probability
+// q. nu_p(x) = f(x) * Gee(c, k, p(x)) for congestion policies.
+func Gee(c policy.Congestion, k int, q float64) float64 {
+	var acc numeric.Accumulator
+	for l := 1; l <= k; l++ {
+		w := numeric.BinomialPMF(k-1, l-1, q)
+		if w == 0 {
+			continue
+		}
+		acc.Add(c.At(l) * w)
+	}
+	return acc.Sum()
+}
+
+// isConstantOnRange reports whether C(l) == C(1) for all l in [1, k]; in
+// that case g is constant and the equilibrium concentrates on argmax f.
+func isConstantOnRange(c policy.Congestion, k int) bool {
+	c1 := c.At(1)
+	for l := 2; l <= k; l++ {
+		if c.At(l) != c1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the IFD of the game (f, k, C) and its equilibrium value nu.
+// C must be a valid congestion policy (C(1) = 1, non-increasing up to k).
+//
+// For policies constant on {1..k} (e.g. policy.Constant), every distribution
+// over the maximum-value sites is an equilibrium; Solve returns the uniform
+// split over the tied argmax sites together with nu = f(1).
+func Solve(f site.Values, k int, c policy.Congestion) (strategy.Strategy, float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if k < 1 {
+		return nil, 0, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	if err := policy.Validate(c, k); err != nil {
+		return nil, 0, err
+	}
+	m := len(f)
+	if k == 1 || m == 1 {
+		p := strategy.Delta(m, 0)
+		if m == 1 {
+			return p, f[0] * Gee(c, k, 1), nil
+		}
+		return p, f[0], nil
+	}
+	if isConstantOnRange(c, k) {
+		// Degenerate: value of a site never depends on congestion. Spread
+		// over the argmax ties for symmetry.
+		top := f[0]
+		n := 0
+		for _, v := range f {
+			if v == top {
+				n++
+			}
+		}
+		p := make(strategy.Strategy, m)
+		for i := 0; i < n; i++ {
+			p[i] = 1 / float64(n)
+		}
+		return p, top, nil
+	}
+
+	gAtOne := Gee(c, k, 1) // minimum of g
+	// Mass placed on site x at candidate equilibrium value nu.
+	massAt := func(nu float64) (strategy.Strategy, float64, error) {
+		p := make(strategy.Strategy, m)
+		var total numeric.Accumulator
+		for x := 0; x < m; x++ {
+			fx := f[x]
+			if fx <= nu {
+				continue // site unexplored: f(x)*g(0) = f(x) <= nu
+			}
+			target := nu / fx
+			if target <= gAtOne {
+				p[x] = 1
+				total.Add(1)
+				continue
+			}
+			q, err := numeric.Brent(func(q float64) float64 {
+				return Gee(c, k, q) - target
+			}, 0, 1, 1e-15, 200)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: inverting g at site %d: %v", ErrSolveFailed, x+1, err)
+			}
+			p[x] = q
+			total.Add(q)
+		}
+		return p, total.Sum(), nil
+	}
+
+	// Bracket nu: at nu = f(1), no site takes mass (total 0 <= 1); at
+	// nu = min_x f(x)*g(1) - margin, every site takes mass 1 (total m >= 1).
+	hi := f[0]
+	lo := f[m-1] * gAtOne
+	if gAtOne < 0 {
+		lo = f[0] * gAtOne
+	}
+	lo -= 1 + math.Abs(lo)*1e-3 // strict margin so all sites saturate
+	var nu float64
+	{
+		// Bisection on total mass - 1 (monotone non-increasing in nu).
+		nlo, nhi := lo, hi
+		for iter := 0; iter < 200; iter++ {
+			mid := nlo + (nhi-nlo)/2
+			_, tot, err := massAt(mid)
+			if err != nil {
+				return nil, 0, err
+			}
+			if tot > 1 {
+				nlo = mid
+			} else {
+				nhi = mid
+			}
+			if nhi-nlo < 1e-14*(1+math.Abs(nhi)) {
+				break
+			}
+		}
+		nu = nlo + (nhi-nlo)/2
+	}
+	p, _, err := massAt(nu)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := p.Normalize(); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrSolveFailed, err)
+	}
+	return p, nu, nil
+}
+
+// Check verifies the IFD conditions for p under (f, k, C) within tol:
+// all explored sites share a common value nu, and every unexplored site
+// would yield at most nu (Section 1.3). It returns nil when the conditions
+// hold.
+func Check(f site.Values, p strategy.Strategy, k int, c policy.Congestion, tol float64) error {
+	if len(f) != len(p) {
+		return fmt.Errorf("%w: dimension mismatch", ErrNotIFD)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	// Common equilibrium value over the support.
+	nu := math.Inf(-1)
+	first := true
+	for x := range f {
+		if p[x] <= tol {
+			continue
+		}
+		v := f[x] * Gee(c, k, p[x])
+		if first {
+			nu, first = v, false
+			continue
+		}
+		if !numeric.AlmostEqual(v, nu, tol) {
+			return fmt.Errorf("%w: explored sites have unequal values (%v vs %v at site %d)",
+				ErrNotIFD, nu, v, x+1)
+		}
+	}
+	if first {
+		return fmt.Errorf("%w: empty support", ErrNotIFD)
+	}
+	// Unexplored sites must not be strictly better.
+	for x := range f {
+		if p[x] > tol {
+			continue
+		}
+		if v := f[x] * Gee(c, k, 0); v > nu+tol*(1+math.Abs(nu)) {
+			return fmt.Errorf("%w: unexplored site %d yields %v > equilibrium value %v",
+				ErrNotIFD, x+1, v, nu)
+		}
+	}
+	return nil
+}

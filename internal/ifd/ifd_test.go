@@ -1,0 +1,379 @@
+package ifd
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+func TestExclusiveTwoSiteHandComputed(t *testing.T) {
+	// k=2, f=(1, 0.3): alpha = 1/(1 + 1/0.3) = 0.3/1.3.
+	f := site.TwoSite(0.3)
+	p, res, err := Exclusive(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := 0.3 / 1.3
+	if !numeric.AlmostEqual(res.Alpha, alpha, 1e-12) {
+		t.Errorf("alpha = %v, want %v", res.Alpha, alpha)
+	}
+	if res.W != 2 {
+		t.Errorf("W = %d, want 2", res.W)
+	}
+	if !numeric.AlmostEqual(p[0], 1-alpha, 1e-12) {
+		t.Errorf("p(1) = %v, want %v", p[0], 1-alpha)
+	}
+	if !numeric.AlmostEqual(p[1], 1-alpha/0.3, 1e-12) {
+		t.Errorf("p(2) = %v, want %v", p[1], 1-alpha/0.3)
+	}
+	// Equilibrium value nu = alpha^(k-1) = alpha.
+	if !numeric.AlmostEqual(res.Nu, alpha, 1e-12) {
+		t.Errorf("nu = %v, want %v", res.Nu, alpha)
+	}
+}
+
+func TestExclusiveUniformValuesGivesUniformStrategy(t *testing.T) {
+	f := site.Uniform(6, 2)
+	p, res, err := Exclusive(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 6 {
+		t.Errorf("W = %d, want 6", res.W)
+	}
+	for _, v := range p {
+		if !numeric.AlmostEqual(v, 1.0/6, 1e-12) {
+			t.Fatalf("p = %v, want uniform", p)
+		}
+	}
+}
+
+func TestExclusiveSatisfiesIFDConditions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.IntN(30)
+		k := 2 + rng.IntN(12)
+		f := site.Random(rng, m, 0.05, 5)
+		p, res, err := Exclusive(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid sigma*: %v", err)
+		}
+		if err := Check(f, p, k, policy.Exclusive{}, 1e-8); err != nil {
+			t.Fatalf("M=%d k=%d: %v", m, k, err)
+		}
+		// Support is a prefix of length W.
+		w, ok := p.IsPrefixSupport(1e-12)
+		if !ok || w != res.W {
+			t.Fatalf("support: got (%d, %v), want prefix of %d", w, ok, res.W)
+		}
+	}
+}
+
+func TestExclusiveKOne(t *testing.T) {
+	f := site.Values{3, 2, 1}
+	p, res, err := Exclusive(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 || res.W != 1 || res.Nu != 3 {
+		t.Errorf("k=1: p=%v res=%+v", p, res)
+	}
+}
+
+func TestExclusiveSingleSite(t *testing.T) {
+	f := site.Values{5}
+	p, res, err := Exclusive(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 || res.W != 1 {
+		t.Errorf("single site: p=%v res=%+v", p, res)
+	}
+	if res.Nu != 0 {
+		t.Errorf("nu with certain collisions = %v, want 0", res.Nu)
+	}
+}
+
+func TestExclusiveRejectsBadInput(t *testing.T) {
+	if _, _, err := Exclusive(site.Values{1, 2}, 2); err == nil {
+		t.Error("unsorted f accepted")
+	}
+	if _, _, err := Exclusive(site.Values{1}, 0); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := Exclusive(nil, 2); err == nil {
+		t.Error("nil f accepted")
+	}
+}
+
+func TestExclusiveSupportShrinksWithSkew(t *testing.T) {
+	// Steep value decay concentrates the IFD on fewer sites.
+	k := 3
+	flat := site.Geometric(20, 1, 0.99)
+	steep := site.Geometric(20, 1, 0.2)
+	_, rFlat, err := Exclusive(flat, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rSteep, err := Exclusive(steep, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSteep.W >= rFlat.W {
+		t.Errorf("W(steep)=%d should be < W(flat)=%d", rSteep.W, rFlat.W)
+	}
+}
+
+func TestGeeBoundaries(t *testing.T) {
+	// g(0) = C(1) = 1; g(1) = C(k).
+	for _, c := range policy.Standard() {
+		for _, k := range []int{2, 5, 9} {
+			if got := Gee(c, k, 0); !numeric.AlmostEqual(got, 1, 1e-12) {
+				t.Errorf("%s k=%d: g(0) = %v", c.Name(), k, got)
+			}
+			if got, want := Gee(c, k, 1), c.At(k); !numeric.AlmostEqual(got, want, 1e-12) {
+				t.Errorf("%s k=%d: g(1) = %v, want %v", c.Name(), k, got, want)
+			}
+		}
+	}
+}
+
+func TestGeeMonotone(t *testing.T) {
+	for _, c := range policy.Standard() {
+		prev := math.Inf(1)
+		for _, q := range numeric.Linspace(0, 1, 101) {
+			g := Gee(c, 6, q)
+			if g > prev+1e-12 {
+				t.Fatalf("%s: g increased at q=%v", c.Name(), q)
+			}
+			prev = g
+		}
+	}
+}
+
+func TestGeeMatchesSiteValue(t *testing.T) {
+	// f(x)*g(p(x)) must equal coverage.SiteValue.
+	f := site.Values{1, 0.6, 0.2}
+	p := strategy.Strategy{0.5, 0.3, 0.2}
+	for _, c := range policy.Standard() {
+		for x := range f {
+			want := coverage.SiteValue(f, p, 5, c, x)
+			got := f[x] * Gee(c, 5, p[x])
+			if !numeric.AlmostEqual(got, want, 1e-10) {
+				t.Errorf("%s x=%d: %v != %v", c.Name(), x, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveMatchesClosedFormOnExclusive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.IntN(15)
+		k := 2 + rng.IntN(8)
+		f := site.Random(rng, m, 0.1, 3)
+		want, res, err := Exclusive(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, nu, err := Solve(f, k, policy.Exclusive{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := want.LInf(got); d > 1e-7 {
+			t.Fatalf("M=%d k=%d: solver deviates from closed form by %v\nwant %v\ngot  %v", m, k, d, want, got)
+		}
+		if !numeric.AlmostEqual(nu, res.Nu, 1e-6) {
+			t.Fatalf("nu: %v vs %v", nu, res.Nu)
+		}
+	}
+}
+
+func TestSolveSharingSatisfiesIFD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	policies := []policy.Congestion{
+		policy.Sharing{},
+		policy.TwoPoint{C2: 0.25},
+		policy.TwoPoint{C2: -0.25},
+		policy.PowerLaw{Beta: 2},
+		policy.Cooperative{Gamma: 0.9},
+		policy.Aggressive{Penalty: 0.5},
+	}
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.IntN(10)
+		k := 2 + rng.IntN(6)
+		f := site.Random(rng, m, 0.2, 4)
+		for _, c := range policies {
+			p, _, err := Solve(f, k, c)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			if err := Check(f, p, k, c, 1e-6); err != nil {
+				t.Fatalf("%s M=%d k=%d: %v (p=%v)", c.Name(), m, k, err, p)
+			}
+		}
+	}
+}
+
+func TestSolveConstantPolicyConcentratesOnArgmax(t *testing.T) {
+	f := site.Values{2, 2, 1}
+	p, nu, err := Solve(f, 5, policy.Constant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(p[0], 0.5, 1e-12) || !numeric.AlmostEqual(p[1], 0.5, 1e-12) || p[2] != 0 {
+		t.Errorf("constant policy IFD = %v, want mass on tied argmax", p)
+	}
+	if nu != 2 {
+		t.Errorf("nu = %v, want 2", nu)
+	}
+}
+
+func TestSolveSharingTwoSitesHandComputed(t *testing.T) {
+	// k=2, sharing, f=(1, 0.5). g(q) = (1-q) + q/2 = 1 - q/2.
+	// Interior equilibrium: 1*(1 - p1/2) = 0.5*(1 - p2/2), p1+p2 = 1.
+	// => 1 - p1/2 = 0.5 - 0.25(1-p1) => 1 - p1/2 = 0.25 + 0.25 p1
+	// => 0.75 = 0.75 p1 => p1 = 1. Boundary: all mass on site 1,
+	// value site1 = 1*(1-1/2) = 0.5, site2 = 0.5 <= 0.5. Equilibrium.
+	f := site.TwoSite(0.5)
+	p, nu, err := Solve(f, 2, policy.Sharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(p[0], 1, 1e-6) {
+		t.Errorf("p = %v, want all mass on site 1", p)
+	}
+	if !numeric.AlmostEqual(nu, 0.5, 1e-6) {
+		t.Errorf("nu = %v, want 0.5", nu)
+	}
+}
+
+func TestSolveSharingInteriorHandComputed(t *testing.T) {
+	// k=2, sharing, f=(1, 0.8): interior since f2 > nu at boundary.
+	// 1 - p/2 = 0.8*(1 - (1-p)/2) = 0.8*(0.5 + p/2) = 0.4 + 0.4p
+	// => 0.6 = 0.9p => p = 2/3.
+	f := site.TwoSite(0.8)
+	p, _, err := Solve(f, 2, policy.Sharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(p[0], 2.0/3, 1e-6) {
+		t.Errorf("p(1) = %v, want 2/3", p[0])
+	}
+}
+
+func TestSolveKOne(t *testing.T) {
+	f := site.Values{2, 1}
+	p, nu, err := Solve(f, 1, policy.Sharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 || nu != 2 {
+		t.Errorf("k=1: p=%v nu=%v", p, nu)
+	}
+}
+
+func TestSolveSingleSite(t *testing.T) {
+	f := site.Values{4}
+	p, nu, err := Solve(f, 3, policy.Sharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 {
+		t.Errorf("p = %v", p)
+	}
+	// nu = f * g(1) = 4 * C(3) = 4/3.
+	if !numeric.AlmostEqual(nu, 4.0/3, 1e-9) {
+		t.Errorf("nu = %v, want 4/3", nu)
+	}
+}
+
+func TestSolveRejectsInvalidPolicy(t *testing.T) {
+	bad := policy.Table{Head: []float64{1, 0.2, 0.9}, Tail: 0} // non-monotone
+	if _, _, err := Solve(site.Values{1, 0.5}, 3, bad); err == nil {
+		t.Error("non-monotone policy accepted")
+	}
+}
+
+func TestSolveRejectsBadGame(t *testing.T) {
+	if _, _, err := Solve(site.Values{1, 0.5}, 0, policy.Sharing{}); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := Solve(site.Values{0.5, 1}, 2, policy.Sharing{}); err == nil {
+		t.Error("unsorted f accepted")
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	f := site.TwoSite(0.3)
+	// Uniform is not the IFD here.
+	if err := Check(f, strategy.Uniform(2), 2, policy.Exclusive{}, 1e-9); !errors.Is(err, ErrNotIFD) {
+		t.Errorf("uniform accepted as IFD: %v", err)
+	}
+	// Point mass on site 2 leaves site 1 strictly better.
+	if err := Check(f, strategy.Delta(2, 1), 2, policy.Exclusive{}, 1e-9); !errors.Is(err, ErrNotIFD) {
+		t.Errorf("delta(2) accepted as IFD: %v", err)
+	}
+	// Dimension mismatch.
+	if err := Check(f, strategy.Uniform(3), 2, policy.Exclusive{}, 1e-9); !errors.Is(err, ErrNotIFD) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+}
+
+func TestCheckAcceptsKnownIFD(t *testing.T) {
+	f := site.TwoSite(0.3)
+	p, _, err := Exclusive(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f, p, 2, policy.Exclusive{}, 1e-9); err != nil {
+		t.Errorf("true IFD rejected: %v", err)
+	}
+}
+
+func TestIFDUniquenessAcrossSolvers(t *testing.T) {
+	// Observation 2: the symmetric NE is unique; both solvers and any
+	// IFD-satisfying strategy must coincide.
+	f := site.Geometric(8, 1, 0.75)
+	k := 4
+	a, _, err := Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Solve(f, k, policy.Exclusive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.LInf(b); d > 1e-7 {
+		t.Errorf("solvers disagree by %v", d)
+	}
+}
+
+func TestExclusiveAggressionRaisesNothing(t *testing.T) {
+	// Sanity: IFDs under increasingly negative two-point policies spread
+	// mass more evenly (higher entropy) than sharing.
+	f := site.Geometric(6, 1, 0.6)
+	k := 3
+	pShare, _, err := Solve(f, k, policy.TwoPoint{C2: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAggr, _, err := Solve(f, k, policy.TwoPoint{C2: -0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pAggr.Entropy() <= pShare.Entropy() {
+		t.Errorf("aggression should spread the IFD: H(aggr)=%v <= H(share)=%v",
+			pAggr.Entropy(), pShare.Entropy())
+	}
+}

@@ -1,0 +1,144 @@
+package ifd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// gameFromRaw deterministically builds a valid random game from quick's raw
+// float/byte material.
+func gameFromRaw(mRaw, kRaw uint8, shape float64) (site.Values, int) {
+	m := int(mRaw%20) + 2
+	k := int(kRaw%10) + 2
+	ratio := 0.2 + 0.79*math.Abs(math.Mod(shape, 1))
+	return site.Geometric(m, 1, ratio), k
+}
+
+func TestQuickSigmaStarIsDistributionWithPrefixSupport(t *testing.T) {
+	prop := func(mRaw, kRaw uint8, shape float64) bool {
+		f, k := gameFromRaw(mRaw, kRaw, shape)
+		p, res, err := Exclusive(f, k)
+		if err != nil {
+			return false
+		}
+		if p.Validate() != nil {
+			return false
+		}
+		w, ok := p.IsPrefixSupport(1e-12)
+		return ok && w == res.W
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSigmaStarSatisfiesIFD(t *testing.T) {
+	prop := func(mRaw, kRaw uint8, shape float64) bool {
+		f, k := gameFromRaw(mRaw, kRaw, shape)
+		p, _, err := Exclusive(f, k)
+		if err != nil {
+			return false
+		}
+		return Check(f, p, k, policy.Exclusive{}, 1e-7) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSigmaStarBeatsUniformCoverage(t *testing.T) {
+	prop := func(mRaw, kRaw uint8, shape float64) bool {
+		f, k := gameFromRaw(mRaw, kRaw, shape)
+		p, _, err := Exclusive(f, k)
+		if err != nil {
+			return false
+		}
+		return coverage.Cover(f, p, k) >= coverage.Cover(f, strategy.Uniform(len(f)), k)-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGeneralSolverSatisfiesIFDForTwoPointFamily(t *testing.T) {
+	prop := func(mRaw, kRaw uint8, shape, c2Raw float64) bool {
+		f, k := gameFromRaw(mRaw, kRaw, shape)
+		c2 := math.Mod(math.Abs(c2Raw), 1) - 0.5 // in [-0.5, 0.5)
+		pol := policy.TwoPoint{C2: c2}
+		p, _, err := Solve(f, k, pol)
+		if err != nil {
+			return false
+		}
+		return Check(f, p, k, pol, 1e-5) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEquilibriumValueBelowTopSite(t *testing.T) {
+	// nu <= f(1): no one can earn more than the best site pays a lone
+	// visitor.
+	prop := func(mRaw, kRaw uint8, shape float64) bool {
+		f, k := gameFromRaw(mRaw, kRaw, shape)
+		for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}} {
+			_, nu, err := Solve(f, k, c)
+			if err != nil {
+				return false
+			}
+			if nu > f[0]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMorePlayersLowerEquilibriumPayoff(t *testing.T) {
+	// Under the exclusive policy, adding players can only reduce the
+	// per-player equilibrium payoff nu.
+	prop := func(mRaw, kRaw uint8, shape float64) bool {
+		f, k := gameFromRaw(mRaw, kRaw, shape)
+		_, r1, err := Exclusive(f, k)
+		if err != nil {
+			return false
+		}
+		_, r2, err := Exclusive(f, k+1)
+		if err != nil {
+			return false
+		}
+		return r2.Nu <= r1.Nu+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCoverageImprovesWithPlayers(t *testing.T) {
+	// Group coverage of sigma*(k) is non-decreasing in k even though the
+	// strategy changes with k.
+	prop := func(mRaw, kRaw uint8, shape float64) bool {
+		f, k := gameFromRaw(mRaw, kRaw, shape)
+		p1, _, err := Exclusive(f, k)
+		if err != nil {
+			return false
+		}
+		p2, _, err := Exclusive(f, k+1)
+		if err != nil {
+			return false
+		}
+		return coverage.Cover(f, p2, k+1) >= coverage.Cover(f, p1, k)-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

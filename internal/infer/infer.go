@@ -1,0 +1,143 @@
+// Package infer inverts the Ideal Free Distribution: given the observed
+// occupancy of sites by a population at equilibrium, it recovers the
+// relative site values f(x). This is the classical empirical use of IFD
+// theory in ecology (the papers the reproduction's Section 1.3 cites
+// measure animal distributions to infer patch quality); here it doubles as
+// a consistency check of the whole pipeline — values simulated through the
+// Monte-Carlo engine must invert back to themselves (experiment E23).
+//
+// At a symmetric equilibrium of a congestion policy C, every explored site
+// satisfies f(x) * g(p(x)) = nu with g(q) = E[C(1 + Binomial(k-1, q))], so
+//
+//	f(x) = nu / g(p(x))   for sites with p(x) > 0,
+//
+// and unexplored sites only admit the bound f(x) <= nu. Estimate plugs in
+// observed occupancy frequencies and normalizes to f_hat(1) = 1.
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/policy"
+)
+
+// Errors returned by the estimator.
+var (
+	ErrPlayers     = errors.New("infer: player count k must be >= 2")
+	ErrOccupancy   = errors.New("infer: occupancy must be a probability vector")
+	ErrEmpty       = errors.New("infer: no site has positive occupancy")
+	ErrDegenerateG = errors.New("infer: congestion discount vanished; cannot invert")
+)
+
+// Estimate is the recovered relative value profile.
+type Estimate struct {
+	// Rel holds the inferred values normalized so the largest is 1.
+	// Unexplored sites carry their upper bound (see Bounded).
+	Rel []float64
+	// InSupport reports whether each site had positive observed occupancy
+	// (only those values are point-identified; the rest are bounds).
+	InSupport []bool
+	// Nu is the inferred common equilibrium payoff in the same normalized
+	// units.
+	Nu float64
+}
+
+// Values recovers relative site values from observed per-player occupancy
+// probabilities occ (occ[x] estimates p(x); they should sum to ~1), under
+// the assumption that the population plays the symmetric equilibrium of
+// congestion policy c with k players per game.
+func Values(occ []float64, k int, c policy.Congestion, tol float64) (Estimate, error) {
+	if k < 2 {
+		return Estimate{}, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	if len(occ) == 0 {
+		return Estimate{}, ErrEmpty
+	}
+	var sum float64
+	for x, q := range occ {
+		if math.IsNaN(q) || q < 0 || q > 1 {
+			return Estimate{}, fmt.Errorf("%w: occ(%d) = %v", ErrOccupancy, x+1, q)
+		}
+		sum += q
+	}
+	if math.Abs(sum-1) > 0.05 {
+		return Estimate{}, fmt.Errorf("%w: total %v", ErrOccupancy, sum)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	est := Estimate{
+		Rel:       make([]float64, len(occ)),
+		InSupport: make([]bool, len(occ)),
+	}
+	// Invert on the support with nu = 1, then renormalize.
+	anySupport := false
+	for x, q := range occ {
+		if q <= tol {
+			continue
+		}
+		g := ifd.Gee(c, k, q)
+		if g <= 0 {
+			return Estimate{}, fmt.Errorf("%w at site %d (g=%v)", ErrDegenerateG, x+1, g)
+		}
+		est.Rel[x] = 1 / g
+		est.InSupport[x] = true
+		anySupport = true
+	}
+	if !anySupport {
+		return Estimate{}, ErrEmpty
+	}
+	// Unexplored sites: f(x) <= nu, i.e. 1 in the pre-normalized units.
+	for x := range est.Rel {
+		if !est.InSupport[x] {
+			est.Rel[x] = 1
+		}
+	}
+	// Normalize to max 1.
+	max := 0.0
+	for _, v := range est.Rel {
+		if v > max {
+			max = v
+		}
+	}
+	for x := range est.Rel {
+		est.Rel[x] /= max
+	}
+	est.Nu = 1 / max
+	return est, nil
+}
+
+// MaxRelativeError compares the estimate to the true values on the
+// identified support (both are rescaled so their first in-support entries
+// agree) and returns the largest relative error over in-support sites.
+func (e Estimate) MaxRelativeError(truth []float64) (float64, error) {
+	if len(truth) != len(e.Rel) {
+		return 0, fmt.Errorf("infer: %d true values for %d sites", len(truth), len(e.Rel))
+	}
+	// Scale match on the first in-support site.
+	ref := -1
+	for x, in := range e.InSupport {
+		if in {
+			ref = x
+			break
+		}
+	}
+	if ref < 0 {
+		return 0, ErrEmpty
+	}
+	scale := truth[ref] / e.Rel[ref]
+	var worst float64
+	for x, in := range e.InSupport {
+		if !in {
+			continue
+		}
+		err := math.Abs(e.Rel[x]*scale-truth[x]) / truth[x]
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,164 @@
+package infer
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dispersal/internal/game"
+	"dispersal/internal/ifd"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+func TestExactOccupancyRecoversValuesExclusive(t *testing.T) {
+	// Feed the estimator the *exact* equilibrium occupancy: recovery must
+	// be exact on the support.
+	f := site.Geometric(6, 1, 0.7)
+	k := 3
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Values(sigma, k, policy.Exclusive{}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := est.MaxRelativeError(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("exact inversion error %v", worst)
+	}
+}
+
+func TestExactOccupancyRecoversValuesSharing(t *testing.T) {
+	f := site.TwoSite(0.8)
+	k := 2
+	eq, _, err := ifd.Solve(f, k, policy.Sharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Values(eq, k, policy.Sharing{}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := est.MaxRelativeError(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-6 {
+		t.Errorf("sharing inversion error %v", worst)
+	}
+}
+
+func TestUnexploredSitesCarryUpperBound(t *testing.T) {
+	// Steep landscape: sigma* skips the tail; the estimate must mark those
+	// sites out of support and bound them by nu.
+	f := site.Geometric(8, 1, 0.3)
+	k := 2
+	sigma, res, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W >= 8 {
+		t.Skip("need a truncated support")
+	}
+	est, err := Values(sigma, k, policy.Exclusive{}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := res.W; x < 8; x++ {
+		if est.InSupport[x] {
+			t.Errorf("site %d should be out of support", x+1)
+		}
+		// The bound holds for the true values: f(x) <= nu.
+		if f[x] > res.Nu+1e-9 {
+			t.Errorf("true value violates the inferred bound at %d", x+1)
+		}
+	}
+}
+
+func TestEstimatorConsistencyFromSimulation(t *testing.T) {
+	// End-to-end: simulate equilibrium play, estimate values from the
+	// observed occupancy, and watch the error shrink with the sample size.
+	f := site.Geometric(5, 1, 0.75)
+	k := 3
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, rounds := range []int{2_000, 50_000, 1_000_000} {
+		res, err := game.Simulate(game.Config{
+			F: f, K: k, C: policy.Exclusive{}, Rounds: rounds, Seed: 23,
+		}, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Values(res.Occupancy, k, policy.Exclusive{}, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := est.MaxRelativeError(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > prev*1.5 { // allow sampling noise, demand the trend
+			t.Errorf("error did not shrink: %v after %v (rounds=%d)", worst, prev, rounds)
+		}
+		prev = worst
+	}
+	if prev > 0.01 {
+		t.Errorf("estimator error at 1M rounds still %v", prev)
+	}
+}
+
+func TestValuesValidation(t *testing.T) {
+	if _, err := Values([]float64{0.5, 0.5}, 1, policy.Exclusive{}, 0); !errors.Is(err, ErrPlayers) {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Values(nil, 2, policy.Exclusive{}, 0); !errors.Is(err, ErrEmpty) {
+		t.Error("empty occupancy accepted")
+	}
+	if _, err := Values([]float64{1.5, -0.5}, 2, policy.Exclusive{}, 0); !errors.Is(err, ErrOccupancy) {
+		t.Error("invalid probabilities accepted")
+	}
+	if _, err := Values([]float64{0.2, 0.2}, 2, policy.Exclusive{}, 0); !errors.Is(err, ErrOccupancy) {
+		t.Error("non-normalized occupancy accepted")
+	}
+	if _, err := Values([]float64{0, 0}, 2, policy.Exclusive{}, 0); err == nil {
+		t.Error("all-zero occupancy accepted")
+	}
+}
+
+func TestMaxRelativeErrorValidation(t *testing.T) {
+	est := Estimate{Rel: []float64{1, 0.5}, InSupport: []bool{true, true}}
+	if _, err := est.MaxRelativeError([]float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	empty := Estimate{Rel: []float64{1}, InSupport: []bool{false}}
+	if _, err := empty.MaxRelativeError([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Error("no-support estimate accepted")
+	}
+}
+
+func TestNuConsistency(t *testing.T) {
+	// The inferred nu (in f(1)=1 units) must match alpha^(k-1)/f(1) for
+	// the exclusive policy.
+	f := site.TwoSite(0.5)
+	k := 3
+	sigma, res, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Values(sigma, k, policy.Exclusive{}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Nu / f[0]
+	if math.Abs(est.Nu-want) > 1e-9 {
+		t.Errorf("inferred nu %v, want %v", est.Nu, want)
+	}
+}

@@ -1,0 +1,222 @@
+// Package mechanism searches the space of congestion policies for the one
+// whose equilibrium maximizes coverage — the mechanism-design question the
+// paper answers analytically (Theorems 4 and 6: the exclusive policy, and
+// only it, is optimal for every value function). This package answers it
+// constructively: a designer who had never read the paper, armed only with
+// the IFD solver and a coverage oracle, would *find* Cexc by optimization.
+// Experiment E22 runs that discovery on several landscapes.
+//
+// The search space is the set of table policies C(1) = 1,
+// C(l) = levels[l-2] for 2 <= l <= k (constant beyond), with levels in
+// [lo, hi] and the non-increasing constraint enforced by projection.
+// The objective Cover(IFD(C)) is piecewise smooth in the levels, so
+// coordinate descent with shrinking step sizes plus multi-start is
+// sufficient and dependency-free.
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+// Errors returned by the optimizer.
+var (
+	ErrPlayers = errors.New("mechanism: player count k must be >= 2")
+	ErrBounds  = errors.New("mechanism: invalid level bounds")
+)
+
+// Design is a candidate congestion policy in the search space.
+type Design struct {
+	// Levels holds C(2), ..., C(k); C(1) is fixed to 1 and C(l > k) =
+	// Levels[k-2].
+	Levels []float64
+	// Coverage is the equilibrium coverage it induces on the target f.
+	Coverage float64
+}
+
+// Policy materializes the design as a policy.Congestion.
+func (d Design) Policy() policy.Congestion {
+	head := make([]float64, len(d.Levels)+1)
+	head[0] = 1
+	copy(head[1:], d.Levels)
+	tail := 0.0
+	if n := len(d.Levels); n > 0 {
+		tail = d.Levels[n-1]
+	}
+	return policy.Table{Head: head, Tail: tail}
+}
+
+// Options configure Optimize.
+type Options struct {
+	// Lo and Hi bound each level (defaults -1 and 1).
+	Lo, Hi float64
+	// Starts is the number of random restarts in addition to the
+	// structured ones (default 6).
+	Starts int
+	// Sweeps is the number of coordinate-descent sweeps per start
+	// (default 40).
+	Sweeps int
+	// Seed drives the random restarts.
+	Seed uint64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Lo == 0 && o.Hi == 0 {
+		o.Lo, o.Hi = -1, 1
+	}
+	if o.Hi <= o.Lo {
+		return o, fmt.Errorf("%w: [%v, %v]", ErrBounds, o.Lo, o.Hi)
+	}
+	if o.Starts <= 0 {
+		o.Starts = 6
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = 40
+	}
+	return o, nil
+}
+
+// project enforces 1 >= C(2) >= C(3) >= ... and the [lo, hi] box by a
+// simple monotone pass (isotonic clipping: each level is clamped below its
+// predecessor).
+func project(levels []float64, lo, hi float64) {
+	prev := 1.0
+	for i := range levels {
+		if levels[i] > hi {
+			levels[i] = hi
+		}
+		if levels[i] < lo {
+			levels[i] = lo
+		}
+		if levels[i] > prev {
+			levels[i] = prev
+		}
+		prev = levels[i]
+	}
+}
+
+// equilibriumCoverage evaluates the objective for a level vector.
+func equilibriumCoverage(f site.Values, k int, levels []float64) (float64, error) {
+	d := Design{Levels: levels}
+	eq, _, err := ifd.Solve(f, k, d.Policy())
+	if err != nil {
+		return 0, err
+	}
+	return coverage.Cover(f, eq, k), nil
+}
+
+// Optimize searches for the congestion policy maximizing equilibrium
+// coverage on the game (f, k). It returns the best design found. By
+// Theorems 4 and 6 the global optimum is the exclusive policy (all levels
+// 0); the tests and experiment E22 confirm the optimizer lands there.
+func Optimize(f site.Values, k int, opts Options) (Design, error) {
+	if err := f.Validate(); err != nil {
+		return Design{}, err
+	}
+	if k < 2 {
+		return Design{}, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return Design{}, err
+	}
+	n := k - 1 // levels C(2..k)
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x41c64e6d))
+
+	starts := [][]float64{
+		sharingLevels(k), // C(l) = 1/l
+		constantLevels(n, opts.Hi),
+		constantLevels(n, opts.Lo),
+		constantLevels(n, 0.5),
+	}
+	for s := 0; s < opts.Starts; s++ {
+		lv := make([]float64, n)
+		for i := range lv {
+			lv[i] = opts.Lo + rng.Float64()*(opts.Hi-opts.Lo)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(lv)))
+		starts = append(starts, lv)
+	}
+
+	var best Design
+	first := true
+	for _, start := range starts {
+		lv := make([]float64, n)
+		copy(lv, start)
+		project(lv, opts.Lo, opts.Hi)
+		cur, err := equilibriumCoverage(f, k, lv)
+		if err != nil {
+			return Design{}, err
+		}
+		step := (opts.Hi - opts.Lo) / 4
+		for sweep := 0; sweep < opts.Sweeps; sweep++ {
+			improved := false
+			for i := 0; i < n; i++ {
+				for _, dir := range []float64{+1, -1} {
+					cand := make([]float64, n)
+					copy(cand, lv)
+					cand[i] += dir * step
+					project(cand, opts.Lo, opts.Hi)
+					v, err := equilibriumCoverage(f, k, cand)
+					if err != nil {
+						continue // infeasible candidate; skip
+					}
+					if v > cur+1e-12 {
+						copy(lv, cand)
+						cur = v
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				step /= 2
+				if step < 1e-10 {
+					break
+				}
+			}
+		}
+		if first || cur > best.Coverage {
+			best = Design{Levels: lv, Coverage: cur}
+			first = false
+		}
+	}
+	return best, nil
+}
+
+// MaxLevelMagnitude returns the largest |C(l)| over the design's levels —
+// the distance from the exclusive policy in the sup norm.
+func (d Design) MaxLevelMagnitude() float64 {
+	var m float64
+	for _, v := range d.Levels {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func sharingLevels(k int) []float64 {
+	lv := make([]float64, k-1)
+	for l := 2; l <= k; l++ {
+		lv[l-2] = 1 / float64(l)
+	}
+	return lv
+}
+
+func constantLevels(n int, v float64) []float64 {
+	lv := make([]float64, n)
+	for i := range lv {
+		lv[i] = v
+	}
+	return lv
+}

@@ -1,0 +1,130 @@
+package mechanism
+
+import (
+	"errors"
+	"testing"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+func TestOptimizeRecoversExclusivePolicy(t *testing.T) {
+	// Theorem 6, constructively: the best table policy has all levels at 0
+	// (within search resolution) and achieves the sigma* coverage.
+	cases := []struct {
+		name string
+		f    site.Values
+		k    int
+	}{
+		{"two-site", site.TwoSite(0.3), 2},
+		{"geometric", site.Geometric(8, 1, 0.75), 3},
+		{"slow-decay", site.SlowDecay(12, 3), 3},
+	}
+	for _, c := range cases {
+		d, err := Optimize(c.f, c.k, Options{Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		sigma, _, err := ifd.Exclusive(c.f, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := coverage.Cover(c.f, sigma, c.k)
+		if !numeric.AlmostEqual(d.Coverage, want, 1e-4) {
+			t.Errorf("%s: optimized coverage %v, optimum %v (levels %v)",
+				c.name, d.Coverage, want, d.Levels)
+		}
+		if d.MaxLevelMagnitude() > 0.05 {
+			t.Errorf("%s: optimizer did not land near Cexc: levels %v", c.name, d.Levels)
+		}
+	}
+}
+
+func TestOptimizeBeatsSharingStart(t *testing.T) {
+	f := site.SlowDecay(12, 3)
+	k := 3
+	d, err := Optimize(f, k, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareEq, _, err := ifd.Solve(f, k, policy.Sharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareCover := coverage.Cover(f, shareEq, k)
+	if d.Coverage <= shareCover {
+		t.Errorf("optimizer (%v) no better than sharing (%v)", d.Coverage, shareCover)
+	}
+}
+
+func TestDesignPolicyIsValidCongestion(t *testing.T) {
+	d := Design{Levels: []float64{0.5, 0.2, -0.1}}
+	if err := policy.Validate(d.Policy(), 10); err != nil {
+		t.Errorf("materialized policy invalid: %v", err)
+	}
+	if got := d.Policy().At(1); got != 1 {
+		t.Errorf("C(1) = %v", got)
+	}
+	if got := d.Policy().At(3); got != 0.2 {
+		t.Errorf("C(3) = %v", got)
+	}
+	if got := d.Policy().At(99); got != -0.1 {
+		t.Errorf("tail C(99) = %v", got)
+	}
+}
+
+func TestDesignPolicyEmptyLevels(t *testing.T) {
+	d := Design{}
+	if got := d.Policy().At(2); got != 0 {
+		t.Errorf("empty design tail = %v", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	lv := []float64{2, 0.5, 0.9, -3}
+	project(lv, -1, 1)
+	// Clamped to [−1,1] and non-increasing.
+	want := []float64{1, 0.5, 0.5, -1}
+	for i := range lv {
+		if lv[i] != want[i] {
+			t.Errorf("project = %v, want %v", lv, want)
+			break
+		}
+	}
+}
+
+func TestMaxLevelMagnitude(t *testing.T) {
+	d := Design{Levels: []float64{0.1, -0.7, 0.3}}
+	if got := d.MaxLevelMagnitude(); got != 0.7 {
+		t.Errorf("MaxLevelMagnitude = %v", got)
+	}
+	if got := (Design{}).MaxLevelMagnitude(); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	if _, err := Optimize(site.Values{1, 0.5}, 1, Options{}); !errors.Is(err, ErrPlayers) {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Optimize(site.Values{0.5, 1}, 2, Options{}); err == nil {
+		t.Error("unsorted f accepted")
+	}
+	if _, err := Optimize(site.Values{1, 0.5}, 2, Options{Lo: 1, Hi: 0}); !errors.Is(err, ErrBounds) {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestSharingLevels(t *testing.T) {
+	lv := sharingLevels(4)
+	want := []float64{0.5, 1.0 / 3, 0.25}
+	for i := range lv {
+		if !numeric.AlmostEqual(lv[i], want[i], 1e-12) {
+			t.Errorf("sharingLevels = %v", lv)
+			break
+		}
+	}
+}

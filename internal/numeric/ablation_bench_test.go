@@ -1,0 +1,99 @@
+package numeric
+
+// Ablation benchmarks for the numeric-kernel design choices: compensated
+// vs naive summation, log-space vs direct binomial PMFs, PowOneMinus vs
+// math.Pow, and Brent vs plain bisection on a representative root.
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+var benchSink float64
+
+func benchVector(n int) []float64 {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * math.Pow(10, float64(rng.IntN(12)-6))
+	}
+	return xs
+}
+
+func BenchmarkSumKahan(b *testing.B) {
+	xs := benchVector(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = KahanSum(xs)
+	}
+}
+
+func BenchmarkSumNaive(b *testing.B) {
+	xs := benchVector(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		benchSink = s
+	}
+}
+
+func BenchmarkBinomialPMFLogSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = BinomialPMF(500, 137, 0.3)
+	}
+}
+
+func BenchmarkBinomialPMFSmallDirect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = BinomialPMF(12, 5, 0.3)
+	}
+}
+
+func BenchmarkPowOneMinus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = PowOneMinus(1e-7, 64)
+	}
+}
+
+func BenchmarkPowOneMinusViaMathPow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = math.Pow(1-1e-7, 64)
+	}
+}
+
+func benchRoot(f func(func(float64) float64, float64, float64, float64, int) (float64, error), b *testing.B) {
+	g := func(x float64) float64 { return math.Exp(x) - 2 - x }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := f(g, 0, 3, 1e-13, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = r
+	}
+}
+
+func BenchmarkRootBrent(b *testing.B)  { benchRoot(Brent, b) }
+func BenchmarkRootBisect(b *testing.B) { benchRoot(Bisect, b) }
+
+func BenchmarkProjectSimplexSmall(b *testing.B) {
+	v := benchVector(16)
+	out := make([]float64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ProjectSimplex(v, out)
+	}
+}
+
+func BenchmarkProjectSimplexLarge(b *testing.B) {
+	v := benchVector(512)
+	out := make([]float64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ProjectSimplex(v, out)
+	}
+}

@@ -1,0 +1,49 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProjectSimplex asserts the projection always returns a valid
+// distribution for finite inputs, no matter how adversarial.
+func FuzzProjectSimplex(f *testing.F) {
+	f.Add(0.5, -3.0, 1e300)
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(-1e-300, 1e-300, 7.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		p := ProjectSimplex([]float64{a, b, c}, nil)
+		var sum float64
+		for _, x := range p {
+			if x < 0 || math.IsNaN(x) {
+				t.Fatalf("projection of (%v,%v,%v) produced %v", a, b, c, p)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("projection of (%v,%v,%v) sums to %v", a, b, c, sum)
+		}
+	})
+}
+
+// FuzzBinomialPMF asserts the PMF stays within [0, 1] and never panics for
+// arbitrary arguments.
+func FuzzBinomialPMF(f *testing.F) {
+	f.Add(10, 3, 0.5)
+	f.Add(0, 0, 0.0)
+	f.Add(500, 250, 1e-12)
+	f.Fuzz(func(t *testing.T, n, k int, p float64) {
+		if n < 0 || n > 100000 {
+			return
+		}
+		got := BinomialPMF(n, k, p)
+		if math.IsNaN(got) || got < 0 || got > 1+1e-12 {
+			t.Fatalf("BinomialPMF(%d, %d, %v) = %v", n, k, p, got)
+		}
+	})
+}

@@ -1,0 +1,411 @@
+// Package numeric provides the small numerical kernel used throughout the
+// dispersal library: numerically stable binomial probabilities, compensated
+// summation, root finding, simplex projection, and float comparison helpers.
+//
+// Everything here is dependency-free (standard library only) and allocation
+// conscious; several routines are on the hot path of the IFD solvers and the
+// Monte-Carlo engine.
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// Eps is the default absolute tolerance used by the comparison helpers.
+const Eps = 1e-12
+
+// ErrBracket is returned by the root finders when the supplied interval does
+// not bracket a sign change.
+var ErrBracket = errors.New("numeric: interval does not bracket a root")
+
+// ErrNoConverge is returned when an iterative method exhausts its iteration
+// budget without reaching the requested tolerance.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// AlmostEqual reports whether a and b differ by at most tol in absolute
+// value, or by at most tol in relative value for large magnitudes.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be at least 2; n == 1 returns just lo.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = lo
+		return out
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulated drift at the endpoint
+	return out
+}
+
+// KahanSum returns the compensated (Kahan–Babuska) sum of xs. It is used
+// wherever coverage or probability masses of very different magnitudes are
+// accumulated.
+func KahanSum(xs []float64) float64 {
+	var sum, c float64
+	for _, x := range xs {
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			c += (sum - t) + x
+		} else {
+			c += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + c
+}
+
+// Accumulator is an incremental Kahan–Babuska summator.
+type Accumulator struct {
+	sum, c float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	t := a.sum + x
+	if math.Abs(a.sum) >= math.Abs(x) {
+		a.c += (a.sum - t) + x
+	} else {
+		a.c += (x - t) + a.sum
+	}
+	a.sum = t
+}
+
+// Sum returns the compensated total.
+func (a *Accumulator) Sum() float64 { return a.sum + a.c }
+
+// Reset clears the accumulator to zero.
+func (a *Accumulator) Reset() { a.sum, a.c = 0, 0 }
+
+// LogBinomialCoeff returns log(n choose k) computed via lgamma, valid for
+// 0 <= k <= n up to very large n without overflow.
+func LogBinomialCoeff(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// BinomialCoeff returns (n choose k) as a float64. It is exact for small
+// arguments and falls back to the log-space computation otherwise.
+func BinomialCoeff(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	if n <= 60 {
+		// Exact multiplicative evaluation.
+		res := 1.0
+		for i := 1; i <= k; i++ {
+			res = res * float64(n-k+i) / float64(i)
+		}
+		return res
+	}
+	return math.Exp(LogBinomialCoeff(n, k))
+}
+
+// BinomialPMF returns P[Binomial(n, p) == k], computed in log space for
+// numerical stability when n is large or p is extreme.
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n || p < 0 || p > 1 {
+		return 0
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lp := LogBinomialCoeff(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lp)
+}
+
+// PowOneMinus returns (1-p)^n computed via exp(n*log1p(-p)) so that tiny p
+// does not lose precision. Used by every coverage evaluation.
+func PowOneMinus(p float64, n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	if p <= 0 {
+		if p == 0 {
+			return 1
+		}
+		return math.Pow(1-p, float64(n))
+	}
+	if p >= 1 {
+		if p == 1 {
+			return 0
+		}
+		return math.Pow(1-p, float64(n))
+	}
+	return math.Exp(float64(n) * math.Log1p(-p))
+}
+
+// Bisect finds a root of f in [lo, hi] to within tol using bisection. f(lo)
+// and f(hi) must have opposite signs (zero endpoints are accepted as roots).
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, ErrBracket
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 || (hi-lo)/2 < tol {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, ErrNoConverge
+}
+
+// Brent finds a root of f in [lo, hi] using Brent's method (inverse
+// quadratic interpolation with bisection fallback). It converges much faster
+// than plain bisection on smooth functions and is used by the general IFD
+// solver's inner inversion.
+func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, ErrBracket
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < maxIter; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		cond := (s < (3*a+b)/4 && s < b) || (s > (3*a+b)/4 && s > b)
+		if cond ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol) {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d, c, fc = c, b, fb
+		if (fa > 0) != (fs > 0) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// ProjectSimplex projects v onto the probability simplex
+// {p : p_i >= 0, sum p_i = 1} in Euclidean norm, using the O(n log n)
+// sort-and-threshold algorithm. The input is not modified; the projection is
+// written into out (which must have len(v)) and returned. If out is nil a
+// fresh slice is allocated.
+func ProjectSimplex(v []float64, out []float64) []float64 {
+	n := len(v)
+	if out == nil {
+		out = make([]float64, n)
+	}
+	if n == 0 {
+		return out
+	}
+	// Sort a copy in decreasing order.
+	u := make([]float64, n)
+	copy(u, v)
+	insertionSortDesc(u)
+	var cum float64
+	rho, theta := -1, 0.0
+	for i := 0; i < n; i++ {
+		cum += u[i]
+		t := (cum - 1) / float64(i+1)
+		if u[i]-t > 0 {
+			rho, theta = i, t
+		}
+	}
+	if rho < 0 {
+		// Degenerate input (all -inf etc.); fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	for i, x := range v {
+		p := x - theta
+		if p < 0 {
+			p = 0
+		}
+		out[i] = p
+	}
+	// Renormalize away rounding drift.
+	s := KahanSum(out)
+	if s > 0 {
+		for i := range out {
+			out[i] /= s
+		}
+	}
+	return out
+}
+
+// insertionSortDesc sorts u in place in decreasing order. The simplex
+// projection is called with short vectors in hot loops; insertion sort avoids
+// the interface overhead of sort.Float64s and is faster below ~64 elements.
+// For long vectors it degrades gracefully (projection is not hot there).
+func insertionSortDesc(u []float64) {
+	if len(u) > 64 {
+		heapSortDesc(u)
+		return
+	}
+	for i := 1; i < len(u); i++ {
+		x := u[i]
+		j := i - 1
+		for j >= 0 && u[j] < x {
+			u[j+1] = u[j]
+			j--
+		}
+		u[j+1] = x
+	}
+}
+
+func heapSortDesc(u []float64) {
+	n := len(u)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownMin(u, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		u[0], u[end] = u[end], u[0]
+		siftDownMin(u, 0, end)
+	}
+}
+
+// siftDownMin maintains a min-heap; extracting minima to the back yields a
+// descending order.
+func siftDownMin(u []float64, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && u[r] < u[l] {
+			m = r
+		}
+		if u[i] <= u[m] {
+			return
+		}
+		u[i], u[m] = u[m], u[i]
+		i = m
+	}
+}
+
+// Dot returns the inner product of a and b (which must have equal length),
+// with compensated accumulation.
+func Dot(a, b []float64) float64 {
+	var acc Accumulator
+	for i := range a {
+		acc.Add(a[i] * b[i])
+	}
+	return acc.Sum()
+}
+
+// MaxIndex returns the index of the maximum element of xs (first occurrence)
+// and the maximum itself. It panics on empty input.
+func MaxIndex(xs []float64) (int, float64) {
+	idx, best := 0, xs[0]
+	for i, x := range xs[1:] {
+		if x > best {
+			idx, best = i+1, x
+		}
+	}
+	return idx, best
+}
+
+// MinIndex returns the index of the minimum element of xs (first occurrence)
+// and the minimum itself. It panics on empty input.
+func MinIndex(xs []float64) (int, float64) {
+	idx, best := 0, xs[0]
+	for i, x := range xs[1:] {
+		if x < best {
+			idx, best = i+1, x
+		}
+	}
+	return idx, best
+}

@@ -1,0 +1,378 @@
+package numeric
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1.1, 1e-12, false},
+		{1e15, 1e15 + 1, 1e-12, true}, // relative tolerance kicks in
+		{0, 1e-13, 1e-12, true},
+		{-1, 1, 1e-12, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(-0.5, 0.5, 11)
+	if len(xs) != 11 {
+		t.Fatalf("len = %d, want 11", len(xs))
+	}
+	if xs[0] != -0.5 || xs[10] != 0.5 {
+		t.Errorf("endpoints = %v, %v", xs[0], xs[10])
+	}
+	if !AlmostEqual(xs[5], 0, 1e-12) {
+		t.Errorf("midpoint = %v, want 0", xs[5])
+	}
+	if got := Linspace(3, 7, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1: %v", got)
+	}
+	if got := Linspace(0, 1, 0); got != nil {
+		t.Errorf("Linspace n=0: %v", got)
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// 1 + 1e-16 added 1e6 times: naive summation loses the small terms.
+	xs := make([]float64, 1_000_001)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := KahanSum(xs)
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-14 {
+		t.Errorf("KahanSum = %.18f, want %.18f", got, want)
+	}
+}
+
+func TestAccumulatorMatchesKahanSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.IntN(20)-10))
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	if got, want := acc.Sum(), KahanSum(xs); !AlmostEqual(got, want, 1e-9) {
+		t.Errorf("Accumulator = %v, KahanSum = %v", got, want)
+	}
+	acc.Reset()
+	if acc.Sum() != 0 {
+		t.Errorf("after Reset, Sum = %v", acc.Sum())
+	}
+}
+
+func TestBinomialCoeffSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {4, 5, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := BinomialCoeff(c.n, c.k); got != c.want {
+			t.Errorf("BinomialCoeff(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialCoeffLargeConsistency(t *testing.T) {
+	// Pascal identity in the log-space regime.
+	for _, n := range []int{61, 100, 500} {
+		for _, k := range []int{1, 7, n / 2} {
+			lhs := BinomialCoeff(n, k)
+			rhs := BinomialCoeff(n-1, k-1) + BinomialCoeff(n-1, k)
+			if !AlmostEqual(lhs, rhs, 1e-10) {
+				t.Errorf("Pascal fails at n=%d k=%d: %v vs %v", n, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 40, 200} {
+		for _, p := range []float64{0, 0.01, 0.3, 0.5, 0.99, 1} {
+			var acc Accumulator
+			for k := 0; k <= n; k++ {
+				acc.Add(BinomialPMF(n, k, p))
+			}
+			if !AlmostEqual(acc.Sum(), 1, 1e-10) {
+				t.Errorf("sum of PMF(n=%d, p=%v) = %v", n, p, acc.Sum())
+			}
+		}
+	}
+}
+
+func TestBinomialPMFEdge(t *testing.T) {
+	if got := BinomialPMF(10, 0, 0); got != 1 {
+		t.Errorf("PMF(10,0,0) = %v", got)
+	}
+	if got := BinomialPMF(10, 10, 1); got != 1 {
+		t.Errorf("PMF(10,10,1) = %v", got)
+	}
+	if got := BinomialPMF(10, 3, 0); got != 0 {
+		t.Errorf("PMF(10,3,0) = %v", got)
+	}
+	if got := BinomialPMF(10, 11, 0.5); got != 0 {
+		t.Errorf("PMF(10,11,.5) = %v", got)
+	}
+	if got := BinomialPMF(10, 3, -0.1); got != 0 {
+		t.Errorf("PMF negative p = %v", got)
+	}
+}
+
+func TestBinomialPMFMatchesDirect(t *testing.T) {
+	for k := 0; k <= 12; k++ {
+		want := BinomialCoeff(12, k) * math.Pow(0.3, float64(k)) * math.Pow(0.7, float64(12-k))
+		if got := BinomialPMF(12, k, 0.3); !AlmostEqual(got, want, 1e-12) {
+			t.Errorf("PMF(12,%d,0.3) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestPowOneMinus(t *testing.T) {
+	cases := []struct {
+		p    float64
+		n    int
+		want float64
+	}{
+		{0, 5, 1}, {1, 5, 0}, {0.5, 2, 0.25}, {0.3, 0, 1},
+	}
+	for _, c := range cases {
+		if got := PowOneMinus(c.p, c.n); !AlmostEqual(got, c.want, 1e-14) {
+			t.Errorf("PowOneMinus(%v,%d) = %v, want %v", c.p, c.n, got, c.want)
+		}
+	}
+	// Tiny p: direct 1-p loses bits, log1p path must not.
+	p := 1e-14
+	got := PowOneMinus(p, 1000)
+	want := math.Exp(1000 * math.Log1p(-p))
+	if !AlmostEqual(got, want, 1e-15) {
+		t.Errorf("tiny-p: %v vs %v", got, want)
+	}
+}
+
+func TestPowOneMinusQuick(t *testing.T) {
+	f := func(pRaw float64, nRaw uint8) bool {
+		p := math.Abs(math.Mod(pRaw, 1))
+		n := int(nRaw%50) + 1
+		got := PowOneMinus(p, n)
+		want := math.Pow(1-p, float64(n))
+		return AlmostEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12, 100); err != ErrBracket {
+		t.Errorf("want ErrBracket, got %v", err)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Bisect(f, 0, 1, 1e-12, 100); err != nil || r != 0 {
+		t.Errorf("lo endpoint: %v, %v", r, err)
+	}
+	if r, err := Bisect(f, -1, 0, 1e-12, 100); err != nil || r != 0 {
+		t.Errorf("hi endpoint: %v, %v", r, err)
+	}
+}
+
+func TestBrent(t *testing.T) {
+	fns := []struct {
+		name   string
+		f      func(float64) float64
+		lo, hi float64
+		want   float64
+	}{
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"cos", math.Cos, 0, 3, math.Pi / 2},
+		{"cubic", func(x float64) float64 { return (x - 0.3) * (x*x + 1) }, -1, 1, 0.3},
+		{"exp", func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3, math.Log(5)},
+	}
+	for _, c := range fns {
+		root, err := Brent(c.f, c.lo, c.hi, 1e-13, 200)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !AlmostEqual(root, c.want, 1e-9) {
+			t.Errorf("%s: root = %v, want %v", c.name, root, c.want)
+		}
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -1, 1, 1e-12, 100); err != ErrBracket {
+		t.Errorf("want ErrBracket, got %v", err)
+	}
+}
+
+func TestProjectSimplexAlreadyOnSimplex(t *testing.T) {
+	v := []float64{0.2, 0.3, 0.5}
+	got := ProjectSimplex(v, nil)
+	for i := range v {
+		if !AlmostEqual(got[i], v[i], 1e-12) {
+			t.Errorf("projection moved a simplex point: %v -> %v", v, got)
+			break
+		}
+	}
+}
+
+func TestProjectSimplexKnown(t *testing.T) {
+	// Projection of (2, 0) onto the simplex is (1, 0).
+	got := ProjectSimplex([]float64{2, 0}, nil)
+	if !AlmostEqual(got[0], 1, 1e-12) || !AlmostEqual(got[1], 0, 1e-12) {
+		t.Errorf("got %v, want [1 0]", got)
+	}
+	// Projection of (0.5, 0.5, 0.5): uniform excess removed -> (1/3, 1/3, 1/3).
+	got = ProjectSimplex([]float64{0.5, 0.5, 0.5}, nil)
+	for _, g := range got {
+		if !AlmostEqual(g, 1.0/3, 1e-12) {
+			t.Errorf("got %v, want uniform", got)
+			break
+		}
+	}
+}
+
+func TestProjectSimplexProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 100 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				return true
+			}
+			raw[i] = math.Mod(raw[i], 100)
+		}
+		p := ProjectSimplex(raw, nil)
+		var sum float64
+		for _, x := range p {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		if !AlmostEqual(sum, 1, 1e-9) {
+			return false
+		}
+		// Idempotence.
+		q := ProjectSimplex(p, nil)
+		for i := range p {
+			if !AlmostEqual(p[i], q[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectSimplexLargeVector(t *testing.T) {
+	// Exercises the heap-sort path (> 64 elements).
+	rng := rand.New(rand.NewPCG(7, 7))
+	v := make([]float64, 300)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	p := ProjectSimplex(v, nil)
+	var sum float64
+	for _, x := range p {
+		if x < 0 {
+			t.Fatalf("negative mass %v", x)
+		}
+		sum += x
+	}
+	if !AlmostEqual(sum, 1, 1e-9) {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestProjectSimplexReuseBuffer(t *testing.T) {
+	out := make([]float64, 3)
+	got := ProjectSimplex([]float64{1, 2, 3}, out)
+	if &got[0] != &out[0] {
+		t.Error("output buffer was not reused")
+	}
+}
+
+func TestHeapSortDesc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	u := make([]float64, 200)
+	for i := range u {
+		u[i] = rng.Float64()
+	}
+	heapSortDesc(u)
+	for i := 1; i < len(u); i++ {
+		if u[i-1] < u[i] {
+			t.Fatalf("not descending at %d: %v < %v", i, u[i-1], u[i])
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("empty Dot = %v", got)
+	}
+}
+
+func TestMaxMinIndex(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if i, v := MaxIndex(xs); i != 5 || v != 9 {
+		t.Errorf("MaxIndex = %d, %v", i, v)
+	}
+	if i, v := MinIndex(xs); i != 1 || v != 1 {
+		t.Errorf("MinIndex = %d, %v", i, v)
+	}
+	// First occurrence on ties.
+	if i, _ := MaxIndex([]float64{2, 2}); i != 0 {
+		t.Errorf("tie MaxIndex = %d", i)
+	}
+}

@@ -1,0 +1,319 @@
+// Package optimize provides the optimization machinery of the reproduction:
+//
+//   - MaxCoverage: the symmetric strategy p* maximizing Cover(p), derived
+//     independently of the IFD pseudocode from the KKT conditions
+//     f(x) * k * (1-p(x))^(k-1) = lambda via water-filling. Theorem 4 says
+//     this must coincide with sigma*; the test suite asserts it does,
+//     providing a numerical cross-check of the theorem.
+//   - ProjectedGradient: generic maximization over the probability simplex.
+//   - MaxWelfare: the symmetric strategy maximizing the players' expected
+//     individual payoff sum_x p(x) * nu_p(x) — the "Welfare Optimum" (blue)
+//     curve of Figure 1 — via multi-start projected gradient with a dense
+//     grid fallback for two-site games.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// Errors returned by the optimizers.
+var (
+	ErrPlayers = errors.New("optimize: player count k must be >= 1")
+	ErrNoInit  = errors.New("optimize: no feasible starting point")
+)
+
+// MaxCoverage returns the symmetric strategy maximizing Cover(p) for the
+// game (f, k), together with the KKT multiplier lambda (the common marginal
+// coverage of all explored sites). It water-fills on lambda: explored sites
+// satisfy p(x) = 1 - (lambda / (k f(x)))^(1/(k-1)).
+func MaxCoverage(f site.Values, k int) (strategy.Strategy, float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if k < 1 {
+		return nil, 0, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	m := len(f)
+	if k == 1 {
+		// Coverage is linear in p: optimum is the point mass on site 1.
+		return strategy.Delta(m, 0), f[0], nil
+	}
+	inv := 1 / float64(k-1)
+	kf := float64(k)
+	mass := func(lambda float64) float64 {
+		var acc numeric.Accumulator
+		for _, fx := range f {
+			r := lambda / (kf * fx)
+			if r >= 1 {
+				continue
+			}
+			acc.Add(1 - math.Pow(r, inv))
+		}
+		return acc.Sum()
+	}
+	// mass is strictly decreasing in lambda on (0, k*f(1)); mass(0+) = M >= 1
+	// and mass(k*f(1)) = 0. Bisect mass(lambda) = 1.
+	lo, hi := 0.0, kf*f[0]
+	for iter := 0; iter < 200; iter++ {
+		mid := lo + (hi-lo)/2
+		if mass(mid) > 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-15*(1+hi) {
+			break
+		}
+	}
+	lambda := lo + (hi-lo)/2
+	p := make(strategy.Strategy, m)
+	for x, fx := range f {
+		r := lambda / (kf * fx)
+		if r >= 1 {
+			continue
+		}
+		p[x] = 1 - math.Pow(r, inv)
+	}
+	if _, err := p.Normalize(); err != nil {
+		return nil, 0, err
+	}
+	return p, lambda, nil
+}
+
+// PGOptions configure ProjectedGradient.
+type PGOptions struct {
+	// MaxIter bounds the iteration count (default 2000).
+	MaxIter int
+	// Step is the initial step size (default 0.5); backtracking halves it
+	// when a step fails to improve the objective.
+	Step float64
+	// Tol stops the iteration when the simplex-projected move has
+	// infinity-norm below it (default 1e-12).
+	Tol float64
+}
+
+func (o PGOptions) withDefaults() PGOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 2000
+	}
+	if o.Step <= 0 {
+		o.Step = 0.5
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	return o
+}
+
+// ProjectedGradient maximizes obj over the probability simplex starting from
+// init, using gradient ascent with Euclidean projection and backtracking
+// line search. grad must write the gradient of obj at p into g.
+func ProjectedGradient(obj func(p strategy.Strategy) float64,
+	grad func(p strategy.Strategy, g []float64),
+	init strategy.Strategy, opts PGOptions) (strategy.Strategy, float64) {
+
+	opts = opts.withDefaults()
+	n := len(init)
+	p := init.Clone()
+	g := make([]float64, n)
+	cand := make([]float64, n)
+	proj := make([]float64, n)
+	val := obj(p)
+	step := opts.Step
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		grad(p, g)
+		improved := false
+		for try := 0; try < 40; try++ {
+			for i := range cand {
+				cand[i] = p[i] + step*g[i]
+			}
+			numeric.ProjectSimplex(cand, proj)
+			v := obj(strategy.Strategy(proj))
+			if v > val+1e-18 {
+				// Accept.
+				var move float64
+				for i := range p {
+					if d := math.Abs(proj[i] - p[i]); d > move {
+						move = d
+					}
+				}
+				copy(p, proj)
+				val = v
+				improved = true
+				if move < opts.Tol {
+					return p, val
+				}
+				// Gentle step growth after success.
+				step = math.Min(step*1.5, 10)
+				break
+			}
+			step /= 2
+			if step < 1e-18 {
+				return p, val
+			}
+		}
+		if !improved {
+			return p, val
+		}
+	}
+	return p, val
+}
+
+// GeePrime returns dg/dq where g(q) = E[C(1 + Binomial(k-1, q))]:
+//
+//	g'(q) = (k-1) * ( E[C(2 + B)] - E[C(1 + B)] ),  B ~ Binomial(k-2, q),
+//
+// which is <= 0 for non-increasing C. Used by the welfare gradient.
+func GeePrime(c policy.Congestion, k int, q float64) float64 {
+	if k < 2 {
+		return 0
+	}
+	var acc numeric.Accumulator
+	for b := 0; b <= k-2; b++ {
+		w := numeric.BinomialPMF(k-2, b, q)
+		if w == 0 {
+			continue
+		}
+		acc.Add(w * (c.At(b+2) - c.At(b+1)))
+	}
+	return float64(k-1) * acc.Sum()
+}
+
+// Welfare returns the symmetric individual welfare
+// V(p) = sum_x p(x) * nu_p(x) for the game (f, k, C).
+func Welfare(f site.Values, p strategy.Strategy, k int, c policy.Congestion) float64 {
+	return coverage.ExpectedPayoff(f, p, p, k, c)
+}
+
+// MaxWelfare returns the symmetric strategy maximizing Welfare — the blue
+// "Welfare Optimum" series in Figure 1 — and its welfare value.
+//
+// The objective is non-concave for general C, so the search multi-starts
+// projected gradient from structured points (uniform, proportional, the
+// IFD, vertex point masses) and nStarts seeded random draws; for two-site
+// games a dense grid scan with golden-section refinement guards against
+// missed local optima.
+func MaxWelfare(f site.Values, k int, c policy.Congestion, nStarts int, seed uint64) (strategy.Strategy, float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if k < 1 {
+		return nil, 0, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	m := len(f)
+	if k == 1 || m == 1 {
+		return strategy.Delta(m, 0), f[0] * ifd.Gee(c, k, 1), nil
+	}
+	obj := func(p strategy.Strategy) float64 { return Welfare(f, p, k, c) }
+	grad := func(p strategy.Strategy, g []float64) {
+		for x := range p {
+			q := p[x]
+			g[x] = f[x] * (ifd.Gee(c, k, q) + q*GeePrime(c, k, q))
+		}
+	}
+
+	starts := []strategy.Strategy{
+		strategy.Uniform(m),
+		strategy.UniformFirst(m, min(k, m)),
+	}
+	if prop, err := strategy.Proportional(f); err == nil {
+		starts = append(starts, prop)
+	}
+	if eq, _, err := ifd.Solve(f, k, c); err == nil {
+		starts = append(starts, eq)
+	}
+	for x := 0; x < m && x < 4; x++ {
+		starts = append(starts, strategy.Delta(m, x))
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	for i := 0; i < nStarts; i++ {
+		starts = append(starts, randomPoint(rng, m))
+	}
+	if len(starts) == 0 {
+		return nil, 0, ErrNoInit
+	}
+
+	var best strategy.Strategy
+	bestVal := math.Inf(-1)
+	for _, s := range starts {
+		p, v := ProjectedGradient(obj, grad, s, PGOptions{})
+		if v > bestVal {
+			best, bestVal = p.Clone(), v
+		}
+	}
+
+	if m == 2 {
+		// Exhaustive 1-D scan p = (q, 1-q), then golden-section refine.
+		phi := func(q float64) float64 {
+			return obj(strategy.Strategy{q, 1 - q})
+		}
+		bestQ, bestPhi := 0.0, phi(0)
+		const grid = 4096
+		for i := 1; i <= grid; i++ {
+			q := float64(i) / grid
+			if v := phi(q); v > bestPhi {
+				bestQ, bestPhi = q, v
+			}
+		}
+		lo := math.Max(0, bestQ-2.0/grid)
+		hi := math.Min(1, bestQ+2.0/grid)
+		q := goldenMax(phi, lo, hi, 1e-14)
+		if v := phi(q); v > bestVal {
+			best, bestVal = strategy.Strategy{q, 1 - q}, v
+		}
+	}
+	return best, bestVal, nil
+}
+
+// goldenMax maximizes phi on [lo, hi] by golden-section search.
+func goldenMax(phi func(float64) float64, lo, hi, tol float64) float64 {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := phi(c), phi(d)
+	for b-a > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = phi(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = phi(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+func randomPoint(rng *rand.Rand, m int) strategy.Strategy {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = rng.ExpFloat64()
+		if w[i] <= 0 {
+			w[i] = 1e-9
+		}
+	}
+	p, err := strategy.FromWeights(w)
+	if err != nil {
+		return strategy.Uniform(m)
+	}
+	return p
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,263 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// TestTheorem4MaxCoverageEqualsSigmaStar is the numerical heart of the
+// reproduction: the water-filling coverage optimizer (derived from KKT, with
+// no reference to equilibrium) must produce exactly the IFD sigma* of the
+// exclusive policy, as Theorem 4 asserts.
+func TestTheorem4MaxCoverageEqualsSigmaStar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2018, 5))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.IntN(40)
+		k := 2 + rng.IntN(15)
+		f := site.Random(rng, m, 0.05, 5)
+		pStar, _, err := MaxCoverage(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma, _, err := ifd.Exclusive(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := pStar.LInf(sigma); d > 1e-9 {
+			t.Fatalf("M=%d k=%d: optimizer and sigma* differ by %v", m, k, d)
+		}
+	}
+}
+
+func TestMaxCoverageBeatsAlternatives(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 1))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.IntN(20)
+		k := 1 + rng.IntN(8)
+		f := site.Random(rng, m, 0.1, 3)
+		pStar, _, err := MaxCoverage(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := coverage.Cover(f, pStar, k)
+		rivals := []strategy.Strategy{
+			strategy.Uniform(m),
+			strategy.UniformFirst(m, k),
+			strategy.Delta(m, 0),
+		}
+		if prop, err := strategy.Proportional(f); err == nil {
+			rivals = append(rivals, prop)
+		}
+		for i := 0; i < 5; i++ {
+			rivals = append(rivals, randomPoint(rng, m))
+		}
+		for _, r := range rivals {
+			if c := coverage.Cover(f, r, k); c > best+1e-9 {
+				t.Fatalf("M=%d k=%d: rival coverage %v beats optimum %v", m, k, c, best)
+			}
+		}
+	}
+}
+
+func TestMaxCoverageKOne(t *testing.T) {
+	f := site.Values{3, 2, 1}
+	p, lambda, err := MaxCoverage(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 {
+		t.Errorf("k=1 optimum = %v, want delta on best site", p)
+	}
+	if lambda != 3 {
+		t.Errorf("lambda = %v", lambda)
+	}
+}
+
+func TestMaxCoverageErrors(t *testing.T) {
+	if _, _, err := MaxCoverage(site.Values{1, 2}, 3); err == nil {
+		t.Error("unsorted accepted")
+	}
+	if _, _, err := MaxCoverage(site.Values{1}, 0); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestMaxCoverageObservationOne(t *testing.T) {
+	// Observation 1: Cover(p*) > (1 - 1/e) * sum_{x<=k} f(x).
+	rng := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.IntN(40)
+		k := 1 + rng.IntN(12)
+		f := site.Random(rng, m, 0.05, 5)
+		p, _, err := MaxCoverage(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, bound := coverage.Cover(f, p, k), coverage.ObservationOneBound(f, k); got <= bound {
+			t.Fatalf("M=%d k=%d: Cover(p*) = %v <= bound %v", m, k, got, bound)
+		}
+	}
+}
+
+func TestProjectedGradientQuadratic(t *testing.T) {
+	// Maximize -(p - target)^2: optimum is the projection of target.
+	target := []float64{0.7, 0.2, 0.1}
+	obj := func(p strategy.Strategy) float64 {
+		var s float64
+		for i := range p {
+			d := p[i] - target[i]
+			s -= d * d
+		}
+		return s
+	}
+	grad := func(p strategy.Strategy, g []float64) {
+		for i := range p {
+			g[i] = -2 * (p[i] - target[i])
+		}
+	}
+	p, v := ProjectedGradient(obj, grad, strategy.Uniform(3), PGOptions{})
+	for i := range target {
+		if !numeric.AlmostEqual(p[i], target[i], 1e-6) {
+			t.Errorf("p = %v, want %v (val %v)", p, target, v)
+			break
+		}
+	}
+}
+
+func TestProjectedGradientRespectsSimplex(t *testing.T) {
+	// Unbounded linear objective must still end on the simplex vertex.
+	obj := func(p strategy.Strategy) float64 { return p[0] }
+	grad := func(p strategy.Strategy, g []float64) { g[0], g[1] = 1, 0 }
+	p, v := ProjectedGradient(obj, grad, strategy.Uniform(2), PGOptions{})
+	if !numeric.AlmostEqual(v, 1, 1e-9) || !numeric.AlmostEqual(p[0], 1, 1e-9) {
+		t.Errorf("p = %v, v = %v; want vertex", p, v)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("left the simplex: %v", err)
+	}
+}
+
+func TestGeePrimeMatchesFiniteDifference(t *testing.T) {
+	for _, c := range policy.Standard() {
+		for _, k := range []int{2, 3, 7} {
+			for _, q := range []float64{0.1, 0.35, 0.8} {
+				h := 1e-6
+				fd := (ifd.Gee(c, k, q+h) - ifd.Gee(c, k, q-h)) / (2 * h)
+				got := GeePrime(c, k, q)
+				if !numeric.AlmostEqual(got, fd, 1e-4) {
+					t.Errorf("%s k=%d q=%v: GeePrime=%v, fd=%v", c.Name(), k, q, got, fd)
+				}
+			}
+		}
+	}
+}
+
+func TestGeePrimeNonPositive(t *testing.T) {
+	for _, c := range policy.Standard() {
+		for _, q := range numeric.Linspace(0, 1, 21) {
+			if g := GeePrime(c, 6, q); g > 1e-12 {
+				t.Errorf("%s: g'(%v) = %v > 0", c.Name(), q, g)
+			}
+		}
+	}
+}
+
+func TestGeePrimeKOne(t *testing.T) {
+	if got := GeePrime(policy.Sharing{}, 1, 0.5); got != 0 {
+		t.Errorf("k=1 derivative = %v", got)
+	}
+}
+
+func TestMaxWelfareExclusiveTwoSites(t *testing.T) {
+	// Under Cexc with k=2, welfare V(p) = sum f(x) p(x)(1-p(x)). For
+	// f=(1,s): V(q) = q(1-q)(1+s), maximized at q=1/2 with V=(1+s)/4.
+	for _, s := range []float64{0.3, 0.5} {
+		f := site.TwoSite(s)
+		p, v, err := MaxWelfare(f, 2, policy.Exclusive{}, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(p[0], 0.5, 1e-6) {
+			t.Errorf("f2=%v: argmax = %v, want 0.5", s, p[0])
+		}
+		if want := (1 + s) / 4; !numeric.AlmostEqual(v, want, 1e-9) {
+			t.Errorf("f2=%v: welfare = %v, want %v", s, v, want)
+		}
+	}
+}
+
+func TestMaxWelfareConstantPolicy(t *testing.T) {
+	// C == 1: welfare = sum p(x) f(x), maximized by the point mass on the
+	// best site with value f(1).
+	f := site.TwoSite(0.4)
+	p, v, err := MaxWelfare(f, 2, policy.Constant{}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(v, 1, 1e-9) {
+		t.Errorf("welfare = %v, want 1 (p=%v)", v, p)
+	}
+}
+
+func TestMaxWelfareBeatsIFDPayoff(t *testing.T) {
+	// The welfare optimum is at least the symmetric-equilibrium payoff.
+	rng := rand.New(rand.NewPCG(8, 3))
+	for trial := 0; trial < 12; trial++ {
+		m := 2 + rng.IntN(5)
+		k := 2 + rng.IntN(4)
+		f := site.Random(rng, m, 0.2, 2)
+		for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}, policy.TwoPoint{C2: -0.3}} {
+			eq, _, err := ifd.Solve(f, k, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eqWelfare := Welfare(f, eq, k, c)
+			_, v, err := MaxWelfare(f, k, c, 6, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < eqWelfare-1e-7 {
+				t.Fatalf("%s M=%d k=%d: MaxWelfare %v < IFD welfare %v", c.Name(), m, k, v, eqWelfare)
+			}
+		}
+	}
+}
+
+func TestMaxWelfareDegenerate(t *testing.T) {
+	p, v, err := MaxWelfare(site.Values{2}, 3, policy.Sharing{}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 || !numeric.AlmostEqual(v, 2.0/3, 1e-9) {
+		t.Errorf("single site: p=%v v=%v", p, v)
+	}
+	if _, _, err := MaxWelfare(site.Values{1}, 0, policy.Sharing{}, 2, 1); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestGoldenMax(t *testing.T) {
+	got := goldenMax(func(x float64) float64 { return -(x - 0.3) * (x - 0.3) }, 0, 1, 1e-12)
+	if math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("goldenMax = %v, want 0.3", got)
+	}
+}
+
+func TestWelfareMatchesCoveragePackage(t *testing.T) {
+	f := site.TwoSite(0.5)
+	p := strategy.Strategy{0.6, 0.4}
+	got := Welfare(f, p, 2, policy.Sharing{})
+	want := coverage.ExpectedPayoff(f, p, p, 2, policy.Sharing{})
+	if got != want {
+		t.Errorf("Welfare = %v, ExpectedPayoff = %v", got, want)
+	}
+}

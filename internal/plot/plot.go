@@ -1,0 +1,257 @@
+// Package plot renders the reproduction's figures without any external
+// plotting ecosystem: multi-series ASCII line charts for terminals, CSV
+// series for downstream tooling, and self-contained SVG line charts that
+// mirror the layout of the paper's Figure 1 (axis labels, legend, reference
+// ticks).
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart. X and Y must have equal length.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a collection of series with axis metadata.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Validation errors.
+var (
+	ErrEmpty  = errors.New("plot: chart has no data")
+	ErrLength = errors.New("plot: series X/Y lengths differ")
+)
+
+// validate checks chart consistency and returns the data bounds.
+func (c *Chart) validate() (xmin, xmax, ymin, ymax float64, err error) {
+	found := false
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return 0, 0, 0, 0, fmt.Errorf("%w: series %q has %d X, %d Y", ErrLength, s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			found = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if !found {
+		return 0, 0, 0, 0, ErrEmpty
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+// seriesMarkers cycle through the series of an ASCII chart.
+var seriesMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// RenderASCII draws the chart into a width x height character grid and
+// writes it to w, followed by a legend. Points are plotted with one marker
+// per series; later series overwrite earlier ones on collisions.
+func (c *Chart) RenderASCII(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax, ymin, ymax, err := c.validate()
+	if err != nil {
+		return err
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = marker
+			}
+		}
+	}
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		label := "         "
+		if i == 0 {
+			label = fmt.Sprintf("%8.3f ", ymax)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%8.3f ", ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s%-*.3f%*.3f\n", strings.Repeat(" ", 10), width/2, xmin, width-width/2, xmax); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarkers[si%len(seriesMarkers)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "  x: %s   y: %s\n  legend: %s\n", c.XLabel, c.YLabel, strings.Join(legend, " | ")); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteCSV emits the chart as CSV with an x column followed by one column
+// per series. All series must share the same X vector (checked by length
+// and values).
+func (c *Chart) WriteCSV(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return ErrEmpty
+	}
+	base := c.Series[0].X
+	for _, s := range c.Series {
+		if len(s.X) != len(base) {
+			return fmt.Errorf("%w: series %q", ErrLength, s.Name)
+		}
+		for i := range s.X {
+			if s.X[i] != base[i] {
+				return fmt.Errorf("plot: series %q has a different X grid", s.Name)
+			}
+		}
+	}
+	cols := []string{sanitizeCSV(c.XLabel)}
+	for _, s := range c.Series {
+		cols = append(cols, sanitizeCSV(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range base {
+		row := []string{formatFloat(base[i])}
+		for _, s := range c.Series {
+			row = append(row, formatFloat(s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitizeCSV(s string) string {
+	if s == "" {
+		return "x"
+	}
+	s = strings.ReplaceAll(s, ",", ";")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.10g", v)
+}
+
+// svgPalette holds the stroke colors of SVG series, chosen to match the
+// paper's Figure 1 (red = ESS, green = optimum, blue = welfare optimum).
+var svgPalette = []string{"#cc0000", "#00aa44", "#0044cc", "#aa6600", "#7700aa", "#006677"}
+
+// RenderSVG writes a self-contained SVG line chart of the given pixel size.
+func (c *Chart) RenderSVG(w io.Writer, width, height int) error {
+	if width < 100 {
+		width = 100
+	}
+	if height < 80 {
+		height = 80
+	}
+	xmin, xmax, ymin, ymax, err := c.validate()
+	if err != nil {
+		return err
+	}
+	const margin = 55
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	px := func(x float64) float64 { return margin + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(height) - margin - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", px(xmin), py(ymin), px(xmax), py(ymin))
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", px(xmin), py(ymin), px(xmin), py(ymax))
+	// Tick labels at the corners and midpoints.
+	for _, tx := range []float64{xmin, (xmin + xmax) / 2, xmax} {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="middle">%.3g</text>`+"\n", px(tx), float64(height)-margin+16, tx)
+	}
+	for _, ty := range []float64{ymin, (ymin + ymax) / 2, ymax} {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="end">%.3g</text>`+"\n", px(xmin)-6, py(ty)+4, ty)
+	}
+	// Axis labels and title.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%d" font-size="13" text-anchor="middle">%s</text>`+"\n", px((xmin+xmax)/2), height-10, escapeXML(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%g" font-size="13" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n", py((ymin+ymax)/2), py((ymin+ymax)/2), escapeXML(c.YLabel))
+	}
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n", width/2, escapeXML(c.Title))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n", color, strings.Join(pts, " "))
+		// Legend entry.
+		ly := 34 + 16*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n", width-170, ly, width-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", width-144, ly+4, escapeXML(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

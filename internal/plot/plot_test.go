@@ -1,0 +1,177 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "demo",
+		XLabel: "c",
+		YLabel: "Coverage",
+		Series: []Series{
+			{Name: "ESS", X: []float64{0, 0.5, 1}, Y: []float64{1, 1.1, 0.9}},
+			{Name: "Optimum", X: []float64{0, 0.5, 1}, Y: []float64{1.1, 1.1, 1.1}},
+		},
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	var b strings.Builder
+	if err := sampleChart().RenderASCII(&b, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "ESS", "Optimum", "legend", "*", "o", "Coverage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderASCIIMinimumDimensionsClamp(t *testing.T) {
+	var b strings.Builder
+	if err := sampleChart().RenderASCII(&b, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.String()) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestRenderASCIIEmptyChart(t *testing.T) {
+	c := &Chart{}
+	var b strings.Builder
+	if err := c.RenderASCII(&b, 40, 10); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestRenderASCIIMismatchedSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	var b strings.Builder
+	if err := c.RenderASCII(&b, 40, 10); !errors.Is(err, ErrLength) {
+		t.Errorf("want ErrLength, got %v", err)
+	}
+}
+
+func TestRenderASCIISkipsNaN(t *testing.T) {
+	c := &Chart{Series: []Series{{
+		Name: "gap",
+		X:    []float64{0, 1, 2},
+		Y:    []float64{1, math.NaN(), 3},
+	}}}
+	var b strings.Builder
+	if err := c.RenderASCII(&b, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderASCIIConstantSeries(t *testing.T) {
+	// Degenerate y-range must not divide by zero.
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{2, 2}}}}
+	var b strings.Builder
+	if err := c.RenderASCII(&b, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleChart().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), b.String())
+	}
+	if lines[0] != "c,ESS,Optimum" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.0,1.0,") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVRejectsDifferentGrids(t *testing.T) {
+	c := &Chart{Series: []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "b", X: []float64{0, 2}, Y: []float64{0, 1}},
+	}}
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err == nil {
+		t.Error("different X grids accepted")
+	}
+	c2 := &Chart{}
+	if err := c2.WriteCSV(&b); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty chart: %v", err)
+	}
+}
+
+func TestWriteCSVSanitizesNames(t *testing.T) {
+	c := &Chart{
+		XLabel: "x,axis",
+		Series: []Series{{Name: "a,b\nc", X: []float64{1}, Y: []float64{2}}},
+	}
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.Split(b.String(), "\n")[0]
+	if strings.Count(header, ",") != 1 {
+		t.Errorf("header not sanitized: %q", header)
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	var b strings.Builder
+	if err := sampleChart().RenderSVG(&b, 640, 480); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "#cc0000", "ESS", "Coverage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestRenderSVGEscapesLabels(t *testing.T) {
+	c := sampleChart()
+	c.Title = `f(x1)=1 & f(x2)<0.5 "quoted"`
+	var b strings.Builder
+	if err := c.RenderSVG(&b, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `& f`) || strings.Contains(out, "<0.5") {
+		t.Error("unescaped XML metacharacters in SVG")
+	}
+	if !strings.Contains(out, "&amp;") || !strings.Contains(out, "&lt;") {
+		t.Error("expected escaped entities")
+	}
+}
+
+func TestRenderSVGEmpty(t *testing.T) {
+	c := &Chart{}
+	var b strings.Builder
+	if err := c.RenderSVG(&b, 400, 300); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestRenderSVGSizeClamp(t *testing.T) {
+	var b strings.Builder
+	if err := sampleChart().RenderSVG(&b, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `width="100"`) {
+		t.Error("width not clamped")
+	}
+}

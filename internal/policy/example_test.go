@@ -1,0 +1,36 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"dispersal/internal/policy"
+)
+
+// The congestion families at a glance: what each of 3 colliding players
+// receives of a unit-value site.
+func ExampleReward() {
+	l := 3 // three players on the same site
+	for _, c := range []policy.Congestion{
+		policy.Exclusive{},
+		policy.Sharing{},
+		policy.Constant{},
+		policy.Aggressive{Penalty: 0.5},
+	} {
+		fmt.Printf("%-25s %+.3f\n", c.Name(), policy.Reward(c, 1, l))
+	}
+	// Output:
+	// exclusive                 +0.000
+	// sharing                   +0.333
+	// constant                  +1.000
+	// aggressive(penalty=0.5)   -1.000
+}
+
+// Validate rejects functions violating the congestion axioms.
+func ExampleValidate() {
+	rising := policy.Table{Head: []float64{1, 0.2, 0.8}, Tail: 0}
+	fmt.Println(policy.Validate(rising, 5) != nil)
+	fmt.Println(policy.Validate(policy.Sharing{}, 5) == nil)
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,236 @@
+// Package policy implements congestion reward policies I(x, l) = f(x) * C(l).
+//
+// A congestion function C maps the number of players l >= 1 sharing a site to
+// the fraction of the site value each of them receives. The paper requires
+// C(1) = 1 and C non-increasing; C may be negative (aggression) or exceed
+// 1/l (cooperation). The central object of the paper is the exclusive policy
+// Cexc (C(1)=1, C(l)=0 for l > 1), whose IFD uniquely optimizes coverage.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Congestion is a congestion function C(l) for l >= 1.
+//
+// Implementations must satisfy At(1) == 1 and be non-increasing in l;
+// Validate checks both over a finite horizon.
+type Congestion interface {
+	// At returns C(l). l is the total number of players at the site,
+	// including the focal player, so l >= 1.
+	At(l int) float64
+	// Name returns a short human-readable identifier used in tables and
+	// figure legends.
+	Name() string
+}
+
+// Validation errors.
+var (
+	ErrCOneNotUnit   = errors.New("policy: C(1) must equal 1")
+	ErrNotMonotone   = errors.New("policy: C must be non-increasing")
+	ErrNotFinite     = errors.New("policy: C must be finite")
+	ErrBadMultiplier = errors.New("policy: invalid parameter")
+)
+
+// Validate checks the congestion-policy axioms C(1) = 1 and monotonicity for
+// l = 1..horizon. Use horizon = k (the player count) in game contexts.
+func Validate(c Congestion, horizon int) error {
+	if horizon < 1 {
+		horizon = 1
+	}
+	prev := math.Inf(1)
+	for l := 1; l <= horizon; l++ {
+		v := c.At(l)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: C(%d) = %v", ErrNotFinite, l, v)
+		}
+		if l == 1 && v != 1 {
+			return fmt.Errorf("%w: C(1) = %v", ErrCOneNotUnit, v)
+		}
+		if v > prev {
+			return fmt.Errorf("%w: C(%d) = %v > C(%d) = %v", ErrNotMonotone, l, v, l-1, prev)
+		}
+		prev = v
+	}
+	return nil
+}
+
+// Reward returns the reward policy value I(x, l) = f(x) * C(l) for a site of
+// value fx visited by l players in total.
+func Reward(c Congestion, fx float64, l int) float64 {
+	return fx * c.At(l)
+}
+
+// IsExclusive reports whether c behaves exactly like the exclusive policy on
+// l = 1..horizon. Theorem 6 is a statement about this predicate: every
+// congestion function for which it is false has SPoA > 1.
+func IsExclusive(c Congestion, horizon int) bool {
+	if c.At(1) != 1 {
+		return false
+	}
+	for l := 2; l <= horizon; l++ {
+		if c.At(l) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Exclusive is the paper's "Judgment of Solomon" policy Cexc: full reward
+// when alone, nothing under any collision.
+type Exclusive struct{}
+
+// At implements Congestion.
+func (Exclusive) At(l int) float64 {
+	if l == 1 {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Congestion.
+func (Exclusive) Name() string { return "exclusive" }
+
+// Sharing is the scramble-competition policy Cshare(l) = 1/l: colliding
+// players split the site value equally. This is the policy studied by
+// Kleinberg and Oren [23] and most of the IFD ecology literature.
+type Sharing struct{}
+
+// At implements Congestion.
+func (Sharing) At(l int) float64 { return 1 / float64(l) }
+
+// Name implements Congestion.
+func (Sharing) Name() string { return "sharing" }
+
+// Constant is the no-congestion policy C(l) = 1: every visitor obtains the
+// full site value. Its SPoA grows like k (Section 1.2 of the paper).
+type Constant struct{}
+
+// At implements Congestion.
+func (Constant) At(l int) float64 { return 1 }
+
+// Name implements Congestion.
+func (Constant) Name() string { return "constant" }
+
+// TwoPoint is the one-parameter family Cc of Figure 1: C(1) = 1 and
+// C(l) = C2 for every l >= 2. C2 = 0 recovers Exclusive; C2 = 0.5 coincides
+// with Sharing at l = 2 (and is exactly Sharing in the 2-player games of
+// Figure 1); negative C2 models aggression.
+type TwoPoint struct {
+	// C2 is the per-player multiplier under any collision (l >= 2).
+	C2 float64
+}
+
+// At implements Congestion.
+func (c TwoPoint) At(l int) float64 {
+	if l == 1 {
+		return 1
+	}
+	return c.C2
+}
+
+// Name implements Congestion.
+func (c TwoPoint) Name() string { return fmt.Sprintf("twopoint(c=%g)", c.C2) }
+
+// PowerLaw is C(l) = l^(-Beta). Beta = 0 is Constant, Beta = 1 is Sharing,
+// Beta > 1 punishes collisions harder than equal splitting.
+type PowerLaw struct {
+	// Beta is the congestion exponent; must be >= 0 for monotonicity.
+	Beta float64
+}
+
+// At implements Congestion.
+func (c PowerLaw) At(l int) float64 {
+	if l == 1 {
+		return 1
+	}
+	return math.Pow(float64(l), -c.Beta)
+}
+
+// Name implements Congestion.
+func (c PowerLaw) Name() string { return fmt.Sprintf("powerlaw(beta=%g)", c.Beta) }
+
+// Cooperative is C(l) = Gamma^(l-1) with Gamma in (1/2, 1): visitors lose
+// less than their equal share when colliding, modelling synergy at a patch
+// (each of l players gets more than f(x)/l for moderate l). It still
+// satisfies the congestion axioms since Gamma < 1.
+type Cooperative struct {
+	// Gamma is the per-extra-player retention factor, in (0, 1).
+	Gamma float64
+}
+
+// At implements Congestion.
+func (c Cooperative) At(l int) float64 {
+	return math.Pow(c.Gamma, float64(l-1))
+}
+
+// Name implements Congestion.
+func (c Cooperative) Name() string { return fmt.Sprintf("cooperative(gamma=%g)", c.Gamma) }
+
+// Aggressive is C(1) = 1 and C(l) = -Penalty*(l-1) for l >= 2: collisions
+// hurt, and hurt more the more players pile on (injuries from contests over
+// the patch). Penalty must be >= 0.
+type Aggressive struct {
+	// Penalty is the per-opponent damage coefficient.
+	Penalty float64
+}
+
+// At implements Congestion.
+func (c Aggressive) At(l int) float64 {
+	if l == 1 {
+		return 1
+	}
+	return -c.Penalty * float64(l-1)
+}
+
+// Name implements Congestion.
+func (c Aggressive) Name() string { return fmt.Sprintf("aggressive(penalty=%g)", c.Penalty) }
+
+// Table is a congestion function given by an explicit table for small l and
+// a constant tail: C(l) = Head[l-1] for l <= len(Head), and Tail beyond.
+type Table struct {
+	// Head lists C(1), C(2), ... explicitly. Head[0] must be 1.
+	Head []float64
+	// Tail is the value of C(l) for l > len(Head).
+	Tail float64
+}
+
+// At implements Congestion.
+func (c Table) At(l int) float64 {
+	if l <= 0 {
+		return math.NaN()
+	}
+	if l <= len(c.Head) {
+		return c.Head[l-1]
+	}
+	return c.Tail
+}
+
+// Name implements Congestion.
+func (c Table) Name() string { return fmt.Sprintf("table(%d+tail)", len(c.Head)) }
+
+// NewTable builds a Table and validates it up to len(head)+1.
+func NewTable(head []float64, tail float64) (Table, error) {
+	t := Table{Head: append([]float64(nil), head...), Tail: tail}
+	if err := Validate(t, len(head)+1); err != nil {
+		return Table{}, err
+	}
+	return t, nil
+}
+
+// Standard returns the named standard policies evaluated in the experiments,
+// in a stable order suitable for table rows.
+func Standard() []Congestion {
+	return []Congestion{
+		Exclusive{},
+		Sharing{},
+		Constant{},
+		TwoPoint{C2: 0.25},
+		TwoPoint{C2: -0.25},
+		PowerLaw{Beta: 2},
+		Cooperative{Gamma: 0.9},
+		Aggressive{Penalty: 0.5},
+	}
+}

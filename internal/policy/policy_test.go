@@ -1,0 +1,202 @@
+package policy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExclusive(t *testing.T) {
+	c := Exclusive{}
+	if c.At(1) != 1 {
+		t.Errorf("C(1) = %v", c.At(1))
+	}
+	for l := 2; l <= 10; l++ {
+		if c.At(l) != 0 {
+			t.Errorf("C(%d) = %v, want 0", l, c.At(l))
+		}
+	}
+	if !IsExclusive(c, 50) {
+		t.Error("IsExclusive(Exclusive) = false")
+	}
+}
+
+func TestSharing(t *testing.T) {
+	c := Sharing{}
+	for l := 1; l <= 10; l++ {
+		if got, want := c.At(l), 1/float64(l); got != want {
+			t.Errorf("C(%d) = %v, want %v", l, got, want)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{}
+	for l := 1; l <= 10; l++ {
+		if c.At(l) != 1 {
+			t.Errorf("C(%d) = %v", l, c.At(l))
+		}
+	}
+}
+
+func TestTwoPoint(t *testing.T) {
+	c := TwoPoint{C2: -0.3}
+	if c.At(1) != 1 {
+		t.Errorf("C(1) = %v", c.At(1))
+	}
+	if c.At(2) != -0.3 || c.At(7) != -0.3 {
+		t.Errorf("tail values: %v, %v", c.At(2), c.At(7))
+	}
+	// c = 0 is exactly exclusive.
+	if !IsExclusive(TwoPoint{C2: 0}, 20) {
+		t.Error("TwoPoint{0} should be exclusive")
+	}
+	if IsExclusive(TwoPoint{C2: 0.1}, 20) {
+		t.Error("TwoPoint{0.1} should not be exclusive")
+	}
+}
+
+func TestTwoPointMatchesSharingAtTwoPlayers(t *testing.T) {
+	// In the 2-player games of Figure 1, c = 0.5 is the sharing policy.
+	c := TwoPoint{C2: 0.5}
+	s := Sharing{}
+	for l := 1; l <= 2; l++ {
+		if c.At(l) != s.At(l) {
+			t.Errorf("l=%d: twopoint %v != sharing %v", l, c.At(l), s.At(l))
+		}
+	}
+}
+
+func TestPowerLaw(t *testing.T) {
+	if got := (PowerLaw{Beta: 1}).At(4); got != 0.25 {
+		t.Errorf("beta=1 C(4) = %v", got)
+	}
+	if got := (PowerLaw{Beta: 0}).At(9); got != 1 {
+		t.Errorf("beta=0 C(9) = %v", got)
+	}
+	if got := (PowerLaw{Beta: 2}).At(2); got != 0.25 {
+		t.Errorf("beta=2 C(2) = %v", got)
+	}
+}
+
+func TestCooperativeExceedsEqualShare(t *testing.T) {
+	c := Cooperative{Gamma: 0.9}
+	// Cooperation: each of l players receives more than f/l for small l > 1.
+	for l := 2; l <= 5; l++ {
+		if c.At(l) <= 1/float64(l) {
+			t.Errorf("C(%d) = %v, want > %v (cooperation)", l, c.At(l), 1/float64(l))
+		}
+	}
+}
+
+func TestAggressiveNegative(t *testing.T) {
+	c := Aggressive{Penalty: 0.5}
+	if c.At(1) != 1 {
+		t.Errorf("C(1) = %v", c.At(1))
+	}
+	if c.At(2) != -0.5 {
+		t.Errorf("C(2) = %v", c.At(2))
+	}
+	if c.At(4) != -1.5 {
+		t.Errorf("C(4) = %v", c.At(4))
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab, err := NewTable([]float64{1, 0.4, 0.1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.4, 0.1, 0, 0}
+	for l := 1; l <= 5; l++ {
+		if got := tab.At(l); got != want[l-1] {
+			t.Errorf("C(%d) = %v, want %v", l, got, want[l-1])
+		}
+	}
+	if !math.IsNaN(tab.At(0)) {
+		t.Error("C(0) should be NaN")
+	}
+}
+
+func TestNewTableRejectsInvalid(t *testing.T) {
+	if _, err := NewTable([]float64{0.9, 0.4}, 0); !errors.Is(err, ErrCOneNotUnit) {
+		t.Errorf("C(1) != 1: err = %v", err)
+	}
+	if _, err := NewTable([]float64{1, 0.2, 0.5}, 0); !errors.Is(err, ErrNotMonotone) {
+		t.Errorf("non-monotone: err = %v", err)
+	}
+	if _, err := NewTable([]float64{1, 0.2}, 0.5); !errors.Is(err, ErrNotMonotone) {
+		t.Errorf("rising tail: err = %v", err)
+	}
+	if _, err := NewTable([]float64{1, math.NaN()}, 0); !errors.Is(err, ErrNotFinite) {
+		t.Errorf("NaN entry: err = %v", err)
+	}
+}
+
+func TestValidateStandardPolicies(t *testing.T) {
+	for _, c := range Standard() {
+		if err := Validate(c, 25); err != nil {
+			t.Errorf("standard policy %s invalid: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestValidateHorizonClamp(t *testing.T) {
+	if err := Validate(Exclusive{}, 0); err != nil {
+		t.Errorf("horizon 0 should clamp to 1: %v", err)
+	}
+}
+
+func TestReward(t *testing.T) {
+	if got := Reward(Sharing{}, 6, 3); got != 2 {
+		t.Errorf("Reward = %v, want 2", got)
+	}
+	if got := Reward(Exclusive{}, 6, 2); got != 0 {
+		t.Errorf("Reward under collision = %v, want 0", got)
+	}
+	if got := Reward(Aggressive{Penalty: 1}, 2, 3); got != -4 {
+		t.Errorf("aggressive Reward = %v, want -4", got)
+	}
+}
+
+func TestNamesAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Standard() {
+		if seen[c.Name()] {
+			t.Errorf("duplicate policy name %q", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+}
+
+func TestMonotonicityQuick(t *testing.T) {
+	// All parameterized families remain valid congestion functions across
+	// their parameter ranges.
+	f := func(raw float64) bool {
+		u := math.Abs(math.Mod(raw, 1)) // in [0,1)
+		policies := []Congestion{
+			TwoPoint{C2: u},       // in [0,1)
+			TwoPoint{C2: -u},      // negative branch
+			PowerLaw{Beta: 3 * u}, // beta in [0,3)
+			Cooperative{Gamma: 0.999 - 0.9*u},
+			Aggressive{Penalty: 2 * u},
+		}
+		for _, c := range policies {
+			if Validate(c, 30) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsExclusiveRejectsWrongCOne(t *testing.T) {
+	tab := Table{Head: []float64{0.5}, Tail: 0}
+	if IsExclusive(tab, 5) {
+		t.Error("C(1) != 1 must not be exclusive")
+	}
+}

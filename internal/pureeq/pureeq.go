@@ -1,0 +1,157 @@
+// Package pureeq enumerates the pure (non-symmetric) Nash equilibria the
+// paper discusses in Section 1.2: the dispersal game also has pure
+// equilibria, but their number grows exponentially with the number of
+// players ("choosing an equilibrium among those requires coordination"),
+// which is why the paper restricts attention to symmetric equilibria.
+//
+// Experiment E17 verifies the discussion quantitatively: under the
+// exclusive policy with strictly decreasing values and M >= k, the pure
+// equilibria are exactly the k! assignments of players to the top-k sites,
+// all with the full-coordination coverage sum_{x<=k} f(x).
+package pureeq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+// Errors returned by the enumerator.
+var (
+	ErrPlayers  = errors.New("pureeq: player count k must be >= 1")
+	ErrTooLarge = errors.New("pureeq: profile space exceeds the enumeration limit")
+)
+
+// Profile assigns each player a site (0-based).
+type Profile []int
+
+// Clone returns an independent copy.
+func (p Profile) Clone() Profile {
+	out := make(Profile, len(p))
+	copy(out, p)
+	return out
+}
+
+// Coverage returns the total value of the sites visited by the profile.
+func (p Profile) Coverage(f site.Values) float64 {
+	seen := make(map[int]bool, len(p))
+	var acc numeric.Accumulator
+	for _, x := range p {
+		if !seen[x] {
+			seen[x] = true
+			acc.Add(f[x])
+		}
+	}
+	return acc.Sum()
+}
+
+// IsNash reports whether the profile is a pure Nash equilibrium of the game
+// (f, C): no player can strictly gain by unilaterally moving to another
+// site. Ties are broken with tolerance tol (a deviation must improve by
+// more than tol to count).
+func IsNash(f site.Values, c policy.Congestion, p Profile, tol float64) bool {
+	m := len(f)
+	counts := make([]int, m)
+	for _, x := range p {
+		counts[x]++
+	}
+	for _, x := range p {
+		current := policy.Reward(c, f[x], counts[x])
+		for y := 0; y < m; y++ {
+			if y == x {
+				continue
+			}
+			if policy.Reward(c, f[y], counts[y]+1) > current+tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Summary aggregates an enumeration.
+type Summary struct {
+	// Profiles is the number of pure profiles examined (M^k).
+	Profiles int
+	// Equilibria is the number of pure Nash equilibria found.
+	Equilibria int
+	// BestCoverage and WorstCoverage bound the coverage across equilibria
+	// (both 0 when none exist).
+	BestCoverage, WorstCoverage float64
+	// Witnesses holds up to MaxWitnesses example equilibria.
+	Witnesses []Profile
+}
+
+// MaxWitnesses caps the stored example equilibria.
+const MaxWitnesses = 8
+
+// Enumerate brute-forces all M^k pure profiles of the game (f, k, C) and
+// summarizes the Nash equilibria among them. limit guards the state-space
+// size (M^k <= limit, default 1<<22 when limit <= 0).
+func Enumerate(f site.Values, k int, c policy.Congestion, limit int) (Summary, error) {
+	if err := f.Validate(); err != nil {
+		return Summary{}, err
+	}
+	if k < 1 {
+		return Summary{}, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	if err := policy.Validate(c, k); err != nil {
+		return Summary{}, err
+	}
+	if limit <= 0 {
+		limit = 1 << 22
+	}
+	m := len(f)
+	total := 1
+	for i := 0; i < k; i++ {
+		if total > limit/m {
+			return Summary{}, fmt.Errorf("%w: %d^%d > %d", ErrTooLarge, m, k, limit)
+		}
+		total *= m
+	}
+	sum := Summary{
+		Profiles:      total,
+		BestCoverage:  math.Inf(-1),
+		WorstCoverage: math.Inf(1),
+	}
+	profile := make(Profile, k)
+	for idx := 0; idx < total; idx++ {
+		// Decode idx in base M.
+		v := idx
+		for i := 0; i < k; i++ {
+			profile[i] = v % m
+			v /= m
+		}
+		if !IsNash(f, c, profile, 1e-12) {
+			continue
+		}
+		sum.Equilibria++
+		cov := profile.Coverage(f)
+		if cov > sum.BestCoverage {
+			sum.BestCoverage = cov
+		}
+		if cov < sum.WorstCoverage {
+			sum.WorstCoverage = cov
+		}
+		if len(sum.Witnesses) < MaxWitnesses {
+			sum.Witnesses = append(sum.Witnesses, profile.Clone())
+		}
+	}
+	if sum.Equilibria == 0 {
+		sum.BestCoverage, sum.WorstCoverage = 0, 0
+	}
+	return sum, nil
+}
+
+// Factorial returns k! as an int (valid for k <= 20).
+func Factorial(k int) int {
+	out := 1
+	for i := 2; i <= k; i++ {
+		out *= i
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package pureeq
+
+import (
+	"errors"
+	"testing"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+func TestExclusivePureEquilibriaAreTopKPermutations(t *testing.T) {
+	// Strictly decreasing values, M >= k: the pure NE under the exclusive
+	// policy are exactly the k! one-to-one assignments onto the top-k
+	// sites, each achieving the full-coordination coverage.
+	cases := []struct{ m, k int }{
+		{3, 2}, {4, 3}, {5, 3}, {6, 4},
+	}
+	for _, c := range cases {
+		f := site.Geometric(c.m, 1, 0.8)
+		sum, err := Enumerate(f, c.k, policy.Exclusive{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Factorial(c.k); sum.Equilibria != want {
+			t.Errorf("M=%d k=%d: %d pure NE, want %d = k!", c.m, c.k, sum.Equilibria, want)
+		}
+		wantCover := f.PrefixSum(c.k)
+		if !numeric.AlmostEqual(sum.BestCoverage, wantCover, 1e-12) ||
+			!numeric.AlmostEqual(sum.WorstCoverage, wantCover, 1e-12) {
+			t.Errorf("M=%d k=%d: coverage range [%v, %v], want %v",
+				c.m, c.k, sum.WorstCoverage, sum.BestCoverage, wantCover)
+		}
+	}
+}
+
+func TestPureEquilibriaBeatSymmetricCoverage(t *testing.T) {
+	// Pure NE under the exclusive policy reach the full-coordination
+	// coverage, which strictly exceeds the best symmetric coverage when
+	// collisions are possible — the coordination premium of Section 1.2.
+	f := site.Geometric(5, 1, 0.7)
+	k := 3
+	sum, err := Enumerate(f, k, policy.Exclusive{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symCover := coverage.Cover(f, sigma, k)
+	if sum.BestCoverage <= symCover {
+		t.Errorf("pure NE coverage %v should exceed symmetric optimum %v",
+			sum.BestCoverage, symCover)
+	}
+}
+
+func TestIsNashDetectsDeviations(t *testing.T) {
+	f := site.Values{1, 0.5, 0.2}
+	c := policy.Exclusive{}
+	if !IsNash(f, c, Profile{0, 1}, 1e-12) {
+		t.Error("top-2 assignment rejected")
+	}
+	// Both on site 1: each gets 0 and deviating to an empty site pays.
+	if IsNash(f, c, Profile{0, 0}, 1e-12) {
+		t.Error("full collision accepted as NE")
+	}
+	// One player on the worst site with a better empty site available.
+	if IsNash(f, c, Profile{0, 2}, 1e-12) {
+		t.Error("dominated placement accepted as NE")
+	}
+}
+
+func TestSharingPureEquilibriaUniformSites(t *testing.T) {
+	// Two identical sites, two players, sharing: the spread profiles (each
+	// on its own site, payoff 1) are NE; the collided profiles (payoff 1/2
+	// each, deviation pays 1) are not.
+	f := site.Values{1, 1}
+	sum, err := Enumerate(f, 2, policy.Sharing{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Equilibria != 2 {
+		t.Errorf("equilibria = %d, want 2 (the two spread assignments)", sum.Equilibria)
+	}
+}
+
+func TestConstantPolicyEveryoneOnTop(t *testing.T) {
+	// C == 1 with strictly decreasing values: the unique pure NE is all
+	// players on site 1.
+	f := site.Values{1, 0.9}
+	sum, err := Enumerate(f, 3, policy.Constant{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Equilibria != 1 {
+		t.Errorf("equilibria = %d, want 1", sum.Equilibria)
+	}
+	if sum.BestCoverage != 1 {
+		t.Errorf("coverage = %v, want 1", sum.BestCoverage)
+	}
+	if len(sum.Witnesses) != 1 || sum.Witnesses[0][0] != 0 {
+		t.Errorf("witness = %v", sum.Witnesses)
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	f := site.Uniform(10, 1)
+	if _, err := Enumerate(f, 10, policy.Exclusive{}, 1000); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized enumeration accepted")
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	if _, err := Enumerate(site.Values{1}, 0, policy.Exclusive{}, 0); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Enumerate(site.Values{0.5, 1}, 2, policy.Exclusive{}, 0); err == nil {
+		t.Error("unsorted f accepted")
+	}
+}
+
+func TestProfileCoverage(t *testing.T) {
+	f := site.Values{3, 2, 1}
+	if got := (Profile{0, 0, 2}).Coverage(f); got != 4 {
+		t.Errorf("Coverage = %v, want 4", got)
+	}
+	if got := (Profile{1}).Coverage(f); got != 2 {
+		t.Errorf("Coverage = %v, want 2", got)
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := map[int]int{0: 1, 1: 1, 2: 2, 3: 6, 5: 120}
+	for k, v := range want {
+		if got := Factorial(k); got != v {
+			t.Errorf("Factorial(%d) = %d, want %d", k, got, v)
+		}
+	}
+}
+
+func TestWitnessCap(t *testing.T) {
+	// 4 sites, 4 players, exclusive, strict values: 24 equilibria but at
+	// most MaxWitnesses stored.
+	f := site.Geometric(4, 1, 0.9)
+	sum, err := Enumerate(f, 4, policy.Exclusive{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Equilibria != 24 {
+		t.Errorf("equilibria = %d", sum.Equilibria)
+	}
+	if len(sum.Witnesses) != MaxWitnesses {
+		t.Errorf("witnesses = %d, want %d", len(sum.Witnesses), MaxWitnesses)
+	}
+}

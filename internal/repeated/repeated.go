@@ -1,0 +1,277 @@
+// Package repeated implements a repeated dispersal game with resource
+// depletion and regrowth — the "other forms of repetition" the paper leaves
+// open in Section 5.1. Patches carry stocks that are consumed when visited
+// and regrow toward their base value between bouts:
+//
+//	s_post(x) = s(x) * P[site x unvisited]           (consumption)
+//	s_next(x) = s_post(x) + r * (f(x) - s_post(x))   (regrowth, r in [0,1])
+//
+// Players re-equilibrate every bout: they play the IFD of their congestion
+// policy on the *current* stock vector (the adaptive mode), or keep playing
+// the static IFD of the base values. In steady state the per-bout group
+// harvest equals the per-bout regrowth inflow, so policies that cover the
+// current stocks better (Theorem 4: the exclusive policy is the best among
+// them) keep stocks lower and sustain a strictly higher long-run harvest —
+// experiment E19.
+//
+// Both a deterministic mean-field recursion (expected stocks) and a
+// stochastic Monte-Carlo simulator are provided; the tests check that they
+// agree on policy ordering and that the mean-field fixed point is stable.
+package repeated
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/stats"
+	"dispersal/internal/strategy"
+)
+
+// Errors returned by the drivers.
+var (
+	ErrRegrowth = errors.New("repeated: regrowth rate must be in [0, 1]")
+	ErrBouts    = errors.New("repeated: bouts must be >= 1")
+	ErrPlayers  = errors.New("repeated: player count k must be >= 1")
+)
+
+// stockFloor is the stock level below which a patch is treated as empty
+// for equilibrium computation (avoids degenerate zero-value sites).
+const stockFloor = 1e-12
+
+// Config describes a repeated-foraging run.
+type Config struct {
+	// F is the base (carrying-capacity) value of each patch, sorted
+	// non-increasing as usual.
+	F site.Values
+	// K is the number of players per bout.
+	K int
+	// C is the congestion policy.
+	C policy.Congestion
+	// Regrowth is the per-bout recovery fraction r in [0, 1].
+	Regrowth float64
+	// Bouts is the number of bouts to run.
+	Bouts int
+	// BurnIn is the number of initial bouts excluded from the harvest
+	// statistics (default Bouts/4).
+	BurnIn int
+	// Adaptive selects per-bout re-equilibration on current stocks; when
+	// false, players keep the static IFD of F.
+	Adaptive bool
+	// Seed drives the Monte-Carlo simulator (unused by MeanField).
+	Seed uint64
+}
+
+func (cfg Config) validate() (Config, error) {
+	if err := cfg.F.Validate(); err != nil {
+		return cfg, err
+	}
+	if cfg.K < 1 {
+		return cfg, fmt.Errorf("%w: k=%d", ErrPlayers, cfg.K)
+	}
+	if cfg.Regrowth < 0 || cfg.Regrowth > 1 {
+		return cfg, fmt.Errorf("%w: r=%v", ErrRegrowth, cfg.Regrowth)
+	}
+	if cfg.Bouts < 1 {
+		return cfg, fmt.Errorf("%w: %d", ErrBouts, cfg.Bouts)
+	}
+	if cfg.BurnIn <= 0 {
+		cfg.BurnIn = cfg.Bouts / 4
+	}
+	if cfg.BurnIn >= cfg.Bouts {
+		cfg.BurnIn = cfg.Bouts - 1
+	}
+	if err := policy.Validate(cfg.C, cfg.K); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// Result summarizes a repeated run.
+type Result struct {
+	// Harvest summarizes the per-bout group harvest after burn-in.
+	Harvest stats.Summary
+	// FinalStocks is the stock vector after the last bout.
+	FinalStocks []float64
+	// MeanStock is the average total stock after burn-in.
+	MeanStock float64
+}
+
+// EquilibriumOnStocks computes the strategy the players adopt on an
+// arbitrary (possibly unsorted, possibly partially depleted) stock vector:
+// patches below the stock floor are ignored, the rest are solved as a
+// dispersal game in sorted order, and the solution is mapped back to the
+// original indexing. Exported for reuse by the robustness experiment.
+func EquilibriumOnStocks(stocks []float64, k int, c policy.Congestion) (strategy.Strategy, error) {
+	m := len(stocks)
+	type pair struct {
+		idx int
+		v   float64
+	}
+	alive := make([]pair, 0, m)
+	for i, v := range stocks {
+		if v > stockFloor {
+			alive = append(alive, pair{i, v})
+		}
+	}
+	out := make(strategy.Strategy, m)
+	if len(alive) == 0 {
+		// Nothing worth visiting: spread uniformly (harvest will be ~0).
+		for i := range out {
+			out[i] = 1 / float64(m)
+		}
+		return out, nil
+	}
+	sort.Slice(alive, func(a, b int) bool { return alive[a].v > alive[b].v })
+	f := make(site.Values, len(alive))
+	for i, p := range alive {
+		f[i] = p.v
+	}
+	eq, _, err := ifd.Solve(f, k, c)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range alive {
+		out[p.idx] = eq[i]
+	}
+	return out, nil
+}
+
+// MeanField iterates the deterministic expected-stock recursion.
+func MeanField(cfg Config) (Result, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return Result{}, err
+	}
+	m := len(cfg.F)
+	stocks := make([]float64, m)
+	copy(stocks, cfg.F)
+
+	var static strategy.Strategy
+	if !cfg.Adaptive {
+		static, _, err = ifd.Solve(cfg.F, cfg.K, cfg.C)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	var harvest stats.Welford
+	var stockSum numeric.Accumulator
+	counted := 0
+	for bout := 0; bout < cfg.Bouts; bout++ {
+		p := static
+		if cfg.Adaptive {
+			p, err = EquilibriumOnStocks(stocks, cfg.K, cfg.C)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		var bh numeric.Accumulator
+		for x := 0; x < m; x++ {
+			miss := numeric.PowOneMinus(p[x], cfg.K)
+			bh.Add(stocks[x] * (1 - miss))
+			post := stocks[x] * miss
+			stocks[x] = post + cfg.Regrowth*(cfg.F[x]-post)
+		}
+		if bout >= cfg.BurnIn {
+			harvest.Add(bh.Sum())
+			var tot numeric.Accumulator
+			for _, s := range stocks {
+				tot.Add(s)
+			}
+			stockSum.Add(tot.Sum())
+			counted++
+		}
+	}
+	res := Result{
+		Harvest:     harvest.Summarize(),
+		FinalStocks: stocks,
+	}
+	if counted > 0 {
+		res.MeanStock = stockSum.Sum() / float64(counted)
+	}
+	return res, nil
+}
+
+// Simulate runs the stochastic counterpart: players sample sites, visited
+// patches lose their entire current stock, stocks regrow.
+func Simulate(cfg Config) (Result, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return Result{}, err
+	}
+	m := len(cfg.F)
+	stocks := make([]float64, m)
+	copy(stocks, cfg.F)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x4ad3c4f1))
+
+	var staticSampler *strategy.Sampler
+	if !cfg.Adaptive {
+		p, _, err := ifd.Solve(cfg.F, cfg.K, cfg.C)
+		if err != nil {
+			return Result{}, err
+		}
+		staticSampler, err = strategy.NewSampler(p)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	var harvest stats.Welford
+	var stockSum numeric.Accumulator
+	counted := 0
+	visited := make([]bool, m)
+	touched := make([]int, 0, cfg.K)
+	for bout := 0; bout < cfg.Bouts; bout++ {
+		smp := staticSampler
+		if cfg.Adaptive {
+			p, err := EquilibriumOnStocks(stocks, cfg.K, cfg.C)
+			if err != nil {
+				return Result{}, err
+			}
+			smp, err = strategy.NewSampler(p)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		touched = touched[:0]
+		var bh float64
+		for i := 0; i < cfg.K; i++ {
+			x := smp.Sample(rng)
+			if !visited[x] {
+				visited[x] = true
+				touched = append(touched, x)
+				bh += stocks[x]
+			}
+		}
+		for _, x := range touched {
+			stocks[x] = 0
+			visited[x] = false
+		}
+		for x := 0; x < m; x++ {
+			stocks[x] += cfg.Regrowth * (cfg.F[x] - stocks[x])
+		}
+		if bout >= cfg.BurnIn {
+			harvest.Add(bh)
+			var tot numeric.Accumulator
+			for _, s := range stocks {
+				tot.Add(s)
+			}
+			stockSum.Add(tot.Sum())
+			counted++
+		}
+	}
+	res := Result{
+		Harvest:     harvest.Summarize(),
+		FinalStocks: stocks,
+	}
+	if counted > 0 {
+		res.MeanStock = stockSum.Sum() / float64(counted)
+	}
+	return res, nil
+}

@@ -1,0 +1,253 @@
+package repeated
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+func baseConfig() Config {
+	return Config{
+		F:        site.Geometric(8, 1, 0.8),
+		K:        4,
+		C:        policy.Exclusive{},
+		Regrowth: 0.3,
+		Bouts:    400,
+		Adaptive: true,
+	}
+}
+
+func TestMeanFieldFullRegrowthMatchesOneShot(t *testing.T) {
+	// r = 1 restores stocks fully every bout: each bout is the one-shot
+	// game, and the harvest equals Cover(IFD).
+	cfg := baseConfig()
+	cfg.Regrowth = 1
+	res, err := MeanField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _, err := ifd.Solve(cfg.F, cfg.K, cfg.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := coverage.Cover(cfg.F, eq, cfg.K)
+	if !numeric.AlmostEqual(res.Harvest.Mean, want, 1e-9) {
+		t.Errorf("harvest %v, want one-shot coverage %v", res.Harvest.Mean, want)
+	}
+	if res.Harvest.StdDev > 1e-9 {
+		t.Errorf("full-regrowth harvest should be constant, stddev %v", res.Harvest.StdDev)
+	}
+}
+
+func TestMeanFieldZeroRegrowthDecaysToZero(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Regrowth = 0
+	cfg.Bouts = 2000
+	cfg.BurnIn = 1900
+	res, err := MeanField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Harvest.Mean > 1e-6 {
+		t.Errorf("no regrowth but sustained harvest %v", res.Harvest.Mean)
+	}
+}
+
+func TestMeanFieldSteadyStateHarvestEqualsInflow(t *testing.T) {
+	// In steady state, harvest per bout == regrowth inflow == r * (total F
+	// - total post-consumption stock). Check the identity at the final
+	// state.
+	cfg := baseConfig()
+	cfg.Bouts = 3000
+	cfg.BurnIn = 2990
+	res, err := MeanField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Harvest.StdDev > 1e-6*(1+res.Harvest.Mean) {
+		t.Fatalf("not in steady state: stddev %v", res.Harvest.StdDev)
+	}
+	// One more bout from the final stocks reproduces the same harvest.
+	p, err := EquilibriumOnStocks(res.FinalStocks, cfg.K, cfg.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var harvest float64
+	for x := range res.FinalStocks {
+		harvest += res.FinalStocks[x] * (1 - numeric.PowOneMinus(p[x], cfg.K))
+	}
+	if !numeric.AlmostEqual(harvest, res.Harvest.Mean, 1e-6) {
+		t.Errorf("fixed-point harvest %v vs steady mean %v", harvest, res.Harvest.Mean)
+	}
+}
+
+func TestExclusiveSustainsHighestHarvest(t *testing.T) {
+	// The Theorem-4 advantage compounds over bouts: at every regrowth rate
+	// the exclusive policy's adaptive play sustains at least the harvest
+	// of sharing and constant policies.
+	for _, r := range []float64{0.05, 0.2, 0.5, 0.9} {
+		harvests := map[string]float64{}
+		for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}, policy.Constant{}} {
+			cfg := baseConfig()
+			cfg.C = c
+			cfg.Regrowth = r
+			cfg.Bouts = 600
+			res, err := MeanField(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			harvests[c.Name()] = res.Harvest.Mean
+		}
+		if harvests["exclusive"] < harvests["sharing"]-1e-9 {
+			t.Errorf("r=%v: exclusive %v < sharing %v", r, harvests["exclusive"], harvests["sharing"])
+		}
+		if harvests["exclusive"] < harvests["constant"]-1e-9 {
+			t.Errorf("r=%v: exclusive %v < constant %v", r, harvests["exclusive"], harvests["constant"])
+		}
+	}
+}
+
+func TestAdaptiveBeatsStatic(t *testing.T) {
+	// Re-equilibrating on current stocks harvests at least as much as
+	// replaying the static strategy, for the exclusive policy.
+	cfg := baseConfig()
+	cfg.Regrowth = 0.15
+	cfg.Bouts = 800
+	adaptive, err := MeanField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Adaptive = false
+	static, err := MeanField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Harvest.Mean < static.Harvest.Mean-1e-9 {
+		t.Errorf("adaptive %v < static %v", adaptive.Harvest.Mean, static.Harvest.Mean)
+	}
+}
+
+func TestSimulateAgreesWithMeanFieldOrdering(t *testing.T) {
+	// The stochastic simulator preserves the exclusive > sharing harvest
+	// ordering (absolute values differ: stock dynamics are nonlinear).
+	run := func(c policy.Congestion) float64 {
+		cfg := baseConfig()
+		cfg.C = c
+		cfg.Regrowth = 0.2
+		cfg.Bouts = 4000
+		cfg.Seed = 11
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Harvest.Mean
+	}
+	excl := run(policy.Exclusive{})
+	shar := run(policy.Sharing{})
+	if excl <= shar {
+		t.Errorf("simulated: exclusive %v <= sharing %v", excl, shar)
+	}
+}
+
+func TestSimulateFullRegrowthMatchesCoverage(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Regrowth = 1
+	cfg.Bouts = 40000
+	cfg.Seed = 5
+	// With full regrowth the adaptive equilibrium equals the static one;
+	// use the static mode to keep the test fast.
+	cfg.Adaptive = false
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _, err := ifd.Solve(cfg.F, cfg.K, cfg.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := coverage.Cover(cfg.F, eq, cfg.K)
+	if d := math.Abs(res.Harvest.Mean - want); d > 4*res.Harvest.CI95+1e-9 {
+		t.Errorf("simulated %v vs analytic %v", res.Harvest.Mean, want)
+	}
+}
+
+func TestEquilibriumOnStocksUnsorted(t *testing.T) {
+	// Depleted stocks out of order: the helper must solve correctly and
+	// map back.
+	stocks := []float64{0.2, 0.9, 0.5}
+	p, err := EquilibriumOnStocks(stocks, 3, policy.Exclusive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The IFD on sorted (0.9, 0.5, 0.2) gives decreasing probabilities;
+	// mapped back, site 2 (0.9) gets the most mass.
+	if !(p[1] > p[2] && p[2] > p[0]) {
+		t.Errorf("mass ordering wrong: %v for stocks %v", p, stocks)
+	}
+	// And it is a genuine equilibrium of the sorted game.
+	sorted := site.Values{0.9, 0.5, 0.2}
+	ordered := strategy.Strategy{p[1], p[2], p[0]}
+	if err := ifd.Check(sorted, ordered, 3, policy.Exclusive{}, 1e-6); err != nil {
+		t.Errorf("not an IFD: %v", err)
+	}
+}
+
+func TestEquilibriumOnStocksAllEmpty(t *testing.T) {
+	p, err := EquilibriumOnStocks([]float64{0, 0, 0}, 2, policy.Exclusive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("fallback not a distribution: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Regrowth = 1.5
+	if _, err := MeanField(cfg); !errors.Is(err, ErrRegrowth) {
+		t.Error("r>1 accepted")
+	}
+	cfg = baseConfig()
+	cfg.Bouts = 0
+	if _, err := MeanField(cfg); !errors.Is(err, ErrBouts) {
+		t.Error("bouts=0 accepted")
+	}
+	cfg = baseConfig()
+	cfg.K = 0
+	if _, err := Simulate(cfg); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+	cfg = baseConfig()
+	cfg.F = site.Values{0.5, 1}
+	if _, err := MeanField(cfg); err == nil {
+		t.Error("unsorted F accepted")
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Bouts = 200
+	cfg.Seed = 9
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Harvest.Mean != b.Harvest.Mean {
+		t.Error("same seed diverged")
+	}
+}

@@ -1,0 +1,319 @@
+// Package search implements the Bayesian parallel search substrate that the
+// paper connects sigma* to (Section 2.1): a treasure is hidden in one of M
+// boxes according to a prior proportional to f, and k searchers — unable to
+// coordinate — each open one box per round until someone finds it.
+//
+// The paper observes that algorithm sigma* "is actually identical to the
+// first round in the algorithm A* used in [Korman-Rodeh 2017]". The full A*
+// specification is not reproduced in the paper, so this package implements
+// the documented structure faithfully at round 1 and extends it in the
+// natural way: each searcher keeps a private posterior (the prior with its
+// already-opened boxes removed, renormalized) and replays the sigma* rule on
+// it every round. RoundOneDistribution exposes the exact round-1 law so the
+// identity with sigma* can be asserted; experiment E12 does exactly that.
+//
+// Baselines:
+//   - StrategyUniform: open a uniformly random unopened box.
+//   - StrategyGreedy: open the best unopened box (all searchers collide).
+//   - StrategyCoordinated: full coordination — searcher i opens boxes
+//     i, i+k, i+2k, ... in value order (a lower bound on search time).
+//   - StrategyPrior: sample each round from the static normalized prior.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/site"
+	"dispersal/internal/stats"
+	"dispersal/internal/strategy"
+)
+
+// Algorithm selects the searcher behaviour simulated by Run.
+type Algorithm int
+
+// Available search algorithms.
+const (
+	// StrategyAStar is the sigma*-based algorithm: round 1 plays sigma* on
+	// the prior; later rounds replay sigma* on each searcher's residual
+	// posterior.
+	StrategyAStar Algorithm = iota
+	// StrategyUniform opens a uniformly random unopened box each round.
+	StrategyUniform
+	// StrategyGreedy deterministically opens the best unopened box.
+	StrategyGreedy
+	// StrategyCoordinated assigns box x to searcher x mod k (full
+	// coordination; not available to selfish searchers).
+	StrategyCoordinated
+	// StrategyPrior samples every round from the normalized prior,
+	// skipping boxes the searcher has already opened.
+	StrategyPrior
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case StrategyAStar:
+		return "sigma*-iterated"
+	case StrategyUniform:
+		return "uniform"
+	case StrategyGreedy:
+		return "greedy"
+	case StrategyCoordinated:
+		return "coordinated"
+	case StrategyPrior:
+		return "prior-sampling"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Errors returned by the simulator.
+var (
+	ErrTrials      = errors.New("search: trials must be >= 1")
+	ErrPlayers     = errors.New("search: searcher count k must be >= 1")
+	ErrRounds      = errors.New("search: max rounds must be >= 1")
+	ErrNoIdeaWhere = errors.New("search: prior has no positive mass")
+)
+
+// Config describes a search experiment.
+type Config struct {
+	// Prior holds the box weights; the treasure is in box x with
+	// probability Prior[x] / sum(Prior). It must be sorted non-increasing
+	// (site.Values convention).
+	Prior site.Values
+	// K is the number of searchers.
+	K int
+	// Algorithm selects the searcher behaviour.
+	Algorithm Algorithm
+	// Trials is the number of independent experiments.
+	Trials int
+	// MaxRounds caps each experiment; a trial that exhausts it records
+	// MaxRounds+1 (censored). Default M (every searcher can visit every
+	// box).
+	MaxRounds int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Result summarizes a search experiment.
+type Result struct {
+	// Time summarizes the discovery round (1-based) across trials;
+	// censored trials count as MaxRounds+1.
+	Time stats.Summary
+	// Censored is the number of trials that hit MaxRounds without finding
+	// the treasure.
+	Censored int
+	// FoundFrac is the fraction of trials in which the treasure was found.
+	FoundFrac float64
+}
+
+// RoundOneDistribution returns the distribution with which a sigma*-based
+// searcher opens boxes in round 1: exactly ifd.Exclusive on the prior. The
+// identity asserted by the paper (Section 2.1) is that this equals the IFD
+// of the dispersal game with value function equal to the prior.
+func RoundOneDistribution(prior site.Values, k int) (strategy.Strategy, error) {
+	p, _, err := ifd.Exclusive(prior, k)
+	return p, err
+}
+
+// Run simulates the configured experiment and reports discovery-time
+// statistics.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Prior.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.K < 1 {
+		return Result{}, fmt.Errorf("%w: k=%d", ErrPlayers, cfg.K)
+	}
+	if cfg.Trials < 1 {
+		return Result{}, fmt.Errorf("%w: trials=%d", ErrTrials, cfg.Trials)
+	}
+	m := len(cfg.Prior)
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = m
+	}
+	if cfg.MaxRounds < 1 {
+		return Result{}, fmt.Errorf("%w: maxRounds=%d", ErrRounds, cfg.MaxRounds)
+	}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x8f1bbcdc))
+	prior := cfg.Prior.Normalized()
+	priorSampler, err := strategy.NewSampler(strategy.Strategy(prior))
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrNoIdeaWhere, err)
+	}
+
+	var tally stats.Welford
+	censored := 0
+	searchers := make([]*searcherState, cfg.K)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		treasure := priorSampler.Sample(rng)
+		for i := range searchers {
+			searchers[i] = newSearcherState(m)
+		}
+		found := 0
+		for round := 1; round <= cfg.MaxRounds; round++ {
+			hit := false
+			for i, st := range searchers {
+				box := pickBox(cfg, rng, st, prior, i, round)
+				if box < 0 {
+					continue // searcher has exhausted all boxes
+				}
+				st.open(box)
+				if box == treasure {
+					hit = true
+				}
+			}
+			if hit {
+				found = round
+				break
+			}
+		}
+		if found == 0 {
+			censored++
+			tally.Add(float64(cfg.MaxRounds + 1))
+		} else {
+			tally.Add(float64(found))
+		}
+	}
+	return Result{
+		Time:      tally.Summarize(),
+		Censored:  censored,
+		FoundFrac: 1 - float64(censored)/float64(cfg.Trials),
+	}, nil
+}
+
+// searcherState tracks a single searcher's opened boxes.
+type searcherState struct {
+	opened []bool
+	nOpen  int
+}
+
+func newSearcherState(m int) *searcherState {
+	return &searcherState{opened: make([]bool, m)}
+}
+
+func (s *searcherState) open(box int) {
+	if !s.opened[box] {
+		s.opened[box] = true
+		s.nOpen++
+	}
+}
+
+// pickBox chooses the next box for searcher i per the configured algorithm.
+// Returns -1 when the searcher has opened everything.
+func pickBox(cfg Config, rng *rand.Rand, st *searcherState, prior site.Values, i, round int) int {
+	m := len(prior)
+	if st.nOpen >= m {
+		return -1
+	}
+	switch cfg.Algorithm {
+	case StrategyCoordinated:
+		// Box order for searcher i: i, i+k, i+2k, ... (values sorted
+		// non-increasing, so this is the optimal coordinated sweep).
+		idx := i + (round-1)*cfg.K
+		if idx >= m {
+			return -1
+		}
+		return idx
+
+	case StrategyGreedy:
+		for x := 0; x < m; x++ {
+			if !st.opened[x] {
+				return x
+			}
+		}
+		return -1
+
+	case StrategyUniform:
+		return sampleUnopenedUniform(rng, st)
+
+	case StrategyPrior:
+		return sampleUnopenedWeighted(rng, st, prior)
+
+	case StrategyAStar:
+		return sampleSigmaStar(rng, st, prior, cfg.K)
+
+	default:
+		return sampleUnopenedUniform(rng, st)
+	}
+}
+
+func sampleUnopenedUniform(rng *rand.Rand, st *searcherState) int {
+	m := len(st.opened)
+	remaining := m - st.nOpen
+	if remaining <= 0 {
+		return -1
+	}
+	n := rng.IntN(remaining)
+	for x := 0; x < m; x++ {
+		if st.opened[x] {
+			continue
+		}
+		if n == 0 {
+			return x
+		}
+		n--
+	}
+	return -1
+}
+
+func sampleUnopenedWeighted(rng *rand.Rand, st *searcherState, prior site.Values) int {
+	var total float64
+	for x, w := range prior {
+		if !st.opened[x] {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return sampleUnopenedUniform(rng, st)
+	}
+	r := rng.Float64() * total
+	acc := 0.0
+	last := -1
+	for x, w := range prior {
+		if st.opened[x] {
+			continue
+		}
+		acc += w
+		last = x
+		if r <= acc {
+			return x
+		}
+	}
+	return last
+}
+
+// sampleSigmaStar draws from sigma* computed on the searcher's residual
+// posterior (unopened boxes, renormalized). The residual values stay sorted
+// because removing entries from a sorted vector preserves order.
+func sampleSigmaStar(rng *rand.Rand, st *searcherState, prior site.Values, k int) int {
+	m := len(prior)
+	residual := make(site.Values, 0, m-st.nOpen)
+	index := make([]int, 0, m-st.nOpen)
+	for x := 0; x < m; x++ {
+		if !st.opened[x] {
+			residual = append(residual, prior[x])
+			index = append(index, x)
+		}
+	}
+	if len(residual) == 0 {
+		return -1
+	}
+	sigma, _, err := ifd.Exclusive(residual, k)
+	if err != nil {
+		return sampleUnopenedUniform(rng, st)
+	}
+	r := rng.Float64()
+	acc := 0.0
+	for j, q := range sigma {
+		acc += q
+		if r <= acc {
+			return index[j]
+		}
+	}
+	return index[len(index)-1]
+}

@@ -1,0 +1,180 @@
+package search
+
+import (
+	"errors"
+	"testing"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/site"
+)
+
+func TestRoundOneDistributionEqualsSigmaStar(t *testing.T) {
+	// The paper's Section 2.1 identity: round 1 of A* == sigma*.
+	prior := site.Geometric(12, 1, 0.8)
+	for _, k := range []int{2, 3, 7} {
+		fromSearch, err := RoundOneDistribution(prior, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma, _, err := ifd.Exclusive(prior, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := fromSearch.LInf(sigma); d != 0 {
+			t.Errorf("k=%d: round-1 law differs from sigma* by %v", k, d)
+		}
+	}
+}
+
+func TestRunCoordinatedSingleSearcherIsValueOrder(t *testing.T) {
+	// One coordinated searcher opens boxes in value order; with a
+	// deterministic treasure distribution we can check the mean directly.
+	prior := site.Values{1, 1, 1, 1} // treasure uniform over 4 boxes
+	res, err := Run(Config{Prior: prior, K: 1, Algorithm: StrategyCoordinated, Trials: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[T] = (1+2+3+4)/4 = 2.5.
+	if d := res.Time.Mean - 2.5; d > 0.1 || d < -0.1 {
+		t.Errorf("coordinated mean time = %v, want ~2.5", res.Time.Mean)
+	}
+	if res.Censored != 0 {
+		t.Errorf("censored = %d", res.Censored)
+	}
+	if res.FoundFrac != 1 {
+		t.Errorf("found frac = %v", res.FoundFrac)
+	}
+}
+
+func TestRunGreedyCollidesAndIsSlowOnFlatPrior(t *testing.T) {
+	// All greedy searchers open the same boxes: k searchers are no faster
+	// than one, so on a flat prior greedy is roughly k times slower than
+	// coordinated.
+	prior := site.Uniform(20, 1)
+	k := 4
+	greedy, err := Run(Config{Prior: prior, K: k, Algorithm: StrategyGreedy, Trials: 4000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Run(Config{Prior: prior, K: k, Algorithm: StrategyCoordinated, Trials: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Time.Mean < 2.5*coord.Time.Mean {
+		t.Errorf("greedy %v should be ~%dx slower than coordinated %v",
+			greedy.Time.Mean, k, coord.Time.Mean)
+	}
+}
+
+func TestRunAStarBeatsUncoordinatedBaselines(t *testing.T) {
+	prior := site.Zipf(30, 1, 1)
+	k := 4
+	cfg := func(a Algorithm, seed uint64) Config {
+		return Config{Prior: prior, K: k, Algorithm: a, Trials: 6000, Seed: seed}
+	}
+	astar, err := Run(cfg(StrategyAStar, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Run(cfg(StrategyGreedy, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Run(cfg(StrategyUniform, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if astar.Time.Mean >= greedy.Time.Mean {
+		t.Errorf("A* (%v) should beat greedy (%v) on a skewed prior", astar.Time.Mean, greedy.Time.Mean)
+	}
+	if astar.Time.Mean >= uniform.Time.Mean {
+		t.Errorf("A* (%v) should beat uniform (%v)", astar.Time.Mean, uniform.Time.Mean)
+	}
+	coord, err := Run(cfg(StrategyCoordinated, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if astar.Time.Mean < coord.Time.Mean {
+		t.Errorf("A* (%v) should not beat full coordination (%v)", astar.Time.Mean, coord.Time.Mean)
+	}
+}
+
+func TestRunEveryAlgorithmTerminates(t *testing.T) {
+	prior := site.Geometric(8, 1, 0.7)
+	for _, a := range []Algorithm{StrategyAStar, StrategyUniform, StrategyGreedy, StrategyCoordinated, StrategyPrior} {
+		res, err := Run(Config{Prior: prior, K: 3, Algorithm: a, Trials: 500, Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		// With MaxRounds = M every searcher can sweep every box, so the
+		// treasure is always found by round M (greedy/uniform/A*) or the
+		// sweep covers all boxes (coordinated).
+		if res.FoundFrac < 1 {
+			t.Errorf("%s: found frac %v", a, res.FoundFrac)
+		}
+	}
+}
+
+func TestRunCensoring(t *testing.T) {
+	prior := site.Uniform(50, 1)
+	res, err := Run(Config{Prior: prior, K: 1, Algorithm: StrategyUniform,
+		Trials: 2000, MaxRounds: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One uniform probe into 50 boxes: found with probability 1/50.
+	if res.FoundFrac > 0.1 {
+		t.Errorf("found frac %v, want ~0.02", res.FoundFrac)
+	}
+	if res.Censored == 0 {
+		t.Error("expected censored trials")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	prior := site.TwoSite(0.5)
+	if _, err := Run(Config{Prior: prior, K: 0, Algorithm: StrategyUniform, Trials: 1}); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Run(Config{Prior: prior, K: 1, Algorithm: StrategyUniform, Trials: 0}); !errors.Is(err, ErrTrials) {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := Run(Config{Prior: prior, K: 1, Algorithm: StrategyUniform, Trials: 1, MaxRounds: -2}); !errors.Is(err, ErrRounds) {
+		t.Error("negative rounds accepted")
+	}
+	if _, err := Run(Config{Prior: site.Values{0.5, 1}, K: 1, Algorithm: StrategyUniform, Trials: 1}); err == nil {
+		t.Error("unsorted prior accepted")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	prior := site.Zipf(10, 1, 1)
+	cfg := Config{Prior: prior, K: 2, Algorithm: StrategyAStar, Trials: 300, Seed: 9}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time.Mean != b.Time.Mean {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		StrategyAStar:       "sigma*-iterated",
+		StrategyUniform:     "uniform",
+		StrategyGreedy:      "greedy",
+		StrategyCoordinated: "coordinated",
+		StrategyPrior:       "prior-sampling",
+		Algorithm(99):       "algorithm(99)",
+	}
+	for a, want := range names {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), got, want)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package site defines site-value functions — the f(x) of the dispersal
+// game — together with the generator families used across the experiments.
+//
+// A Values vector is indexed 0-based in code (site x in the paper is
+// Values[x-1]) and must be sorted in non-increasing order with strictly
+// positive entries, matching the paper's convention f(x) >= f(x+1) > 0.
+package site
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"dispersal/internal/numeric"
+)
+
+// Values is a vector of site values f(1) >= f(2) >= ... >= f(M) > 0.
+type Values []float64
+
+// Validation errors.
+var (
+	ErrEmpty     = errors.New("site: empty value vector")
+	ErrNotSorted = errors.New("site: values must be non-increasing")
+	ErrNegative  = errors.New("site: values must be strictly positive")
+	ErrNotFinite = errors.New("site: values must be finite")
+)
+
+// Validate checks the paper's conventions: non-empty, finite, strictly
+// positive, and non-increasing.
+func (f Values) Validate() error {
+	if len(f) == 0 {
+		return ErrEmpty
+	}
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: f(%d) = %v", ErrNotFinite, i+1, v)
+		}
+		if v <= 0 {
+			return fmt.Errorf("%w: f(%d) = %v", ErrNegative, i+1, v)
+		}
+		if i > 0 && f[i-1] < v {
+			return fmt.Errorf("%w: f(%d) = %v < f(%d) = %v", ErrNotSorted, i, f[i-1], i+1, v)
+		}
+	}
+	return nil
+}
+
+// M returns the number of sites.
+func (f Values) M() int { return len(f) }
+
+// Sum returns the total value of all sites, the full-coordination coverage
+// ceiling when k >= M.
+func (f Values) Sum() float64 { return numeric.KahanSum(f) }
+
+// PrefixSum returns sum_{x <= n} f(x); for n = k this is the best achievable
+// coverage under full coordination (Observation 1's comparator).
+func (f Values) PrefixSum(n int) float64 {
+	if n > len(f) {
+		n = len(f)
+	}
+	if n <= 0 {
+		return 0
+	}
+	return numeric.KahanSum(f[:n])
+}
+
+// Clone returns an independent copy.
+func (f Values) Clone() Values {
+	out := make(Values, len(f))
+	copy(out, f)
+	return out
+}
+
+// Normalized returns a copy scaled so the values sum to 1 (a prior
+// distribution, as used by the Bayesian-search substrate).
+func (f Values) Normalized() Values {
+	s := f.Sum()
+	out := make(Values, len(f))
+	for i, v := range f {
+		out[i] = v / s
+	}
+	return out
+}
+
+// Sorted returns a copy sorted in non-increasing order. Use it to coerce
+// arbitrary positive vectors into the paper's convention.
+func Sorted(raw []float64) Values {
+	out := make(Values, len(raw))
+	copy(out, raw)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// Uniform returns M sites all of value v.
+func Uniform(m int, v float64) Values {
+	out := make(Values, m)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Geometric returns M sites with f(x) = top * ratio^(x-1), ratio in (0, 1].
+func Geometric(m int, top, ratio float64) Values {
+	out := make(Values, m)
+	v := top
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	return out
+}
+
+// Zipf returns M sites with f(x) = top / x^s. s = 1 is the classic Zipf
+// law; s = 0 degenerates to a uniform vector.
+func Zipf(m int, top, s float64) Values {
+	out := make(Values, m)
+	for i := range out {
+		out[i] = top / math.Pow(float64(i+1), s)
+	}
+	return out
+}
+
+// Linear returns M sites interpolating linearly from hi down to lo.
+func Linear(m int, hi, lo float64) Values {
+	out := make(Values, m)
+	if m == 1 {
+		out[0] = hi
+		return out
+	}
+	for i := range out {
+		t := float64(i) / float64(m-1)
+		out[i] = hi + t*(lo-hi)
+	}
+	return out
+}
+
+// SlowDecay builds the strictly decreasing, slowly decaying value function
+// used in the proof of Theorem 6: for every x <= y,
+// f(y)/f(x) >= f(M)/f(1) > (1 - 1/(2k))^(k-1), which forces the IFD support
+// W >= 2k. Concretely it interpolates geometrically between 1 and
+// bottom = (1 - 1/(2k))^(k-1) + margin.
+func SlowDecay(m, k int) Values {
+	if k < 2 {
+		k = 2
+	}
+	floor := math.Pow(1-1/(2*float64(k)), float64(k-1))
+	bottom := floor + (1-floor)*0.5 // comfortably above the Theorem 6 threshold
+	if m == 1 {
+		return Values{1}
+	}
+	ratio := math.Pow(bottom, 1/float64(m-1))
+	return Geometric(m, 1, ratio)
+}
+
+// TwoSite returns the 2-site instances of Figure 1: f = (1, second).
+func TwoSite(second float64) Values { return Values{1, second} }
+
+// Random returns M sites drawn i.i.d. from Uniform(lo, hi) and then sorted
+// non-increasingly. lo must be > 0.
+func Random(rng *rand.Rand, m int, lo, hi float64) Values {
+	raw := make([]float64, m)
+	for i := range raw {
+		raw[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return Sorted(raw)
+}
+
+// RandomExponential returns M sites with i.i.d. Exp(1/mean) values, sorted
+// non-increasingly; a heavy-tailed patch-quality model common in foraging
+// studies.
+func RandomExponential(rng *rand.Rand, m int, mean float64) Values {
+	raw := make([]float64, m)
+	for i := range raw {
+		raw[i] = rng.ExpFloat64() * mean
+		if raw[i] <= 0 {
+			raw[i] = mean * 1e-12
+		}
+	}
+	return Sorted(raw)
+}
+
+// Equal reports whether two value vectors agree within tol elementwise.
+func (f Values) Equal(g Values, tol float64) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for i := range f {
+		if !numeric.AlmostEqual(f[i], g[i], tol) {
+			return false
+		}
+	}
+	return true
+}

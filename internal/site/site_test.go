@@ -1,0 +1,248 @@
+package site
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateAccepts(t *testing.T) {
+	good := []Values{
+		{1},
+		{1, 0.3},
+		{5, 5, 5},
+		{3, 2, 1},
+		Geometric(10, 1, 0.9),
+		Zipf(20, 1, 1),
+		SlowDecay(30, 4),
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", f, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		f    Values
+		want error
+	}{
+		{Values{}, ErrEmpty},
+		{nil, ErrEmpty},
+		{Values{1, 2}, ErrNotSorted},
+		{Values{1, 0}, ErrNegative},
+		{Values{1, -1}, ErrNegative},
+		{Values{math.NaN()}, ErrNotFinite},
+		{Values{math.Inf(1), 1}, ErrNotFinite},
+	}
+	for _, c := range cases {
+		if err := c.f.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("Validate(%v) = %v, want %v", c.f, err, c.want)
+		}
+	}
+}
+
+func TestSums(t *testing.T) {
+	f := Values{3, 2, 1}
+	if got := f.Sum(); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := f.PrefixSum(2); got != 5 {
+		t.Errorf("PrefixSum(2) = %v", got)
+	}
+	if got := f.PrefixSum(10); got != 6 {
+		t.Errorf("PrefixSum(10) = %v (should clamp)", got)
+	}
+	if got := f.PrefixSum(0); got != 0 {
+		t.Errorf("PrefixSum(0) = %v", got)
+	}
+	if got := f.PrefixSum(-1); got != 0 {
+		t.Errorf("PrefixSum(-1) = %v", got)
+	}
+	if got := f.M(); got != 3 {
+		t.Errorf("M = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := Values{2, 1}
+	g := f.Clone()
+	g[0] = 99
+	if f[0] != 2 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	f := Values{3, 1}
+	n := f.Normalized()
+	if !almostEq(n[0], 0.75) || !almostEq(n[1], 0.25) {
+		t.Errorf("Normalized = %v", n)
+	}
+	if f[0] != 3 {
+		t.Error("Normalized mutated the input")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	f := Sorted([]float64{1, 3, 2})
+	want := Values{3, 2, 1}
+	if !f.Equal(want, 0) {
+		t.Errorf("Sorted = %v, want %v", f, want)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("sorted output invalid: %v", err)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	t.Run("uniform", func(t *testing.T) {
+		f := Uniform(4, 2.5)
+		if len(f) != 4 || f[0] != 2.5 || f[3] != 2.5 {
+			t.Errorf("Uniform = %v", f)
+		}
+		mustValidate(t, f)
+	})
+	t.Run("geometric", func(t *testing.T) {
+		f := Geometric(3, 8, 0.5)
+		want := Values{8, 4, 2}
+		if !f.Equal(want, 1e-12) {
+			t.Errorf("Geometric = %v, want %v", f, want)
+		}
+		mustValidate(t, f)
+	})
+	t.Run("zipf", func(t *testing.T) {
+		f := Zipf(3, 6, 1)
+		want := Values{6, 3, 2}
+		if !f.Equal(want, 1e-12) {
+			t.Errorf("Zipf = %v, want %v", f, want)
+		}
+		mustValidate(t, f)
+	})
+	t.Run("zipf s=0 is uniform", func(t *testing.T) {
+		f := Zipf(5, 2, 0)
+		if !f.Equal(Uniform(5, 2), 1e-12) {
+			t.Errorf("Zipf(s=0) = %v", f)
+		}
+	})
+	t.Run("linear", func(t *testing.T) {
+		f := Linear(3, 4, 2)
+		want := Values{4, 3, 2}
+		if !f.Equal(want, 1e-12) {
+			t.Errorf("Linear = %v, want %v", f, want)
+		}
+		mustValidate(t, f)
+	})
+	t.Run("linear single", func(t *testing.T) {
+		f := Linear(1, 4, 2)
+		if len(f) != 1 || f[0] != 4 {
+			t.Errorf("Linear(1) = %v", f)
+		}
+	})
+	t.Run("twosite", func(t *testing.T) {
+		f := TwoSite(0.3)
+		if f[0] != 1 || f[1] != 0.3 {
+			t.Errorf("TwoSite = %v", f)
+		}
+		mustValidate(t, f)
+	})
+}
+
+func TestSlowDecaySatisfiesTheorem6Bound(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 10} {
+		for _, m := range []int{10, 50, 100} {
+			f := SlowDecay(m, k)
+			mustValidate(t, f)
+			floor := math.Pow(1-1/(2*float64(k)), float64(k-1))
+			ratio := f[m-1] / f[0]
+			if ratio <= floor {
+				t.Errorf("SlowDecay(%d,%d): f(M)/f(1) = %v <= bound %v", m, k, ratio, floor)
+			}
+			// Strictly decreasing as Theorem 6 requires.
+			for i := 1; i < m; i++ {
+				if f[i] >= f[i-1] {
+					t.Fatalf("SlowDecay(%d,%d) not strictly decreasing at %d", m, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSlowDecayDegenerate(t *testing.T) {
+	f := SlowDecay(1, 5)
+	if len(f) != 1 || f[0] != 1 {
+		t.Errorf("SlowDecay(1,5) = %v", f)
+	}
+	// k < 2 is coerced rather than panicking.
+	g := SlowDecay(10, 0)
+	mustValidate(t, g)
+}
+
+func TestRandomGenerators(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	f := Random(rng, 50, 0.1, 10)
+	mustValidate(t, f)
+	for _, v := range f {
+		if v < 0.1 || v > 10 {
+			t.Fatalf("Random out of range: %v", v)
+		}
+	}
+	g := RandomExponential(rng, 50, 2)
+	mustValidate(t, g)
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	a := Random(rand.New(rand.NewPCG(1, 2)), 10, 0, 1)
+	b := Random(rand.New(rand.NewPCG(1, 2)), 10, 0, 1)
+	if !a.Equal(b, 0) {
+		t.Error("same seed produced different vectors")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !(Values{1, 2}).Equal(Values{1, 2 + 1e-13}, 1e-12) {
+		t.Error("Equal too strict")
+	}
+	if (Values{1, 2}).Equal(Values{1}, 1e-12) {
+		t.Error("Equal ignores length")
+	}
+	if (Values{1}).Equal(Values{2}, 1e-12) {
+		t.Error("Equal ignores values")
+	}
+}
+
+func TestGeneratorsAlwaysValidQuick(t *testing.T) {
+	f := func(mRaw, kRaw uint8, ratioRaw float64) bool {
+		m := int(mRaw%100) + 1
+		k := int(kRaw%20) + 2
+		ratio := 0.1 + 0.9*math.Abs(math.Mod(ratioRaw, 1))
+		gens := []Values{
+			Geometric(m, 1, ratio),
+			Zipf(m, 1, 2*ratio),
+			Linear(m, 2, 1),
+			SlowDecay(m, k),
+			Uniform(m, 1),
+		}
+		for _, g := range gens {
+			if g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustValidate(t *testing.T, f Values) {
+	t.Helper()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invalid values %v: %v", f, err)
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }

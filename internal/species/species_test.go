@@ -1,0 +1,152 @@
+package species
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+func twoSpecies(f site.Values, k int) (Species, Species) {
+	return Species{Name: "solomon", K: k, C: policy.Exclusive{}},
+		Species{Name: "peaceful", K: k, C: policy.Sharing{}}
+}
+
+func TestAggressiveSpeciesWinsAlternating(t *testing.T) {
+	// The Section 5.2 prediction: on equal group sizes and shared patches,
+	// the exclusive-policy species out-consumes the sharing species.
+	k := 6
+	f := site.SlowDecay(4*k, k)
+	a, b := twoSpecies(f, k)
+	out, err := Intakes(f, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Alternating.A <= out.Alternating.B {
+		t.Errorf("aggressive species does not win: A=%v, B=%v",
+			out.Alternating.A, out.Alternating.B)
+	}
+}
+
+func TestFeedingFirstIsAlwaysBetter(t *testing.T) {
+	f := site.Geometric(10, 1, 0.8)
+	a, b := twoSpecies(f, 4)
+	out, err := Intakes(f, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AFirst.A <= out.BFirst.A {
+		t.Errorf("A prefers feeding second: first %v, second %v", out.AFirst.A, out.BFirst.A)
+	}
+	if out.BFirst.B <= out.AFirst.B {
+		t.Errorf("B prefers feeding second: first %v, second %v", out.BFirst.B, out.AFirst.B)
+	}
+}
+
+func TestIntakesAgainstHandComputation(t *testing.T) {
+	// One patch, both species singletons always visiting it: the first
+	// feeder takes everything.
+	f := site.Values{2}
+	a := Species{Name: "a", K: 1, C: policy.Exclusive{}, Strategy: strategy.Strategy{1}}
+	b := Species{Name: "b", K: 1, C: policy.Exclusive{}, Strategy: strategy.Strategy{1}}
+	out, err := Intakes(f, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AFirst.A != 2 || out.AFirst.B != 0 {
+		t.Errorf("AFirst = %+v", out.AFirst)
+	}
+	if out.BFirst.B != 2 || out.BFirst.A != 0 {
+		t.Errorf("BFirst = %+v", out.BFirst)
+	}
+	if out.Alternating.A != 1 || out.Alternating.B != 1 {
+		t.Errorf("Alternating = %+v", out.Alternating)
+	}
+}
+
+func TestIntakesDisjointStrategiesDoNotInteract(t *testing.T) {
+	f := site.Values{1, 0.5}
+	a := Species{Name: "a", K: 2, C: policy.Exclusive{}, Strategy: strategy.Delta(2, 0)}
+	b := Species{Name: "b", K: 2, C: policy.Exclusive{}, Strategy: strategy.Delta(2, 1)}
+	out, err := Intakes(f, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AFirst.A != 1 || out.AFirst.B != 0.5 || out.BFirst.A != 1 || out.BFirst.B != 0.5 {
+		t.Errorf("disjoint species interact: %+v", out)
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	f := site.Geometric(8, 1, 0.7)
+	a, b := twoSpecies(f, 3)
+	exact, err := Intakes(f, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(f, a, b, 200_000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(sim.A.Mean - exact.Alternating.A); d > 4*sim.A.CI95+1e-9 {
+		t.Errorf("A: simulated %v vs analytic %v", sim.A.Mean, exact.Alternating.A)
+	}
+	if d := math.Abs(sim.B.Mean - exact.Alternating.B); d > 4*sim.B.CI95+1e-9 {
+		t.Errorf("B: simulated %v vs analytic %v", sim.B.Mean, exact.Alternating.B)
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	f := site.TwoSite(0.5)
+	a, b := twoSpecies(f, 2)
+	r1, err := Simulate(f, a, b, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(f, a, b, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.A.Mean != r2.A.Mean || r1.B.Mean != r2.B.Mean {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	f := site.TwoSite(0.5)
+	good := Species{Name: "ok", K: 2, C: policy.Exclusive{}}
+	if _, err := Intakes(f, Species{Name: "bad", K: 0, C: policy.Exclusive{}}, good); !errors.Is(err, ErrPopulation) {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Intakes(site.Values{0.5, 1}, good, good); err == nil {
+		t.Error("unsorted patches accepted")
+	}
+	if _, err := Simulate(f, good, good, 0, 1); !errors.Is(err, ErrRounds) {
+		t.Error("rounds=0 accepted")
+	}
+	bad := Species{Name: "bad", K: 2, C: policy.Exclusive{}, Strategy: strategy.Strategy{0.5, 0.6}}
+	if _, err := Intakes(f, bad, good); err == nil {
+		t.Error("invalid override strategy accepted")
+	}
+	short := Species{Name: "short", K: 2, C: policy.Exclusive{}, Strategy: strategy.Strategy{1}}
+	if _, err := Intakes(f, short, good); err == nil {
+		t.Error("wrong-length strategy accepted")
+	}
+}
+
+func TestEqualSpeciesSplitEvenly(t *testing.T) {
+	// Identical species alternate fairly: equal alternating intakes.
+	f := site.Geometric(6, 1, 0.6)
+	a := Species{Name: "a", K: 3, C: policy.Exclusive{}}
+	b := Species{Name: "b", K: 3, C: policy.Exclusive{}}
+	out, err := Intakes(f, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Alternating.A-out.Alternating.B) > 1e-9 {
+		t.Errorf("identical species diverge: %+v", out.Alternating)
+	}
+}

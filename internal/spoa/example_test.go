@@ -1,0 +1,28 @@
+package spoa_test
+
+import (
+	"fmt"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/spoa"
+)
+
+// Corollary 5 and Theorem 6 in three lines: the exclusive policy prices
+// anarchy at exactly 1, the sharing policy strictly above it.
+func ExampleCompute() {
+	f := site.SlowDecay(12, 3)
+	excl, err := spoa.Compute(f, 3, policy.Exclusive{})
+	if err != nil {
+		panic(err)
+	}
+	share, err := spoa.Compute(f, 3, policy.Sharing{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SPoA(exclusive) = %.6f\n", excl.Ratio)
+	fmt.Printf("SPoA(sharing) > 1: %v\n", share.Ratio > 1)
+	// Output:
+	// SPoA(exclusive) = 1.000000
+	// SPoA(sharing) > 1: true
+}

@@ -1,0 +1,157 @@
+// Package spoa computes the Symmetric Price of Anarchy of congestion
+// policies (Section 1.2): the ratio between the best symmetric coverage
+// Cover(p*) and the coverage of the worst symmetric Nash equilibrium under
+// the policy.
+//
+// For non-degenerate congestion policies the symmetric equilibrium is the
+// unique IFD (Observation 2), so SPoA(C, f) = Cover(p*) / Cover(IFD(C, f)).
+// For policies constant on {1..k} (e.g. C == 1) every distribution over the
+// argmax sites is an equilibrium; the worst is a point mass, giving
+// coverage f(1).
+//
+// WorstCase estimates sup_f SPoA(C, f) over structured families of value
+// functions plus local perturbation refinement — the adversarial search
+// behind the Theorem 6 and Section 1.2 experiments.
+package spoa
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/optimize"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// Instance bundles the analysis of one (C, f, k) game.
+type Instance struct {
+	// F is the value function.
+	F site.Values
+	// K is the player count.
+	K int
+	// Equilibrium is the worst symmetric Nash equilibrium under the policy.
+	Equilibrium strategy.Strategy
+	// EqCoverage is its coverage.
+	EqCoverage float64
+	// Optimum is the coverage-optimal symmetric strategy p*.
+	Optimum strategy.Strategy
+	// OptCoverage is Cover(p*).
+	OptCoverage float64
+	// Ratio is the symmetric price of anarchy OptCoverage / EqCoverage.
+	Ratio float64
+}
+
+// Compute returns the SPoA instance of the game (f, k, C).
+func Compute(f site.Values, k int, c policy.Congestion) (Instance, error) {
+	opt, _, err := optimize.MaxCoverage(f, k)
+	if err != nil {
+		return Instance{}, err
+	}
+	optCover := coverage.Cover(f, opt, k)
+
+	var eq strategy.Strategy
+	if isConstantOnRange(c, k) {
+		// Worst symmetric equilibrium: point mass on a single argmax site.
+		eq = strategy.Delta(len(f), 0)
+	} else {
+		eq, _, err = ifd.Solve(f, k, c)
+		if err != nil {
+			return Instance{}, err
+		}
+	}
+	eqCover := coverage.Cover(f, eq, k)
+	if eqCover <= 0 {
+		return Instance{}, fmt.Errorf("spoa: equilibrium coverage %v is not positive", eqCover)
+	}
+	return Instance{
+		F:           f.Clone(),
+		K:           k,
+		Equilibrium: eq,
+		EqCoverage:  eqCover,
+		Optimum:     opt,
+		OptCoverage: optCover,
+		Ratio:       optCover / eqCover,
+	}, nil
+}
+
+func isConstantOnRange(c policy.Congestion, k int) bool {
+	c1 := c.At(1)
+	for l := 2; l <= k; l++ {
+		if c.At(l) != c1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Families returns the structured value-function families swept by
+// WorstCase for a game with m sites and k players: the slow-decay witness
+// from the proof of Theorem 6, geometric and Zipf ladders, near-uniform
+// linear ramps, and two-site instances (padded to m with tiny values when
+// m > 2 is requested elsewhere; here they are emitted at their natural
+// size).
+func Families(m, k int) []site.Values {
+	fams := []site.Values{
+		site.SlowDecay(m, k),
+		site.Uniform(m, 1),
+		site.Linear(m, 1, 0.9),
+		site.Linear(m, 1, 0.5),
+	}
+	for _, r := range []float64{0.99, 0.95, 0.9, 0.8, 0.6, 0.4} {
+		fams = append(fams, site.Geometric(m, 1, r))
+	}
+	for _, s := range []float64{0.25, 0.5, 1, 2} {
+		fams = append(fams, site.Zipf(m, 1, s))
+	}
+	for _, second := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+		fams = append(fams, site.TwoSite(second))
+	}
+	return fams
+}
+
+// WorstCase searches for the value function maximizing SPoA(C, f) with k
+// players: it scans the structured Families for several site counts, then
+// refines the best witness by random multiplicative perturbations
+// (re-sorted to stay a valid value function). It returns the best instance
+// found. The search is a lower bound on the true sup, which is what the
+// experiments need (SPoA > 1 witnesses for Theorem 6).
+func WorstCase(c policy.Congestion, k int, siteCounts []int, refineSteps int, seed uint64) (Instance, error) {
+	var best Instance
+	found := false
+	for _, m := range siteCounts {
+		for _, f := range Families(m, k) {
+			inst, err := Compute(f, k, c)
+			if err != nil {
+				return Instance{}, err
+			}
+			if !found || inst.Ratio > best.Ratio {
+				best, found = inst, true
+			}
+		}
+	}
+	if !found {
+		return Instance{}, fmt.Errorf("spoa: no site counts provided")
+	}
+	// Local refinement around the best witness.
+	rng := rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
+	cur := best.F.Clone()
+	for step := 0; step < refineSteps; step++ {
+		cand := cur.Clone()
+		for i := range cand {
+			cand[i] *= 1 + 0.1*(rng.Float64()-0.5)
+		}
+		cand = site.Sorted(cand)
+		inst, err := Compute(cand, k, c)
+		if err != nil {
+			continue // perturbation produced a degenerate game; skip it
+		}
+		if inst.Ratio > best.Ratio {
+			best = inst
+			cur = cand
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,186 @@
+package spoa
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+// TestCorollary5ExclusiveHasSPoAOne: SPoA(Cexc, f) = 1 for every f — the
+// IFD of the exclusive policy is the coverage optimum.
+func TestCorollary5ExclusiveHasSPoAOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	games := []site.Values{
+		site.TwoSite(0.3),
+		site.TwoSite(0.5),
+		site.Geometric(10, 1, 0.7),
+		site.Zipf(15, 1, 1),
+		site.Uniform(8, 2),
+		site.SlowDecay(20, 4),
+	}
+	for i := 0; i < 10; i++ {
+		games = append(games, site.Random(rng, 2+rng.IntN(20), 0.1, 4))
+	}
+	for _, f := range games {
+		for _, k := range []int{2, 3, 5, 9} {
+			inst, err := Compute(f, k, policy.Exclusive{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !numeric.AlmostEqual(inst.Ratio, 1, 1e-6) {
+				t.Errorf("M=%d k=%d: SPoA(Cexc) = %.9f, want 1", len(f), k, inst.Ratio)
+			}
+		}
+	}
+}
+
+// TestTheorem6NonExclusivePoliciesHaveSPoAAboveOne: every other congestion
+// policy admits a value function with SPoA strictly above 1; the slow-decay
+// family from the proof of Theorem 6 is a reliable witness.
+func TestTheorem6NonExclusivePoliciesHaveSPoAAboveOne(t *testing.T) {
+	k := 4
+	m := 4 * k // comfortably above the W >= 2k regime of the proof
+	f := site.SlowDecay(m, k)
+	nonExclusive := []policy.Congestion{
+		policy.Sharing{},
+		policy.Constant{},
+		policy.TwoPoint{C2: 0.25},
+		policy.TwoPoint{C2: -0.25},
+		policy.PowerLaw{Beta: 2},
+		policy.Cooperative{Gamma: 0.9},
+		policy.Aggressive{Penalty: 0.5},
+	}
+	for _, c := range nonExclusive {
+		inst, err := Compute(f, k, c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if inst.Ratio <= 1+1e-9 {
+			t.Errorf("%s: SPoA = %.12f on slow-decay f, want > 1", c.Name(), inst.Ratio)
+		}
+	}
+}
+
+func TestSharingSPoAAtMostTwo(t *testing.T) {
+	// Section 1.2 (via Vetta): SPoA(Cshare) <= 2.
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.IntN(25)
+		k := 2 + rng.IntN(10)
+		f := site.Random(rng, m, 0.05, 5)
+		inst, err := Compute(f, k, policy.Sharing{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Ratio > 2+1e-9 {
+			t.Fatalf("M=%d k=%d: SPoA(share) = %v > 2", m, k, inst.Ratio)
+		}
+		if inst.Ratio < 1-1e-9 {
+			t.Fatalf("SPoA below 1: %v", inst.Ratio)
+		}
+	}
+}
+
+func TestConstantPolicyAnarchyGrowsWithK(t *testing.T) {
+	// Section 1.2: C == 1 concentrates the equilibrium on site 1; on
+	// near-uniform values the lost coverage scales like k.
+	prev := 0.0
+	for _, k := range []int{2, 4, 8, 16} {
+		m := 4 * k
+		f := site.Linear(m, 1, 0.95) // slowly decreasing
+		inst, err := Compute(f, k, policy.Constant{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Ratio <= prev {
+			t.Errorf("k=%d: SPoA %v did not grow (prev %v)", k, inst.Ratio, prev)
+		}
+		prev = inst.Ratio
+	}
+	// At k=16 the gap should be substantial (Omega(k) scaling).
+	if prev < 8 {
+		t.Errorf("SPoA at k=16 = %v, expected large (~k) gap", prev)
+	}
+}
+
+func TestSPoAAlwaysAtLeastOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 3))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.IntN(10)
+		k := 2 + rng.IntN(6)
+		f := site.Random(rng, m, 0.2, 3)
+		for _, c := range policy.Standard() {
+			inst, err := Compute(f, k, c)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			if inst.Ratio < 1-1e-7 {
+				t.Fatalf("%s M=%d k=%d: SPoA = %v < 1", c.Name(), m, k, inst.Ratio)
+			}
+		}
+	}
+}
+
+func TestComputeInstanceFields(t *testing.T) {
+	f := site.TwoSite(0.5)
+	inst, err := Compute(f, 2, policy.Sharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.K != 2 || len(inst.F) != 2 {
+		t.Errorf("instance metadata: %+v", inst)
+	}
+	if inst.OptCoverage < inst.EqCoverage-1e-12 {
+		t.Errorf("optimum %v below equilibrium %v", inst.OptCoverage, inst.EqCoverage)
+	}
+	if err := inst.Equilibrium.Validate(); err != nil {
+		t.Errorf("equilibrium invalid: %v", err)
+	}
+	if err := inst.Optimum.Validate(); err != nil {
+		t.Errorf("optimum invalid: %v", err)
+	}
+}
+
+func TestWorstCaseFindsGapForSharing(t *testing.T) {
+	inst, err := WorstCase(policy.Sharing{}, 3, []int{2, 6, 12}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Ratio <= 1.005 {
+		t.Errorf("worst-case sharing SPoA = %v, expected a visible gap", inst.Ratio)
+	}
+	if inst.Ratio > 2+1e-9 {
+		t.Errorf("sharing SPoA exceeded Vetta bound: %v", inst.Ratio)
+	}
+}
+
+func TestWorstCaseExclusiveStaysAtOne(t *testing.T) {
+	inst, err := WorstCase(policy.Exclusive{}, 3, []int{2, 5, 10}, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(inst.Ratio, 1, 1e-6) {
+		t.Errorf("exclusive worst case = %v, want 1", inst.Ratio)
+	}
+}
+
+func TestWorstCaseNoSiteCounts(t *testing.T) {
+	if _, err := WorstCase(policy.Sharing{}, 3, nil, 10, 1); err == nil {
+		t.Error("empty site counts accepted")
+	}
+}
+
+func TestFamiliesAreValid(t *testing.T) {
+	for _, m := range []int{2, 5, 30} {
+		for _, k := range []int{2, 6} {
+			for i, f := range Families(m, k) {
+				if err := f.Validate(); err != nil {
+					t.Errorf("family %d (m=%d,k=%d) invalid: %v", i, m, k, err)
+				}
+			}
+		}
+	}
+}

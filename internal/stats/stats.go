@@ -1,0 +1,172 @@
+// Package stats provides the lightweight statistics used by the Monte-Carlo
+// engine and the experiment harness: streaming Welford accumulators (with
+// parallel merge), normal-approximation confidence intervals, quantiles, and
+// fixed-width histograms.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Welford accumulates count, mean, and variance in one pass using Welford's
+// algorithm. The zero value is ready to use. It is not safe for concurrent
+// mutation; shard per goroutine and Merge.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge combines another accumulator into this one (Chan et al. parallel
+// variant), enabling lock-free per-worker accumulation.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	d := o.mean - w.mean
+	tot := n1 + n2
+	w.mean += d * n2 / tot
+	w.m2 += o.m2 + d*d*n1*n2/tot
+	w.n += o.n
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 when n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval on the mean.
+func (w *Welford) CI95() float64 { return 1.959963984540054 * w.StdErr() }
+
+// Summary is a snapshot of a Welford accumulator.
+type Summary struct {
+	N      int64
+	Mean   float64
+	StdDev float64
+	CI95   float64
+}
+
+// Summarize snapshots the accumulator.
+func (w *Welford) Summarize() Summary {
+	return Summary{N: w.n, Mean: w.Mean(), StdDev: w.StdDev(), CI95: w.CI95()}
+}
+
+// Quantile returns the q-th sample quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		q = 1
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi); observations outside
+// the range are clamped to the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram builds a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	b := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fraction returns the fraction of observations in bin b.
+func (h *Histogram) Fraction(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[b]) / float64(h.total)
+}
+
+// Merge adds another histogram's counts into this one. The histograms must
+// have identical geometry.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.Counts) != len(o.Counts) || h.Lo != o.Lo || h.Hi != o.Hi {
+		return errors.New("stats: histogram geometry mismatch")
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.total += o.total
+	return nil
+}

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordKnown(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if w.Mean() != 5 {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+	// Population m2 = 32; unbiased variance = 32/7.
+	if got, want := w.Variance(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Error("empty accumulator should be all zeros")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Errorf("single obs: mean %v var %v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+	}
+	var seq Welford
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	// Shard into 7 parts and merge.
+	var merged Welford
+	for i := 0; i < 7; i++ {
+		var part Welford
+		for j := i; j < len(xs); j += 7 {
+			part.Add(xs[j])
+		}
+		merged.Merge(part)
+	}
+	if merged.N() != seq.N() {
+		t.Fatalf("N %d vs %d", merged.N(), seq.N())
+	}
+	if math.Abs(merged.Mean()-seq.Mean()) > 1e-10 {
+		t.Errorf("mean %v vs %v", merged.Mean(), seq.Mean())
+	}
+	if math.Abs(merged.Variance()-seq.Variance()) > 1e-8 {
+		t.Errorf("var %v vs %v", merged.Variance(), seq.Variance())
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var a, b Welford
+	b.Add(5)
+	a.Merge(b) // into empty
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Errorf("merge into empty: %+v", a)
+	}
+	var c Welford
+	a.Merge(c) // empty into non-empty
+	if a.N() != 1 {
+		t.Errorf("merge of empty changed state: %+v", a)
+	}
+}
+
+func TestWelfordMergeQuick(t *testing.T) {
+	f := func(raw []float64, cut uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		c := int(cut) % len(xs)
+		var all, a, b Welford
+		for _, x := range xs {
+			all.Add(x)
+		}
+		for _, x := range xs[:c] {
+			a.Add(x)
+		}
+		for _, x := range xs[c:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-6*(1+math.Abs(all.Mean())) &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-6*(1+all.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95CoversTrueMean(t *testing.T) {
+	// 100 experiments of 1000 N(0,1) samples: the 95% CI should cover 0
+	// most of the time (allow down to 85 to keep the test robust).
+	rng := rand.New(rand.NewPCG(9, 9))
+	covered := 0
+	for e := 0; e < 100; e++ {
+		var w Welford
+		for i := 0; i < 1000; i++ {
+			w.Add(rng.NormFloat64())
+		}
+		if math.Abs(w.Mean()) <= w.CI95() {
+			covered++
+		}
+	}
+	if covered < 85 {
+		t.Errorf("CI covered the mean only %d/100 times", covered)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(3)
+	s := w.Summarize()
+	if s.N != 2 || s.Mean != 2 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt2) > 1e-12 {
+		t.Errorf("stddev %v", s.StdDev)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Out-of-range q clamps.
+	if got, _ := Quantile(xs, -1); got != 1 {
+		t.Errorf("q<0: %v", got)
+	}
+	if got, _ := Quantile(xs, 2); got != 4 {
+		t.Errorf("q>1: %v", got)
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("empty: %v", err)
+	}
+	// Input not mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile sorted the input in place")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 9.99, -5, 15} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -5 clamps into bin 0, 15 into bin 4.
+	if h.Counts[0] != 3 { // 0, 1, -5
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.99, 15
+		t.Errorf("bin 4 = %d", h.Counts[4])
+	}
+	if got := h.Fraction(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 1, 4)
+	b := NewHistogram(0, 1, 4)
+	a.Add(0.1)
+	b.Add(0.9)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 2 || a.Counts[3] != 1 {
+		t.Errorf("merged: %+v", a)
+	}
+	c := NewHistogram(0, 2, 4)
+	if err := a.Merge(c); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestHistogramDegenerateConstruction(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // hi <= lo and zero bins
+	h.Add(5)
+	if h.Total() != 1 || len(h.Counts) != 1 {
+		t.Errorf("degenerate histogram: %+v", h)
+	}
+	if h.Fraction(0) != 1 {
+		t.Errorf("Fraction = %v", h.Fraction(0))
+	}
+	empty := NewHistogram(0, 1, 2)
+	if empty.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+}

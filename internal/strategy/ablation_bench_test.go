@@ -1,0 +1,95 @@
+package strategy
+
+// Ablation: the O(1) alias-method sampler vs the O(M) linear CDF scan it
+// replaces. The Monte-Carlo engine draws k sites per round, so this choice
+// dominates its hot path at large M.
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// cdfSample is the naive baseline: walk the distribution accumulating mass.
+func cdfSample(rng *rand.Rand, p Strategy) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, v := range p {
+		acc += v
+		if r <= acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+func benchDistribution(m int) Strategy {
+	w := make([]float64, m)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := range w {
+		w[i] = rng.ExpFloat64() + 1e-9
+	}
+	p, err := FromWeights(w)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func BenchmarkSampleAlias(b *testing.B) {
+	for _, m := range []int{10, 100, 1000, 10000} {
+		p := benchDistribution(m)
+		s, err := NewSampler(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(1, 1))
+		b.Run(sizeName(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s.Sample(rng)
+			}
+		})
+	}
+}
+
+func BenchmarkSampleLinearCDF(b *testing.B) {
+	for _, m := range []int{10, 100, 1000, 10000} {
+		p := benchDistribution(m)
+		rng := rand.New(rand.NewPCG(1, 1))
+		b.Run(sizeName(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = cdfSample(rng, p)
+			}
+		})
+	}
+}
+
+func sizeName(m int) string {
+	switch m {
+	case 10:
+		return "M=10"
+	case 100:
+		return "M=100"
+	case 1000:
+		return "M=1000"
+	default:
+		return "M=10000"
+	}
+}
+
+// TestCDFSampleAgreesWithAlias keeps the baseline honest: both samplers
+// target the same distribution.
+func TestCDFSampleAgreesWithAlias(t *testing.T) {
+	p := Strategy{0.5, 0.3, 0.2}
+	rng := rand.New(rand.NewPCG(4, 4))
+	counts := make([]int, 3)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[cdfSample(rng, p)]++
+	}
+	for i := range p {
+		got := float64(counts[i]) / n
+		if got < p[i]-0.01 || got > p[i]+0.01 {
+			t.Errorf("site %d: freq %v, want %v", i, got, p[i])
+		}
+	}
+}

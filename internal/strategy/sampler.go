@@ -1,0 +1,85 @@
+package strategy
+
+import (
+	"math/rand/v2"
+
+	"dispersal/internal/numeric"
+)
+
+// Sampler draws sites from a fixed Strategy in O(1) per draw using Walker's
+// alias method. Construction is O(M). A Sampler is immutable after
+// construction and safe for concurrent use by multiple goroutines, each with
+// its own *rand.Rand.
+type Sampler struct {
+	prob  []float64
+	alias []int
+}
+
+// NewSampler builds an alias table for p. It returns an error if p is not a
+// valid distribution.
+func NewSampler(p Strategy) (*Sampler, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p)
+	s := &Sampler{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Scale probabilities by n and split into small/large worklists.
+	scaled := make([]float64, n)
+	total := numeric.KahanSum(p)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, v := range p {
+		scaled[i] = v / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = (scaled[g] + scaled[l]) - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	// Whatever remains has weight 1 up to rounding.
+	for _, g := range large {
+		s.prob[g] = 1
+	}
+	for _, l := range small {
+		s.prob[l] = 1
+	}
+	return s, nil
+}
+
+// Sample draws one site index (0-based).
+func (s *Sampler) Sample(rng *rand.Rand) int {
+	i := rng.IntN(len(s.prob))
+	if rng.Float64() < s.prob[i] {
+		return i
+	}
+	return s.alias[i]
+}
+
+// SampleMany draws n site indices into a fresh slice.
+func (s *Sampler) SampleMany(rng *rand.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = s.Sample(rng)
+	}
+	return out
+}
+
+// M returns the number of sites the sampler draws from.
+func (s *Sampler) M() int { return len(s.prob) }

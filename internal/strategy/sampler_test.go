@@ -1,0 +1,144 @@
+package strategy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewSamplerRejectsInvalid(t *testing.T) {
+	if _, err := NewSampler(Strategy{0.5, 0.6}); err == nil {
+		t.Error("invalid distribution accepted")
+	}
+	if _, err := NewSampler(nil); err == nil {
+		t.Error("nil distribution accepted")
+	}
+}
+
+func TestSamplerPointMass(t *testing.T) {
+	s, err := NewSampler(Delta(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 1000; i++ {
+		if got := s.Sample(rng); got != 3 {
+			t.Fatalf("point mass sampled %d", got)
+		}
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	p := Strategy{0.5, 0.3, 0.15, 0.05}
+	s, err := NewSampler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 11))
+	const n = 2_000_000
+	counts := make([]int, len(p))
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for i, c := range counts {
+		got := float64(c) / n
+		// Standard error is sqrt(p(1-p)/n) < 4e-4; allow 5 sigma.
+		se := math.Sqrt(p[i] * (1 - p[i]) / n)
+		if math.Abs(got-p[i]) > 5*se+1e-9 {
+			t.Errorf("site %d: freq %v, want %v (se %v)", i, got, p[i], se)
+		}
+	}
+}
+
+func TestSamplerUniformChiSquare(t *testing.T) {
+	const m = 16
+	s, err := NewSampler(Uniform(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 5))
+	const n = 160_000
+	counts := make([]int, m)
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng)]++
+	}
+	expected := float64(n) / m
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; P[chi2 > 37.7] ~ 0.001.
+	if chi2 > 37.7 {
+		t.Errorf("chi-square = %v, suspiciously non-uniform", chi2)
+	}
+}
+
+func TestSamplerZeroMassSites(t *testing.T) {
+	p := Strategy{0.5, 0, 0.5, 0}
+	s, err := NewSampler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 10_000; i++ {
+		got := s.Sample(rng)
+		if got == 1 || got == 3 {
+			t.Fatalf("sampled zero-probability site %d", got)
+		}
+	}
+}
+
+func TestSampleMany(t *testing.T) {
+	s, err := NewSampler(Uniform(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 4))
+	xs := s.SampleMany(rng, 100)
+	if len(xs) != 100 {
+		t.Fatalf("len = %d", len(xs))
+	}
+	for _, x := range xs {
+		if x < 0 || x >= 3 {
+			t.Fatalf("out of range sample %d", x)
+		}
+	}
+	if s.M() != 3 {
+		t.Errorf("M = %d", s.M())
+	}
+}
+
+func TestSamplerDeterministicPerSeed(t *testing.T) {
+	p := Strategy{0.2, 0.8}
+	s, _ := NewSampler(p)
+	a := s.SampleMany(rand.New(rand.NewPCG(1, 2)), 50)
+	b := s.SampleMany(rand.New(rand.NewPCG(1, 2)), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func BenchmarkSamplerSample(b *testing.B) {
+	s, err := NewSampler(Uniform(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(rng)
+	}
+}
+
+func BenchmarkNewSampler(b *testing.B) {
+	p := Uniform(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSampler(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

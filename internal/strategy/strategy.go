@@ -1,0 +1,237 @@
+// Package strategy defines mixed strategies over sites — probability
+// distributions p with p(x) the chance a player explores site x — together
+// with constructors, distance metrics, and an O(1) alias-method sampler used
+// by the Monte-Carlo game engine.
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dispersal/internal/numeric"
+)
+
+// Strategy is a probability distribution over M sites, 0-indexed.
+type Strategy []float64
+
+// SumTolerance is the acceptable deviation of a strategy's total mass from 1.
+const SumTolerance = 1e-9
+
+// Validation errors.
+var (
+	ErrEmpty    = errors.New("strategy: empty distribution")
+	ErrNegative = errors.New("strategy: negative probability")
+	ErrNotOne   = errors.New("strategy: probabilities do not sum to 1")
+	ErrNaN      = errors.New("strategy: non-finite probability")
+	ErrZeroMass = errors.New("strategy: all-zero weight vector")
+	ErrLength   = errors.New("strategy: length mismatch")
+)
+
+// Validate checks that p is a probability distribution.
+func (p Strategy) Validate() error {
+	if len(p) == 0 {
+		return ErrEmpty
+	}
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: p(%d) = %v", ErrNaN, i+1, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("%w: p(%d) = %v", ErrNegative, i+1, v)
+		}
+	}
+	if s := numeric.KahanSum(p); math.Abs(s-1) > SumTolerance {
+		return fmt.Errorf("%w: sum = %v", ErrNotOne, s)
+	}
+	return nil
+}
+
+// M returns the number of sites.
+func (p Strategy) M() int { return len(p) }
+
+// Clone returns an independent copy.
+func (p Strategy) Clone() Strategy {
+	out := make(Strategy, len(p))
+	copy(out, p)
+	return out
+}
+
+// Support returns the indices explored with probability above tol.
+func (p Strategy) Support(tol float64) []int {
+	var out []int
+	for i, v := range p {
+		if v > tol {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SupportSize returns the number of sites explored with probability > tol.
+func (p Strategy) SupportSize(tol float64) int {
+	n := 0
+	for _, v := range p {
+		if v > tol {
+			n++
+		}
+	}
+	return n
+}
+
+// IsPrefixSupport reports whether the support of p is exactly {1, ..., W}
+// (1-based), the structure of every IFD of a congestion policy.
+func (p Strategy) IsPrefixSupport(tol float64) (w int, ok bool) {
+	seenZero := false
+	for _, v := range p {
+		if v > tol {
+			if seenZero {
+				return 0, false
+			}
+			w++
+		} else {
+			seenZero = true
+		}
+	}
+	return w, w > 0
+}
+
+// Entropy returns the Shannon entropy of p in nats.
+func (p Strategy) Entropy() float64 {
+	var acc numeric.Accumulator
+	for _, v := range p {
+		if v > 0 {
+			acc.Add(-v * math.Log(v))
+		}
+	}
+	return acc.Sum()
+}
+
+// TV returns the total-variation distance between p and q, which must have
+// equal length: TV = (1/2) * sum |p - q|.
+func (p Strategy) TV(q Strategy) float64 {
+	var acc numeric.Accumulator
+	for i := range p {
+		acc.Add(math.Abs(p[i] - q[i]))
+	}
+	return acc.Sum() / 2
+}
+
+// L2 returns the Euclidean distance between p and q.
+func (p Strategy) L2(q Strategy) float64 {
+	var acc numeric.Accumulator
+	for i := range p {
+		d := p[i] - q[i]
+		acc.Add(d * d)
+	}
+	return math.Sqrt(acc.Sum())
+}
+
+// LInf returns the maximum elementwise difference between p and q.
+func (p Strategy) LInf(q Strategy) float64 {
+	var m float64
+	for i := range p {
+		if d := math.Abs(p[i] - q[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Normalize rescales p in place so its entries sum to 1 and returns p. It
+// returns an error if the total mass is zero or not finite.
+func (p Strategy) Normalize() (Strategy, error) {
+	s := numeric.KahanSum(p)
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, ErrZeroMass
+	}
+	for i := range p {
+		p[i] /= s
+	}
+	return p, nil
+}
+
+// Uniform returns the uniform distribution over m sites.
+func Uniform(m int) Strategy {
+	p := make(Strategy, m)
+	for i := range p {
+		p[i] = 1 / float64(m)
+	}
+	return p
+}
+
+// UniformFirst returns the distribution uniform over the first n of m sites
+// (the strategy p-hat of Observation 1 with n = k).
+func UniformFirst(m, n int) Strategy {
+	if n > m {
+		n = m
+	}
+	p := make(Strategy, m)
+	for i := 0; i < n; i++ {
+		p[i] = 1 / float64(n)
+	}
+	return p
+}
+
+// Delta returns the point mass on site x (0-based) among m sites — the
+// "greedy" strategy of always exploring the best site when x = 0.
+func Delta(m, x int) Strategy {
+	p := make(Strategy, m)
+	p[x] = 1
+	return p
+}
+
+// FromWeights normalizes a non-negative weight vector into a Strategy.
+func FromWeights(w []float64) (Strategy, error) {
+	if len(w) == 0 {
+		return nil, ErrEmpty
+	}
+	p := make(Strategy, len(w))
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: w(%d) = %v", ErrNaN, i+1, v)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("%w: w(%d) = %v", ErrNegative, i+1, v)
+		}
+		p[i] = v
+	}
+	return p.Normalize()
+}
+
+// Proportional returns the strategy proportional to the site values — the
+// naive "match the resource distribution" heuristic (the classical
+// input-matching rule of the IFD literature under sharing).
+func Proportional(f []float64) (Strategy, error) {
+	return FromWeights(f)
+}
+
+// Softmax returns the Gibbs distribution p(x) ∝ exp(scores[x]/temp).
+// temp -> 0 approaches the greedy point mass; temp -> inf the uniform.
+func Softmax(scores []float64, temp float64) (Strategy, error) {
+	if len(scores) == 0 {
+		return nil, ErrEmpty
+	}
+	if temp <= 0 {
+		return nil, fmt.Errorf("strategy: temperature must be positive, got %v", temp)
+	}
+	_, max := numeric.MaxIndex(scores)
+	w := make([]float64, len(scores))
+	for i, s := range scores {
+		w[i] = math.Exp((s - max) / temp)
+	}
+	return FromWeights(w)
+}
+
+// Mix returns (1-eps)*p + eps*q, the post-invasion population mixture used
+// in the ESS analysis. p and q must have equal length.
+func Mix(p, q Strategy, eps float64) (Strategy, error) {
+	if len(p) != len(q) {
+		return nil, ErrLength
+	}
+	out := make(Strategy, len(p))
+	for i := range p {
+		out[i] = (1-eps)*p[i] + eps*q[i]
+	}
+	return out, nil
+}

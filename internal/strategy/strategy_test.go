@@ -1,0 +1,242 @@
+package strategy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dispersal/internal/numeric"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Strategy{
+		{1},
+		{0.5, 0.5},
+		Uniform(7),
+		UniformFirst(10, 3),
+		Delta(5, 2),
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", p, err)
+		}
+	}
+	bad := []struct {
+		p    Strategy
+		want error
+	}{
+		{Strategy{}, ErrEmpty},
+		{Strategy{0.5, 0.6}, ErrNotOne},
+		{Strategy{1.5, -0.5}, ErrNegative},
+		{Strategy{math.NaN(), 1}, ErrNaN},
+		{Strategy{0.2, 0.2}, ErrNotOne},
+	}
+	for _, c := range bad {
+		if err := c.p.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("Validate(%v) = %v, want %v", c.p, err, c.want)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	p := Strategy{0.6, 0, 0.4}
+	got := p.Support(1e-12)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Support = %v", got)
+	}
+	if p.SupportSize(1e-12) != 2 {
+		t.Errorf("SupportSize = %d", p.SupportSize(1e-12))
+	}
+}
+
+func TestIsPrefixSupport(t *testing.T) {
+	cases := []struct {
+		p    Strategy
+		w    int
+		ok   bool
+		name string
+	}{
+		{Strategy{0.5, 0.5, 0}, 2, true, "prefix"},
+		{Strategy{1}, 1, true, "single"},
+		{Strategy{0.5, 0, 0.5}, 0, false, "gap"},
+		{Strategy{0, 1}, 0, false, "leading zero"},
+		{Uniform(4), 4, true, "full support"},
+	}
+	for _, c := range cases {
+		w, ok := c.p.IsPrefixSupport(1e-12)
+		if w != c.w || ok != c.ok {
+			t.Errorf("%s: IsPrefixSupport(%v) = %d, %v; want %d, %v", c.name, c.p, w, ok, c.w, c.ok)
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Delta(5, 0).Entropy(); got != 0 {
+		t.Errorf("entropy of point mass = %v", got)
+	}
+	if got, want := Uniform(8).Entropy(), math.Log(8); !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("entropy of uniform = %v, want %v", got, want)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	p := Strategy{1, 0}
+	q := Strategy{0, 1}
+	if got := p.TV(q); got != 1 {
+		t.Errorf("TV = %v, want 1", got)
+	}
+	if got := p.L2(q); !numeric.AlmostEqual(got, math.Sqrt2, 1e-12) {
+		t.Errorf("L2 = %v, want sqrt2", got)
+	}
+	if got := p.LInf(q); got != 1 {
+		t.Errorf("LInf = %v, want 1", got)
+	}
+	if got := p.TV(p); got != 0 {
+		t.Errorf("TV self = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Strategy{2, 2}
+	q, err := p.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 0.5 || q[1] != 0.5 {
+		t.Errorf("Normalize = %v", q)
+	}
+	if _, err := (Strategy{0, 0}).Normalize(); !errors.Is(err, ErrZeroMass) {
+		t.Errorf("zero mass: %v", err)
+	}
+}
+
+func TestUniformFirstClamps(t *testing.T) {
+	p := UniformFirst(3, 10)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1.0/3 {
+		t.Errorf("p = %v", p)
+	}
+}
+
+func TestFromWeights(t *testing.T) {
+	p, err := FromWeights([]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0.75 || p[1] != 0.25 {
+		t.Errorf("FromWeights = %v", p)
+	}
+	if _, err := FromWeights(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := FromWeights([]float64{1, -2}); !errors.Is(err, ErrNegative) {
+		t.Errorf("negative: %v", err)
+	}
+	if _, err := FromWeights([]float64{math.Inf(1)}); !errors.Is(err, ErrNaN) {
+		t.Errorf("inf: %v", err)
+	}
+}
+
+func TestProportionalMatchesValues(t *testing.T) {
+	p, err := Proportional([]float64{1, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(p[0], 0.5, 1e-12) {
+		t.Errorf("Proportional = %v", p)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p, err := Softmax([]float64{1, 1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p {
+		if !numeric.AlmostEqual(v, 1.0/3, 1e-12) {
+			t.Errorf("softmax equal scores = %v", p)
+			break
+		}
+	}
+	// Low temperature concentrates on the max.
+	p, err = Softmax([]float64{0, 10}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] < 0.999 {
+		t.Errorf("cold softmax = %v", p)
+	}
+	if _, err := Softmax([]float64{1}, 0); err == nil {
+		t.Error("temp=0 accepted")
+	}
+	if _, err := Softmax(nil, 1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestSoftmaxLargeScoresStable(t *testing.T) {
+	p, err := Softmax([]float64{1e9, 1e9 - 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("softmax overflowed: %v (%v)", p, err)
+	}
+}
+
+func TestMix(t *testing.T) {
+	p := Strategy{1, 0}
+	q := Strategy{0, 1}
+	m, err := Mix(p, q, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 0.75 || m[1] != 0.25 {
+		t.Errorf("Mix = %v", m)
+	}
+	if _, err := Mix(p, Strategy{1}, 0.5); !errors.Is(err, ErrLength) {
+		t.Errorf("length mismatch: %v", err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := Uniform(3)
+	q := p.Clone()
+	q[0] = 9
+	if p[0] == 9 {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestValidateQuickFromWeights(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		any := false
+		for i, v := range raw {
+			w[i] = math.Abs(math.Mod(v, 1000))
+			if math.IsNaN(w[i]) {
+				w[i] = 0
+			}
+			if w[i] > 0 {
+				any = true
+			}
+		}
+		p, err := FromWeights(w)
+		if !any {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("policy", "SPoA")
+	tb.AddRow("exclusive", "1.0000")
+	tb.AddRow("sharing", "1.2345")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "policy") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule: %q", lines[1])
+	}
+	// Columns align: "exclusive" is the widest cell in column 1.
+	if !strings.HasPrefix(lines[3], "sharing  ") {
+		t.Errorf("row padding: %q", lines[3])
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRow("1")           // short row pads
+	tb.AddRow("1", "2", "3") // long row truncates
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("name", "value", "count")
+	tb.AddRowf("pi", 3.14159265358979, 42)
+	out := tb.String()
+	if !strings.Contains(out, "3.14159") {
+		t.Errorf("float formatting: %s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Errorf("int formatting: %s", out)
+	}
+	tb.AddRowf("f32", float32(2.5), "s")
+	if !strings.Contains(tb.String(), "2.5") {
+		t.Error("float32 formatting")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := New("col|1", "col2")
+	tb.AddRow("a|b", "c")
+	var b strings.Builder
+	if err := tb.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("markdown lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `col\|1`) {
+		t.Errorf("pipe not escaped in header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `a\|b`) {
+		t.Errorf("pipe not escaped in cell: %q", lines[2])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("only", "headers")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Errorf("empty table render: %q", out)
+	}
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}

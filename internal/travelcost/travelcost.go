@@ -1,0 +1,251 @@
+// Package travelcost implements the extension the paper leaves as future
+// work in Section 5.1: "the cost incurred when visiting a site x (e.g., the
+// energetic cost consumed while traveling to x)". The reward policy becomes
+//
+//	I(x, l) = f(x) * C(l) - t(x),
+//
+// where t(x) >= 0 is the travel cost of site x (paid regardless of
+// congestion). Coverage is unchanged — the group still values visited sites
+// at f(x) — so travel costs distort the equilibrium away from sigma* and
+// the exclusive policy loses its SPoA = 1 guarantee; the package quantifies
+// that distortion.
+//
+// Equilibrium structure: the value of site x at symmetric strategy p is
+// nu_p(x) = f(x) * g(p(x)) - t(x) with g the congestion discount, still
+// strictly decreasing in p(x) for non-degenerate policies, so the IFD
+// exists and is unique by the same argument as Observation 2; Solve finds
+// it by the same bisection scheme as the base game. Note the support need
+// not be a prefix: a valuable-but-distant site can be skipped in favour of
+// a poorer nearby one.
+package travelcost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// Errors returned by the solver.
+var (
+	ErrDim      = errors.New("travelcost: cost and value dimensions differ")
+	ErrNegative = errors.New("travelcost: travel costs must be >= 0")
+	ErrPlayers  = errors.New("travelcost: player count k must be >= 1")
+	ErrAllSunk  = errors.New("travelcost: every site has negative solo payoff")
+)
+
+// Costs is a vector of per-site travel costs t(x) >= 0.
+type Costs []float64
+
+// Validate checks non-negativity and finiteness.
+func (t Costs) Validate() error {
+	for i, v := range t {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%w: t(%d) = %v", ErrNegative, i+1, v)
+		}
+	}
+	return nil
+}
+
+// Uniform returns equal travel cost c for m sites.
+func Uniform(m int, c float64) Costs {
+	t := make(Costs, m)
+	for i := range t {
+		t[i] = c
+	}
+	return t
+}
+
+// Linear returns travel costs growing linearly from lo (site 1) to hi
+// (site M) — the "better sites are farther" landscape.
+func Linear(m int, lo, hi float64) Costs {
+	t := make(Costs, m)
+	if m == 1 {
+		t[0] = lo
+		return t
+	}
+	for i := range t {
+		t[i] = lo + (hi-lo)*float64(i)/float64(m-1)
+	}
+	return t
+}
+
+// Value returns nu_p(x) = f(x)*g(p(x)) - t(x) for the travel-cost game.
+func Value(f site.Values, t Costs, p strategy.Strategy, k int, c policy.Congestion, x int) float64 {
+	return f[x]*ifd.Gee(c, k, p[x]) - t[x]
+}
+
+// Solve returns the IFD of the travel-cost game and its equilibrium value.
+// Players avoid sites whose solo payoff f(x) - t(x) is below the common
+// equilibrium value; if every site has f(x) - t(x) < 0 the game has no
+// profitable participation and ErrAllSunk is returned (staying home is not
+// modelled).
+func Solve(f site.Values, t Costs, k int, c policy.Congestion) (strategy.Strategy, float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(t) != len(f) {
+		return nil, 0, fmt.Errorf("%w: %d costs, %d values", ErrDim, len(t), len(f))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if k < 1 {
+		return nil, 0, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+	}
+	if err := policy.Validate(c, k); err != nil {
+		return nil, 0, err
+	}
+	m := len(f)
+
+	// Solo payoffs f(x) - t(x) bound the equilibrium value from above.
+	bestSolo := math.Inf(-1)
+	for x := range f {
+		if v := f[x] - t[x]; v > bestSolo {
+			bestSolo = v
+		}
+	}
+	if bestSolo < 0 {
+		return nil, 0, fmt.Errorf("%w (best solo payoff %v)", ErrAllSunk, bestSolo)
+	}
+	if k == 1 {
+		// Single player: pick the best solo site.
+		best, bx := math.Inf(-1), 0
+		for x := range f {
+			if v := f[x] - t[x]; v > best {
+				best, bx = v, x
+			}
+		}
+		return strategy.Delta(m, bx), best, nil
+	}
+
+	gAtOne := ifd.Gee(c, k, 1)
+	constantG := true
+	for l := 2; l <= k; l++ {
+		if c.At(l) != c.At(1) {
+			constantG = false
+			break
+		}
+	}
+	if constantG {
+		// Degenerate congestion: equilibrium concentrates on argmax of
+		// solo payoff.
+		best, bx := math.Inf(-1), 0
+		for x := range f {
+			if v := f[x] - t[x]; v > best {
+				best, bx = v, x
+			}
+		}
+		return strategy.Delta(m, bx), best, nil
+	}
+
+	massAt := func(nu float64) (strategy.Strategy, float64) {
+		p := make(strategy.Strategy, m)
+		var total numeric.Accumulator
+		for x := 0; x < m; x++ {
+			solo := f[x] - t[x]
+			if solo <= nu {
+				continue
+			}
+			target := (nu + t[x]) / f[x]
+			if target <= gAtOne {
+				p[x] = 1
+				total.Add(1)
+				continue
+			}
+			q, err := numeric.Brent(func(q float64) float64 {
+				return ifd.Gee(c, k, q) - target
+			}, 0, 1, 1e-15, 200)
+			if err != nil {
+				// g is monotone and the target is bracketed by
+				// construction; treat failure as zero mass.
+				continue
+			}
+			p[x] = q
+			total.Add(q)
+		}
+		return p, total.Sum()
+	}
+
+	hi := bestSolo
+	lo := math.Inf(1)
+	for x := range f {
+		if v := f[x]*gAtOne - t[x]; v < lo {
+			lo = v
+		}
+	}
+	lo -= 1 + math.Abs(lo)*1e-3
+	for iter := 0; iter < 200; iter++ {
+		mid := lo + (hi-lo)/2
+		_, tot := massAt(mid)
+		if tot > 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-14*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	nu := lo + (hi-lo)/2
+	p, _ := massAt(nu)
+	if _, err := p.Normalize(); err != nil {
+		return nil, 0, fmt.Errorf("travelcost: normalization failed: %w", err)
+	}
+	return p, nu, nil
+}
+
+// Check verifies the IFD conditions of the travel-cost game within tol.
+func Check(f site.Values, t Costs, p strategy.Strategy, k int, c policy.Congestion, tol float64) error {
+	if len(f) != len(p) || len(f) != len(t) {
+		return ErrDim
+	}
+	nu := math.Inf(-1)
+	first := true
+	for x := range f {
+		if p[x] <= tol {
+			continue
+		}
+		v := Value(f, t, p, k, c, x)
+		if first {
+			nu, first = v, false
+			continue
+		}
+		if !numeric.AlmostEqual(v, nu, tol) {
+			return fmt.Errorf("travelcost: explored sites have unequal values (%v vs %v)", nu, v)
+		}
+	}
+	if first {
+		return errors.New("travelcost: empty support")
+	}
+	for x := range f {
+		if p[x] > tol {
+			continue
+		}
+		if v := f[x] - t[x]; v > nu+tol*(1+math.Abs(nu)) {
+			return fmt.Errorf("travelcost: unexplored site %d yields %v > nu %v", x+1, v, nu)
+		}
+	}
+	return nil
+}
+
+// CoverageDistortion quantifies how much coverage the exclusive policy
+// loses to travel costs: it returns the coverage of the travel-cost IFD and
+// the cost-free optimal coverage Cover(sigma*), both measured on f.
+func CoverageDistortion(f site.Values, t Costs, k int) (eqCover, optCover float64, err error) {
+	p, _, err := Solve(f, t, k, policy.Exclusive{})
+	if err != nil {
+		return 0, 0, err
+	}
+	sigma, _, err := ifd.Exclusive(f, k)
+	if err != nil {
+		return 0, 0, err
+	}
+	return coverage.Cover(f, p, k), coverage.Cover(f, sigma, k), nil
+}

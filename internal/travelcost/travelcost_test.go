@@ -1,0 +1,199 @@
+package travelcost
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+func TestZeroCostsRecoverBaseGame(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.IntN(10)
+		k := 2 + rng.IntN(6)
+		f := site.Random(rng, m, 0.2, 3)
+		for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}} {
+			pBase, nuBase, err := ifd.Solve(f, k, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pTC, nuTC, err := Solve(f, Uniform(m, 0), k, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := pBase.LInf(pTC); d > 1e-7 {
+				t.Fatalf("%s: zero-cost IFD deviates by %v", c.Name(), d)
+			}
+			if !numeric.AlmostEqual(nuBase, nuTC, 1e-6) {
+				t.Fatalf("%s: nu %v vs %v", c.Name(), nuBase, nuTC)
+			}
+		}
+	}
+}
+
+func TestUniformCostShiftsNuNotStrategy(t *testing.T) {
+	// A constant travel cost subtracts from every site equally: the
+	// equilibrium strategy is unchanged, nu drops by the cost.
+	f := site.Geometric(5, 1, 0.7)
+	k := 3
+	p0, nu0, err := Solve(f, Uniform(5, 0), k, policy.Exclusive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, nuc, err := Solve(f, Uniform(5, 0.05), k, policy.Exclusive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p0.LInf(pc); d > 1e-6 {
+		t.Errorf("uniform cost changed the strategy by %v", d)
+	}
+	if !numeric.AlmostEqual(nu0-0.05, nuc, 1e-6) {
+		t.Errorf("nu: %v vs %v - 0.05", nuc, nu0)
+	}
+}
+
+func TestSolveSatisfiesIFDConditions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 7))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.IntN(8)
+		k := 2 + rng.IntN(5)
+		f := site.Random(rng, m, 0.5, 3)
+		tc := make(Costs, m)
+		for i := range tc {
+			tc[i] = 0.3 * rng.Float64()
+		}
+		for _, c := range []policy.Congestion{policy.Exclusive{}, policy.Sharing{}, policy.TwoPoint{C2: -0.2}} {
+			p, _, err := Solve(f, tc, k, c)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			if err := Check(f, tc, p, k, c, 1e-6); err != nil {
+				t.Fatalf("%s M=%d k=%d: %v", c.Name(), m, k, err)
+			}
+		}
+	}
+}
+
+func TestDistantValuableSiteSkipped(t *testing.T) {
+	// Site 1 is the most valuable but prohibitively distant; the
+	// equilibrium support is NOT a prefix (unlike the base game).
+	f := site.Values{1, 0.9, 0.8}
+	tc := Costs{0.95, 0, 0}
+	p, _, err := Solve(f, tc, 3, policy.Exclusive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] > 1e-6 {
+		t.Errorf("distant site still explored: %v", p)
+	}
+	if p[1] < 0.1 || p[2] < 0.1 {
+		t.Errorf("near sites underexplored: %v", p)
+	}
+}
+
+func TestCoverageDistortionIsNonPositive(t *testing.T) {
+	// Travel costs can only (weakly) reduce equilibrium coverage relative
+	// to the cost-free optimum.
+	rng := rand.New(rand.NewPCG(9, 2))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.IntN(10)
+		k := 2 + rng.IntN(6)
+		f := site.Random(rng, m, 0.5, 2)
+		tc := make(Costs, m)
+		for i := range tc {
+			tc[i] = 0.2 * rng.Float64()
+		}
+		eq, opt, err := CoverageDistortion(f, tc, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq > opt+1e-9 {
+			t.Fatalf("travel-cost equilibrium coverage %v exceeds optimum %v", eq, opt)
+		}
+	}
+}
+
+func TestCoverageDistortionStrictForSkewedCosts(t *testing.T) {
+	// The paper's Section 5.1 point: with travel costs the exclusive
+	// policy is no longer coverage-optimal.
+	f := site.Values{1, 0.9}
+	tc := Costs{0.5, 0} // the good site is expensive to reach
+	eq, opt, err := CoverageDistortion(f, tc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq >= opt-1e-9 {
+		t.Errorf("expected strict coverage loss: eq %v, opt %v", eq, opt)
+	}
+}
+
+func TestSolveKOnePicksBestSoloSite(t *testing.T) {
+	f := site.Values{1, 0.9}
+	tc := Costs{0.5, 0.1}
+	p, nu, err := Solve(f, tc, 1, policy.Exclusive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] != 1 {
+		t.Errorf("k=1 chose %v, want site 2 (solo payoff 0.8 > 0.5)", p)
+	}
+	if !numeric.AlmostEqual(nu, 0.8, 1e-12) {
+		t.Errorf("nu = %v", nu)
+	}
+}
+
+func TestSolveConstantPolicyWithCosts(t *testing.T) {
+	f := site.Values{1, 0.9}
+	tc := Costs{0.5, 0}
+	p, nu, err := Solve(f, tc, 4, policy.Constant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] != 1 {
+		t.Errorf("constant policy should pile on best solo site: %v", p)
+	}
+	if !numeric.AlmostEqual(nu, 0.9, 1e-12) {
+		t.Errorf("nu = %v", nu)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	f := site.Values{1, 0.5}
+	if _, _, err := Solve(f, Costs{0}, 2, policy.Exclusive{}); !errors.Is(err, ErrDim) {
+		t.Error("dim mismatch accepted")
+	}
+	if _, _, err := Solve(f, Costs{0, -1}, 2, policy.Exclusive{}); !errors.Is(err, ErrNegative) {
+		t.Error("negative cost accepted")
+	}
+	if _, _, err := Solve(f, Costs{0, 0}, 0, policy.Exclusive{}); !errors.Is(err, ErrPlayers) {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := Solve(f, Costs{5, 5}, 2, policy.Exclusive{}); !errors.Is(err, ErrAllSunk) {
+		t.Error("all-sunk game accepted")
+	}
+	if _, _, err := Solve(site.Values{0.5, 1}, Costs{0, 0}, 2, policy.Exclusive{}); err == nil {
+		t.Error("unsorted f accepted")
+	}
+}
+
+func TestCostGenerators(t *testing.T) {
+	u := Uniform(3, 0.2)
+	if len(u) != 3 || u[0] != 0.2 || u[2] != 0.2 {
+		t.Errorf("Uniform = %v", u)
+	}
+	l := Linear(3, 0, 1)
+	if l[0] != 0 || l[1] != 0.5 || l[2] != 1 {
+		t.Errorf("Linear = %v", l)
+	}
+	if single := Linear(1, 0.3, 9); single[0] != 0.3 {
+		t.Errorf("Linear(1) = %v", single)
+	}
+	if err := (Costs{0, 1}).Validate(); err != nil {
+		t.Errorf("valid costs rejected: %v", err)
+	}
+}

@@ -1,0 +1,8 @@
+package dispersal
+
+import "math/rand/v2"
+
+// newRand builds a deterministic PCG generator from a single seed word.
+func newRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x6c62272e07bb0142))
+}
