@@ -1,0 +1,203 @@
+package dispersal
+
+import (
+	"context"
+	"sync/atomic"
+
+	"dispersal/internal/ess"
+	"dispersal/internal/ifd"
+	"dispersal/internal/memo"
+	"dispersal/internal/optimize"
+	"dispersal/internal/spoa"
+)
+
+// Analysis is a memoizing analysis session over one Game. Each derived
+// quantity — the IFD, sigma*, the coverage optimum, the welfare optimum and
+// the SPoA — is computed lazily on first use and cached for the session's
+// lifetime, so audits and ratio queries stop paying the solver cost
+// repeatedly. All methods are safe for concurrent use: under concurrent
+// access each solver runs exactly once (singleflight semantics; latecomers
+// block until the first computation lands and then read the cache).
+//
+// Successful results are cached forever; failed computations are not, so a
+// MaxWelfareContext call aborted by a cancelled context does not poison the
+// session and a later call recomputes.
+//
+// Returned strategies are defensive copies — callers may mutate them freely
+// without corrupting the cache.
+type Analysis struct {
+	g *Game
+
+	ifd     memo.Cell[ifdResult]
+	sigma   memo.Cell[sigmaResult]
+	opt     memo.Cell[optResult]
+	welfare memo.Cell[optResult]
+	spoa    memo.Cell[SPoAInstance]
+
+	// solves counts underlying solver invocations across all quantities;
+	// the memoization tests assert it stays at one per quantity under
+	// concurrent access.
+	solves atomic.Int64
+}
+
+type ifdResult struct {
+	p  Strategy
+	nu float64
+}
+
+type sigmaResult struct {
+	p     Strategy
+	w     int
+	alpha float64
+}
+
+type optResult struct {
+	p   Strategy
+	val float64
+}
+
+// Analyze opens a memoizing analysis session on the game. Sessions are
+// cheap: no solver runs until a quantity is first requested.
+func (g *Game) Analyze() *Analysis {
+	return &Analysis{g: g}
+}
+
+// Game returns the session's underlying game.
+func (a *Analysis) Game() *Game { return a.g }
+
+// Solves reports how many underlying solver invocations the session has
+// performed so far — at most one per distinct quantity, however many calls
+// and goroutines queried it.
+func (a *Analysis) Solves() int64 { return a.solves.Load() }
+
+// cachedIFD is the single fill path of the IFD cell, shared by IFD and
+// ESSAuditContext.
+func (a *Analysis) cachedIFD() (ifdResult, error) {
+	return a.ifd.Get(func() (ifdResult, error) {
+		a.solves.Add(1)
+		p, nu, err := a.g.IFD()
+		return ifdResult{p: p, nu: nu}, err
+	})
+}
+
+// cachedSPoA is the single fill path of the SPoA cell, shared by SPoA,
+// SPoAContext and Ratio.
+func (a *Analysis) cachedSPoA(ctx context.Context) (SPoAInstance, error) {
+	return a.spoa.Get(func() (SPoAInstance, error) {
+		a.solves.Add(1)
+		return spoa.ComputeContext(ctx, a.g.f, a.g.k, a.g.c)
+	})
+}
+
+// IFD returns the game's Ideal Free Distribution and the common equilibrium
+// payoff nu, solving at most once per session.
+func (a *Analysis) IFD() (Strategy, float64, error) {
+	r, err := a.cachedIFD()
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.p.Clone(), r.nu, nil
+}
+
+// SigmaStar returns the closed-form exclusive-policy IFD on the game's
+// values with its support size W and normalization alpha, solving at most
+// once per session.
+func (a *Analysis) SigmaStar() (Strategy, int, float64, error) {
+	r, err := a.sigma.Get(func() (sigmaResult, error) {
+		a.solves.Add(1)
+		p, res, err := ifd.Exclusive(a.g.f, a.g.k)
+		return sigmaResult{p: p, w: res.W, alpha: res.Alpha}, err
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return r.p.Clone(), r.w, r.alpha, nil
+}
+
+// OptimalCoverage returns the coverage-maximizing symmetric strategy and
+// its coverage, solving at most once per session.
+func (a *Analysis) OptimalCoverage() (Strategy, float64, error) {
+	r, err := a.opt.Get(func() (optResult, error) {
+		a.solves.Add(1)
+		p, cover, err := a.g.OptimalCoverage()
+		return optResult{p: p, val: cover}, err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.p.Clone(), r.val, nil
+}
+
+// MaxWelfareContext returns the welfare-maximizing symmetric strategy and
+// its welfare value, solving at most once per session. The restart count and
+// seed come from the game's options. A cancellation error is not cached: the
+// next call restarts the optimization.
+func (a *Analysis) MaxWelfareContext(ctx context.Context) (Strategy, float64, error) {
+	r, err := a.welfare.Get(func() (optResult, error) {
+		a.solves.Add(1)
+		p, val, err := optimize.MaxWelfareContext(ctx, a.g.f, a.g.k, a.g.c, a.g.opt.restarts, a.g.opt.seed)
+		return optResult{p: p, val: val}, err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.p.Clone(), r.val, nil
+}
+
+// SPoA returns the game's Symmetric Price of Anarchy instance, solving at
+// most once per session. The instance's internal equilibrium and optimum
+// solves run inside that single computation; they are independent of (and
+// not shared with) the session's IFD and OptimalCoverage cells.
+func (a *Analysis) SPoA() (SPoAInstance, error) {
+	return a.SPoAContext(context.Background())
+}
+
+// SPoAContext is SPoA under a context.
+func (a *Analysis) SPoAContext(ctx context.Context) (SPoAInstance, error) {
+	inst, err := a.cachedSPoA(ctx)
+	if err != nil {
+		return SPoAInstance{}, err
+	}
+	return cloneInstance(inst), nil
+}
+
+// Ratio returns just the SPoA ratio, memoized like SPoA.
+func (a *Analysis) Ratio() (float64, error) {
+	inst, err := a.cachedSPoA(context.Background())
+	return inst.Ratio, err
+}
+
+// ESSAuditContext audits the memoized IFD against the provided mutants
+// (nil selects the option-configured automatic panel). The resident solve is
+// shared with the session's IFD cell; the audit itself depends on the
+// mutant panel and is recomputed per call.
+func (a *Analysis) ESSAuditContext(ctx context.Context, mutants []Strategy) (ESSReport, error) {
+	r, err := a.cachedIFD()
+	if err != nil {
+		return ESSReport{}, err
+	}
+	if mutants == nil {
+		mutants = ess.MutantFamily(newRand(a.g.opt.seed), r.p, a.g.f, a.g.opt.mutants)
+	}
+	return ess.AuditContext(ctx, a.g.f, a.g.c, a.g.k, r.p, mutants, a.g.opt.tol)
+}
+
+// ESSAudit is ESSAuditContext with a background context.
+func (a *Analysis) ESSAudit(mutants []Strategy) (ESSReport, error) {
+	return a.ESSAuditContext(context.Background(), mutants)
+}
+
+// Welfare returns the symmetric welfare of p on the session's game
+// (uncached: it is a closed-form evaluation, not a solve).
+func (a *Analysis) Welfare(p Strategy) (float64, error) { return a.g.Welfare(p) }
+
+// Coverage returns Cover(p) on the session's game (uncached, closed form).
+func (a *Analysis) Coverage(p Strategy) (float64, error) { return a.g.Coverage(p) }
+
+func cloneInstance(inst SPoAInstance) SPoAInstance {
+	out := inst
+	out.F = inst.F.Clone()
+	out.Equilibrium = inst.Equilibrium.Clone()
+	out.Optimum = inst.Optimum.Clone()
+	return out
+}

@@ -1,0 +1,159 @@
+package dispersal
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"dispersal/internal/site"
+)
+
+func TestAnalysisMatchesGameMethods(t *testing.T) {
+	g := MustGame(site.Geometric(12, 1, 0.8), 4, Sharing())
+	a := g.Analyze()
+
+	wantIFD, wantNu, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIFD, gotNu, err := a.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotIFD.LInf(wantIFD) != 0 || gotNu != wantNu {
+		t.Fatalf("Analysis.IFD diverges from Game.IFD: %v vs %v", gotIFD, wantIFD)
+	}
+
+	wantOpt, wantCover, err := g.OptimalCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOpt, gotCover, err := a.OptimalCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOpt.LInf(wantOpt) != 0 || gotCover != wantCover {
+		t.Fatal("Analysis.OptimalCoverage diverges from Game.OptimalCoverage")
+	}
+
+	wantInst, err := g.SPoA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotInst, err := a.SPoA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotInst.Ratio != wantInst.Ratio {
+		t.Fatalf("Analysis.SPoA ratio %v != Game.SPoA ratio %v", gotInst.Ratio, wantInst.Ratio)
+	}
+
+	wantSigma, wantW, wantAlpha, err := g.SigmaStar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSigma, gotW, gotAlpha, err := a.SigmaStar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSigma.LInf(wantSigma) != 0 || gotW != wantW || gotAlpha != wantAlpha {
+		t.Fatal("Analysis.SigmaStar diverges from Game.SigmaStar")
+	}
+}
+
+// TestAnalysisMemoizesConcurrently is the memoization contract: under heavy
+// concurrent access every solver runs exactly once. Run with -race.
+func TestAnalysisMemoizesConcurrently(t *testing.T) {
+	g := MustGame(site.Geometric(20, 1, 0.85), 5, Sharing())
+	a := g.Analyze()
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				if _, _, err := a.IFD(); err != nil {
+					t.Error(err)
+				}
+				if _, _, err := a.OptimalCoverage(); err != nil {
+					t.Error(err)
+				}
+				if _, err := a.SPoA(); err != nil {
+					t.Error(err)
+				}
+				if _, _, _, err := a.SigmaStar(); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Four distinct quantities were queried 32*8 times each; each solver
+	// must have run exactly once.
+	if got := a.Solves(); got != 4 {
+		t.Fatalf("Analysis performed %d solves, want exactly 4", got)
+	}
+}
+
+func TestAnalysisReturnsDefensiveCopies(t *testing.T) {
+	g := MustGame(Values{1, 0.5}, 2, Exclusive())
+	a := g.Analyze()
+	p1, _, err := a.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1[0] = math.NaN() // corrupt the caller's copy
+	p2, _, err := a.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p2[0]) {
+		t.Fatal("mutating a returned strategy corrupted the Analysis cache")
+	}
+}
+
+func TestAnalysisESSAuditReusesResident(t *testing.T) {
+	g := MustGame(site.Geometric(8, 1, 0.7), 3, Exclusive(), WithMutants(12))
+	a := g.Analyze()
+	rep1, err := a.ESSAudit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := a.ESSAudit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Failures != 0 || rep2.Failures != 0 {
+		t.Fatalf("sigma* invaded under the exclusive policy: %+v", rep1)
+	}
+	if rep1.Mutants != rep2.Mutants {
+		t.Fatalf("option-seeded panels differ between calls: %d vs %d", rep1.Mutants, rep2.Mutants)
+	}
+	// Both audits and any IFD queries share one resident solve.
+	if got := a.Solves(); got != 1 {
+		t.Fatalf("ESS audits performed %d solves, want 1", got)
+	}
+}
+
+// TestAnalysisDoesNotCacheCancellation: a cancelled MaxWelfareContext must
+// not poison the session.
+func TestAnalysisDoesNotCacheCancellation(t *testing.T) {
+	g := MustGame(site.Geometric(10, 1, 0.8), 4, Sharing())
+	a := g.Analyze()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := a.MaxWelfareContext(ctx); err == nil {
+		t.Fatal("cancelled MaxWelfareContext succeeded")
+	}
+	p, val, err := a.MaxWelfareContext(context.Background())
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if len(p) != 10 || val <= 0 {
+		t.Fatalf("degenerate welfare optimum after retry: p=%v val=%v", p, val)
+	}
+}

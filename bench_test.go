@@ -6,6 +6,7 @@
 package dispersal
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -195,6 +196,87 @@ func BenchmarkSearchSubstrate(b *testing.B) {
 			Prior: prior, K: 4, Algorithm: search.StrategyAStar, Trials: 500, Seed: 1,
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Analysis session vs repeated Game calls ----------------------------
+
+// analysisWorkload is a typical audit session: equilibrium, optimum, SPoA
+// ratio and an ESS audit, each consulted several times (as report
+// generators and dashboards do).
+const analysisQueriesPerQuantity = 8
+
+// BenchmarkRepeatedGameCalls pays the solver cost on every query — the
+// pre-Analysis API usage pattern.
+func BenchmarkRepeatedGameCalls(b *testing.B) {
+	f := site.Geometric(40, 1, 0.9)
+	g := MustGame(f, 8, Sharing(), WithMutants(16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for q := 0; q < analysisQueriesPerQuantity; q++ {
+			if _, _, err := g.IFD(); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := g.OptimalCoverage(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := g.SPoA(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := g.ESSAuditContext(context.Background(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalysisSession runs the identical workload through a memoizing
+// Analysis: each solver runs once per iteration regardless of query count.
+func BenchmarkAnalysisSession(b *testing.B) {
+	f := site.Geometric(40, 1, 0.9)
+	g := MustGame(f, 8, Sharing(), WithMutants(16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := g.Analyze()
+		for q := 0; q < analysisQueriesPerQuantity; q++ {
+			if _, _, err := a.IFD(); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := a.OptimalCoverage(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.SPoA(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := a.ESSAuditContext(context.Background(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepBatch measures the batch layer end to end: a grid of games
+// analyzed across the worker pool.
+func BenchmarkSweepBatch(b *testing.B) {
+	specs := make([]Spec, 32)
+	for i := range specs {
+		specs[i] = Spec{Values: site.Geometric(10+i%7, 1, 0.8), K: 2 + i%5, Policy: Sharing()}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Sweep(context.Background(), specs,
+			func(_ context.Context, a *Analysis) (float64, error) {
+				inst, err := a.SPoA()
+				return inst.Ratio, err
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package dispersal
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dispersal/internal/site"
+)
+
+// cancelledCtx returns an already-cancelled context.
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestSimulateContextCancellation: a cancelled Simulate returns ctx.Err()
+// promptly instead of burning through the remaining rounds.
+func TestSimulateContextCancellation(t *testing.T) {
+	g := MustGame(site.Zipf(50, 1, 1), 8, Exclusive(), WithWorkers(2))
+	p, _, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := g.SimulateContext(cancelledCtx(), p, 1000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Simulate: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-flight cancellation: a deadline far shorter than the full run.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = g.SimulateContext(ctx, p, 200_000_000) // hours of work uncancelled
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestReplicatorContextCancellation(t *testing.T) {
+	g := MustGame(site.Geometric(30, 1, 0.9), 6, Sharing())
+	if _, err := g.ReplicatorContext(cancelledCtx(), uniformStrategy(30), ReplicatorOptions{Steps: 1_000_000, Tol: 1e-300}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := g.ReplicatorContext(ctx, uniformStrategy(30), ReplicatorOptions{Steps: 100_000_000, Tol: 1e-300})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func uniformStrategy(m int) Strategy {
+	p := make(Strategy, m)
+	for i := range p {
+		p[i] = 1 / float64(m)
+	}
+	return p
+}
+
+func TestLongRunningEntryPointsHonourCancelledContext(t *testing.T) {
+	g := MustGame(site.Geometric(10, 1, 0.8), 4, Sharing())
+	ctx := cancelledCtx()
+
+	if _, _, err := g.MaxWelfareContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("MaxWelfareContext: %v", err)
+	}
+	if _, err := g.ESSAuditContext(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("ESSAuditContext: %v", err)
+	}
+	if _, err := g.SPoAContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("SPoAContext: %v", err)
+	}
+	if _, err := g.PureEquilibriaContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("PureEquilibriaContext: %v", err)
+	}
+	if _, err := g.DesignOptimalPolicyContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("DesignOptimalPolicyContext: %v", err)
+	}
+	if _, err := g.SimulateProfileContext(ctx, profileOf(g, 4), 1000); !errors.Is(err, context.Canceled) {
+		t.Errorf("SimulateProfileContext: %v", err)
+	}
+}
+
+func profileOf(g *Game, k int) []Strategy {
+	p, _, err := g.IFD()
+	if err != nil {
+		panic(err)
+	}
+	out := make([]Strategy, k)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+// TestContextFormsAgreeWithBackgroundForms: the new context entry points
+// with a background context must return exactly what the legacy wrappers
+// return (the wrappers delegate, so this pins the refactor).
+func TestContextFormsAgreeWithBackgroundForms(t *testing.T) {
+	g := MustGame(site.Geometric(8, 1, 0.75), 3, TwoPoint(0.25))
+	ctx := context.Background()
+
+	inst1, err := g.SPoA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := g.SPoAContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst1.Ratio != inst2.Ratio {
+		t.Fatalf("SPoA %v != SPoAContext %v", inst1.Ratio, inst2.Ratio)
+	}
+
+	sum1, err := g.PureEquilibria(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2, err := g.PureEquilibriaContext(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1.Equilibria != sum2.Equilibria {
+		t.Fatalf("PureEquilibria %d != PureEquilibriaContext %d", sum1.Equilibria, sum2.Equilibria)
+	}
+}
+
+func TestGameOptionsValidation(t *testing.T) {
+	cases := []Option{WithWorkers(-1), WithTolerance(0), WithTolerance(-1), WithRestarts(-1), WithMutants(-2)}
+	for i, opt := range cases {
+		if _, err := NewGame(Values{1, 0.5}, 2, Exclusive(), opt); !errors.Is(err, ErrOption) {
+			t.Errorf("case %d: err = %v, want ErrOption", i, err)
+		}
+	}
+	g, err := NewGame(Values{1, 0.5}, 2, Exclusive(),
+		WithWorkers(2), WithTolerance(1e-8), WithSeed(42), WithRestarts(3), WithMutants(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.opt.workers != 2 || g.opt.tol != 1e-8 || g.opt.seed != 42 || g.opt.restarts != 3 || g.opt.mutants != 10 {
+		t.Fatalf("options not applied: %+v", g.opt)
+	}
+}
+
+// TestOptionSeedDrivesDeterminism: equal seeds give equal results, distinct
+// seeds give distinct simulation streams.
+func TestOptionSeedDrivesDeterminism(t *testing.T) {
+	f := site.Geometric(10, 1, 0.8)
+	mk := func(seed uint64) SimulationResult {
+		g := MustGame(f, 4, Sharing(), WithSeed(seed))
+		p, _, err := g.IFD()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.SimulateContext(context.Background(), p, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := mk(1), mk(1), mk(2)
+	if a.Coverage.Mean != b.Coverage.Mean {
+		t.Fatalf("same seed, different results: %v vs %v", a.Coverage.Mean, b.Coverage.Mean)
+	}
+	if a.Coverage.Mean == c.Coverage.Mean {
+		t.Fatalf("different seeds, identical stream: %v", a.Coverage.Mean)
+	}
+}

@@ -29,6 +29,7 @@
 package dispersal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -88,9 +89,10 @@ func Aggressive(penalty float64) Congestion { return policy.Aggressive{Penalty: 
 
 // Game is an instance of the dispersal game.
 type Game struct {
-	f site.Values
-	k int
-	c policy.Congestion
+	f   site.Values
+	k   int
+	c   policy.Congestion
+	opt gameOptions
 }
 
 // ErrNilPolicy is returned by NewGame when no congestion policy is given.
@@ -98,7 +100,10 @@ var ErrNilPolicy = errors.New("dispersal: nil congestion policy")
 
 // NewGame validates and constructs a game. f must be sorted non-increasing
 // and strictly positive, k >= 1, and c a valid congestion policy up to k.
-func NewGame(f Values, k int, c Congestion) (*Game, error) {
+// Functional options (WithWorkers, WithTolerance, WithSeed, WithRestarts,
+// WithMutants) tune the game's solvers and simulators; omitted options keep
+// the library defaults.
+func NewGame(f Values, k int, c Congestion, opts ...Option) (*Game, error) {
 	if c == nil {
 		return nil, ErrNilPolicy
 	}
@@ -111,12 +116,18 @@ func NewGame(f Values, k int, c Congestion) (*Game, error) {
 	if err := policy.Validate(c, k); err != nil {
 		return nil, err
 	}
-	return &Game{f: f.Clone(), k: k, c: c}, nil
+	o := defaultGameOptions()
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	return &Game{f: f.Clone(), k: k, c: c, opt: o}, nil
 }
 
 // MustGame is NewGame that panics on error; intended for examples and tests.
-func MustGame(f Values, k int, c Congestion) *Game {
-	g, err := NewGame(f, k, c)
+func MustGame(f Values, k int, c Congestion, opts ...Option) *Game {
+	g, err := NewGame(f, k, c, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -184,8 +195,20 @@ func (g *Game) Welfare(p Strategy) (float64, error) {
 	return g.ExpectedPayoff(p, p)
 }
 
+// MaxWelfareContext returns the symmetric strategy maximizing Welfare and
+// its value (the "Welfare Optimum" curve of Figure 1). The number of random
+// restarts and their seed come from the game's WithRestarts and WithSeed
+// options; ctx cancels the multi-start search between (and inside) ascents.
+func (g *Game) MaxWelfareContext(ctx context.Context) (Strategy, float64, error) {
+	return optimize.MaxWelfareContext(ctx, g.f, g.k, g.c, g.opt.restarts, g.opt.seed)
+}
+
 // MaxWelfare returns the symmetric strategy maximizing Welfare and its
-// value (the "Welfare Optimum" curve of Figure 1).
+// value.
+//
+// Deprecated: the positional seed overrides the game's WithSeed option and
+// the restart count is fixed at the old hard-coded 8. Use
+// MaxWelfareContext with WithRestarts/WithSeed instead.
 func (g *Game) MaxWelfare(seed uint64) (Strategy, float64, error) {
 	return optimize.MaxWelfare(g.f, g.k, g.c, 8, seed)
 }
@@ -197,9 +220,33 @@ func (g *Game) SPoA() (SPoAInstance, error) {
 	return spoa.Compute(g.f, g.k, g.c)
 }
 
-// ESSAudit tests the game's IFD against the provided mutants (Section 1.4
-// characterization); pass nil to use an automatically generated panel of
-// nMutants random plus structured mutants.
+// SPoAContext is SPoA under a context.
+func (g *Game) SPoAContext(ctx context.Context) (SPoAInstance, error) {
+	return spoa.ComputeContext(ctx, g.f, g.k, g.c)
+}
+
+// ESSAuditContext tests the game's IFD against the provided mutants
+// (Section 1.4 characterization). Pass nil to use an automatically generated
+// panel of structured plus random mutants; the random-panel size and seed
+// come from the game's WithMutants and WithSeed options, and ties are broken
+// at the WithTolerance tolerance. ctx cancels the audit between mutants.
+func (g *Game) ESSAuditContext(ctx context.Context, mutants []Strategy) (ESSReport, error) {
+	resident, _, err := g.IFD()
+	if err != nil {
+		return ESSReport{}, err
+	}
+	if mutants == nil {
+		mutants = ess.MutantFamily(newRand(g.opt.seed), resident, g.f, g.opt.mutants)
+	}
+	return ess.AuditContext(ctx, g.f, g.c, g.k, resident, mutants, g.opt.tol)
+}
+
+// ESSAudit tests the game's IFD against the provided mutants; pass nil to
+// use an automatically generated panel of nMutants random plus structured
+// mutants.
+//
+// Deprecated: the positional nMutants and seed override the game's
+// WithMutants and WithSeed options. Use ESSAuditContext instead.
 func (g *Game) ESSAudit(mutants []Strategy, nMutants int, seed uint64) (ESSReport, error) {
 	resident, _, err := g.IFD()
 	if err != nil {
@@ -211,19 +258,51 @@ func (g *Game) ESSAudit(mutants []Strategy, nMutants int, seed uint64) (ESSRepor
 	return ess.Audit(g.f, g.c, g.k, resident, mutants, 1e-9)
 }
 
-// Simulate runs the parallel Monte-Carlo engine for rounds one-shot games
-// with every player using p.
-func (g *Game) Simulate(p Strategy, rounds int, seed uint64) (SimulationResult, error) {
-	return game.Simulate(game.Config{
-		F: g.f, K: g.k, C: g.c, Rounds: rounds, Seed: seed,
+// SimulateContext runs the parallel Monte-Carlo engine for rounds one-shot
+// games with every player using p. The worker-pool size and the
+// deterministic seed come from the game's WithWorkers and WithSeed options;
+// a cancelled or expired ctx stops the workers promptly and returns
+// ctx.Err().
+func (g *Game) SimulateContext(ctx context.Context, p Strategy, rounds int) (SimulationResult, error) {
+	return game.SimulateContext(ctx, game.Config{
+		F: g.f, K: g.k, C: g.c, Rounds: rounds,
+		Workers: g.opt.workers, Seed: g.opt.seed,
 	}, p)
 }
 
-// SimulateProfile runs the engine with per-player strategies.
+// Simulate runs the parallel Monte-Carlo engine for rounds one-shot games
+// with every player using p. The explicit seed overrides the game's
+// WithSeed option.
+func (g *Game) Simulate(p Strategy, rounds int, seed uint64) (SimulationResult, error) {
+	return game.Simulate(game.Config{
+		F: g.f, K: g.k, C: g.c, Rounds: rounds,
+		Workers: g.opt.workers, Seed: seed,
+	}, p)
+}
+
+// SimulateProfileContext runs the engine with per-player strategies under a
+// context, with workers and seed from the game's options.
+func (g *Game) SimulateProfileContext(ctx context.Context, profile []Strategy, rounds int) (SimulationResult, error) {
+	return game.SimulateProfileContext(ctx, game.Config{
+		F: g.f, K: g.k, C: g.c, Rounds: rounds,
+		Workers: g.opt.workers, Seed: g.opt.seed,
+	}, profile)
+}
+
+// SimulateProfile runs the engine with per-player strategies. The explicit
+// seed overrides the game's WithSeed option.
 func (g *Game) SimulateProfile(profile []Strategy, rounds int, seed uint64) (SimulationResult, error) {
 	return game.SimulateProfile(game.Config{
-		F: g.f, K: g.k, C: g.c, Rounds: rounds, Seed: seed,
+		F: g.f, K: g.k, C: g.c, Rounds: rounds,
+		Workers: g.opt.workers, Seed: seed,
 	}, profile)
+}
+
+// ReplicatorContext integrates replicator dynamics from init under a
+// context and returns the final state; a cancelled ctx stops the
+// integration promptly.
+func (g *Game) ReplicatorContext(ctx context.Context, init Strategy, opts dynamics.ReplicatorOptions) (dynamics.ReplicatorResult, error) {
+	return dynamics.ReplicatorContext(ctx, g.f, g.k, g.c, init, opts)
 }
 
 // Replicator integrates replicator dynamics from init and returns the final

@@ -6,6 +6,8 @@ package dispersal
 // subsystem; see DESIGN.md for the modelling details.
 
 import (
+	"context"
+
 	"dispersal/internal/capacity"
 	"dispersal/internal/infer"
 	"dispersal/internal/mechanism"
@@ -63,17 +65,33 @@ func (g *Game) PureEquilibria(limit int) (pureeq.Summary, error) {
 	return pureeq.Enumerate(g.f, g.k, g.c, limit)
 }
 
+// PureEquilibriaContext is PureEquilibria under a context: the exponential
+// profile scan aborts promptly when ctx is cancelled, making deadlines an
+// alternative to the hard state-space limit.
+func (g *Game) PureEquilibriaContext(ctx context.Context, limit int) (pureeq.Summary, error) {
+	return pureeq.EnumerateContext(ctx, g.f, g.k, g.c, limit)
+}
+
 // PureEquilibriaSummary re-exports the enumeration summary type.
 type PureEquilibriaSummary = pureeq.Summary
 
 // PolicyDesign is a congestion policy found by DesignOptimalPolicy.
 type PolicyDesign = mechanism.Design
 
-// DesignOptimalPolicy searches the space of table congestion policies for
-// the one whose equilibrium maximizes coverage on this game's values. By
-// Theorems 4 and 6 the search converges to the exclusive policy; exposing
-// the optimizer lets users verify that claim on their own landscapes
-// (experiment E22).
+// DesignOptimalPolicyContext searches the space of table congestion
+// policies for the one whose equilibrium maximizes coverage on this game's
+// values, seeded by the game's WithSeed option. By Theorems 4 and 6 the
+// search converges to the exclusive policy; exposing the optimizer lets
+// users verify that claim on their own landscapes (experiment E22). ctx
+// cancels the search between coordinate-descent sweeps.
+func (g *Game) DesignOptimalPolicyContext(ctx context.Context) (PolicyDesign, error) {
+	return mechanism.OptimizeContext(ctx, g.f, g.k, mechanism.Options{Seed: g.opt.seed})
+}
+
+// DesignOptimalPolicy searches the policy space with an explicit seed.
+//
+// Deprecated: the positional seed overrides the game's WithSeed option. Use
+// DesignOptimalPolicyContext instead.
 func (g *Game) DesignOptimalPolicy(seed uint64) (PolicyDesign, error) {
 	return mechanism.Optimize(g.f, g.k, mechanism.Options{Seed: seed})
 }

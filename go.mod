@@ -1,0 +1,3 @@
+module dispersal
+
+go 1.24

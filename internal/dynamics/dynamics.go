@@ -14,6 +14,7 @@
 package dynamics
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -84,11 +85,21 @@ type ReplicatorResult struct {
 	Trajectory []strategy.Strategy
 }
 
+// cancelCheckStride is how many Euler steps the integrators take between
+// context checks.
+const cancelCheckStride = 64
+
 // Replicator integrates the replicator dynamics from init under (f, k, c).
 // Payoffs may be negative (aggressive policies); the update uses the
 // exponential (Maynard Smith) form p <- p * exp(dt * (nu - avg)), which is
 // positivity-preserving for any payoff range and has the same rest points.
 func Replicator(f site.Values, k int, c policy.Congestion, init strategy.Strategy, opts ReplicatorOptions) (ReplicatorResult, error) {
+	return ReplicatorContext(context.Background(), f, k, c, init, opts)
+}
+
+// ReplicatorContext is Replicator under a context: a cancelled or expired
+// ctx stops the integration promptly and returns ctx.Err().
+func ReplicatorContext(ctx context.Context, f site.Values, k int, c policy.Congestion, init strategy.Strategy, opts ReplicatorOptions) (ReplicatorResult, error) {
 	if err := f.Validate(); err != nil {
 		return ReplicatorResult{}, err
 	}
@@ -119,6 +130,11 @@ func Replicator(f site.Values, k int, c policy.Congestion, init strategy.Strateg
 	}
 	values := make([]float64, len(p))
 	for step := 1; step <= opts.Steps; step++ {
+		if step%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return ReplicatorResult{}, err
+			}
+		}
 		var avg numeric.Accumulator
 		for x := range p {
 			values[x] = coverage.SiteValue(f, p, k, c, x)
@@ -191,6 +207,11 @@ func (o BestResponseOptions) withDefaults() (BestResponseOptions, error) {
 // exploitability max_x nu_p(x) - E_p[nu_p] falls below opts.Tol. It returns
 // the final state and the number of iterations used.
 func BestResponse(f site.Values, k int, c policy.Congestion, init strategy.Strategy, opts BestResponseOptions) (strategy.Strategy, int, error) {
+	return BestResponseContext(context.Background(), f, k, c, init, opts)
+}
+
+// BestResponseContext is BestResponse under a context.
+func BestResponseContext(ctx context.Context, f site.Values, k int, c policy.Congestion, init strategy.Strategy, opts BestResponseOptions) (strategy.Strategy, int, error) {
 	if err := f.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -207,6 +228,11 @@ func BestResponse(f site.Values, k int, c policy.Congestion, init strategy.Strat
 	p := init.Clone()
 	values := make([]float64, len(p))
 	for it := 1; it <= opts.Iters; it++ {
+		if it%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		for x := range p {
 			values[x] = coverage.SiteValue(f, p, k, c, x)
 		}

@@ -6,6 +6,7 @@
 package ess
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -147,8 +148,17 @@ type AuditReport struct {
 // 1e-12 in L-infinity) are skipped: the definition of ESS quantifies over
 // pi != sigma.
 func Audit(f site.Values, c policy.Congestion, k int, sigma strategy.Strategy, mutants []strategy.Strategy, tol float64) (AuditReport, error) {
+	return AuditContext(context.Background(), f, c, k, sigma, mutants, tol)
+}
+
+// AuditContext is Audit under a context: cancellation is checked between
+// mutants, so a deadline interrupts large panels promptly.
+func AuditContext(ctx context.Context, f site.Values, c policy.Congestion, k int, sigma strategy.Strategy, mutants []strategy.Strategy, tol float64) (AuditReport, error) {
 	rep := AuditReport{WorstMargin: -1}
 	for _, pi := range mutants {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		if sigma.LInf(pi) < 1e-12 {
 			continue
 		}

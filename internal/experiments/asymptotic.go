@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"dispersal/internal/asymptotic"
 	"dispersal/internal/numeric"
 	"dispersal/internal/site"
+	"dispersal/internal/sweep"
 	"dispersal/internal/table"
 )
 
@@ -15,6 +17,14 @@ import (
 // log-criterion support approximation, and the 1/(k-1) convergence to the
 // uniform distribution with the predicted first-order correction.
 func E18Asymptotics() (Report, error) {
+	return E18AsymptoticsContext(context.Background())
+}
+
+// E18AsymptoticsContext is E18 under a context: the per-k solves fan out
+// across the sweep worker pool (they are independent), while the
+// monotonicity checks that couple consecutive k values run on the collected
+// rows afterwards.
+func E18AsymptoticsContext(ctx context.Context) (Report, error) {
 	pass := true
 	tb := table.New("k", "W exact", "W approx", "Miss(sigma*)", "(W-1)nu+tail", "max |(k-1)(sigma*-1/M) - limit|")
 
@@ -22,38 +32,56 @@ func E18Asymptotics() (Report, error) {
 	fFull := site.Values{1, 0.8, 0.6, 0.4}
 	limit := asymptotic.LimitCorrection(fFull)
 
-	prevDeviation := math.Inf(1)
-	for _, k := range []int{2, 4, 8, 16, 32, 128, 512} {
+	type row struct {
+		k               int
+		wExact, wApprox int
+		miss, pred      float64
+		hasDev          bool
+		worstDev        float64
+	}
+	ks := []int{2, 4, 8, 16, 32, 128, 512}
+	rows, err := sweep.Map(ctx, ks, 0, func(_ context.Context, _ int, k int) (row, error) {
 		wExact, err := asymptotic.SupportSize(fWide, k)
 		if err != nil {
-			return Report{ID: "E18"}, err
+			return row{}, err
 		}
 		wApprox, err := asymptotic.ApproxSupportSize(fWide, k)
 		if err != nil {
-			return Report{ID: "E18"}, err
+			return row{}, err
 		}
 		miss, pred, err := asymptotic.MissIdentity(fWide, k)
 		if err != nil {
-			return Report{ID: "E18"}, err
+			return row{}, err
 		}
-		if !numeric.AlmostEqual(miss, pred, 1e-9) {
+		r := row{k: k, wExact: wExact, wApprox: wApprox, miss: miss, pred: pred}
+		if dev, err := asymptotic.ScaledDeviation(fFull, k); err == nil {
+			r.hasDev = true
+			for x := range dev {
+				if d := math.Abs(dev[x] - limit[x]); d > r.worstDev {
+					r.worstDev = d
+				}
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return Report{ID: "E18"}, err
+	}
+
+	prevDeviation := math.Inf(1)
+	for _, r := range rows {
+		if !numeric.AlmostEqual(r.miss, r.pred, 1e-9) {
 			pass = false
 		}
 		devStr := "support not full"
-		if dev, err := asymptotic.ScaledDeviation(fFull, k); err == nil {
-			var worst float64
-			for x := range dev {
-				if d := math.Abs(dev[x] - limit[x]); d > worst {
-					worst = d
-				}
-			}
-			devStr = fmt.Sprintf("%.6f", worst)
-			if worst > prevDeviation+1e-9 {
+		if r.hasDev {
+			devStr = fmt.Sprintf("%.6f", r.worstDev)
+			if r.worstDev > prevDeviation+1e-9 {
 				pass = false
 			}
-			prevDeviation = worst
+			prevDeviation = r.worstDev
 		}
-		tb.AddRowf(k, wExact, wApprox, miss, pred, devStr)
+		tb.AddRowf(r.k, r.wExact, r.wApprox, r.miss, r.pred, devStr)
 	}
 	if prevDeviation > 0.02 {
 		pass = false

@@ -6,8 +6,14 @@ package experiments
 // They are ablations of the paper's modelling assumptions: each quantifies
 // how far the headline result (exclusive policy => optimal coverage)
 // survives when one assumption is relaxed.
+//
+// Each experiment's case grid is independent, so the cases fan out across
+// the sweep worker pool; the pass/fail verdicts are computed on the
+// collected rows, keeping table order and verdict logic identical to the
+// sequential version.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,6 +25,7 @@ import (
 	"dispersal/internal/pureeq"
 	"dispersal/internal/site"
 	"dispersal/internal/species"
+	"dispersal/internal/sweep"
 	"dispersal/internal/table"
 	"dispersal/internal/travelcost"
 )
@@ -27,6 +34,11 @@ import (
 // extension) distort the exclusive-policy equilibrium away from optimal
 // coverage.
 func E14TravelCosts() (Report, error) {
+	return E14TravelCostsContext(context.Background())
+}
+
+// E14TravelCostsContext is E14 under a context.
+func E14TravelCostsContext(ctx context.Context) (Report, error) {
 	f := site.Geometric(10, 1, 0.85)
 	k := 4
 	tb := table.New("travel-cost profile", "eq coverage", "cost-free optimum", "fraction retained")
@@ -42,11 +54,19 @@ func E14TravelCosts() (Report, error) {
 		{"far-to-near 0.3..0", travelcost.Linear(10, 0.3, 0)},
 		{"best site blocked", append(travelcost.Costs{0.6}, travelcost.Uniform(9, 0)...)},
 	}
-	for _, pr := range profiles {
+	type row struct{ eqCover, optCover float64 }
+	rows, err := sweep.Map(ctx, profiles, 0, func(_ context.Context, _ int, pr struct {
+		name string
+		t    travelcost.Costs
+	}) (row, error) {
 		eqCover, optCover, err := travelcost.CoverageDistortion(f, pr.t, k)
-		if err != nil {
-			return Report{ID: "E14"}, err
-		}
+		return row{eqCover, optCover}, err
+	})
+	if err != nil {
+		return Report{ID: "E14"}, err
+	}
+	for i, pr := range profiles {
+		eqCover, optCover := rows[i].eqCover, rows[i].optCover
 		frac := eqCover / optCover
 		tb.AddRowf(pr.name, eqCover, optCover, frac)
 		if eqCover > optCover+1e-9 {
@@ -80,16 +100,27 @@ func E14TravelCosts() (Report, error) {
 // consumption-optimal strategy under a per-individual consumption capacity
 // (Section 5.1's second open extension).
 func E15CapacityConstraint() (Report, error) {
+	return E15CapacityConstraintContext(context.Background())
+}
+
+// E15CapacityConstraintContext is E15 under a context.
+func E15CapacityConstraintContext(ctx context.Context) (Report, error) {
 	f := site.Values{1, 0.3}
 	k := 4
 	tb := table.New("capacity per individual", "Consume(sigma*)", "optimal consumption", "ratio")
 	pass := true
 	sawGap := false
-	for _, cap := range []float64{0.02, 0.1, 0.25, 0.5, 1, math.Inf(1)} {
+	caps := []float64{0.02, 0.1, 0.25, 0.5, 1, math.Inf(1)}
+	type row struct{ sCons, optCons, ratio float64 }
+	rows, err := sweep.Map(ctx, caps, 0, func(_ context.Context, _ int, cap float64) (row, error) {
 		sCons, optCons, ratio, err := capacity.SigmaStarGap(f, k, cap)
-		if err != nil {
-			return Report{ID: "E15"}, err
-		}
+		return row{sCons, optCons, ratio}, err
+	})
+	if err != nil {
+		return Report{ID: "E15"}, err
+	}
+	for i, cap := range caps {
+		sCons, optCons, ratio := rows[i].sCons, rows[i].optCons, rows[i].ratio
 		label := fmt.Sprintf("%g", cap)
 		if math.IsInf(cap, 1) {
 			label = "unbounded (paper's model)"
@@ -123,17 +154,24 @@ func E15CapacityConstraint() (Report, error) {
 // aggressive (exclusive-policy) species vs a peaceful (sharing) species on
 // shared patches, feeding at different times.
 func E16SpeciesCompetition() (Report, error) {
+	return E16SpeciesCompetitionContext(context.Background())
+}
+
+type speciesMatchup struct {
+	name string
+	a, b species.Species
+	// wantAWins: A's alternating intake should exceed B's.
+	wantAWins bool
+}
+
+// E16SpeciesCompetitionContext is E16 under a context.
+func E16SpeciesCompetitionContext(ctx context.Context) (Report, error) {
 	k := 6
 	f := site.SlowDecay(4*k, k)
 	tb := table.New("matchup (A vs B)", "A intake", "B intake", "A advantage")
 	pass := true
 
-	matchups := []struct {
-		name string
-		a, b species.Species
-		// wantAWins: A's alternating intake should exceed B's.
-		wantAWins bool
-	}{
+	matchups := []speciesMatchup{
 		{
 			"exclusive vs sharing",
 			species.Species{Name: "exclusive", K: k, C: policy.Exclusive{}},
@@ -159,11 +197,14 @@ func E16SpeciesCompetition() (Report, error) {
 			false,
 		},
 	}
-	for _, mu := range matchups {
-		out, err := species.Intakes(f, mu.a, mu.b)
-		if err != nil {
-			return Report{ID: "E16"}, err
-		}
+	outs, err := sweep.Map(ctx, matchups, 0, func(_ context.Context, _ int, mu speciesMatchup) (species.Outcome, error) {
+		return species.Intakes(f, mu.a, mu.b)
+	})
+	if err != nil {
+		return Report{ID: "E16"}, err
+	}
+	for i, mu := range matchups {
+		out := outs[i]
 		adv := out.Alternating.A / out.Alternating.B
 		tb.AddRowf(mu.name, out.Alternating.A, out.Alternating.B, adv)
 		if mu.wantAWins && adv <= 1 {
@@ -187,19 +228,37 @@ func E16SpeciesCompetition() (Report, error) {
 // multiply factorially with k and require coordination to select, while
 // the symmetric equilibrium is unique.
 func E17PureEquilibria() (Report, error) {
+	return E17PureEquilibriaContext(context.Background())
+}
+
+// E17PureEquilibriaContext is E17 under a context: each (M, k) enumeration
+// runs on its own worker and the exponential profile scans themselves honour
+// ctx.
+func E17PureEquilibriaContext(ctx context.Context) (Report, error) {
 	tb := table.New("M", "k", "pure NE", "k!", "pure-NE coverage", "symmetric (sigma*) coverage")
 	pass := true
-	for _, kc := range []struct{ m, k int }{{4, 2}, {5, 3}, {6, 4}, {7, 5}} {
+	cases := []struct{ m, k int }{{4, 2}, {5, 3}, {6, 4}, {7, 5}}
+	type row struct {
+		sum      pureeq.Summary
+		symCover float64
+	}
+	rows, err := sweep.Map(ctx, cases, 0, func(ctx context.Context, _ int, kc struct{ m, k int }) (row, error) {
 		f := site.Geometric(kc.m, 1, 0.8)
-		sum, err := pureeq.Enumerate(f, kc.k, policy.Exclusive{}, 0)
+		sum, err := pureeq.EnumerateContext(ctx, f, kc.k, policy.Exclusive{}, 0)
 		if err != nil {
-			return Report{ID: "E17"}, err
+			return row{}, err
 		}
 		sigma, _, err := ifd.Exclusive(f, kc.k)
 		if err != nil {
-			return Report{ID: "E17"}, err
+			return row{}, err
 		}
-		symCover := coverage.Cover(f, sigma, kc.k)
+		return row{sum: sum, symCover: coverage.Cover(f, sigma, kc.k)}, nil
+	})
+	if err != nil {
+		return Report{ID: "E17"}, err
+	}
+	for i, kc := range cases {
+		sum, symCover := rows[i].sum, rows[i].symCover
 		tb.AddRowf(kc.m, kc.k, sum.Equilibria, pureeq.Factorial(kc.k), sum.BestCoverage, symCover)
 		if sum.Equilibria != pureeq.Factorial(kc.k) {
 			pass = false

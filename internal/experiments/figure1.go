@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,6 +12,7 @@ import (
 	"dispersal/internal/plot"
 	"dispersal/internal/policy"
 	"dispersal/internal/site"
+	"dispersal/internal/sweep"
 	"dispersal/internal/table"
 )
 
@@ -37,6 +39,14 @@ type Panel struct {
 // Figure1Panel computes one panel of Figure 1 on a grid of points values of
 // c spanning [-0.5, 0.5].
 func Figure1Panel(f2 float64, points int) (Panel, error) {
+	return Figure1PanelContext(context.Background(), f2, points)
+}
+
+// Figure1PanelContext computes the panel with its grid points fanned out
+// across the sweep worker pool; a cancelled ctx aborts the remaining points
+// and returns ctx.Err(). Results are independent of the worker count: each
+// grid point owns a deterministic seed.
+func Figure1PanelContext(ctx context.Context, f2 float64, points int) (Panel, error) {
 	if points < 2 {
 		points = Figure1Points
 	}
@@ -54,19 +64,26 @@ func Figure1Panel(f2 float64, points int) (Panel, error) {
 		return Panel{}, err
 	}
 	optCover := coverage.Cover(f, opt, k)
-	for i, c := range p.C {
+	type point struct{ ess, welfare float64 }
+	pts, err := sweep.Map(ctx, p.C, 0, func(ctx context.Context, i int, c float64) (point, error) {
 		pol := policy.TwoPoint{C2: c}
 		eq, _, err := ifd.Solve(f, k, pol)
 		if err != nil {
-			return Panel{}, fmt.Errorf("c=%v: %w", c, err)
+			return point{}, fmt.Errorf("c=%v: %w", c, err)
 		}
-		p.ESS[i] = coverage.Cover(f, eq, k)
-		p.Optimum[i] = optCover
-		w, _, err := optimize.MaxWelfare(f, k, pol, 6, 1805+uint64(i))
+		w, _, err := optimize.MaxWelfareContext(ctx, f, k, pol, 6, 1805+uint64(i))
 		if err != nil {
-			return Panel{}, fmt.Errorf("c=%v welfare: %w", c, err)
+			return point{}, fmt.Errorf("c=%v welfare: %w", c, err)
 		}
-		p.Welfare[i] = coverage.Cover(f, w, k)
+		return point{ess: coverage.Cover(f, eq, k), welfare: coverage.Cover(f, w, k)}, nil
+	})
+	if err != nil {
+		return Panel{}, err
+	}
+	for i, pt := range pts {
+		p.ESS[i] = pt.ess
+		p.Optimum[i] = optCover
+		p.Welfare[i] = pt.welfare
 	}
 	return p, nil
 }
@@ -138,8 +155,8 @@ func (p Panel) verify() (bool, []string) {
 }
 
 // report builds the experiment report for one panel.
-func figure1Report(id string, f2 float64) (Report, error) {
-	panel, err := Figure1Panel(f2, Figure1Points)
+func figure1Report(ctx context.Context, id string, f2 float64) (Report, error) {
+	panel, err := Figure1PanelContext(ctx, f2, Figure1Points)
 	if err != nil {
 		return Report{ID: id}, err
 	}
@@ -165,7 +182,13 @@ func figure1Report(id string, f2 float64) (Report, error) {
 }
 
 // E1Figure1Left reproduces the left panel of Figure 1 (f = (1, 0.3)).
-func E1Figure1Left() (Report, error) { return figure1Report("E1", 0.3) }
+func E1Figure1Left() (Report, error) { return figure1Report(context.Background(), "E1", 0.3) }
+
+// E1Figure1LeftContext is E1Figure1Left under a context.
+func E1Figure1LeftContext(ctx context.Context) (Report, error) { return figure1Report(ctx, "E1", 0.3) }
 
 // E2Figure1Right reproduces the right panel of Figure 1 (f = (1, 0.5)).
-func E2Figure1Right() (Report, error) { return figure1Report("E2", 0.5) }
+func E2Figure1Right() (Report, error) { return figure1Report(context.Background(), "E2", 0.5) }
+
+// E2Figure1RightContext is E2Figure1Right under a context.
+func E2Figure1RightContext(ctx context.Context) (Report, error) { return figure1Report(ctx, "E2", 0.5) }

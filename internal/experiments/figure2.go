@@ -7,6 +7,7 @@ package experiments
 // not an artifact of the two-player, two-site setting.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,6 +18,7 @@ import (
 	"dispersal/internal/plot"
 	"dispersal/internal/policy"
 	"dispersal/internal/site"
+	"dispersal/internal/sweep"
 	"dispersal/internal/table"
 )
 
@@ -32,35 +34,46 @@ type SweepSeries struct {
 // CompetitionSweep computes normalized equilibrium coverage across the
 // two-point family Cc for each requested player count on value function f.
 func CompetitionSweep(f site.Values, ks []int, points int) ([]SweepSeries, error) {
+	return CompetitionSweepContext(context.Background(), f, ks, points)
+}
+
+// CompetitionSweepContext fans the (k, c) grid out across the sweep worker
+// pool; a cancelled ctx aborts the remaining grid points.
+func CompetitionSweepContext(ctx context.Context, f site.Values, ks []int, points int) ([]SweepSeries, error) {
 	if points < 3 {
 		points = 41
 	}
 	grid := numeric.Linspace(-0.5, 0.5, points)
-	out := make([]SweepSeries, 0, len(ks))
-	for _, k := range ks {
+	return sweep.Map(ctx, ks, 0, func(ctx context.Context, _ int, k int) (SweepSeries, error) {
 		opt, _, err := optimize.MaxCoverage(f, k)
 		if err != nil {
-			return nil, err
+			return SweepSeries{}, err
 		}
 		optCover := coverage.Cover(f, opt, k)
-		s := SweepSeries{K: k, C: grid, Fraction: make([]float64, points)}
-		for i, c := range grid {
+		fractions, err := sweep.Map(ctx, grid, 0, func(_ context.Context, _ int, c float64) (float64, error) {
 			eq, _, err := ifd.Solve(f, k, policy.TwoPoint{C2: c})
 			if err != nil {
-				return nil, fmt.Errorf("k=%d c=%v: %w", k, c, err)
+				return 0, fmt.Errorf("k=%d c=%v: %w", k, c, err)
 			}
-			s.Fraction[i] = coverage.Cover(f, eq, k) / optCover
+			return coverage.Cover(f, eq, k) / optCover, nil
+		})
+		if err != nil {
+			return SweepSeries{}, err
 		}
-		out = append(out, s)
-	}
-	return out, nil
+		return SweepSeries{K: k, C: grid, Fraction: fractions}, nil
+	})
 }
 
 // E21CompetitionSweepLargerGames generalizes Figure 1 beyond k = 2.
 func E21CompetitionSweepLargerGames() (Report, error) {
+	return E21CompetitionSweepLargerGamesContext(context.Background())
+}
+
+// E21CompetitionSweepLargerGamesContext is E21 under a context.
+func E21CompetitionSweepLargerGamesContext(ctx context.Context) (Report, error) {
 	f := site.Geometric(12, 1, 0.8)
 	ks := []int{2, 4, 8}
-	series, err := CompetitionSweep(f, ks, 41)
+	series, err := CompetitionSweepContext(ctx, f, ks, 41)
 	if err != nil {
 		return Report{ID: "E21"}, err
 	}

@@ -9,11 +9,15 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"dispersal/internal/plot"
+	"dispersal/internal/sweep"
 	"dispersal/internal/table"
 )
 
@@ -101,45 +105,102 @@ func (r *Report) RenderMarkdown(w io.Writer) error {
 	return err
 }
 
+// Runner is one experiment entry point under a context.
+type Runner func(ctx context.Context) (Report, error)
+
+// noCtx adapts a context-free experiment to the Runner shape.
+func noCtx(run func() (Report, error)) Runner {
+	return func(context.Context) (Report, error) { return run() }
+}
+
+// entry names one experiment of the suite, so that cancelled runs can still
+// report which experiments never finished.
+type entry struct {
+	id  string
+	run Runner
+}
+
+// suite lists every experiment in DESIGN.md index order.
+func suite() []entry {
+	return []entry{
+		{"E1", E1Figure1LeftContext},
+		{"E2", E2Figure1RightContext},
+		{"E3", noCtx(E3Observation1)},
+		{"E4", noCtx(E4Theorem3ESS)},
+		{"E5", noCtx(E5Theorem4Optimality)},
+		{"E6", noCtx(E6Corollary5)},
+		{"E7", noCtx(E7Theorem6Criticality)},
+		{"E8", noCtx(E8SharingSPoABound)},
+		{"E9", noCtx(E9ConstantPolicyAnarchy)},
+		{"E10", noCtx(E10MonteCarloValidation)},
+		{"E11", noCtx(E11ReplicatorConvergence)},
+		{"E12", noCtx(E12BayesianSearch)},
+		{"E13", noCtx(E13GrantMechanism)},
+		{"E14", E14TravelCostsContext},
+		{"E15", E15CapacityConstraintContext},
+		{"E16", E16SpeciesCompetitionContext},
+		{"E17", E17PureEquilibriaContext},
+		{"E18", E18AsymptoticsContext},
+		{"E19", noCtx(E19RepeatedDepletion)},
+		{"E20", noCtx(E20NoisyValues)},
+		{"E21", E21CompetitionSweepLargerGamesContext},
+		{"E22", noCtx(E22MechanismDiscovery)},
+		{"E23", noCtx(E23InverseIFD)},
+	}
+}
+
 // All runs every experiment in order. Experiments are independent; an error
 // in one is recorded in its report (Pass=false) rather than aborting the
 // suite.
 func All() []Report {
-	runners := []func() (Report, error){
-		E1Figure1Left,
-		E2Figure1Right,
-		E3Observation1,
-		E4Theorem3ESS,
-		E5Theorem4Optimality,
-		E6Corollary5,
-		E7Theorem6Criticality,
-		E8SharingSPoABound,
-		E9ConstantPolicyAnarchy,
-		E10MonteCarloValidation,
-		E11ReplicatorConvergence,
-		E12BayesianSearch,
-		E13GrantMechanism,
-		E14TravelCosts,
-		E15CapacityConstraint,
-		E16SpeciesCompetition,
-		E17PureEquilibria,
-		E18Asymptotics,
-		E19RepeatedDepletion,
-		E20NoisyValues,
-		E21CompetitionSweepLargerGames,
-		E22MechanismDiscovery,
-		E23InverseIFD,
-	}
-	out := make([]Report, 0, len(runners))
-	for _, run := range runners {
-		rep, err := run()
+	reports, _ := AllContext(context.Background(), 1)
+	return reports
+}
+
+// AllContext runs the suite across a bounded worker pool (workers <= 0
+// selects GOMAXPROCS; 1 reproduces the sequential behaviour). Reports come
+// back in index order regardless of completion order. A cancelled ctx stops
+// launching new experiments; experiments that never ran (or were aborted)
+// report Pass=false with the context error noted, and the abort error is
+// returned. A suite whose every experiment completed returns a nil error
+// even if the context expired just after the last one finished.
+func AllContext(ctx context.Context, workers int) ([]Report, error) {
+	entries := suite()
+	var cut atomic.Bool // an in-flight experiment was cancelled mid-run
+	reports, err := sweep.Map(ctx, entries, workers, func(ctx context.Context, _ int, e entry) (Report, error) {
+		rep, err := e.run(ctx)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				cut.Store(true)
+			}
 			rep.Pass = false
 			rep.Notes = append(rep.Notes, fmt.Sprintf("experiment error: %v", err))
 		}
-		out = append(out, rep)
+		if rep.ID == "" {
+			rep.ID = e.id
+		}
+		return rep, nil // item errors are folded into the report
+	})
+	if err != nil {
+		// Cancelled: fill in the experiments that never started. If every
+		// report landed intact before the cancellation, the suite is whole
+		// and the late cancellation is not an abort.
+		aborted := cut.Load()
+		for i := range reports {
+			if reports[i].ID == "" {
+				aborted = true
+				reports[i] = Report{
+					ID:    entries[i].id,
+					Title: "(not run)",
+					Notes: []string{fmt.Sprintf("suite aborted: %v", err)},
+				}
+			}
+		}
+		if !aborted {
+			err = nil
+		}
 	}
-	return out
+	return reports, err
 }
 
 // Summary renders a one-line-per-experiment pass/fail overview.

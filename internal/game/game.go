@@ -11,6 +11,7 @@
 package game
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -91,6 +92,12 @@ type Result struct {
 // Simulate plays cfg.Rounds one-shot games in which every player draws its
 // site independently from p.
 func Simulate(cfg Config, p strategy.Strategy) (Result, error) {
+	return SimulateContext(context.Background(), cfg, p)
+}
+
+// SimulateContext is Simulate under a context: a cancelled or expired ctx
+// stops the worker pool promptly and returns ctx.Err().
+func SimulateContext(ctx context.Context, cfg Config, p strategy.Strategy) (Result, error) {
 	if len(p) != len(cfg.F) {
 		return Result{}, fmt.Errorf("%w: %d sites, strategy over %d", ErrProfile, len(cfg.F), len(p))
 	}
@@ -108,12 +115,17 @@ func Simulate(cfg Config, p strategy.Strategy) (Result, error) {
 	for i := range samplers {
 		samplers[i] = smp
 	}
-	return run(cfg.withDefaults(), samplers)
+	return run(ctx, cfg.withDefaults(), samplers)
 }
 
 // SimulateProfile plays an asymmetric profile: player i draws from
 // profile[i]. len(profile) must equal cfg.K.
 func SimulateProfile(cfg Config, profile []strategy.Strategy) (Result, error) {
+	return SimulateProfileContext(context.Background(), cfg, profile)
+}
+
+// SimulateProfileContext is SimulateProfile under a context.
+func SimulateProfileContext(ctx context.Context, cfg Config, profile []strategy.Strategy) (Result, error) {
 	if len(profile) != cfg.K {
 		return Result{}, fmt.Errorf("%w: k=%d, got %d strategies", ErrProfile, cfg.K, len(profile))
 	}
@@ -132,7 +144,7 @@ func SimulateProfile(cfg Config, profile []strategy.Strategy) (Result, error) {
 		}
 		samplers[i] = s
 	}
-	return run(cfg.withDefaults(), samplers)
+	return run(ctx, cfg.withDefaults(), samplers)
 }
 
 // workerState carries one worker's private accumulators.
@@ -144,10 +156,20 @@ type workerState struct {
 	occupancy []int64
 }
 
-func run(cfg Config, samplers []*strategy.Sampler) (Result, error) {
+// cancelCheckStride is how many rounds a worker plays between context
+// checks: frequent enough that a deadline stops multi-second runs within
+// microseconds of work, rare enough to keep the hot path free of channel
+// operations.
+const cancelCheckStride = 256
+
+func run(ctx context.Context, cfg Config, samplers []*strategy.Sampler) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	m := len(cfg.F)
 	workers := cfg.Workers
 	states := make([]workerState, workers)
+	done := ctx.Done()
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -167,11 +189,21 @@ func run(cfg Config, samplers []*strategy.Sampler) (Result, error) {
 			counts := make([]int, m)
 			touched := make([]int, 0, cfg.K)
 			for r := 0; r < rounds; r++ {
+				if r%cancelCheckStride == 0 {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				playRound(cfg, samplers, rng, choices, counts, &touched, st)
 			}
 		}(w, hi-lo)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
 	var res Result
 	var cov, pay, col, dis stats.Welford

@@ -15,6 +15,7 @@
 package mechanism
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -117,6 +118,13 @@ func equilibriumCoverage(f site.Values, k int, levels []float64) (float64, error
 // Theorems 4 and 6 the global optimum is the exclusive policy (all levels
 // 0); the tests and experiment E22 confirm the optimizer lands there.
 func Optimize(f site.Values, k int, opts Options) (Design, error) {
+	return OptimizeContext(context.Background(), f, k, opts)
+}
+
+// OptimizeContext is Optimize under a context: cancellation is checked per
+// coordinate-descent sweep, so a deadline interrupts long searches between
+// objective evaluations.
+func OptimizeContext(ctx context.Context, f site.Values, k int, opts Options) (Design, error) {
 	if err := f.Validate(); err != nil {
 		return Design{}, err
 	}
@@ -157,6 +165,9 @@ func Optimize(f site.Values, k int, opts Options) (Design, error) {
 		}
 		step := (opts.Hi - opts.Lo) / 4
 		for sweep := 0; sweep < opts.Sweeps; sweep++ {
+			if err := ctx.Err(); err != nil {
+				return Design{}, err
+			}
 			improved := false
 			for i := 0; i < n; i++ {
 				for _, dir := range []float64{+1, -1} {

@@ -1,0 +1,42 @@
+// Package memo provides a tiny concurrency-safe lazy cell used by the
+// dispersal Analysis session: compute-once-on-demand with singleflight
+// semantics, but — unlike sync.Once — errors are not cached, so a
+// computation aborted by a cancelled context can be retried later without
+// poisoning the cell.
+package memo
+
+import "sync"
+
+// Cell lazily holds one value of type T. The zero value is ready to use.
+type Cell[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+}
+
+// Get returns the cached value, computing it with compute on first use.
+// Concurrent callers block until the in-flight computation finishes, so
+// compute runs at most once per successful fill (singleflight). When
+// compute fails, the error is returned and nothing is cached: the next Get
+// runs compute again.
+func (c *Cell[T]) Get(compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return c.val, nil
+	}
+	v, err := compute()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	c.val, c.done = v, true
+	return v, nil
+}
+
+// Done reports whether the cell has been filled.
+func (c *Cell[T]) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done
+}

@@ -1,0 +1,51 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCellComputesOnce(t *testing.T) {
+	var c Cell[int]
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				v, err := c.Get(func() (int, error) {
+					computes.Add(1)
+					return 42, nil
+				})
+				if err != nil || v != 42 {
+					t.Errorf("Get = %d, %v", v, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	if !c.Done() {
+		t.Fatal("cell not marked done")
+	}
+}
+
+func TestCellRetriesAfterError(t *testing.T) {
+	var c Cell[string]
+	boom := errors.New("boom")
+	if _, err := c.Get(func() (string, error) { return "", boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Done() {
+		t.Fatal("error was cached")
+	}
+	v, err := c.Get(func() (string, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry: %q, %v", v, err)
+	}
+}

@@ -13,6 +13,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -121,6 +122,14 @@ func (o PGOptions) withDefaults() PGOptions {
 func ProjectedGradient(obj func(p strategy.Strategy) float64,
 	grad func(p strategy.Strategy, g []float64),
 	init strategy.Strategy, opts PGOptions) (strategy.Strategy, float64) {
+	return ProjectedGradientContext(context.Background(), obj, grad, init, opts)
+}
+
+// ProjectedGradientContext is ProjectedGradient under a context: when ctx is
+// cancelled the ascent stops and the best point found so far is returned.
+func ProjectedGradientContext(ctx context.Context, obj func(p strategy.Strategy) float64,
+	grad func(p strategy.Strategy, g []float64),
+	init strategy.Strategy, opts PGOptions) (strategy.Strategy, float64) {
 
 	opts = opts.withDefaults()
 	n := len(init)
@@ -131,6 +140,9 @@ func ProjectedGradient(obj func(p strategy.Strategy) float64,
 	val := obj(p)
 	step := opts.Step
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if iter%64 == 0 && ctx.Err() != nil {
+			return p, val
+		}
 		grad(p, g)
 		improved := false
 		for try := 0; try < 40; try++ {
@@ -204,6 +216,13 @@ func Welfare(f site.Values, p strategy.Strategy, k int, c policy.Congestion) flo
 // games a dense grid scan with golden-section refinement guards against
 // missed local optima.
 func MaxWelfare(f site.Values, k int, c policy.Congestion, nStarts int, seed uint64) (strategy.Strategy, float64, error) {
+	return MaxWelfareContext(context.Background(), f, k, c, nStarts, seed)
+}
+
+// MaxWelfareContext is MaxWelfare under a context: cancellation is checked
+// between restarts and inside the projected-gradient inner loop, so a
+// deadline interrupts even a single long ascent.
+func MaxWelfareContext(ctx context.Context, f site.Values, k int, c policy.Congestion, nStarts int, seed uint64) (strategy.Strategy, float64, error) {
 	if err := f.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -246,12 +265,18 @@ func MaxWelfare(f site.Values, k int, c policy.Congestion, nStarts int, seed uin
 	var best strategy.Strategy
 	bestVal := math.Inf(-1)
 	for _, s := range starts {
-		p, v := ProjectedGradient(obj, grad, s, PGOptions{})
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		p, v := ProjectedGradientContext(ctx, obj, grad, s, PGOptions{})
 		if v > bestVal {
 			best, bestVal = p.Clone(), v
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if m == 2 {
 		// Exhaustive 1-D scan p = (q, 1-q), then golden-section refine.
 		phi := func(q float64) float64 {

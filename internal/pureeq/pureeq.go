@@ -11,6 +11,7 @@
 package pureeq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -93,6 +94,13 @@ const MaxWitnesses = 8
 // summarizes the Nash equilibria among them. limit guards the state-space
 // size (M^k <= limit, default 1<<22 when limit <= 0).
 func Enumerate(f site.Values, k int, c policy.Congestion, limit int) (Summary, error) {
+	return EnumerateContext(context.Background(), f, k, c, limit)
+}
+
+// EnumerateContext is Enumerate under a context: the exponential profile
+// scan checks for cancellation every few thousand profiles, so a deadline
+// bounds the brute force even when M^k is huge.
+func EnumerateContext(ctx context.Context, f site.Values, k int, c policy.Congestion, limit int) (Summary, error) {
 	if err := f.Validate(); err != nil {
 		return Summary{}, err
 	}
@@ -120,6 +128,11 @@ func Enumerate(f site.Values, k int, c policy.Congestion, limit int) (Summary, e
 	}
 	profile := make(Profile, k)
 	for idx := 0; idx < total; idx++ {
+		if idx%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return sum, err
+			}
+		}
 		// Decode idx in base M.
 		v := idx
 		for i := 0; i < k; i++ {

@@ -15,6 +15,7 @@
 package spoa
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -46,6 +47,15 @@ type Instance struct {
 
 // Compute returns the SPoA instance of the game (f, k, C).
 func Compute(f site.Values, k int, c policy.Congestion) (Instance, error) {
+	return ComputeContext(context.Background(), f, k, c)
+}
+
+// ComputeContext is Compute under a context, checked between the optimum
+// and equilibrium solves.
+func ComputeContext(ctx context.Context, f site.Values, k int, c policy.Congestion) (Instance, error) {
+	if err := ctx.Err(); err != nil {
+		return Instance{}, err
+	}
 	opt, _, err := optimize.MaxCoverage(f, k)
 	if err != nil {
 		return Instance{}, err
@@ -57,6 +67,9 @@ func Compute(f site.Values, k int, c policy.Congestion) (Instance, error) {
 		// Worst symmetric equilibrium: point mass on a single argmax site.
 		eq = strategy.Delta(len(f), 0)
 	} else {
+		if err := ctx.Err(); err != nil {
+			return Instance{}, err
+		}
 		eq, _, err = ifd.Solve(f, k, c)
 		if err != nil {
 			return Instance{}, err
@@ -119,11 +132,17 @@ func Families(m, k int) []site.Values {
 // found. The search is a lower bound on the true sup, which is what the
 // experiments need (SPoA > 1 witnesses for Theorem 6).
 func WorstCase(c policy.Congestion, k int, siteCounts []int, refineSteps int, seed uint64) (Instance, error) {
+	return WorstCaseContext(context.Background(), c, k, siteCounts, refineSteps, seed)
+}
+
+// WorstCaseContext is WorstCase under a context: cancellation is checked
+// between family evaluations and refinement steps.
+func WorstCaseContext(ctx context.Context, c policy.Congestion, k int, siteCounts []int, refineSteps int, seed uint64) (Instance, error) {
 	var best Instance
 	found := false
 	for _, m := range siteCounts {
 		for _, f := range Families(m, k) {
-			inst, err := Compute(f, k, c)
+			inst, err := ComputeContext(ctx, f, k, c)
 			if err != nil {
 				return Instance{}, err
 			}
@@ -139,6 +158,9 @@ func WorstCase(c policy.Congestion, k int, siteCounts []int, refineSteps int, se
 	rng := rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
 	cur := best.F.Clone()
 	for step := 0; step < refineSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
 		cand := cur.Clone()
 		for i := range cand {
 			cand[i] *= 1 + 0.1*(rng.Float64()-0.5)

@@ -1,0 +1,119 @@
+// Package sweep is the batch-evaluation engine of the library: a bounded
+// worker pool that maps a function over a slice of items, preserves input
+// order in the output, and honours context cancellation promptly. It backs
+// both the public dispersal.Sweep API and the parallel grids of
+// internal/experiments, so every batch workload in the repository shares one
+// cancellation and scheduling story.
+//
+// The pool never leaks goroutines: Map and Collect only return after every
+// worker has exited, even when the context is cancelled mid-flight or an
+// item fails.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested worker count against the number of items:
+// n <= 0 selects GOMAXPROCS, and the result never exceeds items (so a small
+// batch does not spawn idle goroutines).
+func Workers(n, items int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Map applies fn to every item of items across a pool of workers and returns
+// the results in input order. The first error cancels the remaining work and
+// is returned; a cancelled ctx likewise stops the pool early and surfaces
+// ctx.Err(). On error the returned slice holds the results completed so far
+// (zero values elsewhere).
+func Map[I, O any](ctx context.Context, items []I, workers int, fn func(ctx context.Context, index int, item I) (O, error)) ([]O, error) {
+	out := make([]O, len(items))
+	if len(items) == 0 {
+		return out, ctx.Err()
+	}
+	workers = Workers(workers, len(items))
+
+	// A derived context lets the first failure stop the other workers
+	// without affecting the caller's ctx.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				o, err := fn(ctx, i, items[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = o
+			}
+		}()
+	}
+
+feed:
+	for i := range items {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, ctx.Err()
+}
+
+// Collect is Map for item-independent errors: fn's error is recorded per
+// item instead of cancelling the batch, so a sweep of many games reports
+// every failure rather than just the first. Only ctx cancellation aborts the
+// pool early, in which case Collect returns ctx.Err() and the errs slice
+// marks the never-started items with ctx.Err() as well.
+func Collect[I, O any](ctx context.Context, items []I, workers int, fn func(ctx context.Context, index int, item I) (O, error)) ([]O, []error, error) {
+	errs := make([]error, len(items))
+	started := make([]bool, len(items))
+	out, err := Map(ctx, items, workers, func(ctx context.Context, i int, item I) (O, error) {
+		started[i] = true
+		o, e := fn(ctx, i, item)
+		errs[i] = e
+		return o, nil // never cancel the batch on an item error
+	})
+	if err != nil {
+		for i := range errs {
+			if !started[i] && errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
+	return out, errs, err
+}

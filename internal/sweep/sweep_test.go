@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), items, 7, func(_ context.Context, i, item int) (int, error) {
+		return item * item, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), nil, 4, func(_ context.Context, i, item int) (int, error) {
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	items := make([]int, 1000)
+	_, err := Map(context.Background(), items, 4, func(ctx context.Context, i, _ int) (int, error) {
+		calls.Add(1)
+		if i == 3 {
+			return 0, fmt.Errorf("item %d: %w", i, boom)
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n := calls.Load(); n == 1000 {
+		t.Fatalf("error did not cancel the batch: all %d items ran", n)
+	}
+}
+
+func TestMapContextCancellationStopsEarlyWithoutLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 10_000)
+	var ran atomic.Int64
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Map(ctx, items, 4, func(ctx context.Context, i, _ int) (int, error) {
+			ran.Add(1)
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+			return 1, nil
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == int64(len(items)) {
+		t.Fatal("cancellation did not stop the sweep early")
+	}
+	_ = out
+	// Allow workers to unwind, then check for leaked goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestCollectRecordsPerItemErrors(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5}
+	bad := errors.New("bad item")
+	out, errs, err := Collect(context.Background(), items, 3, func(_ context.Context, i, item int) (int, error) {
+		if item%2 == 1 {
+			return 0, bad
+		}
+		return item * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range items {
+		if item%2 == 1 {
+			if !errors.Is(errs[i], bad) {
+				t.Fatalf("errs[%d] = %v, want bad", i, errs[i])
+			}
+		} else if errs[i] != nil || out[i] != item*10 {
+			t.Fatalf("item %d: out=%d errs=%v", i, out[i], errs[i])
+		}
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Fatalf("Workers(-1, 0) = %d", got)
+	}
+}

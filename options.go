@@ -1,0 +1,110 @@
+package dispersal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOption reports an invalid functional option passed to NewGame.
+var ErrOption = errors.New("dispersal: invalid option")
+
+// gameOptions carries the per-Game configuration set by functional options.
+// Every Game owns a value (never a pointer), so derived games and sweeps can
+// copy and override it freely.
+type gameOptions struct {
+	// workers bounds the worker pools of Simulate and Sweep; 0 selects
+	// GOMAXPROCS.
+	workers int
+	// tol is the numerical tolerance for equilibrium audits and
+	// tie-breaking.
+	tol float64
+	// seed drives every randomized routine that is not given an explicit
+	// seed: mutant panels, welfare restarts, policy search.
+	seed uint64
+	// restarts is the number of random restarts of the welfare optimizer
+	// (on top of its structured starting points).
+	restarts int
+	// mutants is the size of the random mutant panel generated when
+	// ESSAudit is called without an explicit panel.
+	mutants int
+}
+
+// defaultGameOptions are the values used when no option overrides them. The
+// restart and panel sizes match the constants the pre-option API hard-coded,
+// so a Game built with no options behaves exactly as before.
+func defaultGameOptions() gameOptions {
+	return gameOptions{
+		workers:  0,
+		tol:      1e-9,
+		seed:     0x1805_01319, // the paper's arXiv id, for want of entropy
+		restarts: 8,
+		mutants:  32,
+	}
+}
+
+// Option configures a Game at construction time. Options are applied in
+// order by NewGame; an invalid option makes NewGame fail with an error
+// wrapping ErrOption.
+type Option func(*gameOptions) error
+
+// WithWorkers bounds the worker pools used by Simulate, SimulateProfile and
+// Sweep. n = 0 restores the default (GOMAXPROCS); negative counts are
+// invalid.
+func WithWorkers(n int) Option {
+	return func(o *gameOptions) error {
+		if n < 0 {
+			return fmt.Errorf("%w: workers must be >= 0, got %d", ErrOption, n)
+		}
+		o.workers = n
+		return nil
+	}
+}
+
+// WithTolerance sets the numerical tolerance used by equilibrium audits
+// (ESSAudit tie-breaking) and by Analysis consistency checks. It must be
+// positive.
+func WithTolerance(tol float64) Option {
+	return func(o *gameOptions) error {
+		if !(tol > 0) {
+			return fmt.Errorf("%w: tolerance must be > 0, got %v", ErrOption, tol)
+		}
+		o.tol = tol
+		return nil
+	}
+}
+
+// WithSeed sets the seed of every randomized routine that is not handed an
+// explicit seed: simulation streams, mutant panels, welfare restarts and the
+// policy-design search. Two games with equal parameters and equal seeds
+// produce identical results.
+func WithSeed(seed uint64) Option {
+	return func(o *gameOptions) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithRestarts sets how many seeded random restarts the welfare optimizer
+// adds to its structured starting points (MaxWelfare; previously a
+// hard-coded 8). Zero keeps only the structured starts.
+func WithRestarts(n int) Option {
+	return func(o *gameOptions) error {
+		if n < 0 {
+			return fmt.Errorf("%w: restarts must be >= 0, got %d", ErrOption, n)
+		}
+		o.restarts = n
+		return nil
+	}
+}
+
+// WithMutants sets the random-panel size used when ESSAudit is called with a
+// nil mutant slice (previously a positional argument).
+func WithMutants(n int) Option {
+	return func(o *gameOptions) error {
+		if n < 0 {
+			return fmt.Errorf("%w: mutants must be >= 0, got %d", ErrOption, n)
+		}
+		o.mutants = n
+		return nil
+	}
+}

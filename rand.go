@@ -6,3 +6,17 @@ import "math/rand/v2"
 func newRand(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, 0x6c62272e07bb0142))
 }
+
+// deriveSeed mixes a base seed with an item index into an independent
+// per-item seed (splitmix64 finalizer), so sweep items get decorrelated yet
+// reproducible random streams.
+func deriveSeed(base, index uint64) uint64 {
+	z := base + (index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x6c62272e07bb0142
+	}
+	return z
+}

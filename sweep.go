@@ -1,0 +1,82 @@
+package dispersal
+
+import (
+	"context"
+
+	"dispersal/internal/sweep"
+)
+
+// Spec describes one game of a Sweep batch: a value function, a player
+// count, a congestion policy, and optionally a fixed seed and a caller tag
+// carried through to the result.
+type Spec struct {
+	// Values is the site-value function of this game.
+	Values Values
+	// K is the player count.
+	K int
+	// Policy is the congestion policy.
+	Policy Congestion
+	// Seed, when non-zero, pins this item's seed. When zero the sweep
+	// derives a distinct deterministic seed from its base seed (WithSeed)
+	// and the item index, so batch results are reproducible yet items do
+	// not share random streams.
+	Seed uint64
+	// Tag is an arbitrary label echoed in the SweepResult.
+	Tag string
+}
+
+// SweepResult is the outcome of one Sweep item.
+type SweepResult[T any] struct {
+	// Index is the item's position in the input slice.
+	Index int
+	// Tag echoes Spec.Tag.
+	Tag string
+	// Value is eval's result when Err is nil.
+	Value T
+	// Err records this item's failure: a game-construction error, an eval
+	// error, or ctx.Err() for items abandoned after cancellation.
+	Err error
+}
+
+// Sweep evaluates eval on every spec across a bounded worker pool and
+// returns the results in input order. It is the batch layer of the library:
+// coverage-probability sweeps, policy grids and landscape scans should go
+// through Sweep rather than hand-rolled goroutine loops.
+//
+// Each item gets its own Game (built with the sweep's options plus the
+// item's derived or pinned seed) wrapped in a fresh memoizing Analysis, so
+// eval can query the IFD, the optimum and the SPoA without re-solving, and
+// items never share mutable state. WithWorkers bounds the pool (default
+// GOMAXPROCS); WithSeed sets the base seed for per-item seed derivation.
+//
+// Item failures do not abort the batch: they are recorded per result. Only
+// a cancelled or expired ctx stops the sweep early, in which case Sweep
+// returns ctx.Err() alongside the results completed so far (abandoned items
+// carry ctx.Err() in their Err field). Sweep never leaks goroutines: it
+// returns only after every worker has exited.
+func Sweep[T any](ctx context.Context, specs []Spec, eval func(ctx context.Context, a *Analysis) (T, error), opts ...Option) ([]SweepResult[T], error) {
+	o := defaultGameOptions()
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	values, errs, err := sweep.Collect(ctx, specs, o.workers,
+		func(ctx context.Context, i int, s Spec) (T, error) {
+			seed := s.Seed
+			if seed == 0 {
+				seed = deriveSeed(o.seed, uint64(i))
+			}
+			var zero T
+			g, gerr := NewGame(s.Values, s.K, s.Policy, append(append([]Option{}, opts...), WithSeed(seed))...)
+			if gerr != nil {
+				return zero, gerr
+			}
+			return eval(ctx, g.Analyze())
+		})
+	out := make([]SweepResult[T], len(specs))
+	for i := range specs {
+		out[i] = SweepResult[T]{Index: i, Tag: specs[i].Tag, Value: values[i], Err: errs[i]}
+	}
+	return out, err
+}

@@ -1,0 +1,166 @@
+package dispersal
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dispersal/internal/site"
+)
+
+func sweepSpecs(n int) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{
+			Values: site.Geometric(6+i%5, 1, 0.8),
+			K:      2 + i%4,
+			Policy: Sharing(),
+			Tag:    "g",
+		}
+	}
+	return specs
+}
+
+func TestSweepMatchesSequentialAnalysis(t *testing.T) {
+	specs := sweepSpecs(12)
+	res, err := Sweep(context.Background(), specs,
+		func(_ context.Context, a *Analysis) (float64, error) {
+			inst, err := a.SPoA()
+			return inst.Ratio, err
+		}, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(res), len(specs))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d failed: %v", i, r.Err)
+		}
+		if r.Index != i || r.Tag != "g" {
+			t.Fatalf("item %d metadata wrong: %+v", i, r)
+		}
+		g := MustGame(specs[i].Values, specs[i].K, specs[i].Policy)
+		inst, err := g.SPoA()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Value != inst.Ratio {
+			t.Fatalf("item %d: sweep ratio %v != direct ratio %v", i, r.Value, inst.Ratio)
+		}
+	}
+}
+
+func TestSweepPerItemSeedsAreDistinctAndReproducible(t *testing.T) {
+	specs := sweepSpecs(6)
+	run := func() []SweepResult[float64] {
+		res, err := Sweep(context.Background(), specs,
+			func(ctx context.Context, a *Analysis) (float64, error) {
+				p, _, err := a.IFD()
+				if err != nil {
+					return 0, err
+				}
+				sim, err := a.Game().SimulateContext(ctx, p, 2000)
+				if err != nil {
+					return 0, err
+				}
+				return sim.Coverage.Mean, nil
+			}, WithSeed(7), WithWorkers(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i].Err != nil || second[i].Err != nil {
+			t.Fatalf("item %d failed: %v / %v", i, first[i].Err, second[i].Err)
+		}
+		if first[i].Value != second[i].Value {
+			t.Fatalf("item %d not reproducible: %v vs %v", i, first[i].Value, second[i].Value)
+		}
+	}
+	// Items 0 and 5 share (M, k, policy) but derived seeds must differ, so
+	// their Monte-Carlo streams (and means, at finite rounds) should too.
+	if specs[0].Values.M() == specs[5].Values.M() && first[0].Value == first[5].Value {
+		t.Fatalf("identical games with derived seeds produced identical streams: %v", first[0].Value)
+	}
+}
+
+func TestSweepRecordsPerItemErrors(t *testing.T) {
+	specs := sweepSpecs(4)
+	specs[2].K = 0 // invalid game
+	res, err := Sweep(context.Background(), specs,
+		func(_ context.Context, a *Analysis) (int, error) { return a.Game().Players(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if i == 2 {
+			if r.Err == nil {
+				t.Fatal("invalid spec did not report an error")
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != specs[i].K {
+			t.Fatalf("item %d: %+v", i, r)
+		}
+	}
+}
+
+// TestSweepCancellationStopsEarlyWithoutLeaks is the acceptance criterion:
+// a cancelled context stops the sweep early and no goroutines leak (run
+// with -race).
+func TestSweepCancellationStopsEarlyWithoutLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	specs := sweepSpecs(500)
+	var ran atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, err := Sweep(ctx, specs, func(ctx context.Context, a *Analysis) (int, error) {
+			ran.Add(1)
+			select { // simulate slow per-item work that honours ctx
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+			return 0, nil
+		}, WithWorkers(4))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Sweep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sweep did not return after cancellation")
+	}
+	if n := ran.Load(); n == int64(len(specs)) {
+		t.Fatal("cancellation did not stop the sweep early")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestSweepInvalidOption(t *testing.T) {
+	_, err := Sweep(context.Background(), sweepSpecs(1),
+		func(_ context.Context, a *Analysis) (int, error) { return 0, nil },
+		WithWorkers(-1))
+	if !errors.Is(err, ErrOption) {
+		t.Fatalf("err = %v, want ErrOption", err)
+	}
+}
