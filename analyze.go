@@ -70,12 +70,14 @@ func (a *Analysis) Game() *Game { return a.g }
 // and goroutines queried it.
 func (a *Analysis) Solves() int64 { return a.solves.Load() }
 
-// cachedIFD is the single fill path of the IFD cell, shared by IFD and
-// ESSAuditContext.
-func (a *Analysis) cachedIFD() (ifdResult, error) {
+// cachedIFD is the single fill path of the IFD cell, shared by IFD,
+// IFDContext and ESSAuditContext. Like the SPoA cell, the filling caller's
+// ctx governs the solve; a cancellation is not cached, so a later call
+// recomputes.
+func (a *Analysis) cachedIFD(ctx context.Context) (ifdResult, error) {
 	return a.ifd.Get(func() (ifdResult, error) {
 		a.solves.Add(1)
-		p, nu, err := a.g.IFD()
+		p, nu, err := a.g.IFDContext(ctx)
 		return ifdResult{p: p, nu: nu}, err
 	})
 }
@@ -92,7 +94,13 @@ func (a *Analysis) cachedSPoA(ctx context.Context) (SPoAInstance, error) {
 // IFD returns the game's Ideal Free Distribution and the common equilibrium
 // payoff nu, solving at most once per session.
 func (a *Analysis) IFD() (Strategy, float64, error) {
-	r, err := a.cachedIFD()
+	return a.IFDContext(context.Background())
+}
+
+// IFDContext is IFD under a context; a solve aborted by cancellation is not
+// cached.
+func (a *Analysis) IFDContext(ctx context.Context) (Strategy, float64, error) {
+	r, err := a.cachedIFD(ctx)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -172,7 +180,7 @@ func (a *Analysis) Ratio() (float64, error) {
 // shared with the session's IFD cell; the audit itself depends on the
 // mutant panel and is recomputed per call.
 func (a *Analysis) ESSAuditContext(ctx context.Context, mutants []Strategy) (ESSReport, error) {
-	r, err := a.cachedIFD()
+	r, err := a.cachedIFD(ctx)
 	if err != nil {
 		return ESSReport{}, err
 	}

@@ -1,0 +1,98 @@
+// Command dispersald serves dispersal-game analysis over HTTP: a cached,
+// batching front-end to the library's equilibrium, coverage-optimum and
+// SPoA solvers.
+//
+// Usage:
+//
+//	dispersald [-addr HOST:PORT] [-workers N] [-cache-size N] [-timeout D]
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/analyze   one game spec -> IFD, coverage optimum, SPoA
+//	POST /v1/sweep     {"specs": [...]} -> per-item analyses
+//	GET  /healthz      liveness
+//	GET  /statsz       cache and request counters
+//
+// Identical specs share one cache entry and concurrent identical requests
+// solve once (singleflight); -timeout is the per-request deadline delivered
+// to every solver through its context.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dispersal/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8257", "listen address")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 4096, "total cached analyses (<= 0 selects the default)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request solver deadline (0 = none)")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dispersald: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv := server.New(server.Config{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Timeout:   *timeout,
+		Logf:      logf,
+	})
+	// WriteTimeout must outlast the solver deadline, or slow (legitimate)
+	// solves would be cut off mid-response; the margin covers decode and
+	// response writing. With -timeout 0 there is no solver bound, so fall
+	// back to a generous fixed ceiling rather than none at all.
+	writeTimeout := 5 * time.Minute
+	if *timeout > 0 {
+		writeTimeout = *timeout + time.Minute
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers=%d cache-size=%d timeout=%s)",
+			*addr, *workers, *cacheSize, *timeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "dispersald:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dispersald: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

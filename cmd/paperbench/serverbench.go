@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dispersal"
+	"dispersal/internal/speccodec"
+)
+
+// benchSpecs is the standard grid POSTed to a dispersald under -server: the
+// familiar two-site, geometric, Zipf and uniform landscapes crossed with the
+// paper's central policies, tagged for the per-item report.
+func benchSpecs() []dispersal.Spec {
+	families := []struct {
+		name string
+		f    dispersal.Values
+	}{
+		{"two-site f2=0.3", dispersal.Values{1, 0.3}},
+		{"two-site f2=0.5", dispersal.Values{1, 0.5}},
+		{"geometric(12, 0.8)", geometric(12, 0.8)},
+		{"zipf(16)", zipf(16)},
+		{"uniform(8)", uniform(8)},
+	}
+	policies := []struct {
+		name string
+		c    dispersal.Congestion
+	}{
+		{"exclusive", dispersal.Exclusive()},
+		{"sharing", dispersal.Sharing()},
+		{"twopoint(0.25)", dispersal.TwoPoint(0.25)},
+		{"powerlaw(2)", dispersal.PowerLaw(2)},
+	}
+	var specs []dispersal.Spec
+	for _, k := range []int{2, 4, 8} {
+		for _, fam := range families {
+			for _, pol := range policies {
+				specs = append(specs, dispersal.Spec{
+					Values: fam.f,
+					K:      k,
+					Policy: pol.c,
+					Tag:    fmt.Sprintf("%s/%s/k=%d", fam.name, pol.name, k),
+				})
+			}
+		}
+	}
+	return specs
+}
+
+func geometric(m int, ratio float64) dispersal.Values {
+	out := make(dispersal.Values, m)
+	v := 1.0
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	return out
+}
+
+func zipf(m int) dispersal.Values {
+	out := make(dispersal.Values, m)
+	for i := range out {
+		out[i] = 1 / float64(i+1)
+	}
+	return out
+}
+
+func uniform(m int) dispersal.Values {
+	out := make(dispersal.Values, m)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// sweepStats summarizes one /v1/sweep pass.
+type sweepStats struct {
+	elapsed time.Duration
+	cached  int
+	errors  int
+	total   int
+}
+
+// runServerBench drives a running dispersald: health check, cold sweep,
+// warm sweep (which must be fully cached), stats.
+func runServerBench(ctx context.Context, baseURL string) error {
+	base := strings.TrimRight(baseURL, "/")
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	if err := checkHealth(ctx, client, base); err != nil {
+		return err
+	}
+	specs := benchSpecs()
+	body, err := sweepBody(specs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmarking %s with %d specs\n", base, len(specs))
+
+	cold, err := postSweep(ctx, client, base, body)
+	if err != nil {
+		return fmt.Errorf("cold sweep: %w", err)
+	}
+	fmt.Printf("cold: %8s  cached %d/%d, %d errors\n", cold.elapsed.Round(time.Millisecond), cold.cached, cold.total, cold.errors)
+
+	warm, err := postSweep(ctx, client, base, body)
+	if err != nil {
+		return fmt.Errorf("warm sweep: %w", err)
+	}
+	fmt.Printf("warm: %8s  cached %d/%d, %d errors\n", warm.elapsed.Round(time.Millisecond), warm.cached, warm.total, warm.errors)
+	if warm.cached != warm.total {
+		return fmt.Errorf("warm sweep missed the cache: only %d/%d items cached", warm.cached, warm.total)
+	}
+	if cold.errors > 0 || warm.errors > 0 {
+		return fmt.Errorf("sweep items failed: %d cold, %d warm", cold.errors, warm.errors)
+	}
+
+	return printStats(ctx, client, base)
+}
+
+func checkHealth(ctx context.Context, client *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("health check: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health check: %s", resp.Status)
+	}
+	return nil
+}
+
+// sweepBody renders the /v1/sweep request from the spec grid through the
+// shared wire codec.
+func sweepBody(specs []dispersal.Spec) ([]byte, error) {
+	raws := make([]json.RawMessage, len(specs))
+	for i, s := range specs {
+		b, err := speccodec.Encode(s)
+		if err != nil {
+			return nil, fmt.Errorf("spec %d (%s): %w", i, s.Tag, err)
+		}
+		raws[i] = b
+	}
+	return json.Marshal(map[string][]json.RawMessage{"specs": raws})
+}
+
+func postSweep(ctx context.Context, client *http.Client, base string, body []byte) (sweepStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return sweepStats{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sweepStats{}, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return sweepStats{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sweepStats{}, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(payload))
+	}
+	var decoded struct {
+		Results []struct {
+			Cached bool   `json:"cached"`
+			Error  string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(payload, &decoded); err != nil {
+		return sweepStats{}, err
+	}
+	st := sweepStats{elapsed: time.Since(start), total: len(decoded.Results)}
+	for _, r := range decoded.Results {
+		if r.Cached {
+			st.cached++
+		}
+		if r.Error != "" {
+			st.errors++
+		}
+	}
+	return st, nil
+}
+
+func printStats(ctx context.Context, client *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/statsz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("statsz: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("statsz: %s", resp.Status)
+	}
+	fmt.Printf("statsz: %s\n", bytes.TrimSpace(payload))
+	return nil
+}

@@ -151,11 +151,19 @@ func (g *Game) String() string {
 // IFD returns the game's Ideal Free Distribution — its unique symmetric
 // Nash equilibrium (Observation 2) — and the common equilibrium payoff nu.
 func (g *Game) IFD() (Strategy, float64, error) {
+	return g.IFDContext(context.Background())
+}
+
+// IFDContext is IFD under a context: on non-exclusive policies the
+// equilibrium search honors cancellation between its numeric steps, so a
+// deadline stops the solve on large games. (The exclusive policy's IFD is
+// closed form and returns promptly regardless.)
+func (g *Game) IFDContext(ctx context.Context) (Strategy, float64, error) {
 	if policy.IsExclusive(g.c, g.k) {
 		p, res, err := ifd.Exclusive(g.f, g.k)
 		return p, res.Nu, err
 	}
-	return ifd.Solve(g.f, g.k, g.c)
+	return ifd.SolveContext(ctx, g.f, g.k, g.c)
 }
 
 // SigmaStar returns the closed-form IFD of the exclusive policy on this

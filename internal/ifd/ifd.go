@@ -16,6 +16,7 @@
 package ifd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -140,6 +141,13 @@ func isConstantOnRange(c policy.Congestion, k int) bool {
 // over the maximum-value sites is an equilibrium; Solve returns the uniform
 // split over the tied argmax sites together with nu = f(1).
 func Solve(f site.Values, k int, c policy.Congestion) (strategy.Strategy, float64, error) {
+	return SolveContext(context.Background(), f, k, c)
+}
+
+// SolveContext is Solve under a context: cancellation is honored between
+// per-site inversions and bisection iterations, so a caller's deadline
+// actually stops the numeric work on large games.
+func SolveContext(ctx context.Context, f site.Values, k int, c policy.Congestion) (strategy.Strategy, float64, error) {
 	if err := f.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -180,6 +188,9 @@ func Solve(f site.Values, k int, c policy.Congestion) (strategy.Strategy, float6
 		p := make(strategy.Strategy, m)
 		var total numeric.Accumulator
 		for x := 0; x < m; x++ {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			fx := f[x]
 			if fx <= nu {
 				continue // site unexplored: f(x)*g(0) = f(x) <= nu

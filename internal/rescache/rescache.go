@@ -1,0 +1,211 @@
+// Package rescache is the result cache of the dispersald server: a sharded
+// LRU keyed by canonical spec bytes, with singleflight semantics so that
+// concurrent identical requests solve once and share the result.
+//
+// Do is the single entry point. A key present in the cache returns
+// immediately (a hit); a key being computed by another goroutine blocks the
+// caller until that computation lands and shares it (a collapse); otherwise
+// the caller computes, fills the cache and answers everyone. Failed
+// computations are never cached — like the memo package, an error (e.g. a
+// request deadline) does not poison the key, and the next request
+// recomputes.
+package rescache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is the number of independent LRU shards; keys are distributed
+// by FNV-1a hash. More shards means less lock contention under concurrent
+// load at the cost of slightly uneven capacity use.
+const shardCount = 16
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Do calls answered from a filled entry.
+	Hits int64 `json:"hits"`
+	// Misses counts Do calls that ran compute themselves.
+	Misses int64 `json:"misses"`
+	// Shared counts Do calls collapsed onto another caller's in-flight
+	// compute (the singleflight saves; neither hits nor misses).
+	Shared int64 `json:"shared"`
+	// Evictions counts entries dropped by the LRU policy.
+	Evictions int64 `json:"evictions"`
+	// Entries is the current number of cached values across all shards.
+	Entries int64 `json:"entries"`
+}
+
+// Cache is a sharded LRU with singleflight fills. The zero value is not
+// usable; construct with New.
+type Cache[V any] struct {
+	shards [shardCount]shard[V]
+
+	hits, misses, shared, evictions atomic.Int64
+}
+
+type shard[V any] struct {
+	mu sync.Mutex
+	// capacity bounds len(items); the least-recently-used entry is evicted
+	// beyond it.
+	capacity int
+	// ll orders entries most-recently-used first; element values are
+	// *entry[V].
+	ll *list.List
+	// items indexes ll by key.
+	items map[string]*list.Element
+	// inflight tracks keys currently being computed, so latecomers can
+	// wait instead of recomputing.
+	inflight map[string]*call[V]
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// call is one in-flight computation; done is closed once val/err are set.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New builds a cache holding at most capacity values in total (split evenly
+// across the shards, so the effective per-key bound is approximate).
+// capacity <= 0 selects a default of 4096.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	perShard := (capacity + shardCount - 1) / shardCount
+	c := &Cache[V]{}
+	for i := range c.shards {
+		c.shards[i] = shard[V]{
+			capacity: perShard,
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+			inflight: make(map[string]*call[V]),
+		}
+	}
+	return c
+}
+
+// fnv1a is the 64-bit FNV-1a hash of s, allocation-free.
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	return &c.shards[fnv1a(key)%shardCount]
+}
+
+// Do returns the value for key, computing it with compute on a miss. The
+// second result reports whether this caller avoided solver work: true for a
+// cache hit or a successful singleflight collapse, false when this caller
+// ran compute itself (or the computation failed).
+//
+// Concurrent Do calls with the same key run compute exactly once; the
+// others block until it lands. A waiting caller whose ctx expires gives up
+// with ctx.Err() (the leader keeps computing — its own context governs the
+// solve). Errors from compute are returned to the leader and every waiter
+// but never cached.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)) (V, bool, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		v := el.Value.(*entry[V]).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-cl.done:
+			c.shared.Add(1)
+			return cl.val, cl.err == nil, cl.err
+		case <-ctx.Done():
+			var zero V
+			return zero, false, ctx.Err()
+		}
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	s.inflight[key] = cl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	cl.val, cl.err = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if cl.err == nil {
+		s.insertLocked(key, cl.val, &c.evictions)
+	}
+	s.mu.Unlock()
+	close(cl.done)
+	return cl.val, false, cl.err
+}
+
+// insertLocked adds (key, val) as the most-recent entry, evicting from the
+// tail beyond capacity. The shard lock must be held.
+func (s *shard[V]) insertLocked(key string, val V, evictions *atomic.Int64) {
+	if el, ok := s.items[key]; ok {
+		// A racing fill landed first; refresh the value and recency.
+		el.Value.(*entry[V]).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry[V]{key: key, val: val})
+	for s.ll.Len() > s.capacity {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*entry[V]).key)
+		evictions.Add(1)
+	}
+}
+
+// Get peeks at key without computing, refreshing recency on a hit. It does
+// not touch the hit/miss counters; Do is the accounted path.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Len returns the current number of cached values.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+	}
+}

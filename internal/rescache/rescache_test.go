@@ -1,0 +1,245 @@
+package rescache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoHitMissAccounting(t *testing.T) {
+	c := New[int](8)
+	ctx := context.Background()
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+
+	v, cached, err := c.Do(ctx, "k", compute)
+	if err != nil || v != 42 || cached {
+		t.Fatalf("first Do = (%v, %v, %v), want (42, false, nil)", v, cached, err)
+	}
+	v, cached, err = c.Do(ctx, "k", compute)
+	if err != nil || v != 42 || !cached {
+		t.Fatalf("second Do = (%v, %v, %v), want (42, true, nil)", v, cached, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Shared != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestSingleflightCollapse(t *testing.T) {
+	c := New[int](8)
+	ctx := context.Background()
+
+	const waiters = 31
+	var computes atomic.Int64
+	entered := make(chan struct{})        // closed when the leader is inside compute
+	release := make(chan struct{})        // closed to let the leader finish
+	leaderDone := make(chan struct{})     // leader's Do returned
+	results := make(chan bool, waiters+1) // cached flags
+
+	go func() {
+		v, cached, err := c.Do(ctx, "k", func() (int, error) {
+			computes.Add(1)
+			close(entered)
+			<-release
+			return 7, nil
+		})
+		if err != nil || v != 7 {
+			t.Errorf("leader Do = (%v, %v)", v, err)
+		}
+		results <- cached
+		close(leaderDone)
+	}()
+	<-entered
+
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, cached, err := c.Do(ctx, "k", func() (int, error) {
+				computes.Add(1)
+				return -1, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("waiter Do = (%v, %v)", v, err)
+			}
+			results <- cached
+		}()
+	}
+	// Everyone either joins the in-flight call or (if they arrive after the
+	// fill) hits the cache; both paths must avoid a second compute.
+	close(release)
+	<-leaderDone
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under %d concurrent calls, want 1", n, waiters+1)
+	}
+	close(results)
+	cachedCount := 0
+	for cached := range results {
+		if cached {
+			cachedCount++
+		}
+	}
+	if cachedCount != waiters {
+		t.Errorf("%d of %d callers reported cached, want %d (all but the leader)", cachedCount, waiters+1, waiters)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Shared != waiters {
+		t.Errorf("hits+shared = %d, want %d", st.Hits+st.Shared, waiters)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New[int](8)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	calls := 0
+
+	_, cached, err := c.Do(ctx, "k", func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) || cached {
+		t.Fatalf("failing Do = (cached=%v, err=%v)", cached, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed computation was cached: %d entries", c.Len())
+	}
+	v, cached, err := c.Do(ctx, "k", func() (int, error) { calls++; return 9, nil })
+	if err != nil || v != 9 || cached {
+		t.Fatalf("retry Do = (%v, %v, %v), want fresh 9", v, cached, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (error retried)", calls)
+	}
+}
+
+func TestWaiterHonorsContext(t *testing.T) {
+	c := New[int](8)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.Do(context.Background(), "k", func() (int, error) {
+			close(entered)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, cached, err := c.Do(ctx, "k", func() (int, error) { return -1, nil })
+	if !errors.Is(err, context.Canceled) || cached {
+		t.Fatalf("cancelled waiter Do = (cached=%v, err=%v), want context.Canceled", cached, err)
+	}
+	close(release)
+	<-done
+}
+
+// sameShardKeys returns n distinct keys hashing to one shard, so LRU order
+// is deterministic.
+func sameShardKeys(n int) []string {
+	target := fnv1a("anchor") % shardCount
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if fnv1a(k)%shardCount == target {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestLRUEvictionAndRecency(t *testing.T) {
+	c := New[int](2 * shardCount) // two entries per shard
+	ctx := context.Background()
+	keys := sameShardKeys(3)
+	x, y, z := keys[0], keys[1], keys[2]
+	put := func(key string, v int) {
+		t.Helper()
+		if _, _, err := c.Do(ctx, key, func() (int, error) { return v, nil }); err != nil {
+			t.Fatalf("Do(%s): %v", key, err)
+		}
+	}
+	put(x, 1)
+	put(y, 2)
+	put(x, -1) // hit: refreshes x's recency, keeps value 1
+	put(z, 3)  // shard full: evicts y, the least recently used
+	if _, ok := c.Get(y); ok {
+		t.Error("y survived eviction despite being least recently used")
+	}
+	if v, ok := c.Get(x); !ok || v != 1 {
+		t.Errorf("x = (%v, %v), want (1, true): recency refresh failed", v, ok)
+	}
+	if v, ok := c.Get(z); !ok || v != 3 {
+		t.Errorf("z = (%v, %v), want (3, true)", v, ok)
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestLRURecencyAcrossCapacity(t *testing.T) {
+	c := New[string](shardCount * 2) // two entries per shard
+	ctx := context.Background()
+	// Hammer one shard's worth of keys through Do and verify the cache
+	// never exceeds its configured total capacity.
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		_, _, _ = c.Do(ctx, key, func() (string, error) { return key, nil })
+	}
+	if c.Len() > shardCount*2 {
+		t.Errorf("cache holds %d entries, capacity %d", c.Len(), shardCount*2)
+	}
+	st := c.Stats()
+	if st.Misses != 100 {
+		t.Errorf("misses = %d, want 100", st.Misses)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions under 100 inserts into capacity 32")
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New[int](64)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var computes atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("key-%d", i%16)
+				v, _, err := c.Do(ctx, key, func() (int, error) {
+					computes.Add(1)
+					return i % 16, nil
+				})
+				if err != nil {
+					t.Errorf("Do(%s): %v", key, err)
+				}
+				_ = v
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if got := st.Hits + st.Misses + st.Shared; got != 8*200 {
+		t.Errorf("accounted calls = %d, want %d", got, 8*200)
+	}
+	if st.Entries != 16 {
+		t.Errorf("entries = %d, want 16", st.Entries)
+	}
+}

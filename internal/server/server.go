@@ -1,0 +1,383 @@
+// Package server implements the dispersald HTTP API: equilibrium/SPoA
+// analysis of dispersal games over a canonical-spec result cache.
+//
+// Endpoints:
+//
+//	POST /v1/analyze  one game spec in the speccodec wire form; responds
+//	                  with the game's IFD, coverage optimum and SPoA.
+//	POST /v1/sweep    {"specs": [spec, ...]}; fans the batch out onto
+//	                  dispersal.Sweep and answers per item.
+//	GET  /healthz     liveness.
+//	GET  /statsz      cache and request counters.
+//
+// Identical game specs — across clients, across analyze and sweep, however
+// the JSON was spelled — share one cache entry keyed by speccodec.CacheKey,
+// and concurrent identical requests collapse onto a single solve
+// (singleflight). Each request runs under a deadline (Config.Timeout)
+// propagated as a context through every solver; an exceeded deadline
+// answers 504 and is never cached.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"dispersal"
+	"dispersal/internal/rescache"
+	"dispersal/internal/speccodec"
+)
+
+// maxBodyBytes bounds request bodies; specs are small.
+const maxBodyBytes = 4 << 20
+
+// maxSweepItems bounds one sweep batch.
+const maxSweepItems = 4096
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds the sweep fan-out pool; 0 selects GOMAXPROCS.
+	Workers int
+	// CacheSize is the total number of cached analyses; <= 0 selects the
+	// rescache default.
+	CacheSize int
+	// Timeout is the per-request deadline delivered to the solvers via
+	// context; 0 means no deadline.
+	Timeout time.Duration
+	// Logf, when non-nil, receives one line per request.
+	Logf func(format string, args ...any)
+}
+
+// Analysis is the wire form of one analyzed game: the deterministic
+// quantities of the paper's headline results.
+type Analysis struct {
+	// M is the number of sites, K the player count, Policy the congestion
+	// policy's display name.
+	M      int    `json:"m"`
+	K      int    `json:"k"`
+	Policy string `json:"policy"`
+	// IFD is the unique symmetric equilibrium, Nu its common payoff.
+	IFD []float64 `json:"ifd"`
+	Nu  float64   `json:"nu"`
+	// Optimum is the coverage-maximizing symmetric strategy and
+	// OptCoverage its coverage; EqCoverage is the worst symmetric
+	// equilibrium's coverage and SPoA the ratio.
+	Optimum     []float64 `json:"optimum"`
+	OptCoverage float64   `json:"opt_coverage"`
+	EqCoverage  float64   `json:"eq_coverage"`
+	SPoA        float64   `json:"spoa"`
+}
+
+// Server is the dispersald request handler. Construct with New; it
+// implements http.Handler.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *rescache.Cache[Analysis]
+	start time.Time
+
+	// solves counts underlying solver runs — the quantity the cache
+	// exists to minimize. analyzeReqs/sweepReqs/sweepItems count traffic.
+	solves, analyzeReqs, sweepReqs, sweepItems atomic.Int64
+}
+
+// New builds a Server with its cache and routes.
+func New(cfg Config) *Server {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		cache: rescache.New[Analysis](cfg.CacheSize),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Solves reports how many solver runs the server has performed; repeated
+// identical requests must not grow it.
+func (s *Server) Solves() int64 { return s.solves.Load() }
+
+// CacheStats snapshots the result-cache counters.
+func (s *Server) CacheStats() rescache.Stats { return s.cache.Stats() }
+
+// apiError is the JSON error body. Kind is machine-readable: "syntax",
+// "spec", "policy", "request", "timeout" or "internal".
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, apiError{Error: err.Error(), Kind: kind})
+}
+
+// decodeKind maps a speccodec error onto its wire kind.
+func decodeKind(err error) string {
+	switch {
+	case errors.Is(err, speccodec.ErrSyntax):
+		return "syntax"
+	case errors.Is(err, speccodec.ErrSpec):
+		return "spec"
+	case errors.Is(err, speccodec.ErrPolicy):
+		return "policy"
+	default:
+		return "request"
+	}
+}
+
+// requestContext applies the per-request deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.Timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// solve computes the full deterministic analysis of one game through a
+// memoizing session, honoring ctx between solver stages.
+func (s *Server) solve(ctx context.Context, a *dispersal.Analysis) (Analysis, error) {
+	s.solves.Add(1)
+	if err := ctx.Err(); err != nil {
+		return Analysis{}, err
+	}
+	ifd, nu, err := a.IFDContext(ctx)
+	if err != nil {
+		return Analysis{}, err
+	}
+	inst, err := a.SPoAContext(ctx)
+	if err != nil {
+		return Analysis{}, err
+	}
+	g := a.Game()
+	return Analysis{
+		M:           len(g.Values()),
+		K:           g.Players(),
+		Policy:      g.Policy().Name(),
+		IFD:         ifd,
+		Nu:          nu,
+		Optimum:     inst.Optimum,
+		OptCoverage: inst.OptCoverage,
+		EqCoverage:  inst.EqCoverage,
+		SPoA:        inst.Ratio,
+	}, nil
+}
+
+// cachedSolve answers one spec through the cache, collapsing concurrent
+// identical requests onto one solve. The game is only constructed on a
+// miss.
+func (s *Server) cachedSolve(ctx context.Context, spec dispersal.Spec) (Analysis, bool, error) {
+	key, err := speccodec.CacheKey(spec)
+	if err != nil {
+		return Analysis{}, false, err
+	}
+	return s.cache.Do(ctx, key, func() (Analysis, error) {
+		g, err := dispersal.FromSpec(spec)
+		if err != nil {
+			return Analysis{}, err
+		}
+		return s.solve(ctx, g.Analyze())
+	})
+}
+
+// cachedSolveAnalysis is cachedSolve for a session whose game already
+// exists (the sweep path, where dispersal.Sweep constructed it): the
+// session is reused on a miss instead of building a second identical game.
+func (s *Server) cachedSolveAnalysis(ctx context.Context, a *dispersal.Analysis) (Analysis, bool, error) {
+	key, err := speccodec.CacheKey(a.Game().Spec())
+	if err != nil {
+		return Analysis{}, false, err
+	}
+	return s.cache.Do(ctx, key, func() (Analysis, error) {
+		return s.solve(ctx, a)
+	})
+}
+
+// analyzeResponse is the /v1/analyze body.
+type analyzeResponse struct {
+	Cached    bool     `json:"cached"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Result    Analysis `json:"result"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.analyzeReqs.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request", err)
+		return
+	}
+	spec, err := speccodec.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, decodeKind(err), err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	res, cached, err := s.cachedSolve(ctx, spec)
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	s.cfg.Logf("analyze m=%d k=%d policy=%s cached=%v in %s",
+		res.M, res.K, res.Policy, cached, time.Since(start).Round(time.Microsecond))
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		Cached:    cached,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Result:    res,
+	})
+}
+
+// writeSolveError maps solver failures: expired deadlines (and clients that
+// went away) answer 504, everything else 500.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusGatewayTimeout, "timeout", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", err)
+}
+
+// sweepRequest is the /v1/sweep body: a list of specs in the speccodec wire
+// form.
+type sweepRequest struct {
+	Specs []json.RawMessage `json:"specs"`
+}
+
+// sweepItemResponse is one item of the /v1/sweep answer. Error, when
+// non-empty, explains why Result is absent.
+type sweepItemResponse struct {
+	Index  int       `json:"index"`
+	Tag    string    `json:"tag,omitempty"`
+	Cached bool      `json:"cached"`
+	Result *Analysis `json:"result,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// sweepResponse is the /v1/sweep body.
+type sweepResponse struct {
+	ElapsedMS float64             `json:"elapsed_ms"`
+	Results   []sweepItemResponse `json:"results"`
+}
+
+// cachedItem carries one sweep item's analysis plus whether it was served
+// from cache.
+type cachedItem struct {
+	res    Analysis
+	cached bool
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.sweepReqs.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request", err)
+		return
+	}
+	var req sweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "syntax", fmt.Errorf("sweep body: %w", err))
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, "request", errors.New("sweep body has no specs"))
+		return
+	}
+	if len(req.Specs) > maxSweepItems {
+		writeError(w, http.StatusBadRequest, "request",
+			fmt.Errorf("sweep of %d specs exceeds the limit of %d", len(req.Specs), maxSweepItems))
+		return
+	}
+	specs := make([]dispersal.Spec, len(req.Specs))
+	for i, raw := range req.Specs {
+		spec, err := speccodec.Decode(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, decodeKind(err), fmt.Errorf("spec %d: %w", i, err))
+			return
+		}
+		specs[i] = spec
+	}
+	s.sweepItems.Add(int64(len(specs)))
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	results, err := dispersal.Sweep(ctx, specs,
+		func(ctx context.Context, a *dispersal.Analysis) (cachedItem, error) {
+			res, cached, err := s.cachedSolveAnalysis(ctx, a)
+			return cachedItem{res: res, cached: cached}, err
+		},
+		dispersal.WithWorkers(s.cfg.Workers))
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	resp := sweepResponse{
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Results:   make([]sweepItemResponse, len(results)),
+	}
+	for i, it := range results {
+		item := sweepItemResponse{Index: it.Index, Tag: it.Tag, Cached: it.Value.cached}
+		if it.Err != nil {
+			item.Error = it.Err.Error()
+		} else {
+			res := it.Value.res
+			item.Result = &res
+		}
+		resp.Results[i] = item
+	}
+	s.cfg.Logf("sweep of %d specs in %s", len(specs), time.Since(start).Round(time.Microsecond))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse is the /statsz body.
+type statsResponse struct {
+	UptimeS   float64        `json:"uptime_s"`
+	Workers   int            `json:"workers"`
+	TimeoutMS float64        `json:"timeout_ms"`
+	Cache     rescache.Stats `json:"cache"`
+	Solves    int64          `json:"solves"`
+	Requests  struct {
+		Analyze    int64 `json:"analyze"`
+		Sweep      int64 `json:"sweep"`
+		SweepItems int64 `json:"sweep_items"`
+	} `json:"requests"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	var resp statsResponse
+	resp.UptimeS = time.Since(s.start).Seconds()
+	resp.Workers = s.cfg.Workers
+	resp.TimeoutMS = float64(s.cfg.Timeout) / float64(time.Millisecond)
+	resp.Cache = s.cache.Stats()
+	resp.Solves = s.solves.Load()
+	resp.Requests.Analyze = s.analyzeReqs.Load()
+	resp.Requests.Sweep = s.sweepReqs.Load()
+	resp.Requests.SweepItems = s.sweepItems.Load()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,344 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const exclusiveSpec = `{"values":[1,0.5],"k":2,"policy":{"name":"exclusive"}}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, payload
+}
+
+func decodeAnalyze(t *testing.T, payload []byte) analyzeResponse {
+	t.Helper()
+	var out analyzeResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatalf("decode analyze response: %v\n%s", err, payload)
+	}
+	return out
+}
+
+func TestAnalyzeCacheHitMiss(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	resp, payload := postJSON(t, ts.URL+"/v1/analyze", exclusiveSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first analyze: %s\n%s", resp.Status, payload)
+	}
+	first := decodeAnalyze(t, payload)
+	if first.Cached {
+		t.Error("first request reported cached")
+	}
+	if first.Result.SPoA < 0.999999 || first.Result.SPoA > 1.000001 {
+		t.Errorf("exclusive SPoA = %v, want 1 (Corollary 5)", first.Result.SPoA)
+	}
+	if len(first.Result.IFD) != 2 {
+		t.Errorf("IFD has %d entries, want 2", len(first.Result.IFD))
+	}
+
+	// Same game, different spelling, plus seed/tag noise: must hit.
+	respelled := `{"tag":"noise","seed":123,"k":2,"policy":{"name":"exclusive"},"values":[1,0.5]}`
+	resp, payload = postJSON(t, ts.URL+"/v1/analyze", respelled)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second analyze: %s\n%s", resp.Status, payload)
+	}
+	second := decodeAnalyze(t, payload)
+	if !second.Cached {
+		t.Error("identical game (respelled) missed the cache")
+	}
+	if second.Result.SPoA != first.Result.SPoA || second.Result.Nu != first.Result.Nu {
+		t.Error("cached result differs from the first solve")
+	}
+
+	if n := s.Solves(); n != 1 {
+		t.Errorf("server performed %d solves for 2 identical requests, want 1", n)
+	}
+	st := s.CacheStats()
+	if st.Misses != 1 || st.Hits+st.Shared != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss and 1 hit", st)
+	}
+}
+
+func TestSingleflightCollapse32(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+				strings.NewReader(exclusiveSpec))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			payload, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s: %s", resp.Status, payload)
+				return
+			}
+			var out analyzeResponse
+			if err := json.Unmarshal(payload, &out); err != nil {
+				errs <- err
+				return
+			}
+			if out.Result.SPoA < 0.999999 || out.Result.SPoA > 1.000001 {
+				errs <- fmt.Errorf("SPoA = %v", out.Result.SPoA)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// However the 32 requests interleaved — all racing, all serialized, or
+	// anything between — the solver may only ever have run once: racers
+	// collapse onto the in-flight call and laggards hit the cache.
+	if n := s.Solves(); n != 1 {
+		t.Errorf("server performed %d solves under 32 identical concurrent requests, want 1", n)
+	}
+	st := s.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Shared != n-1 {
+		t.Errorf("hits+shared = %d, want %d", st.Hits+st.Shared, n-1)
+	}
+}
+
+func TestAnalyzeRejectsInvalidSpecs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		kind string
+	}{
+		{"malformed JSON", `{"values":`, "syntax"},
+		{"unknown field", `{"values":[1],"k":1,"policy":{"name":"exclusive"},"x":1}`, "syntax"},
+		{"empty values", `{"values":[],"k":1,"policy":{"name":"exclusive"}}`, "spec"},
+		{"non-monotone values", `{"values":[0.5,1],"k":2,"policy":{"name":"exclusive"}}`, "spec"},
+		{"zero players", `{"values":[1],"k":0,"policy":{"name":"exclusive"}}`, "spec"},
+		{"unknown policy", `{"values":[1],"k":1,"policy":{"name":"mystery"}}`, "policy"},
+		{"bad parameter", `{"values":[1],"k":2,"policy":{"name":"twopoint","c2":2}}`, "policy"},
+	}
+	for _, tc := range cases {
+		resp, payload := postJSON(t, ts.URL+"/v1/analyze", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400\n%s", tc.name, resp.Status, payload)
+			continue
+		}
+		var apiErr apiError
+		if err := json.Unmarshal(payload, &apiErr); err != nil {
+			t.Errorf("%s: error body is not JSON: %v", tc.name, err)
+			continue
+		}
+		if apiErr.Kind != tc.kind {
+			t.Errorf("%s: kind %q, want %q (%s)", tc.name, apiErr.Kind, tc.kind, apiErr.Error)
+		}
+	}
+}
+
+func TestAnalyzeDeadlineAnswers504(t *testing.T) {
+	s, ts := newTestServer(t, Config{Timeout: time.Nanosecond})
+
+	resp, payload := postJSON(t, ts.URL+"/v1/analyze", exclusiveSpec)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %s, want 504\n%s", resp.Status, payload)
+	}
+	var apiErr apiError
+	if err := json.Unmarshal(payload, &apiErr); err != nil {
+		t.Fatalf("error body: %v", err)
+	}
+	if apiErr.Kind != "timeout" {
+		t.Errorf("kind %q, want timeout", apiErr.Kind)
+	}
+	// The failed solve must not be cached: a server with a sane timeout
+	// would recompute. (The cache holds no entry for the key.)
+	if st := s.CacheStats(); st.Entries != 0 {
+		t.Errorf("deadline-exceeded result was cached: %+v", st)
+	}
+}
+
+func TestSweepEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+
+	specs := []string{
+		`{"values":[1,0.5],"k":2,"policy":{"name":"exclusive"},"tag":"a"}`,
+		`{"values":[1,0.5],"k":2,"policy":{"name":"sharing"},"tag":"b"}`,
+		`{"values":[1,0.5,0.25],"k":3,"policy":{"name":"twopoint","c2":0.25},"tag":"c"}`,
+		// Same game as "a" up to seed/tag: must not solve again.
+		`{"values":[1,0.5],"k":2,"policy":{"name":"exclusive"},"tag":"dup","seed":5}`,
+	}
+	body := `{"specs":[` + strings.Join(specs, ",") + `]}`
+	resp, payload := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %s\n%s", resp.Status, payload)
+	}
+	var out sweepResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatalf("decode sweep response: %v\n%s", err, payload)
+	}
+	if len(out.Results) != len(specs) {
+		t.Fatalf("%d results for %d specs", len(out.Results), len(specs))
+	}
+	tags := map[string]sweepItemResponse{}
+	for _, item := range out.Results {
+		if item.Error != "" {
+			t.Errorf("item %d (%s) failed: %s", item.Index, item.Tag, item.Error)
+		}
+		if item.Result == nil {
+			t.Fatalf("item %d has no result", item.Index)
+		}
+		tags[item.Tag] = item
+	}
+	if tags["a"].Result.SPoA != tags["dup"].Result.SPoA {
+		t.Error("duplicate spec disagrees with the original")
+	}
+	if tags["b"].Result.SPoA <= 1 {
+		t.Errorf("sharing SPoA = %v, want > 1 on two unequal sites", tags["b"].Result.SPoA)
+	}
+	// 4 items, 3 distinct games.
+	if n := s.Solves(); n != 3 {
+		t.Errorf("sweep performed %d solves, want 3 (one per distinct game)", n)
+	}
+
+	// A follow-up analyze of a swept game is a pure cache hit.
+	resp, payload = postJSON(t, ts.URL+"/v1/analyze", specs[1])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze after sweep: %s", resp.Status)
+	}
+	if got := decodeAnalyze(t, payload); !got.Cached {
+		t.Error("analyze after sweep missed the cache shared with /v1/sweep")
+	}
+	if n := s.Solves(); n != 3 {
+		t.Errorf("analyze after sweep re-solved: %d solves", n)
+	}
+}
+
+func TestSweepRejectsBadBatches(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"not JSON", `specs`, http.StatusBadRequest},
+		{"no specs", `{"specs":[]}`, http.StatusBadRequest},
+		{"invalid item", `{"specs":[{"values":[1],"k":1,"policy":{"name":"exclusive"}},{"values":[1],"k":0,"policy":{"name":"exclusive"}}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, payload := postJSON(t, ts.URL+"/v1/sweep", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %s, want %d\n%s", tc.name, resp.Status, tc.status, payload)
+		}
+	}
+}
+
+func TestHealthzAndStatsz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Timeout: time.Second})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+
+	// Warm the cache with one request, then read the counters back.
+	postJSON(t, ts.URL+"/v1/analyze", exclusiveSpec)
+	resp2, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	payload, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("statsz: %s", resp2.Status)
+	}
+	var stats statsResponse
+	if err := json.Unmarshal(payload, &stats); err != nil {
+		t.Fatalf("statsz body: %v\n%s", err, payload)
+	}
+	if stats.Requests.Analyze != 1 || stats.Solves != 1 || stats.Cache.Entries != 1 {
+		t.Errorf("statsz = %+v, want 1 analyze request, 1 solve, 1 entry", stats)
+	}
+	if stats.Workers != 2 || stats.TimeoutMS != 1000 {
+		t.Errorf("statsz config echo = workers %d, timeout %v", stats.Workers, stats.TimeoutMS)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/analyze: %s, want 405", resp.Status)
+	}
+	resp2, err := http.Post(ts.URL+"/healthz", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz: %s, want 405", resp2.Status)
+	}
+}
+
+// TestRepeatedRequestDoesNoSolverWork is the acceptance demonstration: the
+// second identical request is answered entirely from cache.
+func TestRepeatedRequestDoesNoSolverWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	spec := `{"values":[1,0.8,0.6,0.4,0.2],"k":4,"policy":{"name":"powerlaw","beta":2}}`
+
+	postJSON(t, ts.URL+"/v1/analyze", spec)
+	before := s.Solves()
+	resp, payload := postJSON(t, ts.URL+"/v1/analyze", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: %s", resp.Status)
+	}
+	if out := decodeAnalyze(t, payload); !out.Cached {
+		t.Error("repeat request not served from cache")
+	}
+	if after := s.Solves(); after != before {
+		t.Errorf("repeat request did solver work: %d -> %d solves", before, after)
+	}
+}

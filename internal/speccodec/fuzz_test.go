@@ -1,0 +1,76 @@
+package speccodec_test
+
+import (
+	"errors"
+	"testing"
+
+	"dispersal"
+	"dispersal/internal/speccodec"
+)
+
+// FuzzDecode drives Decode with arbitrary bytes and enforces its contract:
+// it never panics, every failure wraps exactly one of the three typed
+// errors, and every accepted spec is a valid, canonically re-encodable game
+// description. Run the seeds with go test; explore with
+//
+//	go test -fuzz=FuzzDecode ./internal/speccodec
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		``,
+		`{`,
+		`null`,
+		`[]`,
+		`{"values":[1,0.5],"k":2,"policy":{"name":"exclusive"}}`,
+		`{"values":[1,0.5],"k":2,"policy":{"name":"sharing"},"seed":9,"tag":"x"}`,
+		`{"values":[1],"k":1,"policy":{"name":"twopoint","c2":0.25}}`,
+		`{"values":[1],"k":4,"policy":{"name":"powerlaw","beta":2}}`,
+		`{"values":[1],"k":4,"policy":{"name":"cooperative","gamma":0.9}}`,
+		`{"values":[1],"k":4,"policy":{"name":"aggressive","penalty":0.5}}`,
+		`{"values":[3,2,1],"k":2,"policy":{"name":"table","head":[1,0.5],"tail":0}}`,
+		`{"values":[NaN],"k":2,"policy":{"name":"exclusive"}}`,
+		`{"values":[1e999],"k":2,"policy":{"name":"exclusive"}}`,
+		`{"values":[-1],"k":2,"policy":{"name":"exclusive"}}`,
+		`{"values":[0.5,1],"k":2,"policy":{"name":"exclusive"}}`,
+		`{"values":[1],"k":0,"policy":{"name":"exclusive"}}`,
+		`{"values":[1],"k":-9,"policy":{"name":"exclusive"}}`,
+		`{"values":[1],"k":2,"policy":{"name":"twopoint"}}`,
+		`{"values":[1],"k":2,"policy":{"name":"twopoint","c2":7}}`,
+		`{"values":[1],"k":2,"policy":{"name":"nope"}}`,
+		`{"values":[1],"k":2,"policy":{"name":"exclusive"},"extra":true}`,
+		`{"values":[1],"k":2,"policy":{"name":"exclusive"}}trailing`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := speccodec.Decode(data) // must not panic on any input
+		if err != nil {
+			if !errors.Is(err, speccodec.ErrSyntax) &&
+				!errors.Is(err, speccodec.ErrSpec) &&
+				!errors.Is(err, speccodec.ErrPolicy) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted specs must build a real game...
+		if _, err := dispersal.FromSpec(spec); err != nil {
+			t.Fatalf("decoded spec rejected by FromSpec: %v\ninput: %q", err, data)
+		}
+		// ...and canonicalize stably: encode, decode, encode again.
+		b, err := speccodec.Encode(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not encode: %v\ninput: %q", err, data)
+		}
+		again, err := speccodec.Decode(b)
+		if err != nil {
+			t.Fatalf("canonical form does not decode: %v\nencoded: %q", err, b)
+		}
+		b2, err := speccodec.Encode(again)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if string(b) != string(b2) {
+			t.Fatalf("canonical form unstable:\n  %s\n  %s", b, b2)
+		}
+	})
+}

@@ -1,0 +1,284 @@
+// Package speccodec is the wire codec of the dispersal system: a canonical
+// JSON encoding of game specs (site values, player count, congestion policy,
+// optional seed and tag) shared by the dispersald server, the CLI tools and
+// the tests.
+//
+// The encoding is canonical: field order is fixed, parameters irrelevant to
+// the named policy are rejected on decode and omitted on encode, and float
+// formatting is the deterministic encoding/json shortest form. CacheKey
+// strips the fields that cannot affect the deterministic analysis quantities
+// (seed, tag), so two requests for the same game — however they were spelled
+// by the client — collapse onto one cache entry.
+//
+// Decode never panics on any input and every failure is typed: it wraps
+// exactly one of ErrSyntax (the bytes are not the JSON shape), ErrSpec (the
+// values or player count violate the paper's conventions) or ErrPolicy (the
+// congestion policy is unknown, mis-parameterized, or violates the
+// congestion axioms).
+package speccodec
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dispersal"
+	"dispersal/internal/policy"
+)
+
+// Typed decode/encode failures. Every error returned by this package wraps
+// exactly one of these.
+var (
+	// ErrSyntax reports bytes that are not the expected JSON shape:
+	// malformed JSON, wrong types, unknown fields, trailing data, or
+	// numbers outside the float64 range.
+	ErrSyntax = errors.New("speccodec: malformed spec JSON")
+	// ErrSpec reports a well-formed document describing an invalid game:
+	// empty/non-positive/non-monotone values or k < 1.
+	ErrSpec = errors.New("speccodec: invalid game spec")
+	// ErrPolicy reports an unknown policy name, missing or extraneous
+	// policy parameters, or a parameterization violating the congestion
+	// axioms (C(1) = 1, non-increasing, finite).
+	ErrPolicy = errors.New("speccodec: invalid congestion policy")
+)
+
+// Size bounds enforced by Decode. Validation and the downstream solvers do
+// work proportional to k and len(values); without bounds a single request
+// could pin a CPU before any deadline applies.
+const (
+	// MaxSites bounds len(values).
+	MaxSites = 65536
+	// MaxPlayers bounds k (policy validation and the congestion expectation
+	// g(q) are O(k) per evaluation).
+	MaxPlayers = 1 << 20
+)
+
+// wireSpec is the JSON document shape. Field order here is the canonical
+// encoding order.
+type wireSpec struct {
+	Values []float64  `json:"values"`
+	K      int        `json:"k"`
+	Policy wirePolicy `json:"policy"`
+	Seed   uint64     `json:"seed,omitempty"`
+	Tag    string     `json:"tag,omitempty"`
+}
+
+// wirePolicy names a congestion policy and carries its parameters. Exactly
+// the parameters of the named policy must be present.
+type wirePolicy struct {
+	Name    string    `json:"name"`
+	C2      *float64  `json:"c2,omitempty"`
+	Beta    *float64  `json:"beta,omitempty"`
+	Gamma   *float64  `json:"gamma,omitempty"`
+	Penalty *float64  `json:"penalty,omitempty"`
+	Head    []float64 `json:"head,omitempty"`
+	Tail    *float64  `json:"tail,omitempty"`
+}
+
+// Decode parses and validates one game spec. The input must be a single
+// JSON object with no unknown fields and no trailing data; the decoded spec
+// satisfies the paper's conventions (values finite, strictly positive,
+// non-increasing; k >= 1; policy axioms hold up to horizon k).
+func Decode(data []byte) (dispersal.Spec, error) {
+	var w wireSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return dispersal.Spec{}, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return dispersal.Spec{}, fmt.Errorf("%w: trailing data after spec object", ErrSyntax)
+	}
+	if w.K < 1 {
+		return dispersal.Spec{}, fmt.Errorf("%w: player count k must be >= 1, got %d", ErrSpec, w.K)
+	}
+	if w.K > MaxPlayers {
+		return dispersal.Spec{}, fmt.Errorf("%w: player count %d exceeds the limit of %d", ErrSpec, w.K, MaxPlayers)
+	}
+	if len(w.Values) > MaxSites {
+		return dispersal.Spec{}, fmt.Errorf("%w: %d sites exceed the limit of %d", ErrSpec, len(w.Values), MaxSites)
+	}
+	f := dispersal.Values(w.Values)
+	if err := f.Validate(); err != nil {
+		return dispersal.Spec{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	c, err := decodePolicy(w.Policy)
+	if err != nil {
+		return dispersal.Spec{}, err
+	}
+	// Axiom check over the game's own horizon (and at least one collision
+	// level, so e.g. twopoint with c2 > 1 is rejected even at k = 1).
+	horizon := w.K
+	if horizon < 2 {
+		horizon = 2
+	}
+	if err := policy.Validate(c, horizon); err != nil {
+		return dispersal.Spec{}, fmt.Errorf("%w: %v", ErrPolicy, err)
+	}
+	return dispersal.Spec{
+		Values: f.Clone(),
+		K:      w.K,
+		Policy: c,
+		Seed:   w.Seed,
+		Tag:    w.Tag,
+	}, nil
+}
+
+// Encode renders a spec in the canonical JSON form. It fails with ErrSpec on
+// non-finite values and with ErrPolicy on a congestion policy this codec
+// does not know how to name.
+func Encode(s dispersal.Spec) ([]byte, error) {
+	w, err := wireOf(s)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+// CacheKey returns the canonical bytes of the spec with seed and tag
+// stripped, as a string. The deterministic analysis quantities served by
+// dispersald — the IFD, the coverage optimum and the SPoA — depend only on
+// (values, k, policy), so specs differing only in seed or tag share a key.
+func CacheKey(s dispersal.Spec) (string, error) {
+	w, err := wireOf(s)
+	if err != nil {
+		return "", err
+	}
+	w.Seed = 0
+	w.Tag = ""
+	b, err := json.Marshal(w)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	return string(b), nil
+}
+
+// wireOf flattens a Spec into its wire shape, validating finiteness (JSON
+// has no NaN/Inf) and policy encodability.
+func wireOf(s dispersal.Spec) (wireSpec, error) {
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return wireSpec{}, fmt.Errorf("%w: f(%d) = %v is not finite", ErrSpec, i+1, v)
+		}
+	}
+	wp, err := encodePolicy(s.Policy)
+	if err != nil {
+		return wireSpec{}, err
+	}
+	return wireSpec{
+		Values: append([]float64(nil), s.Values...),
+		K:      s.K,
+		Policy: wp,
+		Seed:   s.Seed,
+		Tag:    s.Tag,
+	}, nil
+}
+
+// ptr returns a pointer to v, for optional wire parameters.
+func ptr(v float64) *float64 { return &v }
+
+// encodePolicy names a concrete congestion policy on the wire.
+func encodePolicy(c dispersal.Congestion) (wirePolicy, error) {
+	switch p := c.(type) {
+	case policy.Exclusive:
+		return wirePolicy{Name: "exclusive"}, nil
+	case policy.Sharing:
+		return wirePolicy{Name: "sharing"}, nil
+	case policy.Constant:
+		return wirePolicy{Name: "constant"}, nil
+	case policy.TwoPoint:
+		return wirePolicy{Name: "twopoint", C2: ptr(p.C2)}, nil
+	case policy.PowerLaw:
+		return wirePolicy{Name: "powerlaw", Beta: ptr(p.Beta)}, nil
+	case policy.Cooperative:
+		return wirePolicy{Name: "cooperative", Gamma: ptr(p.Gamma)}, nil
+	case policy.Aggressive:
+		return wirePolicy{Name: "aggressive", Penalty: ptr(p.Penalty)}, nil
+	case policy.Table:
+		return wirePolicy{
+			Name: "table",
+			Head: append([]float64(nil), p.Head...),
+			Tail: ptr(p.Tail),
+		}, nil
+	case nil:
+		return wirePolicy{}, fmt.Errorf("%w: nil policy", ErrPolicy)
+	default:
+		return wirePolicy{}, fmt.Errorf("%w: cannot encode policy %q (%T)", ErrPolicy, c.Name(), c)
+	}
+}
+
+// policyParams maps each wire name to the set of parameters it requires.
+// The zero flags mean "must be absent".
+type policyParams struct {
+	c2, beta, gamma, penalty, table bool
+}
+
+var knownPolicies = map[string]policyParams{
+	"exclusive":   {},
+	"sharing":     {},
+	"constant":    {},
+	"twopoint":    {c2: true},
+	"powerlaw":    {beta: true},
+	"cooperative": {gamma: true},
+	"aggressive":  {penalty: true},
+	"table":       {table: true},
+}
+
+// decodePolicy rebuilds the named congestion policy, insisting that exactly
+// its parameters are present (canonical form admits one spelling per
+// policy).
+func decodePolicy(w wirePolicy) (dispersal.Congestion, error) {
+	want, ok := knownPolicies[w.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown policy name %q", ErrPolicy, w.Name)
+	}
+	check := func(name string, present, wanted bool) error {
+		if present && !wanted {
+			return fmt.Errorf("%w: policy %q does not take parameter %q", ErrPolicy, w.Name, name)
+		}
+		if !present && wanted {
+			return fmt.Errorf("%w: policy %q requires parameter %q", ErrPolicy, w.Name, name)
+		}
+		return nil
+	}
+	for _, p := range []struct {
+		name            string
+		present, wanted bool
+	}{
+		{"c2", w.C2 != nil, want.c2},
+		{"beta", w.Beta != nil, want.beta},
+		{"gamma", w.Gamma != nil, want.gamma},
+		{"penalty", w.Penalty != nil, want.penalty},
+		{"head", w.Head != nil, want.table},
+		{"tail", w.Tail != nil, want.table},
+	} {
+		if err := check(p.name, p.present, p.wanted); err != nil {
+			return nil, err
+		}
+	}
+	switch w.Name {
+	case "exclusive":
+		return policy.Exclusive{}, nil
+	case "sharing":
+		return policy.Sharing{}, nil
+	case "constant":
+		return policy.Constant{}, nil
+	case "twopoint":
+		return policy.TwoPoint{C2: *w.C2}, nil
+	case "powerlaw":
+		return policy.PowerLaw{Beta: *w.Beta}, nil
+	case "cooperative":
+		return policy.Cooperative{Gamma: *w.Gamma}, nil
+	case "aggressive":
+		return policy.Aggressive{Penalty: *w.Penalty}, nil
+	default: // "table"
+		t, err := policy.NewTable(w.Head, *w.Tail)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPolicy, err)
+		}
+		return t, nil
+	}
+}

@@ -1,0 +1,223 @@
+package speccodec_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"dispersal"
+	"dispersal/internal/policy"
+	"dispersal/internal/speccodec"
+)
+
+// allPolicies is one representative of every encodable congestion policy.
+func allPolicies(t *testing.T) []dispersal.Congestion {
+	t.Helper()
+	tab, err := policy.NewTable([]float64{1, 0.5, 0.25}, 0.1)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return []dispersal.Congestion{
+		dispersal.Exclusive(),
+		dispersal.Sharing(),
+		dispersal.Constant(),
+		dispersal.TwoPoint(0.25),
+		dispersal.TwoPoint(-0.5),
+		dispersal.PowerLaw(2),
+		dispersal.Cooperative(0.9),
+		dispersal.Aggressive(0.5),
+		tab,
+	}
+}
+
+func TestRoundTripEveryPolicy(t *testing.T) {
+	for _, c := range allPolicies(t) {
+		spec := dispersal.Spec{
+			Values: dispersal.Values{1, 0.6, 0.3},
+			K:      3,
+			Policy: c,
+			Seed:   7,
+			Tag:    "round-trip",
+		}
+		b, err := speccodec.Encode(spec)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", c.Name(), err)
+		}
+		got, err := speccodec.Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v\n%s", c.Name(), err, b)
+		}
+		if got.K != spec.K || got.Seed != spec.Seed || got.Tag != spec.Tag {
+			t.Errorf("%s: round trip changed scalars: %+v", c.Name(), got)
+		}
+		if len(got.Values) != len(spec.Values) {
+			t.Fatalf("%s: round trip changed values length", c.Name())
+		}
+		for i := range got.Values {
+			if got.Values[i] != spec.Values[i] {
+				t.Errorf("%s: values[%d] = %v, want %v", c.Name(), i, got.Values[i], spec.Values[i])
+			}
+		}
+		if got.Policy.Name() != c.Name() {
+			t.Errorf("round trip changed policy: got %s, want %s", got.Policy.Name(), c.Name())
+		}
+		// The re-encoding must be byte-identical: the form is canonical.
+		b2, err := speccodec.Encode(got)
+		if err != nil {
+			t.Fatalf("re-Encode(%s): %v", c.Name(), err)
+		}
+		if string(b) != string(b2) {
+			t.Errorf("%s: encoding not canonical:\n  %s\n  %s", c.Name(), b, b2)
+		}
+	}
+}
+
+func TestCacheKeyIgnoresSeedAndTag(t *testing.T) {
+	base := dispersal.Spec{Values: dispersal.Values{1, 0.5}, K: 2, Policy: dispersal.Exclusive()}
+	withNoise := base
+	withNoise.Seed = 99
+	withNoise.Tag = "client-42"
+	k1, err := speccodec.CacheKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := speccodec.CacheKey(withNoise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("seed/tag leaked into the cache key:\n  %s\n  %s", k1, k2)
+	}
+
+	other := base
+	other.K = 3
+	k3, err := speccodec.CacheKey(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k3 {
+		t.Error("different player counts share a cache key")
+	}
+}
+
+func TestDecodeErrorsAreTyped(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"garbage", "{", speccodec.ErrSyntax},
+		{"empty", "", speccodec.ErrSyntax},
+		{"wrong type", `{"values":"abc","k":2,"policy":{"name":"exclusive"}}`, speccodec.ErrSyntax},
+		{"unknown field", `{"values":[1],"k":1,"policy":{"name":"exclusive"},"bogus":1}`, speccodec.ErrSyntax},
+		{"trailing data", `{"values":[1],"k":1,"policy":{"name":"exclusive"}} {}`, speccodec.ErrSyntax},
+		{"float overflow", `{"values":[1e999],"k":1,"policy":{"name":"exclusive"}}`, speccodec.ErrSyntax},
+		{"nan literal", `{"values":[NaN],"k":1,"policy":{"name":"exclusive"}}`, speccodec.ErrSyntax},
+		{"no values", `{"k":2,"policy":{"name":"exclusive"}}`, speccodec.ErrSpec},
+		{"zero k", `{"values":[1],"k":0,"policy":{"name":"exclusive"}}`, speccodec.ErrSpec},
+		{"negative k", `{"values":[1],"k":-3,"policy":{"name":"exclusive"}}`, speccodec.ErrSpec},
+		{"non-monotone f", `{"values":[0.5,1],"k":2,"policy":{"name":"exclusive"}}`, speccodec.ErrSpec},
+		{"non-positive f", `{"values":[1,0],"k":2,"policy":{"name":"exclusive"}}`, speccodec.ErrSpec},
+		{"no policy", `{"values":[1],"k":1}`, speccodec.ErrPolicy},
+		{"unknown policy", `{"values":[1],"k":1,"policy":{"name":"mystery"}}`, speccodec.ErrPolicy},
+		{"missing param", `{"values":[1],"k":1,"policy":{"name":"twopoint"}}`, speccodec.ErrPolicy},
+		{"extraneous param", `{"values":[1],"k":1,"policy":{"name":"exclusive","c2":0.5}}`, speccodec.ErrPolicy},
+		{"wrong param", `{"values":[1],"k":1,"policy":{"name":"powerlaw","c2":0.5}}`, speccodec.ErrPolicy},
+		{"axiom violation", `{"values":[1],"k":2,"policy":{"name":"twopoint","c2":1.5}}`, speccodec.ErrPolicy},
+		{"negative beta", `{"values":[1],"k":3,"policy":{"name":"powerlaw","beta":-1}}`, speccodec.ErrPolicy},
+		{"bad table", `{"values":[1],"k":2,"policy":{"name":"table","head":[1,2],"tail":0}}`, speccodec.ErrPolicy},
+	}
+	for _, tc := range cases {
+		_, err := speccodec.Decode([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: Decode accepted %q", tc.name, tc.in)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v is not %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeSizeBounds(t *testing.T) {
+	huge := fmt.Sprintf(`{"values":[1],"k":%d,"policy":{"name":"powerlaw","beta":2}}`, speccodec.MaxPlayers+1)
+	if _, err := speccodec.Decode([]byte(huge)); !errors.Is(err, speccodec.ErrSpec) {
+		t.Errorf("k beyond MaxPlayers: %v, want ErrSpec", err)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(`{"values":[1`)
+	for i := 0; i < speccodec.MaxSites; i++ {
+		sb.WriteString(",1")
+	}
+	sb.WriteString(`],"k":2,"policy":{"name":"exclusive"}}`)
+	if _, err := speccodec.Decode([]byte(sb.String())); !errors.Is(err, speccodec.ErrSpec) {
+		t.Errorf("values beyond MaxSites: %v, want ErrSpec", err)
+	}
+
+	// The bounds themselves are accepted.
+	atBound := fmt.Sprintf(`{"values":[1],"k":%d,"policy":{"name":"exclusive"}}`, speccodec.MaxPlayers)
+	if _, err := speccodec.Decode([]byte(atBound)); err != nil {
+		t.Errorf("k = MaxPlayers rejected: %v", err)
+	}
+}
+
+func TestDecodeValidSpellings(t *testing.T) {
+	// Field order and whitespace are client choices; canonicalization is
+	// the codec's job.
+	in := `{
+		"tag": "spaced",
+		"policy": {"c2": 0.25, "name": "twopoint"},
+		"k": 4,
+		"values": [2, 1, 0.5]
+	}`
+	spec, err := speccodec.Decode([]byte(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	key, err := speccodec.CacheKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := speccodec.CacheKey(dispersal.Spec{
+		Values: dispersal.Values{2, 1, 0.5},
+		K:      4,
+		Policy: dispersal.TwoPoint(0.25),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != canonical {
+		t.Errorf("spelled-out spec does not canonicalize:\n  %s\n  %s", key, canonical)
+	}
+}
+
+func TestEncodeRejectsUnknownAndNonFinite(t *testing.T) {
+	if _, err := speccodec.Encode(dispersal.Spec{Values: dispersal.Values{1}, K: 1, Policy: nil}); !errors.Is(err, speccodec.ErrPolicy) {
+		t.Errorf("nil policy: %v", err)
+	}
+	type custom struct{ policy.Constant }
+	if _, err := speccodec.Encode(dispersal.Spec{Values: dispersal.Values{1}, K: 1, Policy: custom{}}); !errors.Is(err, speccodec.ErrPolicy) {
+		t.Errorf("custom policy: %v", err)
+	}
+	bad := dispersal.Spec{Values: dispersal.Values{1, math.Inf(1)}, K: 1, Policy: dispersal.Exclusive()}
+	if _, err := speccodec.Encode(bad); !errors.Is(err, speccodec.ErrSpec) {
+		t.Errorf("non-finite values: %v", err)
+	}
+}
+
+func TestDecodedSpecBuildsAGame(t *testing.T) {
+	spec, err := speccodec.Decode([]byte(`{"values":[1,0.5],"k":2,"policy":{"name":"exclusive"},"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dispersal.FromSpec(spec)
+	if err != nil {
+		t.Fatalf("FromSpec on a decoded spec: %v", err)
+	}
+	if !strings.Contains(g.String(), "M=2") {
+		t.Errorf("unexpected game: %s", g)
+	}
+}

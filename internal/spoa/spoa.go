@@ -67,10 +67,7 @@ func ComputeContext(ctx context.Context, f site.Values, k int, c policy.Congesti
 		// Worst symmetric equilibrium: point mass on a single argmax site.
 		eq = strategy.Delta(len(f), 0)
 	} else {
-		if err := ctx.Err(); err != nil {
-			return Instance{}, err
-		}
-		eq, _, err = ifd.Solve(f, k, c)
+		eq, _, err = ifd.SolveContext(ctx, f, k, c)
 		if err != nil {
 			return Instance{}, err
 		}

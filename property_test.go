@@ -1,0 +1,152 @@
+package dispersal_test
+
+// Property-based checks of the paper's headline results on randomly drawn
+// games. The generators are seeded, so failures are reproducible; each
+// failure message carries the game parameters.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"dispersal"
+)
+
+// randomValues draws m site values i.i.d. from Uniform(lo, hi) and sorts
+// them non-increasingly, the paper's convention.
+func randomValues(rng *rand.Rand, m int, lo, hi float64) dispersal.Values {
+	out := make(dispersal.Values, m)
+	for i := range out {
+		out[i] = lo + rng.Float64()*(hi-lo)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// randomGame draws a game shape: 2..9 sites, 2..6 players.
+func randomGame(t *testing.T, rng *rand.Rand, c dispersal.Congestion) *dispersal.Game {
+	t.Helper()
+	m := 2 + rng.IntN(8)
+	k := 2 + rng.IntN(5)
+	f := randomValues(rng, m, 0.05, 4)
+	g, err := dispersal.NewGame(f, k, c)
+	if err != nil {
+		t.Fatalf("NewGame(%v, %d, %s): %v", f, k, c.Name(), err)
+	}
+	return g
+}
+
+// TestPropertyTheorem4 asserts Theorem 4 on random exclusive-policy games:
+// the IFD coincides with the optimal symmetric coverage strategy, so the
+// equilibrium's coverage equals the optimum's.
+func TestPropertyTheorem4(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 2018))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGame(t, rng, dispersal.Exclusive())
+		ifd, _, err := g.IFD()
+		if err != nil {
+			t.Fatalf("trial %d %s: IFD: %v", trial, g, err)
+		}
+		opt, optCover, err := g.OptimalCoverage()
+		if err != nil {
+			t.Fatalf("trial %d %s: OptimalCoverage: %v", trial, g, err)
+		}
+		ifdCover, err := g.Coverage(ifd)
+		if err != nil {
+			t.Fatalf("trial %d %s: Coverage: %v", trial, g, err)
+		}
+		if diff := math.Abs(ifdCover - optCover); diff > 1e-6*math.Max(1, optCover) {
+			t.Errorf("trial %d %s: Cover(IFD) = %.12g != optimal coverage %.12g (diff %g)",
+				trial, g, ifdCover, optCover, diff)
+		}
+		for x := range ifd {
+			if math.Abs(ifd[x]-opt[x]) > 1e-5 {
+				t.Errorf("trial %d %s: IFD and optimum differ at site %d: %.9g vs %.9g",
+					trial, g, x+1, ifd[x], opt[x])
+				break
+			}
+		}
+	}
+}
+
+// TestPropertyCorollary5 asserts Corollary 5 on random exclusive-policy
+// games: the symmetric price of anarchy is exactly 1.
+func TestPropertyCorollary5(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 2018))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGame(t, rng, dispersal.Exclusive())
+		inst, err := g.SPoA()
+		if err != nil {
+			t.Fatalf("trial %d %s: SPoA: %v", trial, g, err)
+		}
+		if math.Abs(inst.Ratio-1) > 1e-6 {
+			t.Errorf("trial %d %s: SPoA = %.12g, want 1", trial, g, inst.Ratio)
+		}
+	}
+}
+
+// TestIFDContextHonorsCancellation asserts that the general equilibrium
+// solver (non-exclusive policy, so the bisection path runs) stops on an
+// already-cancelled context instead of grinding through the numeric work.
+func TestIFDContextHonorsCancellation(t *testing.T) {
+	f := make(dispersal.Values, 400)
+	v := 1.0
+	for i := range f {
+		f[i] = v
+		v *= 0.995
+	}
+	g, err := dispersal.NewGame(f, 8, dispersal.Sharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := g.IFDContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("IFDContext on a cancelled ctx: %v, want context.Canceled", err)
+	}
+	// And through a memoizing session: the aborted solve is not cached.
+	a := g.Analyze()
+	if _, _, err := a.IFDContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Analysis.IFDContext on a cancelled ctx: %v", err)
+	}
+	if _, _, err := a.IFD(); err != nil {
+		t.Errorf("IFD after a cancelled attempt: %v (cancellation poisoned the session)", err)
+	}
+}
+
+// TestPropertyCongestedGames asserts, on random TwoPoint and PowerLaw
+// games, the two facts that hold for every congestion policy: the IFD is a
+// valid probability distribution and the SPoA is at least 1 (the optimum
+// can never cover less than an equilibrium).
+func TestPropertyCongestedGames(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 2018))
+	for trial := 0; trial < 60; trial++ {
+		var c dispersal.Congestion
+		if trial%2 == 0 {
+			// c2 in [-1, 1): aggression through near-constant reward.
+			c = dispersal.TwoPoint(-1 + 2*rng.Float64()*0.999)
+		} else {
+			// beta in [0, 3]: constant through harsh power-law decay.
+			c = dispersal.PowerLaw(3 * rng.Float64())
+		}
+		g := randomGame(t, rng, c)
+		ifd, _, err := g.IFD()
+		if err != nil {
+			t.Fatalf("trial %d %s: IFD: %v", trial, g, err)
+		}
+		if err := ifd.Validate(); err != nil {
+			t.Errorf("trial %d %s: IFD is not a distribution: %v (%v)", trial, g, err, ifd)
+		}
+		inst, err := g.SPoA()
+		if err != nil {
+			t.Fatalf("trial %d %s: SPoA: %v", trial, g, err)
+		}
+		if inst.Ratio < 1-1e-9 {
+			t.Errorf("trial %d %s: SPoA = %.12g < 1: an equilibrium out-covered the optimum",
+				trial, g, inst.Ratio)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package dispersal
+
+// Spec round-tripping: a Game can be flattened to the Spec that describes it
+// and rebuilt from one. Spec is the single game description shared by the
+// Sweep batch layer, the internal/speccodec wire codec, the dispersald
+// server and the CLI tools, so every layer of the system names a game the
+// same way.
+
+// Spec returns the game's description: its values, player count, congestion
+// policy and configured seed. The returned Spec's Values slice is a copy, so
+// callers may mutate it freely. FromSpec(g.Spec()) rebuilds an equivalent
+// game (the non-seed options revert to defaults unless re-supplied).
+func (g *Game) Spec() Spec {
+	return Spec{
+		Values: g.f.Clone(),
+		K:      g.k,
+		Policy: g.c,
+		Seed:   g.opt.seed,
+	}
+}
+
+// FromSpec validates and constructs the game a Spec describes. A non-zero
+// Spec.Seed is applied as WithSeed before the caller's options, so explicit
+// options win; a zero Seed leaves the seed to the options (or the default).
+// Spec.Tag is a caller-side label and does not affect the game.
+func FromSpec(s Spec, opts ...Option) (*Game, error) {
+	if s.Seed != 0 {
+		opts = append([]Option{WithSeed(s.Seed)}, opts...)
+	}
+	return NewGame(s.Values, s.K, s.Policy, opts...)
+}

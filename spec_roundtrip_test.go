@@ -1,0 +1,82 @@
+package dispersal_test
+
+import (
+	"testing"
+
+	"dispersal"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	g, err := dispersal.NewGame(dispersal.Values{1, 0.7, 0.4}, 3,
+		dispersal.TwoPoint(0.25), dispersal.WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := g.Spec()
+	if spec.K != 3 || spec.Seed != 99 {
+		t.Fatalf("Spec = %+v, want K=3 Seed=99", spec)
+	}
+	if spec.Policy.Name() != g.Policy().Name() {
+		t.Errorf("Spec policy %s, want %s", spec.Policy.Name(), g.Policy().Name())
+	}
+
+	// The returned values are a defensive copy.
+	spec.Values[0] = 1e9
+	if g.Values()[0] != 1 {
+		t.Error("mutating Spec.Values corrupted the game")
+	}
+	spec.Values[0] = 1
+
+	g2, err := dispersal.FromSpec(spec)
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	if g2.String() != g.String() {
+		t.Errorf("round trip changed the game: %s vs %s", g2, g)
+	}
+	p1, nu1, err := g.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, nu2, err := g2.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nu1 != nu2 {
+		t.Errorf("round trip changed nu: %v vs %v", nu1, nu2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Errorf("round trip changed the IFD at %d: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestFromSpecOptionPrecedence(t *testing.T) {
+	spec := dispersal.Spec{
+		Values: dispersal.Values{1, 0.5},
+		K:      2,
+		Policy: dispersal.Exclusive(),
+		Seed:   7,
+	}
+	// Explicit caller options win over the spec's seed.
+	g, err := dispersal.FromSpec(spec, dispersal.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Spec().Seed; got != 11 {
+		t.Errorf("seed = %d, want the caller's 11 over the spec's 7", got)
+	}
+	// Without caller options the spec's seed sticks.
+	g2, err := dispersal.FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.Spec().Seed; got != 7 {
+		t.Errorf("seed = %d, want the spec's 7", got)
+	}
+	// Invalid specs are rejected like NewGame rejects them.
+	if _, err := dispersal.FromSpec(dispersal.Spec{Values: dispersal.Values{1}, K: 0, Policy: dispersal.Exclusive()}); err == nil {
+		t.Error("FromSpec accepted k = 0")
+	}
+}

@@ -68,7 +68,8 @@ func Sweep[T any](ctx context.Context, specs []Spec, eval func(ctx context.Conte
 				seed = deriveSeed(o.seed, uint64(i))
 			}
 			var zero T
-			g, gerr := NewGame(s.Values, s.K, s.Policy, append(append([]Option{}, opts...), WithSeed(seed))...)
+			g, gerr := FromSpec(Spec{Values: s.Values, K: s.K, Policy: s.Policy},
+				append(append([]Option{}, opts...), WithSeed(seed))...)
 			if gerr != nil {
 				return zero, gerr
 			}
