@@ -111,6 +111,10 @@ func BenchmarkMechanismDiscovery(b *testing.B) { benchReport(b, experiments.E22M
 // BenchmarkInverseIFD regenerates E23 (occupancy -> values inversion).
 func BenchmarkInverseIFD(b *testing.B) { benchReport(b, experiments.E23InverseIFD) }
 
+// BenchmarkDriftingLandscape regenerates E24 (warm-start trajectory vs
+// frame-wise cold solves under drifting f).
+func BenchmarkDriftingLandscape(b *testing.B) { benchReport(b, experiments.E24DriftingLandscape) }
+
 // --- Core-solver scaling benchmarks -------------------------------------
 
 // BenchmarkSigmaStarClosedForm measures the paper's pseudocode across

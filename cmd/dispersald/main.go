@@ -6,16 +6,18 @@
 //
 //	dispersald [-addr HOST:PORT] [-workers N] [-cache-size N] [-timeout D]
 //
-// Endpoints (see internal/server):
+// Endpoints (see internal/server and docs/http-api.md):
 //
-//	POST /v1/analyze   one game spec -> IFD, coverage optimum, SPoA
-//	POST /v1/sweep     {"specs": [...]} -> per-item analyses
-//	GET  /healthz      liveness
-//	GET  /statsz       cache and request counters
+//	POST /v1/analyze     one game spec -> IFD, coverage optimum, SPoA
+//	POST /v1/sweep       {"specs": [...]} -> per-item analyses
+//	POST /v1/trajectory  {"spec": ..., "frames": [...]} -> one NDJSON line
+//	                     per drifting-landscape frame, warm-start solved
+//	GET  /healthz        liveness
+//	GET  /statsz         cache and request counters
 //
-// Identical specs share one cache entry and concurrent identical requests
-// solve once (singleflight); -timeout is the per-request deadline delivered
-// to every solver through its context.
+// Identical specs (trajectory frames included) share one cache entry and
+// concurrent identical requests solve once (singleflight); -timeout is the
+// per-request deadline delivered to every solver through its context.
 package main
 
 import (

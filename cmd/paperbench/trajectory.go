@@ -1,0 +1,115 @@
+package main
+
+// The -trajectory benchmark: warm-start trajectory solving versus per-frame
+// cold solves on a drifting landscape, the hot path of clients that
+// re-query as site values drift (seasonal depletion, foraging pressure).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"dispersal"
+	"dispersal/internal/site"
+)
+
+// The standard drifting-landscape workload: a 32-site geometric landscape,
+// heavy competition (k = 48) under the sharing policy, and a ±1.5% smooth
+// per-site oscillation (site.Drifted, the E24 drift model) that keeps every
+// frame sorted.
+const (
+	trajectorySites = 32
+	trajectoryK     = 48
+	trajectoryAmp   = 0.015
+)
+
+// driftFrames builds the deterministic frame sequence of the benchmark.
+func driftFrames(m, n int, amp float64) []dispersal.Values {
+	base := site.Geometric(m, 1, 0.9)
+	frames := make([]dispersal.Values, n)
+	for t := range frames {
+		frames[t] = dispersal.Values(site.Drifted(base, t, amp))
+	}
+	return frames
+}
+
+// runTrajectoryBench solves the same drifting sequence twice — cold, one
+// fresh game per frame; warm, one Game.Trajectory chain — verifies the two
+// agree to solver tolerance on every frame, and reports the speedup. A
+// measured speedup below minSpeedup is an error (0 disables the check), so
+// the benchmark doubles as a regression gate for the warm-start path.
+func runTrajectoryBench(ctx context.Context, frames int, minSpeedup float64) error {
+	if frames < 2 {
+		return fmt.Errorf("trajectory benchmark needs at least 2 frames, got %d", frames)
+	}
+	seq := driftFrames(trajectorySites, frames, trajectoryAmp)
+	pol := dispersal.Sharing()
+	fmt.Printf("trajectory benchmark: M=%d sites, k=%d players, %s policy, %d frames of ±%.1f%% drift\n\n",
+		trajectorySites, trajectoryK, pol.Name(), frames, 100*trajectoryAmp)
+
+	// Cold pass: every frame from scratch.
+	coldNus := make([]float64, frames)
+	coldPs := make([]dispersal.Strategy, frames)
+	coldStart := time.Now()
+	for i, f := range seq {
+		g, err := dispersal.NewGame(f, trajectoryK, pol)
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", i, err)
+		}
+		p, nu, err := g.IFDContext(ctx)
+		if err != nil {
+			return fmt.Errorf("cold frame %d: %w", i, err)
+		}
+		coldNus[i], coldPs[i] = nu, p
+	}
+	cold := time.Since(coldStart)
+
+	// Warm pass: one chained trajectory.
+	base, err := dispersal.NewGame(seq[0], trajectoryK, pol)
+	if err != nil {
+		return err
+	}
+	warmStart := time.Now()
+	analyses, err := base.Trajectory(ctx, seq)
+	if err != nil {
+		return fmt.Errorf("warm trajectory: %w", err)
+	}
+	warm := time.Since(warmStart)
+
+	// Equivalence check: the speedup must not have bought a different
+	// answer.
+	warmed := 0
+	worstNu, worstP := 0.0, 0.0
+	for i, a := range analyses {
+		p, nu, err := a.IFD()
+		if err != nil {
+			return fmt.Errorf("warm frame %d: %w", i, err)
+		}
+		if d := math.Abs(nu-coldNus[i]) / (1 + math.Abs(coldNus[i])); d > worstNu {
+			worstNu = d
+		}
+		if d := p.LInf(coldPs[i]); d > worstP {
+			worstP = d
+		}
+		if a.Game().Warmed() {
+			warmed++
+		}
+	}
+	if worstNu > 1e-9 || worstP > 1e-6 {
+		return fmt.Errorf("warm trajectory diverged from cold solves: |dnu| = %g, LInf(p) = %g", worstNu, worstP)
+	}
+
+	speedup := float64(cold) / float64(warm)
+	fmt.Printf("cold: %d frames in %s (%s/frame)\n", frames, cold.Round(time.Millisecond), (cold / time.Duration(frames)).Round(time.Microsecond))
+	fmt.Printf("warm: %d frames in %s (%s/frame), %d/%d warm-started\n", frames, warm.Round(time.Millisecond), (warm / time.Duration(frames)).Round(time.Microsecond), warmed, frames)
+	fmt.Printf("warm-start speedup: %.2fx\n", speedup)
+	fmt.Printf("equivalence: max |dnu|/(1+|nu|) = %.2g, max LInf(p) = %.2g across all frames\n", worstNu, worstP)
+	if warmed < frames-2 {
+		return fmt.Errorf("warm path engaged on only %d/%d frames", warmed, frames)
+	}
+	if minSpeedup > 0 && speedup < minSpeedup {
+		return fmt.Errorf("warm-start speedup %.2fx is below the %.1fx target", speedup, minSpeedup)
+	}
+	return nil
+}

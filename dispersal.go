@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"dispersal/internal/coverage"
 	"dispersal/internal/dynamics"
@@ -93,6 +94,17 @@ type Game struct {
 	k   int
 	c   policy.Congestion
 	opt gameOptions
+
+	// parent, when non-nil, is the game this one evolved from (Evolve /
+	// EvolveTo): its most recent equilibrium solve seeds this game's first
+	// solve through the warm-start path. The link is dropped once this
+	// game records a solve of its own, so long evolution chains do not
+	// retain every ancestor — descendants only ever need the nearest
+	// solved game.
+	parent atomic.Pointer[Game]
+	// lastWarm records this game's most recent successful equilibrium
+	// solve, for warm-start seeding of evolved games.
+	lastWarm atomic.Pointer[ifd.WarmState]
 }
 
 // ErrNilPolicy is returned by NewGame when no congestion policy is given.
@@ -158,12 +170,62 @@ func (g *Game) IFD() (Strategy, float64, error) {
 // equilibrium search honors cancellation between its numeric steps, so a
 // deadline stops the solve on large games. (The exclusive policy's IFD is
 // closed form and returns promptly regardless.)
+//
+// A game built by Evolve or EvolveTo warm-starts its first solve from the
+// nearest solved ancestor in its evolution chain; a game built directly by
+// NewGame always solves cold. Either way the result matches a cold solve
+// within the solver tolerance, and every successful solve is recorded so
+// games evolved from this one can warm-start in turn.
 func (g *Game) IFDContext(ctx context.Context) (Strategy, float64, error) {
 	if policy.IsExclusive(g.c, g.k) {
 		p, res, err := ifd.Exclusive(g.f, g.k)
+		if err == nil {
+			// Closed form, nothing to warm-start — but evolution chains
+			// are policy-uniform, so no descendant will ever need an
+			// ancestor either: release the chain like the general path.
+			g.parent.Store(nil)
+		}
 		return p, res.Nu, err
 	}
-	return ifd.SolveContext(ctx, g.f, g.k, g.c)
+	p, nu, st, err := ifd.SolveWarm(ctx, g.warmSeed(), g.f, g.k, g.c)
+	if err != nil {
+		return nil, 0, err
+	}
+	g.lastWarm.Store(st)
+	// This game now carries its own state; descendants seed from it
+	// directly, so release the ancestor chain for the GC.
+	g.parent.Store(nil)
+	return p, nu, nil
+}
+
+// warmSeed returns the nearest recorded equilibrium solve in this game's
+// evolution chain: the parent's, else the grandparent's, and so on. The
+// game's own record is deliberately excluded — a game built directly by
+// NewGame keeps solving cold, so repeated Game.IFD calls stay bit-for-bit
+// deterministic; only evolved games inherit state.
+func (g *Game) warmSeed() *ifd.WarmState {
+	for cur := g.parent.Load(); cur != nil; cur = cur.parent.Load() {
+		if st := cur.lastWarm.Load(); st != nil {
+			return st
+		}
+	}
+	return nil
+}
+
+// Warmed reports whether this game's most recent equilibrium solve took the
+// warm-start path (false before any solve, after a cold solve, or after a
+// bracket-failure fallback).
+func (g *Game) Warmed() bool { return g.lastWarm.Load().Warmed() }
+
+// SeedWarm records an externally known equilibrium of this game — typically
+// one recovered from a result cache — so that games evolved from it can
+// warm-start without this game ever solving locally. p must be the game's
+// equilibrium strategy and nu its equilibrium value; a wrong seed cannot
+// corrupt later solves (warm brackets are verified and fall back cold), it
+// can only waste the warm attempt.
+func (g *Game) SeedWarm(p Strategy, nu float64) {
+	g.lastWarm.Store(ifd.NewWarmState(g.f, g.k, g.c, p, nu))
+	g.parent.Store(nil) // descendants seed from this state directly
 }
 
 // SigmaStar returns the closed-form IFD of the exclusive policy on this

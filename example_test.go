@@ -1,6 +1,7 @@
 package dispersal_test
 
 import (
+	"context"
 	"fmt"
 
 	"dispersal"
@@ -51,12 +52,69 @@ func ExampleGame_OptimalCoverage() {
 	// equals the equilibrium (Theorem 4): true
 }
 
-func ExampleGame_ESSAudit() {
-	g := dispersal.MustGame(dispersal.Values{1, 0.5, 0.25}, 3, dispersal.Exclusive())
-	rep, _ := g.ESSAudit(nil, 40, 7)
+func ExampleGame_ESSAuditContext() {
+	g := dispersal.MustGame(dispersal.Values{1, 0.5, 0.25}, 3, dispersal.Exclusive(),
+		dispersal.WithMutants(40), dispersal.WithSeed(7))
+	rep, _ := g.ESSAuditContext(context.Background(), nil)
 	fmt.Printf("mutants defeated: %v (invasions: %d)\n", rep.Failures == 0, rep.Failures)
 	// Output:
 	// mutants defeated: true (invasions: 0)
+}
+
+// Analyze opens a memoizing session: each quantity is solved once, however
+// many times (and from however many goroutines) it is queried.
+func ExampleGame_Analyze() {
+	g := dispersal.MustGame(dispersal.Values{1, 0.6, 0.3}, 4, dispersal.Sharing())
+	a := g.Analyze()
+
+	_, nu, _ := a.IFD() // solves
+	a.IFD()             // cached
+	inst, _ := a.SPoA() // one more solve
+	a.Ratio()           // cached, shares the SPoA cell
+
+	fmt.Printf("nu = %.4f, SPoA = %.4f, solver runs = %d\n", nu, inst.Ratio, a.Solves())
+	// Output:
+	// nu = 0.3660, SPoA = 1.0784, solver runs = 2
+}
+
+// Sweep evaluates a batch of game specs across a bounded worker pool; each
+// item gets its own memoizing Analysis.
+func ExampleSweep() {
+	specs := []dispersal.Spec{
+		{Values: dispersal.Values{1, 0.3}, K: 2, Policy: dispersal.TwoPoint(-0.25), Tag: "c=-0.25"},
+		{Values: dispersal.Values{1, 0.3}, K: 2, Policy: dispersal.Exclusive(), Tag: "c=0"},
+		{Values: dispersal.Values{1, 0.3}, K: 2, Policy: dispersal.TwoPoint(0.25), Tag: "c=+0.25"},
+	}
+	results, err := dispersal.Sweep(context.Background(), specs,
+		func(ctx context.Context, a *dispersal.Analysis) (float64, error) {
+			inst, err := a.SPoAContext(ctx)
+			return inst.Ratio, err
+		},
+		dispersal.WithWorkers(2))
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: SPoA %.4f\n", r.Tag, r.Value)
+	}
+	// Output:
+	// c=-0.25: SPoA 1.0143
+	// c=0: SPoA 1.0000
+	// c=+0.25: SPoA 1.0408
+}
+
+// Evolve chains games over a drifting landscape: the evolved game's first
+// equilibrium solve warm-starts from its parent's solution.
+func ExampleGame_Evolve() {
+	g := dispersal.MustGame(dispersal.Values{1, 0.8, 0.6, 0.4}, 6, dispersal.Sharing())
+	_, nu0, _ := g.IFD() // cold solve, recorded for the children
+
+	g2, _ := g.Evolve(dispersal.Values{0.02, -0.01, 0.01, -0.005})
+	_, nu1, _ := g2.IFD() // warm-started from g's solution
+
+	fmt.Printf("nu drifted %.4f -> %.4f (warm-started: %v)\n", nu0, nu1, g2.Warmed())
+	// Output:
+	// nu drifted 0.3685 -> 0.3698 (warm-started: true)
 }
 
 func ExampleGame_PureEquilibria() {

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"dispersal/internal/coverage"
+	"dispersal/internal/ifd"
+	"dispersal/internal/optimize"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/table"
+)
+
+// E24DriftingLandscape is E24 with a background context.
+func E24DriftingLandscape() (Report, error) {
+	return E24DriftingLandscapeContext(context.Background())
+}
+
+// E24DriftingLandscapeContext tracks the dispersal game over a drifting
+// landscape — the time-varying regime the depletion and foraging examples
+// gesture at. Every frame's equilibrium is solved through the warm-start
+// path (ifd.SolveWarm seeded by the previous frame) and cross-checked
+// against an independent cold solve; per frame it reports the equilibrium
+// value, the equilibrium and optimal coverages, and the SPoA. The paper's
+// static guarantees must hold frame-wise: SPoA >= 1 always, and the warm
+// path must agree with the cold solver to solver tolerance.
+func E24DriftingLandscapeContext(ctx context.Context) (Report, error) {
+	const (
+		k      = 8
+		frames = 32
+		amp    = 0.02
+	)
+	base := site.Geometric(16, 1, 0.85)
+	c := policy.Sharing{}
+
+	tb := table.New("frame", "nu", "Cover(IFD)", "Cover(p*)", "SPoA", "warm")
+	pass := true
+	var st *ifd.WarmState
+	warmed := 0
+	worstNu, worstP := 0.0, 0.0
+	minSPoA := math.Inf(1)
+	for t := 0; t < frames; t++ {
+		f := site.Drifted(base, t, amp)
+		pWarm, nuWarm, next, err := ifd.SolveWarm(ctx, st, f, k, c)
+		if err != nil {
+			return Report{ID: "E24"}, err
+		}
+		st = next
+		if next.Warmed() {
+			warmed++
+		}
+		pCold, nuCold, err := ifd.SolveContext(ctx, f, k, c)
+		if err != nil {
+			return Report{ID: "E24"}, err
+		}
+		if d := math.Abs(nuWarm-nuCold) / (1 + math.Abs(nuCold)); d > worstNu {
+			worstNu = d
+		}
+		if d := pWarm.LInf(pCold); d > worstP {
+			worstP = d
+		}
+		opt, _, err := optimize.MaxCoverage(f, k)
+		if err != nil {
+			return Report{ID: "E24"}, err
+		}
+		eqCover := coverage.Cover(f, pWarm, k)
+		optCover := coverage.Cover(f, opt, k)
+		spoa := optCover / eqCover
+		if spoa < minSPoA {
+			minSPoA = spoa
+		}
+		if spoa < 1-1e-9 {
+			pass = false
+		}
+		if t%4 == 0 {
+			tb.AddRowf(t, nuWarm, eqCover, optCover, spoa, next.Warmed())
+		}
+	}
+	if worstNu > 1e-9 || worstP > 1e-6 {
+		pass = false
+	}
+	// Frame 0 has no seed; every later frame of a 2% drift should warm.
+	if warmed < frames-2 {
+		pass = false
+	}
+	return Report{
+		ID:         "E24",
+		Title:      "Drifting landscapes: SPoA and coverage under time-varying f",
+		PaperClaim: "frame-wise SPoA >= 1 under sharing; warm-started equilibria match cold solves",
+		Table:      tb,
+		Notes: []string{
+			fmt.Sprintf("%d/%d frames warm-started; worst warm-vs-cold deviation: |dnu|/(1+|nu|) = %.2g, LInf(p) = %.2g",
+				warmed, frames, worstNu, worstP),
+			fmt.Sprintf("min frame SPoA = %.6f (sharing stays inefficient but bounded on every frame)", minSPoA),
+		},
+		Pass: pass,
+	}, nil
+}

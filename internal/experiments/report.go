@@ -1,7 +1,8 @@
 // Package experiments implements the paper-reproduction harness: one entry
-// point per experiment in DESIGN.md's index (E1-E23), each returning a
-// structured Report with a rendered table, optional charts, and a Pass flag
-// recording whether the paper's qualitative claim held on this run.
+// point per experiment in DESIGN.md's index (E1-E23, plus the E24
+// drifting-landscape extension), each returning a structured Report with a
+// rendered table, optional charts, and a Pass flag recording whether the
+// paper's qualitative claim held on this run.
 //
 // cmd/paperbench renders all reports (and regenerates EXPERIMENTS.md);
 // bench_test.go at the module root wraps each entry point in a testing.B
@@ -146,6 +147,7 @@ func suite() []entry {
 		{"E21", E21CompetitionSweepLargerGamesContext},
 		{"E22", noCtx(E22MechanismDiscovery)},
 		{"E23", noCtx(E23InverseIFD)},
+		{"E24", E24DriftingLandscapeContext},
 	}
 }
 

@@ -185,32 +185,7 @@ func SolveContext(ctx context.Context, f site.Values, k int, c policy.Congestion
 	gAtOne := Gee(c, k, 1) // minimum of g
 	// Mass placed on site x at candidate equilibrium value nu.
 	massAt := func(nu float64) (strategy.Strategy, float64, error) {
-		p := make(strategy.Strategy, m)
-		var total numeric.Accumulator
-		for x := 0; x < m; x++ {
-			if err := ctx.Err(); err != nil {
-				return nil, 0, err
-			}
-			fx := f[x]
-			if fx <= nu {
-				continue // site unexplored: f(x)*g(0) = f(x) <= nu
-			}
-			target := nu / fx
-			if target <= gAtOne {
-				p[x] = 1
-				total.Add(1)
-				continue
-			}
-			q, err := numeric.Brent(func(q float64) float64 {
-				return Gee(c, k, q) - target
-			}, 0, 1, 1e-15, 200)
-			if err != nil {
-				return nil, 0, fmt.Errorf("%w: inverting g at site %d: %v", ErrSolveFailed, x+1, err)
-			}
-			p[x] = q
-			total.Add(q)
-		}
-		return p, total.Sum(), nil
+		return siteMasses(ctx, f, k, c, gAtOne, nu, nil)
 	}
 
 	// Bracket nu: at nu = f(1), no site takes mass (total 0 <= 1); at

@@ -1,0 +1,303 @@
+package ifd
+
+// Warm-start equilibrium solving for time-varying landscapes.
+//
+// Solving a drifting sequence f_0, f_1, ... of value functions from scratch
+// wastes everything an adjacent solve already established: the equilibrium
+// value nu moves by O(drift), and so do the per-site visit probabilities.
+// SolveWarm seeds the outer root-find on nu with a drift-scaled bracket
+// around the previous solution's nu (falling back to the cold bracket on
+// failure) and narrows every per-site Brent inversion around the previous
+// per-site mass, which turns the cold solver's ~50 full-width bisection
+// passes into a handful of bracketed Brent steps.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// WarmState carries the reusable state of one equilibrium solve: the
+// landscape it solved, the per-site visit probabilities and the equilibrium
+// value nu. Pass it to SolveWarm to seed the next solve of a nearby
+// landscape. A WarmState is immutable after creation and safe to share
+// between goroutines.
+type WarmState struct {
+	f   site.Values
+	k   int
+	pol string // policy display name, parameters included
+	q   strategy.Strategy
+	nu  float64
+	// warm records whether the solve that produced this state was itself
+	// warm-seeded (telemetry for benchmarks and the trajectory endpoint).
+	warm bool
+}
+
+// Nu returns the equilibrium value of the solve this state records.
+func (s *WarmState) Nu() float64 { return s.nu }
+
+// Strategy returns a copy of the equilibrium strategy this state records.
+func (s *WarmState) Strategy() strategy.Strategy { return s.q.Clone() }
+
+// Warmed reports whether the solve that produced this state took the
+// warm-start path (as opposed to a cold solve or a fallback).
+func (s *WarmState) Warmed() bool { return s != nil && s.warm }
+
+// NewWarmState rehydrates solver state from an externally known equilibrium
+// — e.g. one recovered from a result cache — so a trajectory can stay warm
+// across frames that were not solved locally. p must be the equilibrium
+// strategy of (f, k, c) and nu its equilibrium value; a wrong seed cannot
+// corrupt a later solve (the bracket verification falls back to a cold
+// solve), it can only waste the warm attempt.
+func NewWarmState(f site.Values, k int, c policy.Congestion, p strategy.Strategy, nu float64) *WarmState {
+	return &WarmState{f: f.Clone(), k: k, pol: c.Name(), q: p.Clone(), nu: nu}
+}
+
+// compatible reports whether the state can seed a solve of (f, k, c): same
+// site count, same player count, same (identically parameterized) policy.
+func (s *WarmState) compatible(f site.Values, k int, c policy.Congestion) bool {
+	return s != nil && s.k == k && len(s.f) == len(f) && len(s.q) == len(f) && s.pol == c.Name()
+}
+
+// siteMasses returns the per-site masses taken at candidate equilibrium
+// value nu together with their total. hint, when non-nil, is a previous
+// solution's per-site mass vector: each Brent inversion is then bracketed in
+// a verified narrow interval around hint[x] instead of [0, 1]. With a nil
+// hint the numerics are exactly those of the cold solver.
+func siteMasses(ctx context.Context, f site.Values, k int, c policy.Congestion, gAtOne, nu float64, hint strategy.Strategy) (strategy.Strategy, float64, error) {
+	m := len(f)
+	p := make(strategy.Strategy, m)
+	var total numeric.Accumulator
+	for x := 0; x < m; x++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		fx := f[x]
+		if fx <= nu {
+			continue // site unexplored: f(x)*g(0) = f(x) <= nu
+		}
+		target := nu / fx
+		if target <= gAtOne {
+			p[x] = 1
+			total.Add(1)
+			continue
+		}
+		h := func(q float64) float64 {
+			return Gee(c, k, q) - target
+		}
+		lo, hi := 0.0, 1.0
+		if hint != nil {
+			lo, hi = seedBracket(h, hint[x])
+		}
+		q, err := numeric.Brent(h, lo, hi, 1e-15, 200)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: inverting g at site %d: %v", ErrSolveFailed, x+1, err)
+		}
+		p[x] = q
+		total.Add(q)
+	}
+	return p, total.Sum(), nil
+}
+
+// seedBracketHalfWidth is the initial half-width of a warm per-site
+// inversion bracket around the previous solution's mass.
+const seedBracketHalfWidth = 0.01
+
+// seedBracket narrows the inversion interval for h (strictly decreasing on
+// [0, 1]) around the seed q0. Each probe is sound regardless of where the
+// root actually is: monotonicity means a probe with h >= 0 is a valid lower
+// end and one with h <= 0 a valid upper end, so a stale seed degrades to at
+// worst two wasted evaluations, never a wrong bracket.
+func seedBracket(h func(float64) float64, q0 float64) (lo, hi float64) {
+	lo, hi = 0, 1
+	if !(q0 > 0 && q0 < 1) {
+		return lo, hi
+	}
+	if a := q0 - seedBracketHalfWidth; a > lo {
+		if h(a) >= 0 {
+			lo = a
+		} else {
+			hi = a
+		}
+	}
+	if b := q0 + seedBracketHalfWidth; b < hi && b > lo {
+		if h(b) <= 0 {
+			hi = b
+		} else {
+			lo = b
+		}
+	}
+	return lo, hi
+}
+
+// SolveWarm returns the IFD of the game (f, k, C) like SolveContext, seeding
+// the search from prev — the state of a previous solve of a nearby landscape
+// — when prev is compatible (same site count, player count and policy). It
+// always returns the state of the solve it performed, for threading through
+// the next step of a trajectory.
+//
+// A nil or incompatible prev, a degenerate game (k = 1, a single site, a
+// congestion-free policy) and any warm bracket that fails to capture the new
+// equilibrium all fall back to the cold solver, so SolveWarm never trades
+// correctness for speed: its result matches SolveContext up to the solvers'
+// shared numerical tolerance on every input.
+func SolveWarm(ctx context.Context, prev *WarmState, f site.Values, k int, c policy.Congestion) (strategy.Strategy, float64, *WarmState, error) {
+	if prev.compatible(f, k, c) && !degenerate(f, k, c) {
+		p, nu, ok, err := solveWarmCore(ctx, prev, f, k, c)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if ok {
+			return p, nu, &WarmState{f: f.Clone(), k: k, pol: c.Name(), q: p.Clone(), nu: nu, warm: true}, nil
+		}
+	}
+	p, nu, err := SolveContext(ctx, f, k, c)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return p, nu, &WarmState{f: f.Clone(), k: k, pol: c.Name(), q: p.Clone(), nu: nu}, nil
+}
+
+// degenerate reports the cases the cold solver answers in closed form, where
+// warm seeding has nothing to accelerate.
+func degenerate(f site.Values, k int, c policy.Congestion) bool {
+	return k == 1 || len(f) == 1 || isConstantOnRange(c, k)
+}
+
+// warmExpandFactor grows the nu bracket each time an endpoint fails its sign
+// check; warmMaxExpand bounds the growth before falling back cold.
+const (
+	warmExpandFactor = 8
+	warmMaxExpand    = 6
+)
+
+// solveWarmCore attempts the warm solve proper. ok = false (with a nil
+// error) asks the caller to fall back to the cold solver; only context
+// errors propagate as errors, so a numerical oddity on the warm path can
+// never fail a solve the cold path would have completed.
+func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c policy.Congestion) (strategy.Strategy, float64, bool, error) {
+	if err := f.Validate(); err != nil {
+		return nil, 0, false, nil // let the cold path report the input error
+	}
+	if err := policy.Validate(c, k); err != nil {
+		return nil, 0, false, nil
+	}
+	m := len(f)
+	gAtOne := Gee(c, k, 1)
+
+	// Cold bracket bounds: signs are guaranteed at these by construction
+	// (every site saturates below loC; no site takes mass at hiC), so the
+	// warm bracket never needs to expand past them.
+	hiC := f[0]
+	loC := f[m-1] * gAtOne
+	if gAtOne < 0 {
+		loC = f[0] * gAtOne
+	}
+	loC -= 1 + math.Abs(loC)*1e-3
+
+	// Excess mass at candidate value nu: positive below the equilibrium
+	// value, negative above it (total site mass is non-increasing in nu).
+	// Each evaluation refreshes the per-site hints with its own masses —
+	// successive candidate values are close together, so the latest masses
+	// seed the next round of inversions tighter than the previous frame's.
+	var solveErr error
+	hint := prev.q
+	excess := func(nu float64) float64 {
+		if solveErr != nil {
+			return 0
+		}
+		p, tot, err := siteMasses(ctx, f, k, c, gAtOne, nu, hint)
+		if err != nil {
+			solveErr = err
+			return 0
+		}
+		hint = p
+		return tot - 1
+	}
+
+	// Drift-scaled initial bracket around the previous nu.
+	drift := 0.0
+	for x := range f {
+		if d := math.Abs(f[x]-prev.f[x]) / prev.f[x]; d > drift {
+			drift = d
+		}
+	}
+	w := (2*drift + 1e-9) * (1 + math.Abs(prev.nu))
+	lo := math.Max(loC, prev.nu-w)
+	hi := math.Min(hiC, prev.nu+w)
+
+	// Establish the sign condition excess(lo) >= 0 >= excess(hi), expanding
+	// geometrically on whichever side fails. A failed endpoint is still a
+	// valid endpoint for the other side (monotonicity), and every probed
+	// value is carried forward, so no evaluation is wasted.
+	elo := excess(lo)
+	ehi, ehiKnown := 0.0, false
+	for i := 0; elo < 0 && i < warmMaxExpand && solveErr == nil; i++ {
+		hi, ehi, ehiKnown = lo, elo, true
+		if lo == loC {
+			break
+		}
+		w *= warmExpandFactor
+		lo = math.Max(loC, prev.nu-w)
+		elo = excess(lo)
+	}
+	if !ehiKnown {
+		ehi = excess(hi)
+	}
+	for i := 0; ehi > 0 && i < warmMaxExpand && solveErr == nil; i++ {
+		lo, elo = hi, ehi // excess(lo) = ehi > 0 holds
+		if hi == hiC {
+			break
+		}
+		w *= warmExpandFactor
+		hi = math.Min(hiC, prev.nu+w)
+		ehi = excess(hi)
+	}
+	if solveErr != nil {
+		return warmFail(solveErr)
+	}
+	if elo < 0 || ehi > 0 {
+		return nil, 0, false, nil // bracket failed: cold fallback
+	}
+
+	var nu float64
+	switch {
+	case elo == 0:
+		nu = lo
+	case ehi == 0:
+		nu = hi
+	default:
+		root, err := numeric.BrentSeeded(excess, lo, hi, elo, ehi, 1e-14*(1+math.Abs(prev.nu)), 200)
+		if solveErr != nil {
+			return warmFail(solveErr)
+		}
+		if err != nil {
+			return nil, 0, false, nil
+		}
+		nu = root
+	}
+
+	p, _, err := siteMasses(ctx, f, k, c, gAtOne, nu, hint)
+	if err != nil {
+		return warmFail(err)
+	}
+	if _, err := p.Normalize(); err != nil {
+		return nil, 0, false, nil
+	}
+	return p, nu, true, nil
+}
+
+// warmFail routes a warm-path failure: context errors abort the solve,
+// anything else requests the cold fallback.
+func warmFail(err error) (strategy.Strategy, float64, bool, error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, 0, false, err
+	}
+	return nil, 0, false, nil
+}

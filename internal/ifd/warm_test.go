@@ -1,0 +1,250 @@
+package ifd
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+)
+
+// allPolicies is the full policy zoo of the wire codec, exercised by the
+// warm/cold equivalence property test.
+func allPolicies() []policy.Congestion {
+	return []policy.Congestion{
+		policy.Exclusive{},
+		policy.Sharing{},
+		policy.Constant{},
+		policy.TwoPoint{C2: 0.4},
+		policy.PowerLaw{Beta: 1.5},
+		policy.Cooperative{Gamma: 0.85},
+		policy.Aggressive{Penalty: 0.5},
+		mustTable([]float64{1, 0.6, 0.3}, 0.1),
+	}
+}
+
+func mustTable(head []float64, tail float64) policy.Congestion {
+	c, err := policy.NewTable(head, tail)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// driftFrames generates a deterministic sequence of valid (sorted, positive)
+// landscapes drifting multiplicatively from base.
+func driftFrames(base site.Values, frames int, amp float64, seed uint64) []site.Values {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	out := make([]site.Values, frames)
+	cur := base.Clone()
+	for t := range out {
+		next := make(site.Values, len(cur))
+		for i, v := range cur {
+			next[i] = v * (1 + amp*(2*rng.Float64()-1))
+		}
+		next = site.Sorted(next)
+		out[t] = next
+		cur = next
+	}
+	return out
+}
+
+// TestSolveWarmMatchesColdAllPolicies is the warm/cold equivalence property
+// test: over drifting landscape sequences, the warm-started solve must agree
+// with an independent cold solve on every frame, for every policy of the
+// zoo.
+func TestSolveWarmMatchesColdAllPolicies(t *testing.T) {
+	ctx := context.Background()
+	base := site.Geometric(12, 1, 0.85)
+	const k = 6
+	for _, c := range allPolicies() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			var st *WarmState
+			warmed := 0
+			for fi, f := range driftFrames(base, 24, 0.02, 42) {
+				pw, nuW, next, err := SolveWarm(ctx, st, f, k, c)
+				if err != nil {
+					t.Fatalf("frame %d: SolveWarm: %v", fi, err)
+				}
+				pc, nuC, err := Solve(f, k, c)
+				if err != nil {
+					t.Fatalf("frame %d: cold Solve: %v", fi, err)
+				}
+				if d := math.Abs(nuW - nuC); d > 1e-9*(1+math.Abs(nuC)) {
+					t.Fatalf("frame %d: nu diverged: warm %v cold %v (|d|=%g)", fi, nuW, nuC, d)
+				}
+				if d := pw.LInf(pc); d > 1e-6 {
+					t.Fatalf("frame %d: strategy diverged: LInf=%g", fi, d)
+				}
+				if err := Check(f, pw, k, c, 1e-6); err != nil {
+					t.Fatalf("frame %d: warm result is not an IFD: %v", fi, err)
+				}
+				if next.Warmed() {
+					warmed++
+				}
+				st = next
+			}
+			if degenerate(base, k, c) {
+				if warmed != 0 {
+					t.Fatalf("degenerate policy took the warm path %d times", warmed)
+				}
+			} else if warmed < 20 {
+				t.Fatalf("warm path used on only %d/24 frames", warmed)
+			}
+		})
+	}
+}
+
+// TestSolveWarmColdFallbacks checks that incompatible or absent state takes
+// the cold path and still solves correctly.
+func TestSolveWarmColdFallbacks(t *testing.T) {
+	ctx := context.Background()
+	f := site.Geometric(8, 1, 0.8)
+	c := policy.Sharing{}
+
+	p, nu, st, err := SolveWarm(ctx, nil, f, 4, c)
+	if err != nil {
+		t.Fatalf("cold SolveWarm: %v", err)
+	}
+	if st.Warmed() {
+		t.Fatal("nil prev must not report a warm solve")
+	}
+	if err := Check(f, p, 4, c, 1e-6); err != nil {
+		t.Fatalf("cold result invalid: %v", err)
+	}
+	if st.Nu() != nu {
+		t.Fatalf("state nu %v != returned nu %v", st.Nu(), nu)
+	}
+
+	// Wrong k, wrong m, wrong policy: all must fall back cold, not fail.
+	for name, tc := range map[string]struct {
+		f site.Values
+		k int
+		c policy.Congestion
+	}{
+		"players": {f, 5, c},
+		"sites":   {site.Geometric(9, 1, 0.8), 4, c},
+		"policy":  {f, 4, policy.PowerLaw{Beta: 2}},
+	} {
+		_, _, st2, err := SolveWarm(ctx, st, tc.f, tc.k, tc.c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st2.Warmed() {
+			t.Fatalf("%s: incompatible state must not warm-start", name)
+		}
+	}
+}
+
+// TestSolveWarmRehydrated seeds from a NewWarmState built out of a cold
+// solution, as the serving stack does after a cache hit.
+func TestSolveWarmRehydrated(t *testing.T) {
+	ctx := context.Background()
+	f := site.Zipf(10, 1, 1)
+	const k = 5
+	c := policy.PowerLaw{Beta: 2}
+	p, nu, err := Solve(f, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewWarmState(f, k, c, p, nu)
+	if got := st.Strategy(); got.LInf(p) != 0 {
+		t.Fatal("rehydrated state strategy mismatch")
+	}
+
+	f2 := f.Clone()
+	for i := range f2 {
+		f2[i] *= 1.01
+	}
+	pw, nuW, next, err := SolveWarm(ctx, st, f2, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Warmed() {
+		t.Fatal("rehydrated state should enable the warm path")
+	}
+	pc, nuC, err := Solve(f2, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nuW-nuC) > 1e-9*(1+math.Abs(nuC)) || pw.LInf(pc) > 1e-6 {
+		t.Fatalf("rehydrated warm solve diverged: nu %v vs %v", nuW, nuC)
+	}
+}
+
+// TestSolveWarmStaleSeed feeds a wildly wrong warm state (a jump, not a
+// drift) and requires a correct answer regardless of which path ran.
+func TestSolveWarmStaleSeed(t *testing.T) {
+	ctx := context.Background()
+	const k = 4
+	c := policy.Sharing{}
+	f1 := site.Geometric(8, 1, 0.9)
+	_, _, st, err := SolveWarm(ctx, nil, f1, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := site.Geometric(8, 100, 0.3) // completely different landscape
+	pw, nuW, _, err := SolveWarm(ctx, st, f2, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, nuC, err := Solve(f2, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nuW-nuC) > 1e-9*(1+math.Abs(nuC)) || pw.LInf(pc) > 1e-6 {
+		t.Fatalf("stale-seed solve diverged: nu %v vs %v", nuW, nuC)
+	}
+}
+
+// TestSolveWarmCancellation verifies the warm path honors context
+// cancellation like the cold one.
+func TestSolveWarmCancellation(t *testing.T) {
+	f := site.Geometric(64, 1, 0.95)
+	const k = 32
+	c := policy.Sharing{}
+	_, _, st, err := SolveWarm(context.Background(), nil, f, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := SolveWarm(ctx, st, f, k, c); err == nil {
+		t.Fatal("cancelled warm solve must fail")
+	}
+}
+
+// BenchmarkWarmVsCold quantifies the per-frame speedup on a drifting
+// sequence; cmd/paperbench -trajectory reports the same ratio end to end.
+func BenchmarkWarmVsCold(b *testing.B) {
+	base := site.Geometric(32, 1, 0.9)
+	const k = 48
+	c := policy.Sharing{}
+	frames := driftFrames(base, 64, 0.015, 7)
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range frames {
+				if _, _, err := Solve(f, k, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var st *WarmState
+			for _, f := range frames {
+				var err error
+				_, _, st, err = SolveWarm(ctx, st, f, k, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

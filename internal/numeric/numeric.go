@@ -217,8 +217,16 @@ func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64,
 // than plain bisection on smooth functions and is used by the general IFD
 // solver's inner inversion.
 func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	return BrentSeeded(f, lo, hi, f(lo), f(hi), tol, maxIter)
+}
+
+// BrentSeeded is Brent for callers that have already evaluated the
+// endpoints: flo and fhi must equal f(lo) and f(hi). The warm-start
+// equilibrium solver uses it to avoid re-running its (expensive) excess-mass
+// evaluation at bracket endpoints it just probed.
+func BrentSeeded(f func(float64) float64, lo, hi, flo, fhi, tol float64, maxIter int) (float64, error) {
 	a, b := lo, hi
-	fa, fb := f(a), f(b)
+	fa, fb := flo, fhi
 	if fa == 0 {
 		return a, nil
 	}

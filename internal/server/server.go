@@ -3,19 +3,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze  one game spec in the speccodec wire form; responds
-//	                  with the game's IFD, coverage optimum and SPoA.
-//	POST /v1/sweep    {"specs": [spec, ...]}; fans the batch out onto
-//	                  dispersal.Sweep and answers per item.
-//	GET  /healthz     liveness.
-//	GET  /statsz      cache and request counters.
+//	POST /v1/analyze     one game spec in the speccodec wire form; responds
+//	                     with the game's IFD, coverage optimum and SPoA.
+//	POST /v1/sweep       {"specs": [spec, ...]}; fans the batch out onto
+//	                     dispersal.Sweep and answers per item.
+//	POST /v1/trajectory  {"spec": spec, "frames": [[...], ...]}; solves the
+//	                     spec's game over a sequence of drifting landscapes,
+//	                     warm-starting each frame from the previous one, and
+//	                     streams one NDJSON result line per frame.
+//	GET  /healthz        liveness.
+//	GET  /statsz         cache and request counters.
 //
-// Identical game specs — across clients, across analyze and sweep, however
-// the JSON was spelled — share one cache entry keyed by speccodec.CacheKey,
-// and concurrent identical requests collapse onto a single solve
-// (singleflight). Each request runs under a deadline (Config.Timeout)
-// propagated as a context through every solver; an exceeded deadline
-// answers 504 and is never cached.
+// Identical game specs — across clients, across analyze, sweep and
+// trajectory frames, however the JSON was spelled — share one cache entry
+// keyed by speccodec.CacheKey (trajectory frames use the frame-substituted
+// speccodec.FrameKey, which is the same keyspace), and concurrent identical
+// requests collapse onto a single solve (singleflight). Each request runs
+// under a deadline (Config.Timeout) propagated as a context through every
+// solver; an exceeded deadline answers 504 — or, mid-stream on a
+// trajectory, a terminal error line — and is never cached.
 package server
 
 import (
@@ -38,6 +44,9 @@ const maxBodyBytes = 4 << 20
 
 // maxSweepItems bounds one sweep batch.
 const maxSweepItems = 4096
+
+// maxTrajectoryFrames bounds one trajectory request.
+const maxTrajectoryFrames = 4096
 
 // Config tunes a Server.
 type Config struct {
@@ -82,8 +91,11 @@ type Server struct {
 	start time.Time
 
 	// solves counts underlying solver runs — the quantity the cache
-	// exists to minimize. analyzeReqs/sweepReqs/sweepItems count traffic.
-	solves, analyzeReqs, sweepReqs, sweepItems atomic.Int64
+	// exists to minimize. analyzeReqs/sweepReqs/sweepItems and
+	// trajectoryReqs/trajectoryFrames/trajectoryWarmed count traffic;
+	// trajectoryWarmed counts frames answered by a warm-started solve.
+	solves, analyzeReqs, sweepReqs, sweepItems         atomic.Int64
+	trajectoryReqs, trajectoryFrames, trajectoryWarmed atomic.Int64
 }
 
 // New builds a Server with its cache and routes.
@@ -99,6 +111,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/trajectory", s.handleTrajectory)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s
@@ -363,9 +376,12 @@ type statsResponse struct {
 	Cache     rescache.Stats `json:"cache"`
 	Solves    int64          `json:"solves"`
 	Requests  struct {
-		Analyze    int64 `json:"analyze"`
-		Sweep      int64 `json:"sweep"`
-		SweepItems int64 `json:"sweep_items"`
+		Analyze          int64 `json:"analyze"`
+		Sweep            int64 `json:"sweep"`
+		SweepItems       int64 `json:"sweep_items"`
+		Trajectory       int64 `json:"trajectory"`
+		TrajectoryFrames int64 `json:"trajectory_frames"`
+		TrajectoryWarmed int64 `json:"trajectory_warmed"`
 	} `json:"requests"`
 }
 
@@ -379,5 +395,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	resp.Requests.Analyze = s.analyzeReqs.Load()
 	resp.Requests.Sweep = s.sweepReqs.Load()
 	resp.Requests.SweepItems = s.sweepItems.Load()
+	resp.Requests.Trajectory = s.trajectoryReqs.Load()
+	resp.Requests.TrajectoryFrames = s.trajectoryFrames.Load()
+	resp.Requests.TrajectoryWarmed = s.trajectoryWarmed.Load()
 	writeJSON(w, http.StatusOK, resp)
 }

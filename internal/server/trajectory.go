@@ -1,0 +1,167 @@
+package server
+
+// POST /v1/trajectory: time-varying landscape solving over the warm-start
+// path. A trajectory request names one base game spec and a sequence of
+// landscape frames; the server evolves the game frame by frame
+// (dispersal.Game.EvolveTo), so every equilibrium solve seeds from the
+// previous frame's solution, and streams one NDJSON line per frame as it
+// completes. Per-frame results are cached under frame-substituted spec keys
+// (speccodec.FrameKey), and a cache hit re-seeds the warm chain from the
+// cached equilibrium (Game.SeedWarm) so the frames after it stay warm.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"dispersal"
+	"dispersal/internal/speccodec"
+)
+
+// trajectoryRequest is the /v1/trajectory body: a base game spec in the
+// speccodec wire form plus the sequence of landscape frames to solve it
+// over. Frames are absolute value vectors, each subject to the same
+// conventions as a spec's values.
+type trajectoryRequest struct {
+	Spec   json.RawMessage `json:"spec"`
+	Frames [][]float64     `json:"frames"`
+}
+
+// trajectoryFrame is one streamed NDJSON line of the response. Result is
+// present on success; Error/Kind report the terminal failure of the stream
+// (no further frames follow an error line).
+type trajectoryFrame struct {
+	Frame     int       `json:"frame"`
+	Cached    bool      `json:"cached"`
+	Warm      bool      `json:"warm"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Result    *Analysis `json:"result,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Kind      string    `json:"kind,omitempty"`
+}
+
+// trajectoryDone is the final NDJSON line: totals for the whole stream.
+type trajectoryDone struct {
+	Done      bool    `json:"done"`
+	Frames    int     `json:"frames"`
+	Warmed    int     `json:"warmed"`
+	Cached    int     `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
+	s.trajectoryReqs.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request", err)
+		return
+	}
+	var req trajectoryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "syntax", fmt.Errorf("trajectory body: %w", err))
+		return
+	}
+	if len(req.Spec) == 0 {
+		writeError(w, http.StatusBadRequest, "request", errors.New("trajectory body has no spec"))
+		return
+	}
+	spec, err := speccodec.Decode(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, decodeKind(err), err)
+		return
+	}
+	if len(req.Frames) == 0 {
+		writeError(w, http.StatusBadRequest, "request", errors.New("trajectory body has no frames"))
+		return
+	}
+	if len(req.Frames) > maxTrajectoryFrames {
+		writeError(w, http.StatusBadRequest, "request",
+			fmt.Errorf("trajectory of %d frames exceeds the limit of %d", len(req.Frames), maxTrajectoryFrames))
+		return
+	}
+	// Validate every frame before the first byte of the stream, so frame
+	// errors are ordinary typed 400s rather than mid-stream failures.
+	for i, fr := range req.Frames {
+		if err := dispersal.Values(fr).Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "spec", fmt.Errorf("frame %d: %w", i, err))
+			return
+		}
+	}
+	base, err := dispersal.FromSpec(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "spec", err)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	start := time.Now()
+	cur := base
+	done := trajectoryDone{Done: true}
+	for i, fr := range req.Frames {
+		frameStart := time.Now()
+		next, err := cur.EvolveTo(dispersal.Values(fr))
+		if err != nil { // pre-validated; unreachable in practice
+			emit(trajectoryFrame{Frame: i, Error: err.Error(), Kind: "spec"})
+			break
+		}
+		key, err := speccodec.FrameKey(spec, fr)
+		if err != nil {
+			emit(trajectoryFrame{Frame: i, Error: err.Error(), Kind: "internal"})
+			break
+		}
+		res, cached, err := s.cache.Do(ctx, key, func() (Analysis, error) {
+			return s.solve(ctx, next.Analyze())
+		})
+		if err != nil {
+			kind := "internal"
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				kind = "timeout"
+			}
+			emit(trajectoryFrame{Frame: i, Error: err.Error(), Kind: kind,
+				ElapsedMS: float64(time.Since(frameStart)) / float64(time.Millisecond)})
+			break
+		}
+		warm := !cached && next.Warmed()
+		if cached {
+			// Re-seed the warm chain from the cached equilibrium so the
+			// frames after a cache hit still warm-start.
+			next.SeedWarm(res.IFD, res.Nu)
+			done.Cached++
+		} else if warm {
+			done.Warmed++
+			s.trajectoryWarmed.Add(1)
+		}
+		s.trajectoryFrames.Add(1)
+		done.Frames++
+		resCopy := res
+		emit(trajectoryFrame{
+			Frame:     i,
+			Cached:    cached,
+			Warm:      warm,
+			ElapsedMS: float64(time.Since(frameStart)) / float64(time.Millisecond),
+			Result:    &resCopy,
+		})
+		cur = next
+	}
+	done.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	emit(done)
+	s.cfg.Logf("trajectory of %d frames (%d warmed, %d cached) in %s",
+		done.Frames, done.Warmed, done.Cached, time.Since(start).Round(time.Microsecond))
+}

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dispersal/internal/site"
+)
+
+// trajectoryBody builds a /v1/trajectory request: a sharing-policy base game
+// and n frames of the standard drift model (site.Drifted over a geometric
+// base).
+func trajectoryBody(m, k, n int, amp float64) string {
+	base := site.Geometric(m, 1, 0.85)
+	frames := make([][]float64, n)
+	for t := range frames {
+		frames[t] = site.Drifted(base, t, amp)
+	}
+	req := map[string]any{
+		"spec": map[string]any{
+			"values": base,
+			"k":      k,
+			"policy": map[string]any{"name": "sharing"},
+		},
+		"frames": frames,
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// decodeTrajectory splits an NDJSON trajectory response into frame lines
+// and the final done line.
+func decodeTrajectory(t *testing.T, payload []byte) ([]trajectoryFrame, trajectoryDone) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(string(payload)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty trajectory response")
+	}
+	var done trajectoryDone
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &done); err != nil || !done.Done {
+		t.Fatalf("last line is not a done line: %q (err %v)", lines[len(lines)-1], err)
+	}
+	frames := make([]trajectoryFrame, 0, len(lines)-1)
+	for _, ln := range lines[:len(lines)-1] {
+		var fr trajectoryFrame
+		if err := json.Unmarshal([]byte(ln), &fr); err != nil {
+			t.Fatalf("bad frame line %q: %v", ln, err)
+		}
+		frames = append(frames, fr)
+	}
+	return frames, done
+}
+
+// TestTrajectoryFrameOrderingAndWarmth checks the streamed lines arrive in
+// frame order, every frame carries a result, and the warm-start path
+// actually engages after the first frame.
+func TestTrajectoryFrameOrderingAndWarmth(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const n = 12
+	resp, payload := postJSON(t, ts.URL+"/v1/trajectory", trajectoryBody(8, 5, n, 0.02))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, payload)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	frames, done := decodeTrajectory(t, payload)
+	if len(frames) != n || done.Frames != n {
+		t.Fatalf("got %d frame lines, done reports %d, want %d", len(frames), done.Frames, n)
+	}
+	warmed := 0
+	for i, fr := range frames {
+		if fr.Frame != i {
+			t.Fatalf("frame line %d reports index %d: stream out of order", i, fr.Frame)
+		}
+		if fr.Error != "" || fr.Result == nil {
+			t.Fatalf("frame %d failed: %s", i, fr.Error)
+		}
+		if fr.Result.M != 8 || fr.Result.K != 5 {
+			t.Fatalf("frame %d result for wrong game: m=%d k=%d", i, fr.Result.M, fr.Result.K)
+		}
+		if fr.Warm {
+			warmed++
+		}
+	}
+	if frames[0].Warm {
+		t.Fatal("frame 0 has no previous solution and cannot be warm")
+	}
+	if warmed < n-2 {
+		t.Fatalf("only %d/%d frames warm-started", warmed, n)
+	}
+	if done.Warmed != warmed {
+		t.Fatalf("done line counts %d warmed, stream shows %d", done.Warmed, warmed)
+	}
+}
+
+// TestTrajectoryPerFrameCaching re-runs an identical trajectory and expects
+// every frame served from cache with zero new solver work; a third request
+// shifted by one frame must reuse the overlap.
+func TestTrajectoryPerFrameCaching(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const n = 6
+	body := trajectoryBody(6, 4, n, 0.02)
+
+	_, payload := postJSON(t, ts.URL+"/v1/trajectory", body)
+	frames, _ := decodeTrajectory(t, payload)
+	for i, fr := range frames {
+		if fr.Cached {
+			t.Fatalf("first pass frame %d claims cached", i)
+		}
+	}
+	solvesAfterCold := s.Solves()
+
+	_, payload = postJSON(t, ts.URL+"/v1/trajectory", body)
+	frames, done := decodeTrajectory(t, payload)
+	if done.Cached != n {
+		t.Fatalf("warm pass cached %d/%d frames", done.Cached, n)
+	}
+	for i, fr := range frames {
+		if !fr.Cached || fr.Result == nil {
+			t.Fatalf("second pass frame %d missed the cache", i)
+		}
+	}
+	if s.Solves() != solvesAfterCold {
+		t.Fatalf("cached trajectory did solver work: %d -> %d", solvesAfterCold, s.Solves())
+	}
+}
+
+// TestTrajectorySharesCacheWithAnalyze proves the frame keyspace is the
+// analyze keyspace: an analyze request for the same landscape pre-fills the
+// trajectory's first frame.
+func TestTrajectorySharesCacheWithAnalyze(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := trajectoryBody(6, 4, 3, 0.02)
+	var req struct {
+		Spec   json.RawMessage `json:"spec"`
+		Frames [][]float64     `json:"frames"`
+	}
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	frame0, _ := json.Marshal(req.Frames[0])
+	analyzeBody := fmt.Sprintf(`{"values":%s,"k":4,"policy":{"name":"sharing"}}`, frame0)
+	if resp, payload := postJSON(t, ts.URL+"/v1/analyze", analyzeBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d %s", resp.StatusCode, payload)
+	}
+
+	_, payload := postJSON(t, ts.URL+"/v1/trajectory", body)
+	frames, _ := decodeTrajectory(t, payload)
+	if !frames[0].Cached {
+		t.Fatal("frame 0 should be served from the analyze request's cache entry")
+	}
+	// The cache hit must re-seed the chain: frame 1 still warm-starts.
+	if !frames[1].Warm {
+		t.Fatal("frame 1 should warm-start from the rehydrated cached equilibrium")
+	}
+}
+
+// TestTrajectoryRejectsBadRequests exercises the typed 400 contract before
+// any streaming starts.
+func TestTrajectoryRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body, kind string
+	}{
+		{"syntax", `{"spec": nope`, "syntax"},
+		{"no spec", `{"frames": [[1, 0.5]]}`, "request"},
+		{"bad spec", `{"spec": {"values": [1], "k": 0, "policy": {"name": "sharing"}}, "frames": [[1]]}`, "spec"},
+		{"bad policy", `{"spec": {"values": [1], "k": 2, "policy": {"name": "nope"}}, "frames": [[1]]}`, "policy"},
+		{"no frames", `{"spec": {"values": [1, 0.5], "k": 2, "policy": {"name": "sharing"}}, "frames": []}`, "request"},
+		{"bad frame", `{"spec": {"values": [1, 0.5], "k": 2, "policy": {"name": "sharing"}}, "frames": [[0.5, 1]]}`, "spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, payload := postJSON(t, ts.URL+"/v1/trajectory", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", resp.StatusCode, payload)
+			}
+			var apiErr apiError
+			if err := json.Unmarshal(payload, &apiErr); err != nil {
+				t.Fatalf("decode error body: %v", err)
+			}
+			if apiErr.Kind != tc.kind {
+				t.Fatalf("kind %q, want %q (%s)", apiErr.Kind, tc.kind, payload)
+			}
+		})
+	}
+}
+
+// TestTrajectoryMidStreamCancellation disconnects the client after the
+// first streamed frame and verifies the server abandons the remaining
+// frames instead of solving the whole trajectory for nobody.
+func TestTrajectoryMidStreamCancellation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Big enough per-frame solves that cancellation lands mid-stream.
+	const n = 64
+	body := trajectoryBody(48, 64, n, 0.01)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/trajectory", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Read exactly one frame line off the live stream, then hang up.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first frame line: %v", sc.Err())
+	}
+	var first trajectoryFrame
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("bad first line %q: %v", sc.Bytes(), err)
+	}
+	if first.Frame != 0 || first.Error != "" {
+		t.Fatalf("unexpected first line: %+v", first)
+	}
+	cancel()
+
+	// The handler must stop solving: the frame counter has to settle well
+	// short of the full trajectory.
+	deadline := time.Now().Add(10 * time.Second)
+	var settled, last int64 = -1, -1
+	for time.Now().Before(deadline) {
+		cur := s.trajectoryFrames.Load()
+		if cur == last {
+			settled = cur
+			break
+		}
+		last = cur
+		time.Sleep(200 * time.Millisecond)
+	}
+	if settled < 0 {
+		t.Fatal("trajectory frame counter never settled after cancellation")
+	}
+	if settled >= n {
+		t.Fatalf("server completed all %d frames after client disconnect", n)
+	}
+}

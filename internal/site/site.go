@@ -158,6 +158,21 @@ func SlowDecay(m, k int) Values {
 // TwoSite returns the 2-site instances of Figure 1: f = (1, second).
 func TwoSite(second float64) Values { return Values{1, second} }
 
+// Drifted returns frame t of a deterministic time-varying landscape: base
+// scaled per site by a smooth multiplicative oscillation of relative
+// amplitude amp, f_t(x) = base(x) * (1 + amp*sin(t/5 + x)). It is the
+// standard drift model shared by the E24 experiment and the paperbench
+// -trajectory benchmark; amp must be small relative to the base's
+// neighboring-value gaps or the frame violates the sort convention
+// (Validate on the result catches it).
+func Drifted(base Values, t int, amp float64) Values {
+	out := base.Clone()
+	for i := range out {
+		out[i] *= 1 + amp*math.Sin(float64(t)/5+float64(i))
+	}
+	return out
+}
+
 // Random returns M sites drawn i.i.d. from Uniform(lo, hi) and then sorted
 // non-increasingly. lo must be > 0.
 func Random(rng *rand.Rand, m int, lo, hi float64) Values {

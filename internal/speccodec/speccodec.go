@@ -156,6 +156,16 @@ func CacheKey(s dispersal.Spec) (string, error) {
 	return string(b), nil
 }
 
+// FrameKey returns the cache key of the game the spec describes when its
+// values are replaced by the landscape frame — the per-frame key of the
+// dispersald trajectory endpoint. The key is the ordinary CacheKey of the
+// frame-substituted spec, so a trajectory frame and an /v1/analyze request
+// for the same landscape share one cache entry.
+func FrameKey(s dispersal.Spec, frame []float64) (string, error) {
+	s.Values = append(dispersal.Values(nil), frame...)
+	return CacheKey(s)
+}
+
 // wireOf flattens a Spec into its wire shape, validating finiteness (JSON
 // has no NaN/Inf) and policy encodability.
 func wireOf(s dispersal.Spec) (wireSpec, error) {

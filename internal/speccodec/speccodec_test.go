@@ -102,6 +102,37 @@ func TestCacheKeyIgnoresSeedAndTag(t *testing.T) {
 	}
 }
 
+func TestFrameKeySubstitutesValues(t *testing.T) {
+	spec := dispersal.Spec{Values: dispersal.Values{1, 0.5}, K: 2, Policy: dispersal.Sharing(), Seed: 7, Tag: "x"}
+	frame := []float64{0.9, 0.6}
+
+	fk, err := speccodec.FrameKey(spec, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame key is exactly the analyze-path cache key of the
+	// frame-substituted spec: trajectory frames and analyze requests for
+	// the same landscape must share one cache entry.
+	want, err := speccodec.CacheKey(dispersal.Spec{Values: frame, K: 2, Policy: dispersal.Sharing()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fk != want {
+		t.Errorf("frame key diverges from the analyze key:\n  %s\n  %s", fk, want)
+	}
+	if spec.Values[0] != 1 || spec.Values[1] != 0.5 {
+		t.Error("FrameKey mutated the caller's spec")
+	}
+
+	base, err := speccodec.CacheKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fk == base {
+		t.Error("frame key must depend on the frame values")
+	}
+}
+
 func TestDecodeErrorsAreTyped(t *testing.T) {
 	cases := []struct {
 		name string

@@ -1,0 +1,79 @@
+package dispersal
+
+// Time-varying landscapes. Real clients re-query as site values drift —
+// seasonal depletion, foraging pressure, shifting demand — and solving each
+// perturbed landscape from scratch wastes the bisection bracket and per-site
+// inversions an adjacent solve already established. Evolve and Trajectory
+// chain games over a drifting landscape so every equilibrium solve
+// warm-starts from the previous one (internal/ifd.SolveWarm), falling back
+// to a cold solve whenever the seeded bracket fails to capture the new
+// equilibrium.
+
+import (
+	"context"
+	"fmt"
+)
+
+// Evolve returns a new game whose site values are the receiver's values
+// plus delta (one entry per site), with the same player count, congestion
+// policy and options. The evolved game's first equilibrium solve
+// warm-starts from the receiver's most recent solve; see EvolveTo for the
+// absolute-values form and the chaining rules.
+//
+// The drifted landscape must still satisfy the paper's conventions — sorted
+// non-increasing, strictly positive — or Evolve fails.
+func (g *Game) Evolve(delta Values) (*Game, error) {
+	if len(delta) != len(g.f) {
+		return nil, fmt.Errorf("dispersal: delta has %d entries for %d sites", len(delta), len(g.f))
+	}
+	f := g.f.Clone()
+	for i := range f {
+		f[i] += delta[i]
+	}
+	return g.EvolveTo(f)
+}
+
+// EvolveTo returns a new game on the landscape f with the receiver's player
+// count, congestion policy and options, chained to the receiver: its first
+// equilibrium solve seeds the bisection bracket and the per-site inversions
+// from the nearest solved game up the evolution chain, which on small
+// drifts is several times faster than a cold solve and falls back to the
+// cold solver whenever the seeded bracket misses. The receiver is not
+// modified and remains usable.
+func (g *Game) EvolveTo(f Values) (*Game, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	child := &Game{f: f.Clone(), k: g.k, c: g.c, opt: g.opt}
+	child.parent.Store(g)
+	return child, nil
+}
+
+// Trajectory solves the game's policy and player count across a sequence of
+// landscape frames, warm-starting each step's equilibrium solve from the
+// previous step. It returns one memoizing Analysis per frame with the
+// equilibrium already solved; every other quantity (SPoA, coverage optimum,
+// welfare optimum) stays lazy, so callers pay only for what they query.
+//
+// Frames are absolute landscapes, each of which must be valid on its own
+// (sorted non-increasing, strictly positive); they need not keep the
+// receiver's site count, though a frame that changes it solves cold. On an
+// invalid frame or a cancelled ctx, Trajectory returns the analyses
+// completed so far together with an error naming the failing frame.
+func (g *Game) Trajectory(ctx context.Context, frames []Values) ([]*Analysis, error) {
+	out := make([]*Analysis, 0, len(frames))
+	cur := g
+	for i, f := range frames {
+		next, err := cur.EvolveTo(f)
+		if err != nil {
+			return out, fmt.Errorf("dispersal: trajectory frame %d: %w", i, err)
+		}
+		a := next.Analyze()
+		if _, _, err := a.IFDContext(ctx); err != nil {
+			return out, fmt.Errorf("dispersal: trajectory frame %d: %w", i, err)
+		}
+		out = append(out, a)
+		cur = next
+	}
+	return out, nil
+}

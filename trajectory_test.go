@@ -1,0 +1,165 @@
+package dispersal_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dispersal"
+	"dispersal/internal/site"
+)
+
+// driftFrames builds a deterministic drifting landscape sequence from the
+// standard drift model (site.Drifted over a geometric base).
+func driftFrames(m, n int, amp float64) []dispersal.Values {
+	base := site.Geometric(m, 1, 0.85)
+	frames := make([]dispersal.Values, n)
+	for t := range frames {
+		frames[t] = dispersal.Values(site.Drifted(base, t, amp))
+	}
+	return frames
+}
+
+// TestTrajectoryMatchesColdSolves is the root-level warm/cold equivalence
+// check: every frame of a warm trajectory must agree with an independent
+// cold solve of the same landscape.
+func TestTrajectoryMatchesColdSolves(t *testing.T) {
+	frames := driftFrames(10, 16, 0.02)
+	g := dispersal.MustGame(frames[0], 5, dispersal.Sharing())
+	analyses, err := g.Trajectory(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(analyses) != len(frames) {
+		t.Fatalf("got %d analyses for %d frames", len(analyses), len(frames))
+	}
+	warmed := 0
+	for i, a := range analyses {
+		p, nu, err := a.IFD()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		cold := dispersal.MustGame(frames[i], 5, dispersal.Sharing())
+		pc, nuC, err := cold.IFD()
+		if err != nil {
+			t.Fatalf("frame %d cold: %v", i, err)
+		}
+		if d := math.Abs(nu - nuC); d > 1e-9*(1+math.Abs(nuC)) {
+			t.Fatalf("frame %d: nu %v vs cold %v", i, nu, nuC)
+		}
+		if d := p.LInf(pc); d > 1e-6 {
+			t.Fatalf("frame %d: strategy LInf %g", i, d)
+		}
+		if a.Game().Warmed() {
+			warmed++
+		}
+	}
+	if warmed < len(frames)-2 {
+		t.Fatalf("only %d/%d frames warm-started", warmed, len(frames))
+	}
+	// The trajectory pre-solves the IFD: querying it must not re-solve.
+	if n := analyses[0].Solves(); n != 1 {
+		t.Fatalf("frame 0 session did %d solves, want the 1 trajectory solve", n)
+	}
+}
+
+// TestEvolveChainsWarmState checks the step-wise API: an evolved game's
+// solve warm-starts from its parent, and SeedWarm substitutes for a local
+// solve.
+func TestEvolveChainsWarmState(t *testing.T) {
+	f := dispersal.Values{1, 0.8, 0.6, 0.4}
+	g := dispersal.MustGame(f, 4, dispersal.PowerLaw(2))
+	if g.Warmed() {
+		t.Fatal("unsolved game cannot report a warm solve")
+	}
+	if _, _, err := g.IFD(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Warmed() {
+		t.Fatal("a root game must solve cold")
+	}
+
+	delta := dispersal.Values{0.01, -0.01, 0.005, 0}
+	g2, err := g.Evolve(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.Values()[0]; math.Abs(got-1.01) > 1e-15 {
+		t.Fatalf("evolved f(1) = %v, want 1.01", got)
+	}
+	if _, _, err := g2.IFD(); err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Warmed() {
+		t.Fatal("evolved game should warm-start from its solved parent")
+	}
+
+	// SeedWarm: a never-solved game seeded from known results warms its
+	// children.
+	h := dispersal.MustGame(f, 4, dispersal.PowerLaw(2))
+	p, nu, _ := g.IFD()
+	h.SeedWarm(p, nu)
+	h2, err := h.Evolve(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h2.IFD(); err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Warmed() {
+		t.Fatal("SeedWarm should enable warm-starting in evolved games")
+	}
+}
+
+// TestEvolveValidation checks the failure modes: dimension mismatch and
+// landscapes that violate the value conventions.
+func TestEvolveValidation(t *testing.T) {
+	g := dispersal.MustGame(dispersal.Values{1, 0.5}, 2, dispersal.Exclusive())
+	if _, err := g.Evolve(dispersal.Values{0.1}); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+	if _, err := g.Evolve(dispersal.Values{-2, 0}); err == nil {
+		t.Fatal("a drift below zero must fail validation")
+	}
+	if _, err := g.Evolve(dispersal.Values{-0.6, 0}); err == nil {
+		t.Fatal("a drift breaking the sort order must fail validation")
+	}
+	if _, err := g.EvolveTo(dispersal.Values{0.5, 1}); err == nil {
+		t.Fatal("an unsorted landscape must fail validation")
+	}
+}
+
+// TestTrajectoryCancellation verifies a cancelled context stops the
+// trajectory with partial results.
+func TestTrajectoryCancellation(t *testing.T) {
+	frames := driftFrames(12, 64, 0.01)
+	g := dispersal.MustGame(frames[0], 6, dispersal.Sharing())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	analyses, err := g.Trajectory(ctx, frames)
+	if err == nil {
+		t.Fatal("cancelled trajectory must return an error")
+	}
+	if len(analyses) == len(frames) {
+		t.Fatal("cancelled trajectory should not complete every frame")
+	}
+}
+
+// TestTrajectoryExclusivePolicy: the exclusive policy's closed-form solver
+// has no warm path, but trajectories must still work frame by frame.
+func TestTrajectoryExclusivePolicy(t *testing.T) {
+	frames := driftFrames(8, 8, 0.02)
+	g := dispersal.MustGame(frames[0], 3, dispersal.Exclusive())
+	analyses, err := g.Trajectory(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range analyses {
+		if _, _, err := a.IFD(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if a.Game().Warmed() {
+			t.Fatalf("frame %d: exclusive policy has no warm path", i)
+		}
+	}
+}
