@@ -8,7 +8,6 @@ import (
 	"dispersal/internal/ifd"
 	"dispersal/internal/memo"
 	"dispersal/internal/optimize"
-	"dispersal/internal/spoa"
 )
 
 // Analysis is a memoizing analysis session over one Game. Each derived
@@ -83,11 +82,13 @@ func (a *Analysis) cachedIFD(ctx context.Context) (ifdResult, error) {
 }
 
 // cachedSPoA is the single fill path of the SPoA cell, shared by SPoA,
-// SPoAContext and Ratio.
+// SPoAContext and Ratio. The computation goes through the game's warm-state
+// threading (Game.SPoAContext), so a session whose IFD cell already filled
+// hands the SPoA's internal equilibrium re-solve a same-landscape seed.
 func (a *Analysis) cachedSPoA(ctx context.Context) (SPoAInstance, error) {
 	return a.spoa.Get(func() (SPoAInstance, error) {
 		a.solves.Add(1)
-		return spoa.ComputeContext(ctx, a.g.f, a.g.k, a.g.c)
+		return a.g.SPoAContext(ctx)
 	})
 }
 
@@ -154,8 +155,9 @@ func (a *Analysis) MaxWelfareContext(ctx context.Context) (Strategy, float64, er
 
 // SPoA returns the game's Symmetric Price of Anarchy instance, solving at
 // most once per session. The instance's internal equilibrium and optimum
-// solves run inside that single computation; they are independent of (and
-// not shared with) the session's IFD and OptimalCoverage cells.
+// solves run inside that single computation, but they warm-start from the
+// game's accumulated solver-core state — a session that solved its IFD
+// first makes the SPoA's equilibrium re-solve nearly free.
 func (a *Analysis) SPoA() (SPoAInstance, error) {
 	return a.SPoAContext(context.Background())
 }

@@ -1,5 +1,5 @@
 // Benchmarks regenerating every figure and experiment of the paper (one
-// per entry in DESIGN.md's experiment index), plus scaling benchmarks of
+// per entry in docs/ARCHITECTURE.md's experiment index), plus scaling benchmarks of
 // the core solvers. Run with:
 //
 //	go test -bench=. -benchmem

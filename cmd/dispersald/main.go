@@ -4,20 +4,25 @@
 //
 // Usage:
 //
-//	dispersald [-addr HOST:PORT] [-workers N] [-cache-size N] [-timeout D]
+//	dispersald [-addr HOST:PORT] [-workers N] [-cache-size N]
+//	           [-warm-cache-size N] [-timeout D]
 //
 // Endpoints (see internal/server and docs/http-api.md):
 //
 //	POST /v1/analyze     one game spec -> IFD, coverage optimum, SPoA
 //	POST /v1/sweep       {"specs": [...]} -> per-item analyses
-//	POST /v1/trajectory  {"spec": ..., "frames": [...]} -> one NDJSON line
+//	POST /v1/trajectory  {"spec": ..., "frames": [...]} or
+//	                     {"spec": ..., "deltas": [...]} -> one NDJSON line
 //	                     per drifting-landscape frame, warm-start solved
 //	GET  /healthz        liveness
-//	GET  /statsz         cache and request counters
+//	GET  /statsz         cache, warm-cache and request counters
 //
 // Identical specs (trajectory frames included) share one cache entry and
-// concurrent identical requests solve once (singleflight); -timeout is the
-// per-request deadline delivered to every solver through its context.
+// concurrent identical requests solve once (singleflight); near-identical
+// specs additionally share warm solver state through a locality-keyed
+// cache (-warm-cache-size), so nearby landscapes seed each other's solves.
+// -timeout is the per-request deadline delivered to every solver through
+// its context.
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 	addr := flag.String("addr", ":8257", "listen address")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 4096, "total cached analyses (<= 0 selects the default)")
+	warmCacheSize := flag.Int("warm-cache-size", 1024, "locality-keyed warm solver states (<= 0 selects the default)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request solver deadline (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
@@ -50,10 +56,11 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		Timeout:   *timeout,
-		Logf:      logf,
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		WarmCacheSize: *warmCacheSize,
+		Timeout:       *timeout,
+		Logf:          logf,
 	})
 	// WriteTimeout must outlast the solver deadline, or slow (legitimate)
 	// solves would be cut off mid-response; the margin covers decode and

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"dispersal"
+	"dispersal/internal/ifd"
 	"dispersal/internal/site"
+	"dispersal/internal/spoa"
 )
 
 // The standard drifting-landscape workload: a 32-site geometric landscape,
@@ -36,10 +38,13 @@ func driftFrames(m, n int, amp float64) []dispersal.Values {
 
 // runTrajectoryBench solves the same drifting sequence twice — cold, one
 // fresh game per frame; warm, one Game.Trajectory chain — verifies the two
-// agree to solver tolerance on every frame, and reports the speedup. A
-// measured speedup below minSpeedup is an error (0 disables the check), so
-// the benchmark doubles as a regression gate for the warm-start path.
-func runTrajectoryBench(ctx context.Context, frames int, minSpeedup float64) error {
+// agree to solver tolerance on every frame, and reports the speedup; then
+// repeats the exercise for the full-analysis path (IFD plus SPoA per
+// frame, the work one /v1/trajectory frame performs). A measured speedup
+// below minSpeedup — or a full-analysis speedup below minSPoASpeedup — is
+// an error (0 disables either check), so the benchmark doubles as a
+// regression gate for the warm-start paths.
+func runTrajectoryBench(ctx context.Context, frames int, minSpeedup, minSPoASpeedup float64) error {
 	if frames < 2 {
 		return fmt.Errorf("trajectory benchmark needs at least 2 frames, got %d", frames)
 	}
@@ -110,6 +115,100 @@ func runTrajectoryBench(ctx context.Context, frames int, minSpeedup float64) err
 	}
 	if minSpeedup > 0 && speedup < minSpeedup {
 		return fmt.Errorf("warm-start speedup %.2fx is below the %.1fx target", speedup, minSpeedup)
+	}
+	fmt.Println()
+	return runFullAnalysisBench(ctx, seq, minSPoASpeedup)
+}
+
+// runFullAnalysisBench measures the SPoA path: every frame computes the
+// full analysis a /v1/trajectory frame serves (IFD plus SPoA, i.e. the
+// equilibrium, the coverage optimum, and the SPoA's internal equilibrium
+// re-solve). Cold runs the pre-warm-core pipeline — an independent
+// equilibrium solve and a cold spoa.ComputeContext per frame, nothing
+// shared. Warm chains evolved games, so the solver-core state threads the
+// equilibrium across frames, the optimum across frames, and both into the
+// SPoA's re-solve within each frame.
+func runFullAnalysisBench(ctx context.Context, seq []dispersal.Values, minSpeedup float64) error {
+	frames := len(seq)
+	pol := dispersal.Sharing()
+	fmt.Printf("full-analysis (SPoA path) benchmark: same %d frames, IFD + SPoA per frame\n\n", frames)
+
+	type frameResult struct {
+		nu   float64
+		eq   dispersal.Strategy
+		inst dispersal.SPoAInstance
+	}
+
+	// Cold pass: independent equilibrium and SPoA solves per frame.
+	cold := make([]frameResult, frames)
+	coldStart := time.Now()
+	for i, f := range seq {
+		eq, nu, err := ifd.SolveContext(ctx, f, trajectoryK, pol)
+		if err != nil {
+			return fmt.Errorf("cold frame %d: %w", i, err)
+		}
+		inst, err := spoa.ComputeContext(ctx, f, trajectoryK, pol)
+		if err != nil {
+			return fmt.Errorf("cold frame %d spoa: %w", i, err)
+		}
+		cold[i] = frameResult{nu: nu, eq: eq, inst: inst}
+	}
+	coldDur := time.Since(coldStart)
+
+	// Warm pass: one evolution chain, each frame doing the same two
+	// queries through the solver-core state.
+	base, err := dispersal.NewGame(seq[0], trajectoryK, pol)
+	if err != nil {
+		return err
+	}
+	warmed := 0
+	worstNu, worstP, worstRatio := 0.0, 0.0, 0.0
+	cur := base
+	warmStart := time.Now()
+	for i, f := range seq {
+		next, err := cur.EvolveTo(f)
+		if err != nil {
+			return fmt.Errorf("warm frame %d: %w", i, err)
+		}
+		a := next.Analyze()
+		eq, nu, err := a.IFDContext(ctx)
+		if err != nil {
+			return fmt.Errorf("warm frame %d: %w", i, err)
+		}
+		inst, err := a.SPoAContext(ctx)
+		if err != nil {
+			return fmt.Errorf("warm frame %d spoa: %w", i, err)
+		}
+		if next.Warmed() {
+			warmed++
+		}
+		if d := math.Abs(nu-cold[i].nu) / (1 + math.Abs(cold[i].nu)); d > worstNu {
+			worstNu = d
+		}
+		if d := eq.LInf(cold[i].eq); d > worstP {
+			worstP = d
+		}
+		if d := math.Abs(inst.Ratio-cold[i].inst.Ratio) / (1 + cold[i].inst.Ratio); d > worstRatio {
+			worstRatio = d
+		}
+		cur = next
+	}
+	warmDur := time.Since(warmStart)
+
+	if worstNu > 1e-9 || worstP > 1e-6 || worstRatio > 1e-9 {
+		return fmt.Errorf("warm full analysis diverged from cold: |dnu| = %g, LInf(p) = %g, |dratio| = %g",
+			worstNu, worstP, worstRatio)
+	}
+	speedup := float64(coldDur) / float64(warmDur)
+	fmt.Printf("cold: %d frames in %s (%s/frame)\n", frames, coldDur.Round(time.Millisecond), (coldDur / time.Duration(frames)).Round(time.Microsecond))
+	fmt.Printf("warm: %d frames in %s (%s/frame), %d/%d warm-started\n", frames, warmDur.Round(time.Millisecond), (warmDur / time.Duration(frames)).Round(time.Microsecond), warmed, frames)
+	fmt.Printf("SPoA-path warm speedup: %.2fx\n", speedup)
+	fmt.Printf("equivalence: max |dnu| = %.2g, max LInf(p) = %.2g, max |dratio| = %.2g\n", worstNu, worstP, worstRatio)
+	if warmed < frames-2 {
+		return fmt.Errorf("warm path engaged on only %d/%d full-analysis frames", warmed, frames)
+	}
+	if minSpeedup > 0 && speedup < minSpeedup {
+		return fmt.Errorf("SPoA-path warm speedup %.2fx is below the %.1fx target", speedup, minSpeedup)
 	}
 	return nil
 }

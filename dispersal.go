@@ -42,6 +42,7 @@ import (
 	"dispersal/internal/optimize"
 	"dispersal/internal/policy"
 	"dispersal/internal/site"
+	"dispersal/internal/solve"
 	"dispersal/internal/spoa"
 	"dispersal/internal/strategy"
 )
@@ -96,15 +97,23 @@ type Game struct {
 	opt gameOptions
 
 	// parent, when non-nil, is the game this one evolved from (Evolve /
-	// EvolveTo): its most recent equilibrium solve seeds this game's first
+	// EvolveTo): its most recent solver-core state seeds this game's first
 	// solve through the warm-start path. The link is dropped once this
 	// game records a solve of its own, so long evolution chains do not
 	// retain every ancestor — descendants only ever need the nearest
 	// solved game.
 	parent atomic.Pointer[Game]
-	// lastWarm records this game's most recent successful equilibrium
-	// solve, for warm-start seeding of evolved games.
-	lastWarm atomic.Pointer[ifd.WarmState]
+	// state accumulates this game's solver-core record (solve.State): the
+	// equilibrium after an IFD solve, the coverage optimum and equilibrium
+	// after a SPoA, the sigma* structure after an exclusive solve. Each
+	// solver consumes the parts it can and merges its own back in, so
+	// later solves on this game — and first solves on games evolved from
+	// it — warm-start from everything already established.
+	state atomic.Pointer[solve.State]
+	// seed, when non-nil, is an externally provided solver-core state
+	// (SeedState) — typically recovered from a warm cache keyed by
+	// landscape locality — consumed by this game's own first solves.
+	seed atomic.Pointer[solve.State]
 }
 
 // ErrNilPolicy is returned by NewGame when no congestion policy is given.
@@ -177,45 +186,93 @@ func (g *Game) IFD() (Strategy, float64, error) {
 // within the solver tolerance, and every successful solve is recorded so
 // games evolved from this one can warm-start in turn.
 func (g *Game) IFDContext(ctx context.Context) (Strategy, float64, error) {
+	seed := g.warmSeed()
 	if policy.IsExclusive(g.c, g.k) {
-		p, res, err := ifd.Exclusive(g.f, g.k)
-		if err == nil {
-			// Closed form, nothing to warm-start — but evolution chains
-			// are policy-uniform, so no descendant will ever need an
-			// ancestor either: release the chain like the general path.
-			g.parent.Store(nil)
+		// Closed form — but its support boundary W is trackable: seeded
+		// from a nearby solve's sigma* structure, the boundary walk costs
+		// O(drift) instead of the cold scan's O(W^2).
+		p, res, warmed, err := ifd.ExclusiveWarm(seed, g.f, g.k)
+		if err != nil {
+			return nil, 0, err
 		}
-		return p, res.Nu, err
+		g.storeState(solve.New(g.f, g.k, g.c).
+			WithSigma(res.W, res.Alpha, res.Nu).
+			WithEq(p, res.Nu, warmed))
+		g.retainSeed(seed)
+		g.parent.Store(nil)
+		return p, res.Nu, nil
 	}
-	p, nu, st, err := ifd.SolveWarm(ctx, g.warmSeed(), g.f, g.k, g.c)
+	p, nu, st, err := ifd.SolveWarm(ctx, seed, g.f, g.k, g.c)
 	if err != nil {
 		return nil, 0, err
 	}
-	g.lastWarm.Store(st)
+	g.storeState(st)
 	// This game now carries its own state; descendants seed from it
-	// directly, so release the ancestor chain for the GC.
+	// directly, so release the ancestor chain for the GC — but keep the
+	// consumed seed itself: it may carry parts this solve did not produce
+	// (the previous frame's coverage optimum, sigma* structure) that a
+	// later SPoA or sigma* query on this game still wants to seed from.
+	g.retainSeed(seed)
 	g.parent.Store(nil)
 	return p, nu, nil
 }
 
-// warmSeed returns the nearest recorded equilibrium solve in this game's
-// evolution chain: the parent's, else the grandparent's, and so on. The
+// retainSeed parks the state a solve consumed in the external-seed slot, so
+// derived solves can still reach its remaining parts after the ancestor
+// chain is released. Memory stays bounded: one state per game, and the
+// ancestor Game objects themselves are freed.
+func (g *Game) retainSeed(seed *solve.State) {
+	if seed != nil {
+		g.seed.Store(seed)
+	}
+}
+
+// storeState merges st into the game's accumulated solver-core state, so
+// parts recorded by different solvers (equilibrium, coverage optimum,
+// sigma* structure) survive each other.
+func (g *Game) storeState(st *solve.State) {
+	for {
+		cur := g.state.Load()
+		if g.state.CompareAndSwap(cur, solve.Merge(st, cur)) {
+			return
+		}
+	}
+}
+
+// warmSeed returns the state seeding this game's own equilibrium solve:
+// the nearest state up the evolution chain that carries an equilibrium (or
+// sigma*) part — the previous frame of a trajectory, whose drift is
+// smallest — else an explicit SeedState record from a warm cache. The
 // game's own record is deliberately excluded — a game built directly by
 // NewGame keeps solving cold, so repeated Game.IFD calls stay bit-for-bit
-// deterministic; only evolved games inherit state.
-func (g *Game) warmSeed() *ifd.WarmState {
+// deterministic; only evolved or explicitly seeded games inherit state.
+func (g *Game) warmSeed() *solve.State {
 	for cur := g.parent.Load(); cur != nil; cur = cur.parent.Load() {
-		if st := cur.lastWarm.Load(); st != nil {
+		if st := cur.state.Load(); st.HasEq() || st.HasSigma() {
 			return st
 		}
 	}
-	return nil
+	return g.seed.Load()
+}
+
+// inheritedState returns the nearest state this game did not record
+// itself: the evolution chain's, else the retained/external seed. It is
+// the secondary seed of derived solves — the place a previous frame's
+// optimum or sigma* part lives after this game's own solves recorded only
+// an equilibrium.
+func (g *Game) inheritedState() *solve.State {
+	for cur := g.parent.Load(); cur != nil; cur = cur.parent.Load() {
+		if st := cur.state.Load(); st != nil {
+			return st
+		}
+	}
+	return g.seed.Load()
 }
 
 // Warmed reports whether this game's most recent equilibrium solve took the
 // warm-start path (false before any solve, after a cold solve, or after a
 // bracket-failure fallback).
-func (g *Game) Warmed() bool { return g.lastWarm.Load().Warmed() }
+func (g *Game) Warmed() bool { return g.state.Load().Warmed() }
 
 // SeedWarm records an externally known equilibrium of this game — typically
 // one recovered from a result cache — so that games evolved from it can
@@ -224,16 +281,62 @@ func (g *Game) Warmed() bool { return g.lastWarm.Load().Warmed() }
 // corrupt later solves (warm brackets are verified and fall back cold), it
 // can only waste the warm attempt.
 func (g *Game) SeedWarm(p Strategy, nu float64) {
-	g.lastWarm.Store(ifd.NewWarmState(g.f, g.k, g.c, p, nu))
+	g.storeState(ifd.NewWarmState(g.f, g.k, g.c, p, nu))
 	g.parent.Store(nil) // descendants seed from this state directly
 }
+
+// SeedState hands the game a solver-core state from a previous solve of a
+// nearby landscape — typically recovered from a locality-keyed warm cache —
+// so that this game's own first solves (IFD, SPoA, sigma*) warm-start from
+// it. Unlike SeedWarm, the state need not describe this game's exact
+// landscape: every warm path verifies its bracket against the actual
+// landscape and falls back to a cold solve, so a stale or distant seed can
+// waste the warm attempt but never change a result beyond solver
+// tolerance. A nil st is ignored.
+func (g *Game) SeedState(st *solve.State) {
+	if st == nil {
+		return
+	}
+	g.seed.Store(st)
+}
+
+// StateSnapshot returns the game's accumulated solver-core state: the
+// equilibrium, coverage-optimum and sigma* parts recorded by the solves
+// performed so far (nil before any solve). The state is immutable and safe
+// to share — hand it to another game's SeedState, or to a warm cache, to
+// propagate this game's work.
+func (g *Game) StateSnapshot() *solve.State { return g.state.Load() }
 
 // SigmaStar returns the closed-form IFD of the exclusive policy on this
 // game's values (regardless of the game's own policy), with its support
 // size W and normalization alpha. This is the paper's Algorithm sigma*.
+// The support boundary is tracked incrementally from the game's accumulated
+// state (or its evolution chain) when possible; the first solve on a fresh
+// game runs the cold closed form.
 func (g *Game) SigmaStar() (Strategy, int, float64, error) {
-	p, res, err := ifd.Exclusive(g.f, g.k)
-	return p, res.W, res.Alpha, err
+	p, res, _, err := ifd.ExclusiveWarm(g.sigmaSeed(), g.f, g.k)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	g.storeState(solve.New(g.f, g.k, g.c).WithSigma(res.W, res.Alpha, res.Nu))
+	return p, res.W, res.Alpha, nil
+}
+
+// sigmaSeed returns the nearest state carrying a sigma* part: the game's
+// own, the evolution chain's, or an explicit SeedState record.
+func (g *Game) sigmaSeed() *solve.State {
+	if st := g.state.Load(); st.HasSigma() {
+		return st
+	}
+	for cur := g.parent.Load(); cur != nil; cur = cur.parent.Load() {
+		if st := cur.state.Load(); st.HasSigma() {
+			return st
+		}
+	}
+	if st := g.seed.Load(); st.HasSigma() {
+		return st
+	}
+	return nil
 }
 
 // Coverage returns Cover(p) = sum_x f(x) (1 - (1-p(x))^k) for this game.
@@ -287,12 +390,29 @@ func (g *Game) MaxWelfare(seed uint64) (Strategy, float64, error) {
 // the optimal symmetric coverage to the coverage of the worst symmetric
 // equilibrium under the game's policy.
 func (g *Game) SPoA() (SPoAInstance, error) {
-	return spoa.Compute(g.f, g.k, g.c)
+	return g.SPoAContext(context.Background())
 }
 
-// SPoAContext is SPoA under a context.
+// SPoAContext is SPoA under a context. The computation is threaded through
+// the game's solver-core state: its internal equilibrium and optimum solves
+// warm-start from the game's accumulated state (an earlier IFD solve, a
+// SPoA on an ancestor in the evolution chain, or a SeedState record), and
+// the combined state is recorded for later solves and descendants. Results
+// match a cold computation within the solvers' shared tolerance.
 func (g *Game) SPoAContext(ctx context.Context) (SPoAInstance, error) {
-	return spoa.ComputeContext(ctx, g.f, g.k, g.c)
+	// The game's own state is the primary seed (its equilibrium is this
+	// exact landscape's — nearly free to re-verify); the inherited state
+	// supplies whatever parts the own solves have not produced, typically
+	// the previous frame's coverage optimum.
+	inherited := g.inheritedState()
+	inst, st, err := spoa.ComputeWarm(ctx, g.state.Load(), g.f, g.k, g.c, inherited)
+	if err != nil {
+		return SPoAInstance{}, err
+	}
+	g.storeState(st)
+	g.retainSeed(inherited)
+	g.parent.Store(nil)
+	return inst, nil
 }
 
 // ESSAuditContext tests the game's IFD against the provided mutants

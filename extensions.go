@@ -3,7 +3,7 @@ package dispersal
 // Public entry points for the model extensions (paper Sections 1.2, 5.1,
 // 5.2): travel costs, consumption capacity, interspecies competition, and
 // pure-equilibrium enumeration. Each wraps the corresponding internal
-// subsystem; see DESIGN.md for the modelling details.
+// subsystem; see docs/ARCHITECTURE.md for the modelling details.
 
 import (
 	"context"

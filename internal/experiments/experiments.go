@@ -405,7 +405,7 @@ func E12BayesianSearch() (Report, error) {
 	notes := []string{
 		fmt.Sprintf("round-1 law of the sigma*-based searcher equals sigma* exactly: %v", identity),
 		"only round 1 of A* is specified in the paper; the multi-round extension here " +
-			"is a myopic per-searcher re-application of sigma* (see DESIGN.md substitutions) " +
+			"is a myopic per-searcher re-application of sigma* (see docs/ARCHITECTURE.md, modelling substitutions) " +
 			"and is compared against uncoordinated baselines, not against the true A*",
 	}
 	return Report{

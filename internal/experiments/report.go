@@ -1,5 +1,5 @@
 // Package experiments implements the paper-reproduction harness: one entry
-// point per experiment in DESIGN.md's index (E1-E23, plus the E24
+// point per experiment in the docs/ARCHITECTURE.md index (E1-E23, plus the E24
 // drifting-landscape extension), each returning a structured Report with a
 // rendered table, optional charts, and a Pass flag recording whether the
 // paper's qualitative claim held on this run.
@@ -24,7 +24,7 @@ import (
 
 // Report is the outcome of one experiment.
 type Report struct {
-	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	// ID is the experiment identifier from the docs/ARCHITECTURE.md index (e.g. "E1").
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -121,7 +121,7 @@ type entry struct {
 	run Runner
 }
 
-// suite lists every experiment in DESIGN.md index order.
+// suite lists every experiment in docs/ARCHITECTURE.md index order.
 func suite() []entry {
 	return []entry{
 		{"E1", E1Figure1LeftContext},

@@ -1,0 +1,113 @@
+package ifd
+
+// Incremental sigma* for time-varying landscapes.
+//
+// The exclusive policy's closed form re-derives the support boundary
+//
+//	W = argmax { y : S(y) <= 1 },  S(y) = sum_{x<=y} (1 - (f(y)/f(x))^(1/(k-1))),
+//
+// with a fresh inner sum per candidate y — O(W^2) power evaluations per
+// solve. On a drifting landscape W moves by O(drift) per frame, so
+// ExclusiveWarm instead starts the boundary search at the previous frame's
+// W and walks it up or down (S is non-decreasing in y, so the walk is
+// exact), evaluating S(y) in O(1) from a lazily extended prefix sum of
+// f(x)^(-1/(k-1)). The whole solve costs O(W + |W - W_prev|) power
+// evaluations instead of O(W^2).
+
+import (
+	"fmt"
+	"math"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/strategy"
+)
+
+// ExclusiveWarm returns the IFD under the exclusive reward policy like
+// Exclusive, seeding the support-boundary search from prev — the state of a
+// previous solve of a nearby landscape — when prev carries a compatible
+// sigma* part (same site count and player count; the closed form is
+// policy-free, so any producer qualifies). The third result reports whether
+// the incremental path ran; a nil or incompatible prev, or k = 1, falls
+// back to the cold closed form.
+//
+// The incremental path evaluates the same closed form as Exclusive through
+// algebraically identical (prefix-sum factored) expressions, so results
+// match the cold solver to floating-point tolerance on every input; the
+// boundary walk itself is exact by the monotonicity of the partial sums.
+func ExclusiveWarm(prev *solve.State, f site.Values, k int) (strategy.Strategy, Result, bool, error) {
+	if k < 2 || !prev.CompatibleSigma(f, k) {
+		p, res, err := Exclusive(f, k)
+		return p, res, false, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, Result{}, false, err
+	}
+	m := len(f)
+	inv := 1 / float64(k-1)
+
+	// terms[x] = f(x)^(-1/(k-1)); prefix[n] = sum_{x<n} terms[x], Kahan
+	// compensated. Both extend lazily to the highest boundary candidate the
+	// walk probes, so a stable W costs O(W) power evaluations and a moving
+	// one O(W + drift).
+	terms := make([]float64, 0, m)
+	prefix := make([]float64, 1, m+1) // prefix[0] = 0
+	var acc numeric.Accumulator
+	extend := func(n int) {
+		for len(terms) < n {
+			t := math.Pow(f[len(terms)], -inv)
+			terms = append(terms, t)
+			acc.Add(t)
+			prefix = append(prefix, acc.Sum())
+		}
+	}
+	// S(y) = sum_{x<=y} (1 - (f(y)/f(x))^(1/(k-1))) = y - f(y)^(1/(k-1)) *
+	// prefix[y]: the cold scan's partial sum in prefix-factored form.
+	s := func(y int) float64 {
+		extend(y)
+		return float64(y) - math.Pow(f[y-1], inv)*prefix[y]
+	}
+
+	// Walk the boundary from the previous frame's W. S is non-decreasing in
+	// y and W is the largest y with S(y) <= 1, so each step is exact.
+	w, _, _ := prev.Sigma()
+	if w < 1 {
+		w = 1
+	}
+	if w > m {
+		w = m
+	}
+	if s(w) <= 1 {
+		for w+1 <= m && s(w+1) <= 1 {
+			w++
+		}
+	} else {
+		for w > 1 && s(w) > 1 {
+			w--
+		}
+	}
+	extend(w)
+
+	// alpha = (W-1) / sum_{x<=W} f(x)^(-1/(k-1)), then the Pareto form.
+	alpha := float64(w-1) / prefix[w]
+	p := make(strategy.Strategy, m)
+	for x := 0; x < w; x++ {
+		p[x] = 1 - alpha*terms[x]
+	}
+	// Same boundary guard as the cold solver: rounding can push masses at a
+	// tied support edge slightly negative.
+	for x := range p {
+		if p[x] < 0 {
+			p[x] = 0
+		}
+	}
+	if _, err := p.Normalize(); err != nil {
+		return nil, Result{}, false, fmt.Errorf("%w: %v", ErrSolveFailed, err)
+	}
+	nu := math.Pow(alpha, float64(k-1))
+	if w == 1 {
+		nu = 0 // single-site support with k >= 2: collisions are certain
+	}
+	return p, Result{W: w, Alpha: alpha, Nu: nu}, true, nil
+}

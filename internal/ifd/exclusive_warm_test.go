@@ -1,0 +1,136 @@
+package ifd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+)
+
+// stateOf packages a cold Exclusive result as a solver-core state, the way
+// the root Game records it.
+func stateOf(f site.Values, k int, res Result) *solve.State {
+	return solve.New(f, k, policy.Exclusive{}).WithSigma(res.W, res.Alpha, res.Nu)
+}
+
+// TestExclusiveWarmMatchesColdOnDrift chains the incremental tracker along
+// drifting landscapes and checks every frame against the cold closed form.
+func TestExclusiveWarmMatchesColdOnDrift(t *testing.T) {
+	for _, k := range []int{2, 3, 8, 33} {
+		base := site.Geometric(24, 1, 0.85)
+		var prev *solve.State
+		for frame := 0; frame < 40; frame++ {
+			f := site.Values(site.Drifted(base, frame, 0.04))
+			coldP, coldRes, err := Exclusive(f, k)
+			if err != nil {
+				t.Fatalf("k=%d frame %d cold: %v", k, frame, err)
+			}
+			warmP, warmRes, warmed, err := ExclusiveWarm(prev, f, k)
+			if err != nil {
+				t.Fatalf("k=%d frame %d warm: %v", k, frame, err)
+			}
+			if frame > 0 && !warmed {
+				t.Fatalf("k=%d frame %d: incremental path did not engage", k, frame)
+			}
+			if warmRes.W != coldRes.W {
+				t.Fatalf("k=%d frame %d: W = %d warm vs %d cold", k, frame, warmRes.W, coldRes.W)
+			}
+			if d := math.Abs(warmRes.Alpha - coldRes.Alpha); d > 1e-10*(1+math.Abs(coldRes.Alpha)) {
+				t.Fatalf("k=%d frame %d: alpha diverged by %g", k, frame, d)
+			}
+			if d := math.Abs(warmRes.Nu - coldRes.Nu); d > 1e-9*(1+math.Abs(coldRes.Nu)) {
+				t.Fatalf("k=%d frame %d: nu diverged by %g", k, frame, d)
+			}
+			if d := warmP.LInf(coldP); d > 1e-9 {
+				t.Fatalf("k=%d frame %d: strategies diverged by %g", k, frame, d)
+			}
+			prev = stateOf(f, k, warmRes)
+		}
+	}
+}
+
+// TestExclusiveWarmTracksMovingBoundary drives the support boundary W
+// through large moves (shrinking and growing tails) and checks the walk
+// lands exactly where the cold scan does.
+func TestExclusiveWarmTracksMovingBoundary(t *testing.T) {
+	k := 5
+	rng := rand.New(rand.NewPCG(7, 11))
+	m := 40
+	f := site.Values(site.Geometric(m, 1, 0.95))
+	prev := (*solve.State)(nil)
+	lastW := 0
+	sawMove := false
+	for step := 0; step < 30; step++ {
+		// Random multiplicative shocks re-sorted into a valid landscape:
+		// big enough to move W by several sites between steps.
+		g := f.Clone()
+		for i := range g {
+			g[i] *= math.Exp(0.5 * (rng.Float64() - 0.5))
+		}
+		f = site.Values(site.Sorted(g))
+		coldP, coldRes, err := Exclusive(f, k)
+		if err != nil {
+			t.Fatalf("step %d cold: %v", step, err)
+		}
+		warmP, warmRes, _, err := ExclusiveWarm(prev, f, k)
+		if err != nil {
+			t.Fatalf("step %d warm: %v", step, err)
+		}
+		if warmRes.W != coldRes.W {
+			t.Fatalf("step %d: W = %d warm vs %d cold", step, warmRes.W, coldRes.W)
+		}
+		if d := warmP.LInf(coldP); d > 1e-9 {
+			t.Fatalf("step %d: strategies diverged by %g", step, d)
+		}
+		if step > 0 && warmRes.W != lastW {
+			sawMove = true
+		}
+		lastW = warmRes.W
+		prev = stateOf(f, k, warmRes)
+	}
+	if !sawMove {
+		t.Fatal("boundary never moved; the test exercised nothing")
+	}
+}
+
+// TestExclusiveWarmFallsBackCold verifies the compatibility gates: nil
+// state, k = 1, and shape mismatches all answer through the cold form with
+// warmed = false.
+func TestExclusiveWarmFallsBackCold(t *testing.T) {
+	f := site.Values{1, 0.6, 0.3}
+	coldP, coldRes, err := Exclusive(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, prev *solve.State, k int) {
+		t.Helper()
+		p, res, warmed, err := ExclusiveWarm(prev, f, k)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if warmed {
+			t.Fatalf("%s: incremental path engaged without a compatible seed", name)
+		}
+		if k == 3 && (res.W != coldRes.W || p.LInf(coldP) > 0) {
+			t.Fatalf("%s: fallback diverged from cold", name)
+		}
+	}
+	check("nil state", nil, 3)
+	check("eq-only state", solve.New(f, 3, policy.Exclusive{}).WithEq(coldP, coldRes.Nu, false), 3)
+	check("wrong k", stateOf(f, 4, coldRes), 3)
+	check("wrong site count", stateOf(site.Values{1, 0.5}, 3, Result{W: 1}), 3)
+	check("k=1", stateOf(f, 1, Result{W: 1}), 1)
+
+	// A wildly stale W seed (clamped into range) still lands on the right
+	// boundary — the walk is exact, not heuristic.
+	p, res, warmed, err := ExclusiveWarm(stateOf(f, 3, Result{W: 9999}), f, 3)
+	if err != nil || !warmed {
+		t.Fatalf("stale seed: warmed=%v err=%v", warmed, err)
+	}
+	if res.W != coldRes.W || p.LInf(coldP) > 1e-12 {
+		t.Fatalf("stale seed diverged: W=%d vs %d", res.W, coldRes.W)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"dispersal/internal/numeric"
 	"dispersal/internal/policy"
 	"dispersal/internal/site"
+	"dispersal/internal/solve"
 	"dispersal/internal/strategy"
 )
 
@@ -122,18 +123,6 @@ func Gee(c policy.Congestion, k int, q float64) float64 {
 	return acc.Sum()
 }
 
-// isConstantOnRange reports whether C(l) == C(1) for all l in [1, k]; in
-// that case g is constant and the equilibrium concentrates on argmax f.
-func isConstantOnRange(c policy.Congestion, k int) bool {
-	c1 := c.At(1)
-	for l := 2; l <= k; l++ {
-		if c.At(l) != c1 {
-			return false
-		}
-	}
-	return true
-}
-
 // Solve returns the IFD of the game (f, k, C) and its equilibrium value nu.
 // C must be a valid congestion policy (C(1) = 1, non-increasing up to k).
 //
@@ -165,7 +154,7 @@ func SolveContext(ctx context.Context, f site.Values, k int, c policy.Congestion
 		}
 		return p, f[0], nil
 	}
-	if isConstantOnRange(c, k) {
+	if solve.ConstantOnRange(c, k) {
 		// Degenerate: value of a site never depends on congestion. Spread
 		// over the argmax ties for symmetry.
 		top := f[0]
@@ -182,10 +171,11 @@ func SolveContext(ctx context.Context, f site.Values, k int, c policy.Congestion
 		return p, top, nil
 	}
 
-	gAtOne := Gee(c, k, 1) // minimum of g
+	levels := solve.Levels(c, k)         // C(1..k), evaluated once for the solve
+	gAtOne := solve.GeeLevels(levels, 1) // minimum of g
 	// Mass placed on site x at candidate equilibrium value nu.
 	massAt := func(nu float64) (strategy.Strategy, float64, error) {
-		return siteMasses(ctx, f, k, c, gAtOne, nu, nil)
+		return siteMasses(ctx, f, levels, gAtOne, nu, nil)
 	}
 
 	// Bracket nu: at nu = f(1), no site takes mass (total 0 <= 1); at
@@ -196,26 +186,15 @@ func SolveContext(ctx context.Context, f site.Values, k int, c policy.Congestion
 		lo = f[0] * gAtOne
 	}
 	lo -= 1 + math.Abs(lo)*1e-3 // strict margin so all sites saturate
-	var nu float64
-	{
-		// Bisection on total mass - 1 (monotone non-increasing in nu).
-		nlo, nhi := lo, hi
-		for iter := 0; iter < 200; iter++ {
-			mid := nlo + (nhi-nlo)/2
-			_, tot, err := massAt(mid)
-			if err != nil {
-				return nil, 0, err
-			}
-			if tot > 1 {
-				nlo = mid
-			} else {
-				nhi = mid
-			}
-			if nhi-nlo < 1e-14*(1+math.Abs(nhi)) {
-				break
-			}
-		}
-		nu = nlo + (nhi-nlo)/2
+	// Bisection on total mass - 1 (monotone non-increasing in nu), via the
+	// solver core's shared excess bisection (bit-identical to the loop this
+	// solver used to carry inline).
+	nu, err := solve.BisectExcess(func(cand float64) (float64, error) {
+		_, tot, err := massAt(cand)
+		return tot - 1, err
+	}, lo, hi, 1e-14)
+	if err != nil {
+		return nil, 0, err
 	}
 	p, _, err := massAt(nu)
 	if err != nil {

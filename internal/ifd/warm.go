@@ -10,6 +10,11 @@ package ifd
 // failure) and narrows every per-site Brent inversion around the previous
 // per-site mass, which turns the cold solver's ~50 full-width bisection
 // passes into a handful of bracketed Brent steps.
+//
+// The state threaded through the solves is the solver-core contract
+// internal/solve.State, shared with the coverage water-filling, the
+// exclusive sigma* tracker and the SPoA pipeline — any of those can seed
+// this solver and vice versa.
 
 import (
 	"context"
@@ -20,34 +25,16 @@ import (
 	"dispersal/internal/numeric"
 	"dispersal/internal/policy"
 	"dispersal/internal/site"
+	"dispersal/internal/solve"
 	"dispersal/internal/strategy"
 )
 
-// WarmState carries the reusable state of one equilibrium solve: the
-// landscape it solved, the per-site visit probabilities and the equilibrium
-// value nu. Pass it to SolveWarm to seed the next solve of a nearby
-// landscape. A WarmState is immutable after creation and safe to share
-// between goroutines.
-type WarmState struct {
-	f   site.Values
-	k   int
-	pol string // policy display name, parameters included
-	q   strategy.Strategy
-	nu  float64
-	// warm records whether the solve that produced this state was itself
-	// warm-seeded (telemetry for benchmarks and the trajectory endpoint).
-	warm bool
-}
-
-// Nu returns the equilibrium value of the solve this state records.
-func (s *WarmState) Nu() float64 { return s.nu }
-
-// Strategy returns a copy of the equilibrium strategy this state records.
-func (s *WarmState) Strategy() strategy.Strategy { return s.q.Clone() }
-
-// Warmed reports whether the solve that produced this state took the
-// warm-start path (as opposed to a cold solve or a fallback).
-func (s *WarmState) Warmed() bool { return s != nil && s.warm }
+// WarmState is the solver-core state record; it is an alias of solve.State,
+// the contract every equilibrium-adjacent solver consumes and emits. The
+// equilibrium part carries the per-site visit probabilities and the common
+// value nu that SolveWarm seeds from. A WarmState is immutable after
+// creation and safe to share between goroutines.
+type WarmState = solve.State
 
 // NewWarmState rehydrates solver state from an externally known equilibrium
 // — e.g. one recovered from a result cache — so a trajectory can stay warm
@@ -56,21 +43,16 @@ func (s *WarmState) Warmed() bool { return s != nil && s.warm }
 // corrupt a later solve (the bracket verification falls back to a cold
 // solve), it can only waste the warm attempt.
 func NewWarmState(f site.Values, k int, c policy.Congestion, p strategy.Strategy, nu float64) *WarmState {
-	return &WarmState{f: f.Clone(), k: k, pol: c.Name(), q: p.Clone(), nu: nu}
-}
-
-// compatible reports whether the state can seed a solve of (f, k, c): same
-// site count, same player count, same (identically parameterized) policy.
-func (s *WarmState) compatible(f site.Values, k int, c policy.Congestion) bool {
-	return s != nil && s.k == k && len(s.f) == len(f) && len(s.q) == len(f) && s.pol == c.Name()
+	return solve.New(f, k, c).WithEq(p, nu, false)
 }
 
 // siteMasses returns the per-site masses taken at candidate equilibrium
-// value nu together with their total. hint, when non-nil, is a previous
+// value nu together with their total. levels is the precomputed congestion
+// table C(1..k) (solve.Levels). hint, when non-nil, is a previous
 // solution's per-site mass vector: each Brent inversion is then bracketed in
 // a verified narrow interval around hint[x] instead of [0, 1]. With a nil
 // hint the numerics are exactly those of the cold solver.
-func siteMasses(ctx context.Context, f site.Values, k int, c policy.Congestion, gAtOne, nu float64, hint strategy.Strategy) (strategy.Strategy, float64, error) {
+func siteMasses(ctx context.Context, f site.Values, levels []float64, gAtOne, nu float64, hint strategy.Strategy) (strategy.Strategy, float64, error) {
 	m := len(f)
 	p := make(strategy.Strategy, m)
 	var total numeric.Accumulator
@@ -89,11 +71,11 @@ func siteMasses(ctx context.Context, f site.Values, k int, c policy.Congestion, 
 			continue
 		}
 		h := func(q float64) float64 {
-			return Gee(c, k, q) - target
+			return solve.GeeLevels(levels, q) - target
 		}
 		lo, hi := 0.0, 1.0
 		if hint != nil {
-			lo, hi = seedBracket(h, hint[x])
+			lo, hi = solve.SeedBracket(h, hint[x], seedBracketHalfWidth)
 		}
 		q, err := numeric.Brent(h, lo, hi, 1e-15, 200)
 		if err != nil {
@@ -109,38 +91,13 @@ func siteMasses(ctx context.Context, f site.Values, k int, c policy.Congestion, 
 // inversion bracket around the previous solution's mass.
 const seedBracketHalfWidth = 0.01
 
-// seedBracket narrows the inversion interval for h (strictly decreasing on
-// [0, 1]) around the seed q0. Each probe is sound regardless of where the
-// root actually is: monotonicity means a probe with h >= 0 is a valid lower
-// end and one with h <= 0 a valid upper end, so a stale seed degrades to at
-// worst two wasted evaluations, never a wrong bracket.
-func seedBracket(h func(float64) float64, q0 float64) (lo, hi float64) {
-	lo, hi = 0, 1
-	if !(q0 > 0 && q0 < 1) {
-		return lo, hi
-	}
-	if a := q0 - seedBracketHalfWidth; a > lo {
-		if h(a) >= 0 {
-			lo = a
-		} else {
-			hi = a
-		}
-	}
-	if b := q0 + seedBracketHalfWidth; b < hi && b > lo {
-		if h(b) <= 0 {
-			hi = b
-		} else {
-			lo = b
-		}
-	}
-	return lo, hi
-}
-
 // SolveWarm returns the IFD of the game (f, k, C) like SolveContext, seeding
 // the search from prev — the state of a previous solve of a nearby landscape
-// — when prev is compatible (same site count, player count and policy). It
-// always returns the state of the solve it performed, for threading through
-// the next step of a trajectory.
+// — when prev carries a compatible equilibrium part (same site count, player
+// count and policy). It always returns the state of the solve it performed,
+// for threading through the next step of a trajectory; the caller may merge
+// it with other solvers' parts (solve.Merge) and pass the combined state
+// anywhere the contract is consumed.
 //
 // A nil or incompatible prev, a degenerate game (k = 1, a single site, a
 // congestion-free policy) and any warm bracket that fails to capture the new
@@ -148,26 +105,26 @@ func seedBracket(h func(float64) float64, q0 float64) (lo, hi float64) {
 // correctness for speed: its result matches SolveContext up to the solvers'
 // shared numerical tolerance on every input.
 func SolveWarm(ctx context.Context, prev *WarmState, f site.Values, k int, c policy.Congestion) (strategy.Strategy, float64, *WarmState, error) {
-	if prev.compatible(f, k, c) && !degenerate(f, k, c) {
+	if prev.CompatibleEq(f, k, c) && !degenerate(f, k, c) {
 		p, nu, ok, err := solveWarmCore(ctx, prev, f, k, c)
 		if err != nil {
 			return nil, 0, nil, err
 		}
 		if ok {
-			return p, nu, &WarmState{f: f.Clone(), k: k, pol: c.Name(), q: p.Clone(), nu: nu, warm: true}, nil
+			return p, nu, solve.New(f, k, c).WithEq(p, nu, true), nil
 		}
 	}
 	p, nu, err := SolveContext(ctx, f, k, c)
 	if err != nil {
 		return nil, 0, nil, err
 	}
-	return p, nu, &WarmState{f: f.Clone(), k: k, pol: c.Name(), q: p.Clone(), nu: nu}, nil
+	return p, nu, solve.New(f, k, c).WithEq(p, nu, false), nil
 }
 
 // degenerate reports the cases the cold solver answers in closed form, where
 // warm seeding has nothing to accelerate.
 func degenerate(f site.Values, k int, c policy.Congestion) bool {
-	return k == 1 || len(f) == 1 || isConstantOnRange(c, k)
+	return k == 1 || len(f) == 1 || solve.ConstantOnRange(c, k)
 }
 
 // warmExpandFactor grows the nu bracket each time an endpoint fails its sign
@@ -189,7 +146,8 @@ func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c
 		return nil, 0, false, nil
 	}
 	m := len(f)
-	gAtOne := Gee(c, k, 1)
+	levels := solve.Levels(c, k)
+	gAtOne := solve.GeeLevels(levels, 1)
 
 	// Cold bracket bounds: signs are guaranteed at these by construction
 	// (every site saturates below loC; no site takes mass at hiC), so the
@@ -207,12 +165,12 @@ func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c
 	// successive candidate values are close together, so the latest masses
 	// seed the next round of inversions tighter than the previous frame's.
 	var solveErr error
-	hint := prev.q
+	hint := prev.EqRef()
 	excess := func(nu float64) float64 {
 		if solveErr != nil {
 			return 0
 		}
-		p, tot, err := siteMasses(ctx, f, k, c, gAtOne, nu, hint)
+		p, tot, err := siteMasses(ctx, f, levels, gAtOne, nu, hint)
 		if err != nil {
 			solveErr = err
 			return 0
@@ -222,15 +180,11 @@ func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c
 	}
 
 	// Drift-scaled initial bracket around the previous nu.
-	drift := 0.0
-	for x := range f {
-		if d := math.Abs(f[x]-prev.f[x]) / prev.f[x]; d > drift {
-			drift = d
-		}
-	}
-	w := (2*drift + 1e-9) * (1 + math.Abs(prev.nu))
-	lo := math.Max(loC, prev.nu-w)
-	hi := math.Min(hiC, prev.nu+w)
+	prevNu := prev.Nu()
+	drift := prev.Drift(f)
+	w := (2*drift + 1e-9) * (1 + math.Abs(prevNu))
+	lo := math.Max(loC, prevNu-w)
+	hi := math.Min(hiC, prevNu+w)
 
 	// Establish the sign condition excess(lo) >= 0 >= excess(hi), expanding
 	// geometrically on whichever side fails. A failed endpoint is still a
@@ -244,7 +198,7 @@ func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c
 			break
 		}
 		w *= warmExpandFactor
-		lo = math.Max(loC, prev.nu-w)
+		lo = math.Max(loC, prevNu-w)
 		elo = excess(lo)
 	}
 	if !ehiKnown {
@@ -256,7 +210,7 @@ func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c
 			break
 		}
 		w *= warmExpandFactor
-		hi = math.Min(hiC, prev.nu+w)
+		hi = math.Min(hiC, prevNu+w)
 		ehi = excess(hi)
 	}
 	if solveErr != nil {
@@ -273,7 +227,7 @@ func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c
 	case ehi == 0:
 		nu = hi
 	default:
-		root, err := numeric.BrentSeeded(excess, lo, hi, elo, ehi, 1e-14*(1+math.Abs(prev.nu)), 200)
+		root, err := numeric.BrentSeeded(excess, lo, hi, elo, ehi, 1e-14*(1+math.Abs(prevNu)), 200)
 		if solveErr != nil {
 			return warmFail(solveErr)
 		}
@@ -283,7 +237,7 @@ func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c
 		nu = root
 	}
 
-	p, _, err := siteMasses(ctx, f, k, c, gAtOne, nu, hint)
+	p, _, err := siteMasses(ctx, f, levels, gAtOne, nu, hint)
 	if err != nil {
 		return warmFail(err)
 	}

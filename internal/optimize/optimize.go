@@ -24,6 +24,7 @@ import (
 	"dispersal/internal/numeric"
 	"dispersal/internal/policy"
 	"dispersal/internal/site"
+	"dispersal/internal/solve"
 	"dispersal/internal/strategy"
 )
 
@@ -49,9 +50,30 @@ func MaxCoverage(f site.Values, k int) (strategy.Strategy, float64, error) {
 		// Coverage is linear in p: optimum is the point mass on site 1.
 		return strategy.Delta(m, 0), f[0], nil
 	}
+	// mass is strictly decreasing in lambda on (0, k*f(1)); mass(0+) = M >= 1
+	// and mass(k*f(1)) = 0. Bisect mass(lambda) = 1 through the solver
+	// core's shared excess bisection — the same loop the IFD nu search uses,
+	// which both solvers used to re-derive inline.
+	mass := fillMass(f, k)
+	lambda, err := solve.BisectExcess(func(cand float64) (float64, error) {
+		return mass(cand) - 1, nil
+	}, 0, float64(k)*f[0], 1e-15)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := fillStrategy(f, k, lambda)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, lambda, nil
+}
+
+// fillMass returns the water-filling mass function of (f, k): the total
+// probability mass placed when the common marginal coverage is lambda.
+func fillMass(f site.Values, k int) func(lambda float64) float64 {
 	inv := 1 / float64(k-1)
 	kf := float64(k)
-	mass := func(lambda float64) float64 {
+	return func(lambda float64) float64 {
 		var acc numeric.Accumulator
 		for _, fx := range f {
 			r := lambda / (kf * fx)
@@ -62,22 +84,13 @@ func MaxCoverage(f site.Values, k int) (strategy.Strategy, float64, error) {
 		}
 		return acc.Sum()
 	}
-	// mass is strictly decreasing in lambda on (0, k*f(1)); mass(0+) = M >= 1
-	// and mass(k*f(1)) = 0. Bisect mass(lambda) = 1.
-	lo, hi := 0.0, kf*f[0]
-	for iter := 0; iter < 200; iter++ {
-		mid := lo + (hi-lo)/2
-		if mass(mid) > 1 {
-			lo = mid
-		} else {
-			hi = mid
-		}
-		if hi-lo < 1e-15*(1+hi) {
-			break
-		}
-	}
-	lambda := lo + (hi-lo)/2
-	p := make(strategy.Strategy, m)
+}
+
+// fillStrategy materializes the water-filled strategy at multiplier lambda.
+func fillStrategy(f site.Values, k int, lambda float64) (strategy.Strategy, error) {
+	inv := 1 / float64(k-1)
+	kf := float64(k)
+	p := make(strategy.Strategy, len(f))
 	for x, fx := range f {
 		r := lambda / (kf * fx)
 		if r >= 1 {
@@ -86,9 +99,102 @@ func MaxCoverage(f site.Values, k int) (strategy.Strategy, float64, error) {
 		p[x] = 1 - math.Pow(r, inv)
 	}
 	if _, err := p.Normalize(); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	return p, lambda, nil
+	return p, nil
+}
+
+// maxCoverageWarmExpand grows the warm lambda bracket each time an endpoint
+// fails its sign check; the growth is bounded before falling back cold.
+const (
+	maxCoverageWarmExpandFactor = 8
+	maxCoverageWarmMaxExpand    = 6
+)
+
+// MaxCoverageWarm is MaxCoverage seeded from prev — the solver-core state
+// of a previous solve of a nearby landscape — when prev carries a
+// compatible optimum part (same site count and player count; coverage is
+// policy-free, so a state produced under any policy qualifies). The lambda
+// water-filling then starts from a drift-scaled bracket around the previous
+// multiplier, verified by sign checks and refined with Brent's method,
+// instead of bisecting the full [0, k*f(1)] range. The third result reports
+// whether the warm path ran.
+//
+// A nil or incompatible prev, k = 1, and any warm bracket that fails to
+// capture the new multiplier all fall back to the cold solver, so the
+// result always matches MaxCoverage up to the solvers' shared numerical
+// tolerance.
+func MaxCoverageWarm(prev *solve.State, f site.Values, k int) (strategy.Strategy, float64, bool, error) {
+	if k < 2 || !prev.CompatibleOpt(f, k) {
+		p, lambda, err := MaxCoverage(f, k)
+		return p, lambda, false, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	mass := fillMass(f, k)
+	excess := func(lambda float64) float64 { return mass(lambda) - 1 }
+
+	// Cold bracket bounds: excess(0) = M - 1 >= 0 and excess(k*f(1)) = -1,
+	// so the warm bracket never needs to expand past them.
+	loC, hiC := 0.0, float64(k)*f[0]
+	prevL := prev.Lambda()
+	w := (2*prev.Drift(f) + 1e-9) * (1 + math.Abs(prevL))
+	lo := math.Max(loC, prevL-w)
+	hi := math.Min(hiC, prevL+w)
+
+	// Establish excess(lo) >= 0 >= excess(hi), expanding geometrically on
+	// whichever side fails; a failed endpoint is a valid endpoint for the
+	// other side by monotonicity.
+	elo := excess(lo)
+	ehi, ehiKnown := 0.0, false
+	for i := 0; elo < 0 && i < maxCoverageWarmMaxExpand; i++ {
+		hi, ehi, ehiKnown = lo, elo, true
+		if lo == loC {
+			break
+		}
+		w *= maxCoverageWarmExpandFactor
+		lo = math.Max(loC, prevL-w)
+		elo = excess(lo)
+	}
+	if !ehiKnown {
+		ehi = excess(hi)
+	}
+	for i := 0; ehi > 0 && i < maxCoverageWarmMaxExpand; i++ {
+		lo, elo = hi, ehi
+		if hi == hiC {
+			break
+		}
+		w *= maxCoverageWarmExpandFactor
+		hi = math.Min(hiC, prevL+w)
+		ehi = excess(hi)
+	}
+	coldFallback := func() (strategy.Strategy, float64, bool, error) {
+		p, lambda, err := MaxCoverage(f, k)
+		return p, lambda, false, err
+	}
+	if elo < 0 || ehi > 0 {
+		return coldFallback()
+	}
+
+	var lambda float64
+	switch {
+	case elo == 0:
+		lambda = lo
+	case ehi == 0:
+		lambda = hi
+	default:
+		root, err := numeric.BrentSeeded(excess, lo, hi, elo, ehi, 1e-15*(1+math.Abs(prevL)), 200)
+		if err != nil {
+			return coldFallback()
+		}
+		lambda = root
+	}
+	p, err := fillStrategy(f, k, lambda)
+	if err != nil {
+		return coldFallback()
+	}
+	return p, lambda, true, nil
 }
 
 // PGOptions configure ProjectedGradient.

@@ -1,0 +1,138 @@
+package optimize
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/strategy"
+)
+
+// optState packages a MaxCoverage result the way the solver core carries it.
+func optState(f site.Values, k int, p strategy.Strategy, lambda float64) *solve.State {
+	return solve.New(f, k, policy.Sharing{}).WithOpt(p, lambda, false)
+}
+
+// TestMaxCoverageWarmMatchesColdOnDrift chains the warm water-filling along
+// drifting landscapes and checks every frame against the cold solver.
+func TestMaxCoverageWarmMatchesColdOnDrift(t *testing.T) {
+	for _, k := range []int{2, 5, 17} {
+		base := site.Geometric(20, 1, 0.88)
+		var prev *solve.State
+		for frame := 0; frame < 32; frame++ {
+			f := site.Values(site.Drifted(base, frame, 0.03))
+			coldP, coldL, err := MaxCoverage(f, k)
+			if err != nil {
+				t.Fatalf("k=%d frame %d cold: %v", k, frame, err)
+			}
+			warmP, warmL, warmed, err := MaxCoverageWarm(prev, f, k)
+			if err != nil {
+				t.Fatalf("k=%d frame %d warm: %v", k, frame, err)
+			}
+			if frame > 0 && !warmed {
+				t.Fatalf("k=%d frame %d: warm path did not engage", k, frame)
+			}
+			if d := math.Abs(warmL-coldL) / (1 + math.Abs(coldL)); d > 1e-9 {
+				t.Fatalf("k=%d frame %d: lambda diverged by %g", k, frame, d)
+			}
+			if d := warmP.LInf(coldP); d > 1e-7 {
+				t.Fatalf("k=%d frame %d: strategies diverged by %g", k, frame, d)
+			}
+			prev = optState(f, k, warmP, warmL)
+		}
+	}
+}
+
+// TestMaxCoverageWarmFarSeedFallsBack hands the warm solver a state from a
+// radically different landscape: the drift-scaled bracket may miss, but the
+// verified sign checks and the cold fallback must keep the answer right.
+func TestMaxCoverageWarmFarSeedFallsBack(t *testing.T) {
+	k := 6
+	far := site.Values{1000, 900, 800, 700, 600, 500, 400, 300}
+	farP, farL, err := MaxCoverage(far, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := site.Values(site.Geometric(8, 1, 0.5))
+	coldP, coldL, err := MaxCoverage(near, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmP, warmL, _, err := MaxCoverageWarm(optState(far, k, farP, farL), near, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(warmL-coldL) / (1 + coldL); d > 1e-9 {
+		t.Fatalf("far-seeded lambda diverged by %g (%v vs %v)", d, warmL, coldL)
+	}
+	if d := warmP.LInf(coldP); d > 1e-7 {
+		t.Fatalf("far-seeded strategy diverged by %g", d)
+	}
+}
+
+// TestMaxCoverageWarmRandomShapes fuzzes random landscapes and random (even
+// adversarially wrong) lambda seeds: correctness must never depend on the
+// seed's quality.
+func TestMaxCoverageWarmRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.IntN(12)
+		k := 2 + rng.IntN(9)
+		raw := make([]float64, m)
+		for i := range raw {
+			raw[i] = math.Exp(2 * rng.NormFloat64())
+		}
+		f := site.Values(site.Sorted(raw))
+		coldP, coldL, err := MaxCoverage(f, k)
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		seedP := coldP.Clone()
+		seedL := coldL * math.Exp(3*rng.NormFloat64()) // wildly scaled seed
+		warmP, warmL, _, err := MaxCoverageWarm(optState(f, k, seedP, seedL), f, k)
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		if d := math.Abs(warmL-coldL) / (1 + math.Abs(coldL)); d > 1e-8 {
+			t.Fatalf("trial %d (m=%d k=%d): lambda diverged by %g", trial, m, k, d)
+		}
+		if d := warmP.LInf(coldP); d > 1e-6 {
+			t.Fatalf("trial %d (m=%d k=%d): strategy diverged by %g", trial, m, k, d)
+		}
+	}
+}
+
+// TestMaxCoverageWarmIncompatibleSeeds verifies the gates: nil, k = 1 and
+// shape mismatches run cold with warmed = false and bit-identical results.
+func TestMaxCoverageWarmIncompatibleSeeds(t *testing.T) {
+	f := site.Values{1, 0.7, 0.4}
+	coldP, coldL, err := MaxCoverage(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		prev *solve.State
+		k    int
+	}{
+		{"nil", nil, 3},
+		{"eq-only part", solve.New(f, 3, policy.Sharing{}).WithEq(coldP, 0.2, false), 3},
+		{"wrong k", optState(f, 4, coldP, coldL), 3},
+		{"wrong sites", optState(site.Values{1, 0.5}, 3, strategy.Strategy{0.6, 0.4}, coldL), 3},
+		{"k=1", optState(f, 1, coldP, coldL), 1},
+	} {
+		p, lambda, warmed, err := MaxCoverageWarm(tc.prev, f, tc.k)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if warmed {
+			t.Fatalf("%s: warm path engaged without a compatible seed", tc.name)
+		}
+		if tc.k == 3 && (lambda != coldL || p.LInf(coldP) != 0) {
+			t.Fatalf("%s: fallback is not bit-identical to cold", tc.name)
+		}
+	}
+}

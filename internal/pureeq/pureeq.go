@@ -19,6 +19,7 @@ import (
 	"dispersal/internal/numeric"
 	"dispersal/internal/policy"
 	"dispersal/internal/site"
+	"dispersal/internal/solve"
 )
 
 // Errors returned by the enumerator.
@@ -126,38 +127,78 @@ func EnumerateContext(ctx context.Context, f site.Values, k int, c policy.Conges
 		BestCoverage:  math.Inf(-1),
 		WorstCoverage: math.Inf(1),
 	}
+	// Precompute the reward table I(x, l) = f(x) * C(l) from the solver
+	// core's congestion level table instead of re-deriving f(x)*C(l) policy
+	// call by policy call inside the profile scan. Occupancies stay in
+	// [1, k]: a deviating player frees its own site before joining another,
+	// so a target site holds at most k-1 others.
+	levels := solve.Levels(c, k)
+	reward := make([][]float64, m)
+	for x := 0; x < m; x++ {
+		row := make([]float64, k+1)
+		for l := 1; l <= k; l++ {
+			row[l] = f[x] * levels[l-1]
+		}
+		reward[x] = row
+	}
+	// Walk the profile space in base-M odometer order — the same order the
+	// old per-index decode produced — maintaining the site occupancy counts
+	// incrementally (amortized O(1) per profile instead of O(k)).
 	profile := make(Profile, k)
+	counts := make([]int, m)
+	counts[0] = k
 	for idx := 0; idx < total; idx++ {
 		if idx%4096 == 0 {
 			if err := ctx.Err(); err != nil {
 				return sum, err
 			}
 		}
-		// Decode idx in base M.
-		v := idx
+		if isNashTable(reward, profile, counts, 1e-12) {
+			sum.Equilibria++
+			cov := profile.Coverage(f)
+			if cov > sum.BestCoverage {
+				sum.BestCoverage = cov
+			}
+			if cov < sum.WorstCoverage {
+				sum.WorstCoverage = cov
+			}
+			if len(sum.Witnesses) < MaxWitnesses {
+				sum.Witnesses = append(sum.Witnesses, profile.Clone())
+			}
+		}
+		// Odometer increment with carry, least-significant player first.
 		for i := 0; i < k; i++ {
-			profile[i] = v % m
-			v /= m
-		}
-		if !IsNash(f, c, profile, 1e-12) {
-			continue
-		}
-		sum.Equilibria++
-		cov := profile.Coverage(f)
-		if cov > sum.BestCoverage {
-			sum.BestCoverage = cov
-		}
-		if cov < sum.WorstCoverage {
-			sum.WorstCoverage = cov
-		}
-		if len(sum.Witnesses) < MaxWitnesses {
-			sum.Witnesses = append(sum.Witnesses, profile.Clone())
+			counts[profile[i]]--
+			profile[i]++
+			if profile[i] < m {
+				counts[profile[i]]++
+				break
+			}
+			profile[i] = 0
+			counts[0]++
 		}
 	}
 	if sum.Equilibria == 0 {
 		sum.BestCoverage, sum.WorstCoverage = 0, 0
 	}
 	return sum, nil
+}
+
+// isNashTable is IsNash over a precomputed reward table and maintained
+// occupancy counts: no player may gain more than tol by a unilateral move.
+func isNashTable(reward [][]float64, p Profile, counts []int, tol float64) bool {
+	for _, x := range p {
+		current := reward[x][counts[x]]
+		for y := range reward {
+			if y == x {
+				continue
+			}
+			if reward[y][counts[y]+1] > current+tol {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Factorial returns k! as an int (valid for k <= 20).

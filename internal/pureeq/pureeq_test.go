@@ -2,6 +2,7 @@ package pureeq
 
 import (
 	"errors"
+	"math/rand/v2"
 	"testing"
 
 	"dispersal/internal/coverage"
@@ -154,5 +155,67 @@ func TestWitnessCap(t *testing.T) {
 	}
 	if len(sum.Witnesses) != MaxWitnesses {
 		t.Errorf("witnesses = %d, want %d", len(sum.Witnesses), MaxWitnesses)
+	}
+}
+
+// TestEnumerateMatchesDirectIsNash differentially checks the table-backed
+// incremental scan against the exported per-profile IsNash on random games:
+// the refactor onto the solver core's level table must not change which
+// profiles count as equilibria, nor the enumeration order of the witnesses.
+func TestEnumerateMatchesDirectIsNash(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 4))
+	policies := []policy.Congestion{
+		policy.Exclusive{}, policy.Sharing{}, policy.Constant{},
+		policy.TwoPoint{C2: 0.4}, policy.PowerLaw{Beta: 1.2},
+		policy.Cooperative{Gamma: 0.7}, policy.Aggressive{Penalty: 0.25},
+	}
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.IntN(3)
+		k := 2 + rng.IntN(3)
+		raw := make([]float64, m)
+		for i := range raw {
+			raw[i] = 0.1 + rng.Float64()
+		}
+		f := site.Values(site.Sorted(raw))
+		c := policies[trial%len(policies)]
+		got, err := Enumerate(f, k, c, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Reference: the old-style decode-and-check scan.
+		want := 0
+		var witnesses []Profile
+		total := 1
+		for i := 0; i < k; i++ {
+			total *= m
+		}
+		profile := make(Profile, k)
+		for idx := 0; idx < total; idx++ {
+			v := idx
+			for i := 0; i < k; i++ {
+				profile[i] = v % m
+				v /= m
+			}
+			if IsNash(f, c, profile, 1e-12) {
+				want++
+				if len(witnesses) < MaxWitnesses {
+					witnesses = append(witnesses, profile.Clone())
+				}
+			}
+		}
+		if got.Equilibria != want {
+			t.Fatalf("trial %d (%s, m=%d k=%d): %d equilibria, reference found %d",
+				trial, c.Name(), m, k, got.Equilibria, want)
+		}
+		if len(got.Witnesses) != len(witnesses) {
+			t.Fatalf("trial %d: witness count %d vs %d", trial, len(got.Witnesses), len(witnesses))
+		}
+		for i := range witnesses {
+			for j := range witnesses[i] {
+				if got.Witnesses[i][j] != witnesses[i][j] {
+					t.Fatalf("trial %d: witness %d differs: %v vs %v", trial, i, got.Witnesses[i], witnesses[i])
+				}
+			}
+		}
 	}
 }

@@ -7,20 +7,28 @@
 //	                     with the game's IFD, coverage optimum and SPoA.
 //	POST /v1/sweep       {"specs": [spec, ...]}; fans the batch out onto
 //	                     dispersal.Sweep and answers per item.
-//	POST /v1/trajectory  {"spec": spec, "frames": [[...], ...]}; solves the
-//	                     spec's game over a sequence of drifting landscapes,
-//	                     warm-starting each frame from the previous one, and
-//	                     streams one NDJSON result line per frame.
+//	POST /v1/trajectory  {"spec": spec, "frames": [[...], ...]} — or
+//	                     {"spec": spec, "deltas": [[...], ...]} with
+//	                     server-side Game.Evolve-style drift accumulation —
+//	                     solves the spec's game over a sequence of drifting
+//	                     landscapes, warm-starting each frame from the
+//	                     previous one, and streams one NDJSON result line
+//	                     per frame.
 //	GET  /healthz        liveness.
-//	GET  /statsz         cache and request counters.
+//	GET  /statsz         cache, warm-cache and request counters.
 //
 // Identical game specs — across clients, across analyze, sweep and
 // trajectory frames, however the JSON was spelled — share one cache entry
 // keyed by speccodec.CacheKey (trajectory frames use the frame-substituted
 // speccodec.FrameKey, which is the same keyspace), and concurrent identical
-// requests collapse onto a single solve (singleflight). Each request runs
-// under a deadline (Config.Timeout) propagated as a context through every
-// solver; an exceeded deadline answers 504 — or, mid-stream on a
+// requests collapse onto a single solve (singleflight). Near-identical
+// specs additionally share warm solver state: every solve stores its
+// solver-core state (internal/solve.State) in a locality-keyed warm cache
+// (internal/warmcache, keyed by speccodec.LocalityKey), and a solve whose
+// exact key misses seeds from any state recorded for a sufficiently near
+// landscape, falling back cold when the seed does not pay off. Each request
+// runs under a deadline (Config.Timeout) propagated as a context through
+// every solver; an exceeded deadline answers 504 — or, mid-stream on a
 // trajectory, a terminal error line — and is never cached.
 package server
 
@@ -37,6 +45,7 @@ import (
 	"dispersal"
 	"dispersal/internal/rescache"
 	"dispersal/internal/speccodec"
+	"dispersal/internal/warmcache"
 )
 
 // maxBodyBytes bounds request bodies; specs are small.
@@ -55,6 +64,10 @@ type Config struct {
 	// CacheSize is the total number of cached analyses; <= 0 selects the
 	// rescache default.
 	CacheSize int
+	// WarmCacheSize is the number of locality-keyed warm solver states
+	// kept for cross-request warm-starting; <= 0 selects the warmcache
+	// default.
+	WarmCacheSize int
 	// Timeout is the per-request deadline delivered to the solvers via
 	// context; 0 means no deadline.
 	Timeout time.Duration
@@ -88,6 +101,11 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	cache *rescache.Cache[Analysis]
+	// warm shares solver-core states across requests, keyed by landscape
+	// locality (speccodec.LocalityKey): an isolated analyze request or a
+	// fresh trajectory chain warm-starts from any sufficiently near past
+	// solve.
+	warm  *warmcache.Cache
 	start time.Time
 
 	// solves counts underlying solver runs — the quantity the cache
@@ -96,6 +114,10 @@ type Server struct {
 	// trajectoryWarmed counts frames answered by a warm-started solve.
 	solves, analyzeReqs, sweepReqs, sweepItems         atomic.Int64
 	trajectoryReqs, trajectoryFrames, trajectoryWarmed atomic.Int64
+	// warmSeeded counts solves where a warm-cache seed produced a warm
+	// solve; warmFallback counts solves where a seed was found but the
+	// solver fell back cold (bracket miss or incompatible state).
+	warmSeeded, warmFallback atomic.Int64
 }
 
 // New builds a Server with its cache and routes.
@@ -107,6 +129,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
 		cache: rescache.New[Analysis](cfg.CacheSize),
+		warm:  warmcache.New(cfg.WarmCacheSize),
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -168,19 +191,25 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 }
 
 // solve computes the full deterministic analysis of one game through a
-// memoizing session, honoring ctx between solver stages.
-func (s *Server) solve(ctx context.Context, a *dispersal.Analysis) (Analysis, error) {
+// memoizing session, honoring ctx between solver stages. The second result
+// reports whether the request's primary equilibrium solve was warm-seeded
+// (from a trajectory chain or a warm-cache state); the SPoA stage always
+// warm-starts off that first solve's state intra-request, which is not
+// counted — the flag tracks cross-solve reuse, the quantity the warm
+// telemetry exists to measure.
+func (s *Server) solve(ctx context.Context, a *dispersal.Analysis) (Analysis, bool, error) {
 	s.solves.Add(1)
 	if err := ctx.Err(); err != nil {
-		return Analysis{}, err
+		return Analysis{}, false, err
 	}
 	ifd, nu, err := a.IFDContext(ctx)
 	if err != nil {
-		return Analysis{}, err
+		return Analysis{}, false, err
 	}
+	warm := a.Game().Warmed()
 	inst, err := a.SPoAContext(ctx)
 	if err != nil {
-		return Analysis{}, err
+		return Analysis{}, warm, err
 	}
 	g := a.Game()
 	return Analysis{
@@ -193,12 +222,44 @@ func (s *Server) solve(ctx context.Context, a *dispersal.Analysis) (Analysis, er
 		OptCoverage: inst.OptCoverage,
 		EqCoverage:  inst.EqCoverage,
 		SPoA:        inst.Ratio,
-	}, nil
+	}, warm, nil
+}
+
+// seedAndSolve runs one analysis with warm-cache threading: a state stored
+// under the spec's locality key (any sufficiently near past solve) seeds
+// the game, the solve runs, and the resulting state is stored back for the
+// next nearby request. The seeded/fallback counters record whether a found
+// seed actually produced a warm solve. A locality-key failure only disables
+// the warm path — the solve itself proceeds cold.
+func (s *Server) seedAndSolve(ctx context.Context, a *dispersal.Analysis, spec dispersal.Spec) (Analysis, error) {
+	lkey, lerr := speccodec.LocalityKey(spec)
+	seeded := false
+	if lerr == nil {
+		if st := s.warm.Lookup(lkey); st != nil {
+			a.Game().SeedState(st)
+			seeded = true
+		}
+	}
+	res, warm, err := s.solve(ctx, a)
+	if err != nil {
+		return res, err
+	}
+	if seeded {
+		if warm {
+			s.warmSeeded.Add(1)
+		} else {
+			s.warmFallback.Add(1)
+		}
+	}
+	if lerr == nil {
+		s.warm.Store(lkey, a.Game().StateSnapshot())
+	}
+	return res, nil
 }
 
 // cachedSolve answers one spec through the cache, collapsing concurrent
 // identical requests onto one solve. The game is only constructed on a
-// miss.
+// miss, and the miss path threads the warm cache.
 func (s *Server) cachedSolve(ctx context.Context, spec dispersal.Spec) (Analysis, bool, error) {
 	key, err := speccodec.CacheKey(spec)
 	if err != nil {
@@ -209,7 +270,7 @@ func (s *Server) cachedSolve(ctx context.Context, spec dispersal.Spec) (Analysis
 		if err != nil {
 			return Analysis{}, err
 		}
-		return s.solve(ctx, g.Analyze())
+		return s.seedAndSolve(ctx, g.Analyze(), spec)
 	})
 }
 
@@ -217,12 +278,13 @@ func (s *Server) cachedSolve(ctx context.Context, spec dispersal.Spec) (Analysis
 // exists (the sweep path, where dispersal.Sweep constructed it): the
 // session is reused on a miss instead of building a second identical game.
 func (s *Server) cachedSolveAnalysis(ctx context.Context, a *dispersal.Analysis) (Analysis, bool, error) {
-	key, err := speccodec.CacheKey(a.Game().Spec())
+	spec := a.Game().Spec()
+	key, err := speccodec.CacheKey(spec)
 	if err != nil {
 		return Analysis{}, false, err
 	}
 	return s.cache.Do(ctx, key, func() (Analysis, error) {
-		return s.solve(ctx, a)
+		return s.seedAndSolve(ctx, a, spec)
 	})
 }
 
@@ -368,12 +430,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// warmCacheStats is the /statsz warm-cache section: the store's own
+// counters plus the server-level outcome counters (a "seeded" solve took
+// the warm path off a cached state; a "fallback" found a state but solved
+// cold anyway).
+type warmCacheStats struct {
+	warmcache.Stats
+	Seeded   int64 `json:"seeded"`
+	Fallback int64 `json:"fallback"`
+}
+
 // statsResponse is the /statsz body.
 type statsResponse struct {
 	UptimeS   float64        `json:"uptime_s"`
 	Workers   int            `json:"workers"`
 	TimeoutMS float64        `json:"timeout_ms"`
 	Cache     rescache.Stats `json:"cache"`
+	WarmCache warmCacheStats `json:"warm_cache"`
 	Solves    int64          `json:"solves"`
 	Requests  struct {
 		Analyze          int64 `json:"analyze"`
@@ -391,6 +464,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	resp.Workers = s.cfg.Workers
 	resp.TimeoutMS = float64(s.cfg.Timeout) / float64(time.Millisecond)
 	resp.Cache = s.cache.Stats()
+	resp.WarmCache = warmCacheStats{
+		Stats:    s.warm.Stats(),
+		Seeded:   s.warmSeeded.Load(),
+		Fallback: s.warmFallback.Load(),
+	}
 	resp.Solves = s.solves.Load()
 	resp.Requests.Analyze = s.analyzeReqs.Load()
 	resp.Requests.Sweep = s.sweepReqs.Load()

@@ -23,12 +23,51 @@ import (
 )
 
 // trajectoryRequest is the /v1/trajectory body: a base game spec in the
-// speccodec wire form plus the sequence of landscape frames to solve it
-// over. Frames are absolute value vectors, each subject to the same
-// conventions as a spec's values.
+// speccodec wire form plus the drifting landscapes to solve it over, in
+// exactly one of two forms. "frames" carries absolute value vectors, each
+// subject to the same conventions as a spec's values. "deltas" carries
+// per-site increments applied server-side, Game.Evolve style: frame i is
+// frame i-1 plus deltas[i] (starting from the spec's values), which keeps
+// long fine-grained trajectories to one small vector per step on the wire.
 type trajectoryRequest struct {
 	Spec   json.RawMessage `json:"spec"`
 	Frames [][]float64     `json:"frames"`
+	Deltas [][]float64     `json:"deltas"`
+}
+
+// resolveFrames materializes the request's landscape sequence: the frames
+// form is returned as-is, the deltas form is accumulated from the spec's
+// base values. Every returned frame is validated, so stream-time evolution
+// cannot fail on landscape shape.
+func resolveFrames(spec dispersal.Spec, req trajectoryRequest) ([][]float64, error) {
+	if len(req.Frames) > 0 && len(req.Deltas) > 0 {
+		return nil, errors.New("trajectory body has both frames and deltas; send exactly one")
+	}
+	if len(req.Frames) > 0 {
+		for i, fr := range req.Frames {
+			if err := dispersal.Values(fr).Validate(); err != nil {
+				return nil, fmt.Errorf("frame %d: %w", i, err)
+			}
+		}
+		return req.Frames, nil
+	}
+	frames := make([][]float64, len(req.Deltas))
+	cur := append([]float64(nil), spec.Values...)
+	for i, d := range req.Deltas {
+		if len(d) != len(cur) {
+			return nil, fmt.Errorf("delta %d has %d entries for %d sites", i, len(d), len(cur))
+		}
+		next := make([]float64, len(cur))
+		for j := range cur {
+			next[j] = cur[j] + d[j]
+		}
+		if err := dispersal.Values(next).Validate(); err != nil {
+			return nil, fmt.Errorf("delta %d yields an invalid landscape: %w", i, err)
+		}
+		frames[i] = next
+		cur = next
+	}
+	return frames, nil
 }
 
 // trajectoryFrame is one streamed NDJSON line of the response. Result is
@@ -74,22 +113,22 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, decodeKind(err), err)
 		return
 	}
-	if len(req.Frames) == 0 {
-		writeError(w, http.StatusBadRequest, "request", errors.New("trajectory body has no frames"))
+	if len(req.Frames) == 0 && len(req.Deltas) == 0 {
+		writeError(w, http.StatusBadRequest, "request", errors.New("trajectory body has no frames or deltas"))
 		return
 	}
-	if len(req.Frames) > maxTrajectoryFrames {
+	if n := max(len(req.Frames), len(req.Deltas)); n > maxTrajectoryFrames {
 		writeError(w, http.StatusBadRequest, "request",
-			fmt.Errorf("trajectory of %d frames exceeds the limit of %d", len(req.Frames), maxTrajectoryFrames))
+			fmt.Errorf("trajectory of %d frames exceeds the limit of %d", n, maxTrajectoryFrames))
 		return
 	}
-	// Validate every frame before the first byte of the stream, so frame
-	// errors are ordinary typed 400s rather than mid-stream failures.
-	for i, fr := range req.Frames {
-		if err := dispersal.Values(fr).Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, "spec", fmt.Errorf("frame %d: %w", i, err))
-			return
-		}
+	// Materialize and validate every frame (accumulating the deltas form)
+	// before the first byte of the stream, so frame errors are ordinary
+	// typed 400s rather than mid-stream failures.
+	frames, err := resolveFrames(spec, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "spec", err)
+		return
 	}
 	base, err := dispersal.FromSpec(spec)
 	if err != nil {
@@ -114,7 +153,7 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	cur := base
 	done := trajectoryDone{Done: true}
-	for i, fr := range req.Frames {
+	for i, fr := range frames {
 		frameStart := time.Now()
 		next, err := cur.EvolveTo(dispersal.Values(fr))
 		if err != nil { // pre-validated; unreachable in practice
@@ -126,8 +165,22 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 			emit(trajectoryFrame{Frame: i, Error: err.Error(), Kind: "internal"})
 			break
 		}
+		lkey, lkeyErr := speccodec.FrameLocalityKey(spec, fr)
+		seeded := false
+		if i == 0 && lkeyErr == nil {
+			// The first frame has no chain to inherit from; a warm-cache
+			// state near its landscape takes that role. Later frames seed
+			// from their predecessor, which is always at least as close.
+			if st := s.warm.Lookup(lkey); st != nil {
+				next.SeedState(st)
+				seeded = true
+			}
+		}
+		var frameWarm bool
 		res, cached, err := s.cache.Do(ctx, key, func() (Analysis, error) {
-			return s.solve(ctx, next.Analyze())
+			r, warm, err := s.solve(ctx, next.Analyze())
+			frameWarm = warm
+			return r, err
 		})
 		if err != nil {
 			kind := "internal"
@@ -138,7 +191,14 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 				ElapsedMS: float64(time.Since(frameStart)) / float64(time.Millisecond)})
 			break
 		}
-		warm := !cached && next.Warmed()
+		warm := !cached && frameWarm
+		if seeded && !cached {
+			if warm {
+				s.warmSeeded.Add(1)
+			} else {
+				s.warmFallback.Add(1)
+			}
+		}
 		if cached {
 			// Re-seed the warm chain from the cached equilibrium so the
 			// frames after a cache hit still warm-start.
@@ -147,6 +207,11 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 		} else if warm {
 			done.Warmed++
 			s.trajectoryWarmed.Add(1)
+		}
+		if lkeyErr == nil {
+			// Every frame's state goes to the warm cache: a later isolated
+			// analyze near any point of this drift path starts warm.
+			s.warm.Store(lkey, next.StateSnapshot())
 		}
 		s.trajectoryFrames.Add(1)
 		done.Frames++

@@ -1,0 +1,270 @@
+package server
+
+// Tests of the cross-request warm-state threading: the locality-keyed warm
+// cache behind /v1/analyze and /v1/trajectory, its /statsz counters, and
+// the trajectory deltas request form.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"dispersal/internal/site"
+)
+
+// specJSON renders a sharing-policy spec over the given values.
+func specJSON(values []float64, k int, policy string) string {
+	b, err := json.Marshal(map[string]any{
+		"values": values,
+		"k":      k,
+		"policy": map[string]any{"name": policy},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// perturb scales every value by (1 + eps): enough to change the exact
+// cache key, small enough to stay in the same locality buckets for the
+// mid-bucket landscapes the tests choose.
+func perturb(values []float64, eps float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = v * (1 + eps)
+	}
+	return out
+}
+
+func getStats(t *testing.T, url string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	var stats statsResponse
+	if err := json.Unmarshal(payload, &stats); err != nil {
+		t.Fatalf("statsz body: %v\n%s", err, payload)
+	}
+	return stats
+}
+
+// TestAnalyzeWarmCacheHitsOnNearIdenticalLandscapes: two isolated analyze
+// requests on near-identical (but not identical) landscapes miss the exact
+// result cache yet share warm state — the second solve is seeded from the
+// first's, the /statsz warm-cache counters say so, and the answers agree to
+// solver tolerance.
+func TestAnalyzeWarmCacheHitsOnNearIdenticalLandscapes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+	base := site.Geometric(8, 1, 0.85)
+	k := 6
+
+	resp1, payload1 := postJSON(t, ts.URL+"/v1/analyze", specJSON(base, k, "sharing"))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first analyze: %s\n%s", resp1.Status, payload1)
+	}
+	first := decodeAnalyze(t, payload1)
+
+	resp2, payload2 := postJSON(t, ts.URL+"/v1/analyze", specJSON(perturb(base, 1e-4), k, "sharing"))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second analyze: %s\n%s", resp2.Status, payload2)
+	}
+	second := decodeAnalyze(t, payload2)
+	if second.Cached {
+		t.Fatal("perturbed landscape answered from the exact cache; the test exercised nothing")
+	}
+
+	stats := getStats(t, ts.URL)
+	if stats.WarmCache.Hits < 1 {
+		t.Errorf("warm cache hits = %d, want >= 1", stats.WarmCache.Hits)
+	}
+	if stats.WarmCache.Seeded < 1 {
+		t.Errorf("warm-seeded solves = %d, want >= 1", stats.WarmCache.Seeded)
+	}
+	if stats.WarmCache.Stores < 2 {
+		t.Errorf("warm cache stores = %d, want >= 2", stats.WarmCache.Stores)
+	}
+	if stats.Solves != 2 {
+		t.Errorf("solves = %d, want 2 (both requests must still solve)", stats.Solves)
+	}
+
+	// A 1e-4 landscape change moves the answers by O(1e-4) at most; the
+	// warm seeding must not have moved them further.
+	if d := math.Abs(first.Result.Nu - second.Result.Nu); d > 1e-2*(1+math.Abs(first.Result.Nu)) {
+		t.Errorf("nu moved implausibly far under perturbation: %v vs %v", first.Result.Nu, second.Result.Nu)
+	}
+	if d := math.Abs(first.Result.SPoA - second.Result.SPoA); d > 1e-2*(1+first.Result.SPoA) {
+		t.Errorf("SPoA moved implausibly far: %v vs %v", first.Result.SPoA, second.Result.SPoA)
+	}
+}
+
+// TestAnalyzeWarmFallbackCountsColdSolves: the constant policy is
+// degenerate — its equilibrium answers in closed form and the warm path
+// never engages — so a warm-cache seed is found but cannot pay off, and the
+// server must count the fallback rather than the seed.
+func TestAnalyzeWarmFallbackCountsColdSolves(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+	base := site.Geometric(6, 1, 0.85)
+	postJSON(t, ts.URL+"/v1/analyze", specJSON(base, 4, "constant"))
+	resp, payload := postJSON(t, ts.URL+"/v1/analyze", specJSON(perturb(base, 1e-4), 4, "constant"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second analyze: %s\n%s", resp.Status, payload)
+	}
+	stats := getStats(t, ts.URL)
+	if stats.WarmCache.Hits < 1 {
+		t.Errorf("warm cache hits = %d, want >= 1", stats.WarmCache.Hits)
+	}
+	if stats.WarmCache.Fallback < 1 {
+		t.Errorf("warm fallbacks = %d, want >= 1 (constant policy cannot warm)", stats.WarmCache.Fallback)
+	}
+	if stats.WarmCache.Seeded != 0 {
+		t.Errorf("warm-seeded solves = %d, want 0", stats.WarmCache.Seeded)
+	}
+}
+
+// TestTrajectorySeedsAnalyzeAcrossRequests: a trajectory populates the warm
+// cache along its drift path, and a later isolated analyze near one of its
+// frames starts warm.
+func TestTrajectorySeedsAnalyzeAcrossRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+	resp, payload := postJSON(t, ts.URL+"/v1/trajectory", trajectoryBody(8, 6, 6, 0.001))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trajectory: %s\n%s", resp.Status, payload)
+	}
+	base := site.Geometric(8, 1, 0.85) // trajectoryBody's base landscape
+	resp2, payload2 := postJSON(t, ts.URL+"/v1/analyze", specJSON(perturb(base, 1e-4), 6, "sharing"))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %s\n%s", resp2.Status, payload2)
+	}
+	if decodeAnalyze(t, payload2).Cached {
+		t.Fatal("perturbed analyze answered from the exact cache; the test exercised nothing")
+	}
+	stats := getStats(t, ts.URL)
+	if stats.WarmCache.Seeded < 1 {
+		t.Errorf("analyze near a trajectory frame did not warm-start (seeded = %d)", stats.WarmCache.Seeded)
+	}
+}
+
+// deltasBody builds the deltas form of trajectoryBody's drift sequence.
+func deltasBody(m, k, n int, amp float64) string {
+	base := site.Geometric(m, 1, 0.85)
+	prev := append([]float64(nil), base...)
+	deltas := make([][]float64, n)
+	for step := range deltas {
+		frame := site.Drifted(base, step, amp)
+		d := make([]float64, m)
+		for i := range d {
+			d[i] = frame[i] - prev[i]
+		}
+		deltas[step] = d
+		prev = frame
+	}
+	req := map[string]any{
+		"spec": map[string]any{
+			"values": base,
+			"k":      k,
+			"policy": map[string]any{"name": "sharing"},
+		},
+		"deltas": deltas,
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// TestTrajectoryDeltasFormMatchesFrames: the deltas form must stream the
+// same per-frame analyses as the equivalent absolute-frames request (to
+// accumulation rounding and solver tolerance) and stay warm.
+func TestTrajectoryDeltasFormMatchesFrames(t *testing.T) {
+	const (
+		m, k, n = 8, 5, 6
+		amp     = 0.01
+	)
+	_, tsFrames := newTestServer(t, Config{Timeout: 30 * time.Second})
+	_, tsDeltas := newTestServer(t, Config{Timeout: 30 * time.Second})
+
+	respF, payloadF := postJSON(t, tsFrames.URL+"/v1/trajectory", trajectoryBody(m, k, n, amp))
+	if respF.StatusCode != http.StatusOK {
+		t.Fatalf("frames form: %s\n%s", respF.Status, payloadF)
+	}
+	framesOut, doneF := decodeTrajectory(t, payloadF)
+
+	respD, payloadD := postJSON(t, tsDeltas.URL+"/v1/trajectory", deltasBody(m, k, n, amp))
+	if respD.StatusCode != http.StatusOK {
+		t.Fatalf("deltas form: %s\n%s", respD.Status, payloadD)
+	}
+	deltasOut, doneD := decodeTrajectory(t, payloadD)
+
+	if doneF.Frames != n || doneD.Frames != n {
+		t.Fatalf("frame counts: frames form %d, deltas form %d, want %d", doneF.Frames, doneD.Frames, n)
+	}
+	if doneD.Warmed < n-2 {
+		t.Errorf("deltas form warmed only %d/%d frames", doneD.Warmed, n)
+	}
+	for i := range framesOut {
+		rf, rd := framesOut[i].Result, deltasOut[i].Result
+		if rf == nil || rd == nil {
+			t.Fatalf("frame %d missing a result", i)
+		}
+		if d := math.Abs(rf.Nu-rd.Nu) / (1 + math.Abs(rf.Nu)); d > 1e-6 {
+			t.Errorf("frame %d: nu differs by %g between forms", i, d)
+		}
+		if d := math.Abs(rf.SPoA-rd.SPoA) / (1 + rf.SPoA); d > 1e-6 {
+			t.Errorf("frame %d: SPoA differs by %g between forms", i, d)
+		}
+	}
+}
+
+// TestTrajectoryDeltasValidation: malformed deltas requests answer typed
+// 400s before the stream starts.
+func TestTrajectoryDeltasValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+	spec := `{"values":[1,0.5],"k":2,"policy":{"name":"sharing"}}`
+	for name, tc := range map[string]struct {
+		body string
+		kind string
+	}{
+		"both forms": {
+			body: fmt.Sprintf(`{"spec":%s,"frames":[[1,0.5]],"deltas":[[0,0]]}`, spec),
+			kind: "spec",
+		},
+		"neither form": {
+			body: fmt.Sprintf(`{"spec":%s}`, spec),
+			kind: "request",
+		},
+		"wrong delta length": {
+			body: fmt.Sprintf(`{"spec":%s,"deltas":[[0.1]]}`, spec),
+			kind: "spec",
+		},
+		"delta breaks positivity": {
+			body: fmt.Sprintf(`{"spec":%s,"deltas":[[0,-0.6]]}`, spec),
+			kind: "spec",
+		},
+		"delta breaks ordering": {
+			body: fmt.Sprintf(`{"spec":%s,"deltas":[[0,0.7]]}`, spec),
+			kind: "spec",
+		},
+	} {
+		resp, payload := postJSON(t, ts.URL+"/v1/trajectory", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400\n%s", name, resp.Status, payload)
+			continue
+		}
+		var apiErr apiError
+		if err := json.Unmarshal(payload, &apiErr); err != nil {
+			t.Errorf("%s: non-JSON error body %s", name, payload)
+			continue
+		}
+		if apiErr.Kind != tc.kind {
+			t.Errorf("%s: kind %q, want %q (%s)", name, apiErr.Kind, tc.kind, apiErr.Error)
+		}
+	}
+}

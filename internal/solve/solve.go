@@ -1,0 +1,359 @@
+// Package solve is the shared solver-core contract of the dispersal system.
+//
+// Every equilibrium-adjacent solver — the general IFD bisection
+// (internal/ifd.SolveWarm), the exclusive policy's closed-form sigma*
+// (internal/ifd.ExclusiveWarm), the coverage water-filling
+// (internal/optimize.MaxCoverageWarm) and the SPoA pipeline
+// (internal/spoa.ComputeWarm) — consumes and emits the same State: an
+// immutable record of one game's solved artifacts. A State produced by any
+// solver can seed any other, so warm-starting is a property of the solve
+// pipeline rather than of one solver: a trajectory frame's equilibrium solve
+// seeds the same frame's SPoA equilibrium re-solve, the previous frame's
+// optimum seeds this frame's water-filling, and a state recovered from the
+// server's locality-keyed cache (internal/warmcache) seeds an isolated
+// request's entire analysis.
+//
+// The package also hosts the numeric plumbing those solvers used to
+// re-derive independently: the monotone excess bisection behind both the
+// equilibrium value nu and the KKT multiplier lambda (BisectExcess), the
+// verified warm bracket around a previous per-site mass (SeedBracket), and
+// the congestion-level table C(1..k) that the congestion expectation, the
+// welfare gradient and the pure-equilibrium enumerator each evaluated call
+// by call (Levels).
+package solve
+
+import (
+	"math"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+// State records the reusable artifacts of solves of one game (f, k, C). It
+// carries up to three independent parts — the symmetric equilibrium, the
+// coverage optimum, and the exclusive sigma* structure — each present only
+// when the corresponding solver has run. A State is immutable after
+// creation and safe to share between goroutines; the With* builders return
+// extended copies.
+//
+// Validity rules: the equilibrium part is tied to (f, k, C); the optimum
+// and sigma* parts depend only on (f, k) — coverage and the exclusive
+// closed form are policy-free — so they remain consumable across policies.
+// A consumer seeding from a State whose landscape differs from its own gets
+// a warm *seed*, not an answer: every warm path verifies its bracket and
+// falls back to a cold solve, so a stale or mismatched State can waste a
+// warm attempt but never change a result beyond solver tolerance.
+type State struct {
+	f   site.Values
+	k   int
+	pol string // policy display name, parameters included
+
+	// Equilibrium part: the IFD and its common value nu. warm records
+	// whether the solve that produced it was itself warm-seeded (telemetry
+	// for benchmarks, the trajectory endpoint and the warm cache).
+	hasEq bool
+	eq    strategy.Strategy
+	nu    float64
+	warm  bool
+
+	// Coverage-optimum part: the coverage-maximizing symmetric strategy and
+	// its KKT multiplier lambda (the water-filling level). optWarm records
+	// whether the producing water-filling was warm-seeded.
+	hasOpt  bool
+	opt     strategy.Strategy
+	lambda  float64
+	optWarm bool
+
+	// Exclusive sigma* part: the closed form's support boundary W,
+	// normalization alpha and equilibrium value nu — the structure the
+	// incremental boundary tracker updates in O(drift) per frame.
+	hasSigma   bool
+	sigmaW     int
+	sigmaAlpha float64
+	sigmaNu    float64
+}
+
+// New returns an empty State for the game (f, k, c). The landscape is
+// cloned; the policy is recorded by display name (parameters included), the
+// same identity the warm compatibility checks use.
+func New(f site.Values, k int, c policy.Congestion) *State {
+	return &State{f: f.Clone(), k: k, pol: c.Name()}
+}
+
+// clone returns a shallow copy ready for a With* extension. Strategy slices
+// are shared — parts are immutable once set, so sharing is safe.
+func (s *State) clone() *State {
+	out := *s
+	return &out
+}
+
+// WithEq returns a copy of the state carrying the equilibrium part
+// (eq, nu), with warm recording whether the producing solve was
+// warm-seeded. eq is cloned.
+func (s *State) WithEq(eq strategy.Strategy, nu float64, warm bool) *State {
+	out := s.clone()
+	out.hasEq, out.eq, out.nu, out.warm = true, eq.Clone(), nu, warm
+	return out
+}
+
+// WithOpt returns a copy of the state carrying the coverage-optimum part
+// (opt, lambda), with warm recording whether the producing water-filling
+// was warm-seeded. opt is cloned.
+func (s *State) WithOpt(opt strategy.Strategy, lambda float64, warm bool) *State {
+	out := s.clone()
+	out.hasOpt, out.opt, out.lambda, out.optWarm = true, opt.Clone(), lambda, warm
+	return out
+}
+
+// WithSigma returns a copy of the state carrying the exclusive sigma*
+// structure (support boundary w, normalization alpha, equilibrium value nu).
+func (s *State) WithSigma(w int, alpha, nu float64) *State {
+	out := s.clone()
+	out.hasSigma, out.sigmaW, out.sigmaAlpha, out.sigmaNu = true, w, alpha, nu
+	return out
+}
+
+// Merge fills the parts missing from s with the corresponding parts of old,
+// provided old describes the same game shape (site count and player count).
+// It is the accumulation step of a Game's state across its solvers: an
+// equilibrium solve merges over a previous SPoA state so the optimum part
+// survives, and vice versa. Either argument may be nil.
+func Merge(s, old *State) *State {
+	if s == nil {
+		return old
+	}
+	if old == nil || old.k != s.k || len(old.f) != len(s.f) {
+		return s
+	}
+	out := s
+	if !s.hasEq && old.hasEq && old.pol == s.pol {
+		out = out.clone()
+		out.hasEq, out.eq, out.nu, out.warm = true, old.eq, old.nu, old.warm
+	}
+	if !s.hasOpt && old.hasOpt {
+		out = out.clone()
+		out.hasOpt, out.opt, out.lambda, out.optWarm = true, old.opt, old.lambda, old.optWarm
+	}
+	if !s.hasSigma && old.hasSigma {
+		out = out.clone()
+		out.hasSigma, out.sigmaW, out.sigmaAlpha, out.sigmaNu = true, old.sigmaW, old.sigmaAlpha, old.sigmaNu
+	}
+	return out
+}
+
+// Landscape returns the state's landscape as a read-only view (not a copy;
+// callers must not mutate it).
+func (s *State) Landscape() site.Values { return s.f }
+
+// Players returns the state's player count.
+func (s *State) Players() int { return s.k }
+
+// PolicyName returns the display name of the policy the state was solved
+// under.
+func (s *State) PolicyName() string { return s.pol }
+
+// HasEq reports whether the state carries an equilibrium part.
+func (s *State) HasEq() bool { return s != nil && s.hasEq }
+
+// Nu returns the equilibrium value of the state's equilibrium part (0 when
+// absent).
+func (s *State) Nu() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.nu
+}
+
+// Strategy returns a copy of the state's equilibrium strategy (nil when
+// absent).
+func (s *State) Strategy() strategy.Strategy {
+	if s == nil || !s.hasEq {
+		return nil
+	}
+	return s.eq.Clone()
+}
+
+// EqRef returns the state's equilibrium strategy as a read-only view, for
+// solver-internal seeding without a copy. nil when absent.
+func (s *State) EqRef() strategy.Strategy {
+	if s == nil || !s.hasEq {
+		return nil
+	}
+	return s.eq
+}
+
+// Warmed reports whether the solve that produced the equilibrium part took
+// the warm-start path (as opposed to a cold solve or a fallback).
+func (s *State) Warmed() bool { return s != nil && s.hasEq && s.warm }
+
+// HasOpt reports whether the state carries a coverage-optimum part.
+func (s *State) HasOpt() bool { return s != nil && s.hasOpt }
+
+// Lambda returns the KKT multiplier of the optimum part (0 when absent).
+func (s *State) Lambda() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.lambda
+}
+
+// OptRef returns the state's coverage-optimal strategy as a read-only view.
+// nil when absent.
+func (s *State) OptRef() strategy.Strategy {
+	if s == nil || !s.hasOpt {
+		return nil
+	}
+	return s.opt
+}
+
+// OptWarmed reports whether the water-filling that produced the optimum
+// part took the warm-start path.
+func (s *State) OptWarmed() bool { return s != nil && s.hasOpt && s.optWarm }
+
+// HasSigma reports whether the state carries the exclusive sigma*
+// structure.
+func (s *State) HasSigma() bool { return s != nil && s.hasSigma }
+
+// Sigma returns the exclusive sigma* structure (support boundary W,
+// normalization alpha, equilibrium value nu); zeros when absent.
+func (s *State) Sigma() (w int, alpha, nu float64) {
+	if s == nil || !s.hasSigma {
+		return 0, 0, 0
+	}
+	return s.sigmaW, s.sigmaAlpha, s.sigmaNu
+}
+
+// CompatibleEq reports whether the state's equilibrium part can seed a
+// solve of (f, k, c): the part is present and the site count, player count
+// and (identically parameterized) policy match. The landscapes themselves
+// need not match — that is the point of warm seeding.
+func (s *State) CompatibleEq(f site.Values, k int, c policy.Congestion) bool {
+	return s != nil && s.hasEq && s.k == k && len(s.f) == len(f) && len(s.eq) == len(f) && s.pol == c.Name()
+}
+
+// CompatibleOpt reports whether the state's optimum part can seed a
+// coverage water-filling of (f, k). Coverage is policy-free, so only the
+// shape must match.
+func (s *State) CompatibleOpt(f site.Values, k int) bool {
+	return s != nil && s.hasOpt && s.k == k && len(s.f) == len(f) && len(s.opt) == len(f)
+}
+
+// CompatibleSigma reports whether the state's sigma* part can seed the
+// incremental boundary tracker on (f, k). The exclusive closed form is
+// policy-free, so only the shape must match.
+func (s *State) CompatibleSigma(f site.Values, k int) bool {
+	return s != nil && s.hasSigma && s.k == k && len(s.f) == len(f)
+}
+
+// Drift returns the maximum relative per-site change from the state's
+// landscape to f — the scale every warm bracket is sized by. It assumes
+// len(f) == len(s.Landscape()); callers gate on the Compatible* checks.
+func (s *State) Drift(f site.Values) float64 {
+	drift := 0.0
+	for x := range f {
+		if d := math.Abs(f[x]-s.f[x]) / s.f[x]; d > drift {
+			drift = d
+		}
+	}
+	return drift
+}
+
+// ConstantOnRange reports whether C(l) == C(1) for all l in [1, k]; in that
+// case congestion never matters and the equilibrium concentrates on the
+// argmax sites. Shared by the IFD solvers and the SPoA pipeline, which each
+// used to carry their own copy.
+func ConstantOnRange(c policy.Congestion, k int) bool {
+	c1 := c.At(1)
+	for l := 2; l <= k; l++ {
+		if c.At(l) != c1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Levels returns the congestion table C(1..k) evaluated once: Levels(c,
+// k)[l-1] == c.At(l). The congestion expectation g(q), the welfare gradient
+// and the pure-equilibrium enumerator all consume C level by level in hot
+// loops; evaluating the policy once up front replaces per-iteration At
+// calls (a math.Pow for the power-law family) with slice reads.
+func Levels(c policy.Congestion, k int) []float64 {
+	out := make([]float64, k)
+	for l := 1; l <= k; l++ {
+		out[l-1] = c.At(l)
+	}
+	return out
+}
+
+// GeeLevels returns g(q) = E[C(1 + Binomial(k-1, q))] evaluated over a
+// precomputed level table (levels[l-1] = C(l), len(levels) = k). It is the
+// table-backed form of the ifd package's Gee.
+func GeeLevels(levels []float64, q float64) float64 {
+	k := len(levels)
+	var acc numeric.Accumulator
+	for l := 1; l <= k; l++ {
+		w := numeric.BinomialPMF(k-1, l-1, q)
+		if w == 0 {
+			continue
+		}
+		acc.Add(levels[l-1] * w)
+	}
+	return acc.Sum()
+}
+
+// BisectExcess finds the root of a non-increasing excess function on [lo,
+// hi] by bisection, maintaining excess(lo) >= 0 >= excess(hi). It is the
+// loop both the equilibrium value search (excess = total site mass - 1 as a
+// function of nu) and the coverage water-filling (excess = total optimal
+// mass - 1 as a function of lambda) previously re-derived inline; the
+// midpoint update, the 200-iteration budget and the relative stopping rule
+// replicate those loops exactly, so refactored callers return bit-identical
+// values. An error from excess aborts the search.
+func BisectExcess(excess func(float64) (float64, error), lo, hi, relTol float64) (float64, error) {
+	for iter := 0; iter < 200; iter++ {
+		mid := lo + (hi-lo)/2
+		e, err := excess(mid)
+		if err != nil {
+			return 0, err
+		}
+		if e > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < relTol*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// SeedBracket narrows the inversion interval for h (strictly decreasing on
+// [0, 1]) around the seed q0 with the given half-width. Each probe is sound
+// regardless of where the root actually is: monotonicity means a probe with
+// h >= 0 is a valid lower end and one with h <= 0 a valid upper end, so a
+// stale seed degrades to at worst two wasted evaluations, never a wrong
+// bracket.
+func SeedBracket(h func(float64) float64, q0, halfWidth float64) (lo, hi float64) {
+	lo, hi = 0, 1
+	if !(q0 > 0 && q0 < 1) {
+		return lo, hi
+	}
+	if a := q0 - halfWidth; a > lo {
+		if h(a) >= 0 {
+			lo = a
+		} else {
+			hi = a
+		}
+	}
+	if b := q0 + halfWidth; b < hi && b > lo {
+		if h(b) <= 0 {
+			hi = b
+		} else {
+			lo = b
+		}
+	}
+	return lo, hi
+}

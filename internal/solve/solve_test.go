@@ -1,0 +1,203 @@
+package solve
+
+import (
+	"math"
+	"testing"
+
+	"dispersal/internal/numeric"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/strategy"
+)
+
+func TestStatePartsAndCompatibility(t *testing.T) {
+	f := site.Values{1, 0.8, 0.5}
+	c := policy.Sharing{}
+	st := New(f, 3, c)
+	if st.HasEq() || st.HasOpt() || st.HasSigma() {
+		t.Fatalf("fresh state claims parts: %+v", st)
+	}
+	eq := strategy.Strategy{0.5, 0.3, 0.2}
+	st2 := st.WithEq(eq, 0.4, true)
+	if st.HasEq() {
+		t.Fatal("WithEq mutated the receiver")
+	}
+	if !st2.HasEq() || !st2.Warmed() || st2.Nu() != 0.4 {
+		t.Fatalf("eq part not recorded: %+v", st2)
+	}
+	eq[0] = 99 // the state must have cloned
+	if st2.EqRef()[0] == 99 {
+		t.Fatal("WithEq aliased the caller's slice")
+	}
+	if !st2.CompatibleEq(f, 3, policy.Sharing{}) {
+		t.Fatal("state incompatible with its own game")
+	}
+	if st2.CompatibleEq(f, 4, policy.Sharing{}) {
+		t.Fatal("compatible across player counts")
+	}
+	if st2.CompatibleEq(f, 3, policy.Exclusive{}) {
+		t.Fatal("compatible across policies")
+	}
+	if st2.CompatibleEq(site.Values{1, 0.5}, 3, policy.Sharing{}) {
+		t.Fatal("compatible across site counts")
+	}
+	// Drifted landscape of the same shape stays compatible: that is the
+	// point of warm seeding.
+	if !st2.CompatibleEq(site.Values{1.1, 0.7, 0.55}, 3, policy.Sharing{}) {
+		t.Fatal("incompatible with a drifted landscape")
+	}
+
+	st3 := st2.WithOpt(strategy.Strategy{0.6, 0.3, 0.1}, 1.25, false)
+	if !st3.CompatibleOpt(f, 3) || st3.Lambda() != 1.25 {
+		t.Fatalf("opt part not recorded: %+v", st3)
+	}
+	if st3.CompatibleOpt(f, 2) {
+		t.Fatal("opt compatible across player counts")
+	}
+	// Opt and sigma parts are policy-free: no policy argument to get wrong.
+	st4 := st3.WithSigma(2, 0.7, 0.49)
+	w, alpha, nu := st4.Sigma()
+	if !st4.CompatibleSigma(f, 3) || w != 2 || alpha != 0.7 || nu != 0.49 {
+		t.Fatalf("sigma part not recorded: w=%d alpha=%v nu=%v", w, alpha, nu)
+	}
+}
+
+func TestMergeFillsMissingParts(t *testing.T) {
+	f := site.Values{1, 0.5}
+	c := policy.Sharing{}
+	eqState := New(f, 2, c).WithEq(strategy.Strategy{0.7, 0.3}, 0.5, false)
+	optState := New(f, 2, c).WithOpt(strategy.Strategy{0.6, 0.4}, 1.1, false)
+
+	m := Merge(eqState, optState)
+	if !m.HasEq() || !m.HasOpt() {
+		t.Fatalf("merge lost parts: eq=%v opt=%v", m.HasEq(), m.HasOpt())
+	}
+	if m.Nu() != 0.5 || m.Lambda() != 1.1 {
+		t.Fatalf("merge mixed values: nu=%v lambda=%v", m.Nu(), m.Lambda())
+	}
+	// The newer state's parts win.
+	newer := New(f, 2, c).WithEq(strategy.Strategy{0.8, 0.2}, 0.6, true)
+	m2 := Merge(newer, eqState)
+	if m2.Nu() != 0.6 || !m2.Warmed() {
+		t.Fatalf("merge overwrote the newer eq part: nu=%v", m2.Nu())
+	}
+	// Mismatched shapes do not merge.
+	other := New(site.Values{1, 0.5, 0.25}, 2, c).WithOpt(strategy.Strategy{0.5, 0.3, 0.2}, 2, false)
+	if m3 := Merge(eqState, other); m3.HasOpt() {
+		t.Fatal("merged an opt part across site counts")
+	}
+	// The eq part is policy-bound even in a merge.
+	excl := New(f, 2, policy.Exclusive{}).WithEq(strategy.Strategy{1, 0}, 1, false)
+	if m4 := Merge(New(f, 2, c).WithOpt(strategy.Strategy{0.6, 0.4}, 1.1, false), excl); m4.HasEq() {
+		t.Fatal("merged an eq part across policies")
+	}
+	if Merge(nil, eqState) != eqState || Merge(eqState, nil) != eqState {
+		t.Fatal("nil merge identities broken")
+	}
+}
+
+func TestNilStateAccessors(t *testing.T) {
+	var s *State
+	if s.HasEq() || s.HasOpt() || s.HasSigma() || s.Warmed() {
+		t.Fatal("nil state claims parts")
+	}
+	if s.Nu() != 0 || s.Lambda() != 0 || s.Strategy() != nil || s.EqRef() != nil || s.OptRef() != nil {
+		t.Fatal("nil state returned non-zero artifacts")
+	}
+	if s.CompatibleEq(site.Values{1}, 1, policy.Sharing{}) || s.CompatibleOpt(site.Values{1}, 1) || s.CompatibleSigma(site.Values{1}, 1) {
+		t.Fatal("nil state claims compatibility")
+	}
+}
+
+func TestLevelsMatchesPolicyAt(t *testing.T) {
+	for _, c := range []policy.Congestion{
+		policy.Exclusive{}, policy.Sharing{}, policy.Constant{},
+		policy.TwoPoint{C2: 0.4}, policy.PowerLaw{Beta: 1.3},
+		policy.Cooperative{Gamma: 0.8}, policy.Aggressive{Penalty: 0.2},
+	} {
+		levels := Levels(c, 9)
+		for l := 1; l <= 9; l++ {
+			if levels[l-1] != c.At(l) {
+				t.Fatalf("%s: Levels[%d] = %v != At(%d) = %v", c.Name(), l-1, levels[l-1], l, c.At(l))
+			}
+		}
+	}
+}
+
+func TestGeeLevelsMatchesDirectExpectation(t *testing.T) {
+	c := policy.Sharing{}
+	k := 7
+	levels := Levels(c, k)
+	for _, q := range []float64{0, 0.01, 0.3, 0.5, 0.99, 1} {
+		// Reference: the direct expectation over C(1 + Binomial(k-1, q)).
+		var acc numeric.Accumulator
+		for l := 1; l <= k; l++ {
+			w := numeric.BinomialPMF(k-1, l-1, q)
+			if w == 0 {
+				continue
+			}
+			acc.Add(c.At(l) * w)
+		}
+		if got, want := GeeLevels(levels, q), acc.Sum(); got != want {
+			t.Fatalf("GeeLevels(%v) = %v, direct = %v", q, got, want)
+		}
+	}
+}
+
+func TestBisectExcessReplicatesInlineLoop(t *testing.T) {
+	// The historical inline loop of the cold IFD nu search, verbatim.
+	inline := func(eval func(float64) float64, lo, hi, relTol float64) float64 {
+		nlo, nhi := lo, hi
+		for iter := 0; iter < 200; iter++ {
+			mid := nlo + (nhi-nlo)/2
+			if eval(mid) > 0 {
+				nlo = mid
+			} else {
+				nhi = mid
+			}
+			if nhi-nlo < relTol*(1+math.Abs(nhi)) {
+				break
+			}
+		}
+		return nlo + (nhi-nlo)/2
+	}
+	eval := func(x float64) float64 { return 2.5 - x*x } // root at sqrt(2.5)
+	want := inline(eval, 0, 10, 1e-14)
+	got, err := BisectExcess(func(x float64) (float64, error) { return eval(x), nil }, 0, 10, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("BisectExcess = %v, inline loop = %v (must be bit-identical)", got, want)
+	}
+}
+
+func TestSeedBracketSoundness(t *testing.T) {
+	// h strictly decreasing with root at 0.37.
+	h := func(q float64) float64 { return 0.37 - q }
+	const hw = 0.01
+	for _, q0 := range []float64{0, 0.37, 0.369, 0.2, 0.9, 1} {
+		lo, hi := SeedBracket(h, q0, hw)
+		if !(lo <= 0.37 && 0.37 <= hi) {
+			t.Fatalf("seed %v: bracket [%v, %v] lost the root", q0, lo, hi)
+		}
+		if h(lo) < 0 || h(hi) > 0 {
+			t.Fatalf("seed %v: bracket [%v, %v] has wrong signs", q0, lo, hi)
+		}
+	}
+	// An accurate seed must actually narrow the interval.
+	lo, hi := SeedBracket(h, 0.37, hw)
+	if hi-lo > 2*hw+1e-12 {
+		t.Fatalf("accurate seed did not narrow: [%v, %v]", lo, hi)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	st := New(site.Values{1, 0.5}, 2, policy.Sharing{})
+	if d := st.Drift(site.Values{1, 0.5}); d != 0 {
+		t.Fatalf("zero drift = %v", d)
+	}
+	if d := st.Drift(site.Values{1.1, 0.5}); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("drift = %v, want 0.1", d)
+	}
+}

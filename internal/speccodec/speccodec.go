@@ -166,6 +166,58 @@ func FrameKey(s dispersal.Spec, frame []float64) (string, error) {
 	return CacheKey(s)
 }
 
+// localityGrid is the resolution of LocalityKey's value quantization:
+// values are bucketed by round(ln(v) * localityGrid), i.e. into buckets of
+// roughly 1/localityGrid (~3%) relative width. Two landscapes whose values
+// all fall in the same buckets share a locality key; a warm state recorded
+// under the key is then close enough for a drift-scaled warm bracket to pay
+// off.
+const localityGrid = 32
+
+// wireLocality is the marshalled shape of a locality key: quantized value
+// buckets plus the exact game shape (k, policy). Seed and tag never
+// participate.
+type wireLocality struct {
+	Buckets []int64    `json:"b"`
+	K       int        `json:"k"`
+	Policy  wirePolicy `json:"policy"`
+}
+
+// LocalityKey returns a locality-sensitive key for the spec's game: the
+// canonical spec shape (site count, player count, policy with parameters)
+// with every site value quantized onto a logarithmic grid. Unlike CacheKey,
+// which is an exact identity for result caching, LocalityKey deliberately
+// collides nearby landscapes — it is the index of the server's warm-state
+// cache, where a state solved for any sufficiently near landscape is a
+// useful seed. Nearby values can still straddle a bucket edge and miss;
+// that costs a cold solve, never correctness.
+func LocalityKey(s dispersal.Spec) (string, error) {
+	w, err := wireOf(s)
+	if err != nil {
+		return "", err
+	}
+	b := make([]int64, len(w.Values))
+	for i, v := range w.Values {
+		if v <= 0 {
+			return "", fmt.Errorf("%w: f(%d) = %v is not positive", ErrSpec, i+1, v)
+		}
+		b[i] = int64(math.Round(math.Log(v) * localityGrid))
+	}
+	enc, err := json.Marshal(wireLocality{Buckets: b, K: w.K, Policy: w.Policy})
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	return "warm:" + string(enc), nil
+}
+
+// FrameLocalityKey is LocalityKey of the frame-substituted spec — the
+// warm-cache index of one trajectory frame, sharing the keyspace with
+// isolated analyze requests for nearby landscapes.
+func FrameLocalityKey(s dispersal.Spec, frame []float64) (string, error) {
+	s.Values = append(dispersal.Values(nil), frame...)
+	return LocalityKey(s)
+}
+
 // wireOf flattens a Spec into its wire shape, validating finiteness (JSON
 // has no NaN/Inf) and policy encodability.
 func wireOf(s dispersal.Spec) (wireSpec, error) {

@@ -252,3 +252,77 @@ func TestDecodedSpecBuildsAGame(t *testing.T) {
 		t.Errorf("unexpected game: %s", g)
 	}
 }
+
+func TestLocalityKeyBucketsNearbyLandscapes(t *testing.T) {
+	base := dispersal.Spec{Values: dispersal.Values{1, 0.5, 0.25}, K: 4, Policy: dispersal.Sharing()}
+	k1, err := speccodec.LocalityKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A tiny relative perturbation lands in the same buckets.
+	near := base
+	near.Values = dispersal.Values{1.0001, 0.50003, 0.249995}
+	near.Seed, near.Tag = 42, "other-client"
+	k2, err := speccodec.LocalityKey(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("near-identical landscapes have distinct locality keys:\n  %s\n  %s", k1, k2)
+	}
+
+	// A far landscape of the same shape gets a different key.
+	far := base
+	far.Values = dispersal.Values{10, 5, 2.5}
+	k3, err := speccodec.LocalityKey(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k3 {
+		t.Error("distant landscapes share a locality key")
+	}
+
+	// Shape changes always change the key.
+	for name, mutate := range map[string]func(*dispersal.Spec){
+		"player count": func(s *dispersal.Spec) { s.K = 5 },
+		"policy":       func(s *dispersal.Spec) { s.Policy = dispersal.PowerLaw(1.5) },
+		"site count":   func(s *dispersal.Spec) { s.Values = dispersal.Values{1, 0.5} },
+	} {
+		other := base
+		mutate(&other)
+		k, err := speccodec.LocalityKey(other)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k1 {
+			t.Errorf("%s change did not change the locality key", name)
+		}
+	}
+
+	// The locality keyspace must never collide with the exact-result
+	// keyspace: the server runs both caches off the same spec.
+	ck, err := speccodec.CacheKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == k1 {
+		t.Error("locality key collides with the exact cache key")
+	}
+}
+
+func TestFrameLocalityKeySharesAnalyzeKeyspace(t *testing.T) {
+	spec := dispersal.Spec{Values: dispersal.Values{1, 0.5}, K: 3, Policy: dispersal.Sharing(), Seed: 9, Tag: "t"}
+	frame := []float64{0.8, 0.41}
+	fk, err := speccodec.FrameLocalityKey(spec, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := speccodec.LocalityKey(dispersal.Spec{Values: dispersal.Values(frame), K: 3, Policy: dispersal.Sharing()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fk != direct {
+		t.Errorf("frame locality key differs from the frame-substituted spec's:\n  %s\n  %s", fk, direct)
+	}
+}

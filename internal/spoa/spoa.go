@@ -24,6 +24,7 @@ import (
 	"dispersal/internal/optimize"
 	"dispersal/internal/policy"
 	"dispersal/internal/site"
+	"dispersal/internal/solve"
 	"dispersal/internal/strategy"
 )
 
@@ -51,30 +52,79 @@ func Compute(f site.Values, k int, c policy.Congestion) (Instance, error) {
 }
 
 // ComputeContext is Compute under a context, checked between the optimum
-// and equilibrium solves.
+// and equilibrium solves. It is ComputeWarm with no seed: every solve runs
+// cold.
 func ComputeContext(ctx context.Context, f site.Values, k int, c policy.Congestion) (Instance, error) {
+	inst, _, err := ComputeWarm(ctx, nil, f, k, c)
+	return inst, err
+}
+
+// ComputeWarm is ComputeContext threaded through the solver-core warm-state
+// contract: prev (and any further seeds, in falling preference order) are
+// states of previous solves — of nearby landscapes, or of this very
+// landscape. Each internal solve consumes the first seed carrying the part
+// it wants: the coverage optimum water-fills from the first seed with an
+// optimum part (optimize.MaxCoverageWarm; policy-free, so a state produced
+// under any policy qualifies) and the equilibrium solve seeds from the
+// first with a compatible equilibrium part (ifd.SolveWarm; policy-bound).
+// Per-part selection matters in the steady state of a trajectory: the same
+// game's just-solved equilibrium (zero drift, nearly free to re-verify) and
+// the previous frame's optimum arrive in different states. The returned
+// state carries this analysis's optimum and equilibrium parts for the next
+// frame, a later SPoA query on the same game, or the server's
+// locality-keyed warm cache.
+//
+// Nil or incompatible seeds run the respective solve cold; any warm
+// bracket that misses falls back cold inside the respective solver, so the
+// instance matches ComputeContext up to the solvers' shared numerical
+// tolerance on every input.
+func ComputeWarm(ctx context.Context, prev *solve.State, f site.Values, k int, c policy.Congestion, more ...*solve.State) (Instance, *solve.State, error) {
 	if err := ctx.Err(); err != nil {
-		return Instance{}, err
+		return Instance{}, nil, err
 	}
-	opt, _, err := optimize.MaxCoverage(f, k)
+	eqSeed, optSeed := prev, prev
+	if !optSeed.CompatibleOpt(f, k) {
+		for _, s := range more {
+			if s.CompatibleOpt(f, k) {
+				optSeed = s
+				break
+			}
+		}
+	}
+	if !eqSeed.CompatibleEq(f, k, c) {
+		for _, s := range more {
+			if s.CompatibleEq(f, k, c) {
+				eqSeed = s
+				break
+			}
+		}
+	}
+	opt, lambda, optWarm, err := optimize.MaxCoverageWarm(optSeed, f, k)
 	if err != nil {
-		return Instance{}, err
+		return Instance{}, nil, err
 	}
 	optCover := coverage.Cover(f, opt, k)
+	st := solve.New(f, k, c).WithOpt(opt, lambda, optWarm)
 
 	var eq strategy.Strategy
-	if isConstantOnRange(c, k) {
+	if solve.ConstantOnRange(c, k) {
 		// Worst symmetric equilibrium: point mass on a single argmax site.
+		// Deliberately not recorded as an equilibrium part — it is the
+		// adversarial pick among the continuum of equilibria, not an IFD a
+		// warm solve could seed from.
 		eq = strategy.Delta(len(f), 0)
 	} else {
-		eq, _, err = ifd.SolveContext(ctx, f, k, c)
+		var nu float64
+		var eqState *solve.State
+		eq, nu, eqState, err = ifd.SolveWarm(ctx, eqSeed, f, k, c)
 		if err != nil {
-			return Instance{}, err
+			return Instance{}, nil, err
 		}
+		st = st.WithEq(eq, nu, eqState.Warmed())
 	}
 	eqCover := coverage.Cover(f, eq, k)
 	if eqCover <= 0 {
-		return Instance{}, fmt.Errorf("spoa: equilibrium coverage %v is not positive", eqCover)
+		return Instance{}, nil, fmt.Errorf("spoa: equilibrium coverage %v is not positive", eqCover)
 	}
 	return Instance{
 		F:           f.Clone(),
@@ -84,17 +134,7 @@ func ComputeContext(ctx context.Context, f site.Values, k int, c policy.Congesti
 		Optimum:     opt,
 		OptCoverage: optCover,
 		Ratio:       optCover / eqCover,
-	}, nil
-}
-
-func isConstantOnRange(c policy.Congestion, k int) bool {
-	c1 := c.At(1)
-	for l := 2; l <= k; l++ {
-		if c.At(l) != c1 {
-			return false
-		}
-	}
-	return true
+	}, st, nil
 }
 
 // Families returns the structured value-function families swept by

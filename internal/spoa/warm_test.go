@@ -1,0 +1,124 @@
+package spoa
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+)
+
+// allPolicies returns one representative of each of the 8 congestion
+// families the codec knows.
+func allPolicies(t *testing.T) []policy.Congestion {
+	t.Helper()
+	table, err := policy.NewTable([]float64{1, 0.55, 0.2}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []policy.Congestion{
+		policy.Exclusive{},
+		policy.Sharing{},
+		policy.Constant{},
+		policy.TwoPoint{C2: 0.35},
+		policy.PowerLaw{Beta: 1.4},
+		policy.Cooperative{Gamma: 0.75},
+		policy.Aggressive{Penalty: 0.3},
+		table,
+	}
+}
+
+// TestComputeWarmMatchesColdAcrossPolicies chains ComputeWarm along a
+// drifting landscape for every policy family and checks each frame against
+// the cold ComputeContext: the warm-start threading must never change an
+// answer beyond solver tolerance.
+func TestComputeWarmMatchesColdAcrossPolicies(t *testing.T) {
+	ctx := context.Background()
+	const (
+		m, k   = 16, 9
+		frames = 24
+		relTol = 1e-7
+	)
+	base := site.Geometric(m, 1, 0.9)
+	for _, c := range allPolicies(t) {
+		t.Run(c.Name(), func(t *testing.T) {
+			var st *solve.State
+			warmed := 0
+			for frame := 0; frame < frames; frame++ {
+				f := site.Values(site.Drifted(base, frame, 0.02))
+				cold, err := ComputeContext(ctx, f, k, c)
+				if err != nil {
+					t.Fatalf("frame %d cold: %v", frame, err)
+				}
+				warm, next, err := ComputeWarm(ctx, st, f, k, c)
+				if err != nil {
+					t.Fatalf("frame %d warm: %v", frame, err)
+				}
+				if next == nil || !next.HasOpt() {
+					t.Fatalf("frame %d: warm compute returned no optimum state", frame)
+				}
+				if next.Warmed() {
+					warmed++
+				}
+				for _, q := range []struct {
+					name      string
+					got, want float64
+				}{
+					{"ratio", warm.Ratio, cold.Ratio},
+					{"eq coverage", warm.EqCoverage, cold.EqCoverage},
+					{"opt coverage", warm.OptCoverage, cold.OptCoverage},
+				} {
+					if d := math.Abs(q.got-q.want) / (1 + math.Abs(q.want)); d > relTol {
+						t.Fatalf("frame %d: %s diverged by %g (warm %v vs cold %v)",
+							frame, q.name, d, q.got, q.want)
+					}
+				}
+				if d := warm.Equilibrium.LInf(cold.Equilibrium); d > 1e-6 {
+					t.Fatalf("frame %d: equilibria diverged by %g", frame, d)
+				}
+				if d := warm.Optimum.LInf(cold.Optimum); d > 1e-6 {
+					t.Fatalf("frame %d: optima diverged by %g", frame, d)
+				}
+				st = next
+			}
+			// The degenerate families answer in closed form and never take
+			// the warm equilibrium path; everything else must engage it.
+			if !solve.ConstantOnRange(c, k) && policy.IsExclusive(c, k) == false && warmed < frames-2 {
+				t.Fatalf("warm path engaged on only %d/%d frames", warmed, frames)
+			}
+		})
+	}
+}
+
+// TestComputeWarmSeedsOwnLandscape verifies the intra-frame reuse the server
+// path depends on: a state carrying the equilibrium of this very landscape
+// (from a prior IFD solve) makes ComputeWarm's internal equilibrium re-solve
+// warm, and the instance still matches cold.
+func TestComputeWarmSeedsOwnLandscape(t *testing.T) {
+	ctx := context.Background()
+	f := site.Values(site.Geometric(12, 1, 0.8))
+	k := 7
+	c := policy.Sharing{}
+	cold, err := ComputeContext(ctx, f, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := solve.New(f, k, c).WithEq(cold.Equilibrium, 0, false)
+	// Nu = 0 is a deliberately poor value seed; the per-site hints still
+	// hold and the bracket verification protects correctness either way.
+	warm, st, err := ComputeWarm(ctx, seed, f, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := warm.Equilibrium.LInf(cold.Equilibrium); d > 1e-6 {
+		t.Fatalf("self-seeded equilibrium diverged by %g", d)
+	}
+	if d := math.Abs(warm.Ratio-cold.Ratio) / (1 + cold.Ratio); d > 1e-9 {
+		t.Fatalf("self-seeded ratio diverged by %g", d)
+	}
+	if !st.HasEq() || !st.HasOpt() {
+		t.Fatalf("combined state is missing parts: eq=%v opt=%v", st.HasEq(), st.HasOpt())
+	}
+}

@@ -1,0 +1,141 @@
+// Package warmcache is the dispersald server's cross-request warm-state
+// store: a small LRU of solver-core states (internal/solve.State) keyed by
+// landscape locality (speccodec.LocalityKey — spec shape plus
+// log-quantized site values).
+//
+// Where rescache memoizes exact results under exact keys, warmcache trades
+// exactness for reach: a state solved for any landscape in the same
+// locality bucket seeds a warm solve of a new, slightly different
+// landscape, so isolated /v1/analyze requests and fresh trajectory chains
+// inherit the work of every sufficiently near past solve. Correctness never
+// depends on the cache — every warm path verifies its bracket against the
+// actual landscape and falls back cold — so eviction, staleness and racing
+// writers are all benign: the worst a bad entry costs is one wasted warm
+// attempt, which the server counts as a fallback.
+package warmcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"dispersal/internal/solve"
+)
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Lookup calls that found a state.
+	Hits int64 `json:"hits"`
+	// Misses counts Lookup calls that found nothing.
+	Misses int64 `json:"misses"`
+	// Stores counts Store calls that recorded a state (inserts and
+	// same-key replacements alike).
+	Stores int64 `json:"stores"`
+	// Evictions counts entries dropped by the LRU policy.
+	Evictions int64 `json:"evictions"`
+	// Entries is the current number of cached states.
+	Entries int64 `json:"entries"`
+}
+
+// Cache is a mutex-guarded LRU of solver-core states. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use;
+// concurrent Store calls under one key keep the latest write (states are
+// immutable, so any of them is a valid seed).
+type Cache struct {
+	mu sync.Mutex
+	// capacity bounds len(items); the least-recently-used entry is evicted
+	// beyond it.
+	capacity int
+	// ll orders entries most-recently-used first; element values are
+	// *entry.
+	ll *list.List
+	// items indexes ll by key.
+	items map[string]*list.Element
+
+	hits, misses, stores, evictions atomic.Int64
+}
+
+type entry struct {
+	key string
+	st  *solve.State
+}
+
+// DefaultCapacity is the entry bound selected when New is given a
+// non-positive capacity. Warm states are small (a few strategies per
+// landscape), so the default leans generous.
+const DefaultCapacity = 1024
+
+// New builds a cache holding at most capacity states; capacity <= 0 selects
+// DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Lookup returns the state stored under key, refreshing its recency, or nil
+// when the key is absent.
+func (c *Cache) Lookup(key string) *solve.State {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	st := el.Value.(*entry).st
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return st
+}
+
+// Store records st under key as the most-recent entry, replacing any
+// previous state under the same key and evicting the least-recently-used
+// entry beyond capacity. A nil st is ignored — there is nothing to seed
+// from.
+func (c *Cache) Store(key string, st *solve.State) {
+	if st == nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).st = st
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.stores.Add(1)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, st: st})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	c.stores.Add(1)
+}
+
+// Len returns the current number of cached states.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stores:    c.stores.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+	}
+}

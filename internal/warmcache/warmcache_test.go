@@ -1,0 +1,133 @@
+package warmcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/strategy"
+)
+
+func stateN(n int) *solve.State {
+	f := site.Values{1, 0.5}
+	return solve.New(f, 2, policy.Sharing{}).WithEq(strategy.Strategy{0.75, 0.25}, float64(n), false)
+}
+
+func TestLookupStoreAndReplace(t *testing.T) {
+	c := New(4)
+	if st := c.Lookup("a"); st != nil {
+		t.Fatal("empty cache returned a state")
+	}
+	c.Store("a", stateN(1))
+	st := c.Lookup("a")
+	if st == nil || st.Nu() != 1 {
+		t.Fatalf("lookup after store: %+v", st)
+	}
+	// Same-key store replaces.
+	c.Store("a", stateN(2))
+	if st := c.Lookup("a"); st.Nu() != 2 {
+		t.Fatalf("replacement not visible: nu=%v", st.Nu())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after same-key stores", c.Len())
+	}
+	// Nil stores are ignored.
+	c.Store("a", nil)
+	if st := c.Lookup("a"); st == nil || st.Nu() != 2 {
+		t.Fatal("nil store clobbered the entry")
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 1 || s.Stores != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEvictionIsLRU(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 3; i++ {
+		c.Store(fmt.Sprintf("k%d", i), stateN(i))
+	}
+	// Touch k0 so k1 becomes the least recently used.
+	if c.Lookup("k0") == nil {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Store("k3", stateN(3))
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if c.Lookup("k1") != nil {
+		t.Fatal("LRU entry k1 survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if c.Lookup(k) == nil {
+			t.Fatalf("recent entry %s was evicted", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+// TestConcurrentSameKeySeeding hammers one key from many goroutines mixing
+// stores and lookups; run under -race this pins the locking discipline, and
+// every observed state must be one that some goroutine actually stored.
+func TestConcurrentSameKeySeeding(t *testing.T) {
+	c := New(8)
+	const goroutines = 16
+	const rounds = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				c.Store("shared", stateN(id))
+				st := c.Lookup("shared")
+				if st == nil {
+					t.Error("shared key vanished mid-run")
+					return
+				}
+				if nu := st.Nu(); nu < 0 || nu >= goroutines {
+					t.Errorf("observed state no goroutine stored: nu=%v", nu)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after same-key hammering", c.Len())
+	}
+}
+
+// TestConcurrentDistinctKeys mixes stores and lookups across more keys than
+// capacity under -race: evictions and inserts must stay consistent.
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < 100; r++ {
+				key := fmt.Sprintf("k%d", (id+r)%10)
+				c.Store(key, stateN(id))
+				c.Lookup(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 4 {
+		t.Fatalf("len = %d exceeds capacity 4", n)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New(0)
+	if c.capacity != DefaultCapacity {
+		t.Fatalf("capacity = %d, want %d", c.capacity, DefaultCapacity)
+	}
+}

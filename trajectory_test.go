@@ -145,8 +145,10 @@ func TestTrajectoryCancellation(t *testing.T) {
 	}
 }
 
-// TestTrajectoryExclusivePolicy: the exclusive policy's closed-form solver
-// has no warm path, but trajectories must still work frame by frame.
+// TestTrajectoryExclusivePolicy: the exclusive policy answers in closed
+// form, but its support boundary W is tracked incrementally along the
+// chain, so frames after the first report a warm solve — and every frame
+// must match an independent cold closed-form solve.
 func TestTrajectoryExclusivePolicy(t *testing.T) {
 	frames := driftFrames(8, 8, 0.02)
 	g := dispersal.MustGame(frames[0], 3, dispersal.Exclusive())
@@ -155,11 +157,23 @@ func TestTrajectoryExclusivePolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, a := range analyses {
-		if _, _, err := a.IFD(); err != nil {
+		p, nu, err := a.IFD()
+		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if a.Game().Warmed() {
-			t.Fatalf("frame %d: exclusive policy has no warm path", i)
+		if i > 0 && !a.Game().Warmed() {
+			t.Fatalf("frame %d: incremental sigma* tracking did not engage", i)
+		}
+		cold := dispersal.MustGame(frames[i], 3, dispersal.Exclusive())
+		coldP, coldNu, err := cold.IFD()
+		if err != nil {
+			t.Fatalf("frame %d cold: %v", i, err)
+		}
+		if d := p.LInf(coldP); d > 1e-9 {
+			t.Fatalf("frame %d: warm sigma* diverged from cold by %g", i, d)
+		}
+		if d := math.Abs(nu-coldNu) / (1 + math.Abs(coldNu)); d > 1e-9 {
+			t.Fatalf("frame %d: warm nu diverged from cold by %g", i, d)
 		}
 	}
 }

@@ -1,0 +1,195 @@
+package dispersal_test
+
+// Tests of the solver-core state threading on the public Game API:
+// StateSnapshot / SeedState (the warm-cache hooks) and the accumulation of
+// parts across the per-game solvers.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dispersal"
+	"dispersal/internal/site"
+)
+
+// TestStateSnapshotAccumulatesParts: an IFD records the equilibrium part, a
+// SPoA adds the coverage optimum, and the merged state carries both.
+func TestStateSnapshotAccumulatesParts(t *testing.T) {
+	g := dispersal.MustGame(site.Geometric(10, 1, 0.8), 5, dispersal.Sharing())
+	if g.StateSnapshot() != nil {
+		t.Fatal("fresh game already has state")
+	}
+	if _, _, err := g.IFD(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.StateSnapshot()
+	if !st.HasEq() || st.HasOpt() {
+		t.Fatalf("after IFD: eq=%v opt=%v", st.HasEq(), st.HasOpt())
+	}
+	if _, err := g.SPoA(); err != nil {
+		t.Fatal(err)
+	}
+	st = g.StateSnapshot()
+	if !st.HasEq() || !st.HasOpt() {
+		t.Fatalf("after SPoA: eq=%v opt=%v", st.HasEq(), st.HasOpt())
+	}
+	// The exclusive structure accumulates too.
+	if _, _, _, err := g.SigmaStar(); err != nil {
+		t.Fatal(err)
+	}
+	if st = g.StateSnapshot(); !st.HasSigma() || !st.HasEq() || !st.HasOpt() {
+		t.Fatalf("after SigmaStar: eq=%v opt=%v sigma=%v", st.HasEq(), st.HasOpt(), st.HasSigma())
+	}
+}
+
+// TestSeedStateWarmsIsolatedGame: a state snapshot from one game seeds a
+// freshly constructed (NewGame, not Evolve) game on a nearby landscape —
+// the cross-request scenario behind the server's warm cache — and the
+// seeded solve is warm yet matches a cold solve.
+func TestSeedStateWarmsIsolatedGame(t *testing.T) {
+	base := site.Values(site.Geometric(12, 1, 0.85))
+	k := 6
+	donor := dispersal.MustGame(base, k, dispersal.Sharing())
+	if _, err := donor.SPoA(); err != nil {
+		t.Fatal(err)
+	}
+
+	near := base.Clone()
+	for i := range near {
+		near[i] *= 1 + 0.01*float64(i%3)
+	}
+	near = site.Values(site.Sorted(near))
+
+	cold := dispersal.MustGame(near, k, dispersal.Sharing())
+	coldP, coldNu, err := cold.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Warmed() {
+		t.Fatal("unseeded NewGame solve reported warm")
+	}
+
+	seeded := dispersal.MustGame(near, k, dispersal.Sharing())
+	seeded.SeedState(donor.StateSnapshot())
+	p, nu, err := seeded.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seeded.Warmed() {
+		t.Fatal("seeded solve did not take the warm path")
+	}
+	if d := p.LInf(coldP); d > 1e-6 {
+		t.Fatalf("seeded solve diverged from cold by %g", d)
+	}
+	if d := math.Abs(nu-coldNu) / (1 + math.Abs(coldNu)); d > 1e-9 {
+		t.Fatalf("seeded nu diverged from cold by %g", d)
+	}
+}
+
+// TestSeedStateFarLandscapeFallsBackCold: a seed from a radically different
+// landscape must not corrupt the solve — the bracket verification falls
+// back cold and the answer matches an unseeded game.
+func TestSeedStateFarLandscapeFallsBackCold(t *testing.T) {
+	k := 5
+	far := site.Values{500, 400, 300, 200, 100, 50}
+	donor := dispersal.MustGame(far, k, dispersal.Sharing())
+	if _, _, err := donor.IFD(); err != nil {
+		t.Fatal(err)
+	}
+
+	near := site.Values(site.Geometric(6, 1, 0.6))
+	cold := dispersal.MustGame(near, k, dispersal.Sharing())
+	coldP, coldNu, err := cold.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeded := dispersal.MustGame(near, k, dispersal.Sharing())
+	seeded.SeedState(donor.StateSnapshot())
+	p, nu, err := seeded.IFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.LInf(coldP); d > 1e-6 {
+		t.Fatalf("far-seeded solve diverged from cold by %g", d)
+	}
+	if d := math.Abs(nu-coldNu) / (1 + math.Abs(coldNu)); d > 1e-9 {
+		t.Fatalf("far-seeded nu diverged from cold by %g", d)
+	}
+}
+
+// TestSeedStateCrossPolicyOptimumReuse: the optimum part is policy-free, so
+// a state recorded under one policy warms another policy's SPoA
+// water-filling (the equilibrium part stays policy-bound and solves cold).
+func TestSeedStateCrossPolicyOptimumReuse(t *testing.T) {
+	ctx := context.Background()
+	f := site.Values(site.Geometric(10, 1, 0.8))
+	k := 4
+	donor := dispersal.MustGame(f, k, dispersal.Sharing())
+	if _, err := donor.SPoA(); err != nil {
+		t.Fatal(err)
+	}
+	st := donor.StateSnapshot()
+	if !st.HasOpt() {
+		t.Fatal("donor state has no optimum part")
+	}
+
+	g := dispersal.MustGame(f, k, dispersal.PowerLaw(1.2))
+	g.SeedState(st)
+	inst, err := g.SPoAContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldInst, err := dispersal.MustGame(f, k, dispersal.PowerLaw(1.2)).SPoAContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(inst.Ratio-coldInst.Ratio) / (1 + coldInst.Ratio); d > 1e-9 {
+		t.Fatalf("cross-policy seeded SPoA diverged by %g", d)
+	}
+}
+
+// TestSeedStateNilIsIgnored guards the nil path.
+func TestSeedStateNilIsIgnored(t *testing.T) {
+	g := dispersal.MustGame(site.Values{1, 0.5}, 2, dispersal.Sharing())
+	g.SeedState(nil)
+	if _, _, err := g.IFD(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Warmed() {
+		t.Fatal("nil seed produced a warm solve")
+	}
+}
+
+// TestChainThreadsOptimumWarmStart pins the cross-frame optimum threading:
+// in the server's per-frame pipeline (IFD then SPoA on each evolved game),
+// every frame after the first must warm-start its coverage water-filling
+// from the previous frame's optimum — the chain release after the IFD must
+// not strand the inherited optimum part.
+func TestChainThreadsOptimumWarmStart(t *testing.T) {
+	ctx := context.Background()
+	frames := driftFrames(10, 6, 0.01)
+	cur := dispersal.MustGame(frames[0], 5, dispersal.Sharing())
+	for i, f := range frames {
+		next, err := cur.EvolveTo(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		a := next.Analyze()
+		if _, _, err := a.IFDContext(ctx); err != nil {
+			t.Fatalf("frame %d ifd: %v", i, err)
+		}
+		if _, err := a.SPoAContext(ctx); err != nil {
+			t.Fatalf("frame %d spoa: %v", i, err)
+		}
+		st := next.StateSnapshot()
+		if !st.HasEq() || !st.HasOpt() {
+			t.Fatalf("frame %d: state parts eq=%v opt=%v", i, st.HasEq(), st.HasOpt())
+		}
+		if i > 0 && !st.OptWarmed() {
+			t.Fatalf("frame %d: coverage water-filling ran cold despite the previous frame's optimum", i)
+		}
+		cur = next
+	}
+}
