@@ -284,3 +284,46 @@ func BenchmarkSweepBatch(b *testing.B) {
 		}
 	}
 }
+
+// benchDriftGrid is the locality-chain workload: one shape, many drifted
+// landscapes, shuffled so input order is not locality order.
+func benchDriftGrid(n int) []Spec {
+	base := site.Geometric(24, 1, 0.88)
+	specs := make([]Spec, n)
+	for i := range specs {
+		t := (i * 7) % n
+		specs[i] = Spec{Values: Values(site.Drifted(base, t, 0.04)), K: 24, Policy: Sharing()}
+	}
+	return specs
+}
+
+// benchSweepChain runs the drift grid sequentially, chained or not, so the
+// pair of benchmarks isolates what the greedy locality chain buys.
+func benchSweepChain(b *testing.B, chained bool) {
+	specs := benchDriftGrid(48)
+	opts := []Option{WithWorkers(1), WithWarmChaining(chained)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Sweep(context.Background(), specs,
+			func(_ context.Context, a *Analysis) (float64, error) {
+				_, nu, err := a.IFD()
+				return nu, err
+			}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepDriftGridChained measures the sequential drift grid with
+// nearest-neighbour warm chaining (each item seeding the next)...
+func BenchmarkSweepDriftGridChained(b *testing.B) { benchSweepChain(b, true) }
+
+// BenchmarkSweepDriftGridCold ...against the same grid solved item by item
+// from scratch.
+func BenchmarkSweepDriftGridCold(b *testing.B) { benchSweepChain(b, false) }

@@ -6,6 +6,8 @@
 //
 //	dispersald [-addr HOST:PORT] [-workers N] [-cache-size N]
 //	           [-warm-cache-size N] [-timeout D]
+//	           [-state-dir DIR] [-snapshot-interval D]
+//	           [-peers HOST:PORT,...] [-peer-timeout D]
 //
 // Endpoints (see internal/server and docs/http-api.md):
 //
@@ -14,8 +16,10 @@
 //	POST /v1/trajectory  {"spec": ..., "frames": [...]} or
 //	                     {"spec": ..., "deltas": [...]} -> one NDJSON line
 //	                     per drifting-landscape frame, warm-start solved
+//	GET  /v1/warmstate   peer exchange: warm solver state for one
+//	                     ?key=<locality key> (binary statewire payload)
 //	GET  /healthz        liveness
-//	GET  /statsz         cache, warm-cache and request counters
+//	GET  /statsz         cache, warm-cache, federation and request counters
 //
 // Identical specs (trajectory frames included) share one cache entry and
 // concurrent identical requests solve once (singleflight); near-identical
@@ -23,6 +27,14 @@
 // cache (-warm-cache-size), so nearby landscapes seed each other's solves.
 // -timeout is the per-request deadline delivered to every solver through
 // its context.
+//
+// The warm state federates across processes: with -state-dir it is
+// snapshotted to disk every -snapshot-interval (and on shutdown) and loaded
+// back at boot, so a restarted replica serves its first repeat-locality
+// request warm; with -peers a local warm miss asks the listed sibling
+// replicas (bounded by -peer-timeout) before solving cold. Both paths are
+// best-effort seeds — a stale snapshot or a lying peer can only cost a warm
+// attempt, never change a result.
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,8 +59,19 @@ func main() {
 	cacheSize := flag.Int("cache-size", 4096, "total cached analyses (<= 0 selects the default)")
 	warmCacheSize := flag.Int("warm-cache-size", 1024, "locality-keyed warm solver states (<= 0 selects the default)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request solver deadline (0 = none)")
+	stateDir := flag.String("state-dir", "", "persist the warm cache in this directory across restarts (empty = in-memory only)")
+	snapshotInterval := flag.Duration("snapshot-interval", 30*time.Second, "warm-state snapshot cadence under -state-dir (<= 0 selects the default)")
+	peers := flag.String("peers", "", "comma-separated sibling replicas (host:port) consulted for warm state on local misses")
+	peerTimeout := flag.Duration("peer-timeout", 250*time.Millisecond, "deadline for one whole peer warm-state fetch round (<= 0 selects the default)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 
 	logger := log.New(os.Stderr, "dispersald: ", log.LstdFlags)
 	logf := logger.Printf
@@ -56,12 +80,23 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:       *workers,
-		CacheSize:     *cacheSize,
-		WarmCacheSize: *warmCacheSize,
-		Timeout:       *timeout,
-		Logf:          logf,
+		Workers:          *workers,
+		CacheSize:        *cacheSize,
+		WarmCacheSize:    *warmCacheSize,
+		Timeout:          *timeout,
+		StateDir:         *stateDir,
+		SnapshotInterval: *snapshotInterval,
+		Peers:            peerList,
+		PeerTimeout:      *peerTimeout,
+		Logf:             logf,
 	})
+	// closeSrv writes the final warm-state snapshot; every exit path below
+	// runs it (the error paths os.Exit, which skips defers).
+	closeSrv := func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dispersald: warm-state snapshot:", err)
+		}
+	}
 	// WriteTimeout must outlast the solver deadline, or slow (legitimate)
 	// solves would be cut off mid-response; the margin covers decode and
 	// response writing. With -timeout 0 there is no solver bound, so fall
@@ -84,14 +119,15 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers=%d cache-size=%d timeout=%s)",
-			*addr, *workers, *cacheSize, *timeout)
+		logger.Printf("listening on %s (workers=%d cache-size=%d timeout=%s state-dir=%q peers=%d)",
+			*addr, *workers, *cacheSize, *timeout, *stateDir, len(peerList))
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			closeSrv()
 			fmt.Fprintln(os.Stderr, "dispersald:", err)
 			os.Exit(1)
 		}
@@ -100,8 +136,10 @@ func main() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			closeSrv()
 			fmt.Fprintln(os.Stderr, "dispersald: shutdown:", err)
 			os.Exit(1)
 		}
 	}
+	closeSrv()
 }

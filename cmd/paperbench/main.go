@@ -51,6 +51,8 @@ func main() {
 	frames := flag.Int("frames", 64, "frame count for the -trajectory benchmark")
 	minSpeedup := flag.Float64("min-speedup", 3, "fail -trajectory when the warm-start speedup is below this (0 disables)")
 	minSPoASpeedup := flag.Float64("min-spoa-speedup", 2, "fail -trajectory when the full-analysis (SPoA path) warm speedup is below this (0 disables)")
+	restart := flag.Bool("restart", false, "prove warm-state snapshot persistence: reboot a replica from its -state-dir snapshot and require its first repeat-locality request to solve warm")
+	minRestartSpeedup := flag.Float64("min-restart-speedup", 0, "fail -restart when the rebooted replica's first request is not this much faster than a stateless boot's (0 disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -71,6 +73,14 @@ func main() {
 
 	if *trajectory {
 		if err := runTrajectoryBench(ctx, *frames, *minSpeedup, *minSPoASpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *restart {
+		if err := runRestartBench(ctx, *minRestartSpeedup); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,196 @@
+package main
+
+// The -restart benchmark: proof that warm-state snapshot persistence
+// (-state-dir) survives a reboot. An in-process dispersald replica is
+// warmed, shut down (writing its final snapshot), and rebooted from the
+// same state directory; its very first repeat-locality request must report
+// a snapshot-seeded warm solve, and is timed against the same request on a
+// replica booted with no state at all.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"dispersal"
+	"dispersal/internal/server"
+	"dispersal/internal/site"
+	"dispersal/internal/speccodec"
+)
+
+// The restart workload: one game heavy enough that a warm seed is worth
+// measuring (the nu bisection and per-site inversions dominate), drifted
+// slightly between the pre- and post-restart requests so the exact result
+// cache cannot answer and only the persisted warm state can help.
+const (
+	restartSites = 96
+	restartK     = 160
+)
+
+// restartStats is the slice of /statsz the benchmark asserts on.
+type restartStats struct {
+	WarmCache struct {
+		Seeded   int64 `json:"seeded"`
+		Fallback int64 `json:"fallback"`
+		Loaded   int64 `json:"loaded"`
+	} `json:"warm_cache"`
+	Solves int64 `json:"solves"`
+}
+
+// runRestartBench boots replica A on a fresh state directory, warms it with
+// one solve, shuts it down, boots replica B on the same directory and
+// replica C on none, and issues the same near-identical request to both.
+// B must answer warm (seeded from the snapshot); the reported speedup is
+// B's latency versus C's. A missing warm seed is an error; a speedup below
+// minSpeedup (0 disables) is too.
+func runRestartBench(ctx context.Context, minSpeedup float64) error {
+	dir, err := os.MkdirTemp("", "dispersal-restart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	base := dispersal.Values(site.Geometric(restartSites, 1, 0.97))
+	warmBody, err := speccodec.Encode(dispersal.Spec{Values: base, K: restartK, Policy: dispersal.Sharing()})
+	if err != nil {
+		return err
+	}
+	// The post-restart request: every value nudged by a small factor — a
+	// different exact cache key in, provably, the same locality buckets.
+	// The nudge shrinks until no site crosses a bucket edge (a fixed eps
+	// would flip a bucket whenever some ln(f(x)) sits near one).
+	baseSpec := dispersal.Spec{Values: base, K: restartK, Policy: dispersal.Sharing()}
+	baseKey, err := speccodec.LocalityKey(baseSpec)
+	if err != nil {
+		return err
+	}
+	drifted := make(dispersal.Values, len(base))
+	for eps := 5e-4; ; eps /= 4 {
+		if eps < 1e-12 {
+			return fmt.Errorf("could not construct a repeat-locality drift")
+		}
+		for i, v := range base {
+			drifted[i] = v * (1 + eps)
+		}
+		key, err := speccodec.LocalityKey(dispersal.Spec{Values: drifted, K: restartK, Policy: dispersal.Sharing()})
+		if err != nil {
+			return err
+		}
+		if key == baseKey {
+			break
+		}
+	}
+	repeatBody, err := speccodec.Encode(dispersal.Spec{Values: drifted, K: restartK, Policy: dispersal.Sharing()})
+	if err != nil {
+		return err
+	}
+
+	boot := func(stateDir string) (*server.Server, *httptest.Server) {
+		srv := server.New(server.Config{Timeout: 5 * time.Minute, StateDir: stateDir})
+		return srv, httptest.NewServer(srv)
+	}
+	fmt.Printf("restart benchmark: M=%d sites, k=%d players, sharing policy, state dir %s\n\n",
+		restartSites, restartK, dir)
+
+	// Replica A: solve once, shut down cleanly (final snapshot).
+	a, tsA := boot(dir)
+	warmStart := time.Now()
+	if err := analyzeOnce(ctx, tsA.URL, warmBody); err != nil {
+		return fmt.Errorf("warming replica: %w", err)
+	}
+	fmt.Printf("replica A: warmed with 1 solve in %s, shutting down\n", time.Since(warmStart).Round(time.Millisecond))
+	tsA.Close()
+	if err := a.Close(); err != nil {
+		return fmt.Errorf("snapshot on shutdown: %w", err)
+	}
+
+	// Replica B: rebooted from A's snapshot; its FIRST request must be
+	// warm.
+	b, tsB := boot(dir)
+	defer b.Close()
+	defer tsB.Close()
+	bStart := time.Now()
+	if err := analyzeOnce(ctx, tsB.URL, repeatBody); err != nil {
+		return fmt.Errorf("post-restart analyze: %w", err)
+	}
+	warmDur := time.Since(bStart)
+	bStats, err := fetchRestartStats(ctx, tsB.URL)
+	if err != nil {
+		return err
+	}
+
+	// Replica C: the control — same request, no state directory.
+	c, tsC := boot("")
+	defer c.Close()
+	defer tsC.Close()
+	cStart := time.Now()
+	if err := analyzeOnce(ctx, tsC.URL, repeatBody); err != nil {
+		return fmt.Errorf("cold-control analyze: %w", err)
+	}
+	coldDur := time.Since(cStart)
+
+	speedup := float64(coldDur) / float64(warmDur)
+	fmt.Printf("replica B (rebooted, -state-dir): first request in %s, loaded=%d seeded=%d fallback=%d\n",
+		warmDur.Round(time.Microsecond), bStats.WarmCache.Loaded, bStats.WarmCache.Seeded, bStats.WarmCache.Fallback)
+	fmt.Printf("replica C (cold boot, no state):  first request in %s\n", coldDur.Round(time.Microsecond))
+	fmt.Printf("restart warm speedup: %.2fx\n", speedup)
+
+	if bStats.WarmCache.Loaded < 1 {
+		return fmt.Errorf("rebooted replica loaded no snapshot states")
+	}
+	if bStats.WarmCache.Seeded != 1 {
+		return fmt.Errorf("rebooted replica's first repeat-locality request was not warm-seeded (seeded=%d, fallback=%d)",
+			bStats.WarmCache.Seeded, bStats.WarmCache.Fallback)
+	}
+	if minSpeedup > 0 && speedup < minSpeedup {
+		return fmt.Errorf("restart warm speedup %.2fx is below the %.1fx target", speedup, minSpeedup)
+	}
+	return nil
+}
+
+// analyzeOnce POSTs one spec to /v1/analyze and fails on any non-200.
+func analyzeOnce(ctx context.Context, baseURL string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("analyze: %s: %s", resp.Status, bytes.TrimSpace(payload))
+	}
+	return nil
+}
+
+// fetchRestartStats reads the warm-cache slice of /statsz.
+func fetchRestartStats(ctx context.Context, baseURL string) (restartStats, error) {
+	var out restartStats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/statsz", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return out, fmt.Errorf("statsz: %w", err)
+	}
+	return out, nil
+}

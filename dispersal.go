@@ -372,8 +372,19 @@ func (g *Game) Welfare(p Strategy) (float64, error) {
 // its value (the "Welfare Optimum" curve of Figure 1). The number of random
 // restarts and their seed come from the game's WithRestarts and WithSeed
 // options; ctx cancels the multi-start search between (and inside) ascents.
+//
+// The multi-start search is threaded through the game's solver-core state
+// like every other solver: the accumulated equilibrium and coverage-optimum
+// parts (from this game's own solves, its evolution chain, or a SeedState
+// record) become start points, replacing the search's internal cold IFD
+// solve. On a game with no state the search is exactly the cold one; on a
+// game whose IFD this process already solved, the seeded start is that
+// exact equilibrium, so the result is unchanged and the redundant solve is
+// gone.
 func (g *Game) MaxWelfareContext(ctx context.Context) (Strategy, float64, error) {
-	return optimize.MaxWelfareContext(ctx, g.f, g.k, g.c, g.opt.restarts, g.opt.seed)
+	prev := solve.Merge(g.state.Load(), g.inheritedState())
+	p, v, _, err := optimize.MaxWelfareWarm(ctx, prev, g.f, g.k, g.c, g.opt.restarts, g.opt.seed)
+	return p, v, err
 }
 
 // MaxWelfare returns the symmetric strategy maximizing Welfare and its

@@ -329,15 +329,38 @@ func MaxWelfare(f site.Values, k int, c policy.Congestion, nStarts int, seed uin
 // between restarts and inside the projected-gradient inner loop, so a
 // deadline interrupts even a single long ascent.
 func MaxWelfareContext(ctx context.Context, f site.Values, k int, c policy.Congestion, nStarts int, seed uint64) (strategy.Strategy, float64, error) {
+	p, v, _, err := MaxWelfareWarm(ctx, nil, f, k, c, nStarts, seed)
+	return p, v, err
+}
+
+// MaxWelfareWarm is MaxWelfareContext seeded from prev — the solver-core
+// state of a previous solve of a nearby landscape. The welfare objective is
+// non-concave and has no bracketed root to narrow, so warm-starting here
+// means better start points rather than a smaller search interval: prev's
+// equilibrium part (when compatible with (f, k, c)) replaces the multistart
+// pool's own cold IFD solve — the one solver MaxWelfare still ran from
+// scratch every call — and prev's coverage-optimum part (shape-compatible;
+// coverage is policy-free) joins the pool, since the welfare optimum sits
+// between the equilibrium and the coverage optimum for every congestion
+// family in the paper. The third result reports whether any seeded start
+// was used.
+//
+// Every other start (structured, vertex, random) is identical to the cold
+// search, so the warm result matches the cold one whenever the seeded
+// starts land in the same basins — in particular a state recorded by this
+// exact game's own IFD solve reproduces the cold search bit for bit, and a
+// nearby landscape's state moves the found optimum at most by the solver
+// tolerance. A nil or incompatible prev runs exactly MaxWelfareContext.
+func MaxWelfareWarm(ctx context.Context, prev *solve.State, f site.Values, k int, c policy.Congestion, nStarts int, seed uint64) (strategy.Strategy, float64, bool, error) {
 	if err := f.Validate(); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if k < 1 {
-		return nil, 0, fmt.Errorf("%w: k=%d", ErrPlayers, k)
+		return nil, 0, false, fmt.Errorf("%w: k=%d", ErrPlayers, k)
 	}
 	m := len(f)
 	if k == 1 || m == 1 {
-		return strategy.Delta(m, 0), f[0] * ifd.Gee(c, k, 1), nil
+		return strategy.Delta(m, 0), f[0] * ifd.Gee(c, k, 1), false, nil
 	}
 	obj := func(p strategy.Strategy) float64 { return Welfare(f, p, k, c) }
 	grad := func(p strategy.Strategy, g []float64) {
@@ -354,8 +377,16 @@ func MaxWelfareContext(ctx context.Context, f site.Values, k int, c policy.Conge
 	if prop, err := strategy.Proportional(f); err == nil {
 		starts = append(starts, prop)
 	}
-	if eq, _, err := ifd.Solve(f, k, c); err == nil {
+	warmed := false
+	if prev.CompatibleEq(f, k, c) {
+		starts = append(starts, prev.Strategy())
+		warmed = true
+	} else if eq, _, err := ifd.Solve(f, k, c); err == nil {
 		starts = append(starts, eq)
+	}
+	if prev.CompatibleOpt(f, k) {
+		starts = append(starts, prev.OptRef().Clone())
+		warmed = true
 	}
 	for x := 0; x < m && x < 4; x++ {
 		starts = append(starts, strategy.Delta(m, x))
@@ -365,14 +396,14 @@ func MaxWelfareContext(ctx context.Context, f site.Values, k int, c policy.Conge
 		starts = append(starts, randomPoint(rng, m))
 	}
 	if len(starts) == 0 {
-		return nil, 0, ErrNoInit
+		return nil, 0, false, ErrNoInit
 	}
 
 	var best strategy.Strategy
 	bestVal := math.Inf(-1)
 	for _, s := range starts {
 		if err := ctx.Err(); err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		p, v := ProjectedGradientContext(ctx, obj, grad, s, PGOptions{})
 		if v > bestVal {
@@ -381,7 +412,7 @@ func MaxWelfareContext(ctx context.Context, f site.Values, k int, c policy.Conge
 	}
 
 	if err := ctx.Err(); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if m == 2 {
 		// Exhaustive 1-D scan p = (q, 1-q), then golden-section refine.
@@ -403,7 +434,7 @@ func MaxWelfareContext(ctx context.Context, f site.Values, k int, c policy.Conge
 			best, bestVal = strategy.Strategy{q, 1 - q}, v
 		}
 	}
-	return best, bestVal, nil
+	return best, bestVal, warmed, nil
 }
 
 // goldenMax maximizes phi on [lo, hi] by golden-section search.

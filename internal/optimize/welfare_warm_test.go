@@ -1,0 +1,144 @@
+package optimize
+
+// Warm/cold equivalence of the seeded welfare search: MaxWelfareWarm must
+// find the same welfare optimum as the cold multistart, whatever state
+// seeds it — the last cold multi-start solver of the pipeline gets the same
+// guarantee as the bracketed ones.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+)
+
+// welfarePolicies spans the congestion families whose welfare landscapes
+// differ qualitatively (strict decay, equal sharing, two-point plateaus,
+// collision penalties).
+func welfarePolicies() []policy.Congestion {
+	return []policy.Congestion{
+		policy.Sharing{},
+		policy.TwoPoint{C2: 0.3},
+		policy.PowerLaw{Beta: 1.5},
+		policy.Cooperative{Gamma: 0.85},
+		policy.Aggressive{Penalty: 0.25},
+	}
+}
+
+// TestMaxWelfareWarmMatchesColdOnDrift: a state solved on a nearby (±2%
+// drifted) landscape seeds the search; the found welfare value must match
+// the cold search's within solver tolerance, and the warm path must have
+// engaged.
+func TestMaxWelfareWarmMatchesColdOnDrift(t *testing.T) {
+	ctx := context.Background()
+	const k, nStarts, seed = 6, 4, 7
+	base := site.Values(site.Geometric(10, 1, 0.85))
+	for _, c := range welfarePolicies() {
+		t.Run(c.Name(), func(t *testing.T) {
+			drifted := site.Values(site.Drifted(base, 3, 0.02))
+			_, _, prev, err := ifd.SolveWarm(ctx, nil, drifted, k, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, lambda, err := MaxCoverage(drifted, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev = prev.WithOpt(opt, lambda, false)
+			if !prev.HasEq() || !prev.HasOpt() {
+				t.Fatalf("seed state incomplete: eq=%v opt=%v", prev.HasEq(), prev.HasOpt())
+			}
+
+			pCold, vCold, err := MaxWelfareContext(ctx, base, k, c, nStarts, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pWarm, vWarm, warmed, err := MaxWelfareWarm(ctx, prev, base, k, c, nStarts, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !warmed {
+				t.Fatal("compatible seed did not engage the warm path")
+			}
+			if d := math.Abs(vWarm-vCold) / (1 + math.Abs(vCold)); d > 1e-6 {
+				t.Fatalf("welfare diverged: warm %v vs cold %v (rel %g)", vWarm, vCold, d)
+			}
+			if err := pWarm.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			_ = pCold
+		})
+	}
+}
+
+// TestMaxWelfareWarmOwnStateIsExact: seeding with the exact game's own
+// equilibrium state reproduces the cold search bit for bit — the seeded
+// start IS the cold search's internal IFD solve.
+func TestMaxWelfareWarmOwnStateIsExact(t *testing.T) {
+	ctx := context.Background()
+	const k, nStarts, seed = 5, 4, 11
+	f := site.Values(site.Geometric(8, 1, 0.8))
+	c := policy.Sharing{}
+	eq, nu, st, err := ifd.SolveWarm(ctx, nil, f, k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = eq
+	_ = nu
+	pCold, vCold, err := MaxWelfareContext(ctx, f, k, c, nStarts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pWarm, vWarm, warmed, err := MaxWelfareWarm(ctx, st, f, k, c, nStarts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmed {
+		t.Fatal("own state did not engage the warm path")
+	}
+	if vWarm != vCold {
+		t.Fatalf("welfare differs on identical starts: %v vs %v", vWarm, vCold)
+	}
+	for i := range pCold {
+		if pCold[i] != pWarm[i] {
+			t.Fatalf("strategy differs at site %d: %v vs %v", i+1, pCold[i], pWarm[i])
+		}
+	}
+}
+
+// TestMaxWelfareWarmIncompatibleSeedsFallBack: wrong shape, player count or
+// policy must leave the search cold and unchanged.
+func TestMaxWelfareWarmIncompatibleSeeds(t *testing.T) {
+	ctx := context.Background()
+	const k, nStarts, seed = 4, 3, 3
+	f := site.Values(site.Geometric(6, 1, 0.8))
+	c := policy.Sharing{}
+	pCold, vCold, err := MaxWelfareContext(ctx, f, k, c, nStarts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherShape := solve.New(site.Values{1, 0.5}, k, c).
+		WithEq([]float64{0.7, 0.3}, 0.2, false).WithOpt([]float64{0.6, 0.4}, 0.5, false)
+	otherK := solve.New(f, k+1, c)
+	for name, prev := range map[string]*solve.State{
+		"nil": nil, "other shape": otherShape, "other k (empty parts)": otherK,
+	} {
+		pWarm, vWarm, warmed, err := MaxWelfareWarm(ctx, prev, f, k, c, nStarts, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if warmed {
+			t.Fatalf("%s: incompatible seed reported warm", name)
+		}
+		if vWarm != vCold {
+			t.Fatalf("%s: fallback changed the welfare: %v vs %v", name, vWarm, vCold)
+		}
+		if d := pWarm.LInf(pCold); d != 0 {
+			t.Fatalf("%s: fallback changed the strategy (LInf %g)", name, d)
+		}
+	}
+}

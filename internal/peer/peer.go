@@ -1,0 +1,319 @@
+// Package peer is the warm-state federation layer of dispersald: a
+// client/server pair that lets replicas serving the same drifting
+// landscapes exchange solver-core states (internal/solve.State) instead of
+// each re-solving cold what a sibling already solved.
+//
+// The server half is Handler: GET /v1/warmstate?key=<LocalityKey> answers
+// the statewire encoding of the replica's newest cached state for that
+// locality bucket, or 404. The client half is Client: on a local warm-cache
+// miss a replica started with -peers asks each configured peer in turn,
+// under one bounded timeout, and seeds its solve from the first state that
+// decodes. Concurrent misses on one key collapse onto a single round of
+// peer fetches (singleflight), and a key no peer could answer is memoized
+// negatively for a short TTL so a burst of cold traffic cannot turn into a
+// peer-hammering storm.
+//
+// Federation is strictly best-effort, inheriting the warm tier's safety
+// story: a peer that is down, slow, lying or speaking a future wire version
+// costs at most one timeout and a cold solve — every state a peer returns
+// is only ever a verified warm seed. No replica ever blocks its own solve
+// on another replica beyond the configured timeout.
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dispersal/internal/solve"
+	"dispersal/internal/statewire"
+)
+
+// WarmStatePath is the exchange endpoint's URL path.
+const WarmStatePath = "/v1/warmstate"
+
+// Source is the donor side's view of a warm cache: a recency- and
+// counter-neutral read of one locality bucket's candidates, newest first
+// (warmcache.Cache.Peek).
+type Source interface {
+	Peek(key string) []*solve.State
+}
+
+// Handler serves GET WarmStatePath?key=<LocalityKey> from src: 200 with the
+// newest candidate's statewire bytes on a hit, 404 on a miss, 400 on a
+// missing key. Candidates beyond the newest stay local — within one
+// locality bucket they are near-duplicates, not worth the extra bytes.
+func Handler(src Source) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			http.Error(w, "missing key parameter", http.StatusBadRequest)
+			return
+		}
+		for _, st := range src.Peek(key) {
+			enc, err := statewire.Encode(st)
+			if err != nil {
+				continue
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(enc)
+			return
+		}
+		http.Error(w, "no warm state for key", http.StatusNotFound)
+	}
+}
+
+// Stats is a point-in-time snapshot of a Client's counters.
+type Stats struct {
+	// Hits counts fetches answered by some peer with a decodable state.
+	Hits int64 `json:"hits"`
+	// Misses counts fetch rounds where every peer answered 404 (or failed).
+	Misses int64 `json:"misses"`
+	// Errors counts individual peer requests that failed: transport errors,
+	// timeouts, unexpected statuses, undecodable payloads.
+	Errors int64 `json:"errors"`
+	// NegativeMemoHits counts fetches suppressed by the negative-result
+	// memo before any network traffic.
+	NegativeMemoHits int64 `json:"negative_memo_hits"`
+	// LatencyMSTotal accumulates the wall time of all fetch rounds that
+	// went to the network, in milliseconds; divide by Hits+Misses for the
+	// mean round latency.
+	LatencyMSTotal float64 `json:"latency_ms_total"`
+}
+
+// Config tunes a Client.
+type Config struct {
+	// Peers lists donor replicas as host:port or http(s)://host:port.
+	Peers []string
+	// Timeout bounds one whole fetch round across all peers; <= 0 selects
+	// DefaultTimeout. It should be well under the solve time it hopes to
+	// save.
+	Timeout time.Duration
+	// NegativeTTL is how long a no-peer-had-it key is memoized before peers
+	// are asked again; <= 0 selects DefaultNegativeTTL.
+	NegativeTTL time.Duration
+	// Transport overrides the HTTP transport (tests); nil uses
+	// http.DefaultTransport (shared process-wide, with its keep-alive
+	// connection pool).
+	Transport http.RoundTripper
+}
+
+// Defaults for Config.
+const (
+	DefaultTimeout     = 250 * time.Millisecond
+	DefaultNegativeTTL = 5 * time.Second
+)
+
+// Client fetches warm states from a fixed peer set. Construct with
+// NewClient; all methods are safe for concurrent use.
+type Client struct {
+	peers       []string // normalized base URLs
+	timeout     time.Duration
+	negativeTTL time.Duration
+	http        *http.Client
+
+	hits, misses, errors, negHits atomic.Int64
+	latencyNS                     atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[string]*call
+	negative map[string]time.Time // key -> memo expiry
+}
+
+// call is one in-flight fetch round other callers of the same key wait on.
+type call struct {
+	done chan struct{}
+	st   *solve.State
+}
+
+// NewClient builds a client for the given peers; it returns nil when no
+// peers are configured, and the nil Client is a safe no-op (Fetch misses,
+// Stats is zero), so callers thread it unconditionally.
+func NewClient(cfg Config) *Client {
+	peers := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		peers = append(peers, strings.TrimRight(p, "/"))
+	}
+	if len(peers) == 0 {
+		return nil
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	ttl := cfg.NegativeTTL
+	if ttl <= 0 {
+		ttl = DefaultNegativeTTL
+	}
+	return &Client{
+		peers:       peers,
+		timeout:     timeout,
+		negativeTTL: ttl,
+		http:        &http.Client{Transport: cfg.Transport},
+		inflight:    make(map[string]*call),
+		negative:    make(map[string]time.Time),
+	}
+}
+
+// Peers returns the normalized peer base URLs (nil on a nil client).
+func (c *Client) Peers() []string {
+	if c == nil {
+		return nil
+	}
+	return append([]string(nil), c.peers...)
+}
+
+// Stats snapshots the counters (zero on a nil client).
+func (c *Client) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Errors:           c.errors.Load(),
+		NegativeMemoHits: c.negHits.Load(),
+		LatencyMSTotal:   float64(c.latencyNS.Load()) / float64(time.Millisecond),
+	}
+}
+
+// Fetch returns the first peer-provided state for key, or nil when no peer
+// has one (including the nil client and the negative-memo fast path).
+// Concurrent fetches of one key share a single round; every round is
+// bounded by the configured timeout regardless of peer count.
+func (c *Client) Fetch(ctx context.Context, key string) *solve.State {
+	if c == nil || key == "" {
+		return nil
+	}
+	c.mu.Lock()
+	if expiry, ok := c.negative[key]; ok {
+		if time.Now().Before(expiry) {
+			c.mu.Unlock()
+			c.negHits.Add(1)
+			return nil
+		}
+		delete(c.negative, key)
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.st
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	start := time.Now()
+	cl.st = c.fetchRound(ctx, key)
+	elapsed := time.Since(start)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	// Memoize only rounds the *peers* could not answer (404s everywhere, a
+	// down or stalled sibling): those are worth suppressing for a TTL. A
+	// round aborted because the caller's own context ended says nothing
+	// about the peers and must not poison the key for later requests.
+	if cl.st == nil && ctx.Err() == nil {
+		c.negative[key] = time.Now().Add(c.negativeTTL)
+		// The memo map only grows on distinct missed keys; prune expired
+		// entries opportunistically so it cannot grow without bound.
+		if len(c.negative) > 4096 {
+			now := time.Now()
+			for k, exp := range c.negative {
+				if now.After(exp) {
+					delete(c.negative, k)
+				}
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(cl.done)
+
+	c.latencyNS.Add(int64(elapsed))
+	if cl.st != nil {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return cl.st
+}
+
+// fetchRound asks each peer in turn under one shared deadline.
+func (c *Client) fetchRound(ctx context.Context, key string) *solve.State {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	for _, p := range c.peers {
+		st, err := c.fetchOne(ctx, p, key)
+		if err != nil {
+			if !errors.Is(err, errNotFound) {
+				c.errors.Add(1)
+			}
+			if ctx.Err() != nil {
+				return nil // round deadline spent; stop asking
+			}
+			continue
+		}
+		return st
+	}
+	return nil
+}
+
+// errNotFound distinguishes a clean 404 (peer is healthy, just cold) from a
+// peer failure.
+var errNotFound = errors.New("peer: no state for key")
+
+// fetchOne performs one GET against one peer.
+func (c *Client) fetchOne(ctx context.Context, base, key string) (*solve.State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+WarmStatePath+"?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, errNotFound
+	default:
+		return nil, fmt.Errorf("peer %s: status %d", base, resp.StatusCode)
+	}
+	limit := int64(statewire.MaxEncodedSize())
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("peer %s: payload exceeds %d bytes", base, limit)
+	}
+	st, err := statewire.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", base, err)
+	}
+	return st, nil
+}

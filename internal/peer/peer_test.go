@@ -1,0 +1,284 @@
+package peer
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/statewire"
+	"dispersal/internal/strategy"
+	"dispersal/internal/warmcache"
+)
+
+func testState(nu float64) *solve.State {
+	return solve.New(site.Values{1, 0.5}, 2, policy.Sharing{}).
+		WithEq(strategy.Strategy{0.75, 0.25}, nu, false)
+}
+
+// donor boots an httptest server serving the given cache, returning it with
+// a request counter.
+func donor(t *testing.T, cache *warmcache.Cache) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var reqs atomic.Int64
+	h := Handler(cache)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		h(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &reqs
+}
+
+func TestHandlerServesNewestCandidate(t *testing.T) {
+	cache := warmcache.New(8)
+	cache.Store("warm:k", testState(0.1))
+	cache.Store("warm:k", testState(0.2))
+	srv, _ := donor(t, cache)
+
+	resp, err := http.Get(srv.URL + WarmStatePath + "?key=warm%3Ak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := make([]byte, statewire.MaxEncodedSize())
+	n, _ := resp.Body.Read(body)
+	st, err := statewire.Decode(body[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nu() != 0.2 {
+		t.Fatalf("served nu=%v, want the newest candidate 0.2", st.Nu())
+	}
+	// The donor's own telemetry must be untouched by peer traffic.
+	if s := cache.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("peer serving moved cache counters: %+v", s)
+	}
+}
+
+func TestHandlerMissAndBadRequest(t *testing.T) {
+	srv, _ := donor(t, warmcache.New(8))
+	resp, err := http.Get(srv.URL + WarmStatePath + "?key=absent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("miss status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + WarmStatePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("keyless status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestClientFetchHit(t *testing.T) {
+	cache := warmcache.New(8)
+	cache.Store("warm:k", testState(0.7))
+	srv, _ := donor(t, cache)
+	c := NewClient(Config{Peers: []string{srv.URL}})
+	st := c.Fetch(context.Background(), "warm:k")
+	if st == nil || st.Nu() != 0.7 {
+		t.Fatalf("fetch: %+v", st)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.LatencyMSTotal <= 0 {
+		t.Fatalf("latency not recorded: %+v", s)
+	}
+}
+
+func TestClientTriesPeersInOrderPastFailures(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	cache := warmcache.New(8)
+	cache.Store("warm:k", testState(0.4))
+	alive, _ := donor(t, cache)
+
+	// One unroutable peer, one erroring peer, then the donor.
+	c := NewClient(Config{
+		Peers:   []string{"127.0.0.1:1", dead.URL, alive.URL},
+		Timeout: 2 * time.Second,
+	})
+	st := c.Fetch(context.Background(), "warm:k")
+	if st == nil || st.Nu() != 0.4 {
+		t.Fatalf("fetch through failing peers: %+v", st)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Errors != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestClientNegativeMemoSuppressesRepeatMisses(t *testing.T) {
+	srv, reqs := donor(t, warmcache.New(8))
+	c := NewClient(Config{Peers: []string{srv.URL}, NegativeTTL: time.Hour})
+	for i := 0; i < 5; i++ {
+		if st := c.Fetch(context.Background(), "warm:cold"); st != nil {
+			t.Fatal("fetch invented a state")
+		}
+	}
+	if n := reqs.Load(); n != 1 {
+		t.Fatalf("peer saw %d requests, want 1 (negative memo)", n)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.NegativeMemoHits != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestCallerCancellationDoesNotPoisonTheKey: a round aborted by the
+// caller's own context says nothing about the peers, so the next fetch of
+// the same key must still go to the network — and succeed.
+func TestCallerCancellationDoesNotPoisonTheKey(t *testing.T) {
+	cache := warmcache.New(8)
+	cache.Store("warm:k", testState(0.8))
+	release := make(chan struct{})
+	h := Handler(cache)
+	var reqs atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reqs.Add(1) == 1 {
+			<-release // stall only the first round
+		}
+		h(w, r)
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c := NewClient(Config{Peers: []string{srv.URL}, Timeout: 10 * time.Second, NegativeTTL: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for reqs.Load() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		cancel() // abort the stalled round from the caller's side
+	}()
+	if st := c.Fetch(ctx, "warm:k"); st != nil {
+		t.Fatal("cancelled fetch produced a state")
+	}
+	// The key must not be negatively memoized: this fetch goes back to the
+	// (now responsive) peer and wins.
+	st := c.Fetch(context.Background(), "warm:k")
+	if st == nil || st.Nu() != 0.8 {
+		t.Fatalf("key was poisoned by the caller-side cancellation: %+v", st)
+	}
+	if s := c.Stats(); s.NegativeMemoHits != 0 {
+		t.Fatalf("negative memo engaged: %+v", s)
+	}
+}
+
+// TestClientSingleflight: concurrent fetches of one key produce one peer
+// round.
+func TestClientSingleflight(t *testing.T) {
+	cache := warmcache.New(8)
+	cache.Store("warm:k", testState(0.9))
+	var reqs atomic.Int64
+	release := make(chan struct{})
+	h := Handler(cache)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		<-release
+		h(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClient(Config{Peers: []string{srv.URL}, Timeout: 5 * time.Second})
+	const callers = 8
+	var wg sync.WaitGroup
+	states := make([]*solve.State, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			states[i] = c.Fetch(context.Background(), "warm:k")
+		}(i)
+	}
+	// Let every goroutine reach the fetch before releasing the donor.
+	deadline := time.Now().Add(5 * time.Second)
+	for reqs.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := reqs.Load(); n != 1 {
+		t.Fatalf("donor saw %d requests from %d concurrent fetches", n, callers)
+	}
+	for i, st := range states {
+		if st == nil || st.Nu() != 0.9 {
+			t.Fatalf("caller %d got %+v", i, st)
+		}
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestClientTimeoutBoundsTheRound(t *testing.T) {
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer stall.Close()
+	c := NewClient(Config{Peers: []string{stall.URL}, Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	if st := c.Fetch(context.Background(), "warm:k"); st != nil {
+		t.Fatal("stalled peer produced a state")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("fetch took %s despite 50ms timeout", elapsed)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Errors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestClientRejectsGarbagePayload(t *testing.T) {
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("not a statewire payload"))
+	}))
+	defer garbage.Close()
+	c := NewClient(Config{Peers: []string{garbage.URL}})
+	if st := c.Fetch(context.Background(), "warm:k"); st != nil {
+		t.Fatal("garbage payload decoded")
+	}
+	if s := c.Stats(); s.Errors != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNilClientIsSafe(t *testing.T) {
+	var c *Client
+	if c != NewClient(Config{}) {
+		t.Fatal("no-peer config should yield the nil client")
+	}
+	if st := c.Fetch(context.Background(), "warm:k"); st != nil {
+		t.Fatal("nil client produced a state")
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil client stats = %+v", s)
+	}
+	if c.Peers() != nil {
+		t.Fatal("nil client has peers")
+	}
+}

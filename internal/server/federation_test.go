@@ -1,0 +1,221 @@
+package server
+
+// Tests of the warm-state federation paths: snapshot persistence across a
+// restart (Config.StateDir), the /v1/warmstate donor endpoint, and
+// peer-seeded solving (Config.Peers) with its /statsz counters.
+
+import (
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dispersal/internal/site"
+	"dispersal/internal/statewire"
+)
+
+// federationSpec is a landscape big enough that warm seeding is observable
+// yet quick to solve in tests.
+func federationSpec() (values []float64, k int) {
+	return site.Geometric(8, 1, 0.85), 6
+}
+
+// TestRestartWithStateDirServesFirstRequestWarm: warm a server backed by a
+// state directory, close it (final snapshot), boot a fresh server on the
+// same directory, and ask about a near-identical landscape. The restarted
+// replica's very first repeat-locality solve must be warm-seeded from the
+// loaded snapshot.
+func TestRestartWithStateDirServesFirstRequestWarm(t *testing.T) {
+	dir := t.TempDir()
+	values, k := federationSpec()
+
+	first, ts1 := newTestServer(t, Config{Timeout: 30 * time.Second, StateDir: dir})
+	resp, payload := postJSON(t, ts1.URL+"/v1/analyze", specJSON(values, k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming analyze: %s\n%s", resp.Status, payload)
+	}
+	want := decodeAnalyze(t, payload)
+	ts1.Close()
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, ts2 := newTestServer(t, Config{Timeout: 30 * time.Second, StateDir: dir})
+	defer second.Close()
+	resp, payload = postJSON(t, ts2.URL+"/v1/analyze", specJSON(perturb(values, 1e-4), k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart analyze: %s\n%s", resp.Status, payload)
+	}
+	got := decodeAnalyze(t, payload)
+	if got.Cached {
+		t.Fatal("post-restart request answered from the exact cache; nothing was proven")
+	}
+
+	stats := getStats(t, ts2.URL)
+	if stats.WarmCache.Loaded < 1 {
+		t.Errorf("loaded = %d, want >= 1 snapshot-seeded state", stats.WarmCache.Loaded)
+	}
+	if stats.WarmCache.Seeded != 1 {
+		t.Errorf("seeded = %d, want exactly 1 (the first request, from the snapshot)", stats.WarmCache.Seeded)
+	}
+	if stats.WarmCache.Fallback != 0 {
+		t.Errorf("fallback = %d, want 0", stats.WarmCache.Fallback)
+	}
+	if d := math.Abs(want.Result.Nu - got.Result.Nu); d > 1e-2*(1+math.Abs(want.Result.Nu)) {
+		t.Errorf("nu moved implausibly far across the restart: %v vs %v", want.Result.Nu, got.Result.Nu)
+	}
+}
+
+// TestRestartToleratesCorruptSnapshot: a damaged snapshot file must leave
+// the replica booting cold, not failing.
+func TestRestartToleratesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	writeCorruptSnapshot(t, dir)
+	s, ts := newTestServer(t, Config{Timeout: 30 * time.Second, StateDir: dir})
+	defer s.Close()
+	values, k := federationSpec()
+	resp, payload := postJSON(t, ts.URL+"/v1/analyze", specJSON(values, k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze over corrupt snapshot: %s\n%s", resp.Status, payload)
+	}
+	if stats := getStats(t, ts.URL); stats.WarmCache.Loaded != 0 {
+		t.Errorf("loaded = %d from a corrupt snapshot", stats.WarmCache.Loaded)
+	}
+}
+
+// TestPeerSeedsColdReplica: replica A solves and thus holds warm state;
+// replica B, cold but configured with A as a peer, must answer its first
+// matching request with a peer-seeded warm solve and count it on /statsz.
+func TestPeerSeedsColdReplica(t *testing.T) {
+	values, k := federationSpec()
+
+	a, tsA := newTestServer(t, Config{Timeout: 30 * time.Second})
+	defer a.Close()
+	resp, payload := postJSON(t, tsA.URL+"/v1/analyze", specJSON(values, k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming replica A: %s\n%s", resp.Status, payload)
+	}
+	want := decodeAnalyze(t, payload)
+
+	b, tsB := newTestServer(t, Config{
+		Timeout:     30 * time.Second,
+		Peers:       []string{tsA.URL},
+		PeerTimeout: 5 * time.Second,
+	})
+	defer b.Close()
+	resp, payload = postJSON(t, tsB.URL+"/v1/analyze", specJSON(perturb(values, 1e-4), k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica B analyze: %s\n%s", resp.Status, payload)
+	}
+	got := decodeAnalyze(t, payload)
+
+	stats := getStats(t, tsB.URL)
+	if !stats.Peers.Enabled {
+		t.Error("peers.enabled = false on a federated replica")
+	}
+	if stats.Peers.Hits != 1 {
+		t.Errorf("peer hits = %d, want 1", stats.Peers.Hits)
+	}
+	if stats.Peers.Seeded != 1 {
+		t.Errorf("peer-seeded solves = %d, want 1", stats.Peers.Seeded)
+	}
+	if stats.WarmCache.Seeded != 1 {
+		t.Errorf("warm-seeded solves = %d, want 1", stats.WarmCache.Seeded)
+	}
+	if stats.Peers.LatencyMSTotal <= 0 {
+		t.Errorf("peer latency not recorded: %+v", stats.Peers)
+	}
+	if d := math.Abs(want.Result.Nu - got.Result.Nu); d > 1e-2*(1+math.Abs(want.Result.Nu)) {
+		t.Errorf("nu moved implausibly far across the federation: %v vs %v", want.Result.Nu, got.Result.Nu)
+	}
+
+	// The adopted state now lives in B's local cache: a further nearby
+	// request must seed locally, without new peer traffic.
+	resp, _ = postJSON(t, tsB.URL+"/v1/analyze", specJSON(perturb(values, 2e-4), k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second replica B analyze: %s", resp.Status)
+	}
+	stats = getStats(t, tsB.URL)
+	if stats.Peers.Hits != 1 {
+		t.Errorf("peer hits grew to %d on a locally-warm key", stats.Peers.Hits)
+	}
+	if stats.WarmCache.Seeded != 2 {
+		t.Errorf("warm-seeded solves = %d, want 2", stats.WarmCache.Seeded)
+	}
+}
+
+// TestDeadPeerIsHarmless: an unreachable peer costs a bounded fetch and a
+// cold solve, nothing more — and repeated misses on the same key are
+// suppressed by the negative memo.
+func TestDeadPeerIsHarmless(t *testing.T) {
+	values, k := federationSpec()
+	b, ts := newTestServer(t, Config{
+		Timeout:     30 * time.Second,
+		Peers:       []string{"127.0.0.1:1"},
+		PeerTimeout: 200 * time.Millisecond,
+	})
+	defer b.Close()
+
+	resp, payload := postJSON(t, ts.URL+"/v1/analyze", specJSON(values, k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze with dead peer: %s\n%s", resp.Status, payload)
+	}
+	stats := getStats(t, ts.URL)
+	if stats.Peers.Misses != 1 || stats.Peers.Errors < 1 {
+		t.Errorf("peer stats = %+v, want 1 miss and >= 1 error", stats.Peers)
+	}
+	if stats.WarmCache.Seeded != 0 || stats.Solves != 1 {
+		t.Errorf("dead peer changed solving: %+v", stats)
+	}
+}
+
+// TestWarmStateEndpointSpeaksStatewire: the donor endpoint's payload must
+// decode as a statewire state for the requested locality bucket.
+func TestWarmStateEndpointSpeaksStatewire(t *testing.T) {
+	values, k := federationSpec()
+	s, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+	defer s.Close()
+	postJSON(t, ts.URL+"/v1/analyze", specJSON(values, k, "sharing"))
+
+	entries := s.warm.Entries()
+	if len(entries) == 0 {
+		t.Fatal("no warm state after an analyze")
+	}
+	u := ts.URL + "/v1/warmstate?key=" + url.QueryEscape(entries[0].Key)
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmstate status %s", resp.Status)
+	}
+	body := make([]byte, statewire.MaxEncodedSize())
+	n := 0
+	for {
+		m, err := resp.Body.Read(body[n:])
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	st, err := statewire.Decode(body[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Players() != k || len(st.Landscape()) != len(values) {
+		t.Fatalf("served state shape (%d sites, %d players), want (%d, %d)",
+			len(st.Landscape()), st.Players(), len(values), k)
+	}
+}
+
+// writeCorruptSnapshot plants an unusable snapshot file in dir.
+func writeCorruptSnapshot(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "warmstate.snap"), []byte("GARBAGE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

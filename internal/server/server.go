@@ -14,8 +14,10 @@
 //	                     landscapes, warm-starting each frame from the
 //	                     previous one, and streams one NDJSON result line
 //	                     per frame.
+//	GET  /v1/warmstate   peer exchange: the statewire encoding of this
+//	                     replica's warm state for ?key=<LocalityKey>.
 //	GET  /healthz        liveness.
-//	GET  /statsz         cache, warm-cache and request counters.
+//	GET  /statsz         cache, warm-cache, federation and request counters.
 //
 // Identical game specs — across clients, across analyze, sweep and
 // trajectory frames, however the JSON was spelled — share one cache entry
@@ -30,6 +32,16 @@
 // runs under a deadline (Config.Timeout) propagated as a context through
 // every solver; an exceeded deadline answers 504 — or, mid-stream on a
 // trajectory, a terminal error line — and is never cached.
+//
+// The warm tier federates across process boundaries in two ways, both
+// best-effort. With Config.StateDir the warm cache is snapshotted to disk
+// (internal/statestore) and reloaded at construction, so a restarted
+// replica answers its first repeat-locality request warm. With Config.Peers
+// a local warm-cache miss asks sibling replicas' /v1/warmstate endpoints
+// (internal/peer; bounded timeout, singleflight, negative-result memo)
+// before solving cold, and adopts whatever a peer returns. Neither path can
+// change a result: federated states are warm seeds like any other,
+// verified against the actual landscape with a cold fallback.
 package server
 
 import (
@@ -43,8 +55,11 @@ import (
 	"time"
 
 	"dispersal"
+	"dispersal/internal/peer"
 	"dispersal/internal/rescache"
+	"dispersal/internal/solve"
 	"dispersal/internal/speccodec"
+	"dispersal/internal/statestore"
 	"dispersal/internal/warmcache"
 )
 
@@ -71,6 +86,20 @@ type Config struct {
 	// Timeout is the per-request deadline delivered to the solvers via
 	// context; 0 means no deadline.
 	Timeout time.Duration
+	// StateDir, when non-empty, makes the warm cache persistent: its
+	// contents are snapshotted there periodically (and on Close), and
+	// loaded back at construction so a restarted replica boots warm.
+	StateDir string
+	// SnapshotInterval is the warm-state snapshot cadence under StateDir;
+	// <= 0 selects statestore.DefaultInterval.
+	SnapshotInterval time.Duration
+	// Peers lists sibling replicas (host:port or http(s)://host:port)
+	// consulted for warm state on a local warm-cache miss, via their
+	// GET /v1/warmstate endpoints.
+	Peers []string
+	// PeerTimeout bounds one whole peer-fetch round; <= 0 selects
+	// peer.DefaultTimeout.
+	PeerTimeout time.Duration
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
 }
@@ -105,8 +134,15 @@ type Server struct {
 	// locality (speccodec.LocalityKey): an isolated analyze request or a
 	// fresh trajectory chain warm-starts from any sufficiently near past
 	// solve.
-	warm  *warmcache.Cache
-	start time.Time
+	warm *warmcache.Cache
+	// peers, when non-nil, extends the warm tier across replicas: a local
+	// warm-cache miss asks the configured siblings before solving cold.
+	peers *peer.Client
+	// snap, when non-nil, persists the warm cache under Config.StateDir.
+	snap *statestore.Snapshotter
+	// loadedStates counts the states seeded from a boot-time snapshot.
+	loadedStates int64
+	start        time.Time
 
 	// solves counts underlying solver runs — the quantity the cache
 	// exists to minimize. analyzeReqs/sweepReqs/sweepItems and
@@ -117,7 +153,9 @@ type Server struct {
 	// warmSeeded counts solves where a warm-cache seed produced a warm
 	// solve; warmFallback counts solves where a seed was found but the
 	// solver fell back cold (bracket miss or incompatible state).
-	warmSeeded, warmFallback atomic.Int64
+	// peerSeeded is the subset of warmSeeded whose seed came from a peer
+	// rather than the local cache — the count federation exists to grow.
+	warmSeeded, warmFallback, peerSeeded atomic.Int64
 }
 
 // New builds a Server with its cache and routes.
@@ -130,11 +168,25 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		cache: rescache.New[Analysis](cfg.CacheSize),
 		warm:  warmcache.New(cfg.WarmCacheSize),
+		peers: peer.NewClient(peer.Config{Peers: cfg.Peers, Timeout: cfg.PeerTimeout}),
 		start: time.Now(),
+	}
+	if cfg.StateDir != "" {
+		entries, err := statestore.Load(cfg.StateDir)
+		if err != nil {
+			cfg.Logf("warm-state snapshot unusable, booting cold: %v", err)
+		}
+		s.loadedStates = int64(statestore.Seed(s.warm, entries))
+		if s.loadedStates > 0 {
+			cfg.Logf("warm-state snapshot: seeded %d states from %s", s.loadedStates, statestore.Path(cfg.StateDir))
+		}
+		s.snap = statestore.NewSnapshotter(cfg.StateDir, cfg.SnapshotInterval, s.warm, cfg.Logf)
+		s.snap.Start()
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/trajectory", s.handleTrajectory)
+	s.mux.HandleFunc("GET "+peer.WarmStatePath, peer.Handler(s.warm))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s
@@ -142,6 +194,17 @@ func New(cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close releases the server's background resources: it stops the snapshot
+// loop and writes a final warm-state snapshot, so a clean shutdown persists
+// everything the last tick missed. Safe on a server built without a state
+// directory, and safe to call more than once.
+func (s *Server) Close() error {
+	if s.snap == nil {
+		return nil
+	}
+	return s.snap.Close()
+}
 
 // Solves reports how many solver runs the server has performed; repeated
 // identical requests must not grow it.
@@ -227,17 +290,18 @@ func (s *Server) solve(ctx context.Context, a *dispersal.Analysis) (Analysis, bo
 
 // seedAndSolve runs one analysis with warm-cache threading: a state stored
 // under the spec's locality key (any sufficiently near past solve) seeds
-// the game, the solve runs, and the resulting state is stored back for the
-// next nearby request. The seeded/fallback counters record whether a found
-// seed actually produced a warm solve. A locality-key failure only disables
-// the warm path — the solve itself proceeds cold.
+// the game — consulting the peer replicas when the local cache misses — the
+// solve runs, and the resulting state is stored back for the next nearby
+// request. The seeded/fallback counters record whether a found seed
+// actually produced a warm solve. A locality-key failure only disables the
+// warm path — the solve itself proceeds cold.
 func (s *Server) seedAndSolve(ctx context.Context, a *dispersal.Analysis, spec dispersal.Spec) (Analysis, error) {
 	lkey, lerr := speccodec.LocalityKey(spec)
-	seeded := false
+	seeded, fromPeer := false, false
 	if lerr == nil {
-		if st := s.warm.Lookup(lkey); st != nil {
-			a.Game().SeedState(st)
-			seeded = true
+		if st := s.seedLookup(ctx, lkey, spec.Values); st != nil {
+			a.Game().SeedState(st.state)
+			seeded, fromPeer = true, st.fromPeer
 		}
 	}
 	res, warm, err := s.solve(ctx, a)
@@ -247,6 +311,9 @@ func (s *Server) seedAndSolve(ctx context.Context, a *dispersal.Analysis, spec d
 	if seeded {
 		if warm {
 			s.warmSeeded.Add(1)
+			if fromPeer {
+				s.peerSeeded.Add(1)
+			}
 		} else {
 			s.warmFallback.Add(1)
 		}
@@ -255,6 +322,27 @@ func (s *Server) seedAndSolve(ctx context.Context, a *dispersal.Analysis, spec d
 		s.warm.Store(lkey, a.Game().StateSnapshot())
 	}
 	return res, nil
+}
+
+// seedResult is one warm seed plus where it came from.
+type seedResult struct {
+	state    *solve.State
+	fromPeer bool
+}
+
+// seedLookup finds a warm seed for the locality key: the local cache first,
+// then — on a miss, when federation is configured — the peer replicas. A
+// peer-provided state is adopted into the local cache, so one fetch warms
+// the whole bucket for later requests.
+func (s *Server) seedLookup(ctx context.Context, lkey string, f dispersal.Values) *seedResult {
+	if st := s.warm.Lookup(lkey, f); st != nil {
+		return &seedResult{state: st}
+	}
+	if st := s.peers.Fetch(ctx, lkey); st != nil {
+		s.warm.Store(lkey, st)
+		return &seedResult{state: st, fromPeer: true}
+	}
+	return nil
 }
 
 // cachedSolve answers one spec through the cache, collapsing concurrent
@@ -433,11 +521,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // warmCacheStats is the /statsz warm-cache section: the store's own
 // counters plus the server-level outcome counters (a "seeded" solve took
 // the warm path off a cached state; a "fallback" found a state but solved
-// cold anyway).
+// cold anyway; "loaded" states were seeded from a boot-time snapshot).
 type warmCacheStats struct {
 	warmcache.Stats
 	Seeded   int64 `json:"seeded"`
 	Fallback int64 `json:"fallback"`
+	Loaded   int64 `json:"loaded"`
+}
+
+// peerStats is the /statsz federation section: the exchange client's own
+// counters plus the server-level outcome counter ("seeded" solves took the
+// warm path off a peer-provided state).
+type peerStats struct {
+	Enabled bool `json:"enabled"`
+	peer.Stats
+	Seeded int64 `json:"seeded"`
 }
 
 // statsResponse is the /statsz body.
@@ -447,6 +545,7 @@ type statsResponse struct {
 	TimeoutMS float64        `json:"timeout_ms"`
 	Cache     rescache.Stats `json:"cache"`
 	WarmCache warmCacheStats `json:"warm_cache"`
+	Peers     peerStats      `json:"peers"`
 	Solves    int64          `json:"solves"`
 	Requests  struct {
 		Analyze          int64 `json:"analyze"`
@@ -468,6 +567,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		Stats:    s.warm.Stats(),
 		Seeded:   s.warmSeeded.Load(),
 		Fallback: s.warmFallback.Load(),
+		Loaded:   s.loadedStates,
+	}
+	resp.Peers = peerStats{
+		Enabled: s.peers != nil,
+		Stats:   s.peers.Stats(),
+		Seeded:  s.peerSeeded.Load(),
 	}
 	resp.Solves = s.solves.Load()
 	resp.Requests.Analyze = s.analyzeReqs.Load()

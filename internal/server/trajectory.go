@@ -169,10 +169,11 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 		seeded := false
 		if i == 0 && lkeyErr == nil {
 			// The first frame has no chain to inherit from; a warm-cache
-			// state near its landscape takes that role. Later frames seed
-			// from their predecessor, which is always at least as close.
-			if st := s.warm.Lookup(lkey); st != nil {
-				next.SeedState(st)
+			// state near its landscape — local, else a peer's — takes that
+			// role. Later frames seed from their predecessor, which is
+			// always at least as close.
+			if st := s.seedLookup(ctx, lkey, dispersal.Values(fr)); st != nil {
+				next.SeedState(st.state)
 				seeded = true
 			}
 		}

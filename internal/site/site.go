@@ -209,3 +209,27 @@ func (f Values) Equal(g Values, tol float64) bool {
 	}
 	return true
 }
+
+// LocalityGrid is the canonical resolution of logarithmic value
+// quantization: values are bucketed by round(ln(v) * LocalityGrid), i.e.
+// into buckets of roughly 1/LocalityGrid (~3%) relative width — the scale
+// at which a warm solver state recorded for one landscape still pays off as
+// a seed for another. The warm-cache key (speccodec.LocalityKey) and the
+// sweep's warm-chaining order both quantize on this grid, so "same bucket"
+// means the same thing everywhere in the system.
+const LocalityGrid = 32
+
+// LogBuckets quantizes every value onto the logarithmic grid:
+// out[i] = round(ln(vals[i]) * grid). It fails on non-positive values (the
+// logarithm of a valid site value is always defined; anything else is a
+// caller bug surfaced rather than bucketed arbitrarily).
+func LogBuckets(vals []float64, grid int) ([]int64, error) {
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		if v <= 0 {
+			return nil, fmt.Errorf("%w: f(%d) = %v", ErrNegative, i+1, v)
+		}
+		out[i] = int64(math.Round(math.Log(v) * float64(grid)))
+	}
+	return out, nil
+}

@@ -82,6 +82,16 @@ func New(f site.Values, k int, c policy.Congestion) *State {
 	return &State{f: f.Clone(), k: k, pol: c.Name()}
 }
 
+// NewNamed is New for callers that hold a policy's display name rather than
+// a live policy value — the state wire codec (internal/statewire), which
+// rehydrates states in another process where only the recorded name
+// travelled. The warm compatibility checks compare names, so a state built
+// from the name a live policy would have reported is indistinguishable from
+// one built with New.
+func NewNamed(f site.Values, k int, policyName string) *State {
+	return &State{f: f.Clone(), k: k, pol: policyName}
+}
+
 // clone returns a shallow copy ready for a With* extension. Strategy slices
 // are shared — parts are immutable once set, so sharing is safe.
 func (s *State) clone() *State {

@@ -27,6 +27,7 @@ import (
 
 	"dispersal"
 	"dispersal/internal/policy"
+	"dispersal/internal/site"
 )
 
 // Typed decode/encode failures. Every error returned by this package wraps
@@ -171,8 +172,9 @@ func FrameKey(s dispersal.Spec, frame []float64) (string, error) {
 // roughly 1/localityGrid (~3%) relative width. Two landscapes whose values
 // all fall in the same buckets share a locality key; a warm state recorded
 // under the key is then close enough for a drift-scaled warm bracket to pay
-// off.
-const localityGrid = 32
+// off. The grid is the system-wide one (site.LocalityGrid), shared with the
+// sweep's warm-chaining order.
+const localityGrid = site.LocalityGrid
 
 // wireLocality is the marshalled shape of a locality key: quantized value
 // buckets plus the exact game shape (k, policy). Seed and tag never
@@ -196,12 +198,9 @@ func LocalityKey(s dispersal.Spec) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	b := make([]int64, len(w.Values))
-	for i, v := range w.Values {
-		if v <= 0 {
-			return "", fmt.Errorf("%w: f(%d) = %v is not positive", ErrSpec, i+1, v)
-		}
-		b[i] = int64(math.Round(math.Log(v) * localityGrid))
+	b, err := site.LogBuckets(w.Values, localityGrid)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrSpec, err)
 	}
 	enc, err := json.Marshal(wireLocality{Buckets: b, K: w.K, Policy: w.Policy})
 	if err != nil {

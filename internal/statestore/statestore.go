@@ -1,0 +1,282 @@
+// Package statestore persists the dispersald warm cache across restarts:
+// periodic atomic snapshots of the locality-keyed solver states
+// (internal/warmcache) to a file under the server's -state-dir, and a
+// tolerant load at boot so a restarted replica answers its first
+// repeat-locality request warm instead of re-collecting its hot buckets
+// cold.
+//
+// Snapshots are advisory, like everything else in the warm tier: a missing,
+// stale, truncated or corrupted snapshot can only cost warm attempts, never
+// correctness, so Load salvages every intact record up to the first damaged
+// one and Save never leaves a half-written file behind (temp file in the
+// same directory, fsync, rename).
+//
+// Snapshot layout (version 1, little-endian, varint = binary.Uvarint):
+//
+//	magic   "DWSS1" (5 bytes; the version is part of the magic)
+//	records, each:
+//	  keyLen  varint (1..MaxKeyLen), then keyLen bytes: the locality key
+//	  nStates varint (1..warmcache.CandidatesPerBucket)
+//	  states, each: stLen varint, then stLen bytes of statewire encoding
+//
+// Records are ordered most-recently-used first, so a truncated tail loses
+// the coldest buckets.
+package statestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dispersal/internal/statewire"
+	"dispersal/internal/warmcache"
+)
+
+// Magic identifies a version-1 snapshot file.
+const Magic = "DWSS1"
+
+// SnapshotFile is the file name Save and Load use inside a state directory.
+const SnapshotFile = "warmstate.snap"
+
+// MaxKeyLen bounds one locality key on disk. Keys are JSON spec shapes —
+// quantized buckets for up to speccodec.MaxSites sites at ~21 bytes each
+// worst case — so the bound is the same order as a spec request body.
+const MaxKeyLen = 4 << 20
+
+// ErrCorrupt reports a snapshot whose header is unusable (wrong magic or
+// unknown version). Damage after a valid header is not an error: Load keeps
+// the intact prefix.
+var ErrCorrupt = errors.New("statestore: unusable snapshot")
+
+// Path returns the snapshot path inside dir.
+func Path(dir string) string { return filepath.Join(dir, SnapshotFile) }
+
+// Save atomically writes the entries (as produced by warmcache.Entries,
+// most-recently-used first) to Path(dir), creating dir if needed. Entries
+// whose states fail to encode are skipped — a state too degenerate to
+// encode is not worth persisting — so Save fails only on I/O.
+func Save(dir string, entries []warmcache.Entry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, Magic...)
+	for _, e := range entries {
+		if len(e.Key) == 0 || len(e.Key) > MaxKeyLen {
+			continue
+		}
+		encs := make([][]byte, 0, len(e.States))
+		for _, st := range e.States {
+			if enc, err := statewire.Encode(st); err == nil {
+				encs = append(encs, enc)
+			}
+		}
+		if len(encs) == 0 {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.Key)))
+		buf = append(buf, e.Key...)
+		buf = binary.AppendUvarint(buf, uint64(len(encs)))
+		for _, enc := range encs {
+			buf = binary.AppendUvarint(buf, uint64(len(enc)))
+			buf = append(buf, enc...)
+		}
+	}
+
+	tmp, err := os.CreateTemp(dir, SnapshotFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("statestore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("statestore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), Path(dir)); err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	return nil
+}
+
+// Load reads the snapshot under dir, tolerantly: a missing file yields no
+// entries and no error; a file with a wrong or future header yields
+// ErrCorrupt (the caller logs and boots cold); damage inside the record
+// stream ends the load with every record before it intact. Individual
+// states that fail statewire validation are dropped record-locally.
+func Load(dir string) ([]warmcache.Entry, error) {
+	data, err := os.ReadFile(Path(dir))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("statestore: %w", err)
+	}
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, Path(dir))
+	}
+	off := len(Magic)
+	var entries []warmcache.Entry
+
+	readUvarint := func(max uint64) (uint64, bool) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 || v > max {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+
+	for off < len(data) {
+		keyLen, ok := readUvarint(MaxKeyLen)
+		if !ok || keyLen == 0 || off+int(keyLen) > len(data) {
+			break
+		}
+		key := string(data[off : off+int(keyLen)])
+		off += int(keyLen)
+		nStates, ok := readUvarint(warmcache.CandidatesPerBucket)
+		if !ok || nStates == 0 {
+			break
+		}
+		e := warmcache.Entry{Key: key}
+		damaged := false
+		for i := uint64(0); i < nStates; i++ {
+			stLen, ok := readUvarint(uint64(statewire.MaxEncodedSize()))
+			if !ok || off+int(stLen) > len(data) {
+				damaged = true
+				break
+			}
+			if st, err := statewire.Decode(data[off : off+int(stLen)]); err == nil {
+				e.States = append(e.States, st)
+			}
+			off += int(stLen)
+		}
+		if len(e.States) > 0 {
+			entries = append(entries, e)
+		}
+		if damaged {
+			break
+		}
+	}
+	return entries, nil
+}
+
+// Seed replays entries into cache, oldest candidates first, so the cache's
+// recency order and per-bucket candidate order match the snapshot's. It
+// returns the number of states seeded.
+func Seed(cache *warmcache.Cache, entries []warmcache.Entry) int {
+	n := 0
+	// Entries are MRU-first; replay back to front so the hottest bucket
+	// ends up most recent.
+	for i := len(entries) - 1; i >= 0; i-- {
+		states := entries[i].States
+		for j := len(states) - 1; j >= 0; j-- {
+			cache.Store(entries[i].Key, states[j])
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshotter periodically persists a warm cache to a state directory.
+// Construct with NewSnapshotter, then Start; Close stops the loop and
+// writes one final snapshot.
+type Snapshotter struct {
+	dir      string
+	interval time.Duration
+	cache    *warmcache.Cache
+	logf     func(format string, args ...any)
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+	closed  bool
+}
+
+// DefaultInterval is the snapshot cadence when NewSnapshotter is given a
+// non-positive interval.
+const DefaultInterval = 30 * time.Second
+
+// NewSnapshotter builds a snapshotter for cache under dir. interval <= 0
+// selects DefaultInterval; a nil logf discards log lines.
+func NewSnapshotter(dir string, interval time.Duration, cache *warmcache.Cache, logf func(string, ...any)) *Snapshotter {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Snapshotter{
+		dir:      dir,
+		interval: interval,
+		cache:    cache,
+		logf:     logf,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the periodic snapshot loop. It may be called once.
+func (s *Snapshotter) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.snapshot()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// SaveNow writes one snapshot immediately.
+func (s *Snapshotter) SaveNow() error {
+	return Save(s.dir, s.cache.Entries())
+}
+
+// snapshot is SaveNow with failures logged rather than returned — inside
+// the loop there is no caller to hand them to.
+func (s *Snapshotter) snapshot() {
+	if err := s.SaveNow(); err != nil {
+		s.logf("warm-state snapshot: %v", err)
+	}
+}
+
+// Close stops the loop and writes a final snapshot, so a clean shutdown
+// persists everything the last tick missed. Safe to call more than once.
+func (s *Snapshotter) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		close(s.stop)
+		<-s.done
+	}
+	return s.SaveNow()
+}

@@ -1,0 +1,210 @@
+package statestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/strategy"
+	"dispersal/internal/warmcache"
+)
+
+func testState(nu float64) *solve.State {
+	return solve.New(site.Values{1, 0.5}, 2, policy.Sharing{}).
+		WithEq(strategy.Strategy{0.75, 0.25}, nu, false)
+}
+
+// fillCache builds a cache with two buckets, one holding two candidates.
+func fillCache(t *testing.T) *warmcache.Cache {
+	t.Helper()
+	c := warmcache.New(8)
+	c.Store("bucket-a", testState(0.1))
+	c.Store("bucket-a", testState(0.2))
+	c.Store("bucket-b", testState(0.3))
+	return c
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := fillCache(t)
+	if err := Save(dir, c.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(entries))
+	}
+	// MRU-first: bucket-b was stored last.
+	if entries[0].Key != "bucket-b" || entries[1].Key != "bucket-a" {
+		t.Fatalf("order = %q, %q", entries[0].Key, entries[1].Key)
+	}
+	if len(entries[1].States) != 2 || entries[1].States[0].Nu() != 0.2 || entries[1].States[1].Nu() != 0.1 {
+		t.Fatalf("bucket-a candidates wrong: %+v", entries[1].States)
+	}
+
+	// Seeding a fresh cache reproduces the original's picks.
+	fresh := warmcache.New(8)
+	if n := Seed(fresh, entries); n != 3 {
+		t.Fatalf("seeded %d states, want 3", n)
+	}
+	if st := fresh.Lookup("bucket-a", nil); st == nil || st.Nu() != 0.2 {
+		t.Fatalf("seeded cache newest candidate: %+v", st)
+	}
+	if got := fresh.Peek("bucket-a"); len(got) != 2 || got[1].Nu() != 0.1 {
+		t.Fatalf("seeded cache lost the second candidate: %+v", got)
+	}
+}
+
+func TestLoadMissingFileIsEmptyNotError(t *testing.T) {
+	entries, err := Load(t.TempDir())
+	if err != nil || entries != nil {
+		t.Fatalf("missing snapshot: entries=%v err=%v", entries, err)
+	}
+}
+
+func TestLoadRejectsForeignHeader(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(Path(dir), []byte("NOTASNAPSHOT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("foreign header loaded")
+	}
+	// A future version is equally unusable.
+	if err := os.WriteFile(Path(dir), []byte("DWSS2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("future version loaded")
+	}
+}
+
+// TestLoadKeepsIntactPrefixOfTruncatedFile: records before the damage
+// survive, the rest is dropped, and no truncation point panics or errors.
+func TestLoadKeepsIntactPrefixOfTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, fillCache(t).Entries()); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(Path(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPartial := false
+	for cut := len(Magic); cut < len(full); cut++ {
+		if err := os.WriteFile(Path(dir), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := Load(dir)
+		if err != nil {
+			t.Fatalf("truncation to %d bytes errored: %v", cut, err)
+		}
+		total := 0
+		for _, e := range entries {
+			total += len(e.States)
+		}
+		if total > 0 {
+			sawPartial = true
+		}
+		if total == 3 {
+			t.Fatalf("truncation to %d/%d bytes loaded all 3 states", cut, len(full))
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no truncation point salvaged the intact first record")
+	}
+}
+
+// TestLoadDropsCorruptStateKeepsRest: flipping bytes inside one state's
+// payload must not take down the other records.
+func TestLoadDropsCorruptStateKeepsRest(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, fillCache(t).Entries()); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(Path(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first record's state payload: its statewire magic starts
+	// right after the file magic, the key, and three varints. Finding it by
+	// scanning for the statewire magic is robust to layout details.
+	idx := -1
+	for i := len(Magic); i+4 <= len(full); i++ {
+		if string(full[i:i+4]) == "DWS1" {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no statewire payload found in snapshot")
+	}
+	full[idx] = 'X'
+	if err := os.WriteFile(Path(dir), full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, e := range entries {
+		total += len(e.States)
+	}
+	if total != 2 {
+		t.Fatalf("salvaged %d states, want 2 (one corrupted away)", total)
+	}
+}
+
+func TestSaveIsAtomicNoTempLeftBehind(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		if err := Save(dir, fillCache(t).Entries()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || filepath.Base(files[0]) != SnapshotFile {
+		t.Fatalf("state dir holds %v, want only %s", files, SnapshotFile)
+	}
+}
+
+func TestSnapshotterWritesPeriodicallyAndOnClose(t *testing.T) {
+	dir := t.TempDir()
+	c := warmcache.New(8)
+	s := NewSnapshotter(dir, 10*time.Millisecond, c, t.Logf)
+	s.Start()
+	c.Store("k", testState(0.5))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if entries, err := Load(dir); err == nil && len(entries) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The final snapshot on Close captures stores after the last tick.
+	c.Store("k2", testState(0.6))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Load(dir)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("final snapshot: entries=%d err=%v", len(entries), err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close failed:", err)
+	}
+}

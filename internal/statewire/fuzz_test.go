@@ -1,0 +1,55 @@
+package statewire
+
+import (
+	"bytes"
+	"testing"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/strategy"
+)
+
+// FuzzDecode asserts the decoder's two contracts on arbitrary bytes: it
+// never panics, and anything it accepts re-encodes canonically — encode
+// after decode reproduces the accepted bytes exactly, so there is one wire
+// spelling per state and a forwarded (decode-then-encode) payload is
+// byte-identical to the original.
+func FuzzDecode(f *testing.F) {
+	seed := []*solve.State{
+		solve.New(site.Values{1}, 1, policy.Exclusive{}),
+		solve.New(site.Values{1, 0.5, 0.25}, 3, policy.Sharing{}).
+			WithEq(strategy.Strategy{0.6, 0.3, 0.1}, 0.2, true).
+			WithOpt(strategy.Strategy{0.5, 0.3, 0.2}, 0.7, false).
+			WithSigma(2, 1.5, 0.3),
+		solve.New(site.Values{1, 1, 0.5}, 5, policy.TwoPoint{C2: 0.25}).
+			WithEq(strategy.Strategy{0.4, 0.4, 0.2}, 0.3, false),
+	}
+	for _, st := range seed {
+		enc, err := Encode(st)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(st)
+		if err != nil {
+			t.Fatalf("decoded state does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("round trip is not canonical:\n in  %x\n out %x", data, enc)
+		}
+		if _, err := Decode(enc); err != nil {
+			t.Fatalf("re-encoded state does not decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package statewire
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/strategy"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden state encoding")
+
+// goldenState is a fixed full-featured state. Its encoding is checked in:
+// any codec change that breaks decoding of previously persisted snapshots
+// or in-flight peer payloads fails this test instead of failing a replica.
+func goldenState() *solve.State {
+	return solve.New(site.Values{1, 0.75, 0.5, 0.25}, 5, policy.TwoPoint{C2: 0.25}).
+		WithEq(strategy.Strategy{0.4, 0.3, 0.2, 0.1}, 0.15625, true).
+		WithOpt(strategy.Strategy{0.35, 0.3, 0.25, 0.1}, 0.625, false).
+		WithSigma(3, 1.75, 0.2)
+}
+
+func TestGoldenEncodingIsStable(t *testing.T) {
+	path := filepath.Join("testdata", "state_v1.golden")
+	enc, err := Encode(goldenState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	// Today's encoder must reproduce the checked-in bytes...
+	if !bytes.Equal(enc, golden) {
+		t.Fatalf("encoding drifted from the golden bytes:\n got  %x\n want %x\n"+
+			"(a deliberate layout change must mint a new magic, keep decoding %q, and regenerate with -update)",
+			enc, golden, Magic)
+	}
+	// ...and today's decoder must accept bytes written by any past version.
+	dec, err := Decode(golden)
+	if err != nil {
+		t.Fatalf("golden snapshot no longer decodes: %v", err)
+	}
+	statesEqual(t, goldenState(), dec)
+}

@@ -1,0 +1,347 @@
+// Package statewire is the cross-process wire codec of the solver-core
+// state (internal/solve.State): a compact, versioned binary encoding of the
+// equilibrium, coverage-optimum and exclusive sigma* parts, the landscape
+// they were solved on, and the warm-telemetry flags.
+//
+// The in-memory solve.State deliberately never leaves one process; this
+// codec is what lets it — a dispersald replica answering a peer's
+// /v1/warmstate query, or a snapshot file (internal/statestore) seeding a
+// restarted replica, both move states through here. The contract mirrors
+// the state's own: a decoded state is only ever a warm *seed*, verified by
+// every consumer against its actual landscape, so a corrupted-but-decodable
+// payload can waste a warm attempt but never change a result. Decode is
+// nevertheless strict — wrong magic, unknown versions, truncated bodies,
+// non-finite floats, out-of-range masses, oversized dimensions and trailing
+// bytes are all rejected with ErrDecode — because rejecting garbage at the
+// boundary is cheaper than carrying it to a solver.
+//
+// Wire layout (version 1, little-endian, varint = binary.Uvarint):
+//
+//	magic     "DWS1" (4 bytes; the version is part of the magic)
+//	flags     1 byte: bit0 hasEq, bit1 eqWarm, bit2 hasOpt, bit3 optWarm,
+//	          bit4 hasSigma (remaining bits must be zero)
+//	m         varint, number of sites (1..MaxSites)
+//	k         varint, player count (1..MaxPlayers)
+//	polLen    varint, then polLen bytes: the policy display name
+//	f         m * float64 (IEEE 754 bits), the landscape
+//	[hasEq]   m * float64 equilibrium strategy, then float64 nu
+//	[hasOpt]  m * float64 optimum strategy, then float64 lambda
+//	[hasSigma] varint W (0..m), float64 alpha, float64 nu
+//
+// Nothing may follow the last part.
+package statewire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/strategy"
+)
+
+// Errors returned by this package. Every Decode failure wraps ErrDecode;
+// Encode fails only on a nil or dimensionless state (ErrEncode).
+var (
+	ErrDecode = errors.New("statewire: invalid state encoding")
+	ErrEncode = errors.New("statewire: state not encodable")
+)
+
+// Magic identifies a version-1 encoding. The version lives in the magic:
+// incompatible layout changes mint "DWS2" rather than reinterpreting bytes.
+const Magic = "DWS1"
+
+// Size bounds enforced by Decode, mirroring the spec codec's request-side
+// bounds (speccodec.MaxSites / MaxPlayers — asserted equal in the tests):
+// a state describes a game the server would have accepted.
+const (
+	// MaxSites bounds the site count m.
+	MaxSites = 65536
+	// MaxPlayers bounds the player count k.
+	MaxPlayers = 1 << 20
+	// MaxPolicyName bounds the policy display name; real names are tens of
+	// bytes ("twopoint(c2=0.25)"), the bound just stops a hostile length
+	// prefix from forcing a huge allocation.
+	MaxPolicyName = 256
+)
+
+// maxEncodedSize is a decode-side ceiling on plausible payload size:
+// landscape plus two strategies plus fixed parts. Used by consumers
+// (peer client, statestore) to bound reads; Decode itself works from the
+// slice it is given.
+const maxEncodedSize = 8 + MaxPolicyName + 3*8*MaxSites + 8*8
+
+// MaxEncodedSize returns the largest byte length a valid version-1
+// encoding can have; readers of untrusted streams should refuse anything
+// longer before buffering it.
+func MaxEncodedSize() int { return maxEncodedSize }
+
+// flag bits of the header byte.
+const (
+	flagHasEq   = 1 << 0
+	flagEqWarm  = 1 << 1
+	flagHasOpt  = 1 << 2
+	flagOptWarm = 1 << 3
+	flagHasSig  = 1 << 4
+	flagKnown   = flagHasEq | flagEqWarm | flagHasOpt | flagOptWarm | flagHasSig
+)
+
+// strategySumTol is the decode-side tolerance on a strategy's total mass.
+// It is looser than strategy.SumTolerance: accumulated float formatting is
+// not in play (bits travel exactly), but a state assembled by an older or
+// foreign encoder should not be rejected over the last few ulps.
+const strategySumTol = 1e-6
+
+// Encode renders st in the version-1 wire form. It fails only when st is
+// nil or has no landscape — every state a solver produces encodes.
+func Encode(st *solve.State) ([]byte, error) {
+	if st == nil || len(st.Landscape()) == 0 {
+		return nil, fmt.Errorf("%w: nil or empty state", ErrEncode)
+	}
+	f := st.Landscape()
+	m := len(f)
+	pol := st.PolicyName()
+	if len(pol) > MaxPolicyName {
+		return nil, fmt.Errorf("%w: policy name of %d bytes exceeds %d", ErrEncode, len(pol), MaxPolicyName)
+	}
+	if m > MaxSites {
+		return nil, fmt.Errorf("%w: %d sites exceed %d", ErrEncode, m, MaxSites)
+	}
+	if st.Players() > MaxPlayers {
+		return nil, fmt.Errorf("%w: %d players exceed %d", ErrEncode, st.Players(), MaxPlayers)
+	}
+
+	var flags byte
+	if st.HasEq() {
+		flags |= flagHasEq
+		if st.Warmed() {
+			flags |= flagEqWarm
+		}
+	}
+	if st.HasOpt() {
+		flags |= flagHasOpt
+		if st.OptWarmed() {
+			flags |= flagOptWarm
+		}
+	}
+	if st.HasSigma() {
+		flags |= flagHasSig
+	}
+
+	buf := make([]byte, 0, 64+8*m*3)
+	buf = append(buf, Magic...)
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(m))
+	buf = binary.AppendUvarint(buf, uint64(st.Players()))
+	buf = binary.AppendUvarint(buf, uint64(len(pol)))
+	buf = append(buf, pol...)
+	buf = appendFloats(buf, f)
+	if st.HasEq() {
+		buf = appendFloats(buf, st.EqRef())
+		buf = appendFloat(buf, st.Nu())
+	}
+	if st.HasOpt() {
+		buf = appendFloats(buf, st.OptRef())
+		buf = appendFloat(buf, st.Lambda())
+	}
+	if st.HasSigma() {
+		w, alpha, nu := st.Sigma()
+		buf = binary.AppendUvarint(buf, uint64(w))
+		buf = appendFloat(buf, alpha)
+		buf = appendFloat(buf, nu)
+	}
+	return buf, nil
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func appendFloats[S ~[]float64](buf []byte, vs S) []byte {
+	for _, v := range vs {
+		buf = appendFloat(buf, v)
+	}
+	return buf
+}
+
+// reader walks the payload with bounds checking; every failure is sticky.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrDecode}, args...)...)
+	}
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.data) {
+		r.fail("truncated at byte %d (want %d more)", r.off, n)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) uvarint(what string, max uint64) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad varint for %s at byte %d", what, r.off)
+		return 0
+	}
+	// Insist on the minimal varint spelling, so every state has exactly one
+	// encoding (the fuzz target proves decode∘encode is the identity).
+	if n != len(binary.AppendUvarint(nil, v)) {
+		r.fail("non-canonical varint for %s at byte %d", what, r.off)
+		return 0
+	}
+	r.off += n
+	if v > max {
+		r.fail("%s = %d exceeds %d", what, v, max)
+		return 0
+	}
+	return v
+}
+
+func (r *reader) float(what string) float64 {
+	b := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		r.fail("%s = %v is not finite", what, v)
+		return 0
+	}
+	return v
+}
+
+func (r *reader) floats(what string, n int) []float64 {
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.float(what)
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// decodeStrategy reads and validates one m-site strategy: finite (via
+// float), non-negative, total mass within strategySumTol of 1.
+func (r *reader) decodeStrategy(what string, m int) strategy.Strategy {
+	vs := r.floats(what, m)
+	if r.err != nil {
+		return nil
+	}
+	sum := 0.0
+	for i, v := range vs {
+		if v < 0 {
+			r.fail("%s(%d) = %v is negative", what, i+1, v)
+			return nil
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > strategySumTol {
+		r.fail("%s mass %v is not 1", what, sum)
+		return nil
+	}
+	return strategy.Strategy(vs)
+}
+
+// Decode parses one version-1 state encoding. Every structural or semantic
+// violation — wrong magic, unknown flag bits, truncation, trailing bytes,
+// non-finite floats, invalid landscape, off-simplex strategies, a sigma
+// boundary outside [0, m] — fails with an error wrapping ErrDecode; Decode
+// never panics on any input.
+func Decode(data []byte) (*solve.State, error) {
+	r := &reader{data: data}
+	if magic := r.bytes(len(Magic)); r.err != nil || string(magic) != Magic {
+		if r.err == nil {
+			r.fail("bad magic %q", magic)
+		}
+		return nil, r.err
+	}
+	flagb := r.bytes(1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	flags := flagb[0]
+	if flags&^flagKnown != 0 {
+		return nil, fmt.Errorf("%w: unknown flag bits %#02x", ErrDecode, flags&^flagKnown)
+	}
+	// A warm bit without its part is an encoder bug, not an optional.
+	if flags&flagEqWarm != 0 && flags&flagHasEq == 0 {
+		return nil, fmt.Errorf("%w: eq-warm flag without an equilibrium part", ErrDecode)
+	}
+	if flags&flagOptWarm != 0 && flags&flagHasOpt == 0 {
+		return nil, fmt.Errorf("%w: opt-warm flag without an optimum part", ErrDecode)
+	}
+
+	m := int(r.uvarint("site count", MaxSites))
+	if r.err == nil && m < 1 {
+		r.fail("site count %d < 1", m)
+	}
+	k := int(r.uvarint("player count", MaxPlayers))
+	if r.err == nil && k < 1 {
+		r.fail("player count %d < 1", k)
+	}
+	polLen := int(r.uvarint("policy name length", MaxPolicyName))
+	pol := string(r.bytes(polLen))
+	f := site.Values(r.floats("f", m))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+
+	st := solve.NewNamed(f, k, pol)
+	if flags&flagHasEq != 0 {
+		eq := r.decodeStrategy("eq", m)
+		nu := r.float("nu")
+		if r.err != nil {
+			return nil, r.err
+		}
+		st = st.WithEq(eq, nu, flags&flagEqWarm != 0)
+	}
+	if flags&flagHasOpt != 0 {
+		opt := r.decodeStrategy("opt", m)
+		lambda := r.float("lambda")
+		if r.err != nil {
+			return nil, r.err
+		}
+		st = st.WithOpt(opt, lambda, flags&flagOptWarm != 0)
+	}
+	if flags&flagHasSig != 0 {
+		w := int(r.uvarint("sigma boundary", uint64(m)))
+		alpha := r.float("alpha")
+		nu := r.float("sigma nu")
+		if r.err != nil {
+			return nil, r.err
+		}
+		st = st.WithSigma(w, alpha, nu)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(data)-r.off)
+	}
+	return st, nil
+}

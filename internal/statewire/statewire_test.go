@@ -1,0 +1,270 @@
+package statewire
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"dispersal/internal/ifd"
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/speccodec"
+	"dispersal/internal/spoa"
+	"dispersal/internal/strategy"
+)
+
+// allPolicies is the full policy family of the paper's experiments — the
+// same eight the spec codec speaks.
+func allPolicies() []policy.Congestion {
+	table, err := policy.NewTable([]float64{1, 0.5, 0.25}, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	return []policy.Congestion{
+		policy.Exclusive{},
+		policy.Sharing{},
+		policy.Constant{},
+		policy.TwoPoint{C2: 0.25},
+		policy.PowerLaw{Beta: 2},
+		policy.Cooperative{Gamma: 0.9},
+		policy.Aggressive{Penalty: 0.5},
+		table,
+	}
+}
+
+// statesEqual compares every observable field of two states, exactly: the
+// codec moves float bits unchanged, so a lossless round trip is exact.
+func statesEqual(t *testing.T, a, b *solve.State) {
+	t.Helper()
+	if got, want := b.Landscape(), a.Landscape(); !equalFloats(got, want) {
+		t.Fatalf("landscape: got %v, want %v", got, want)
+	}
+	if a.Players() != b.Players() {
+		t.Fatalf("players: got %d, want %d", b.Players(), a.Players())
+	}
+	if a.PolicyName() != b.PolicyName() {
+		t.Fatalf("policy: got %q, want %q", b.PolicyName(), a.PolicyName())
+	}
+	if a.HasEq() != b.HasEq() || a.Warmed() != b.Warmed() {
+		t.Fatalf("eq part: got (%v,%v), want (%v,%v)", b.HasEq(), b.Warmed(), a.HasEq(), a.Warmed())
+	}
+	if a.HasEq() {
+		if !equalFloats(a.EqRef(), b.EqRef()) || a.Nu() != b.Nu() {
+			t.Fatalf("eq: got (%v, %v), want (%v, %v)", b.EqRef(), b.Nu(), a.EqRef(), a.Nu())
+		}
+	}
+	if a.HasOpt() != b.HasOpt() || a.OptWarmed() != b.OptWarmed() {
+		t.Fatalf("opt part: got (%v,%v), want (%v,%v)", b.HasOpt(), b.OptWarmed(), a.HasOpt(), a.OptWarmed())
+	}
+	if a.HasOpt() {
+		if !equalFloats(a.OptRef(), b.OptRef()) || a.Lambda() != b.Lambda() {
+			t.Fatalf("opt: got (%v, %v), want (%v, %v)", b.OptRef(), b.Lambda(), a.OptRef(), a.Lambda())
+		}
+	}
+	if a.HasSigma() != b.HasSigma() {
+		t.Fatalf("sigma part: got %v, want %v", b.HasSigma(), a.HasSigma())
+	}
+	if a.HasSigma() {
+		aw, aa, an := a.Sigma()
+		bw, ba, bn := b.Sigma()
+		if aw != bw || aa != ba || an != bn {
+			t.Fatalf("sigma: got (%d,%v,%v), want (%d,%v,%v)", bw, ba, bn, aw, aa, an)
+		}
+	}
+}
+
+func equalFloats[S ~[]float64](a, b S) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTripAllPolicies solves a real game under each of the eight
+// policies, accumulates every state part a solver can produce (equilibrium
+// and optimum via the SPoA pipeline, sigma* via the exclusive closed form),
+// and asserts the wire round trip is lossless.
+func TestRoundTripAllPolicies(t *testing.T) {
+	f := site.Values(site.Geometric(12, 1, 0.85))
+	const k = 6
+	for _, c := range allPolicies() {
+		t.Run(c.Name(), func(t *testing.T) {
+			_, st, err := spoa.ComputeWarm(context.Background(), nil, f, k, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, res, _, err := ifd.ExclusiveWarm(nil, f, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st = solve.Merge(st, solve.New(f, k, c).WithSigma(res.W, res.Alpha, res.Nu))
+			enc, err := Encode(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			statesEqual(t, st, dec)
+			// A decoded state must still pass the warm compatibility gates
+			// its producers passed.
+			if st.HasEq() && !dec.CompatibleEq(f, k, c) {
+				t.Fatal("decoded state lost equilibrium compatibility")
+			}
+			if st.HasOpt() && !dec.CompatibleOpt(f, k) {
+				t.Fatal("decoded state lost optimum compatibility")
+			}
+		})
+	}
+}
+
+// TestRoundTripPartCombinations covers states carrying every subset of
+// parts, including warm flags.
+func TestRoundTripPartCombinations(t *testing.T) {
+	f := site.Values{1, 0.6, 0.3}
+	eq := strategy.Strategy{0.5, 0.3, 0.2}
+	opt := strategy.Strategy{0.45, 0.35, 0.2}
+	base := solve.New(f, 4, policy.Sharing{})
+	states := []*solve.State{
+		base,
+		base.WithEq(eq, 0.21, false),
+		base.WithEq(eq, 0.21, true),
+		base.WithOpt(opt, 0.8, true),
+		base.WithSigma(2, 1.9, 0.33),
+		base.WithEq(eq, 0.21, true).WithOpt(opt, 0.8, false).WithSigma(3, 2.2, 0.4),
+	}
+	for _, st := range states {
+		enc, err := Encode(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statesEqual(t, st, dec)
+	}
+}
+
+func validEncoding(t *testing.T) []byte {
+	t.Helper()
+	st := solve.New(site.Values{1, 0.5, 0.25}, 3, policy.Sharing{}).
+		WithEq(strategy.Strategy{0.6, 0.3, 0.1}, 0.2, true).
+		WithOpt(strategy.Strategy{0.5, 0.3, 0.2}, 0.7, false).
+		WithSigma(2, 1.5, 0.3)
+	enc, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestDecodeRejectsTruncation: every proper prefix of a valid encoding must
+// be rejected, never panic, never decode.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc := validEncoding(t)
+	for i := 0; i < len(enc); i++ {
+		if _, err := Decode(enc[:i]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded", i, len(enc))
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption exercises the targeted validation paths.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := validEncoding(t)
+	corrupt := func(mut func(b []byte) []byte) error {
+		b := append([]byte(nil), enc...)
+		_, err := Decode(mut(b))
+		return err
+	}
+	cases := map[string]func(b []byte) []byte{
+		"bad magic":      func(b []byte) []byte { b[0] = 'X'; return b },
+		"future version": func(b []byte) []byte { b[3] = '2'; return b },
+		"unknown flags":  func(b []byte) []byte { b[4] |= 0x80; return b },
+		"trailing bytes": func(b []byte) []byte { return append(b, 0) },
+		"empty":          func([]byte) []byte { return nil },
+	}
+	for name, mut := range cases {
+		if err := corrupt(mut); err == nil {
+			t.Fatalf("%s decoded", name)
+		}
+	}
+
+	// Semantic corruptions, rebuilt rather than byte-flipped so each hits
+	// exactly one rule.
+	badStrategy := solve.New(site.Values{1, 0.5}, 2, policy.Sharing{}).
+		WithEq(strategy.Strategy{0.9, 0.2}, 0.2, false) // mass 1.1
+	if enc, err := Encode(badStrategy); err == nil {
+		if _, err := Decode(enc); err == nil {
+			t.Fatal("off-simplex equilibrium decoded")
+		}
+	}
+	unsorted := solve.NewNamed(site.Values{0.5, 1}, 2, "sharing")
+	if enc, err := Encode(unsorted); err == nil {
+		if _, err := Decode(enc); err == nil {
+			t.Fatal("non-monotone landscape decoded")
+		}
+	}
+	nan := solve.NewNamed(site.Values{1, math.NaN()}, 2, "sharing")
+	if enc, err := Encode(nan); err == nil {
+		if _, err := Decode(enc); err == nil {
+			t.Fatal("NaN landscape decoded")
+		}
+	}
+	wBeyondM := solve.New(site.Values{1, 0.5}, 2, policy.Sharing{}).WithSigma(7, 1, 0.1)
+	if enc, err := Encode(wBeyondM); err == nil {
+		if _, err := Decode(enc); err == nil {
+			t.Fatal("sigma boundary beyond site count decoded")
+		}
+	}
+}
+
+func TestEncodeRejectsNil(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Fatal("nil state encoded")
+	}
+}
+
+// TestBoundsMatchSpecCodec pins the decode-side limits to the request-side
+// limits: a state the wire accepts always describes a game the server
+// would accept.
+func TestBoundsMatchSpecCodec(t *testing.T) {
+	if MaxSites != speccodec.MaxSites {
+		t.Fatalf("MaxSites = %d, speccodec.MaxSites = %d", MaxSites, speccodec.MaxSites)
+	}
+	if MaxPlayers != speccodec.MaxPlayers {
+		t.Fatalf("MaxPlayers = %d, speccodec.MaxPlayers = %d", MaxPlayers, speccodec.MaxPlayers)
+	}
+}
+
+// TestPolicyNameRoundTripsVerbatim: parameterized display names (the warm
+// compatibility identity) must survive the trip byte for byte.
+func TestPolicyNameRoundTripsVerbatim(t *testing.T) {
+	for _, c := range allPolicies() {
+		st := solve.New(site.Values{1, 0.5}, 2, c)
+		enc, err := Encode(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.PolicyName() != c.Name() {
+			t.Fatalf("policy name: got %q, want %q", dec.PolicyName(), c.Name())
+		}
+	}
+	long := strings.Repeat("p", MaxPolicyName+1)
+	if _, err := Encode(solve.NewNamed(site.Values{1}, 1, long)); err == nil {
+		t.Fatal("oversized policy name encoded")
+	}
+}

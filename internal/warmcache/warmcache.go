@@ -7,20 +7,35 @@
 // exactness for reach: a state solved for any landscape in the same
 // locality bucket seeds a warm solve of a new, slightly different
 // landscape, so isolated /v1/analyze requests and fresh trajectory chains
-// inherit the work of every sufficiently near past solve. Correctness never
-// depends on the cache — every warm path verifies its bracket against the
-// actual landscape and falls back cold — so eviction, staleness and racing
-// writers are all benign: the worst a bad entry costs is one wasted warm
-// attempt, which the server counts as a fallback.
+// inherit the work of every sufficiently near past solve. Each bucket keeps
+// the two most recent candidate states, and Lookup picks whichever
+// landscape is nearer the one about to be solved — on bursty drift the
+// newest state is not always the closest. Correctness never depends on the
+// cache — every warm path verifies its bracket against the actual landscape
+// and falls back cold — so eviction, staleness and racing writers are all
+// benign: the worst a bad entry costs is one wasted warm attempt, which the
+// server counts as a fallback.
+//
+// The cache is also the unit of federation: Entries snapshots its contents
+// for the statestore's persistence files, and Peek serves single buckets to
+// peer replicas (internal/peer) without disturbing recency or counters.
 package warmcache
 
 import (
 	"container/list"
+	"math"
 	"sync"
 	"sync/atomic"
 
+	"dispersal/internal/site"
 	"dispersal/internal/solve"
 )
+
+// CandidatesPerBucket is how many states one locality bucket retains,
+// newest first. Two is enough to cover the oscillating-drift case (the
+// previous upswing's state is nearer than the last downswing's) without
+// turning the seed-time distance scan into a search.
+const CandidatesPerBucket = 2
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
@@ -29,17 +44,21 @@ type Stats struct {
 	// Misses counts Lookup calls that found nothing.
 	Misses int64 `json:"misses"`
 	// Stores counts Store calls that recorded a state (inserts and
-	// same-key replacements alike).
+	// same-key pushes alike).
 	Stores int64 `json:"stores"`
 	// Evictions counts entries dropped by the LRU policy.
 	Evictions int64 `json:"evictions"`
-	// Entries is the current number of cached states.
+	// SecondWins counts Lookup calls answered by the bucket's second
+	// (older) candidate because its landscape was strictly nearer the
+	// query's than the newest one's.
+	SecondWins int64 `json:"second_wins"`
+	// Entries is the current number of cached buckets.
 	Entries int64 `json:"entries"`
 }
 
 // Cache is a mutex-guarded LRU of solver-core states. The zero value is not
 // usable; construct with New. All methods are safe for concurrent use;
-// concurrent Store calls under one key keep the latest write (states are
+// concurrent Store calls under one key keep the latest writes (states are
 // immutable, so any of them is a valid seed).
 type Cache struct {
 	mu sync.Mutex
@@ -52,21 +71,30 @@ type Cache struct {
 	// items indexes ll by key.
 	items map[string]*list.Element
 
-	hits, misses, stores, evictions atomic.Int64
+	hits, misses, stores, evictions, secondWins atomic.Int64
 }
 
+// entry is one locality bucket: up to CandidatesPerBucket states, newest
+// first.
 type entry struct {
 	key string
-	st  *solve.State
+	st  [CandidatesPerBucket]*solve.State
 }
 
-// DefaultCapacity is the entry bound selected when New is given a
+// Entry is one bucket of a cache snapshot: its locality key and its
+// candidate states, newest first.
+type Entry struct {
+	Key    string
+	States []*solve.State
+}
+
+// DefaultCapacity is the bucket bound selected when New is given a
 // non-positive capacity. Warm states are small (a few strategies per
 // landscape), so the default leans generous.
 const DefaultCapacity = 1024
 
-// New builds a cache holding at most capacity states; capacity <= 0 selects
-// DefaultCapacity.
+// New builds a cache holding at most capacity buckets; capacity <= 0
+// selects DefaultCapacity.
 func New(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
@@ -78,9 +106,20 @@ func New(capacity int) *Cache {
 	}
 }
 
-// Lookup returns the state stored under key, refreshing its recency, or nil
-// when the key is absent.
-func (c *Cache) Lookup(key string) *solve.State {
+// drift measures how far st's landscape is from f, for the candidate pick;
+// a state of a different shape (possible only through a hand-fed cache) is
+// infinitely far.
+func drift(st *solve.State, f site.Values) float64 {
+	if st == nil || len(st.Landscape()) != len(f) {
+		return math.Inf(1)
+	}
+	return st.Drift(f)
+}
+
+// Lookup returns the bucket candidate whose landscape is nearest f,
+// refreshing the bucket's recency, or nil when the key is absent. A nil or
+// empty f skips the distance pick and returns the newest candidate.
+func (c *Cache) Lookup(key string, f site.Values) *solve.State {
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {
@@ -89,15 +128,22 @@ func (c *Cache) Lookup(key string) *solve.State {
 		return nil
 	}
 	c.ll.MoveToFront(el)
-	st := el.Value.(*entry).st
+	e := el.Value.(*entry)
+	st, second := e.st[0], false
+	if len(f) > 0 && e.st[1] != nil && drift(e.st[1], f) < drift(e.st[0], f) {
+		st, second = e.st[1], true
+	}
 	c.mu.Unlock()
 	c.hits.Add(1)
+	if second {
+		c.secondWins.Add(1)
+	}
 	return st
 }
 
-// Store records st under key as the most-recent entry, replacing any
-// previous state under the same key and evicting the least-recently-used
-// entry beyond capacity. A nil st is ignored — there is nothing to seed
+// Store records st under key as the bucket's newest candidate, demoting the
+// previous newest to second place, and evicts the least-recently-used
+// bucket beyond capacity. A nil st is ignored — there is nothing to seed
 // from.
 func (c *Cache) Store(key string, st *solve.State) {
 	if st == nil {
@@ -105,13 +151,17 @@ func (c *Cache) Store(key string, st *solve.State) {
 	}
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).st = st
+		e := el.Value.(*entry)
+		if e.st[0] != st {
+			copy(e.st[1:], e.st[:])
+			e.st[0] = st
+		}
 		c.ll.MoveToFront(el)
 		c.mu.Unlock()
 		c.stores.Add(1)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&entry{key: key, st: st})
+	c.items[key] = c.ll.PushFront(&entry{key: key, st: [CandidatesPerBucket]*solve.State{st}})
 	for c.ll.Len() > c.capacity {
 		back := c.ll.Back()
 		c.ll.Remove(back)
@@ -122,7 +172,47 @@ func (c *Cache) Store(key string, st *solve.State) {
 	c.stores.Add(1)
 }
 
-// Len returns the current number of cached states.
+// Peek returns the bucket's candidates (newest first) without touching
+// recency or the hit/miss counters — the read path of the peer-exchange
+// handler, whose traffic must not distort the serving replica's own LRU or
+// telemetry. nil when the key is absent.
+func (c *Cache) Peek(key string) []*solve.State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	return el.Value.(*entry).candidates()
+}
+
+// candidates flattens an entry's non-nil states, newest first. Caller holds
+// the lock.
+func (e *entry) candidates() []*solve.State {
+	out := make([]*solve.State, 0, CandidatesPerBucket)
+	for _, st := range e.st {
+		if st != nil {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Entries snapshots every bucket, most-recently-used first — the
+// statestore's persistence source. The states themselves are immutable and
+// shared, not copied.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, Entry{Key: e.key, States: e.candidates()})
+	}
+	return out
+}
+
+// Len returns the current number of cached buckets.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -132,10 +222,11 @@ func (c *Cache) Len() int {
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Stores:    c.stores.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   int64(c.Len()),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Stores:     c.stores.Load(),
+		Evictions:  c.evictions.Load(),
+		SecondWins: c.secondWins.Load(),
+		Entries:    int64(c.Len()),
 	}
 }

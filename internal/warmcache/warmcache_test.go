@@ -16,32 +16,118 @@ func stateN(n int) *solve.State {
 	return solve.New(f, 2, policy.Sharing{}).WithEq(strategy.Strategy{0.75, 0.25}, float64(n), false)
 }
 
+// stateAt builds a state solved on the landscape {top, 0.5}, so tests can
+// place candidates at chosen distances from a query landscape.
+func stateAt(top float64) *solve.State {
+	f := site.Values{top, 0.5}
+	return solve.New(f, 2, policy.Sharing{}).WithEq(strategy.Strategy{0.75, 0.25}, top, false)
+}
+
 func TestLookupStoreAndReplace(t *testing.T) {
 	c := New(4)
-	if st := c.Lookup("a"); st != nil {
+	if st := c.Lookup("a", nil); st != nil {
 		t.Fatal("empty cache returned a state")
 	}
 	c.Store("a", stateN(1))
-	st := c.Lookup("a")
+	st := c.Lookup("a", nil)
 	if st == nil || st.Nu() != 1 {
 		t.Fatalf("lookup after store: %+v", st)
 	}
-	// Same-key store replaces.
+	// Same-key store demotes the previous state to second candidate; the
+	// newest is returned when no query landscape is given.
 	c.Store("a", stateN(2))
-	if st := c.Lookup("a"); st.Nu() != 2 {
-		t.Fatalf("replacement not visible: nu=%v", st.Nu())
+	if st := c.Lookup("a", nil); st.Nu() != 2 {
+		t.Fatalf("newest candidate not visible: nu=%v", st.Nu())
 	}
 	if c.Len() != 1 {
 		t.Fatalf("len = %d after same-key stores", c.Len())
 	}
 	// Nil stores are ignored.
 	c.Store("a", nil)
-	if st := c.Lookup("a"); st == nil || st.Nu() != 2 {
+	if st := c.Lookup("a", nil); st == nil || st.Nu() != 2 {
 		t.Fatal("nil store clobbered the entry")
 	}
 	s := c.Stats()
 	if s.Hits != 3 || s.Misses != 1 || s.Stores != 2 || s.Entries != 1 {
 		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestSecondCandidateWinsWhenNearer: with two candidates in a bucket, the
+// one whose landscape is nearer the query must seed, even when it is the
+// older of the two — and the pick is counted.
+func TestSecondCandidateWinsWhenNearer(t *testing.T) {
+	c := New(4)
+	near, far := stateAt(1.0), stateAt(1.3)
+	c.Store("b", near) // older
+	c.Store("b", far)  // newest
+	query := site.Values{1.01, 0.5}
+	st := c.Lookup("b", query)
+	if st != near {
+		t.Fatalf("lookup picked the farther candidate (nu=%v)", st.Nu())
+	}
+	if s := c.Stats(); s.SecondWins != 1 {
+		t.Fatalf("second_wins = %d, want 1", s.SecondWins)
+	}
+	// A query nearer the newest candidate picks it, without counting.
+	if st := c.Lookup("b", site.Values{1.29, 0.5}); st != far {
+		t.Fatalf("lookup picked the farther candidate (nu=%v)", st.Nu())
+	}
+	if s := c.Stats(); s.SecondWins != 1 {
+		t.Fatalf("second_wins = %d after newest-wins lookup", s.SecondWins)
+	}
+}
+
+// TestBucketKeepsTwoCandidates: a third store drops the oldest state, not
+// the newest two.
+func TestBucketKeepsTwoCandidates(t *testing.T) {
+	c := New(4)
+	for i := 1; i <= 3; i++ {
+		c.Store("k", stateN(i))
+	}
+	got := c.Peek("k")
+	if len(got) != 2 || got[0].Nu() != 3 || got[1].Nu() != 2 {
+		nus := make([]float64, len(got))
+		for i, st := range got {
+			nus[i] = st.Nu()
+		}
+		t.Fatalf("candidates = %v, want [3 2]", nus)
+	}
+}
+
+// TestPeekDoesNotTouchCountersOrRecency: the peer-serving read must leave
+// hits/misses and the LRU order unchanged.
+func TestPeekDoesNotTouchCountersOrRecency(t *testing.T) {
+	c := New(2)
+	c.Store("old", stateN(1))
+	c.Store("new", stateN(2))
+	if c.Peek("old") == nil {
+		t.Fatal("peek missed a present key")
+	}
+	if c.Peek("absent") != nil {
+		t.Fatal("peek invented a state")
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("peek moved counters: %+v", s)
+	}
+	// "old" was peeked, not looked up, so it is still the LRU victim.
+	c.Store("third", stateN(3))
+	if c.Peek("old") != nil {
+		t.Fatal("peek refreshed recency: old survived eviction")
+	}
+}
+
+func TestEntriesSnapshotsMRUFirst(t *testing.T) {
+	c := New(4)
+	c.Store("a", stateN(1))
+	c.Store("b", stateN(2))
+	c.Store("b", stateN(3))
+	entries := c.Entries()
+	if len(entries) != 2 || entries[0].Key != "b" || entries[1].Key != "a" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if len(entries[0].States) != 2 || entries[0].States[0].Nu() != 3 {
+		t.Fatalf("bucket b candidates wrong: %+v", entries[0].States)
 	}
 }
 
@@ -51,18 +137,18 @@ func TestEvictionIsLRU(t *testing.T) {
 		c.Store(fmt.Sprintf("k%d", i), stateN(i))
 	}
 	// Touch k0 so k1 becomes the least recently used.
-	if c.Lookup("k0") == nil {
+	if c.Lookup("k0", nil) == nil {
 		t.Fatal("k0 missing before eviction")
 	}
 	c.Store("k3", stateN(3))
 	if c.Len() != 3 {
 		t.Fatalf("len = %d, want 3", c.Len())
 	}
-	if c.Lookup("k1") != nil {
+	if c.Lookup("k1", nil) != nil {
 		t.Fatal("LRU entry k1 survived eviction")
 	}
 	for _, k := range []string{"k0", "k2", "k3"} {
-		if c.Lookup(k) == nil {
+		if c.Lookup(k, nil) == nil {
 			t.Fatalf("recent entry %s was evicted", k)
 		}
 	}
@@ -85,7 +171,7 @@ func TestConcurrentSameKeySeeding(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				c.Store("shared", stateN(id))
-				st := c.Lookup("shared")
+				st := c.Lookup("shared", site.Values{1, 0.5})
 				if st == nil {
 					t.Error("shared key vanished mid-run")
 					return
@@ -103,8 +189,9 @@ func TestConcurrentSameKeySeeding(t *testing.T) {
 	}
 }
 
-// TestConcurrentDistinctKeys mixes stores and lookups across more keys than
-// capacity under -race: evictions and inserts must stay consistent.
+// TestConcurrentDistinctKeys mixes stores, lookups, peeks and snapshots
+// across more keys than capacity under -race: evictions and inserts must
+// stay consistent.
 func TestConcurrentDistinctKeys(t *testing.T) {
 	c := New(4)
 	var wg sync.WaitGroup
@@ -115,7 +202,11 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 			for r := 0; r < 100; r++ {
 				key := fmt.Sprintf("k%d", (id+r)%10)
 				c.Store(key, stateN(id))
-				c.Lookup(key)
+				c.Lookup(key, nil)
+				c.Peek(key)
+				if r%25 == 0 {
+					c.Entries()
+				}
 			}
 		}(g)
 	}

@@ -27,6 +27,11 @@ type gameOptions struct {
 	// mutants is the size of the random mutant panel generated when
 	// ESSAudit is called without an explicit panel.
 	mutants int
+	// warmChain controls whether Sweep links locality-adjacent items into
+	// warm-seeding chains: 0 chains exactly when the sweep is sequential
+	// (the default preserves bit-reproducibility of parallel sweeps), 1
+	// forces chaining on, -1 forces it off.
+	warmChain int
 }
 
 // defaultGameOptions are the values used when no option overrides them. The
@@ -93,6 +98,26 @@ func WithRestarts(n int) Option {
 			return fmt.Errorf("%w: restarts must be >= 0, got %d", ErrOption, n)
 		}
 		o.restarts = n
+		return nil
+	}
+}
+
+// WithWarmChaining overrides when Sweep links locality-adjacent items into
+// warm-seeding chains (each item's solver state seeding the next nearest
+// landscape's solve). By default chaining engages only on sequential sweeps
+// (WithWorkers(1)), where the chain order is also the execution order and
+// results stay bit-reproducible. WithWarmChaining(true) extends chaining to
+// parallel sweeps — each item still verifies its seed and answers within
+// solver tolerance of a cold solve, but which items manage to seed which
+// depends on scheduling, so exact bits may vary run to run.
+// WithWarmChaining(false) disables chaining everywhere.
+func WithWarmChaining(enabled bool) Option {
+	return func(o *gameOptions) error {
+		if enabled {
+			o.warmChain = 1
+		} else {
+			o.warmChain = -1
+		}
 		return nil
 	}
 }

@@ -2,7 +2,10 @@ package dispersal
 
 import (
 	"context"
+	"fmt"
+	"sort"
 
+	"dispersal/internal/site"
 	"dispersal/internal/sweep"
 )
 
@@ -49,6 +52,20 @@ type SweepResult[T any] struct {
 // items never share mutable state. WithWorkers bounds the pool (default
 // GOMAXPROCS); WithSeed sets the base seed for per-item seed derivation.
 //
+// Items are dispatched in landscape-locality order rather than input order:
+// within each (site count, player count, policy) group a greedy
+// nearest-neighbour chain over the log-quantized value buckets
+// (site.LogBuckets, the warm-cache grid) puts each item next to the
+// landscape it most resembles. On a sequential sweep — WithWorkers(1), or
+// any sweep with WithWarmChaining(true) — consecutive chain items are
+// additionally linked the way evolved games are, so every solve warm-seeds
+// the next item's and a parameter grid solves like one trajectory instead
+// of n isolated games. Warm-seeded items answer within solver tolerance of
+// a cold solve (every seed is verified, with a cold fallback); parallel
+// sweeps without WithWarmChaining(true) skip the linking so their results
+// stay bit-identical run to run. Results are always returned in input
+// order.
+//
 // Item failures do not abort the batch: they are recorded per result. Only
 // a cancelled or expired ctx stops the sweep early, in which case Sweep
 // returns ctx.Err() alongside the results completed so far (abandoned items
@@ -61,23 +78,183 @@ func Sweep[T any](ctx context.Context, specs []Spec, eval func(ctx context.Conte
 			return nil, err
 		}
 	}
-	values, errs, err := sweep.Collect(ctx, specs, o.workers,
-		func(ctx context.Context, i int, s Spec) (T, error) {
-			seed := s.Seed
-			if seed == 0 {
-				seed = deriveSeed(o.seed, uint64(i))
-			}
+
+	// Build every item's game up front (construction errors are per-item
+	// results, not batch failures), so the chain order can link games
+	// before any of them solves.
+	games := make([]*Game, len(specs))
+	buildErrs := make([]error, len(specs))
+	for i, s := range specs {
+		seed := s.Seed
+		if seed == 0 {
+			seed = deriveSeed(o.seed, uint64(i))
+		}
+		g, err := FromSpec(Spec{Values: s.Values, K: s.K, Policy: s.Policy},
+			append(append([]Option{}, opts...), WithSeed(seed))...)
+		if err != nil {
+			buildErrs[i] = err
+			continue
+		}
+		games[i] = g
+	}
+
+	order := chainOrder(specs, games)
+	if o.warmChain == 1 || (o.warmChain == 0 && o.workers == 1) {
+		linkChains(specs, games, order)
+	}
+
+	values, errs, err := sweep.Collect(ctx, order, o.workers,
+		func(ctx context.Context, _ int, idx int) (T, error) {
 			var zero T
-			g, gerr := FromSpec(Spec{Values: s.Values, K: s.K, Policy: s.Policy},
-				append(append([]Option{}, opts...), WithSeed(seed))...)
-			if gerr != nil {
-				return zero, gerr
+			if buildErrs[idx] != nil {
+				return zero, buildErrs[idx]
 			}
-			return eval(ctx, g.Analyze())
+			return eval(ctx, games[idx].Analyze())
 		})
+
 	out := make([]SweepResult[T], len(specs))
-	for i := range specs {
-		out[i] = SweepResult[T]{Index: i, Tag: specs[i].Tag, Value: values[i], Err: errs[i]}
+	for pos, idx := range order {
+		out[idx] = SweepResult[T]{Index: idx, Tag: specs[idx].Tag, Value: values[pos], Err: errs[pos]}
 	}
 	return out, err
+}
+
+// chainGroupCap bounds the group size the O(n^2) greedy nearest-neighbour
+// chain is applied to; larger groups fall back to a lexicographic sort of
+// their bucket vectors (O(n log n)), which still clusters near landscapes.
+const chainGroupCap = 512
+
+// chainOrder returns the dispatch permutation: items grouped by game shape
+// (site count, player count, policy identity), each group ordered so that
+// consecutive items have nearby landscapes. Items whose game failed to
+// build (or whose values defeat bucketing) keep their relative positions at
+// the end of the order.
+func chainOrder(specs []Spec, games []*Game) []int {
+	groups := make(map[string][]chainMember)
+	keys := make([]string, 0, 8)
+	var rest []int
+	for i := range specs {
+		if games[i] == nil {
+			rest = append(rest, i)
+			continue
+		}
+		b, err := site.LogBuckets(specs[i].Values, site.LocalityGrid)
+		if err != nil {
+			rest = append(rest, i)
+			continue
+		}
+		key := groupKey(specs[i])
+		if _, seen := groups[key]; !seen {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], chainMember{idx: i, buckets: b})
+	}
+
+	order := make([]int, 0, len(specs))
+	for _, key := range keys { // first-appearance order keeps runs stable
+		ms := groups[key]
+		switch {
+		case len(ms) <= 2:
+			// Nothing to order.
+		case len(ms) > chainGroupCap:
+			sort.SliceStable(ms, func(a, b int) bool {
+				return bucketLess(ms[a].buckets, ms[b].buckets)
+			})
+		default:
+			ms = greedyChain(ms)
+		}
+		for _, m := range ms {
+			order = append(order, m.idx)
+		}
+	}
+	return append(order, rest...)
+}
+
+// groupKey identifies the items that can seed each other: same site count,
+// player count and (identically parameterized) policy — exactly the
+// solver-state compatibility gate (solve.State.CompatibleEq).
+func groupKey(s Spec) string {
+	name := ""
+	if s.Policy != nil {
+		name = s.Policy.Name()
+	}
+	return fmt.Sprintf("%d/%d/%s", len(s.Values), s.K, name)
+}
+
+// bucketLess orders bucket vectors lexicographically.
+func bucketLess(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// bucketDist is the L1 distance between two same-length bucket vectors —
+// the total relative landscape drift in grid units, the quantity the warm
+// brackets scale with.
+func bucketDist(a, b []int64) int64 {
+	var d int64
+	for i := range a {
+		if a[i] > b[i] {
+			d += a[i] - b[i]
+		} else {
+			d += b[i] - a[i]
+		}
+	}
+	return d
+}
+
+// chainMember is one chainable sweep item: its input index and its
+// log-quantized landscape.
+type chainMember struct {
+	idx     int
+	buckets []int64
+}
+
+// greedyChain orders one group as a greedy nearest-neighbour walk: start at
+// the first item, repeatedly hop to the unvisited item with the smallest
+// bucket distance (ties to the lower input index, for determinism). The
+// classic nearest-neighbour pathologies do not matter here — a single long
+// hop costs one cold-ish solve, not correctness.
+func greedyChain(ms []chainMember) []chainMember {
+	out := make([]chainMember, 0, len(ms))
+	used := make([]bool, len(ms))
+	cur := 0
+	used[0] = true
+	out = append(out, ms[0])
+	for len(out) < len(ms) {
+		best, bestDist := -1, int64(0)
+		for j := range ms {
+			if used[j] {
+				continue
+			}
+			d := bucketDist(ms[cur].buckets, ms[j].buckets)
+			if best == -1 || d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		used[best] = true
+		out = append(out, ms[best])
+		cur = best
+	}
+	return out
+}
+
+// linkChains links consecutive same-group items of the dispatch order the
+// way Evolve links trajectory frames: each game's parent is its chain
+// predecessor, so its first solve seeds from the nearest already-solved
+// landscape up the chain.
+func linkChains(specs []Spec, games []*Game, order []int) {
+	for pos := 1; pos < len(order); pos++ {
+		prev, cur := order[pos-1], order[pos]
+		if games[prev] == nil || games[cur] == nil {
+			continue
+		}
+		if groupKey(specs[prev]) != groupKey(specs[cur]) {
+			continue
+		}
+		games[cur].parent.Store(games[prev])
+	}
 }

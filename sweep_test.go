@@ -164,3 +164,182 @@ func TestSweepInvalidOption(t *testing.T) {
 		t.Fatalf("err = %v, want ErrOption", err)
 	}
 }
+
+// driftGridSpecs builds a same-shape grid of drifting landscapes — the
+// workload the locality chain exists for — deliberately shuffled so input
+// order is NOT locality order.
+func driftGridSpecs(n int) []Spec {
+	base := site.Geometric(16, 1, 0.85)
+	specs := make([]Spec, n)
+	for i := range specs {
+		// A deterministic shuffle of the drift sequence.
+		t := (i * 7) % n
+		specs[i] = Spec{
+			Values: Values(site.Drifted(base, t, 0.04)),
+			K:      12,
+			Policy: Sharing(),
+		}
+	}
+	return specs
+}
+
+// TestSweepChainOrderVisitsNeighbours: the dispatch order must (a) be a
+// permutation, (b) keep different game shapes in separate runs, and (c)
+// within the drift grid, hop shorter distances than the shuffled input
+// order does.
+func TestSweepChainOrderVisitsNeighbours(t *testing.T) {
+	specs := driftGridSpecs(24)
+	// Mix in a second group with a different player count.
+	for i := 0; i < 6; i++ {
+		s := specs[i]
+		s.K = 3
+		specs = append(specs, s)
+	}
+	games := make([]*Game, len(specs))
+	for i, s := range specs {
+		games[i] = MustGame(s.Values, s.K, s.Policy)
+	}
+	order := chainOrder(specs, games)
+	seen := make([]bool, len(specs))
+	for _, idx := range order {
+		if idx < 0 || idx >= len(specs) || seen[idx] {
+			t.Fatalf("order is not a permutation: %v", order)
+		}
+		seen[idx] = true
+	}
+
+	hops := func(idxs []int) (total int64, switches int) {
+		var prev []int64
+		prevKey := ""
+		for _, idx := range idxs {
+			b, err := site.LogBuckets(specs[idx].Values, site.LocalityGrid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := groupKey(specs[idx])
+			if prev != nil && key == prevKey {
+				total += bucketDist(prev, b)
+			} else if prevKey != "" {
+				switches++
+			}
+			prev, prevKey = b, key
+		}
+		return total, switches
+	}
+	input := make([]int, len(specs))
+	for i := range input {
+		input[i] = i
+	}
+	inputDist, _ := hops(input)
+	chainDist, switches := hops(order)
+	if chainDist >= inputDist {
+		t.Fatalf("chain order hops %d buckets, input order %d — no improvement", chainDist, inputDist)
+	}
+	if switches != 1 {
+		t.Fatalf("groups interleaved %d times in the order, want contiguous groups", switches)
+	}
+}
+
+// TestSweepSequentialChainWarmSeedsAndMatchesCold: on a sequential sweep
+// the chain engages by default; most items must solve warm, and every
+// result must agree with the unchained sweep to solver tolerance.
+func TestSweepSequentialChainWarmSeedsAndMatchesCold(t *testing.T) {
+	specs := driftGridSpecs(16)
+	type item struct {
+		nu   float64
+		warm bool
+	}
+	eval := func(_ context.Context, a *Analysis) (item, error) {
+		_, nu, err := a.IFD()
+		if err != nil {
+			return item{}, err
+		}
+		return item{nu: nu, warm: a.Game().Warmed()}, nil
+	}
+	chained, err := Sweep(context.Background(), specs, eval, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Sweep(context.Background(), specs, eval, WithWorkers(1), WithWarmChaining(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmed := 0
+	for i := range specs {
+		if chained[i].Err != nil || cold[i].Err != nil {
+			t.Fatalf("item %d failed: %v / %v", i, chained[i].Err, cold[i].Err)
+		}
+		if chained[i].Value.warm {
+			warmed++
+		}
+		if cold[i].Value.warm {
+			t.Fatalf("item %d solved warm with chaining disabled", i)
+		}
+		d := chained[i].Value.nu - cold[i].Value.nu
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-9*(1+cold[i].Value.nu) {
+			t.Fatalf("item %d diverged: chained nu %v vs cold nu %v", i, chained[i].Value.nu, cold[i].Value.nu)
+		}
+	}
+	if warmed < len(specs)/2 {
+		t.Fatalf("only %d/%d items warm-seeded along the chain", warmed, len(specs))
+	}
+}
+
+// TestSweepParallelDefaultStaysColdAndExact: without WithWarmChaining(true)
+// a parallel sweep must not link games — its results stay bit-identical to
+// the unchained ones.
+func TestSweepParallelDefaultStaysColdAndExact(t *testing.T) {
+	specs := driftGridSpecs(10)
+	eval := func(_ context.Context, a *Analysis) (bool, error) {
+		if _, _, err := a.IFD(); err != nil {
+			return false, err
+		}
+		return a.Game().Warmed(), nil
+	}
+	res, err := Sweep(context.Background(), specs, eval, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Value {
+			t.Fatalf("item %d warm-seeded on a default parallel sweep", i)
+		}
+	}
+}
+
+// TestSweepForcedChainingOnParallelSweeps: WithWarmChaining(true) links
+// games even with workers > 1; results stay within solver tolerance of the
+// cold sweep (which items actually seed is scheduling-dependent).
+func TestSweepForcedChainingOnParallelSweeps(t *testing.T) {
+	specs := driftGridSpecs(16)
+	eval := func(_ context.Context, a *Analysis) (float64, error) {
+		_, nu, err := a.IFD()
+		return nu, err
+	}
+	forced, err := Sweep(context.Background(), specs, eval, WithWorkers(4), WithWarmChaining(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Sweep(context.Background(), specs, eval, WithWorkers(4), WithWarmChaining(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if forced[i].Err != nil || cold[i].Err != nil {
+			t.Fatalf("item %d failed: %v / %v", i, forced[i].Err, cold[i].Err)
+		}
+		d := forced[i].Value - cold[i].Value
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-9*(1+cold[i].Value) {
+			t.Fatalf("item %d diverged: %v vs %v", i, forced[i].Value, cold[i].Value)
+		}
+	}
+}
