@@ -1,0 +1,34 @@
+# Developer entry points. CI runs these same targets, so a green `make lint
+# test` locally is a green pipeline — no CI-only tool versions to chase.
+
+# External analyzers are version-pinned here and run via `go run pkg@version`,
+# so local runs and CI agree bit-for-bit on what they check. Bump the pins in
+# this file only.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+.PHONY: build test lint lint-extra fmt
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# lint is the offline gate: formatting, go vet, and the repository's own
+# dispersalvet suite (see docs/static-analysis.md). It needs nothing beyond
+# the Go toolchain and must stay runnable without network access.
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	go vet ./...
+	go run ./cmd/dispersalvet ./...
+
+# lint-extra adds the pinned external analyzers. `go run pkg@version`
+# downloads on first use, so this target needs network access (CI always
+# runs it; locally it is best-effort).
+lint-extra:
+	go run $(STATICCHECK) ./...
+	go run $(GOVULNCHECK) ./...
+
+fmt:
+	gofmt -w .

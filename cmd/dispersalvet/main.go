@@ -1,0 +1,84 @@
+// Command dispersalvet is the repository's domain-specific vet: a
+// multichecker over the internal/analyzers suite, proving the warm-serving
+// invariants (codec field coverage, canonical-key determinism, cancellable
+// solver loops, tolerance-gated float comparisons, supervised goroutines,
+// seeded randomness) across every package at once.
+//
+// Usage:
+//
+//	go run ./cmd/dispersalvet ./...
+//	go run ./cmd/dispersalvet -run 'floateq|ctxloop' ./internal/solve
+//	go run ./cmd/dispersalvet -list
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Patterns are
+// "./..." or "./"-relative package directories; analyzers whose invariant
+// spans specific packages (statecoverage, canonicalrange) see the whole
+// loaded program, so running on "./..." is the configuration CI enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"dispersal/internal/analyzers"
+	"dispersal/internal/analyzers/framework"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("dispersalvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzer catalogue and exit")
+	runPat := fs.String("run", "", "only run analyzers whose name matches this regexp")
+	dir := fs.String("C", ".", "module root to analyze")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			fmt.Fprintf(stderr, "dispersalvet: bad -run pattern: %v\n", err)
+			return 2
+		}
+		var kept []*framework.Analyzer
+		for _, a := range suite {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		suite = kept
+	}
+
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	prog, err := framework.LoadModule(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "dispersalvet: %v\n", err)
+		return 2
+	}
+	diags, err := framework.Run(prog, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "dispersalvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "dispersalvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

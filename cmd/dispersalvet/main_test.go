@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"dispersal/internal/analyzers"
+	"dispersal/internal/analyzers/framework"
+)
+
+// TestRepoIsClean runs the full suite over the whole module — the same
+// configuration CI enforces — and requires zero findings. If an invariant
+// regresses anywhere in the repo, this test names the exact position.
+func TestRepoIsClean(t *testing.T) {
+	prog, err := framework.LoadModule("../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags, err := framework.Run(prog, analyzers.All())
+	if err != nil {
+		t.Fatalf("run suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

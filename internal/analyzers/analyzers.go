@@ -1,0 +1,31 @@
+// Package analyzers registers the dispersalvet suite: the six
+// domain-specific invariant checkers that turn the warm-serving guarantees
+// the tests can only sample into whole-repository build gates.
+//
+// Each analyzer lives in its own subpackage with analysistest-style
+// testdata; this package pins the production configuration (which module
+// packages each invariant spans). cmd/dispersalvet runs All as a
+// multichecker; see docs/static-analysis.md for the invariant catalogue.
+package analyzers
+
+import (
+	"dispersal/internal/analyzers/canonicalrange"
+	"dispersal/internal/analyzers/ctxloop"
+	"dispersal/internal/analyzers/floateq"
+	"dispersal/internal/analyzers/framework"
+	"dispersal/internal/analyzers/nakedgoroutine"
+	"dispersal/internal/analyzers/seededrand"
+	"dispersal/internal/analyzers/statecoverage"
+)
+
+// All returns the production-configured analyzer suite, in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		statecoverage.Default(),
+		canonicalrange.Default(),
+		ctxloop.Default(),
+		floateq.Default(),
+		nakedgoroutine.Default(),
+		seededrand.Default(),
+	}
+}

@@ -1,0 +1,44 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"dispersal/internal/analyzers"
+)
+
+// TestAllRegistersSuite pins the multichecker roster: exactly these six
+// analyzers, in this order, each with documentation and a run function. A
+// new analyzer must be added here deliberately; a dropped one fails loudly.
+func TestAllRegistersSuite(t *testing.T) {
+	want := []string{
+		"statecoverage",
+		"canonicalrange",
+		"ctxloop",
+		"floateq",
+		"nakedgoroutine",
+		"seededrand",
+	}
+	all := analyzers.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() registered %d analyzers, want %d", len(all), len(want))
+	}
+	seen := make(map[string]bool)
+	for i, a := range all {
+		if a == nil {
+			t.Fatalf("All()[%d] is nil", i)
+		}
+		if a.Name != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run function", a.Name)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package canonicalrange defines the dispersalvet analyzer that keeps the
+// canonical encoders deterministic.
+//
+// Invariant: no map iteration in the canonical-codec packages
+// (internal/speccodec, internal/statewire), nor in any module function
+// reachable from the key builders speccodec.CacheKey / LocalityKey /
+// FrameKey. Go randomizes map iteration order per range statement, so a
+// single `for k := range m` on a key-building path makes two replicas
+// compute different bytes for the same game — and every layer above
+// (rescache identity, warmcache locality buckets, peer /v1/warmstate
+// exchange, statestore snapshots) silently stops matching across the
+// fleet. The tests fuzz the codecs but can only sample; this analyzer makes
+// determinism a property of the call graph.
+//
+// Reachability is computed over module-local declarations (standard-library
+// calls such as encoding/json, which sorts map keys itself, are trusted);
+// dynamic calls through interfaces or function values are not followed —
+// keep key-building paths concrete.
+package canonicalrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dispersal/internal/analyzers/framework"
+)
+
+// New returns the analyzer: packages matching scope are blanket-banned from
+// ranging over maps, and the call graph from rootPkg's rootFuncs is swept
+// wherever it leads in the module.
+func New(scope []string, rootPkg string, rootFuncs []string) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "canonicalrange",
+		Doc: "flag `range` over a map in the canonical-codec packages or in " +
+			"any function reachable from the cache/locality/frame key builders: " +
+			"map iteration order is randomized, so one such loop breaks " +
+			"byte-identical keys across replicas",
+	}
+	a.Run = func(pass *framework.Pass) error {
+		root := pass.Prog.Lookup(rootPkg)
+		if root == nil {
+			// Partial load without the key builders: fall back to the
+			// blanket rule, each scope package checking itself.
+			if framework.PathMatches(pass.Pkg.Path, scope) {
+				scanPkg(pass, pass.Pkg, make(map[token.Pos]bool))
+			}
+			return nil
+		}
+		// Full program: run everything once, from the root package's pass.
+		if pass.Pkg != root {
+			return nil
+		}
+		seen := make(map[token.Pos]bool)
+		for _, pkg := range pass.Prog.Packages() {
+			if framework.PathMatches(pkg.Path, scope) {
+				scanPkg(pass, pkg, seen)
+			}
+		}
+		sweepFromRoots(pass, root, rootFuncs, seen)
+		return nil
+	}
+	return a
+}
+
+// scanPkg applies the blanket rule to one package.
+func scanPkg(pass *framework.Pass, pkg *framework.Package, seen map[token.Pos]bool) {
+	framework.InspectFiles(pkg, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !rangesOverMap(pkg.Info, rs) || seen[rs.Pos()] {
+			return true
+		}
+		seen[rs.Pos()] = true
+		pass.Reportf(rs.Pos(),
+			"range over a map in canonical-codec package %s: iteration order is non-deterministic; iterate a sorted key slice instead", pkg.Path)
+		return true
+	})
+}
+
+// sweepFromRoots walks the module-local call graph from each root function
+// and flags map ranges anywhere it reaches.
+func sweepFromRoots(pass *framework.Pass, root *framework.Package, rootFuncs []string, seen map[token.Pos]bool) {
+	visited := make(map[*types.Func]bool)
+	var visit func(fn *types.Func, rootName string)
+	visit = func(fn *types.Func, rootName string) {
+		if fn == nil || visited[fn] {
+			return
+		}
+		visited[fn] = true
+		pkg, decl := pass.Prog.DeclOf(fn)
+		if decl == nil || decl.Body == nil {
+			return // standard library or synthesized: trusted / unreachable
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if rangesOverMap(pkg.Info, x) && !seen[x.Pos()] {
+					seen[x.Pos()] = true
+					pass.Reportf(x.Pos(),
+						"range over a map in %s, reachable from %s: iteration order is non-deterministic and poisons canonical keys", fn.Name(), rootName)
+				}
+			case *ast.CallExpr:
+				visit(framework.CalleeOf(pkg.Info, x), rootName)
+			}
+			return true
+		})
+	}
+	for _, name := range rootFuncs {
+		obj, _ := root.Types.Scope().Lookup(name).(*types.Func)
+		if obj == nil {
+			pass.Reportf(token.NoPos, "root function %s.%s not found", root.Path, name)
+			continue
+		}
+		visit(obj, root.Types.Name()+"."+name)
+	}
+}
+
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// Default is the registry instance: the two canonical codec packages under
+// the blanket rule, plus everything reachable from the three key builders.
+func Default() *framework.Analyzer {
+	return New(
+		[]string{"internal/speccodec", "internal/statewire"},
+		"internal/speccodec",
+		[]string{"CacheKey", "LocalityKey", "FrameKey"},
+	)
+}

@@ -1,0 +1,14 @@
+package canonicalrange_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dispersal/internal/analyzers/canonicalrange"
+	"dispersal/internal/analyzers/framework"
+)
+
+func TestCanonicalRange(t *testing.T) {
+	a := canonicalrange.New([]string{"codec"}, "keys", []string{"CacheKey", "FrameKey"})
+	framework.RunTest(t, filepath.Join("testdata", "src"), a, "codec", "keys", "helperx")
+}

@@ -1,0 +1,39 @@
+// Package codec is a scope package under the blanket rule: any map range
+// here is a violation, whether or not a key builder reaches it. The fix
+// inside a codec package is to take deterministic structures (slices) as
+// input, not to sort after iterating.
+package codec
+
+// Pair is an ordered entry.
+type Pair struct {
+	Key string
+	Val int
+}
+
+// BadJoin ranges a map directly.
+func BadJoin(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over a map in canonical-codec package codec`
+		total += v
+	}
+	return total
+}
+
+// BadCollect ranges a map even just to collect keys: still order-dependent
+// until the sort, and the blanket rule stays simple by flagging all of it.
+func BadCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over a map in canonical-codec package codec`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodJoin takes an already-ordered slice of pairs: deterministic, clean.
+func GoodJoin(pairs []Pair) int {
+	total := 0
+	for _, p := range pairs {
+		total += p.Val
+	}
+	return total
+}

@@ -1,0 +1,19 @@
+// Package keys is the root package: its key builders are swept through the
+// call graph, including into packages outside the blanket scope.
+package keys
+
+import "helperx"
+
+// CacheKey is a root function. It is clean itself but calls into helperx.
+func CacheKey(m map[string]int) string {
+	return "cache|" + helperx.Fingerprint(m)
+}
+
+// FrameKey is a root that stays on clean paths only.
+func FrameKey(parts []string) string {
+	out := "frame"
+	for _, p := range parts {
+		out += "|" + p
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package ctxloop defines the dispersalvet analyzer that keeps solver hot
+// loops cancellable.
+//
+// Invariant: in the solver packages, a loop whose iteration count is not
+// structurally bounded honours context cancellation. Two rules enforce it:
+//
+//  1. Unbounded numeric loops. A `for cond { ... }` or bare `for { ... }`
+//     (no init, no post) is flagged when the condition involves
+//     floating-point values — or there is no condition at all — and neither
+//     the condition nor the body consults a context.Context. Float-driven
+//     conditions ("for hi-lo > tol") are exactly the loops that spin
+//     forever when a tolerance underflows the local float spacing or a NaN
+//     sneaks in; they must either check ctx or be rewritten as a counted
+//     loop with an explicit iteration budget (the solve.BisectExcess
+//     idiom: `for iter := 0; iter < 200; iter++`). Condition-only loops
+//     over pure integer state ("for w+1 <= m && ...") step a counter
+//     toward a bound and are exempt.
+//
+//  2. Ignored contexts. A function that accepts a context.Context and
+//     contains at least one loop must use its context somewhere — checking
+//     ctx.Err(), selecting on ctx.Done(), or passing ctx to a callee that
+//     does. Accepting ctx and looping without ever consulting it is how a
+//     "cancellable" API regresses into an uncancellable one while keeping
+//     its signature.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dispersal/internal/analyzers/framework"
+)
+
+// New returns the analyzer covering packages matching scope.
+func New(scope []string) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "ctxloop",
+		Doc: "flag potentially unbounded solver loops that ignore context " +
+			"cancellation: float-conditioned or infinite `for` loops must check " +
+			"ctx.Err()/ctx.Done() or carry an explicit iteration cap, and a " +
+			"function that takes a ctx and loops must consult it",
+	}
+	a.Run = func(pass *framework.Pass) error {
+		if !framework.PathMatches(pass.Pkg.Path, scope) {
+			return nil
+		}
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFunc(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Rule 1: unbounded numeric loops must reference a context.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		if loop.Cond != nil && !mentionsFloat(info, loop.Cond) {
+			return true // integer-stepped condition loop: structurally convergent
+		}
+		if referencesContext(info, loop.Cond) || referencesContext(info, loop.Body) {
+			return true
+		}
+		what := "infinite `for` loop"
+		if loop.Cond != nil {
+			what = "float-conditioned `for` loop"
+		}
+		pass.Reportf(loop.Pos(),
+			"%s has no cancellation path: check ctx.Err()/select on ctx.Done() inside, or rewrite as a counted loop with an iteration cap", what)
+		return true
+	})
+
+	// Rule 2: a ctx-accepting function that loops must consult its ctx.
+	ctxParams := contextParams(info, fd)
+	if len(ctxParams) == 0 {
+		return
+	}
+	hasLoop := false
+	usesCtx := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil && ctxParams[obj] {
+				usesCtx = true
+			}
+		}
+		return true
+	})
+	if hasLoop && !usesCtx {
+		pass.Reportf(fd.Pos(),
+			"%s accepts a context.Context and loops but never consults it; thread ctx into the loop or drop the parameter", fd.Name.Name)
+	}
+}
+
+// contextParams collects the function's parameters of type context.Context.
+func contextParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// referencesContext reports whether any identifier of type context.Context
+// appears under n — a ctx.Err() check, a select on ctx.Done(), or ctx
+// passed onward all qualify.
+func referencesContext(info *types.Info, n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := info.Uses[id]; obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsFloat reports whether any subexpression of e has floating-point
+// type.
+func mentionsFloat(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		if tv, ok := info.Types[expr]; ok && tv.Type != nil {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// Default is the registry instance covering the solver hot-path packages.
+func Default() *framework.Analyzer {
+	return New([]string{
+		"internal/solve",
+		"internal/ifd",
+		"internal/spoa",
+		"internal/optimize",
+		"internal/pureeq",
+		"internal/dynamics",
+	})
+}

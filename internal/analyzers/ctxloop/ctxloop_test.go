@@ -1,0 +1,13 @@
+package ctxloop_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dispersal/internal/analyzers/ctxloop"
+	"dispersal/internal/analyzers/framework"
+)
+
+func TestCtxLoop(t *testing.T) {
+	framework.RunTest(t, filepath.Join("testdata", "src"), ctxloop.New([]string{"hot"}), "hot")
+}

@@ -1,0 +1,112 @@
+// Package hot seeds violations and non-violations for the ctxloop
+// analyzer.
+package hot
+
+import "context"
+
+// BisectNoCancel spins on a float condition with no cancellation path.
+func BisectNoCancel(f func(float64) float64, lo, hi, tol float64) float64 {
+	for hi-lo > tol { // want `float-conditioned .for. loop has no cancellation path`
+		mid := lo + (hi-lo)/2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SpinForever has no condition and no cancellation path at all.
+func SpinForever(step func()) {
+	for { // want `infinite .for. loop has no cancellation path`
+		step()
+	}
+}
+
+// BisectCtx checks its context inside the loop: fine.
+func BisectCtx(ctx context.Context, f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	for hi-lo > tol {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		mid := lo + (hi-lo)/2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// PumpCtx selects on ctx.Done: fine.
+func PumpCtx(ctx context.Context, in <-chan float64) float64 {
+	total := 0.0
+	for {
+		select {
+		case v := <-in:
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+// Counted carries an explicit iteration budget: fine, even on a float
+// condition.
+func Counted(f func(float64) float64, lo, hi, tol float64) float64 {
+	for iter := 0; iter < 200 && hi-lo > tol; iter++ {
+		mid := lo + (hi-lo)/2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// BoundaryWalk steps an integer counter in the post clause: structurally a
+// bounded walk, fine.
+func BoundaryWalk(w, m int, s func(int) float64) int {
+	for ; w+1 <= m && s(w+1) <= 1; w++ {
+	}
+	return w
+}
+
+// IntHalving is a condition-only loop over pure integer state: fine.
+func IntHalving(n int) int {
+	steps := 0
+	for n > 1 {
+		n /= 2
+		steps++
+	}
+	return steps
+}
+
+// SumIgnoringCtx accepts a context, loops, and never consults it.
+func SumIgnoringCtx(ctx context.Context, xs []float64) float64 { // want `accepts a context.Context and loops but never consults it`
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// SumForwardingCtx passes its context to a callee: fine.
+func SumForwardingCtx(ctx context.Context, xs []float64) (float64, error) {
+	total := 0.0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += x
+	}
+	return total, nil
+}
+
+// NoLoops accepts a context and has no loops: no opinion.
+func NoLoops(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,96 @@
+// Package floateq defines the dispersalvet analyzer that bans raw float
+// equality in the solver packages.
+//
+// Invariant: solver code never compares floating-point values with == or !=
+// outside the allowlisted helpers of internal/numeric. Raw float equality
+// is how warm/cold equivalence quietly breaks: two mathematically equal
+// quantities computed along different paths (a cold bisection vs a
+// warm-seeded one) differ in their last ulps, so an == that happens to hold
+// on the cold path silently flips on the warm path. Every comparison must
+// go through a named decision point: numeric.AlmostEqual for tolerance
+// semantics, or numeric.EqualExact where bit identity is the point (e.g.
+// detecting a constant congestion policy, where a tolerance would change
+// which solver runs).
+//
+// Comparisons against the literal constant 0 are allowed: exact-zero is a
+// sentinel, not an approximation (a binomial weight that is identically
+// zero, a mass that was never assigned), and both paths compute it exactly.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"dispersal/internal/analyzers/framework"
+)
+
+// New returns the analyzer covering packages matching scope, with packages
+// matching exempt (the tolerance-helper home, internal/numeric) excluded.
+func New(scope, exempt []string) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "floateq",
+		Doc: "flag ==/!= on floating-point operands in solver packages: use " +
+			"numeric.AlmostEqual (tolerance) or numeric.EqualExact (intentional " +
+			"bit identity); comparisons against the literal 0 are allowed",
+	}
+	a.Run = func(pass *framework.Pass) error {
+		if !framework.PathMatches(pass.Pkg.Path, scope) || framework.PathMatches(pass.Pkg.Path, exempt) {
+			return nil
+		}
+		info := pass.Pkg.Info
+		framework.InspectFiles(pass.Pkg, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info, cmp.X) && !isFloat(info, cmp.Y) {
+				return true
+			}
+			if isZeroConst(info, cmp.X) || isZeroConst(info, cmp.Y) {
+				return true
+			}
+			pass.Reportf(cmp.OpPos,
+				"floating-point %s comparison: use numeric.AlmostEqual for tolerance or numeric.EqualExact for intentional bit identity",
+				cmp.Op)
+			return true
+		})
+		return nil
+	}
+	return a
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// Default is the registry instance: every equilibrium-adjacent solver
+// package is in scope; internal/numeric hosts the allowlisted helpers.
+func Default() *framework.Analyzer {
+	return New([]string{
+		"internal/solve",
+		"internal/ifd",
+		"internal/spoa",
+		"internal/optimize",
+		"internal/pureeq",
+		"internal/dynamics",
+	}, []string{"internal/numeric"})
+}

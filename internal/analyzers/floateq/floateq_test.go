@@ -1,0 +1,14 @@
+package floateq_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dispersal/internal/analyzers/floateq"
+	"dispersal/internal/analyzers/framework"
+)
+
+func TestFloatEq(t *testing.T) {
+	a := floateq.New([]string{"solverpkg", "numeric"}, []string{"numeric"})
+	framework.RunTest(t, filepath.Join("testdata", "src"), a, "solverpkg", "numeric")
+}

@@ -1,0 +1,18 @@
+// Package numeric stands in for the real tolerance-helper home: float
+// equality here is the allowlisted implementation, not a violation.
+package numeric
+
+// EqualExact is the allowlisted exact comparison.
+func EqualExact(a, b float64) bool { return a == b }
+
+// AlmostEqual is the allowlisted tolerance comparison.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,41 @@
+// Package solverpkg seeds violations and non-violations for the floateq
+// analyzer.
+package solverpkg
+
+type values []float64
+
+// Bad compares floats exactly.
+func Bad(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// BadNeq compares through a named float slice's elements.
+func BadNeq(f values, i, j int) bool {
+	return f[i] != f[j] // want `floating-point != comparison`
+}
+
+// BadConst compares against a non-zero constant: still an approximation
+// trap, still flagged.
+func BadConst(a float64) bool {
+	return a == 1.5 // want `floating-point == comparison`
+}
+
+// ZeroSentinel is allowed: exact zero is a sentinel, not an approximation.
+func ZeroSentinel(w float64) bool {
+	return w == 0
+}
+
+// ZeroSentinelNeq is allowed on either side.
+func ZeroSentinelNeq(w float64) bool {
+	return 0.0 != w
+}
+
+// Ints are no business of this analyzer.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Strings neither.
+func Strings(a, b string) bool {
+	return a == b
+}

@@ -1,0 +1,130 @@
+package framework
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest loads the packages named by importPaths from an
+// analysistest-style source root (srcRoot/<importPath>/*.go), runs the
+// analyzer over everything loaded, and matches the findings against
+// `// want` comments, x/tools-style:
+//
+//	knownPolicies[name] = p // want `range over map`
+//	for {                   // want "unbounded" "second expectation"
+//
+// Each quoted string is a regexp that must match the message of exactly one
+// finding on the comment's line; findings with no expectation and
+// expectations with no finding both fail the test.
+func RunTest(t *testing.T, srcRoot string, a *Analyzer, importPaths ...string) {
+	t.Helper()
+	prog, err := LoadDirs(srcRoot, importPaths...)
+	if err != nil {
+		t.Fatalf("loading %v from %s: %v", importPaths, srcRoot, err)
+	}
+	diags, err := Run(prog, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range prog.Packages() {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					patterns, ok := wantPatterns(c.Text)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, p := range patterns {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+						}
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no finding matched want %q", k.file, k.line, re)
+		}
+	}
+}
+
+// wantPatterns extracts the expectation regexps from one comment's text:
+// a line comment of the form `// want "p1" "p2"` or backquoted patterns.
+func wantPatterns(text string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, false
+	}
+	body, ok = strings.CutPrefix(strings.TrimSpace(body), "want ")
+	if !ok {
+		return nil, false
+	}
+	var out []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+				end++
+			}
+			if end >= len(rest) {
+				return nil, false
+			}
+			q, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, false
+			}
+			out = append(out, q)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			out = append(out, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, false
+		}
+	}
+	return out, len(out) > 0
+}
+
+// InspectFiles walks every file of pkg with fn, a convenience shared by the
+// analyzers.
+func InspectFiles(pkg *Package, fn func(ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

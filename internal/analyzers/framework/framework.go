@@ -1,0 +1,182 @@
+// Package framework is the repository's in-tree static-analysis kernel: a
+// deliberately small, standard-library-only analogue of
+// golang.org/x/tools/go/analysis plus the loader and test harness the
+// dispersalvet analyzers (internal/analyzers/...) run on.
+//
+// Why not x/tools: the build environment this repository pins is fully
+// offline — the module has no dependencies and must stay buildable without a
+// module proxy — so the suite is built on go/parser + go/types directly.
+// The shapes mirror x/tools on purpose (Analyzer with a Run func, a Pass
+// carrying type information, Reportf diagnostics, an analysistest-style
+// `// want` runner), so migrating to the real framework later is a
+// mechanical translation, and so anyone who has written a vet check feels
+// at home here.
+//
+// The one deliberate divergence: a Pass carries the whole loaded Program,
+// not just one package. The dispersal invariants are cross-package by
+// nature — "every solve.State field crosses statewire.Encode/Decode",
+// "nothing reachable from speccodec.CacheKey ranges over a map" — and a
+// per-package fact store would only reintroduce the plumbing x/tools needs
+// for that. Analyzers here may freely inspect any loaded package and report
+// at any position.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters. By
+	// convention a single lowercase word ("floateq").
+	Name string
+	// Doc is the one-paragraph description printed by dispersalvet -list:
+	// the invariant, why it matters, and how to satisfy the checker.
+	Doc string
+	// Run inspects one package and reports findings on the pass. It is
+	// called once per loaded package; analyzers whose invariant lives in
+	// specific packages return early on the rest. Returning an error aborts
+	// the whole run (reserved for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass carries one package of a loaded program through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package of prog and returns the
+// findings sorted by position. Analyzer errors (internal failures) abort.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Packages() {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// PathMatches reports whether a package import path falls in scope, where
+// scope entries are either full import paths ("dispersal/internal/solve")
+// or path suffixes starting at a path-segment boundary ("internal/solve",
+// "solve"). Suffix matching is what lets the same analyzer instance cover
+// both the real module path and the short import paths of analysistest
+// testdata packages.
+func PathMatches(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncFor resolves the *types.Func defined by decl in pkg, or nil for
+// declarations without an object (should not happen for well-typed code).
+func (pkg *Package) FuncFor(decl *ast.FuncDecl) *types.Func {
+	if obj, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+		return obj
+	}
+	return nil
+}
+
+// DeclOf returns the syntax of fn's declaration and the package holding
+// it, for functions declared in a loaded (module-local) package; nil for
+// standard-library and synthesized functions. The index is built lazily on
+// first use.
+func (p *Program) DeclOf(fn *types.Func) (*Package, *ast.FuncDecl) {
+	if p.decls == nil {
+		p.decls = make(map[*types.Func]declSite)
+		for _, pkg := range p.Packages() {
+			for _, file := range pkg.Files {
+				for _, d := range file.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						p.decls[obj] = declSite{pkg, fd}
+					}
+				}
+			}
+		}
+	}
+	site := p.decls[fn]
+	return site.pkg, site.decl
+}
+
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// CalleeOf resolves the *types.Func a call expression invokes, through
+// plain idents, package selectors and method selections. It returns nil
+// for calls of function values, built-ins and type conversions.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Program is a set of type-checked packages sharing one FileSet, loaded
+// either from the module tree (LoadModule) or from an analysistest-style
+// testdata/src tree (LoadDirs).
+type Program struct {
+	Fset *token.FileSet
+
+	pkgs  map[string]*Package
+	order []string
+	decls map[*types.Func]declSite
+}
+
+// A Package is one loaded, type-checked package: its syntax (non-test files
+// only — the invariants gate production code) and its type information.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Packages returns the loaded packages in deterministic (load) order.
+func (p *Program) Packages() []*Package {
+	out := make([]*Package, 0, len(p.order))
+	for _, path := range p.order {
+		out = append(out, p.pkgs[path])
+	}
+	return out
+}
+
+// Lookup returns the loaded package whose import path equals path or ends
+// in "/"+path, or nil. The suffix form serves analyzers configured with the
+// real module paths when they run over short-pathed testdata packages, and
+// vice versa.
+func (p *Program) Lookup(path string) *Package {
+	if pkg, ok := p.pkgs[path]; ok {
+		return pkg
+	}
+	for _, candidate := range p.order {
+		if strings.HasSuffix(candidate, "/"+path) {
+			return p.pkgs[candidate]
+		}
+	}
+	return nil
+}
+
+// loader resolves and type-checks packages on demand. It implements
+// types.Importer: module-local (or testdata-local) import paths load from
+// source here; everything else falls through to the standard library's
+// source importer, which compiles GOROOT packages from source — the only
+// importer that works without compiled export data or a module proxy.
+type loader struct {
+	fset    *token.FileSet
+	resolve func(path string) (dir string, ok bool)
+	std     types.Importer
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	order   []string
+}
+
+func newLoader(resolve func(string) (string, bool)) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import satisfies types.Importer for the type-checker's benefit.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.resolve(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the package rooted at dir under the given
+// import path, memoized.
+func (l *loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	l.order = append(l.order, path)
+	return pkg, nil
+}
+
+func (l *loader) program() *Program {
+	order := append([]string(nil), l.order...)
+	sort.Strings(order)
+	return &Program{Fset: l.fset, pkgs: l.pkgs, order: order}
+}
+
+// goFileNames lists the package's production sources: .go files that are
+// neither tests nor editor droppings, sorted for determinism.
+func goFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ModulePath reads the module path out of root's go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", root)
+}
+
+// LoadModule loads and type-checks the module rooted at root. Patterns are
+// either "./..." (every package under root) or "./"-relative package
+// directories; an empty pattern list means "./...".
+func LoadModule(root string, patterns ...string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	resolve := func(path string) (string, bool) {
+		if path == modPath {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			dir := filepath.Join(root, filepath.FromSlash(rest))
+			if hasGoFiles(dir) {
+				return dir, true
+			}
+		}
+		return "", false
+	}
+	l := newLoader(resolve)
+
+	var dirs []string
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := packageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, all...)
+		default:
+			dirs = append(dirs, filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+		}
+	}
+
+	for _, dir := range dirs {
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("no buildable Go files in %s", dir)
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.load(path, dir); err != nil {
+			return nil, err
+		}
+	}
+	return l.program(), nil
+}
+
+// LoadDirs loads packages from an analysistest-style source root: import
+// path p lives in srcRoot/p. Imports between testdata packages resolve the
+// same way; anything unresolved falls through to the standard library.
+func LoadDirs(srcRoot string, importPaths ...string) (*Program, error) {
+	srcRoot, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	resolve := func(path string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		return dir, hasGoFiles(dir)
+	}
+	l := newLoader(resolve)
+	for _, path := range importPaths {
+		dir, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("no buildable Go files for %q under %s", path, srcRoot)
+		}
+		if _, err := l.load(path, dir); err != nil {
+			return nil, err
+		}
+	}
+	return l.program(), nil
+}
+
+// packageDirs walks root collecting every directory holding production Go
+// files, skipping testdata trees, VCS metadata and hidden directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	names, err := goFileNames(dir)
+	return err == nil && len(names) > 0
+}

@@ -1,0 +1,56 @@
+package framework_test
+
+import (
+	"testing"
+
+	"dispersal/internal/analyzers/framework"
+)
+
+// TestLoadModule type-checks the entire repository through the framework
+// loader — the same load dispersalvet performs — proving the source-importer
+// fallback covers every standard-library dependency the module uses.
+func TestLoadModule(t *testing.T) {
+	prog, err := framework.LoadModule("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := prog.Packages()
+	if len(pkgs) < 30 {
+		t.Fatalf("loaded only %d packages, expected the full module", len(pkgs))
+	}
+	for _, want := range []string{
+		"dispersal",
+		"dispersal/internal/solve",
+		"dispersal/internal/statewire",
+		"dispersal/internal/speccodec",
+	} {
+		if prog.Lookup(want) == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	// Suffix lookup is what lets analyzers configured with real module
+	// paths resolve short-pathed testdata packages and vice versa.
+	if got := prog.Lookup("internal/solve"); got == nil || got.Path != "dispersal/internal/solve" {
+		t.Errorf("suffix lookup internal/solve = %v", got)
+	}
+}
+
+func TestPathMatches(t *testing.T) {
+	cases := []struct {
+		path  string
+		scope []string
+		want  bool
+	}{
+		{"dispersal/internal/solve", []string{"internal/solve"}, true},
+		{"dispersal/internal/solve", []string{"solve"}, true},
+		{"solve", []string{"solve"}, true},
+		{"dispersal/internal/resolve", []string{"solve"}, false},
+		{"dispersal/internal/solver", []string{"solve"}, false},
+		{"dispersal/internal/solve", nil, false},
+	}
+	for _, c := range cases {
+		if got := framework.PathMatches(c.path, c.scope); got != c.want {
+			t.Errorf("PathMatches(%q, %v) = %v, want %v", c.path, c.scope, got, c.want)
+		}
+	}
+}

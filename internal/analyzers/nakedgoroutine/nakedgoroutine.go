@@ -1,0 +1,140 @@
+// Package nakedgoroutine defines the dispersalvet analyzer that bans
+// unsupervised goroutines in the serving-layer packages.
+//
+// Invariant: every `go` statement in the server, peer, statestore and sweep
+// packages launches a function with panic supervision — a deferred recover
+// somewhere in its body (directly, or via a deferred call to a helper that
+// recovers). These packages sit under singleflight collapsing, bounded
+// worker pools and snapshot tickers: a panicking naked goroutine either
+// kills the whole replica (Go's default) or, if the panic escapes a path
+// that was supposed to close a done-channel or call wg.Done via defer,
+// leaves every collapsed waiter blocked forever. Supervision turns a
+// poisoned request into an error the batch machinery already knows how to
+// route.
+//
+// The analyzer resolves `go f()` through module-local declarations; a `go`
+// on a function value it cannot resolve is flagged too, because it cannot
+// be proven supervised.
+package nakedgoroutine
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dispersal/internal/analyzers/framework"
+)
+
+// New returns the analyzer covering packages matching scope.
+func New(scope []string) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "nakedgoroutine",
+		Doc: "flag `go` statements without panic supervision in the serving " +
+			"packages: the goroutine body (or the named function it calls) must " +
+			"defer a recover so a panic becomes a routed error instead of a " +
+			"process kill or a deadlocked singleflight waiter",
+	}
+	a.Run = func(pass *framework.Pass) error {
+		if !framework.PathMatches(pass.Pkg.Path, scope) {
+			return nil
+		}
+		framework.InspectFiles(pass.Pkg, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, info := goroutineBody(pass, g)
+			if body == nil {
+				pass.Reportf(g.Pos(),
+					"goroutine target cannot be resolved to a declaration; launch a function literal or module-local function with a deferred recover")
+				return true
+			}
+			if !supervised(pass, info, body) {
+				pass.Reportf(g.Pos(),
+					"unsupervised goroutine: defer a recover in its body so a panic is routed as an error instead of killing the replica")
+			}
+			return true
+		})
+		return nil
+	}
+	return a
+}
+
+// goroutineBody resolves the body the `go` statement will run: the literal
+// itself, or the declaration of the named module-local function it calls.
+func goroutineBody(pass *framework.Pass, g *ast.GoStmt) (*ast.BlockStmt, *types.Info) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, pass.Pkg.Info
+	}
+	fn := framework.CalleeOf(pass.Pkg.Info, g.Call)
+	if fn == nil {
+		return nil, nil
+	}
+	pkg, decl := pass.Prog.DeclOf(fn)
+	if decl == nil || decl.Body == nil {
+		return nil, nil
+	}
+	return decl.Body, pkg.Info
+}
+
+// supervised reports whether body defers a recover: a `defer func() { ...
+// recover() ... }()` or a `defer helper()` where helper's (module-local)
+// body calls recover.
+func supervised(pass *framework.Pass, info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(d.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if callsRecover(info, fun.Body) {
+				found = true
+			}
+		default:
+			if fn := framework.CalleeOf(info, d.Call); fn != nil {
+				if pkg, decl := pass.Prog.DeclOf(fn); decl != nil && decl.Body != nil {
+					if callsRecover(pkg.Info, decl.Body) {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func callsRecover(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// Default is the registry instance covering the serving-layer packages
+// whose goroutines sit behind singleflight waiters and worker pools.
+func Default() *framework.Analyzer {
+	return New([]string{
+		"internal/server",
+		"internal/peer",
+		"internal/statestore",
+		"internal/sweep",
+	})
+}

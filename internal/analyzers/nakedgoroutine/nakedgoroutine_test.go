@@ -1,0 +1,14 @@
+package nakedgoroutine_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dispersal/internal/analyzers/framework"
+	"dispersal/internal/analyzers/nakedgoroutine"
+)
+
+func TestNakedGoroutine(t *testing.T) {
+	a := nakedgoroutine.New([]string{"srv"})
+	framework.RunTest(t, filepath.Join("testdata", "src"), a, "srv")
+}

@@ -1,0 +1,72 @@
+// Package srv seeds violations and non-violations for the nakedgoroutine
+// analyzer.
+package srv
+
+import "log"
+
+// rescue is a module-local recover helper; deferring it counts as
+// supervision.
+func rescue() {
+	if r := recover(); r != nil {
+		log.Printf("recovered: %v", r)
+	}
+}
+
+// worker has its own defer-recover, so launching it bare is fine.
+func worker(ch chan<- int) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("worker: %v", r)
+		}
+	}()
+	ch <- 1
+}
+
+// nakedWorker has no supervision of its own.
+func nakedWorker(ch chan<- int) {
+	ch <- 1
+}
+
+// Naked launches an unsupervised literal.
+func Naked(ch chan<- int) {
+	go func() { // want `unsupervised goroutine`
+		ch <- 1
+	}()
+}
+
+// NakedNamed launches an unsupervised module-local function.
+func NakedNamed(ch chan<- int) {
+	go nakedWorker(ch) // want `unsupervised goroutine`
+}
+
+// SupervisedLit defers a recover literal first thing: fine.
+func SupervisedLit(ch chan<- int) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				log.Printf("supervised: %v", r)
+			}
+		}()
+		ch <- 1
+	}()
+}
+
+// SupervisedHelper defers the module-local rescue helper: fine.
+func SupervisedHelper(ch chan<- int) {
+	go func() {
+		defer rescue()
+		ch <- 1
+	}()
+}
+
+// SupervisedNamed launches a function whose body carries its own
+// defer-recover: fine.
+func SupervisedNamed(ch chan<- int) {
+	go worker(ch)
+}
+
+// Opaque launches something the analyzer cannot see into; it must assume
+// the worst.
+func Opaque(f func()) {
+	go f() // want `cannot be resolved`
+}

@@ -1,0 +1,30 @@
+package seededrand_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dispersal/internal/analyzers/framework"
+	"dispersal/internal/analyzers/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	framework.RunTest(t, filepath.Join("testdata", "src"), seededrand.New(nil), "a")
+}
+
+// TestScope proves the scope filter: the same violations go unreported when
+// the package is out of scope.
+func TestScope(t *testing.T) {
+	a := seededrand.New([]string{"somewhere/else"})
+	prog, err := framework.LoadDirs(filepath.Join("testdata", "src"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run(prog, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package still reported: %v", diags)
+	}
+}

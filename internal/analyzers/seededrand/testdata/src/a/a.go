@@ -1,0 +1,27 @@
+// Package a seeds violations and non-violations for the seededrand
+// analyzer: global-source draws are flagged, explicit generators are not.
+package a
+
+import "math/rand/v2"
+
+// Bad draws from the process-global source.
+func Bad() int {
+	return rand.IntN(10) // want `process-global random source`
+}
+
+// BadShuffle mutates through the global source.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `process-global random source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// Good threads an explicit generator.
+func Good(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// GoodNew builds an explicitly seeded generator: constructors are allowed.
+func GoodNew(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 1))
+}

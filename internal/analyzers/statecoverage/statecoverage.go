@@ -1,0 +1,287 @@
+// Package statecoverage defines the dispersalvet analyzer that makes
+// solver-state/wire-codec drift a build-time failure.
+//
+// Invariant: every field of internal/solve.State — the equilibrium,
+// coverage-optimum and sigma* parts included — crosses the statewire
+// boundary. solve.State keeps its fields unexported behind accessor and
+// builder methods, so the analyzer proves coverage through them:
+//
+//   - for Encode, every State field must have at least one reader (an
+//     exported method or function of the solve package whose body reads the
+//     field) that Encode transitively calls;
+//   - for Decode, every field must have at least one writer (a constructor
+//     or With* builder assigning the field) that Decode transitively calls.
+//
+// Adding a field to State without threading it through the codec —
+// historically a fuzz-lottery bug: states round-trip "successfully" while
+// silently dropping the new part, and every federated replica then warms
+// from truncated state — now fails the lint gate naming the field.
+//
+// Whole-struct copies (`out := *s`) deliberately do not count as coverage:
+// only a per-field read or write proves the codec knows the field exists.
+package statecoverage
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"dispersal/internal/analyzers/framework"
+)
+
+// Config names the two packages and three declarations the invariant spans.
+// Paths may be suffixes (framework.PathMatches-style), which is how the
+// testdata packages stand in for the real ones.
+type Config struct {
+	SolvePath string // package defining the state struct
+	WirePath  string // package defining the codec
+	StateName string // the state struct type
+	Encode    string // the encoder entry point
+	Decode    string // the decoder entry point
+}
+
+// New returns the analyzer for cfg.
+func New(cfg Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "statecoverage",
+		Doc: "prove every field of the solver state crosses the wire codec: " +
+			"each field needs a reader reachable from Encode and a writer " +
+			"reachable from Decode, so adding a State field without codec " +
+			"support fails the build gate instead of silently truncating " +
+			"federated warm state",
+	}
+	a.Run = func(pass *framework.Pass) error {
+		wire := pass.Prog.Lookup(cfg.WirePath)
+		if wire == nil || pass.Pkg != wire {
+			return nil
+		}
+		solve := pass.Prog.Lookup(cfg.SolvePath)
+		if solve == nil {
+			return nil // partial load without the state package
+		}
+
+		stateFields, err := fieldsOf(solve, cfg.StateName)
+		if err != nil {
+			return err
+		}
+		readers, writers := classifyAccessors(solve, stateFields)
+
+		encodeDecl := topLevelFunc(wire, cfg.Encode)
+		decodeDecl := topLevelFunc(wire, cfg.Decode)
+		if encodeDecl == nil || decodeDecl == nil {
+			return fmt.Errorf("codec package %s lacks %s or %s", wire.Path, cfg.Encode, cfg.Decode)
+		}
+		encodeCalls := solveCallees(pass.Prog, wire, solve, encodeDecl)
+		decodeCalls := solveCallees(pass.Prog, wire, solve, decodeDecl)
+
+		for _, field := range stateFields {
+			if !intersects(readers[field], encodeCalls) {
+				pass.Reportf(encodeDecl.Pos(),
+					"state field %s is never read by %s: no solve accessor reading it is called, so the field is silently dropped on the wire",
+					field.Name(), cfg.Encode)
+			}
+			if !intersects(writers[field], decodeCalls) {
+				pass.Reportf(decodeDecl.Pos(),
+					"state field %s is never written by %s: no solve constructor or builder assigning it is called, so decoded states silently lose the field",
+					field.Name(), cfg.Decode)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// fieldsOf returns the field objects of the named struct type.
+func fieldsOf(pkg *framework.Package, name string) ([]*types.Var, error) {
+	obj, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil, fmt.Errorf("type %s not found in %s", name, pkg.Path)
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, fmt.Errorf("%s.%s is not a struct", pkg.Path, name)
+	}
+	fields := make([]*types.Var, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields = append(fields, st.Field(i))
+	}
+	return fields, nil
+}
+
+// classifyAccessors maps each state field to the solve-package functions
+// that read it and those that write it. A write is an assignment through a
+// selector or a keyed composite-literal element; any other selector
+// occurrence is a read.
+func classifyAccessors(pkg *framework.Package, fields []*types.Var) (readers, writers map[*types.Var]map[*types.Func]bool) {
+	isField := make(map[types.Object]*types.Var, len(fields))
+	for _, f := range fields {
+		isField[f] = f
+	}
+	fieldByName := make(map[string]*types.Var, len(fields))
+	for _, f := range fields {
+		fieldByName[f.Name()] = f
+	}
+	readers = make(map[*types.Var]map[*types.Func]bool)
+	writers = make(map[*types.Var]map[*types.Func]bool)
+	add := func(m map[*types.Var]map[*types.Func]bool, f *types.Var, fn *types.Func) {
+		if m[f] == nil {
+			m[f] = make(map[*types.Func]bool)
+		}
+		m[f][fn] = true
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := pkg.FuncFor(fd)
+			if fn == nil {
+				continue
+			}
+			// Pass 1: collect the selector expressions in write position.
+			written := make(map[ast.Expr]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						written[ast.Unparen(lhs)] = true
+					}
+				case *ast.IncDecStmt:
+					written[ast.Unparen(x.X)] = true
+				}
+				return true
+			})
+			// Pass 2: classify every state-field selector, and catch keyed
+			// composite literals of the state type (constructor writes).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					obj := pkg.Info.Uses[x.Sel]
+					if obj == nil {
+						if sel, ok := pkg.Info.Selections[x]; ok {
+							obj = sel.Obj()
+						}
+					}
+					if f, ok := isField[obj]; ok {
+						if written[x] {
+							add(writers, f, fn)
+						} else {
+							add(readers, f, fn)
+						}
+					}
+				case *ast.CompositeLit:
+					for _, elt := range x.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if obj := pkg.Info.Uses[key]; obj != nil {
+							if f, ok := isField[obj]; ok {
+								add(writers, f, fn)
+							}
+						} else if f, ok := fieldByName[key.Name]; ok && litIsState(pkg.Info, x, f) {
+							add(writers, f, fn)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return readers, writers
+}
+
+// litIsState reports whether the composite literal builds the struct
+// holding field f (directly or via a pointer).
+func litIsState(info *types.Info, lit *ast.CompositeLit, f *types.Var) bool {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == f {
+			return true
+		}
+	}
+	return false
+}
+
+func topLevelFunc(pkg *framework.Package, name string) *ast.FuncDecl {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// solveCallees returns the set of solve-package functions the declaration
+// transitively calls, following wire-package-local calls.
+func solveCallees(prog *framework.Program, wire, solve *framework.Package, root *ast.FuncDecl) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if fd == nil || fd.Body == nil || visited[fd] {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.CalleeOf(wire.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg() {
+			case solve.Types:
+				out[fn] = true
+			case wire.Types:
+				_, decl := prog.DeclOf(fn)
+				visit(decl)
+			}
+			return true
+		})
+	}
+	visit(root)
+	return out
+}
+
+func intersects(set map[*types.Func]bool, called map[*types.Func]bool) bool {
+	for fn := range set {
+		if called[fn] {
+			return true
+		}
+	}
+	return false
+}
+
+// Default is the registry instance bound to the real solver-state and wire
+// packages.
+func Default() *framework.Analyzer {
+	return New(Config{
+		SolvePath: "internal/solve",
+		WirePath:  "internal/statewire",
+		StateName: "State",
+		Encode:    "Encode",
+		Decode:    "Decode",
+	})
+}

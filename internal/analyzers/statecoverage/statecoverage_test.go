@@ -1,0 +1,33 @@
+package statecoverage_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dispersal/internal/analyzers/framework"
+	"dispersal/internal/analyzers/statecoverage"
+)
+
+func config(tree string) statecoverage.Config {
+	return statecoverage.Config{
+		SolvePath: tree + "/slv",
+		WirePath:  tree + "/wire",
+		StateName: "State",
+		Encode:    "Encode",
+		Decode:    "Decode",
+	}
+}
+
+// TestBadCodec proves the analyzer names a field the codec drops in each
+// direction.
+func TestBadCodec(t *testing.T) {
+	a := statecoverage.New(config("bad"))
+	framework.RunTest(t, filepath.Join("testdata", "src"), a, "bad/slv", "bad/wire")
+}
+
+// TestGoodCodec proves full coverage — including a read through a
+// codec-local helper — is accepted.
+func TestGoodCodec(t *testing.T) {
+	a := statecoverage.New(config("good"))
+	framework.RunTest(t, filepath.Join("testdata", "src"), a, "good/slv", "good/wire")
+}

@@ -1,0 +1,22 @@
+// Package wire is a codec that silently drops the sigma field in both
+// directions: the round-trip "works" and loses data.
+package wire
+
+import (
+	"strconv"
+	"strings"
+
+	"bad/slv"
+)
+
+// Encode serializes a state — but never reads sigma.
+func Encode(s slv.State) string { // want `state field sigma is never read by Encode`
+	return s.Name() + "|" + strconv.FormatFloat(s.Nu(), 'g', -1, 64)
+}
+
+// Decode parses a state — but never writes sigma.
+func Decode(blob string) slv.State { // want `state field sigma is never written by Decode`
+	parts := strings.SplitN(blob, "|", 2)
+	nu, _ := strconv.ParseFloat(parts[1], 64)
+	return slv.New(parts[0], nu)
+}

@@ -1,0 +1,30 @@
+// Package slv is a miniature solver-state package: fields unexported,
+// access through methods, mirroring the real internal/solve.State.
+package slv
+
+// State is the solver state.
+type State struct {
+	name  string
+	nu    float64
+	sigma []float64
+}
+
+// New builds a state with the scalar parts.
+func New(name string, nu float64) State {
+	return State{name: name, nu: nu}
+}
+
+// Name reads the name field.
+func (s State) Name() string { return s.name }
+
+// Nu reads the nu field.
+func (s State) Nu() float64 { return s.nu }
+
+// Sigma reads the sigma field.
+func (s State) Sigma() []float64 { return s.sigma }
+
+// WithSigma writes the sigma field.
+func (s State) WithSigma(sig []float64) State {
+	s.sigma = sig
+	return s
+}

@@ -1,0 +1,40 @@
+// Package wire covers every state field: sigma is read through a codec-local
+// helper (the analyzer must follow wire-internal calls) and written back via
+// the WithSigma builder.
+package wire
+
+import (
+	"strconv"
+	"strings"
+
+	"good/slv"
+)
+
+// Encode serializes every field; the sigma read happens inside encodeSigma.
+func Encode(s slv.State) string {
+	return s.Name() + "|" + strconv.FormatFloat(s.Nu(), 'g', -1, 64) + "|" + encodeSigma(s)
+}
+
+func encodeSigma(s slv.State) string {
+	parts := make([]string, 0, len(s.Sigma()))
+	for _, v := range s.Sigma() {
+		parts = append(parts, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Decode writes every field back.
+func Decode(blob string) slv.State {
+	parts := strings.SplitN(blob, "|", 3)
+	nu, _ := strconv.ParseFloat(parts[1], 64)
+	s := slv.New(parts[0], nu)
+	var sigma []float64
+	for _, p := range strings.Split(parts[2], ",") {
+		if p == "" {
+			continue
+		}
+		v, _ := strconv.ParseFloat(p, 64)
+		sigma = append(sigma, v)
+	}
+	return s.WithSigma(sigma)
+}

@@ -78,13 +78,14 @@ func ExclusiveWarm(prev *solve.State, f site.Values, k int) (strategy.Strategy, 
 	if w > m {
 		w = m
 	}
+	// The monotone step lives in the loop post-clause: each iteration moves
+	// w one site toward its bound, so the walk is a counter bounded by m
+	// (which the ctxloop gate can see structurally).
 	if s(w) <= 1 {
-		for w+1 <= m && s(w+1) <= 1 {
-			w++
+		for ; w+1 <= m && s(w+1) <= 1; w++ {
 		}
 	} else {
-		for w > 1 && s(w) > 1 {
-			w--
+		for ; w > 1 && s(w) > 1; w-- {
 		}
 	}
 	extend(w)

@@ -160,7 +160,9 @@ func SolveContext(ctx context.Context, f site.Values, k int, c policy.Congestion
 		top := f[0]
 		n := 0
 		for _, v := range f {
-			if v == top {
+			// Exact on purpose: ties with the argmax mean literally equal
+			// values, not values within tolerance.
+			if numeric.EqualExact(v, top) {
 				n++
 			}
 		}

@@ -194,7 +194,7 @@ func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c
 	ehi, ehiKnown := 0.0, false
 	for i := 0; elo < 0 && i < warmMaxExpand && solveErr == nil; i++ {
 		hi, ehi, ehiKnown = lo, elo, true
-		if lo == loC {
+		if numeric.EqualExact(lo, loC) { // expansion pinned at the clamp boundary
 			break
 		}
 		w *= warmExpandFactor
@@ -205,8 +205,8 @@ func solveWarmCore(ctx context.Context, prev *WarmState, f site.Values, k int, c
 		ehi = excess(hi)
 	}
 	for i := 0; ehi > 0 && i < warmMaxExpand && solveErr == nil; i++ {
-		lo, elo = hi, ehi // excess(lo) = ehi > 0 holds
-		if hi == hiC {
+		lo, elo = hi, ehi                // excess(lo) = ehi > 0 holds
+		if numeric.EqualExact(hi, hiC) { // expansion pinned at the clamp boundary
 			break
 		}
 		w *= warmExpandFactor

@@ -1,0 +1,109 @@
+// Package leakcheck fails a test binary that exits with goroutines still
+// running. The serving packages (server, peer, statestore) own background
+// goroutines — snapshot loops, peer fetch rounds, HTTP keep-alive readers —
+// and a test that forgets to Close its server leaks them silently: the test
+// passes, and the bug (a shutdown path that does not actually shut down)
+// ships. Installing VerifyTestMain turns that leak into a test failure that
+// prints the offending stacks.
+//
+// Usage, once per test package:
+//
+//	func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }
+//
+// The check retries with a short backoff before declaring a leak, so
+// goroutines that are merely late (an HTTP reader draining a closing
+// connection) settle instead of flaking.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// M is the subset of *testing.M VerifyTestMain needs; it is an interface so
+// the package can test its own verdict logic without spawning a process.
+type M interface {
+	Run() int
+}
+
+// VerifyTestMain runs the package's tests and then fails the binary if
+// goroutines beyond the standard runtime/testing set are still alive. It
+// does not run the leak check after an already-failing run: the leak is
+// usually downstream of the failure and would only bury it.
+func VerifyTestMain(m M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Settle(3 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d leaked goroutine(s) at exit:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Settle polls Leaked with a short backoff until it comes back empty or the
+// deadline passes, and returns the final verdict. Late-but-terminating
+// goroutines settle; stuck ones are reported.
+func Settle(deadline time.Duration) []string {
+	const step = 25 * time.Millisecond
+	var leaked []string
+	for waited := time.Duration(0); ; waited += step {
+		leaked = Leaked()
+		if len(leaked) == 0 || waited >= deadline {
+			return leaked
+		}
+		time.Sleep(step)
+	}
+}
+
+// Leaked returns the stack of every live goroutine that is not part of the
+// standard runtime/testing machinery, one formatted stack per entry.
+func Leaked() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g != "" && !expected(g) {
+			leaked = append(leaked, strings.TrimSpace(g))
+		}
+	}
+	return leaked
+}
+
+// expected reports whether a goroutine stack belongs to the runtime, the
+// testing framework, or this package's own polling — the set every healthy
+// test binary has at exit.
+func expected(stack string) bool {
+	for _, marker := range []string{
+		// The goroutine running the leak check itself.
+		"leakcheck.Leaked",
+		// The testing main goroutine and test runners parked in t.Run.
+		"testing.Main(",
+		"testing.(*T).Run(",
+		"testing.runTests(",
+		"testing.(*M).before",
+		// Runtime helpers: GC workers, finalizer, scavenger and friends all
+		// announce themselves as created by the runtime.
+		"created by runtime.",
+		// Signal plumbing installed lazily by os/signal.
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime.ensureSigM",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCleanAtRest: an idle test binary has no unexpected goroutines.
+func TestCleanAtRest(t *testing.T) {
+	if leaked := Settle(3 * time.Second); len(leaked) > 0 {
+		t.Fatalf("unexpected goroutines at rest:\n%v", leaked)
+	}
+}
+
+// TestDetectsBlockedGoroutine: a goroutine parked on a channel is reported,
+// and is reported gone once released.
+func TestDetectsBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+
+	found := false
+	for _, g := range Leaked() {
+		if strings.Contains(g, "TestDetectsBlockedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("blocked goroutine not reported by Leaked")
+	}
+
+	close(release)
+	if leaked := Settle(3 * time.Second); len(leaked) > 0 {
+		t.Fatalf("goroutines still reported after release:\n%v", leaked)
+	}
+}
+
+// TestSettleWaitsOutLateGoroutines: a goroutine that exits on its own within
+// the deadline does not produce a verdict.
+func TestSettleWaitsOutLateGoroutines(t *testing.T) {
+	go time.Sleep(100 * time.Millisecond)
+	if leaked := Settle(3 * time.Second); len(leaked) > 0 {
+		t.Fatalf("late-but-terminating goroutine reported as leak:\n%v", leaked)
+	}
+}
+
+// TestMain installs the verifier on this package too: the checker checks
+// itself.
+func TestMain(m *testing.M) { VerifyTestMain(m) }

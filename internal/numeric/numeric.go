@@ -37,6 +37,16 @@ func AlmostEqual(a, b, tol float64) bool {
 	return d <= tol*m
 }
 
+// EqualExact reports whether a and b are the same float64 value (plain ==).
+// It exists for the floateq static-analysis gate: solver code may not spell
+// raw float equality, so every intentional exact comparison goes through
+// this named helper and reads as a decision rather than an accident. Use it
+// where bit identity is semantic — argmax tie detection, "did the clamp pin
+// this endpoint to the boundary?", constant-policy detection (where a
+// tolerance would change which solver runs) — and AlmostEqual everywhere a
+// tolerance is meant. NaN compares unequal to everything, itself included.
+func EqualExact(a, b float64) bool { return a == b }
+
 // Clamp limits v to the closed interval [lo, hi].
 func Clamp(v, lo, hi float64) float64 {
 	if v < lo {

@@ -150,7 +150,7 @@ func MaxCoverageWarm(prev *solve.State, f site.Values, k int) (strategy.Strategy
 	ehi, ehiKnown := 0.0, false
 	for i := 0; elo < 0 && i < maxCoverageWarmMaxExpand; i++ {
 		hi, ehi, ehiKnown = lo, elo, true
-		if lo == loC {
+		if numeric.EqualExact(lo, loC) { // expansion pinned at the clamp boundary
 			break
 		}
 		w *= maxCoverageWarmExpandFactor
@@ -162,7 +162,7 @@ func MaxCoverageWarm(prev *solve.State, f site.Values, k int) (strategy.Strategy
 	}
 	for i := 0; ehi > 0 && i < maxCoverageWarmMaxExpand; i++ {
 		lo, elo = hi, ehi
-		if hi == hiC {
+		if numeric.EqualExact(hi, hiC) { // expansion pinned at the clamp boundary
 			break
 		}
 		w *= maxCoverageWarmExpandFactor
@@ -437,14 +437,19 @@ func MaxWelfareWarm(ctx context.Context, prev *solve.State, f site.Values, k int
 	return best, bestVal, warmed, nil
 }
 
-// goldenMax maximizes phi on [lo, hi] by golden-section search.
+// goldenMax maximizes phi on [lo, hi] by golden-section search. The
+// iteration budget mirrors solve.BisectExcess: the interval shrinks by the
+// golden ratio per step, so 400 iterations are far beyond any reachable
+// tolerance — the cap only guards against a tol below the local float
+// spacing, where b-a stops shrinking and the loop would otherwise spin
+// forever (the ctxloop gate).
 func goldenMax(phi func(float64) float64, lo, hi, tol float64) float64 {
 	const invPhi = 0.6180339887498949
 	a, b := lo, hi
 	c := b - invPhi*(b-a)
 	d := a + invPhi*(b-a)
 	fc, fd := phi(c), phi(d)
-	for b-a > tol {
+	for iter := 0; iter < 400 && b-a > tol; iter++ {
 		if fc > fd {
 			b, d, fd = d, c, fc
 			c = b - invPhi*(b-a)

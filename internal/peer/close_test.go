@@ -1,0 +1,34 @@
+package peer
+
+import (
+	"context"
+	"testing"
+
+	"dispersal/internal/warmcache"
+)
+
+// TestCloseIsSafeAndNonTerminal: Close must tolerate a nil client, tolerate
+// repetition, and leave the client usable — it drops idle connections, it
+// does not retire the client.
+func TestCloseIsSafeAndNonTerminal(t *testing.T) {
+	var nilClient *Client
+	nilClient.Close() // must not panic
+
+	cache := warmcache.New(8)
+	cache.Store("warm:k", testState(0.4))
+	srv, reqs := donor(t, cache)
+
+	c := NewClient(Config{Peers: []string{srv.URL}})
+	if st := c.Fetch(context.Background(), "warm:k"); st == nil {
+		t.Fatal("fetch before Close missed")
+	}
+	c.Close()
+	c.Close() // idempotent
+	if st := c.Fetch(context.Background(), "warm:k"); st == nil {
+		t.Fatal("fetch after Close missed; Close must only drop idle connections")
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("donor saw %d requests, want 2", got)
+	}
+	c.Close()
+}

@@ -1,0 +1,11 @@
+package peer
+
+import (
+	"testing"
+
+	"dispersal/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// typically an HTTP keep-alive reader from a Client nobody closed.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -170,6 +170,18 @@ func NewClient(cfg Config) *Client {
 	}
 }
 
+// Close releases the client's network resources: it drops the HTTP
+// transport's idle keep-alive connections, so their reader goroutines exit
+// instead of outliving the client. In-flight fetches are unaffected; the
+// client remains usable (a later Fetch just redials). Safe on a nil client
+// and safe to call more than once.
+func (c *Client) Close() {
+	if c == nil {
+		return
+	}
+	c.http.CloseIdleConnections()
+}
+
 // Peers returns the normalized peer base URLs (nil on a nil client).
 func (c *Client) Peers() []string {
 	if c == nil {

@@ -1,0 +1,12 @@
+package server
+
+import (
+	"testing"
+
+	"dispersal/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running — a
+// snapshot loop that outlives Close, a peer fetch that never returns, a
+// keep-alive reader nobody shut down.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -195,11 +195,13 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close releases the server's background resources: it stops the snapshot
-// loop and writes a final warm-state snapshot, so a clean shutdown persists
-// everything the last tick missed. Safe on a server built without a state
-// directory, and safe to call more than once.
+// Close releases the server's background resources: it drops the peer
+// client's idle connections, stops the snapshot loop and writes a final
+// warm-state snapshot, so a clean shutdown persists everything the last
+// tick missed. Safe on a server built without peers or a state directory,
+// and safe to call more than once.
 func (s *Server) Close() error {
+	s.peers.Close()
 	if s.snap == nil {
 		return nil
 	}

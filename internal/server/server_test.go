@@ -19,7 +19,12 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(cfg)
 	ts := httptest.NewServer(s)
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
 	return s, ts
 }
 

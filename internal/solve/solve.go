@@ -277,7 +277,10 @@ func (s *State) Drift(f site.Values) float64 {
 func ConstantOnRange(c policy.Congestion, k int) bool {
 	c1 := c.At(1)
 	for l := 2; l <= k; l++ {
-		if c.At(l) != c1 {
+		// Exact comparison on purpose: this detects the degenerate
+		// constant-policy case, and a tolerance here would reroute
+		// near-constant games onto the argmax shortcut and change results.
+		if !numeric.EqualExact(c.At(l), c1) {
 			return false
 		}
 	}

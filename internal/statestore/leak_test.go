@@ -1,0 +1,12 @@
+package statestore
+
+import (
+	"testing"
+
+	"dispersal/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running — the
+// package owns exactly one (the snapshot loop), so a leak here means Close
+// or Start broke.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -237,6 +237,13 @@ func (s *Snapshotter) Start() {
 	s.started = true
 	go func() {
 		defer close(s.done)
+		// Snapshots are advisory: a panic out of a snapshot must not kill
+		// the replica, and done must still close so Close never hangs.
+		defer func() {
+			if r := recover(); r != nil {
+				s.logf("warm-state snapshot loop: panic: %v", r)
+			}
+		}()
 		t := time.NewTicker(s.interval)
 		defer t.Stop()
 		for {

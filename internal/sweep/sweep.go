@@ -12,6 +12,7 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -36,7 +37,8 @@ func Workers(n, items int) int {
 // the results in input order. The first error cancels the remaining work and
 // is returned; a cancelled ctx likewise stops the pool early and surfaces
 // ctx.Err(). On error the returned slice holds the results completed so far
-// (zero values elsewhere).
+// (zero values elsewhere). A panic out of fn is recovered and returned as
+// the batch error rather than killing the process.
 func Map[I, O any](ctx context.Context, items []I, workers int, fn func(ctx context.Context, index int, item I) (O, error)) ([]O, error) {
 	out := make([]O, len(items))
 	if len(items) == 0 {
@@ -66,6 +68,14 @@ func Map[I, O any](ctx context.Context, items []I, workers int, fn func(ctx cont
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// A panic out of fn becomes the batch error instead of killing
+			// the process: the recover runs before wg.Done (LIFO), so
+			// Map's wg.Wait can never deadlock on a poisoned item.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("sweep: item function panicked: %v", r))
+				}
+			}()
 			for i := range idx {
 				o, err := fn(ctx, i, items[i])
 				if err != nil {
