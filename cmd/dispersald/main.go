@@ -7,7 +7,8 @@
 //	dispersald [-addr HOST:PORT] [-workers N] [-cache-size N]
 //	           [-warm-cache-size N] [-timeout D]
 //	           [-state-dir DIR] [-snapshot-interval D]
-//	           [-peers HOST:PORT,...] [-peer-timeout D]
+//	           [-fleet URL,URL,... -self URL] [-peers HOST:PORT,...]
+//	           [-peer-timeout D]
 //
 // Endpoints (see internal/server and docs/http-api.md):
 //
@@ -16,10 +17,13 @@
 //	POST /v1/trajectory  {"spec": ..., "frames": [...]} or
 //	                     {"spec": ..., "deltas": [...]} -> one NDJSON line
 //	                     per drifting-landscape frame, warm-start solved
-//	GET  /v1/warmstate   peer exchange: warm solver state for one
+//	GET  /v1/warmstate   peer exchange, pull: warm solver state for one
 //	                     ?key=<locality key> (binary statewire payload)
+//	POST /v1/warmstate   peer exchange, push (fleet mode): a statewire
+//	                     envelope of states replicated here proactively
 //	GET  /healthz        liveness
-//	GET  /statsz         cache, warm-cache, federation and request counters
+//	GET  /statsz         cache, warm-cache, federation, ring and request
+//	                     counters
 //
 // Identical specs (trajectory frames included) share one cache entry and
 // concurrent identical requests solve once (singleflight); near-identical
@@ -31,10 +35,14 @@
 // The warm state federates across processes: with -state-dir it is
 // snapshotted to disk every -snapshot-interval (and on shutdown) and loaded
 // back at boot, so a restarted replica serves its first repeat-locality
-// request warm; with -peers a local warm miss asks the listed sibling
-// replicas (bounded by -peer-timeout) before solving cold. Both paths are
-// best-effort seeds — a stale snapshot or a lying peer can only cost a warm
-// attempt, never change a result.
+// request warm. With -fleet (the full replica list, self included, named
+// again by -self) the replicas divide the warm keyspace by consistent
+// hashing: a local warm miss asks only the key's owner (one successor
+// fallback on owner error), and every fresh solve is pushed to the key's
+// owner and its followers, so the fleet warms itself ahead of demand. The
+// legacy -peers flag instead polls every listed sibling on each miss. All
+// paths are best-effort seeds — a stale snapshot or a lying peer can only
+// cost a warm attempt, never change a result.
 package main
 
 import (
@@ -50,6 +58,8 @@ import (
 	"syscall"
 	"time"
 
+	"dispersal/internal/peer"
+	"dispersal/internal/ring"
 	"dispersal/internal/server"
 )
 
@@ -61,7 +71,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request solver deadline (0 = none)")
 	stateDir := flag.String("state-dir", "", "persist the warm cache in this directory across restarts (empty = in-memory only)")
 	snapshotInterval := flag.Duration("snapshot-interval", 30*time.Second, "warm-state snapshot cadence under -state-dir (<= 0 selects the default)")
-	peers := flag.String("peers", "", "comma-separated sibling replicas (host:port) consulted for warm state on local misses")
+	fleet := flag.String("fleet", "", "comma-separated base URLs of every replica in an ownership-routed fleet, self included (requires -self)")
+	self := flag.String("self", "", "this replica's own entry in -fleet (its advertised base URL)")
+	peers := flag.String("peers", "", "comma-separated sibling replicas (host:port) polled for warm state on local misses; ignored with -fleet")
 	peerTimeout := flag.Duration("peer-timeout", 250*time.Millisecond, "deadline for one whole peer warm-state fetch round (<= 0 selects the default)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
@@ -70,6 +82,16 @@ func main() {
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
 			peerList = append(peerList, p)
+		}
+	}
+	// Fail fast on an unusable fleet: the server would log and run
+	// standalone, but a misconfigured flag deserves a hard error at the
+	// operator's terminal, not a silently degraded warm tier.
+	fleetList := peer.NormalizeAddrs(strings.Split(*fleet, ","))
+	if len(fleetList) > 0 || *self != "" {
+		if _, err := ring.New(fleetList, peer.NormalizeAddr(*self)); err != nil {
+			fmt.Fprintln(os.Stderr, "dispersald: -fleet/-self:", err)
+			os.Exit(2)
 		}
 	}
 
@@ -87,6 +109,8 @@ func main() {
 		StateDir:         *stateDir,
 		SnapshotInterval: *snapshotInterval,
 		Peers:            peerList,
+		Fleet:            fleetList,
+		SelfID:           *self,
 		PeerTimeout:      *peerTimeout,
 		Logf:             logf,
 	})
@@ -119,8 +143,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers=%d cache-size=%d timeout=%s state-dir=%q peers=%d)",
-			*addr, *workers, *cacheSize, *timeout, *stateDir, len(peerList))
+		logger.Printf("listening on %s (workers=%d cache-size=%d timeout=%s state-dir=%q fleet=%d peers=%d)",
+			*addr, *workers, *cacheSize, *timeout, *stateDir, len(fleetList), len(peerList))
 		errc <- httpSrv.ListenAndServe()
 	}()
 

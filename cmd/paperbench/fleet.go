@@ -1,0 +1,324 @@
+package main
+
+// The -fleet benchmark: proof that ownership routing beats the pull
+// topology it replaced. Two in-process 3-replica fleets serve the same
+// shuffled drift grid — L distinct localities, each visited once per
+// replica with a drifted-but-same-bucket landscape. The ownership fleet
+// (-fleet/-self wiring: ring-routed fetches plus solver->owner->follower
+// pushes) must turn the repeat visits into LOCAL warm hits, because the
+// first solve was pushed to every replica ahead of demand; the pull fleet
+// (-peers wiring) can only fetch on each miss, so its repeat visits stay
+// peer-seeded at best. The benchmark gates on the local warm-hit gap and
+// on the peer fan-out per fetch round (requests-per-miss), which ownership
+// routing pins at one.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"dispersal"
+	"dispersal/internal/server"
+	"dispersal/internal/site"
+	"dispersal/internal/speccodec"
+)
+
+// The fleet workload: landscapes small enough that 6L solves stay quick —
+// the benchmark measures routing, not solver latency.
+const (
+	fleetSites    = 32
+	fleetK        = 24
+	fleetReplicas = 3
+	// fleetSettle is how long the benchmark waits after each request for
+	// the (asynchronous, best-effort) pushes to land before the next visit.
+	fleetSettle = 25 * time.Millisecond
+)
+
+// fleetReplicaStats is the slice of /statsz the benchmark asserts on.
+type fleetReplicaStats struct {
+	WarmCache struct {
+		Seeded   int64 `json:"seeded"`
+		Fallback int64 `json:"fallback"`
+	} `json:"warm_cache"`
+	Peers struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Seeded    int64 `json:"seeded"`
+		Fallbacks int64 `json:"fallbacks"`
+	} `json:"peers"`
+	Ring struct {
+		PushesSent    int64 `json:"pushes_sent"`
+		PushesApplied int64 `json:"pushes_applied"`
+		Forwarded     int64 `json:"forwarded"`
+		PushesDropped int64 `json:"pushes_dropped"`
+		PushErrors    int64 `json:"push_errors"`
+	} `json:"ring"`
+	Solves int64 `json:"solves"`
+}
+
+// benchFleet is one running 3-replica topology.
+type benchFleet struct {
+	urls []string
+	// warmGETs counts GET /v1/warmstate requests each replica received —
+	// the fan-out numerator, measured at the only place it cannot lie.
+	warmGETs []atomic.Int64
+	closers  []func()
+}
+
+func (f *benchFleet) close() {
+	for _, c := range f.closers {
+		c()
+	}
+}
+
+// bootBenchFleet starts fleetReplicas dispersald servers on real
+// listeners, wired as an ownership fleet (-fleet/-self) or a pull mesh
+// (-peers), each behind a middleware that counts warm-state GETs.
+func bootBenchFleet(ownership bool) (*benchFleet, error) {
+	f := &benchFleet{
+		urls:     make([]string, fleetReplicas),
+		warmGETs: make([]atomic.Int64, fleetReplicas),
+	}
+	listeners := make([]net.Listener, fleetReplicas)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		listeners[i] = l
+		f.urls[i] = "http://" + l.Addr().String()
+		f.closers = append(f.closers, func() { l.Close() })
+	}
+	for i := range listeners {
+		cfg := server.Config{Timeout: time.Minute, PeerTimeout: 2 * time.Second}
+		if ownership {
+			cfg.Fleet = f.urls
+			cfg.SelfID = f.urls[i]
+		} else {
+			for j, u := range f.urls {
+				if j != i {
+					cfg.Peers = append(cfg.Peers, u)
+				}
+			}
+		}
+		srv := server.New(cfg)
+		counter := &f.warmGETs[i]
+		hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodGet && r.URL.Path == "/v1/warmstate" {
+				counter.Add(1)
+			}
+			srv.ServeHTTP(w, r)
+		})}
+		go hs.Serve(listeners[i])
+		f.closers = append(f.closers, func() {
+			hs.Close()
+			srv.Close()
+		})
+	}
+	return f, nil
+}
+
+// fleetVisit is one request of the drift grid: a spec body for a specific
+// replica.
+type fleetVisit struct {
+	replica int
+	body    []byte
+}
+
+// buildFleetGrid makes L distinct localities and one visit per replica per
+// locality: visit 0 is the base landscape, the others are drifted within
+// the same locality bucket (so only the warm tier can connect them) but
+// under different exact cache keys (so every visit really solves).
+func buildFleetGrid(localities int) ([]fleetVisit, error) {
+	seen := make(map[string]bool, localities)
+	visits := make([]fleetVisit, 0, localities*fleetReplicas)
+	for l := 0; l < localities; l++ {
+		base := dispersal.Values(site.Geometric(fleetSites, 1+float64(l), 0.8+0.01*float64(l%10)))
+		spec := dispersal.Spec{Values: base, K: fleetK, Policy: dispersal.Sharing()}
+		baseKey, err := speccodec.LocalityKey(spec)
+		if err != nil {
+			return nil, err
+		}
+		if seen[baseKey] {
+			return nil, fmt.Errorf("localities %d and an earlier one share bucket %s; grid too dense", l, baseKey)
+		}
+		seen[baseKey] = true
+		for v := 0; v < fleetReplicas; v++ {
+			values := base
+			if v > 0 {
+				// Shrink the drift until no site crosses a bucket edge,
+				// exactly like the -restart benchmark's repeat request.
+				drifted := make(dispersal.Values, len(base))
+				for eps := 3e-4 * float64(v); ; eps /= 4 {
+					if eps < 1e-12 {
+						return nil, fmt.Errorf("locality %d: could not construct a repeat-locality drift", l)
+					}
+					for i, val := range base {
+						drifted[i] = val * (1 + eps)
+					}
+					key, err := speccodec.LocalityKey(dispersal.Spec{Values: drifted, K: fleetK, Policy: dispersal.Sharing()})
+					if err != nil {
+						return nil, err
+					}
+					if key == baseKey {
+						break
+					}
+				}
+				values = drifted
+			}
+			body, err := speccodec.Encode(dispersal.Spec{Values: values, K: fleetK, Policy: dispersal.Sharing()})
+			if err != nil {
+				return nil, err
+			}
+			visits = append(visits, fleetVisit{replica: v, body: body})
+		}
+	}
+	return visits, nil
+}
+
+// fleetOutcome is one topology's aggregate scorecard over the grid.
+type fleetOutcome struct {
+	localSeeded int64 // warm solves seeded from the replica's own cache
+	peerSeeded  int64 // warm solves seeded by a network fetch
+	rounds      int64 // fetch rounds that went to the network
+	warmGETs    int64 // warm-state GETs received fleet-wide
+	solves      int64
+	fallbacks   int64
+	pushErrors  int64
+	dropped     int64
+	applied     int64
+}
+
+// localHitRate is the fraction of visits answered off the replica's own
+// warm cache.
+func (o fleetOutcome) localHitRate(visits int) float64 {
+	return float64(o.localSeeded) / float64(visits)
+}
+
+// fanOut is the mean warm-state GETs per fetch round — the requests-per-
+// miss the topology costs the fleet.
+func (o fleetOutcome) fanOut() float64 {
+	if o.rounds == 0 {
+		return 0
+	}
+	return float64(o.warmGETs) / float64(o.rounds)
+}
+
+// runGrid serves every visit in order against the fleet and aggregates
+// the outcome from each replica's /statsz.
+func runGrid(ctx context.Context, f *benchFleet, visits []fleetVisit) (fleetOutcome, error) {
+	var out fleetOutcome
+	for _, v := range visits {
+		if err := analyzeOnce(ctx, f.urls[v.replica], v.body); err != nil {
+			return out, err
+		}
+		// Let the asynchronous pushes land before the next visit; the pull
+		// fleet gets the same pause, which it has no use for.
+		select {
+		case <-time.After(fleetSettle):
+		case <-ctx.Done():
+			return out, ctx.Err()
+		}
+	}
+	for i, u := range f.urls {
+		var s fleetReplicaStats
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/statsz", nil)
+		if err != nil {
+			return out, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return out, err
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return out, err
+		}
+		if err := json.Unmarshal(payload, &s); err != nil {
+			return out, fmt.Errorf("statsz from replica %d: %w", i, err)
+		}
+		out.localSeeded += s.WarmCache.Seeded - s.Peers.Seeded
+		out.peerSeeded += s.Peers.Seeded
+		out.rounds += s.Peers.Hits + s.Peers.Misses
+		out.warmGETs += f.warmGETs[i].Load()
+		out.solves += s.Solves
+		out.fallbacks += s.Peers.Fallbacks
+		out.pushErrors += s.Ring.PushErrors
+		out.dropped += s.Ring.PushesDropped
+		out.applied += s.Ring.PushesApplied
+	}
+	return out, nil
+}
+
+// runFleetBench drives the same shuffled drift grid through an ownership
+// fleet and a pull fleet and gates on the routing advantage: a local
+// warm-hit rate at least minHitGain above the pull fleet's, and a peer
+// fan-out of one request per round against the pull fleet's strictly
+// higher cost.
+func runFleetBench(ctx context.Context, localities int, minHitGain float64) error {
+	if localities < 2 {
+		return fmt.Errorf("-fleet-localities must be >= 2, got %d", localities)
+	}
+	visits, err := buildFleetGrid(localities)
+	if err != nil {
+		return err
+	}
+	// One shared shuffle (seeded: the benchmark must be reproducible), so
+	// both topologies serve the identical request sequence.
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(visits), func(i, j int) { visits[i], visits[j] = visits[j], visits[i] })
+	fmt.Printf("fleet benchmark: %d replicas, %d localities x %d visits (M=%d sites, k=%d, sharing), shuffled\n\n",
+		fleetReplicas, localities, fleetReplicas, fleetSites, fleetK)
+
+	run := func(ownership bool) (fleetOutcome, error) {
+		f, err := bootBenchFleet(ownership)
+		if err != nil {
+			return fleetOutcome{}, err
+		}
+		defer f.close()
+		return runGrid(ctx, f, visits)
+	}
+	own, err := run(true)
+	if err != nil {
+		return fmt.Errorf("ownership fleet: %w", err)
+	}
+	pull, err := run(false)
+	if err != nil {
+		return fmt.Errorf("pull fleet: %w", err)
+	}
+
+	n := len(visits)
+	fmt.Printf("ownership fleet: local warm-hit rate %.2f (%d/%d), peer-seeded %d, fan-out %.2f GETs/round (%d GETs / %d rounds), fallbacks %d, pushes applied %d\n",
+		own.localHitRate(n), own.localSeeded, n, own.peerSeeded, own.fanOut(), own.warmGETs, own.rounds, own.fallbacks, own.applied)
+	fmt.Printf("pull fleet:      local warm-hit rate %.2f (%d/%d), peer-seeded %d, fan-out %.2f GETs/round (%d GETs / %d rounds)\n",
+		pull.localHitRate(n), pull.localSeeded, n, pull.peerSeeded, pull.fanOut(), pull.warmGETs, pull.rounds)
+	fmt.Printf("local warm-hit gain: %+.2f; fan-out saved per round: %.2f\n",
+		own.localHitRate(n)-pull.localHitRate(n), pull.fanOut()-own.fanOut())
+
+	if own.solves != int64(n) || pull.solves != int64(n) {
+		return fmt.Errorf("grid did not force one solve per visit (ownership %d, pull %d, want %d): the exact cache answered; the comparison is void",
+			own.solves, pull.solves, n)
+	}
+	if own.pushErrors != 0 || own.dropped != 0 {
+		return fmt.Errorf("ownership fleet shed pushes on a healthy grid (errors=%d dropped=%d)", own.pushErrors, own.dropped)
+	}
+	if gain := own.localHitRate(n) - pull.localHitRate(n); gain < minHitGain {
+		return fmt.Errorf("ownership local warm-hit gain %.2f is below the %.2f target (%.2f vs %.2f)",
+			gain, minHitGain, own.localHitRate(n), pull.localHitRate(n))
+	}
+	if own.rounds > 0 && own.fanOut() > 1.01 {
+		return fmt.Errorf("ownership fan-out %.2f GETs/round; ownership routing must ask exactly the owner", own.fanOut())
+	}
+	if pull.rounds > 0 && own.rounds > 0 && pull.fanOut() <= own.fanOut() {
+		return fmt.Errorf("pull fan-out %.2f is not above ownership's %.2f; the comparison is void", pull.fanOut(), own.fanOut())
+	}
+	return nil
+}

@@ -53,6 +53,9 @@ func main() {
 	minSPoASpeedup := flag.Float64("min-spoa-speedup", 2, "fail -trajectory when the full-analysis (SPoA path) warm speedup is below this (0 disables)")
 	restart := flag.Bool("restart", false, "prove warm-state snapshot persistence: reboot a replica from its -state-dir snapshot and require its first repeat-locality request to solve warm")
 	minRestartSpeedup := flag.Float64("min-restart-speedup", 0, "fail -restart when the rebooted replica's first request is not this much faster than a stateless boot's (0 disables)")
+	fleetMode := flag.Bool("fleet", false, "prove ownership routing beats the pull topology: serve a shuffled drift grid through a 3-replica push fleet and a 3-replica pull fleet and compare local warm-hit rate and peer fan-out")
+	fleetLocalities := flag.Int("fleet-localities", 12, "distinct locality buckets in the -fleet drift grid (each visited once per replica)")
+	minFleetHitGain := flag.Float64("min-fleet-hit-gain", 0.3, "fail -fleet when the ownership fleet's local warm-hit rate does not beat the pull fleet's by this margin")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -81,6 +84,14 @@ func main() {
 
 	if *restart {
 		if err := runRestartBench(ctx, *minRestartSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fleetMode {
+		if err := runFleetBench(ctx, *fleetLocalities, *minFleetHitGain); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}

@@ -134,6 +134,7 @@ func Default() *framework.Analyzer {
 	return New([]string{
 		"internal/server",
 		"internal/peer",
+		"internal/ring",
 		"internal/statestore",
 		"internal/sweep",
 	})

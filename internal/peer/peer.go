@@ -1,17 +1,26 @@
-// Package peer is the warm-state federation layer of dispersald: a
-// client/server pair that lets replicas serving the same drifting
+// Package peer is the warm-state federation layer of dispersald: the
+// client/server machinery that lets replicas serving the same drifting
 // landscapes exchange solver-core states (internal/solve.State) instead of
 // each re-solving cold what a sibling already solved.
 //
-// The server half is Handler: GET /v1/warmstate?key=<LocalityKey> answers
-// the statewire encoding of the replica's newest cached state for that
-// locality bucket, or 404. The client half is Client: on a local warm-cache
-// miss a replica started with -peers asks each configured peer in turn,
-// under one bounded timeout, and seeds its solve from the first state that
-// decodes. Concurrent misses on one key collapse onto a single round of
-// peer fetches (singleflight), and a key no peer could answer is memoized
-// negatively for a short TTL so a burst of cold traffic cannot turn into a
-// peer-hammering storm.
+// The exchange has a pull side and a push side, both on /v1/warmstate.
+// GET ?key=<LocalityKey> (Handler) answers the statewire encoding of the
+// replica's newest cached state for that locality bucket, or 404. POST
+// (Pusher.Handler, push.go) receives a statewire push envelope — a batch
+// of keyed states another replica replicated here proactively.
+//
+// The client half is Client: on a local warm-cache miss a replica fetches
+// the key from the fleet under one bounded timeout. With a consistent-hash
+// ring configured (Config.Ring, the -fleet topology) the fetch is
+// ownership-routed: only the key's owner is asked — O(1) fan-out however
+// large the fleet — with one successor fallback when the owner errors (a
+// clean 404 from the owner ends the round; the owner is authoritative).
+// Without a ring (the legacy -peers topology) the client polls every
+// configured peer in turn. Concurrent misses on one key collapse onto a
+// single round (singleflight), and a key the fleet could not answer is
+// memoized negatively for a short TTL — with expired entries swept on a
+// TTL cadence and a hard cap, so a churning keyspace cannot grow the memo
+// without bound.
 //
 // Federation is strictly best-effort, inheriting the warm tier's safety
 // story: a peer that is down, slow, lying or speaking a future wire version
@@ -32,9 +41,38 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dispersal/internal/ring"
 	"dispersal/internal/solve"
 	"dispersal/internal/statewire"
 )
+
+// NormalizeAddr canonicalizes one replica address: whitespace trimmed, an
+// http:// scheme added when none is present, trailing slashes dropped. The
+// empty string stays empty. Every layer that names replicas — the ring's
+// member IDs, the client's peer list, the pusher's targets — must agree on
+// this form, or routing silently degrades to cold solving.
+func NormalizeAddr(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ""
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return strings.TrimRight(s, "/")
+}
+
+// NormalizeAddrs maps NormalizeAddr over a list, dropping entries that
+// normalize to empty.
+func NormalizeAddrs(addrs []string) []string {
+	out := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if n := NormalizeAddr(a); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // WarmStatePath is the exchange endpoint's URL path.
 const WarmStatePath = "/v1/warmstate"
@@ -83,16 +121,32 @@ type Stats struct {
 	// NegativeMemoHits counts fetches suppressed by the negative-result
 	// memo before any network traffic.
 	NegativeMemoHits int64 `json:"negative_memo_hits"`
+	// Fallbacks counts ownership-routed rounds that moved past the key's
+	// owner to a successor because the owner errored (never because it
+	// answered a clean 404). Always zero without a ring.
+	Fallbacks int64 `json:"fallbacks"`
 	// LatencyMSTotal accumulates the wall time of all fetch rounds that
-	// went to the network, in milliseconds; divide by Hits+Misses for the
-	// mean round latency.
+	// went to the network, in milliseconds. Do not divide by Hits+Misses
+	// yourself — a fresh client has zero rounds; LatencyMSMean carries the
+	// zero-guarded quotient.
 	LatencyMSTotal float64 `json:"latency_ms_total"`
+	// LatencyMSMean is the mean network round latency in milliseconds:
+	// LatencyMSTotal over Hits+Misses, or 0 before any round has run.
+	LatencyMSMean float64 `json:"latency_ms_mean"`
 }
 
 // Config tunes a Client.
 type Config struct {
-	// Peers lists donor replicas as host:port or http(s)://host:port.
+	// Peers lists donor replicas as host:port or http(s)://host:port —
+	// the legacy pull topology, polled in order on every miss. Ignored
+	// when Ring is set.
 	Peers []string
+	// Ring, when non-nil, selects ownership routing over the fleet it
+	// describes: a fetch asks only the key's owner (successor fallback on
+	// owner error), and the member IDs are the replicas' base URLs in
+	// NormalizeAddr form. A ring whose only member is self yields the nil
+	// no-op client.
+	Ring *ring.Ring
 	// Timeout bounds one whole fetch round across all peers; <= 0 selects
 	// DefaultTimeout. It should be well under the solve time it hopes to
 	// save.
@@ -115,17 +169,22 @@ const (
 // Client fetches warm states from a fixed peer set. Construct with
 // NewClient; all methods are safe for concurrent use.
 type Client struct {
-	peers       []string // normalized base URLs
+	peers       []string   // normalized base URLs (pull order; ring mode: the other members)
+	ring        *ring.Ring // nil in pull mode
 	timeout     time.Duration
 	negativeTTL time.Duration
 	http        *http.Client
 
-	hits, misses, errors, negHits atomic.Int64
-	latencyNS                     atomic.Int64
+	hits, misses, errors, negHits, fallbacks atomic.Int64
+	latencyNS                                atomic.Int64
 
 	mu       sync.Mutex
 	inflight map[string]*call
 	negative map[string]time.Time // key -> memo expiry
+	// negSweep is when the memo is next swept for expired entries; the
+	// sweep runs opportunistically inside Fetch so expiry never needs its
+	// own goroutine.
+	negSweep time.Time
 }
 
 // call is one in-flight fetch round other callers of the same key wait on.
@@ -134,20 +193,21 @@ type call struct {
 	st   *solve.State
 }
 
-// NewClient builds a client for the given peers; it returns nil when no
-// peers are configured, and the nil Client is a safe no-op (Fetch misses,
-// Stats is zero), so callers thread it unconditionally.
+// maxNegativeEntries caps the negative memo outright: beyond it the sweep
+// runs regardless of cadence, and if everything is still live the memo is
+// dropped wholesale — re-asking peers is cheaper than an unbounded map.
+const maxNegativeEntries = 4096
+
+// NewClient builds a client for the given topology; it returns nil when
+// neither peers nor a multi-member ring are configured, and the nil Client
+// is a safe no-op (Fetch misses, Stats is zero), so callers thread it
+// unconditionally.
 func NewClient(cfg Config) *Client {
-	peers := make([]string, 0, len(cfg.Peers))
-	for _, p := range cfg.Peers {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		if !strings.Contains(p, "://") {
-			p = "http://" + p
-		}
-		peers = append(peers, strings.TrimRight(p, "/"))
+	var peers []string
+	if cfg.Ring != nil {
+		peers = cfg.Ring.Others()
+	} else {
+		peers = NormalizeAddrs(cfg.Peers)
 	}
 	if len(peers) == 0 {
 		return nil
@@ -162,11 +222,13 @@ func NewClient(cfg Config) *Client {
 	}
 	return &Client{
 		peers:       peers,
+		ring:        cfg.Ring,
 		timeout:     timeout,
 		negativeTTL: ttl,
 		http:        &http.Client{Transport: cfg.Transport},
 		inflight:    make(map[string]*call),
 		negative:    make(map[string]time.Time),
+		negSweep:    time.Now().Add(ttl),
 	}
 }
 
@@ -190,18 +252,25 @@ func (c *Client) Peers() []string {
 	return append([]string(nil), c.peers...)
 }
 
-// Stats snapshots the counters (zero on a nil client).
+// Stats snapshots the counters (zero on a nil client). The latency mean is
+// computed here, zero-guarded, so no renderer ever divides a fresh
+// client's zero rounds.
 func (c *Client) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	return Stats{
+	s := Stats{
 		Hits:             c.hits.Load(),
 		Misses:           c.misses.Load(),
 		Errors:           c.errors.Load(),
 		NegativeMemoHits: c.negHits.Load(),
+		Fallbacks:        c.fallbacks.Load(),
 		LatencyMSTotal:   float64(c.latencyNS.Load()) / float64(time.Millisecond),
 	}
+	if rounds := s.Hits + s.Misses; rounds > 0 {
+		s.LatencyMSMean = s.LatencyMSTotal / float64(rounds)
+	}
+	return s
 }
 
 // Fetch returns the first peer-provided state for key, or nil when no peer
@@ -212,9 +281,11 @@ func (c *Client) Fetch(ctx context.Context, key string) *solve.State {
 	if c == nil || key == "" {
 		return nil
 	}
+	now := time.Now()
 	c.mu.Lock()
+	c.sweepNegativeLocked(now)
 	if expiry, ok := c.negative[key]; ok {
-		if time.Now().Before(expiry) {
+		if now.Before(expiry) {
 			c.mu.Unlock()
 			c.negHits.Add(1)
 			return nil
@@ -246,16 +317,7 @@ func (c *Client) Fetch(ctx context.Context, key string) *solve.State {
 	// about the peers and must not poison the key for later requests.
 	if cl.st == nil && ctx.Err() == nil {
 		c.negative[key] = time.Now().Add(c.negativeTTL)
-		// The memo map only grows on distinct missed keys; prune expired
-		// entries opportunistically so it cannot grow without bound.
-		if len(c.negative) > 4096 {
-			now := time.Now()
-			for k, exp := range c.negative {
-				if now.After(exp) {
-					delete(c.negative, k)
-				}
-			}
-		}
+		c.sweepNegativeLocked(time.Now())
 	}
 	c.mu.Unlock()
 	close(cl.done)
@@ -269,10 +331,36 @@ func (c *Client) Fetch(ctx context.Context, key string) *solve.State {
 	return cl.st
 }
 
-// fetchRound asks each peer in turn under one shared deadline.
+// sweepNegativeLocked drops expired negative-memo entries. It runs on a
+// TTL cadence (and immediately when the memo is over its hard cap), so the
+// memo shrinks even when the expired keys are never looked up again — a
+// churning keyspace used to grow it without bound. Caller holds c.mu.
+func (c *Client) sweepNegativeLocked(now time.Time) {
+	if now.Before(c.negSweep) && len(c.negative) <= maxNegativeEntries {
+		return
+	}
+	for k, exp := range c.negative {
+		if now.After(exp) {
+			delete(c.negative, k)
+		}
+	}
+	if len(c.negative) > maxNegativeEntries {
+		// Everything is live yet the memo is over cap: drop it wholesale —
+		// re-asking peers about a few thousand keys is cheaper than an
+		// unbounded map.
+		c.negative = make(map[string]time.Time)
+	}
+	c.negSweep = now.Add(c.negativeTTL)
+}
+
+// fetchRound performs one network round under the shared deadline:
+// ownership-routed when a ring is configured, poll-everyone otherwise.
 func (c *Client) fetchRound(ctx context.Context, key string) *solve.State {
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
+	if c.ring != nil {
+		return c.fetchOwnerRoute(ctx, key)
+	}
 	for _, p := range c.peers {
 		st, err := c.fetchOne(ctx, p, key)
 		if err != nil {
@@ -287,6 +375,49 @@ func (c *Client) fetchRound(ctx context.Context, key string) *solve.State {
 		return st
 	}
 	return nil
+}
+
+// fetchOwnerRoute asks the key's owner, moving to at most one successor
+// when the owner errors. A clean 404 ends the round without a fallback:
+// the owner is authoritative for its keys, so a cold owner means the fleet
+// is cold — that is what keeps the fan-out at one request per miss.
+func (c *Client) fetchOwnerRoute(ctx context.Context, key string) *solve.State {
+	targets := c.routeTargets(key)
+	for i, p := range targets {
+		st, err := c.fetchOne(ctx, p, key)
+		if err == nil {
+			return st
+		}
+		if errors.Is(err, errNotFound) {
+			return nil
+		}
+		c.errors.Add(1)
+		if ctx.Err() != nil {
+			return nil // round deadline spent; stop asking
+		}
+		if i+1 < len(targets) {
+			c.fallbacks.Add(1)
+		}
+	}
+	return nil
+}
+
+// routeTargets is the preference-ordered request list for key: the owner,
+// then its first successor as the error fallback — with self skipped in
+// both roles. (The client only fetches after a local miss; when self owns
+// the key, the followers are where its pushed replicas live.)
+func (c *Client) routeTargets(key string) []string {
+	out := make([]string, 0, 2)
+	for _, m := range c.ring.Successors(key, c.ring.Size()) {
+		if m == c.ring.Self() {
+			continue
+		}
+		out = append(out, m)
+		if len(out) == 2 {
+			break
+		}
+	}
+	return out
 }
 
 // errNotFound distinguishes a clean 404 (peer is healthy, just cold) from a

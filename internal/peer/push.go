@@ -1,0 +1,340 @@
+// The push half of warm-state federation: where peer.Client pulls a key
+// on a local miss, the Pusher replicates freshly solved states ahead of
+// demand. Every replica that solves a key hands the state to its Pusher;
+// the pusher routes it by ring ownership — an owner pushes to its
+// followers (hops=0), a non-owner forwards to the key's owner (hops=1),
+// and the owner's receiving handler re-pushes a forwarded state onward to
+// the followers. The hop budget makes the longest route
+// solver -> owner -> followers; nothing propagates further, so pushes
+// cannot loop however the fleet is configured.
+//
+// Pushing is strictly best-effort and fully decoupled from the solve path:
+// Solved only enqueues onto a bounded queue (dropping on backpressure,
+// never blocking), and a single supervised worker batches the queue into
+// statewire push envelopes POSTed under a short timeout. A dead or slow
+// follower costs dropped pushes and error counts — never solve latency.
+// Like pulled states, pushed states enter the receiver's warm cache as
+// best-effort verified seeds; they can never change results.
+
+package peer
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dispersal/internal/ring"
+	"dispersal/internal/solve"
+	"dispersal/internal/statewire"
+)
+
+// Store is the receiver side's view of a warm cache: where pushed states
+// land (warmcache.Cache.Store).
+type Store interface {
+	Store(key string, st *solve.State)
+}
+
+// pushFollowers is how many followers an owner replicates each key to.
+// Two replicas besides the owner survive any single-node loss and match
+// the fetch path's owner-plus-one-successor route.
+const pushFollowers = 2
+
+// Defaults for PusherConfig.
+const (
+	DefaultPushQueueLen = 256
+	DefaultPushBatch    = 16
+)
+
+// PusherConfig tunes a Pusher.
+type PusherConfig struct {
+	// Ring is the fleet topology; member IDs are replica base URLs in
+	// NormalizeAddr form. A nil ring, or one whose only member is self,
+	// yields the nil no-op Pusher.
+	Ring *ring.Ring
+	// Timeout bounds one batched POST to one target; <= 0 selects
+	// DefaultTimeout.
+	Timeout time.Duration
+	// QueueLen bounds the enqueue buffer; beyond it Solved drops. <= 0
+	// selects DefaultPushQueueLen.
+	QueueLen int
+	// Batch is how many queued records one envelope carries at most; <= 0
+	// selects DefaultPushBatch, and it is capped at
+	// statewire.MaxEnvelopeRecords.
+	Batch int
+	// Transport overrides the HTTP transport (tests); nil uses
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+	// Logf receives supervision and encode-failure logs; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// PushStats is a point-in-time snapshot of a Pusher's counters.
+type PushStats struct {
+	// Sent counts records enqueued toward followers (the owner role, plus
+	// owner-side re-pushes of forwarded states).
+	Sent int64 `json:"sent"`
+	// Forwarded counts records enqueued toward a key's owner because a
+	// non-owner solved them.
+	Forwarded int64 `json:"forwarded"`
+	// Applied counts pushed records this replica received and stored.
+	Applied int64 `json:"applied"`
+	// Dropped counts records shed on backpressure (full queue).
+	Dropped int64 `json:"dropped"`
+	// Errors counts failed batch deliveries: encode failures, transport
+	// errors, timeouts, non-2xx responses.
+	Errors int64 `json:"errors"`
+}
+
+// pushItem is one queued record bound for one target.
+type pushItem struct {
+	target string
+	hops   int
+	rec    statewire.Record
+}
+
+// Pusher replicates warm states across a ring-addressed fleet. Construct
+// with NewPusher; the nil Pusher is a safe no-op (Solved discards, Stats
+// is zero, Close does nothing), so callers thread it unconditionally. All
+// methods are safe for concurrent use.
+type Pusher struct {
+	ring    *ring.Ring
+	timeout time.Duration
+	batch   int
+	http    *http.Client
+	logf    func(format string, args ...any)
+
+	queue chan pushItem
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	sent, forwarded, applied, dropped, errors atomic.Int64
+}
+
+// NewPusher builds a pusher for the fleet and starts its worker. It
+// returns nil when the ring has nobody to push to.
+func NewPusher(cfg PusherConfig) *Pusher {
+	if cfg.Ring == nil || cfg.Ring.Size() < 2 {
+		return nil
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	queueLen := cfg.QueueLen
+	if queueLen <= 0 {
+		queueLen = DefaultPushQueueLen
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = DefaultPushBatch
+	}
+	if batch > statewire.MaxEnvelopeRecords {
+		batch = statewire.MaxEnvelopeRecords
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	p := &Pusher{
+		ring:    cfg.Ring,
+		timeout: timeout,
+		batch:   batch,
+		http:    &http.Client{Transport: cfg.Transport},
+		logf:    logf,
+		queue:   make(chan pushItem, queueLen),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+// Solved routes a freshly solved (and stored-locally) state into the
+// fleet: owners replicate to their followers, non-owners forward to the
+// owner. It never blocks — on a full queue the records are shed and
+// counted as dropped. Safe on a nil pusher.
+func (p *Pusher) Solved(key string, st *solve.State) {
+	if p == nil || key == "" || st == nil {
+		return
+	}
+	rec := statewire.Record{Key: key, State: st}
+	if p.ring.Owns(key) {
+		for _, f := range p.ring.Followers(key, pushFollowers) {
+			if p.enqueue(pushItem{target: f, hops: 0, rec: rec}) {
+				p.sent.Add(1)
+			}
+		}
+		return
+	}
+	if p.enqueue(pushItem{target: p.ring.Owner(key), hops: 1, rec: rec}) {
+		p.forwarded.Add(1)
+	}
+}
+
+// enqueue is the non-blocking admission to the worker queue; a full queue
+// sheds the record (counted) rather than ever stalling a solve path.
+func (p *Pusher) enqueue(it pushItem) bool {
+	select {
+	case p.queue <- it:
+		return true
+	default:
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// Handler serves POST WarmStatePath: it decodes one push envelope, stores
+// every record into dst, and — when the envelope had hop budget left and
+// this replica owns a record's key — re-pushes that record to the key's
+// followers (the owner leg of the solver -> owner -> followers route).
+// Malformed envelopes reject wholesale with 400; oversized bodies with
+// 413. The pusher must be non-nil: a replica without one has no fleet and
+// should not register the route.
+func (p *Pusher) Handler(dst Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		limit := int64(statewire.MaxEnvelopeBytes())
+		body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+		if err != nil {
+			http.Error(w, "unreadable body", http.StatusBadRequest)
+			return
+		}
+		if int64(len(body)) > limit {
+			http.Error(w, "envelope too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		hops, recs, err := statewire.DecodeEnvelope(body)
+		if err != nil {
+			http.Error(w, "bad envelope", http.StatusBadRequest)
+			return
+		}
+		for _, rec := range recs {
+			dst.Store(rec.Key, rec.State)
+			p.applied.Add(1)
+			if hops > 0 && p.ring.Owns(rec.Key) {
+				for _, f := range p.ring.Followers(rec.Key, pushFollowers) {
+					if p.enqueue(pushItem{target: f, hops: hops - 1, rec: rec}) {
+						p.sent.Add(1)
+					}
+				}
+			}
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// loop is the push worker: it drains the queue into batched envelopes,
+// one POST per (target, hops) group. Pushes are advisory, so a panic must
+// not kill the replica — and done must still close so Close never hangs.
+func (p *Pusher) loop() {
+	defer close(p.done)
+	defer func() {
+		if r := recover(); r != nil {
+			p.logf("warm-state push loop: panic: %v", r)
+		}
+	}()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case it := <-p.queue:
+			p.flush(it)
+		}
+	}
+}
+
+// flush sends first plus whatever else is already queued (up to the batch
+// bound), grouped by destination so each target gets one envelope.
+func (p *Pusher) flush(first pushItem) {
+	items := append(make([]pushItem, 0, p.batch), first)
+collect:
+	for len(items) < p.batch {
+		select {
+		case it := <-p.queue:
+			items = append(items, it)
+		default:
+			break collect
+		}
+	}
+	type dest struct {
+		target string
+		hops   int
+	}
+	groups := make(map[dest][]statewire.Record, 2)
+	order := make([]dest, 0, 2) // deterministic flush order; map iteration is not
+	for _, it := range items {
+		d := dest{target: it.target, hops: it.hops}
+		if _, ok := groups[d]; !ok {
+			order = append(order, d)
+		}
+		groups[d] = append(groups[d], it.rec)
+	}
+	for _, d := range order {
+		p.send(d.target, d.hops, groups[d])
+	}
+}
+
+// send delivers one envelope to one target under the push timeout. Every
+// failure is counted and swallowed: the states are already cached locally
+// and reachable by pull, so a failed push costs nothing but freshness.
+func (p *Pusher) send(target string, hops int, recs []statewire.Record) {
+	enc, err := statewire.EncodeEnvelope(hops, recs)
+	if err != nil {
+		p.errors.Add(1)
+		p.logf("warm-state push: encode for %s: %v", target, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+WarmStatePath, bytes.NewReader(enc))
+	if err != nil {
+		p.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := p.http.Do(req)
+	if err != nil {
+		p.errors.Add(1)
+		return
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		p.errors.Add(1)
+	}
+}
+
+// Stats snapshots the counters (zero on a nil pusher).
+func (p *Pusher) Stats() PushStats {
+	if p == nil {
+		return PushStats{}
+	}
+	return PushStats{
+		Sent:      p.sent.Load(),
+		Forwarded: p.forwarded.Load(),
+		Applied:   p.applied.Load(),
+		Dropped:   p.dropped.Load(),
+		Errors:    p.errors.Load(),
+	}
+}
+
+// Close stops the worker, waits for it to exit, and releases the HTTP
+// transport's idle connections. Queued-but-unsent records are discarded —
+// they were best-effort from the moment they were enqueued. Safe on a nil
+// pusher and safe to call more than once.
+func (p *Pusher) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		close(p.stop)
+		<-p.done
+		p.http.CloseIdleConnections()
+	})
+}

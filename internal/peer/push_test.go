@@ -1,0 +1,250 @@
+package peer
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dispersal/internal/ring"
+	"dispersal/internal/statewire"
+	"dispersal/internal/warmcache"
+)
+
+// fleetNode is one real HTTP replica of a push-federated test fleet.
+type fleetNode struct {
+	url    string
+	cache  *warmcache.Cache
+	pusher *Pusher
+}
+
+// startFleet boots n replicas wired for push federation. Listeners come
+// first — the ring needs every member URL before any server can be built —
+// then each node gets its own ring view, cache, pusher and server.
+func startFleet(t *testing.T, n int) []*fleetNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	nodes := make([]*fleetNode, n)
+	for i := range nodes {
+		r, err := ring.New(urls, urls[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := warmcache.New(32)
+		p := NewPusher(PusherConfig{Ring: r, Timeout: 2 * time.Second})
+		mux := http.NewServeMux()
+		mux.Handle("POST "+WarmStatePath, p.Handler(cache))
+		mux.Handle("GET "+WarmStatePath, Handler(cache))
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(listeners[i])
+		t.Cleanup(func() {
+			srv.Close()
+			p.Close()
+		})
+		nodes[i] = &fleetNode{url: urls[i], cache: cache, pusher: p}
+	}
+	return nodes
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for " + what)
+}
+
+// TestPusherOwnerReplicatesToFollowers: the owner of a key pushes a fresh
+// state to both followers, who apply it to their caches — the coverage
+// that makes the followers real fetch fallbacks.
+func TestPusherOwnerReplicatesToFollowers(t *testing.T) {
+	nodes := startFleet(t, 3)
+	owner := nodes[0]
+	key := ownedKey(t, owner.pusher.ring, owner.url, "own")
+	owner.pusher.Solved(key, testState(0.5))
+
+	waitFor(t, "both followers to apply the push", func() bool {
+		applied := 0
+		for _, n := range nodes[1:] {
+			if len(n.cache.Peek(key)) > 0 {
+				applied++
+			}
+		}
+		return applied == 2
+	})
+	if s := owner.pusher.Stats(); s.Sent != 2 || s.Forwarded != 0 || s.Dropped != 0 {
+		t.Fatalf("owner stats = %+v", s)
+	}
+	for i, n := range nodes[1:] {
+		st := n.cache.Peek(key)
+		if len(st) == 0 || st[0].Nu() != 0.5 {
+			t.Fatalf("follower %d cache: %+v", i+1, st)
+		}
+		if s := n.pusher.Stats(); s.Applied != 1 {
+			t.Fatalf("follower %d stats = %+v", i+1, s)
+		}
+	}
+}
+
+// TestPusherForwardsThroughOwner: a non-owner that solves a key sends it
+// to the owner (hops=1), whose handler stores it and re-pushes hops=0 to
+// the followers — so one solve anywhere warms the key's whole replica set.
+func TestPusherForwardsThroughOwner(t *testing.T) {
+	nodes := startFleet(t, 3)
+	solver := nodes[0]
+	key := ownedKey(t, solver.pusher.ring, nodes[1].url, "fwd")
+	solver.pusher.Solved(key, testState(0.9))
+
+	waitFor(t, "the forwarded state to reach every replica", func() bool {
+		for _, n := range nodes {
+			if len(n.cache.Peek(key)) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if s := solver.pusher.Stats(); s.Forwarded != 1 || s.Sent != 0 {
+		t.Fatalf("solver stats = %+v", s)
+	}
+	// The owner applied the forward and re-pushed to its two followers
+	// (the solver gets its own copy back — it already has the state, and a
+	// duplicate store is cheaper than a special case).
+	if s := nodes[1].pusher.Stats(); s.Applied != 1 || s.Sent != 2 {
+		t.Fatalf("owner stats = %+v", s)
+	}
+	waitFor(t, "the non-owner follower to apply", func() bool {
+		return nodes[2].pusher.Stats().Applied == 1
+	})
+}
+
+// TestPushBackpressureDropsNeverBlocks: with the worker stalled on a slow
+// follower and the queue full, Solved sheds records immediately — the
+// solve path never waits on push delivery.
+func TestPushBackpressureDropsNeverBlocks(t *testing.T) {
+	release := make(chan struct{})
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer stall.Close()
+	self := "http://self.invalid"
+	r, err := ring.New([]string{self, stall.URL}, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPusher(PusherConfig{Ring: r, Timeout: 500 * time.Millisecond, QueueLen: 1})
+	defer p.Close()
+	defer close(release)
+
+	start := time.Now()
+	const solves = 40
+	for i := 0; i < solves; i++ {
+		p.Solved(ownedKey(t, r, self, "bp"), testState(0.1))
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("%d Solved calls took %s; enqueue must never block", solves, elapsed)
+	}
+	if s := p.Stats(); s.Dropped == 0 {
+		t.Fatalf("no records shed under backpressure: %+v", s)
+	}
+}
+
+// TestPushToDeadFollowerNeverBlocksSolved: a follower that is down costs
+// asynchronous push errors, nothing on the Solved path.
+func TestPushToDeadFollowerNeverBlocksSolved(t *testing.T) {
+	self := "http://self.invalid"
+	r, err := ring.New([]string{self, "http://127.0.0.1:1"}, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPusher(PusherConfig{Ring: r, Timeout: time.Second})
+	defer p.Close()
+
+	start := time.Now()
+	p.Solved(ownedKey(t, r, self, "dead"), testState(0.2))
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("Solved took %s with a dead follower", elapsed)
+	}
+	waitFor(t, "the failed delivery to be counted", func() bool {
+		return p.Stats().Errors >= 1
+	})
+}
+
+// TestPushHandlerRejectsBadEnvelopes: garbage rejects wholesale with 400,
+// oversized bodies with 413, and neither stores anything.
+func TestPushHandlerRejectsBadEnvelopes(t *testing.T) {
+	self := "http://self.invalid"
+	r, err := ring.New([]string{self, "http://other.invalid"}, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPusher(PusherConfig{Ring: r})
+	defer p.Close()
+	cache := warmcache.New(8)
+	h := p.Handler(cache)
+
+	post := func(body []byte) int {
+		rr := httptest.NewRecorder()
+		h(rr, httptest.NewRequest(http.MethodPost, WarmStatePath, bytes.NewReader(body)))
+		return rr.Code
+	}
+	if code := post([]byte("not an envelope")); code != http.StatusBadRequest {
+		t.Fatalf("garbage: status %d, want 400", code)
+	}
+	if code := post(make([]byte, statewire.MaxEnvelopeBytes()+1)); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized: status %d, want 413", code)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("rejected envelope stored records")
+	}
+
+	enc, err := statewire.EncodeEnvelope(0, []statewire.Record{{Key: "warm:ok", State: testState(0.4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := post(enc); code != http.StatusNoContent {
+		t.Fatalf("valid envelope: status %d, want 204", code)
+	}
+	if got := cache.Peek("warm:ok"); len(got) == 0 || got[0].Nu() != 0.4 {
+		t.Fatalf("pushed record not stored: %+v", got)
+	}
+	if s := p.Stats(); s.Applied != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNilPusherIsSafe(t *testing.T) {
+	var p *Pusher
+	p.Solved("warm:k", testState(0.1))
+	if s := p.Stats(); s != (PushStats{}) {
+		t.Fatalf("nil pusher stats = %+v", s)
+	}
+	p.Close()
+	if NewPusher(PusherConfig{}) != nil {
+		t.Fatal("ringless config should yield the nil pusher")
+	}
+	solo, err := ring.New([]string{"http://a:1"}, "http://a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewPusher(PusherConfig{Ring: solo}) != nil {
+		t.Fatal("single-member fleet should yield the nil pusher")
+	}
+}

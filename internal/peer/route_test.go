@@ -1,0 +1,180 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dispersal/internal/ring"
+	"dispersal/internal/warmcache"
+)
+
+// ownedKey finds a locality-style key the given member owns; prefix keeps
+// keys from different assertions distinct.
+func ownedKey(t *testing.T, r *ring.Ring, owner, prefix string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("warm:%s-%d", prefix, i)
+		if r.Owner(k) == owner {
+			return k
+		}
+	}
+	t.Fatalf("no key owned by %s", owner)
+	return ""
+}
+
+// TestRingFetchAsksOnlyOwner: with a ring configured, a fetch is one
+// request to the key's owner — a hit comes back from it, and a clean 404
+// ends the round without touching any other replica. That O(1) fan-out is
+// the point of ownership routing.
+func TestRingFetchAsksOnlyOwner(t *testing.T) {
+	cacheB := warmcache.New(8)
+	srvB, reqsB := donor(t, cacheB)
+	srvC, reqsC := donor(t, warmcache.New(8))
+	self := "http://self.invalid"
+	r, err := ring.New([]string{self, srvB.URL, srvC.URL}, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(Config{Ring: r, Timeout: 2 * time.Second})
+
+	hot := ownedKey(t, r, srvB.URL, "hot")
+	cacheB.Store(hot, testState(0.6))
+	if st := c.Fetch(context.Background(), hot); st == nil || st.Nu() != 0.6 {
+		t.Fatalf("owner-routed fetch: %+v", st)
+	}
+
+	cold := ownedKey(t, r, srvB.URL, "cold")
+	if st := c.Fetch(context.Background(), cold); st != nil {
+		t.Fatal("cold key produced a state")
+	}
+
+	if n := reqsB.Load(); n != 2 {
+		t.Fatalf("owner saw %d requests, want 2 (one per round)", n)
+	}
+	if n := reqsC.Load(); n != 0 {
+		t.Fatalf("non-owner saw %d requests, want 0", n)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Fallbacks != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestRingFallbackToSuccessorWhenOwnerDown: an erroring owner (here:
+// unroutable) costs one fallback to the successor, which answers from its
+// pushed replica — partial-fleet failure degrades to one extra request,
+// not to cold solving.
+func TestRingFallbackToSuccessorWhenOwnerDown(t *testing.T) {
+	dead := "http://127.0.0.1:1"
+	cacheAlive := warmcache.New(8)
+	alive, reqsAlive := donor(t, cacheAlive)
+	self := "http://self.invalid"
+	r, err := ring.New([]string{self, dead, alive.URL}, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(Config{Ring: r, Timeout: 2 * time.Second})
+
+	key := ownedKey(t, r, dead, "fall")
+	cacheAlive.Store(key, testState(0.3))
+	if st := c.Fetch(context.Background(), key); st == nil || st.Nu() != 0.3 {
+		t.Fatalf("fallback fetch: %+v", st)
+	}
+	if n := reqsAlive.Load(); n != 1 {
+		t.Fatalf("successor saw %d requests, want 1", n)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Errors != 1 || s.Fallbacks != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestRingSlowOwnerBoundsTheRound: a stalled owner spends the round's
+// timeout and nothing more — the successor is not even tried once the
+// deadline is gone, so a slow owner can never double the round.
+func TestRingSlowOwnerBoundsTheRound(t *testing.T) {
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer stall.Close()
+	srvC, reqsC := donor(t, warmcache.New(8))
+	self := "http://self.invalid"
+	r, err := ring.New([]string{self, stall.URL, srvC.URL}, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(Config{Ring: r, Timeout: 50 * time.Millisecond})
+
+	key := ownedKey(t, r, stall.URL, "slow")
+	start := time.Now()
+	if st := c.Fetch(context.Background(), key); st != nil {
+		t.Fatal("stalled owner produced a state")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("round took %s despite 50ms timeout", elapsed)
+	}
+	if n := reqsC.Load(); n != 0 {
+		t.Fatalf("successor saw %d requests after the deadline was spent, want 0", n)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Errors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestNegativeMemoSweepsExpiredEntries: expired negative-memo entries are
+// dropped on the TTL cadence even when their keys are never fetched again.
+// Before the sweep existed the memo only shrank past a 4096-entry cap, so
+// a churning keyspace leaked a map entry per cold key forever.
+func TestNegativeMemoSweepsExpiredEntries(t *testing.T) {
+	srv, _ := donor(t, warmcache.New(8))
+	c := NewClient(Config{Peers: []string{srv.URL}, NegativeTTL: 150 * time.Millisecond})
+	const cold = 30
+	for i := 0; i < cold; i++ {
+		if st := c.Fetch(context.Background(), fmt.Sprintf("warm:churn-%d", i)); st != nil {
+			t.Fatal("cold fetch produced a state")
+		}
+	}
+	c.mu.Lock()
+	before := len(c.negative)
+	c.mu.Unlock()
+	if before != cold {
+		t.Fatalf("memo holds %d entries, want %d", before, cold)
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	// One unrelated fetch is enough: the cadenced sweep runs inside it.
+	c.Fetch(context.Background(), "warm:churn-trigger")
+	c.mu.Lock()
+	after := len(c.negative)
+	c.mu.Unlock()
+	if after > 1 {
+		t.Fatalf("memo holds %d entries after the TTL, want at most the trigger key", after)
+	}
+}
+
+// TestStatsLatencyMeanZeroGuard: a fresh client has zero rounds; the mean
+// must be 0, not NaN, and after a round it must be the zero-guarded
+// quotient.
+func TestStatsLatencyMeanZeroGuard(t *testing.T) {
+	c := NewClient(Config{Peers: []string{"http://127.0.0.1:1"}})
+	s := c.Stats()
+	if s.LatencyMSMean != 0 || math.IsNaN(s.LatencyMSMean) {
+		t.Fatalf("fresh client mean = %v, want 0", s.LatencyMSMean)
+	}
+	c.Fetch(context.Background(), "warm:k")
+	s = c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.LatencyMSMean <= 0 || s.LatencyMSMean != s.LatencyMSTotal {
+		t.Fatalf("mean = %v after one round of %vms total", s.LatencyMSMean, s.LatencyMSTotal)
+	}
+}

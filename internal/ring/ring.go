@@ -1,0 +1,193 @@
+// Package ring assigns the warm-state locality keyspace
+// (speccodec.LocalityKey) to the replicas of a dispersald fleet by
+// consistent hashing: every key has exactly one owner, every replica can
+// compute any key's owner locally, and membership changes remap only the
+// departed member's share of the keyspace instead of reshuffling
+// everything.
+//
+// The ring is static: the full member list (`-fleet`, self included) is
+// configuration, identical on every replica, and a Ring never mutates.
+// Each member is projected onto the hash circle at VirtualNodes points
+// (FNV-1a of "member#i"), which evens out the per-member key share; a key
+// is owned by the member of the first virtual node at or clockwise of the
+// key's own hash. Successors continue clockwise over distinct members —
+// the owner's followers, which hold pushed replicas of the owner's keys
+// and serve as the fetch fallback when the owner errors.
+//
+// Determinism is load-bearing: two replicas that disagree on a key's owner
+// route fetches and pushes past each other, which degrades the warm tier
+// to cold solving without any error surfacing. Owner therefore depends
+// only on the sorted member list and the key bytes — no maps are ranged,
+// no randomness, no per-process state.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// VirtualNodes is how many points each member occupies on the hash circle.
+// At 128 the expected per-member share of a 3-replica fleet is within a few
+// percent of 1/3; the whole ring is still only a few KiB.
+const VirtualNodes = 128
+
+// ErrConfig reports an unusable membership list (empty, duplicated, or one
+// that does not contain self).
+var ErrConfig = errors.New("ring: invalid fleet configuration")
+
+// Ring is an immutable consistent-hash ring over a fleet's member IDs.
+// Construct with New; all methods are safe for concurrent use.
+type Ring struct {
+	self    string
+	members []string // sorted, unique
+	vnodes  []vnode  // sorted by hash (ties by member index)
+}
+
+// vnode is one point on the hash circle.
+type vnode struct {
+	hash   uint64
+	member int // index into members
+}
+
+// New builds the ring for the given members with self as the local
+// replica. Members must be non-empty, free of duplicates (after dropping
+// empty strings), and contain self — every replica of a fleet must be
+// constructed from the same list, so a misspelled or missing entry is a
+// configuration error, not something to repair silently.
+func New(members []string, self string) (*Ring, error) {
+	clean := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != "" {
+			clean = append(clean, m)
+		}
+	}
+	if len(clean) == 0 {
+		return nil, fmt.Errorf("%w: no members", ErrConfig)
+	}
+	sort.Strings(clean)
+	for i := 1; i < len(clean); i++ {
+		if clean[i] == clean[i-1] {
+			return nil, fmt.Errorf("%w: duplicate member %q", ErrConfig, clean[i])
+		}
+	}
+	selfIdx := sort.SearchStrings(clean, self)
+	if selfIdx == len(clean) || clean[selfIdx] != self {
+		return nil, fmt.Errorf("%w: self %q is not in the member list", ErrConfig, self)
+	}
+
+	vnodes := make([]vnode, 0, len(clean)*VirtualNodes)
+	for i, m := range clean {
+		for v := 0; v < VirtualNodes; v++ {
+			vnodes = append(vnodes, vnode{hash: hashString(m + "#" + strconv.Itoa(v)), member: i})
+		}
+	}
+	sort.Slice(vnodes, func(a, b int) bool {
+		if vnodes[a].hash != vnodes[b].hash {
+			return vnodes[a].hash < vnodes[b].hash
+		}
+		return vnodes[a].member < vnodes[b].member
+	})
+	return &Ring{self: self, members: clean, vnodes: vnodes}, nil
+}
+
+// hashString is the ring's hash: FNV-1a 64 (standard library, stable
+// across processes, platforms and Go versions — the same key must hash
+// identically on every replica) passed through a 64-bit finalizer. The
+// finalizer matters: raw FNV-1a barely diffuses the last few input bytes,
+// so keys differing only in a trailing digit — exactly what quantized
+// locality keys look like — land in one tiny arc and all map to one
+// member. The multiply-xorshift rounds (MurmurHash3's fmix64 constants)
+// spread them over the whole circle.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Self returns the local replica's member ID.
+func (r *Ring) Self() string { return r.self }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Members returns the sorted member list (a copy).
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Others returns every member except self, in sorted order.
+func (r *Ring) Others() []string {
+	out := make([]string, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != r.self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// start returns the index of the first virtual node at or clockwise of
+// key's hash.
+func (r *Ring) start(key string) int {
+	h := hashString(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		return 0 // wrap past the top of the circle
+	}
+	return i
+}
+
+// Owner returns the member that owns key: the member of the first virtual
+// node at or clockwise of the key's hash. Every replica of a fleet
+// computes the same owner for the same key.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.vnodes[r.start(key)].member]
+}
+
+// Owns reports whether the local replica owns key.
+func (r *Ring) Owns(key string) bool { return r.Owner(key) == r.self }
+
+// Successors returns up to n distinct members in clockwise preference
+// order starting with the key's owner: the fetch-routing order (owner
+// first, fallbacks after) and, shifted by one, the owner's followers.
+func (r *Ring) Successors(key string, n int) []string {
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := make([]bool, len(r.members))
+	for i, walked := r.start(key), 0; walked < len(r.vnodes) && len(out) < n; walked++ {
+		m := r.vnodes[i].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, r.members[m])
+		}
+		if i++; i == len(r.vnodes) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// Followers returns up to n distinct members clockwise after the key's
+// owner — the replicas an owner pushes the key's fresh states to, and the
+// places a fetch falls back to when the owner errors.
+func (r *Ring) Followers(key string, n int) []string {
+	succ := r.Successors(key, n+1)
+	if len(succ) <= 1 {
+		return nil
+	}
+	return succ[1:]
+}

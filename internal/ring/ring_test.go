@@ -1,0 +1,177 @@
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func members3() []string {
+	return []string{"http://a:1", "http://b:1", "http://c:1"}
+}
+
+func mustRing(t *testing.T, members []string, self string) *Ring {
+	t.Helper()
+	r, err := New(members, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cases := []struct {
+		name    string
+		members []string
+		self    string
+	}{
+		{"empty", nil, "http://a:1"},
+		{"all blank", []string{"", ""}, "http://a:1"},
+		{"duplicate", []string{"http://a:1", "http://a:1", "http://b:1"}, "http://a:1"},
+		{"self absent", members3(), "http://d:1"},
+		{"self blank", members3(), ""},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.members, tc.self); !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: err = %v, want ErrConfig", tc.name, err)
+		}
+	}
+}
+
+// TestOwnerAgreesAcrossReplicas: the whole design rests on every replica
+// computing the same owner from the same member list, whoever it is itself
+// and however the list was ordered.
+func TestOwnerAgreesAcrossReplicas(t *testing.T) {
+	a := mustRing(t, members3(), "http://a:1")
+	b := mustRing(t, []string{"http://c:1", "http://a:1", "http://b:1"}, "http://b:1")
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("warm:key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("replicas disagree on owner of %q: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestOwnerIsAMemberAndOwnsMatches(t *testing.T) {
+	r := mustRing(t, members3(), "http://b:1")
+	owned := 0
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("warm:key-%d", i)
+		o := r.Owner(key)
+		found := false
+		for _, m := range r.Members() {
+			if m == o {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("owner %q of %q is not a member", o, key)
+		}
+		if r.Owns(key) != (o == r.Self()) {
+			t.Fatalf("Owns(%q) disagrees with Owner", key)
+		}
+		if o == r.Self() {
+			owned++
+		}
+	}
+	if owned == 0 || owned == 300 {
+		t.Fatalf("self owns %d/300 keys; expected a proper share", owned)
+	}
+}
+
+// TestBalance: with virtual nodes, no member's share of a 3-way split
+// should stray wildly from a third.
+func TestBalance(t *testing.T) {
+	r := mustRing(t, members3(), "http://a:1")
+	counts := map[string]int{}
+	const n = 9000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("warm:key-%d", i))]++
+	}
+	for _, m := range r.Members() {
+		share := float64(counts[m]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of the keyspace; want a rough third", m, 100*share)
+		}
+	}
+}
+
+// TestMinimalRemapping: removing one member of four must remap only
+// (roughly) that member's quarter of the keyspace — the property plain
+// mod-N hashing lacks and the reason the ring exists.
+func TestMinimalRemapping(t *testing.T) {
+	four := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	big := mustRing(t, four, "http://a:1")
+	small := mustRing(t, four[:3], "http://a:1")
+	const n = 4000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("warm:key-%d", i)
+		before := big.Owner(key)
+		if before == "http://d:1" {
+			continue // its keys must move; they don't count either way
+		}
+		if small.Owner(key) != before {
+			moved++
+		}
+	}
+	if frac := float64(moved) / n; frac > 0.05 {
+		t.Errorf("%.1f%% of surviving members' keys remapped; consistent hashing should move almost none", 100*frac)
+	}
+}
+
+func TestSuccessorsDistinctOwnerFirst(t *testing.T) {
+	r := mustRing(t, members3(), "http://a:1")
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("warm:key-%d", i)
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 3) = %v, want all 3 members", key, succ)
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("Successors(%q)[0] = %q, owner is %q", key, succ[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("Successors(%q) repeats %q: %v", key, m, succ)
+			}
+			seen[m] = true
+		}
+	}
+	if got := r.Successors("warm:k", 0); got != nil {
+		t.Errorf("Successors(_, 0) = %v, want nil", got)
+	}
+	if got := r.Successors("warm:k", 99); len(got) != 3 {
+		t.Errorf("Successors(_, 99) = %v, want capped at the member count", got)
+	}
+}
+
+func TestFollowersExcludeOwner(t *testing.T) {
+	r := mustRing(t, members3(), "http://a:1")
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("warm:key-%d", i)
+		owner := r.Owner(key)
+		for _, f := range r.Followers(key, 2) {
+			if f == owner {
+				t.Fatalf("follower set of %q contains its owner %q", key, owner)
+			}
+		}
+		if n := len(r.Followers(key, 2)); n != 2 {
+			t.Fatalf("Followers(%q, 2) has %d members, want 2 in a 3-fleet", key, n)
+		}
+	}
+}
+
+func TestSingleMemberFleet(t *testing.T) {
+	r := mustRing(t, []string{"http://a:1"}, "http://a:1")
+	if !r.Owns("warm:anything") {
+		t.Error("sole member does not own the keyspace")
+	}
+	if f := r.Followers("warm:anything", 2); f != nil {
+		t.Errorf("sole member has followers %v", f)
+	}
+	if o := r.Others(); len(o) != 0 {
+		t.Errorf("sole member has others %v", o)
+	}
+}

@@ -1,0 +1,179 @@
+package server
+
+// Tests of the ownership-routed fleet (Config.Fleet/SelfID): push
+// replication of fresh solves, warm serving under partial-fleet failure,
+// the /statsz ring section, and the standalone fallback on a bad fleet
+// configuration.
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// startFleetServers boots n dispersald replicas wired as one
+// ownership-routed fleet. Listeners come first — every replica's Config
+// needs the full URL list before any server exists — and serve[i]=false
+// leaves replica i configured but dead (its listener closed), for
+// partial-fleet tests.
+func startFleetServers(t *testing.T, n int, serve []bool) ([]*Server, []string) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	servers := make([]*Server, n)
+	for i := range servers {
+		if serve != nil && !serve[i] {
+			listeners[i].Close() // connections now refuse fast
+			continue
+		}
+		s := New(Config{
+			Timeout:     30 * time.Second,
+			Fleet:       urls,
+			SelfID:      urls[i],
+			PeerTimeout: 5 * time.Second,
+		})
+		hs := &http.Server{Handler: s}
+		go hs.Serve(listeners[i])
+		t.Cleanup(func() {
+			hs.Close()
+			if err := s.Close(); err != nil {
+				t.Errorf("server close: %v", err)
+			}
+		})
+		servers[i] = s
+	}
+	return servers, urls
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for " + what)
+}
+
+// TestFleetPushPropagatesFreshSolves: one solve anywhere in a 3-replica
+// fleet reaches every replica's warm cache — the solver keeps its own
+// copy, and the solver -> owner -> followers push route covers the rest —
+// so the next nearby request on any replica seeds locally, with zero
+// fetch traffic.
+func TestFleetPushPropagatesFreshSolves(t *testing.T) {
+	servers, urls := startFleetServers(t, 3, nil)
+	values, k := federationSpec()
+
+	resp, payload := postJSON(t, urls[0]+"/v1/analyze", specJSON(values, k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet analyze: %s\n%s", resp.Status, payload)
+	}
+	waitUntil(t, "the push to reach every replica", func() bool {
+		for _, s := range servers {
+			if s.warm.Len() == 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// A nearby request on another replica now seeds from its own cache:
+	// warm solve, no peer fetch.
+	resp, payload = postJSON(t, urls[1]+"/v1/analyze", specJSON(perturb(values, 1e-4), k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower analyze: %s\n%s", resp.Status, payload)
+	}
+	stats := getStats(t, urls[1])
+	if stats.WarmCache.Seeded != 1 {
+		t.Errorf("warm-seeded solves = %d, want 1 (from the pushed state)", stats.WarmCache.Seeded)
+	}
+	if rounds := stats.Peers.Hits + stats.Peers.Misses; rounds != 0 {
+		t.Errorf("replica went to the network %d times despite the pushed state", rounds)
+	}
+
+	// The solver's /statsz ring section reflects the fleet and the pushes.
+	stats = getStats(t, urls[0])
+	if !stats.Ring.Enabled || stats.Ring.Members != 3 || stats.Ring.Self == "" {
+		t.Errorf("ring section = %+v, want an enabled 3-member fleet", stats.Ring)
+	}
+	if stats.Ring.PushesSent+stats.Ring.Forwarded < 1 {
+		t.Errorf("solver pushed nothing: %+v", stats.Ring)
+	}
+	if stats.Ring.PushesDropped != 0 || stats.Ring.PushErrors != 0 {
+		t.Errorf("pushes failed in a healthy fleet: %+v", stats.Ring)
+	}
+	// Every replica holds the bucket; exactly one of them owns it.
+	owned := int64(0)
+	for _, u := range urls {
+		owned += getStats(t, u).Ring.OwnedKeys
+	}
+	if owned != 1 {
+		t.Errorf("fleet-wide owned_keys = %d, want exactly 1 owner of the bucket", owned)
+	}
+}
+
+// TestFleetServesWarmWithDeadMember: with one configured replica dead, a
+// solve on one live replica still warms the other — by push or by an
+// owner-or-successor fetch — and nothing blocks or errors the request
+// path. Partial-fleet failure degrades to at most a fallback, never to a
+// hang or a cold fleet.
+func TestFleetServesWarmWithDeadMember(t *testing.T) {
+	_, urls := startFleetServers(t, 3, []bool{true, true, false})
+	values, k := federationSpec()
+
+	resp, payload := postJSON(t, urls[0]+"/v1/analyze", specJSON(values, k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze with dead member: %s\n%s", resp.Status, payload)
+	}
+
+	start := time.Now()
+	resp, payload = postJSON(t, urls[1]+"/v1/analyze", specJSON(perturb(values, 1e-4), k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second replica analyze: %s\n%s", resp.Status, payload)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("request took %s under partial-fleet failure", elapsed)
+	}
+	stats := getStats(t, urls[1])
+	if stats.WarmCache.Seeded != 1 {
+		t.Errorf("warm-seeded solves = %d, want 1 despite the dead member", stats.WarmCache.Seeded)
+	}
+	if stats.Solves != 1 {
+		t.Errorf("solves = %d, want 1", stats.Solves)
+	}
+}
+
+// TestFleetBadConfigRunsStandalone: a fleet list that does not contain
+// self is a configuration error, but a warm-tier one — the server must
+// come up standalone and serve, with the ring disabled on /statsz.
+func TestFleetBadConfigRunsStandalone(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Timeout: 30 * time.Second,
+		Fleet:   []string{"http://a:1", "http://b:1"},
+		SelfID:  "http://not-in-fleet:1",
+	})
+	_ = s
+	values, k := federationSpec()
+	resp, payload := postJSON(t, ts.URL+"/v1/analyze", specJSON(values, k, "sharing"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("standalone analyze: %s\n%s", resp.Status, payload)
+	}
+	stats := getStats(t, ts.URL)
+	if stats.Ring.Enabled {
+		t.Errorf("ring enabled despite a bad fleet configuration: %+v", stats.Ring)
+	}
+	if stats.Peers.Enabled {
+		t.Errorf("peer client enabled off a rejected fleet: %+v", stats.Peers)
+	}
+}

@@ -14,10 +14,14 @@
 //	                     landscapes, warm-starting each frame from the
 //	                     previous one, and streams one NDJSON result line
 //	                     per frame.
-//	GET  /v1/warmstate   peer exchange: the statewire encoding of this
-//	                     replica's warm state for ?key=<LocalityKey>.
+//	GET  /v1/warmstate   peer exchange, pull side: the statewire encoding
+//	                     of this replica's warm state for ?key=<LocalityKey>.
+//	POST /v1/warmstate   peer exchange, push side (fleet mode only): a
+//	                     statewire push envelope of states another replica
+//	                     replicated here proactively.
 //	GET  /healthz        liveness.
-//	GET  /statsz         cache, warm-cache, federation and request counters.
+//	GET  /statsz         cache, warm-cache, federation, ring and request
+//	                     counters.
 //
 // Identical game specs — across clients, across analyze, sweep and
 // trajectory frames, however the JSON was spelled — share one cache entry
@@ -33,14 +37,19 @@
 // every solver; an exceeded deadline answers 504 — or, mid-stream on a
 // trajectory, a terminal error line — and is never cached.
 //
-// The warm tier federates across process boundaries in two ways, both
-// best-effort. With Config.StateDir the warm cache is snapshotted to disk
+// The warm tier federates across process boundaries, always best-effort.
+// With Config.StateDir the warm cache is snapshotted to disk
 // (internal/statestore) and reloaded at construction, so a restarted
-// replica answers its first repeat-locality request warm. With Config.Peers
-// a local warm-cache miss asks sibling replicas' /v1/warmstate endpoints
-// (internal/peer; bounded timeout, singleflight, negative-result memo)
-// before solving cold, and adopts whatever a peer returns. Neither path can
-// change a result: federated states are warm seeds like any other,
+// replica answers its first repeat-locality request warm. With Config.Fleet
+// (the preferred topology) the replicas share the locality keyspace through
+// a consistent-hash ring (internal/ring): a local warm-cache miss asks only
+// the key's owner — O(1) fan-out however large the fleet, with one
+// successor fallback when the owner errors — and every fresh solve is
+// pushed (internal/peer.Pusher; batched, bounded queue, drop on
+// backpressure) to the key's owner and on to its followers, so the next
+// miss anywhere finds the state where routing looks for it. The legacy
+// Config.Peers topology instead polls every sibling on each miss. Neither
+// path can change a result: federated states are warm seeds like any other,
 // verified against the actual landscape with a cold fallback.
 package server
 
@@ -57,6 +66,7 @@ import (
 	"dispersal"
 	"dispersal/internal/peer"
 	"dispersal/internal/rescache"
+	"dispersal/internal/ring"
 	"dispersal/internal/solve"
 	"dispersal/internal/speccodec"
 	"dispersal/internal/statestore"
@@ -95,10 +105,21 @@ type Config struct {
 	SnapshotInterval time.Duration
 	// Peers lists sibling replicas (host:port or http(s)://host:port)
 	// consulted for warm state on a local warm-cache miss, via their
-	// GET /v1/warmstate endpoints.
+	// GET /v1/warmstate endpoints — the legacy poll-everyone topology.
+	// Ignored when Fleet is set.
 	Peers []string
-	// PeerTimeout bounds one whole peer-fetch round; <= 0 selects
-	// peer.DefaultTimeout.
+	// Fleet lists every replica of an ownership-routed fleet, self
+	// included, as base URLs. When set (with SelfID), warm-state fetches
+	// route to each key's ring owner and fresh solves are pushed to the
+	// owner's replica set. An unusable fleet configuration is logged and
+	// the server runs standalone — serving must not die over a warm-tier
+	// option.
+	Fleet []string
+	// SelfID is this replica's own entry in Fleet (its advertised base
+	// URL). Required with Fleet.
+	SelfID string
+	// PeerTimeout bounds one whole peer-fetch round, and one push
+	// delivery; <= 0 selects peer.DefaultTimeout.
 	PeerTimeout time.Duration
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
@@ -138,6 +159,11 @@ type Server struct {
 	// peers, when non-nil, extends the warm tier across replicas: a local
 	// warm-cache miss asks the configured siblings before solving cold.
 	peers *peer.Client
+	// ring, when non-nil, is the fleet's keyspace assignment (Config.Fleet)
+	// shared by the client's fetch routing and the pusher.
+	ring *ring.Ring
+	// pusher, when non-nil, replicates fresh solves across the fleet.
+	pusher *peer.Pusher
 	// snap, when non-nil, persists the warm cache under Config.StateDir.
 	snap *statestore.Snapshotter
 	// loadedStates counts the states seeded from a boot-time snapshot.
@@ -168,9 +194,25 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		cache: rescache.New[Analysis](cfg.CacheSize),
 		warm:  warmcache.New(cfg.WarmCacheSize),
-		peers: peer.NewClient(peer.Config{Peers: cfg.Peers, Timeout: cfg.PeerTimeout}),
 		start: time.Now(),
 	}
+	peerCfg := peer.Config{Peers: cfg.Peers, Timeout: cfg.PeerTimeout}
+	if len(cfg.Fleet) > 0 {
+		r, err := ring.New(peer.NormalizeAddrs(cfg.Fleet), peer.NormalizeAddr(cfg.SelfID))
+		if err != nil {
+			// The fleet is a warm-tier option; serving must not die over it.
+			cfg.Logf("fleet configuration unusable, running standalone: %v", err)
+		} else {
+			s.ring = r
+			peerCfg = peer.Config{Ring: r, Timeout: cfg.PeerTimeout}
+			s.pusher = peer.NewPusher(peer.PusherConfig{
+				Ring:    r,
+				Timeout: cfg.PeerTimeout,
+				Logf:    cfg.Logf,
+			})
+		}
+	}
+	s.peers = peer.NewClient(peerCfg)
 	if cfg.StateDir != "" {
 		entries, err := statestore.Load(cfg.StateDir)
 		if err != nil {
@@ -187,6 +229,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/trajectory", s.handleTrajectory)
 	s.mux.HandleFunc("GET "+peer.WarmStatePath, peer.Handler(s.warm))
+	if s.pusher != nil {
+		s.mux.HandleFunc("POST "+peer.WarmStatePath, s.pusher.Handler(s.warm))
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s
@@ -195,12 +240,13 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close releases the server's background resources: it drops the peer
-// client's idle connections, stops the snapshot loop and writes a final
-// warm-state snapshot, so a clean shutdown persists everything the last
-// tick missed. Safe on a server built without peers or a state directory,
-// and safe to call more than once.
+// Close releases the server's background resources: it stops the push
+// worker, drops the peer client's idle connections, stops the snapshot
+// loop and writes a final warm-state snapshot, so a clean shutdown
+// persists everything the last tick missed. Safe on a server built without
+// a fleet, peers or a state directory, and safe to call more than once.
 func (s *Server) Close() error {
+	s.pusher.Close()
 	s.peers.Close()
 	if s.snap == nil {
 		return nil
@@ -321,7 +367,11 @@ func (s *Server) seedAndSolve(ctx context.Context, a *dispersal.Analysis, spec d
 		}
 	}
 	if lerr == nil {
-		s.warm.Store(lkey, a.Game().StateSnapshot())
+		st := a.Game().StateSnapshot()
+		s.warm.Store(lkey, st)
+		// Replicate the fresh solve toward the key's owner and followers;
+		// Solved never blocks (bounded queue, drop on backpressure).
+		s.pusher.Solved(lkey, st)
 	}
 	return res, nil
 }
@@ -540,6 +590,28 @@ type peerStats struct {
 	Seeded int64 `json:"seeded"`
 }
 
+// ringStats is the /statsz ownership-routing section: the fleet topology
+// plus the push/fetch counters that prove replication is flowing (or
+// shedding). OwnedKeys is computed on demand — how many of the warm
+// cache's buckets this replica is the ring owner of.
+type ringStats struct {
+	Enabled bool `json:"enabled"`
+	// Members is the fleet size, Self this replica's member ID.
+	Members int    `json:"members"`
+	Self    string `json:"self,omitempty"`
+	// OwnedKeys counts locally cached buckets this replica owns.
+	OwnedKeys int64 `json:"owned_keys"`
+	// PushesSent/Forwarded/PushesApplied/PushesDropped/PushErrors mirror
+	// peer.PushStats; Fallbacks mirrors the fetch client's successor
+	// fallbacks.
+	PushesSent    int64 `json:"pushes_sent"`
+	PushesApplied int64 `json:"pushes_applied"`
+	Forwarded     int64 `json:"forwarded"`
+	Fallbacks     int64 `json:"fallbacks"`
+	PushesDropped int64 `json:"pushes_dropped"`
+	PushErrors    int64 `json:"push_errors"`
+}
+
 // statsResponse is the /statsz body.
 type statsResponse struct {
 	UptimeS   float64        `json:"uptime_s"`
@@ -548,6 +620,7 @@ type statsResponse struct {
 	Cache     rescache.Stats `json:"cache"`
 	WarmCache warmCacheStats `json:"warm_cache"`
 	Peers     peerStats      `json:"peers"`
+	Ring      ringStats      `json:"ring"`
 	Solves    int64          `json:"solves"`
 	Requests  struct {
 		Analyze          int64 `json:"analyze"`
@@ -575,6 +648,25 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		Enabled: s.peers != nil,
 		Stats:   s.peers.Stats(),
 		Seeded:  s.peerSeeded.Load(),
+	}
+	if s.ring != nil {
+		push := s.pusher.Stats()
+		resp.Ring = ringStats{
+			Enabled:       true,
+			Members:       s.ring.Size(),
+			Self:          s.ring.Self(),
+			PushesSent:    push.Sent,
+			PushesApplied: push.Applied,
+			Forwarded:     push.Forwarded,
+			Fallbacks:     resp.Peers.Fallbacks,
+			PushesDropped: push.Dropped,
+			PushErrors:    push.Errors,
+		}
+		for _, key := range s.warm.Keys() {
+			if s.ring.Owns(key) {
+				resp.Ring.OwnedKeys++
+			}
+		}
 	}
 	resp.Solves = s.solves.Load()
 	resp.Requests.Analyze = s.analyzeReqs.Load()

@@ -1,6 +1,7 @@
 package statestore
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -59,6 +60,53 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if got := fresh.Peek("bucket-a"); len(got) != 2 || got[1].Nu() != 0.1 {
 		t.Fatalf("seeded cache lost the second candidate: %+v", got)
+	}
+}
+
+// TestSeedPreservesRecencyAcrossSaveLoad pins the replay direction: the
+// snapshot is MRU-first, so Seed must replay it back to front or every
+// restart would invert the cache's recency order — and the buckets evicted
+// under the next capacity squeeze would be the hottest ones, not the
+// coldest. The small-cache half fails loudly under a forward replay: only
+// the coldest buckets would survive.
+func TestSeedPreservesRecencyAcrossSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	src := warmcache.New(8)
+	for i := 0; i < 6; i++ {
+		src.Store(fmt.Sprintf("bucket-%d", i), testState(float64(i+1)/10))
+	}
+	if err := Save(dir, src.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same-capacity restore: the whole recency order survives verbatim.
+	same := warmcache.New(8)
+	Seed(same, entries)
+	want := src.Keys()
+	got := same.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("restored %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recency order inverted at %d: got %v, want %v", i, got, want)
+		}
+	}
+
+	// Capacity-squeezed restore: the survivors must be the hottest buckets.
+	small := warmcache.New(3)
+	Seed(small, entries)
+	for i, key := range small.Keys() {
+		if key != want[i] {
+			t.Fatalf("capacity squeeze kept %v; want the hottest %v", small.Keys(), want[:3])
+		}
+	}
+	if small.Len() != 3 {
+		t.Fatalf("squeezed cache holds %d buckets, want 3", small.Len())
 	}
 }
 

@@ -1,0 +1,149 @@
+// The push envelope: the body of POST /v1/warmstate, a batch of
+// locality-keyed states one replica pushes to another (internal/peer's
+// ownership-routed replication). Where the single-state encoding answers a
+// pull for one known key, the envelope carries the keys too — the receiver
+// learns which buckets it is being given — plus a hop budget that bounds
+// re-forwarding: a non-owner solver sends hops=1 to the key's owner, the
+// owner re-pushes to its followers with hops=0, and nothing propagates
+// further, so no push can loop however the fleet is configured.
+//
+// Envelope layout (version 1, little-endian, varint = binary.Uvarint):
+//
+//	magic   "DWPE1" (5 bytes; the version is part of the magic)
+//	hops    varint (0..MaxEnvelopeHops)
+//	count   varint (1..MaxEnvelopeRecords)
+//	records, each:
+//	  keyLen varint (1..MaxEnvelopeKeyLen), then keyLen bytes: the key
+//	  stLen  varint, then stLen bytes: one complete single-state encoding
+//
+// Nothing may follow the last record. Decoding is as strict as Decode's:
+// every record's state passes the full single-state validation, varints
+// must be canonical, and any violation rejects the whole envelope —
+// best-effort replication makes a dropped batch cheap and a
+// garbage-tolerant parser expensive.
+
+package statewire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dispersal/internal/solve"
+)
+
+// EnvelopeMagic identifies a version-1 push envelope.
+const EnvelopeMagic = "DWPE1"
+
+// Bounds enforced by DecodeEnvelope (and by EncodeEnvelope, so a sender
+// can never build an envelope its peers must reject).
+const (
+	// MaxEnvelopeRecords bounds one batch; pushers flush far below it.
+	MaxEnvelopeRecords = 128
+	// MaxEnvelopeHops bounds re-forwarding: 1 is enough for the only
+	// multi-hop route (solver -> owner -> followers).
+	MaxEnvelopeHops = 1
+	// MaxEnvelopeKeyLen bounds one key, sized like statestore's key bound:
+	// locality keys are JSON spec shapes, ~21 bytes per site.
+	MaxEnvelopeKeyLen = 4 << 20
+)
+
+// maxEnvelopeBytes is the reader-side ceiling on a whole envelope. It is
+// far below MaxEnvelopeRecords * worst-case record — a batch of
+// worst-case states has no business on the push path — but comfortably
+// above any batch a real pusher flushes.
+const maxEnvelopeBytes = 8 << 20
+
+// MaxEnvelopeBytes returns the largest envelope DecodeEnvelope accepts;
+// readers of untrusted streams should refuse anything longer before
+// buffering it.
+func MaxEnvelopeBytes() int { return maxEnvelopeBytes }
+
+// Record is one keyed state of a push envelope.
+type Record struct {
+	// Key is the warm-cache locality key the state was stored under.
+	Key string
+	// State is the pushed solver-core state.
+	State *solve.State
+}
+
+// EncodeEnvelope renders a push envelope. Unlike the tolerant snapshot
+// writer, it fails on any unencodable input — empty or oversized batches,
+// out-of-range hops, empty or oversized keys, states Encode rejects — the
+// pusher controls everything it batches, so a bad record is a bug to
+// surface, not data to skip.
+func EncodeEnvelope(hops int, recs []Record) ([]byte, error) {
+	if hops < 0 || hops > MaxEnvelopeHops {
+		return nil, fmt.Errorf("%w: hops %d outside [0, %d]", ErrEncode, hops, MaxEnvelopeHops)
+	}
+	if len(recs) == 0 || len(recs) > MaxEnvelopeRecords {
+		return nil, fmt.Errorf("%w: %d records outside [1, %d]", ErrEncode, len(recs), MaxEnvelopeRecords)
+	}
+	buf := make([]byte, 0, 1<<12)
+	buf = append(buf, EnvelopeMagic...)
+	buf = binary.AppendUvarint(buf, uint64(hops))
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for i, rec := range recs {
+		if len(rec.Key) == 0 || len(rec.Key) > MaxEnvelopeKeyLen {
+			return nil, fmt.Errorf("%w: record %d key length %d outside [1, %d]", ErrEncode, i, len(rec.Key), MaxEnvelopeKeyLen)
+		}
+		enc, err := Encode(rec.State)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
+		buf = append(buf, rec.Key...)
+		buf = binary.AppendUvarint(buf, uint64(len(enc)))
+		buf = append(buf, enc...)
+	}
+	if len(buf) > maxEnvelopeBytes {
+		return nil, fmt.Errorf("%w: envelope of %d bytes exceeds %d", ErrEncode, len(buf), maxEnvelopeBytes)
+	}
+	return buf, nil
+}
+
+// DecodeEnvelope parses one version-1 push envelope, returning its hop
+// budget and records. Every structural or semantic violation — including
+// any record's state failing the full single-state validation — rejects
+// the whole envelope with an error wrapping ErrDecode.
+func DecodeEnvelope(data []byte) (hops int, recs []Record, err error) {
+	if len(data) > maxEnvelopeBytes {
+		return 0, nil, fmt.Errorf("%w: envelope of %d bytes exceeds %d", ErrDecode, len(data), maxEnvelopeBytes)
+	}
+	r := &reader{data: data}
+	if magic := r.bytes(len(EnvelopeMagic)); r.err != nil || string(magic) != EnvelopeMagic {
+		if r.err == nil {
+			r.fail("bad envelope magic %q", magic)
+		}
+		return 0, nil, r.err
+	}
+	hops = int(r.uvarint("hops", MaxEnvelopeHops))
+	count := int(r.uvarint("record count", MaxEnvelopeRecords))
+	if r.err == nil && count < 1 {
+		r.fail("record count %d < 1", count)
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	recs = make([]Record, 0, count)
+	for i := 0; i < count; i++ {
+		keyLen := int(r.uvarint("key length", MaxEnvelopeKeyLen))
+		if r.err == nil && keyLen < 1 {
+			r.fail("record %d key length %d < 1", i, keyLen)
+		}
+		key := string(r.bytes(keyLen))
+		stLen := int(r.uvarint("state length", maxEncodedSize))
+		body := r.bytes(stLen)
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		st, err := Decode(body)
+		if err != nil {
+			return 0, nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		recs = append(recs, Record{Key: key, State: st})
+	}
+	if r.off != len(data) {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after the last record", ErrDecode, len(data)-r.off)
+	}
+	return hops, recs, nil
+}

@@ -1,0 +1,152 @@
+package statewire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dispersal/internal/policy"
+	"dispersal/internal/site"
+	"dispersal/internal/solve"
+	"dispersal/internal/strategy"
+)
+
+// envState builds a small distinct state for envelope tests.
+func envState(nu float64) *solve.State {
+	return solve.New(site.Values{1, 0.5}, 2, policy.Sharing{}).
+		WithEq(strategy.Strategy{0.75, 0.25}, nu, false)
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Key: "warm:a", State: envState(0.1)},
+		{Key: "warm:b", State: envState(0.2)},
+		{Key: "warm:c", State: envState(0.3)},
+	}
+	for hops := 0; hops <= MaxEnvelopeHops; hops++ {
+		enc, err := EncodeEnvelope(hops, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotHops, got, err := DecodeEnvelope(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotHops != hops {
+			t.Fatalf("hops = %d, want %d", gotHops, hops)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+		}
+		for i, rec := range got {
+			if rec.Key != recs[i].Key {
+				t.Fatalf("record %d key = %q, want %q", i, rec.Key, recs[i].Key)
+			}
+			statesEqual(t, recs[i].State, rec.State)
+		}
+	}
+}
+
+func TestEncodeEnvelopeRejectsBadInput(t *testing.T) {
+	ok := []Record{{Key: "warm:a", State: envState(0.1)}}
+	cases := []struct {
+		name string
+		hops int
+		recs []Record
+	}{
+		{"negative hops", -1, ok},
+		{"hops over budget", MaxEnvelopeHops + 1, ok},
+		{"no records", 0, nil},
+		{"too many records", 0, make([]Record, MaxEnvelopeRecords+1)},
+		{"empty key", 0, []Record{{Key: "", State: envState(0.1)}}},
+		{"nil state", 0, []Record{{Key: "warm:a", State: nil}}},
+	}
+	for _, tc := range cases {
+		if _, err := EncodeEnvelope(tc.hops, tc.recs); err == nil {
+			t.Errorf("%s: encoded without error", tc.name)
+		}
+	}
+}
+
+func TestDecodeEnvelopeStrictness(t *testing.T) {
+	good, err := EncodeEnvelope(1, []Record{{Key: "warm:a", State: envState(0.1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		if _, _, err := DecodeEnvelope(data); !errors.Is(err, ErrDecode) {
+			t.Errorf("%s: err = %v, want ErrDecode", name, err)
+		}
+	}
+	check("empty", nil)
+	check("bad magic", append([]byte("XXXXX"), good[5:]...))
+	check("single-state magic", []byte(Magic))
+	check("truncated", good[:len(good)-3])
+	check("trailing bytes", append(append([]byte{}, good...), 0))
+
+	// A corrupted inner state must reject the whole envelope: break the
+	// single-state magic where the record's payload begins.
+	bad := append([]byte{}, good...)
+	inner := bytes.Index(bad, []byte(Magic))
+	if inner < 0 {
+		t.Fatal("no inner state magic in a valid envelope")
+	}
+	bad[inner] ^= 0xFF
+	check("corrupt inner state", bad)
+
+	// Hop budgets beyond MaxEnvelopeHops are rejected even when well-formed.
+	overHops := append([]byte{}, EnvelopeMagic...)
+	overHops = append(overHops, byte(MaxEnvelopeHops+1))
+	overHops = append(overHops, good[len(EnvelopeMagic)+1:]...)
+	check("hops over budget", overHops)
+
+	// Oversized declared payload.
+	huge := make([]byte, maxEnvelopeBytes+1)
+	copy(huge, EnvelopeMagic)
+	check("oversized envelope", huge)
+}
+
+func TestDecodeEnvelopeNeverPanics(t *testing.T) {
+	good, err := EncodeEnvelope(0, []Record{
+		{Key: "warm:a", State: envState(0.1)},
+		{Key: "warm:b", State: envState(0.2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point and every single-byte corruption must fail
+	// cleanly (or, for corruption that lands in a float's mantissa, decode
+	// to something — never panic).
+	for i := range good {
+		if _, _, err := DecodeEnvelope(good[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded", i)
+		}
+		mut := append([]byte{}, good...)
+		mut[i] ^= 0x01
+		_, _, _ = DecodeEnvelope(mut)
+	}
+}
+
+func TestEnvelopeBatchAtLimit(t *testing.T) {
+	recs := make([]Record, MaxEnvelopeRecords)
+	for i := range recs {
+		recs[i] = Record{Key: fmt.Sprintf("warm:k%d", i), State: envState(float64(i) / 1000)}
+	}
+	enc, err := EncodeEnvelope(0, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > MaxEnvelopeBytes() {
+		t.Fatalf("full batch of %d bytes exceeds MaxEnvelopeBytes %d", len(enc), MaxEnvelopeBytes())
+	}
+	_, got, err := DecodeEnvelope(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxEnvelopeRecords {
+		t.Fatalf("decoded %d records, want %d", len(got), MaxEnvelopeRecords)
+	}
+}

@@ -212,6 +212,19 @@ func (c *Cache) Entries() []Entry {
 	return out
 }
 
+// Keys returns every cached bucket key, most-recently-used first, without
+// touching recency or counters — the stats path's input for per-replica
+// ring accounting (how many cached buckets this replica owns).
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
 // Len returns the current number of cached buckets.
 func (c *Cache) Len() int {
 	c.mu.Lock()
