@@ -9,6 +9,7 @@
 //	           [-state-dir DIR] [-snapshot-interval D]
 //	           [-fleet URL,URL,... -self URL] [-peers HOST:PORT,...]
 //	           [-peer-timeout D]
+//	           [-max-sessions N] [-client-rate R] [-frame-budget N]
 //
 // Endpoints (see internal/server and docs/http-api.md):
 //
@@ -31,6 +32,16 @@
 // cache (-warm-cache-size), so nearby landscapes seed each other's solves.
 // -timeout is the per-request deadline delivered to every solver through
 // its context.
+//
+// Trajectory streams are multi-tenant sessions: each client (X-Client-Key
+// header, else remote host) draws stream frames from a token bucket of
+// -frame-budget frames refilled at -client-rate frames/second, and at most
+// -max-sessions streams are attached at once — refusals are typed 429s
+// with a Retry-After header. Admitted streams solve their frames
+// round-robin on the -workers pool (short streams finish early under a
+// greedy neighbor), byte-identical concurrent streams coalesce onto one
+// solve per frame, and a disconnected stream can resume with
+// ?session=<id>&resume=<seq> (410 once expired or out of replay window).
 //
 // The warm state federates across processes: with -state-dir it is
 // snapshotted to disk every -snapshot-interval (and on shutdown) and loaded
@@ -75,6 +86,9 @@ func main() {
 	self := flag.String("self", "", "this replica's own entry in -fleet (its advertised base URL)")
 	peers := flag.String("peers", "", "comma-separated sibling replicas (host:port) polled for warm state on local misses; ignored with -fleet")
 	peerTimeout := flag.Duration("peer-timeout", 250*time.Millisecond, "deadline for one whole peer warm-state fetch round (<= 0 selects the default)")
+	maxSessions := flag.Int("max-sessions", 256, "concurrently attached trajectory streams (<= 0 selects the default)")
+	clientRate := flag.Float64("client-rate", 512, "per-client trajectory frame budget refill, frames per second (<= 0 selects the default)")
+	frameBudget := flag.Int("frame-budget", 4096, "per-client trajectory token bucket capacity, frames (<= 0 selects the default)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
 
@@ -112,6 +126,9 @@ func main() {
 		Fleet:            fleetList,
 		SelfID:           *self,
 		PeerTimeout:      *peerTimeout,
+		MaxSessions:      *maxSessions,
+		ClientRate:       *clientRate,
+		FrameBudget:      *frameBudget,
 		Logf:             logf,
 	})
 	// closeSrv writes the final warm-state snapshot; every exit path below

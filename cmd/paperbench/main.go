@@ -27,6 +27,14 @@
 // the comparison for the full-analysis path (IFD plus SPoA per frame, the
 // work one /v1/trajectory frame performs), failing below
 // -min-spoa-speedup (default 2x).
+//
+// With -sessions, paperbench boots an in-process dispersald and proves the
+// session layer's claims over live HTTP: -session-streams identical
+// concurrent -session-frames-frame streams must coalesce onto ~one solve
+// per unique frame (gated by -min-coalesce-ratio on the fraction of frames
+// answered without fresh solver work), and four short streams racing one
+// greedy stream on a 2-slot scheduler must all finish while the greedy
+// stream is still in its first half.
 package main
 
 import (
@@ -56,6 +64,10 @@ func main() {
 	fleetMode := flag.Bool("fleet", false, "prove ownership routing beats the pull topology: serve a shuffled drift grid through a 3-replica push fleet and a 3-replica pull fleet and compare local warm-hit rate and peer fan-out")
 	fleetLocalities := flag.Int("fleet-localities", 12, "distinct locality buckets in the -fleet drift grid (each visited once per replica)")
 	minFleetHitGain := flag.Float64("min-fleet-hit-gain", 0.3, "fail -fleet when the ownership fleet's local warm-hit rate does not beat the pull fleet's by this margin")
+	sessions := flag.Bool("sessions", false, "prove session coalescing and fair scheduling over live HTTP: identical concurrent streams must share one solve per frame, short streams must finish under a greedy neighbor")
+	sessionStreams := flag.Int("session-streams", 8, "identical concurrent streams in the -sessions coalescing phase")
+	sessionFrames := flag.Int("session-frames", 32, "frames per stream in the -sessions coalescing phase")
+	minCoalesceRatio := flag.Float64("min-coalesce-ratio", 0.8, "fail -sessions when the coalesced-frame ratio is below this (0 disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -92,6 +104,14 @@ func main() {
 
 	if *fleetMode {
 		if err := runFleetBench(ctx, *fleetLocalities, *minFleetHitGain); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *sessions {
+		if err := runSessionsBench(ctx, *sessionStreams, *sessionFrames, *minCoalesceRatio); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}

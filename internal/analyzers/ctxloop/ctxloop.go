@@ -181,5 +181,6 @@ func Default() *framework.Analyzer {
 		"internal/optimize",
 		"internal/pureeq",
 		"internal/dynamics",
+		"internal/session",
 	})
 }

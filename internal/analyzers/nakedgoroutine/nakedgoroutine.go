@@ -133,6 +133,7 @@ func callsRecover(info *types.Info, body *ast.BlockStmt) bool {
 func Default() *framework.Analyzer {
 	return New([]string{
 		"internal/server",
+		"internal/session",
 		"internal/peer",
 		"internal/ring",
 		"internal/statestore",

@@ -1,0 +1,187 @@
+package rescache
+
+// In-flight frame chains: the singleflight idea lifted from single keys to
+// whole key sequences. A trajectory stream is a chain of frame keys solved
+// in order; when N identical streams run concurrently, per-key singleflight
+// alone still lets a follower overtake the leader (its cache hits are
+// cheap) and become the computer of the next frame — correct, but the
+// overtaker solves from a re-seeded warm chain, so results can drift in
+// the low-order bits between streams. Registering the chain itself keeps
+// the roles fixed: the first stream to announce a signature leads and
+// publishes every frame result; followers wait per frame and emit the
+// leader's exact values, so N identical concurrent trajectories are
+// byte-identical and cost one solve per frame. A leader that disconnects
+// aborts the chain from its cursor, and followers fall back to the
+// per-key path — coalescing degrades, correctness never.
+
+import (
+	"context"
+	"strconv"
+	"sync"
+)
+
+// Chains is a registry of in-flight frame chains keyed by signature (a
+// digest of every frame key in order, so only byte-identical frame
+// sequences share a chain).
+type Chains[V any] struct {
+	mu     sync.Mutex
+	chains map[string]*Chain[V]
+}
+
+// NewChains builds an empty chain registry.
+func NewChains[V any]() *Chains[V] {
+	return &Chains[V]{chains: make(map[string]*Chain[V])}
+}
+
+// ChainSig digests a frame-key sequence into a chain signature.
+func ChainSig(keys []string) string {
+	h := uint64(0xcbf29ce484222325)
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= 0x100000001b3
+		}
+		// Separate keys so boundaries participate in the digest.
+		h ^= '\x1f'
+		h *= 0x100000001b3
+	}
+	return strconv.FormatUint(h, 16) + ":" + strconv.Itoa(len(keys))
+}
+
+// Join attaches the caller to the chain named sig with n frames, creating
+// it if absent. The second result reports the caller's role: true for the
+// leader (who must Publish every frame, or Abort) and false for a
+// follower (who Waits). A signature collision with a different frame
+// count — practically impossible, the count is part of the signature —
+// returns a nil chain: the caller runs solo on the per-key path.
+func (c *Chains[V]) Join(sig string, n int) (*Chain[V], bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ch, ok := c.chains[sig]; ok {
+		if len(ch.slots) != n {
+			return nil, false
+		}
+		ch.mu.Lock()
+		ch.refs++
+		ch.mu.Unlock()
+		return ch, false
+	}
+	ch := &Chain[V]{sig: sig, reg: c, refs: 1, aborted: n + 1, slots: make([]chainSlot[V], n)}
+	for i := range ch.slots {
+		ch.slots[i].ready = make(chan struct{})
+	}
+	c.chains[sig] = ch
+	return ch, true
+}
+
+// Chain is one in-flight frame chain. The leader publishes results in
+// frame order; followers wait on them. A Chain keeps working after it is
+// removed from the registry — late followers simply read the published
+// slots.
+type Chain[V any] struct {
+	sig string
+	reg *Chains[V]
+
+	mu   sync.Mutex
+	refs int
+	// aborted is the first frame index no result will ever arrive for;
+	// len(slots)+1 means "none" (the chain is, or may yet complete,
+	// whole).
+	aborted int
+	slots   []chainSlot[V]
+}
+
+// chainSlot is one frame's publication: ready closes when the result is
+// set or the chain aborts at or before the slot.
+type chainSlot[V any] struct {
+	ready     chan struct{}
+	val       V
+	published bool
+}
+
+// Publish records frame i's result and wakes its waiters. Leader only;
+// publishing a frame twice or after Abort covers it is a no-op.
+func (ch *Chain[V]) Publish(i int, v V) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if i < 0 || i >= len(ch.slots) || i >= ch.aborted || ch.slots[i].published {
+		return
+	}
+	ch.slots[i].val = v
+	ch.slots[i].published = true
+	close(ch.slots[i].ready)
+}
+
+// Abort marks every unpublished frame from i on as never coming and wakes
+// its waiters; they fall back to computing. A parking or failing leader
+// must call it (Leave aborts at 0 as a backstop).
+func (ch *Chain[V]) Abort(i int) {
+	if i < 0 {
+		i = 0
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if i >= ch.aborted {
+		return
+	}
+	ch.aborted = i
+	for j := i; j < len(ch.slots); j++ {
+		if !ch.slots[j].published {
+			close(ch.slots[j].ready)
+		}
+	}
+}
+
+// Wait blocks until frame i is published, the chain aborts at or before i,
+// or ctx expires. ok reports whether a value arrived; on false (and a nil
+// error) the follower computes the frame itself.
+func (ch *Chain[V]) Wait(ctx context.Context, i int) (v V, ok bool, err error) {
+	if i < 0 || i >= len(ch.slots) {
+		return v, false, nil
+	}
+	select {
+	case <-ch.slots[i].ready:
+	case <-ctx.Done():
+		return v, false, ctx.Err()
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if !ch.slots[i].published {
+		return v, false, nil
+	}
+	return ch.slots[i].val, true, nil
+}
+
+// Leave detaches a participant. A leaving leader that has not published
+// its whole chain aborts the remainder (done is the first frame it did not
+// publish). The chain is removed from the registry when the last
+// participant leaves, so a fresh identical stream later starts a fresh
+// chain (and finds every frame in the result cache anyway).
+func (ch *Chain[V]) Leave(leader bool, done int) {
+	if leader {
+		if done < len(ch.slots) {
+			ch.Abort(done)
+		}
+	}
+	ch.mu.Lock()
+	ch.refs--
+	last := ch.refs == 0
+	ch.mu.Unlock()
+	if last {
+		ch.reg.mu.Lock()
+		if ch.reg.chains[ch.sig] == ch {
+			delete(ch.reg.chains, ch.sig)
+		}
+		ch.reg.mu.Unlock()
+	}
+}
+
+// Len reports the chain's frame count.
+func (ch *Chain[V]) Len() int { return len(ch.slots) }
+
+// Active reports how many chains are currently registered.
+func (c *Chains[V]) Active() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.chains)
+}

@@ -1,0 +1,175 @@
+package rescache
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDoOutcomeClassifies(t *testing.T) {
+	c := New[int](16)
+	ctx := context.Background()
+	v, outcome, err := c.DoOutcome(ctx, "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || outcome != Computed {
+		t.Fatalf("first call = (%d, %v, %v), want (7, Computed, nil)", v, outcome, err)
+	}
+	v, outcome, err = c.DoOutcome(ctx, "k", func() (int, error) { t.Error("recompute"); return 0, nil })
+	if err != nil || v != 7 || outcome != Hit {
+		t.Fatalf("second call = (%d, %v, %v), want (7, Hit, nil)", v, outcome, err)
+	}
+}
+
+func TestDoOutcomeShared(t *testing.T) {
+	c := New[int](16)
+	ctx := context.Background()
+	enter := make(chan struct{})
+	unblock := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, outcome, err := c.DoOutcome(ctx, "k", func() (int, error) {
+			close(enter)
+			<-unblock
+			return 7, nil
+		})
+		if err != nil || outcome != Computed {
+			t.Errorf("leader outcome = %v, %v", outcome, err)
+		}
+	}()
+	<-enter
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, outcome, err := c.DoOutcome(ctx, "k", func() (int, error) { t.Error("waiter computed"); return 0, nil })
+		if err != nil || v != 7 || outcome != Shared {
+			t.Errorf("waiter = (%d, %v, %v), want (7, Shared, nil)", v, outcome, err)
+		}
+	}()
+	// Let the waiter reach the in-flight wait before releasing the leader.
+	time.Sleep(time.Millisecond)
+	close(unblock)
+	<-done
+	<-waiterDone
+}
+
+func TestChainLeaderThenFollowers(t *testing.T) {
+	reg := NewChains[int]()
+	sig := ChainSig([]string{"f0", "f1", "f2"})
+	leader, lead := reg.Join(sig, 3)
+	if !lead || leader == nil {
+		t.Fatal("first join is not the leader")
+	}
+	follower, lead2 := reg.Join(sig, 3)
+	if lead2 || follower != leader {
+		t.Fatal("second join did not follow the leader's chain")
+	}
+
+	ctx := context.Background()
+	results := make(chan int, 3)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			v, ok, err := follower.Wait(ctx, i)
+			if err != nil || !ok {
+				t.Errorf("Wait(%d) = (%v, %v)", i, ok, err)
+				return
+			}
+			results <- v
+		}
+		follower.Leave(false, 0)
+	}()
+	for i := 0; i < 3; i++ {
+		leader.Publish(i, 100+i)
+	}
+	leader.Leave(true, 3)
+	wg.Wait()
+	close(results)
+	want := 100
+	for v := range results {
+		if v != want {
+			t.Fatalf("follower got %d, want %d", v, want)
+		}
+		want++
+	}
+	if reg.Active() != 0 {
+		t.Fatalf("%d chains still registered after everyone left", reg.Active())
+	}
+}
+
+func TestChainAbortReleasesFollowers(t *testing.T) {
+	reg := NewChains[int]()
+	sig := ChainSig([]string{"f0", "f1"})
+	leader, _ := reg.Join(sig, 2)
+	follower, _ := reg.Join(sig, 2)
+
+	leader.Publish(0, 1)
+	if v, ok, err := follower.Wait(context.Background(), 0); err != nil || !ok || v != 1 {
+		t.Fatalf("Wait(0) = (%d, %v, %v)", v, ok, err)
+	}
+	// The leader parks after frame 0; Leave aborts the remainder.
+	leader.Leave(true, 1)
+	if _, ok, err := follower.Wait(context.Background(), 1); err != nil || ok {
+		t.Fatalf("Wait(1) after abort = (%v, %v), want ok=false (fall back to computing)", ok, err)
+	}
+	follower.Leave(false, 0)
+}
+
+func TestChainWaitHonorsContext(t *testing.T) {
+	reg := NewChains[int]()
+	leader, _ := reg.Join(ChainSig([]string{"f0"}), 1)
+	follower, _ := reg.Join(ChainSig([]string{"f0"}), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := follower.Wait(ctx, 0); err != context.Canceled {
+		t.Fatalf("Wait on a dead ctx = %v, want context.Canceled", err)
+	}
+	leader.Leave(true, 0)
+	follower.Leave(false, 0)
+}
+
+func TestChainLateFollowerReadsPublished(t *testing.T) {
+	reg := NewChains[int]()
+	sig := ChainSig([]string{"f0", "f1"})
+	leader, _ := reg.Join(sig, 2)
+	leader.Publish(0, 10)
+	// A follower joining mid-chain reads already-published slots instantly.
+	follower, lead := reg.Join(sig, 2)
+	if lead {
+		t.Fatal("mid-chain join became the leader")
+	}
+	if v, ok, _ := follower.Wait(context.Background(), 0); !ok || v != 10 {
+		t.Fatalf("late Wait(0) = (%d, %v)", v, ok)
+	}
+	leader.Publish(1, 11)
+	leader.Leave(true, 2)
+	if v, ok, _ := follower.Wait(context.Background(), 1); !ok || v != 11 {
+		t.Fatalf("Wait(1) after leader left = (%d, %v)", v, ok)
+	}
+	follower.Leave(false, 0)
+}
+
+func TestChainSigDistinguishes(t *testing.T) {
+	if ChainSig([]string{"ab", "c"}) == ChainSig([]string{"a", "bc"}) {
+		t.Fatal("boundary shift collides")
+	}
+	if ChainSig([]string{"a", "b"}) == ChainSig([]string{"a", "b", "c"}) {
+		t.Fatal("different lengths collide")
+	}
+	if ChainSig([]string{"a", "b"}) != ChainSig([]string{"a", "b"}) {
+		t.Fatal("identical sequences differ")
+	}
+}
+
+func TestChainJoinCountMismatchRunsSolo(t *testing.T) {
+	reg := NewChains[int]()
+	sig := ChainSig([]string{"f0"})
+	leader, _ := reg.Join(sig, 1)
+	// A forged signature with a different count must not attach.
+	if ch, lead := reg.Join(sig, 2); ch != nil || lead {
+		t.Fatalf("mismatched join = (%v, %v), want (nil, false)", ch, lead)
+	}
+	leader.Leave(true, 1)
+}

@@ -107,6 +107,19 @@ func (c *Cache[V]) shard(key string) *shard[V] {
 	return &c.shards[fnv1a(key)%shardCount]
 }
 
+// Outcome classifies how one DoOutcome call was answered.
+type Outcome int
+
+const (
+	// Computed: this caller ran compute itself (or the computation, or a
+	// waited-on ctx, failed).
+	Computed Outcome = iota
+	// Hit: answered from a filled entry.
+	Hit
+	// Shared: collapsed onto another caller's in-flight compute.
+	Shared
+)
+
 // Do returns the value for key, computing it with compute on a miss. The
 // second result reports whether this caller avoided solver work: true for a
 // cache hit or a successful singleflight collapse, false when this caller
@@ -118,6 +131,15 @@ func (c *Cache[V]) shard(key string) *shard[V] {
 // solve). Errors from compute are returned to the leader and every waiter
 // but never cached.
 func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)) (V, bool, error) {
+	v, outcome, err := c.DoOutcome(ctx, key, compute)
+	return v, outcome != Computed, err
+}
+
+// DoOutcome is Do with the answer's provenance instead of a boolean: Hit,
+// Shared or Computed. The session layer counts Hit and Shared trajectory
+// frames as coalesced — solver work another stream (or an earlier request)
+// already paid for.
+func (c *Cache[V]) DoOutcome(ctx context.Context, key string, compute func() (V, error)) (V, Outcome, error) {
 	s := c.shard(key)
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
@@ -125,17 +147,20 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 		v := el.Value.(*entry[V]).val
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return v, true, nil
+		return v, Hit, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		select {
 		case <-cl.done:
 			c.shared.Add(1)
-			return cl.val, cl.err == nil, cl.err
+			if cl.err != nil {
+				return cl.val, Computed, cl.err
+			}
+			return cl.val, Shared, nil
 		case <-ctx.Done():
 			var zero V
-			return zero, false, ctx.Err()
+			return zero, Computed, ctx.Err()
 		}
 	}
 	cl := &call[V]{done: make(chan struct{})}
@@ -152,7 +177,7 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 	}
 	s.mu.Unlock()
 	close(cl.done)
-	return cl.val, false, cl.err
+	return cl.val, Computed, cl.err
 }
 
 // insertLocked adds (key, val) as the most-recent entry, evicting from the

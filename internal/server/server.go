@@ -13,7 +13,13 @@
 //	                     solves the spec's game over a sequence of drifting
 //	                     landscapes, warm-starting each frame from the
 //	                     previous one, and streams one NDJSON result line
-//	                     per frame.
+//	                     per frame. Streams are sessions (internal/session):
+//	                     admitted against a per-client frame budget and a
+//	                     global cap (typed 429 with Retry-After), scheduled
+//	                     round-robin across streams on a bounded worker
+//	                     pool, coalesced when byte-identical streams run
+//	                     concurrently, and resumable after a disconnect with
+//	                     ?session=<id>&resume=<seq> (typed 410 when gone).
 //	GET  /v1/warmstate   peer exchange, pull side: the statewire encoding
 //	                     of this replica's warm state for ?key=<LocalityKey>.
 //	POST /v1/warmstate   peer exchange, push side (fleet mode only): a
@@ -67,6 +73,7 @@ import (
 	"dispersal/internal/peer"
 	"dispersal/internal/rescache"
 	"dispersal/internal/ring"
+	"dispersal/internal/session"
 	"dispersal/internal/solve"
 	"dispersal/internal/speccodec"
 	"dispersal/internal/statestore"
@@ -121,8 +128,23 @@ type Config struct {
 	// PeerTimeout bounds one whole peer-fetch round, and one push
 	// delivery; <= 0 selects peer.DefaultTimeout.
 	PeerTimeout time.Duration
+	// MaxSessions bounds concurrently attached trajectory streams; <= 0
+	// selects the session default. Excess streams answer 429.
+	MaxSessions int
+	// ClientRate is the per-client trajectory frame budget refill rate in
+	// frames per second; <= 0 selects the session default.
+	ClientRate float64
+	// FrameBudget is the per-client trajectory token bucket capacity in
+	// frames — also the largest single stream one client can open; <= 0
+	// selects the session default.
+	FrameBudget int
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
+
+	// sessionClock, when non-nil, drives the session registry's budget
+	// refills and park TTLs. In-package tests install a session.FakeClock;
+	// everyone else gets the wall clock.
+	sessionClock session.Clock
 }
 
 // Analysis is the wire form of one analyzed game: the deterministic
@@ -166,6 +188,10 @@ type Server struct {
 	pusher *peer.Pusher
 	// snap, when non-nil, persists the warm cache under Config.StateDir.
 	snap *statestore.Snapshotter
+	// sessions admits, schedules and resumes trajectory streams; chains
+	// coalesces byte-identical concurrent streams onto one solve per frame.
+	sessions *session.Registry
+	chains   *rescache.Chains[Analysis]
 	// loadedStates counts the states seeded from a boot-time snapshot.
 	loadedStates int64
 	start        time.Time
@@ -182,6 +208,9 @@ type Server struct {
 	// peerSeeded is the subset of warmSeeded whose seed came from a peer
 	// rather than the local cache — the count federation exists to grow.
 	warmSeeded, warmFallback, peerSeeded atomic.Int64
+	// sessionCoalesced counts trajectory frames answered without fresh
+	// solver work: cache hits, singleflight collapses and chain follows.
+	sessionCoalesced atomic.Int64
 }
 
 // New builds a Server with its cache and routes.
@@ -196,6 +225,14 @@ func New(cfg Config) *Server {
 		warm:  warmcache.New(cfg.WarmCacheSize),
 		start: time.Now(),
 	}
+	s.sessions = session.NewRegistry(session.Config{
+		MaxSessions: cfg.MaxSessions,
+		FrameBudget: cfg.FrameBudget,
+		ClientRate:  cfg.ClientRate,
+		Workers:     cfg.Workers,
+		Clock:       cfg.sessionClock,
+	})
+	s.chains = rescache.NewChains[Analysis]()
 	peerCfg := peer.Config{Peers: cfg.Peers, Timeout: cfg.PeerTimeout}
 	if len(cfg.Fleet) > 0 {
 		r, err := ring.New(peer.NormalizeAddrs(cfg.Fleet), peer.NormalizeAddr(cfg.SelfID))
@@ -262,7 +299,9 @@ func (s *Server) Solves() int64 { return s.solves.Load() }
 func (s *Server) CacheStats() rescache.Stats { return s.cache.Stats() }
 
 // apiError is the JSON error body. Kind is machine-readable: "syntax",
-// "spec", "policy", "request", "timeout" or "internal".
+// "spec", "policy", "request", "timeout", "internal", "rate_limit" (429,
+// frame budget exhausted), "sessions" (429, session cap) or "gone" (410,
+// unresumable stream).
 type apiError struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind"`
@@ -612,6 +651,17 @@ type ringStats struct {
 	PushErrors    int64 `json:"push_errors"`
 }
 
+// sessionStats is the /statsz sessions section: the registry's own
+// counters plus the server-level ones ("coalesced" trajectory frames were
+// answered without fresh solver work — a cache hit, a singleflight
+// collapse or a chain follow; "chains" counts in-flight coalescing
+// chains).
+type sessionStats struct {
+	session.Stats
+	Coalesced int64 `json:"coalesced"`
+	Chains    int   `json:"chains"`
+}
+
 // statsResponse is the /statsz body.
 type statsResponse struct {
 	UptimeS   float64        `json:"uptime_s"`
@@ -621,6 +671,7 @@ type statsResponse struct {
 	WarmCache warmCacheStats `json:"warm_cache"`
 	Peers     peerStats      `json:"peers"`
 	Ring      ringStats      `json:"ring"`
+	Sessions  sessionStats   `json:"sessions"`
 	Solves    int64          `json:"solves"`
 	Requests  struct {
 		Analyze          int64 `json:"analyze"`
@@ -667,6 +718,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 				resp.Ring.OwnedKeys++
 			}
 		}
+	}
+	resp.Sessions = sessionStats{
+		Stats:     s.sessions.Stats(),
+		Coalesced: s.sessionCoalesced.Load(),
+		Chains:    s.chains.Active(),
 	}
 	resp.Solves = s.solves.Load()
 	resp.Requests.Analyze = s.analyzeReqs.Load()

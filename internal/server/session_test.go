@@ -1,0 +1,538 @@
+package server
+
+// The multi-tenant session harness: real HTTP streams against an in-process
+// server, driven concurrently, with a fake clock behind the admission
+// limiter where determinism needs one. Everything here runs under the
+// package's leakcheck TestMain and is -race clean: the suite is the proof
+// for the session layer's concurrency claims — fairness, coalescing
+// byte-identity, slot release on disconnect, resumption, and typed
+// admission refusals.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dispersal/internal/session"
+)
+
+// rawLine is one NDJSON line with the result kept as raw bytes, so tests
+// can assert byte-identity of payloads across streams (re-marshaling would
+// launder differences away).
+type rawLine struct {
+	Seq    int64           `json:"seq"`
+	Frame  int             `json:"frame"`
+	Result json.RawMessage `json:"result"`
+	Error  string          `json:"error"`
+	Kind   string          `json:"kind"`
+	Done   bool            `json:"done"`
+	Frames int             `json:"frames"`
+}
+
+// postStream POSTs a trajectory for the given client key and returns the
+// response; the caller owns the body.
+func postStream(url, body, client string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if client != "" {
+		req.Header.Set("X-Client-Key", client)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// readLines drains an NDJSON body into parsed lines.
+func readLines(body io.Reader) ([]rawLine, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []rawLine
+	for sc.Scan() {
+		var ln rawLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			return nil, fmt.Errorf("bad line %q: %w", sc.Bytes(), err)
+		}
+		lines = append(lines, ln)
+	}
+	return lines, sc.Err()
+}
+
+// runStream posts a whole trajectory and returns its parsed lines.
+func runStream(url, body, client string) ([]rawLine, int, error) {
+	resp, err := postStream(url, body, client)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(resp.Body)
+		return nil, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+	}
+	lines, err := readLines(resp.Body)
+	return lines, resp.StatusCode, err
+}
+
+// frameLines strips the final done line, asserting it exists.
+func frameLines(t *testing.T, lines []rawLine) ([]rawLine, rawLine) {
+	t.Helper()
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := lines[len(lines)-1]
+	if !last.Done {
+		t.Fatalf("last line is not a done line: %+v", last)
+	}
+	return lines[:len(lines)-1], last
+}
+
+// TestSessionCoalescingByteIdentical is the coalescing correctness
+// property: N identical concurrent streams must (a) produce frame result
+// payloads byte-identical to each other AND to a lone stream on a fresh
+// server, and (b) cost exactly one solve per unique frame, visible in both
+// Solves() and the /statsz sessions.coalesced counter.
+func TestSessionCoalescingByteIdentical(t *testing.T) {
+	const streams, n = 4, 8
+	body := trajectoryBody(8, 5, n, 0.02)
+
+	// The reference: the same trajectory alone on its own server.
+	_, lone := newTestServer(t, Config{})
+	refLines, _, err := runStream(lone.URL+"/v1/trajectory", body, "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFrames, _ := frameLines(t, refLines)
+
+	s, ts := newTestServer(t, Config{})
+	var wg sync.WaitGroup
+	results := make([][]rawLine, streams)
+	errs := make([]error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lines, _, err := runStream(ts.URL+"/v1/trajectory", body, fmt.Sprintf("client%d", i))
+			results[i], errs[i] = lines, err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+	}
+
+	for i, lines := range results {
+		frames, done := frameLines(t, lines)
+		if len(frames) != n || done.Frames != n {
+			t.Fatalf("stream %d delivered %d frames (done says %d), want %d", i, len(frames), done.Frames, n)
+		}
+		for f, fr := range frames {
+			if fr.Frame != f || fr.Error != "" {
+				t.Fatalf("stream %d line %d: %+v", i, f, fr)
+			}
+			if string(fr.Result) != string(refFrames[f].Result) {
+				t.Errorf("stream %d frame %d result differs from the lone stream:\n%s\nvs\n%s",
+					i, f, fr.Result, refFrames[f].Result)
+			}
+		}
+	}
+
+	// Exactly one solve per unique frame, however many streams asked.
+	if got := s.Solves(); got != n {
+		t.Fatalf("%d streams x %d frames cost %d solves, want exactly %d", streams, n, got, n)
+	}
+	// Every frame of every non-leader stream was coalesced.
+	if got := s.sessionCoalesced.Load(); got != int64((streams-1)*n) {
+		t.Fatalf("coalesced = %d, want %d", got, (streams-1)*n)
+	}
+	// And /statsz reports the same through the wire.
+	sresp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	var stats struct {
+		Sessions struct {
+			Active    int   `json:"active"`
+			Opened    int64 `json:"opened"`
+			Coalesced int64 `json:"coalesced"`
+			Rejected  int64 `json:"rejected"`
+		} `json:"sessions"`
+	}
+	if err := json.Unmarshal(payload, &stats); err != nil {
+		t.Fatalf("statsz: %v\n%s", err, payload)
+	}
+	if stats.Sessions.Active != 0 || stats.Sessions.Opened != int64(streams) ||
+		stats.Sessions.Coalesced != int64((streams-1)*n) || stats.Sessions.Rejected != 0 {
+		t.Fatalf("statsz sessions = %+v", stats.Sessions)
+	}
+}
+
+// TestSessionFairnessOverHTTP runs one greedy stream and four short ones
+// concurrently and requires each short stream to complete within a small
+// number of greedy frames of its own admission — round-robin scheduling
+// over live HTTP, not just over the scheduler in isolation (that property
+// runs 100 seeds in internal/session). Progress is measured from each
+// short's admission (its response headers arrive before its first solve),
+// so client-side connection setup latency is not charged to the scheduler.
+func TestSessionFairnessOverHTTP(t *testing.T) {
+	const greedyFrames, shortFrames, shorts = 64, 8, 4
+	const bound = 32
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// Distinct player counts make every stream's frame keys distinct: no
+	// cache or chain sharing, pure scheduling.
+	greedyBody := trajectoryBody(6, 3, greedyFrames, 0.02)
+
+	var greedySeen atomic.Int64
+	greedyDone := make(chan error, 1)
+	resp, err := postStream(ts.URL+"/v1/trajectory", greedyBody, "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	go func() {
+		for sc.Scan() {
+			greedySeen.Add(1)
+		}
+		greedyDone <- sc.Err()
+	}()
+
+	var wg sync.WaitGroup
+	admittedAt := make([]int64, shorts)
+	finishedAt := make([]int64, shorts)
+	errs := make([]error, shorts)
+	for i := 0; i < shorts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := trajectoryBody(6, 4+i, shortFrames, 0.02)
+			resp, err := postStream(ts.URL+"/v1/trajectory", body, fmt.Sprintf("short%d", i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			admittedAt[i] = greedySeen.Load()
+			lines, err := readLines(resp.Body)
+			finishedAt[i] = greedySeen.Load()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(lines) != shortFrames+1 || !lines[len(lines)-1].Done {
+				errs[i] = fmt.Errorf("short stream %d delivered %d lines", i, len(lines))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := <-greedyDone; err != nil {
+		t.Fatalf("greedy stream: %v", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("short stream %d: %v", i, err)
+		}
+		// greedySeen lags the server (client-side read), which can only
+		// shrink the measured window, never inflate it past the bound by
+		// scheduler fault: a short stream needs ~8 scheduling rounds, so
+		// under round-robin the greedy stream advances ~8 frames meanwhile.
+		if got := finishedAt[i] - admittedAt[i]; got >= bound {
+			t.Errorf("greedy advanced %d frames while short stream %d ran, want < %d (starvation)",
+				got, i, bound)
+		}
+	}
+}
+
+// parkedStream opens a stream, reads lines until seq wantSeq, disconnects,
+// and waits for the server to park the session. It returns the session id
+// and the lines read before the disconnect.
+func parkedStream(t *testing.T, s *Server, url, body, client string, wantSeq int64) (string, []rawLine) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-Key", client)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	id := resp.Header.Get("X-Session-ID")
+	if id == "" {
+		t.Fatal("stream has no X-Session-ID header")
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var seen []rawLine
+	for int64(len(seen)) < wantSeq && sc.Scan() {
+		var ln rawLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Bytes(), err)
+		}
+		seen = append(seen, ln)
+	}
+	cancel()
+	waitParked(t, s, 1)
+	return id, seen
+}
+
+// waitParked polls until the registry reports n parked sessions and no
+// attached ones.
+func waitParked(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := s.sessions.Stats()
+		if st.Active == 0 && st.Parked == n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("session never parked: %+v", s.sessions.Stats())
+}
+
+// TestSessionDisconnectReleasesSlot is the failure-mode property: with a
+// one-session registry, a mid-stream disconnect must release the slot (and
+// any queued frames) so the next client gets in — while the parked stream
+// stays resumable rather than lost.
+func TestSessionDisconnectReleasesSlot(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxSessions: 1})
+	// Big per-frame solves, so the stream is reliably still attached when
+	// the concurrent open and the disconnect land.
+	body := trajectoryBody(48, 64, 64, 0.01)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/trajectory", strings.NewReader(body))
+	req.Header.Set("X-Client-Key", "first")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+
+	// While the first stream is attached, the cap answers a typed 429.
+	r2, err := postStream(ts.URL+"/v1/trajectory", trajectoryBody(6, 4, 4, 0.02), "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("concurrent open at the cap: status %d: %s", r2.StatusCode, payload)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	var apiErr apiError
+	if err := json.Unmarshal(payload, &apiErr); err != nil || apiErr.Kind != "sessions" {
+		t.Fatalf("429 body = %s, want kind \"sessions\"", payload)
+	}
+
+	cancel()
+	waitParked(t, s, 1)
+
+	// The disconnect released the only slot: a fresh stream now runs whole.
+	lines, _, err := runStream(ts.URL+"/v1/trajectory", trajectoryBody(6, 4, 4, 0.02), "second")
+	if err != nil {
+		t.Fatalf("stream after disconnect: %v", err)
+	}
+	if frames, done := frameLines(t, lines); len(frames) != 4 || done.Frames != 4 {
+		t.Fatalf("post-disconnect stream: %d frames, done %+v", len(frames), done)
+	}
+}
+
+// TestSessionResumeReplaysAndCompletes disconnects a stream mid-flight and
+// resumes it: the replayed lines plus the live remainder must reassemble
+// into exactly the full trajectory, contiguous seqs and all, with the done
+// totals covering both legs.
+func TestSessionResumeReplaysAndCompletes(t *testing.T) {
+	const n = 8
+	s, ts := newTestServer(t, Config{})
+	// Slow frames so the disconnect lands mid-stream, not after the end.
+	body := trajectoryBody(48, 64, n, 0.01)
+	id, seen := parkedStream(t, s, ts.URL+"/v1/trajectory", body, "alice", 1)
+
+	// A foreign client must not be able to take over the stream.
+	resp, err := postStream(ts.URL+fmt.Sprintf("/v1/trajectory?session=%s&resume=%d", id, seen[len(seen)-1].Seq), "", "mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("foreign resume: status %d: %s", resp.StatusCode, payload)
+	}
+
+	rest, _, err := runStream(ts.URL+fmt.Sprintf("/v1/trajectory?session=%s&resume=%d", id, seen[len(seen)-1].Seq), "", "alice")
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	all := append(append([]rawLine(nil), seen...), rest...)
+	frames, done := frameLines(t, all)
+	if len(frames) != n || done.Frames != n {
+		t.Fatalf("reassembled stream has %d frames, done says %d, want %d", len(frames), done.Frames, n)
+	}
+	for i, fr := range frames {
+		if fr.Seq != int64(i+1) {
+			t.Fatalf("line %d has seq %d: replay left a gap or a duplicate", i, fr.Seq)
+		}
+		if fr.Frame != i || fr.Error != "" || len(fr.Result) == 0 {
+			t.Fatalf("reassembled frame %d: %+v", i, fr)
+		}
+	}
+	if done.Seq != int64(n+1) {
+		t.Fatalf("done line seq %d, want %d", done.Seq, n+1)
+	}
+	if st := s.sessions.Stats(); st.Resumed != 1 || st.Active != 0 || st.Parked != 0 {
+		t.Fatalf("registry after resume: %+v", st)
+	}
+}
+
+// TestSessionResumeGone exercises the typed-410 contract: unknown ids,
+// completed streams, tokens ahead of the stream, and parked sessions whose
+// TTL expired on the fake clock.
+func TestSessionResumeGone(t *testing.T) {
+	clock := session.NewFakeClock(time.Unix(1000, 0))
+	s, ts := newTestServer(t, Config{sessionClock: clock})
+
+	expectGone := func(q string) {
+		t.Helper()
+		resp, err := postStream(ts.URL+"/v1/trajectory?"+q, "", "alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("resume %q: status %d: %s", q, resp.StatusCode, payload)
+		}
+		var apiErr apiError
+		if err := json.Unmarshal(payload, &apiErr); err != nil || apiErr.Kind != "gone" {
+			t.Fatalf("resume %q body = %s, want kind \"gone\"", q, payload)
+		}
+	}
+
+	expectGone("session=s999&resume=0")
+
+	// A completed stream is gone, not parked.
+	lines, _, err := runStream(ts.URL+"/v1/trajectory", trajectoryBody(6, 4, 3, 0.02), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLines(t, lines)
+	expectGone("session=s1&resume=3")
+
+	// A parked stream with a token from the future.
+	id, _ := parkedStream(t, s, ts.URL+"/v1/trajectory", trajectoryBody(48, 64, 16, 0.01), "alice", 1)
+	expectGone(fmt.Sprintf("session=%s&resume=999", id))
+
+	// And the same stream once its park TTL expires.
+	clock.Advance(session.DefaultParkTTL + time.Second)
+	expectGone(fmt.Sprintf("session=%s&resume=1", id))
+	if st := s.sessions.Stats(); st.Parked != 0 {
+		t.Fatalf("expired session still parked: %+v", st)
+	}
+}
+
+// TestSessionRateLimit429AndRefill drains a client's frame budget, expects
+// the typed 429 with a Retry-After header, refills deterministically on
+// the fake clock, and watches admission recover.
+func TestSessionRateLimit429AndRefill(t *testing.T) {
+	clock := session.NewFakeClock(time.Unix(1000, 0))
+	_, ts := newTestServer(t, Config{FrameBudget: 32, ClientRate: 16, sessionClock: clock})
+
+	// 24 of the 32 budget frames.
+	if _, _, err := runStream(ts.URL+"/v1/trajectory", trajectoryBody(6, 4, 24, 0.02), "rl"); err != nil {
+		t.Fatal(err)
+	}
+	// 8 remain; another 24-frame stream must be refused with the wait.
+	resp, err := postStream(ts.URL+"/v1/trajectory", trajectoryBody(6, 4, 24, 0.02), "rl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overdrawn stream: status %d: %s", resp.StatusCode, payload)
+	}
+	var apiErr apiError
+	if err := json.Unmarshal(payload, &apiErr); err != nil || apiErr.Kind != "rate_limit" {
+		t.Fatalf("429 body = %s, want kind \"rate_limit\"", payload)
+	}
+	// 16 missing tokens at 16/s: Retry-After must say 1 second.
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	// Another client is unaffected by rl's exhaustion.
+	if _, _, err := runStream(ts.URL+"/v1/trajectory", trajectoryBody(6, 4, 24, 0.02), "other"); err != nil {
+		t.Fatalf("independent client: %v", err)
+	}
+	// Advance exactly the advertised wait: the budget refills and the
+	// refused stream now fits.
+	clock.Advance(time.Second)
+	if _, _, err := runStream(ts.URL+"/v1/trajectory", trajectoryBody(6, 4, 24, 0.02), "rl"); err != nil {
+		t.Fatalf("stream after refill: %v", err)
+	}
+}
+
+// TestSessionMalformedSpecBurnsNoBudget is the admission-ordering fix: a
+// request that fails validation must consume nothing from the client's
+// frame budget, because admission happens strictly after validation.
+func TestSessionMalformedSpecBurnsNoBudget(t *testing.T) {
+	// The fake clock freezes refill, so the balance comparison is exact.
+	clock := session.NewFakeClock(time.Unix(1000, 0))
+	s, ts := newTestServer(t, Config{FrameBudget: 32, ClientRate: 1, sessionClock: clock})
+
+	// Establish a bucket below capacity so "unchanged" is distinguishable
+	// from "fresh".
+	if _, _, err := runStream(ts.URL+"/v1/trajectory", trajectoryBody(6, 4, 4, 0.02), "fix"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.sessions.Tokens("fix")
+	if before != 28 {
+		t.Fatalf("budget after a 4-frame stream = %v, want 28", before)
+	}
+
+	// Ascending values violate the spec's ordering convention: typed 400.
+	bad := `{"spec": {"values": [1, 0.5], "k": 2, "policy": {"name": "sharing"}}, "frames": [[0.5, 1]]}`
+	resp, err := postStream(ts.URL+"/v1/trajectory", bad, "fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed stream: status %d: %s", resp.StatusCode, payload)
+	}
+	var apiErr apiError
+	if err := json.Unmarshal(payload, &apiErr); err != nil || apiErr.Kind != "spec" {
+		t.Fatalf("400 body = %s, want kind \"spec\"", payload)
+	}
+	if after := s.sessions.Tokens("fix"); after != before {
+		t.Fatalf("rejected request changed the budget: %v -> %v", before, after)
+	}
+	if st := s.sessions.Stats(); st.Opened != 1 {
+		t.Fatalf("rejected request opened a session: %+v", st)
+	}
+}

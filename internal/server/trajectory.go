@@ -8,6 +8,20 @@ package server
 // completes. Per-frame results are cached under frame-substituted spec keys
 // (speccodec.FrameKey), and a cache hit re-seeds the warm chain from the
 // cached equilibrium (Game.SeedWarm) so the frames after it stay warm.
+//
+// Streams are sessions (internal/session). A validated request is admitted
+// against the client's frame budget (token bucket; refusals are typed 429s
+// with Retry-After) and a global session cap; admitted streams solve their
+// frames through a fair round-robin scheduler on a bounded slot pool, so a
+// greedy 4096-frame stream delays a concurrent 8-frame stream by one frame
+// per round instead of a whole trajectory. Identical concurrent streams
+// coalesce: the first to announce its frame-key chain leads and solves,
+// the rest follow its published results byte for byte (one solve per
+// unique frame, fleet of clients or not). Every emitted line carries a
+// monotonic sequence token and lands in a bounded replay window; a
+// disconnected stream parks and can be resumed with
+// ?session=<id>&resume=<seq>, replaying the missed lines — a token out of
+// the window, or an expired session, answers a typed 410.
 
 import (
 	"context"
@@ -15,10 +29,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"dispersal"
+	"dispersal/internal/rescache"
+	"dispersal/internal/session"
 	"dispersal/internal/speccodec"
 )
 
@@ -38,7 +57,9 @@ type trajectoryRequest struct {
 // resolveFrames materializes the request's landscape sequence: the frames
 // form is returned as-is, the deltas form is accumulated from the spec's
 // base values. Every returned frame is validated, so stream-time evolution
-// cannot fail on landscape shape.
+// cannot fail on landscape shape — and validation happens strictly before
+// session admission, so a malformed spec cannot consume a rate-limit
+// token.
 func resolveFrames(spec dispersal.Spec, req trajectoryRequest) ([][]float64, error) {
 	if len(req.Frames) > 0 && len(req.Deltas) > 0 {
 		return nil, errors.New("trajectory body has both frames and deltas; send exactly one")
@@ -70,10 +91,12 @@ func resolveFrames(spec dispersal.Spec, req trajectoryRequest) ([][]float64, err
 	return frames, nil
 }
 
-// trajectoryFrame is one streamed NDJSON line of the response. Result is
+// trajectoryFrame is one streamed NDJSON line of the response. Seq is the
+// line's resume token (monotonic per session, starting at 1). Result is
 // present on success; Error/Kind report the terminal failure of the stream
 // (no further frames follow an error line).
 type trajectoryFrame struct {
+	Seq       int64     `json:"seq"`
 	Frame     int       `json:"frame"`
 	Cached    bool      `json:"cached"`
 	Warm      bool      `json:"warm"`
@@ -83,8 +106,10 @@ type trajectoryFrame struct {
 	Kind      string    `json:"kind,omitempty"`
 }
 
-// trajectoryDone is the final NDJSON line: totals for the whole stream.
+// trajectoryDone is the final NDJSON line: totals for the whole stream,
+// disconnections and resumes included.
 type trajectoryDone struct {
+	Seq       int64   `json:"seq"`
 	Done      bool    `json:"done"`
 	Frames    int     `json:"frames"`
 	Warmed    int     `json:"warmed"`
@@ -92,8 +117,69 @@ type trajectoryDone struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
+// trajectoryState is the solving loop's working state — and, verbatim, the
+// checkpoint a parked stream retains: the validated frames with their
+// precomputed cache keys, the warm chain's current game, the next-frame
+// cursor and the running totals. A resumed stream picks the loop up from
+// here.
+type trajectoryState struct {
+	spec   dispersal.Spec
+	frames [][]float64
+	keys   []string
+	cur    *dispersal.Game
+	next   int
+	done   trajectoryDone
+	// resumed streams stay off the chain registry: their chain, if any,
+	// was aborted at park, and the result cache already holds their past.
+	resumed bool
+}
+
+// clientKey is the admission identity of a request: the X-Client-Key
+// header when present (multi-tenant deployments put the tenant or API key
+// there), else the remote host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-Client-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeAdmissionError maps session admission failures onto the wire:
+// RetryError answers 429 with a Retry-After header, ErrGone answers 410.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	var re *session.RetryError
+	if errors.As(err, &re) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(re.After)))
+		writeError(w, http.StatusTooManyRequests, re.Reason, err)
+		return
+	}
+	if errors.Is(err, session.ErrGone) {
+		writeError(w, http.StatusGone, "gone", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", err)
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds, at least one — the
+// Retry-After header has second granularity.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	s.trajectoryReqs.Add(1)
+	if q := r.URL.Query(); q.Get("session") != "" || q.Get("resume") != "" {
+		s.resumeTrajectory(w, r)
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "request", err)
@@ -135,63 +221,224 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "spec", err)
 		return
 	}
+	keys := make([]string, len(frames))
+	for i, fr := range frames {
+		k, err := speccodec.FrameKey(spec, fr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "spec", fmt.Errorf("frame %d: %w", i, err))
+			return
+		}
+		keys[i] = k
+	}
 
+	// Admission comes strictly after every validation above: a request the
+	// server rejects must cost its client nothing.
+	sess, err := s.sessions.Open(clientKey(r), len(frames))
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	st := &trajectoryState{
+		spec:   spec,
+		frames: frames,
+		keys:   keys,
+		cur:    base,
+		done:   trajectoryDone{Done: true},
+	}
+	s.streamTrajectory(w, r, sess, st, nil)
+}
+
+// resumeTrajectory re-attaches a parked stream: ?session=<id>&resume=<seq>
+// replays the recorded lines after seq and continues solving from the
+// parked checkpoint. The body is ignored — the session already holds the
+// validated request.
+func (s *Server) resumeTrajectory(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id, seqStr := q.Get("session"), q.Get("resume")
+	if id == "" || seqStr == "" {
+		writeError(w, http.StatusBadRequest, "request",
+			errors.New("resuming needs both ?session=<id> and ?resume=<seq>"))
+		return
+	}
+	after, err := strconv.ParseInt(seqStr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request", fmt.Errorf("resume token: %w", err))
+		return
+	}
+	sess, replay, checkpoint, err := s.sessions.Resume(id, clientKey(r), after)
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	st, ok := checkpoint.(*trajectoryState)
+	if !ok || st == nil {
+		s.sessions.Close(sess)
+		writeError(w, http.StatusInternalServerError, "internal",
+			errors.New("session has no trajectory continuation"))
+		return
+	}
+	st.resumed = true
+	s.streamTrajectory(w, r, sess, st, replay)
+}
+
+// streamTrajectory runs the solving loop of one attached stream: replay
+// first (on resume), then one scheduler-fair, chain-coalesced solve per
+// remaining frame. It owns the session until it returns: a completed or
+// terminally failed stream is Closed, a disconnected or deadline-expired
+// one is Parked resumable.
+func (s *Server) streamTrajectory(w http.ResponseWriter, r *http.Request, sess *session.Session, st *trajectoryState, replay []session.Line) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Session-ID", sess.ID)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(v any) {
-		_ = enc.Encode(v)
+	if flusher != nil {
+		// Send the headers now: the client learns its session id at
+		// admission, before the first frame has solved.
+		flusher.Flush()
+	}
+	write := func(raw []byte) {
+		_, _ = w.Write(raw)
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+	for _, ln := range replay {
+		write(ln.Raw)
+	}
+	// emit assigns the line's sequence token, records it in the replay
+	// window and streams it out.
+	emitFrame := func(fr trajectoryFrame) {
+		fr.Seq = sess.NextSeq()
+		raw, err := json.Marshal(fr)
+		if err != nil {
+			return
+		}
+		raw = append(raw, '\n')
+		sess.Record(fr.Seq, raw, s.sessions.ReplayWindow())
+		write(raw)
+	}
+
+	// Identical concurrent streams coalesce through the chain registry:
+	// the leader solves and publishes, followers emit its exact results.
+	// Resumed streams run the per-key path only.
+	var chain *rescache.Chain[Analysis]
+	var lead bool
+	if !st.resumed {
+		chain, lead = s.chains.Join(rescache.ChainSig(st.keys), len(st.keys))
+	}
+	if chain != nil {
+		defer func() { chain.Leave(lead, st.next) }()
+	}
 
 	start := time.Now()
-	cur := base
-	done := trajectoryDone{Done: true}
-	for i, fr := range frames {
+	parkedElapsed := st.done.ElapsedMS
+	elapsed := func() float64 {
+		return parkedElapsed + float64(time.Since(start))/float64(time.Millisecond)
+	}
+	// park detaches the stream resumable: slot released, window and
+	// checkpoint kept. The deferred chain.Leave aborts followers from the
+	// parked cursor so they fall back to solving.
+	park := func() {
+		st.done.ElapsedMS = elapsed()
+		s.sessions.Park(sess, st)
+	}
+	finish := func() {
+		st.done.Seq = sess.NextSeq()
+		st.done.ElapsedMS = elapsed()
+		raw, err := json.Marshal(st.done)
+		if err == nil {
+			raw = append(raw, '\n')
+			sess.Record(st.done.Seq, raw, s.sessions.ReplayWindow())
+			write(raw)
+		}
+		s.sessions.Close(sess)
+	}
+
+	for st.next < len(st.frames) {
+		i := st.next
+		fr := st.frames[i]
 		frameStart := time.Now()
-		next, err := cur.EvolveTo(dispersal.Values(fr))
+		next, err := st.cur.EvolveTo(dispersal.Values(fr))
 		if err != nil { // pre-validated; unreachable in practice
-			emit(trajectoryFrame{Frame: i, Error: err.Error(), Kind: "spec"})
-			break
+			emitFrame(trajectoryFrame{Frame: i, Error: err.Error(), Kind: "spec"})
+			finish()
+			return
 		}
-		key, err := speccodec.FrameKey(spec, fr)
-		if err != nil {
-			emit(trajectoryFrame{Frame: i, Error: err.Error(), Kind: "internal"})
-			break
-		}
-		lkey, lkeyErr := speccodec.FrameLocalityKey(spec, fr)
-		seeded := false
-		if i == 0 && lkeyErr == nil {
-			// The first frame has no chain to inherit from; a warm-cache
-			// state near its landscape — local, else a peer's — takes that
-			// role. Later frames seed from their predecessor, which is
-			// always at least as close.
-			if st := s.seedLookup(ctx, lkey, dispersal.Values(fr)); st != nil {
-				next.SeedState(st.state)
-				seeded = true
+		key := st.keys[i]
+		lkey, lkeyErr := speccodec.FrameLocalityKey(st.spec, fr)
+
+		var res Analysis
+		var cached, frameWarm, seeded, followed bool
+		if chain != nil && !lead {
+			// Follower: the leader's published result, byte for byte. A
+			// chain aborted at or before this frame falls through to the
+			// per-key path.
+			v, ok, werr := chain.Wait(ctx, i)
+			if werr != nil {
+				park()
+				return
+			}
+			if ok {
+				res, cached, followed = v, true, true
 			}
 		}
-		var frameWarm bool
-		res, cached, err := s.cache.Do(ctx, key, func() (Analysis, error) {
-			r, warm, err := s.solve(ctx, next.Analyze())
-			frameWarm = warm
-			return r, err
-		})
-		if err != nil {
-			kind := "internal"
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				kind = "timeout"
+		if !followed {
+			if i == 0 && st.done.Frames == 0 && lkeyErr == nil {
+				// The first frame has no chain to inherit from; a
+				// warm-cache state near its landscape — local, else a
+				// peer's — takes that role. Later frames seed from their
+				// predecessor, which is always at least as close.
+				if sd := s.seedLookup(ctx, lkey, dispersal.Values(fr)); sd != nil {
+					next.SeedState(sd.state)
+					seeded = true
+				}
 			}
-			emit(trajectoryFrame{Frame: i, Error: err.Error(), Kind: kind,
-				ElapsedMS: float64(time.Since(frameStart)) / float64(time.Millisecond)})
-			break
+			if v, ok := s.cache.Get(key); ok {
+				// An already-cached frame needs no scheduler slot.
+				res, cached = v, true
+			} else {
+				release, aerr := s.sessions.Scheduler().Acquire(ctx)
+				if aerr != nil {
+					park()
+					return
+				}
+				var outcome rescache.Outcome
+				var serr error
+				res, outcome, serr = s.cache.DoOutcome(ctx, key, func() (Analysis, error) {
+					r0, warm, err := s.solve(ctx, next.Analyze())
+					frameWarm = warm
+					return r0, err
+				})
+				release()
+				if serr != nil {
+					if errors.Is(serr, context.Canceled) {
+						// The client hung up; park silently, resumable.
+						park()
+						return
+					}
+					if errors.Is(serr, context.DeadlineExceeded) {
+						// Deadline, client still attached: report it and
+						// park — the client may resume under a fresh one.
+						emitFrame(trajectoryFrame{Frame: i, Error: serr.Error(), Kind: "timeout",
+							ElapsedMS: float64(time.Since(frameStart)) / float64(time.Millisecond)})
+						park()
+						return
+					}
+					emitFrame(trajectoryFrame{Frame: i, Error: serr.Error(), Kind: "internal",
+						ElapsedMS: float64(time.Since(frameStart)) / float64(time.Millisecond)})
+					finish()
+					return
+				}
+				cached = outcome != rescache.Computed
+			}
+			if lead {
+				chain.Publish(i, res)
+			}
 		}
+
 		warm := !cached && frameWarm
 		if seeded && !cached {
 			if warm {
@@ -201,12 +448,13 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if cached {
-			// Re-seed the warm chain from the cached equilibrium so the
-			// frames after a cache hit still warm-start.
+			// Re-seed the warm chain from the shared equilibrium so the
+			// frames after a coalesced or cached one still warm-start.
 			next.SeedWarm(res.IFD, res.Nu)
-			done.Cached++
+			st.done.Cached++
+			s.sessionCoalesced.Add(1)
 		} else if warm {
-			done.Warmed++
+			st.done.Warmed++
 			s.trajectoryWarmed.Add(1)
 		}
 		if lkeyErr == nil {
@@ -215,19 +463,19 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 			s.warm.Store(lkey, next.StateSnapshot())
 		}
 		s.trajectoryFrames.Add(1)
-		done.Frames++
+		st.done.Frames++
 		resCopy := res
-		emit(trajectoryFrame{
+		emitFrame(trajectoryFrame{
 			Frame:     i,
 			Cached:    cached,
 			Warm:      warm,
 			ElapsedMS: float64(time.Since(frameStart)) / float64(time.Millisecond),
 			Result:    &resCopy,
 		})
-		cur = next
+		st.cur = next
+		st.next++
 	}
-	done.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-	emit(done)
-	s.cfg.Logf("trajectory of %d frames (%d warmed, %d cached) in %s",
-		done.Frames, done.Warmed, done.Cached, time.Since(start).Round(time.Microsecond))
+	finish()
+	s.cfg.Logf("trajectory %s of %d frames (%d warmed, %d cached) in %s",
+		sess.ID, st.done.Frames, st.done.Warmed, st.done.Cached, time.Since(start).Round(time.Microsecond))
 }

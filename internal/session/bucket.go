@@ -1,0 +1,114 @@
+package session
+
+import (
+	"sync"
+	"time"
+)
+
+// maxClients bounds the limiter's bucket map. Beyond it, buckets that have
+// refilled back to capacity are swept on the next admission — a full bucket
+// is indistinguishable from a fresh one, so dropping it loses nothing.
+const maxClients = 65536
+
+// bucket is one client's token balance. Tokens are frames: admitting an
+// n-frame stream withdraws n at once, so a client's burst is bounded by the
+// bucket capacity (the frame budget) and its sustained throughput by the
+// refill rate.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// refill credits the time elapsed since the last touch at rate tokens per
+// second, saturating at capacity.
+func (b *bucket) refill(now time.Time, capacity, rate float64) {
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.tokens += dt * rate
+	if b.tokens > capacity {
+		b.tokens = capacity
+	}
+	b.last = now
+}
+
+// Limiter is the per-client admission gate: a keyed set of token buckets,
+// the checkRateLimit(key, limit, window) idiom with fractional refill. A
+// fresh client starts with a full bucket of capacity tokens (its frame
+// budget) refilling at rate tokens per second.
+type Limiter struct {
+	clock    Clock
+	capacity float64
+	rate     float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// NewLimiter builds a limiter handing each client capacity burst tokens
+// refilled at rate per second. clock == nil selects the wall clock.
+func NewLimiter(capacity int, rate float64, clock Clock) *Limiter {
+	if clock == nil {
+		clock = RealClock()
+	}
+	return &Limiter{
+		clock:    clock,
+		capacity: float64(capacity),
+		rate:     rate,
+		buckets:  make(map[string]*bucket),
+	}
+}
+
+// Take withdraws n tokens from client's bucket. On success the second
+// result is zero; on refusal it is how long the client must wait for n
+// tokens to accrue (the Retry-After answer). A request larger than the
+// bucket capacity is refused with the wait computed the same way — the
+// budget caps a single stream's size by design.
+func (l *Limiter) Take(client string, n int) (bool, time.Duration) {
+	now := l.clock.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= maxClients {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.capacity, last: now}
+		l.buckets[client] = b
+	}
+	b.refill(now, l.capacity, l.rate)
+	need := float64(n)
+	if need <= b.tokens {
+		b.tokens -= need
+		return true, 0
+	}
+	wait := time.Duration((need - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// Tokens reports client's current balance after refill — the introspection
+// hook the admission tests assert budgets on. A client with no bucket yet
+// reports the full capacity.
+func (l *Limiter) Tokens(client string) float64 {
+	now := l.clock.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		return l.capacity
+	}
+	b.refill(now, l.capacity, l.rate)
+	return b.tokens
+}
+
+// sweepLocked drops every bucket that has refilled to capacity; the caller
+// holds l.mu. Run only when the map is at its bound, so a scan is rare.
+func (l *Limiter) sweepLocked(now time.Time) {
+	for key, b := range l.buckets {
+		b.refill(now, l.capacity, l.rate)
+		if b.tokens >= l.capacity {
+			delete(l.buckets, key)
+		}
+	}
+}

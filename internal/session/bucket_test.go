@@ -1,0 +1,89 @@
+package session
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterFreshClientHasFullBudget(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1000, 0))
+	l := NewLimiter(100, 10, clock)
+	if got := l.Tokens("a"); got != 100 {
+		t.Fatalf("fresh client has %v tokens, want 100", got)
+	}
+	if ok, _ := l.Take("a", 100); !ok {
+		t.Fatal("taking the whole fresh budget refused")
+	}
+	if got := l.Tokens("a"); got != 0 {
+		t.Fatalf("after draining, %v tokens remain, want 0", got)
+	}
+}
+
+func TestLimiterRefusalReportsWait(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1000, 0))
+	l := NewLimiter(100, 10, clock)
+	if ok, _ := l.Take("a", 100); !ok {
+		t.Fatal("initial take refused")
+	}
+	ok, wait := l.Take("a", 50)
+	if ok {
+		t.Fatal("overdrawn take admitted")
+	}
+	// 50 tokens at 10/s is 5s away.
+	if wait != 5*time.Second {
+		t.Fatalf("wait = %v, want 5s", wait)
+	}
+}
+
+func TestLimiterRefillsOnFakeClock(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1000, 0))
+	l := NewLimiter(100, 10, clock)
+	l.Take("a", 100)
+	if ok, _ := l.Take("a", 20); ok {
+		t.Fatal("empty bucket admitted a stream")
+	}
+	clock.Advance(2 * time.Second) // +20 tokens
+	if ok, wait := l.Take("a", 20); !ok {
+		t.Fatalf("refilled bucket refused a 20-frame stream (wait %v)", wait)
+	}
+	if got := l.Tokens("a"); got != 0 {
+		t.Fatalf("after refilled take, %v tokens remain, want 0", got)
+	}
+}
+
+func TestLimiterRefillSaturatesAtCapacity(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1000, 0))
+	l := NewLimiter(100, 10, clock)
+	l.Take("a", 10)
+	clock.Advance(time.Hour)
+	if got := l.Tokens("a"); got != 100 {
+		t.Fatalf("after an hour, %v tokens, want capacity 100", got)
+	}
+}
+
+func TestLimiterOversizedRequestRefused(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1000, 0))
+	l := NewLimiter(100, 10, clock)
+	ok, wait := l.Take("a", 250)
+	if ok {
+		t.Fatal("stream larger than the whole budget admitted")
+	}
+	// The wait is computed the same way (150 missing tokens at 10/s); the
+	// caller sees an ordinary 429 answer, not a special case.
+	if wait != 15*time.Second {
+		t.Fatalf("wait = %v, want 15s", wait)
+	}
+	// The refusal must not have charged anything.
+	if got := l.Tokens("a"); got != 100 {
+		t.Fatalf("refused take left %v tokens, want 100", got)
+	}
+}
+
+func TestLimiterClientsAreIndependent(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1000, 0))
+	l := NewLimiter(100, 10, clock)
+	l.Take("greedy", 100)
+	if ok, _ := l.Take("other", 100); !ok {
+		t.Fatal("one client's exhaustion refused another client")
+	}
+}

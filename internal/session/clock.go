@@ -1,0 +1,44 @@
+package session
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the admission buckets and park TTLs so the
+// concurrency tests can drive refills and expiries deterministically
+// instead of sleeping.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// RealClock returns the wall clock, the production Clock.
+func RealClock() Clock { return realClock{} }
+
+// FakeClock is a manually advanced Clock: Now returns the same instant
+// until Advance moves it. Safe for concurrent use.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a FakeClock reading start.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{t: start} }
+
+// Now returns the clock's current instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

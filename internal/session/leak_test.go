@@ -1,0 +1,13 @@
+package session
+
+import (
+	"testing"
+
+	"dispersal/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running. The
+// session layer is deliberately goroutine-free (the scheduler blocks
+// callers instead of running a pool), so anything this catches is a test's
+// own stray worker.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -1,0 +1,106 @@
+package session
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Scheduler interleaves frame solves across active streams fairly. Slots
+// are a bounded worker budget; admission to a slot is strict FIFO. Because
+// a stream solves its frames sequentially — it acquires a slot, solves one
+// frame, releases, and re-enqueues for the next frame at the tail — FIFO
+// over streams with at most one pending frame each IS round-robin: every
+// active stream gets one frame per scheduling round, so a 256-frame stream
+// and an 8-frame stream admitted together cost each other one frame of
+// latency per round, not a whole stream. The blocking shape (callers wait
+// in Acquire rather than handing work to pool goroutines) keeps the
+// scheduler free of background goroutines: nothing to supervise, nothing
+// to leak.
+type Scheduler struct {
+	mu      sync.Mutex
+	workers int
+	running int
+	queue   []*waiter
+}
+
+// waiter is one stream's pending frame. ready is closed when the waiter is
+// granted a slot; granted disambiguates the grant/cancel race.
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+// NewScheduler builds a scheduler with the given number of concurrent
+// slots; workers <= 0 selects GOMAXPROCS.
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{workers: workers}
+}
+
+// Acquire blocks until the caller holds one of the scheduler's slots, then
+// returns the release function for it. The caller must call release exactly
+// once. A ctx expiring while queued abandons the place in line and returns
+// ctx.Err() — a disconnected stream's queued frame costs nobody a slot.
+func (s *Scheduler) Acquire(ctx context.Context) (release func(), err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w := &waiter{ready: make(chan struct{})}
+	s.mu.Lock()
+	s.queue = append(s.queue, w)
+	s.dispatchLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return s.release, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if w.granted {
+			// The grant raced the cancellation; give the slot back.
+			s.running--
+			s.dispatchLocked()
+			return nil, ctx.Err()
+		}
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Scheduler) release() {
+	s.mu.Lock()
+	s.running--
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to the head of the queue; the caller
+// holds s.mu.
+func (s *Scheduler) dispatchLocked() {
+	for s.running < s.workers && len(s.queue) > 0 {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		w.granted = true
+		s.running++
+		close(w.ready)
+	}
+}
+
+// Queued reports how many frames are waiting for a slot.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Workers reports the slot budget.
+func (s *Scheduler) Workers() int { return s.workers }

@@ -1,0 +1,351 @@
+// Package session makes trajectory streams first-class citizens of the
+// dispersald server: admitted, scheduled and resumable instead of being
+// anonymous goroutines racing each other for the solver.
+//
+// Three mechanisms, one Registry:
+//
+//   - Admission. Each client (API key header or remote host) owns a token
+//     bucket of frames (Limiter): opening an n-frame stream withdraws n
+//     tokens, refilled at a configured rate, so a greedy client exhausts
+//     its own budget — not the pool — and is told when to retry
+//     (RetryError carries the Retry-After answer). A global cap bounds
+//     concurrently attached streams.
+//
+//   - Fair scheduling. Every admitted stream solves its frames through the
+//     Registry's Scheduler, which hands out bounded worker slots in FIFO
+//     order. One pending frame per stream makes FIFO round-robin: short
+//     streams finish early even while a long stream grinds on.
+//
+//   - Resumption. Every NDJSON line a stream emits carries a monotonic
+//     sequence token and is recorded in a bounded per-session replay
+//     window. A disconnected stream parks — its slot and queued frame are
+//     released, its warm chain and window are kept for a TTL — and a
+//     client that reconnects with ?session=<id>&resume=<seq> replays the
+//     lines it missed and continues live. A token that has slid out of the
+//     window (or a session that expired) answers ErrGone, the typed 410.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxSessions  = 256
+	DefaultFrameBudget  = 4096
+	DefaultClientRate   = 512
+	DefaultReplayWindow = 64
+	DefaultParkTTL      = 2 * time.Minute
+)
+
+// ErrGone reports an unresumable stream: the session is unknown, expired,
+// finished, owned by another client, still attached, or the resume token
+// has slid out of the replay window. The HTTP layer answers 410.
+var ErrGone = errors.New("session is gone or the resume token is out of its replay window")
+
+// RetryError is an admission rejection: the request is declined now but
+// may succeed after After. Reason is the wire kind — "rate_limit" for an
+// exhausted frame budget, "sessions" for the global session cap. The HTTP
+// layer answers 429 with a Retry-After header.
+type RetryError struct {
+	Reason string
+	After  time.Duration
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("admission refused (%s); retry after %s", e.Reason, e.After)
+}
+
+// Line is one recorded NDJSON line, addressable by its sequence token.
+type Line struct {
+	Seq int64
+	Raw []byte
+}
+
+// Session is one trajectory stream's identity and replay state. The
+// solving loop itself lives in the HTTP handler; the session carries what
+// must survive a disconnect.
+type Session struct {
+	// ID names the session on the wire (the X-Session-ID header and the
+	// ?session= resume parameter); Client is the admission key it belongs
+	// to — a resume from a different client is refused.
+	ID     string
+	Client string
+
+	mu       sync.Mutex
+	seq      int64
+	window   []Line
+	parked   bool
+	parkedAt time.Time
+	// checkpoint is the handler's opaque continuation (warm chain, frame
+	// cursor, running totals), stashed at park and returned at resume.
+	checkpoint any
+}
+
+// NextSeq allocates the next sequence token; the first line of a stream is
+// seq 1.
+func (s *Session) NextSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.seq
+}
+
+// Record appends an emitted line to the replay window, dropping the oldest
+// beyond the window bound.
+func (s *Session) Record(seq int64, raw []byte, window int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.window = append(s.window, Line{Seq: seq, Raw: raw})
+	if over := len(s.window) - window; over > 0 {
+		s.window = append([]Line(nil), s.window[over:]...)
+	}
+}
+
+// replayLocked returns copies of the lines after seq, or ErrGone when the
+// token is stale (ahead of the stream) or out of the window (the line
+// after it has already been dropped).
+func (s *Session) replayLocked(after int64) ([]Line, error) {
+	if after > s.seq || after < 0 {
+		return nil, ErrGone
+	}
+	if after < s.seq && (len(s.window) == 0 || s.window[0].Seq > after+1) {
+		return nil, ErrGone
+	}
+	var lines []Line
+	for _, ln := range s.window {
+		if ln.Seq > after {
+			lines = append(lines, ln)
+		}
+	}
+	return lines, nil
+}
+
+// Config tunes a Registry. Zero fields select the defaults above;
+// Clock == nil selects the wall clock.
+type Config struct {
+	// MaxSessions bounds concurrently attached streams.
+	MaxSessions int
+	// FrameBudget is the per-client token bucket capacity, in frames.
+	FrameBudget int
+	// ClientRate is the per-client refill rate, frames per second.
+	ClientRate float64
+	// Workers is the scheduler's slot budget; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ReplayWindow is the number of emitted lines kept per session.
+	ReplayWindow int
+	// ParkTTL is how long a parked (disconnected) session stays resumable.
+	ParkTTL time.Duration
+	// Clock drives refills and TTLs; tests install a FakeClock.
+	Clock Clock
+}
+
+// Registry is the set of active and parked trajectory sessions plus their
+// shared admission limiter and frame scheduler.
+type Registry struct {
+	cfg     Config
+	clock   Clock
+	limiter *Limiter
+	sched   *Scheduler
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	active   int
+	nextID   int64
+
+	opened, rejected, resumed atomic.Int64
+}
+
+// NewRegistry builds a registry from cfg, applying defaults.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.FrameBudget <= 0 {
+		cfg.FrameBudget = DefaultFrameBudget
+	}
+	if cfg.ClientRate <= 0 {
+		cfg.ClientRate = DefaultClientRate
+	}
+	if cfg.ReplayWindow <= 0 {
+		cfg.ReplayWindow = DefaultReplayWindow
+	}
+	if cfg.ParkTTL <= 0 {
+		cfg.ParkTTL = DefaultParkTTL
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock()
+	}
+	return &Registry{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		limiter:  NewLimiter(cfg.FrameBudget, cfg.ClientRate, cfg.Clock),
+		sched:    NewScheduler(cfg.Workers),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// Scheduler returns the shared frame scheduler.
+func (r *Registry) Scheduler() *Scheduler { return r.sched }
+
+// ReplayWindow reports the per-session replay window bound, for Record.
+func (r *Registry) ReplayWindow() int { return r.cfg.ReplayWindow }
+
+// Tokens reports client's current frame budget balance.
+func (r *Registry) Tokens(client string) float64 { return r.limiter.Tokens(client) }
+
+// Open admits a new frames-frame stream for client: the global session cap
+// and the client's frame budget are both charged, in that order, and a
+// refusal of either is a *RetryError. Admission happens only after the
+// request has fully validated — the caller must not Open on a request it
+// might still reject — so malformed requests can never burn budget.
+func (r *Registry) Open(client string, frames int) (*Session, error) {
+	r.mu.Lock()
+	r.purgeLocked()
+	if r.active >= r.cfg.MaxSessions {
+		r.mu.Unlock()
+		r.rejected.Add(1)
+		return nil, &RetryError{Reason: "sessions", After: time.Second}
+	}
+	r.active++
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+
+	if ok, wait := r.limiter.Take(client, frames); !ok {
+		r.mu.Lock()
+		r.active--
+		r.mu.Unlock()
+		r.rejected.Add(1)
+		return nil, &RetryError{Reason: "rate_limit", After: wait}
+	}
+
+	s := &Session{ID: fmt.Sprintf("s%d", id), Client: client}
+	r.mu.Lock()
+	r.sessions[s.ID] = s
+	r.mu.Unlock()
+	r.opened.Add(1)
+	return s, nil
+}
+
+// Park detaches a disconnected session: its attached slot is released
+// immediately, its replay window and checkpoint are kept for ParkTTL so
+// the client can resume.
+func (r *Registry) Park(s *Session, checkpoint any) {
+	now := r.clock.Now()
+	s.mu.Lock()
+	s.parked = true
+	s.parkedAt = now
+	s.checkpoint = checkpoint
+	s.mu.Unlock()
+
+	r.mu.Lock()
+	r.active--
+	r.mu.Unlock()
+}
+
+// Close removes a finished session and releases its slot.
+func (r *Registry) Close(s *Session) {
+	r.mu.Lock()
+	delete(r.sessions, s.ID)
+	r.active--
+	r.mu.Unlock()
+}
+
+// Resume re-attaches a parked session for client: the lines after seq are
+// replayed from the window and the handler continues from the returned
+// checkpoint. Unknown, expired, still-attached or foreign sessions — and
+// tokens outside the replay window — answer ErrGone; a full registry
+// answers *RetryError like Open.
+func (r *Registry) Resume(id, client string, seq int64) (*Session, []Line, any, error) {
+	r.mu.Lock()
+	r.purgeLocked()
+	s := r.sessions[id]
+	if s == nil {
+		r.mu.Unlock()
+		return nil, nil, nil, ErrGone
+	}
+	if r.active >= r.cfg.MaxSessions {
+		r.mu.Unlock()
+		r.rejected.Add(1)
+		return nil, nil, nil, &RetryError{Reason: "sessions", After: time.Second}
+	}
+
+	s.mu.Lock()
+	if !s.parked || s.Client != client {
+		s.mu.Unlock()
+		r.mu.Unlock()
+		return nil, nil, nil, ErrGone
+	}
+	lines, err := s.replayLocked(seq)
+	if err != nil {
+		s.mu.Unlock()
+		r.mu.Unlock()
+		return nil, nil, nil, err
+	}
+	s.parked = false
+	checkpoint := s.checkpoint
+	s.checkpoint = nil
+	s.mu.Unlock()
+
+	r.active++
+	r.mu.Unlock()
+	r.resumed.Add(1)
+	return s, lines, checkpoint, nil
+}
+
+// purgeLocked drops parked sessions whose TTL has passed; the caller holds
+// r.mu. Parked sessions hold no slot, so expiry is bookkeeping only.
+func (r *Registry) purgeLocked() {
+	now := r.clock.Now()
+	for id, s := range r.sessions {
+		s.mu.Lock()
+		expired := s.parked && now.Sub(s.parkedAt) > r.cfg.ParkTTL
+		s.mu.Unlock()
+		if expired {
+			delete(r.sessions, id)
+		}
+	}
+}
+
+// Stats is the registry's /statsz section (the server composes the frame
+// coalescing counter in beside these).
+type Stats struct {
+	// Active counts attached streams, Parked disconnected-but-resumable
+	// ones, QueuedFrames the frames waiting for a scheduler slot.
+	Active       int `json:"active"`
+	Parked       int `json:"parked"`
+	QueuedFrames int `json:"queued_frames"`
+	// Opened / Rejected / Resumed count admissions, 429s and successful
+	// resumes over the registry's lifetime.
+	Opened   int64 `json:"opened"`
+	Rejected int64 `json:"rejected"`
+	Resumed  int64 `json:"resumed"`
+}
+
+// Stats snapshots the counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	parked := 0
+	for _, s := range r.sessions {
+		s.mu.Lock()
+		if s.parked {
+			parked++
+		}
+		s.mu.Unlock()
+	}
+	st := Stats{
+		Active: r.active,
+		Parked: parked,
+	}
+	r.mu.Unlock()
+	st.QueuedFrames = r.sched.Queued()
+	st.Opened = r.opened.Load()
+	st.Rejected = r.rejected.Load()
+	st.Resumed = r.resumed.Load()
+	return st
+}

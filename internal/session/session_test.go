@@ -1,0 +1,248 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testRegistry(t *testing.T, cfg Config) (*Registry, *FakeClock) {
+	t.Helper()
+	clock := NewFakeClock(time.Unix(1000, 0))
+	cfg.Clock = clock
+	return NewRegistry(cfg), clock
+}
+
+func TestRegistryOpenCloseLifecycle(t *testing.T) {
+	r, _ := testRegistry(t, Config{MaxSessions: 4})
+	s, err := r.Open("alice", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID == "" || s.Client != "alice" {
+		t.Fatalf("session = %+v", s)
+	}
+	if st := r.Stats(); st.Active != 1 || st.Opened != 1 {
+		t.Fatalf("stats after open = %+v", st)
+	}
+	r.Close(s)
+	if st := r.Stats(); st.Active != 0 {
+		t.Fatalf("stats after close = %+v", st)
+	}
+}
+
+func TestRegistrySessionCap(t *testing.T) {
+	r, _ := testRegistry(t, Config{MaxSessions: 2})
+	a, _ := r.Open("c1", 1)
+	b, _ := r.Open("c2", 1)
+	_, err := r.Open("c3", 1)
+	var re *RetryError
+	if !errors.As(err, &re) || re.Reason != "sessions" {
+		t.Fatalf("over-cap Open returned %v, want RetryError{sessions}", err)
+	}
+	if re.After <= 0 {
+		t.Fatalf("RetryError.After = %v, want > 0", re.After)
+	}
+	if st := r.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	// Closing one stream frees the slot.
+	r.Close(a)
+	c, err := r.Open("c3", 1)
+	if err != nil {
+		t.Fatalf("Open after a Close: %v", err)
+	}
+	r.Close(b)
+	r.Close(c)
+}
+
+func TestRegistryRateLimit(t *testing.T) {
+	r, clock := testRegistry(t, Config{MaxSessions: 8, FrameBudget: 100, ClientRate: 10})
+	s, err := r.Open("alice", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Open("alice", 50)
+	var re *RetryError
+	if !errors.As(err, &re) || re.Reason != "rate_limit" {
+		t.Fatalf("overdrawn Open returned %v, want RetryError{rate_limit}", err)
+	}
+	if re.After != 5*time.Second {
+		t.Fatalf("After = %v, want 5s (50 frames at 10/s)", re.After)
+	}
+	// A refused Open must not hold a session slot.
+	if st := r.Stats(); st.Active != 1 {
+		t.Fatalf("active = %d after refusal, want 1", st.Active)
+	}
+	// Budgets are per client: bob opens fine.
+	b, err := r.Open("bob", 100)
+	if err != nil {
+		t.Fatalf("independent client refused: %v", err)
+	}
+	// And alice recovers once the bucket refills.
+	clock.Advance(5 * time.Second)
+	a2, err := r.Open("alice", 50)
+	if err != nil {
+		t.Fatalf("Open after refill: %v", err)
+	}
+	r.Close(s)
+	r.Close(b)
+	r.Close(a2)
+}
+
+func recordLines(s *Session, r *Registry, n int) {
+	for i := 0; i < n; i++ {
+		seq := s.NextSeq()
+		s.Record(seq, []byte(fmt.Sprintf("line%d\n", seq)), r.ReplayWindow())
+	}
+}
+
+func TestRegistryParkResumeReplay(t *testing.T) {
+	r, _ := testRegistry(t, Config{MaxSessions: 4})
+	s, err := r.Open("alice", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordLines(s, r, 5)
+	r.Park(s, "checkpoint-state")
+	if st := r.Stats(); st.Active != 0 || st.Parked != 1 {
+		t.Fatalf("stats after park = %+v", st)
+	}
+
+	// Client saw lines 1..3; resume replays 4 and 5.
+	s2, replay, cp, err := r.Resume(s.ID, "alice", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s {
+		t.Fatal("Resume returned a different session")
+	}
+	if cp != "checkpoint-state" {
+		t.Fatalf("checkpoint = %v", cp)
+	}
+	if len(replay) != 2 || replay[0].Seq != 4 || replay[1].Seq != 5 {
+		t.Fatalf("replay = %+v, want seqs 4,5", replay)
+	}
+	if string(replay[0].Raw) != "line4\n" {
+		t.Fatalf("replay[0] = %q", replay[0].Raw)
+	}
+	if st := r.Stats(); st.Active != 1 || st.Parked != 0 || st.Resumed != 1 {
+		t.Fatalf("stats after resume = %+v", st)
+	}
+	r.Close(s2)
+}
+
+func TestRegistryResumeGoneCases(t *testing.T) {
+	r, _ := testRegistry(t, Config{MaxSessions: 4})
+	s, _ := r.Open("alice", 8)
+	recordLines(s, r, 3)
+
+	// Still attached: not resumable.
+	if _, _, _, err := r.Resume(s.ID, "alice", 0); !errors.Is(err, ErrGone) {
+		t.Fatalf("resume of an attached session: %v, want ErrGone", err)
+	}
+	r.Park(s, nil)
+
+	// Unknown id.
+	if _, _, _, err := r.Resume("nope", "alice", 0); !errors.Is(err, ErrGone) {
+		t.Fatalf("resume of unknown id: %v, want ErrGone", err)
+	}
+	// Foreign client.
+	if _, _, _, err := r.Resume(s.ID, "mallory", 0); !errors.Is(err, ErrGone) {
+		t.Fatalf("resume by another client: %v, want ErrGone", err)
+	}
+	// Token ahead of the stream.
+	if _, _, _, err := r.Resume(s.ID, "alice", 99); !errors.Is(err, ErrGone) {
+		t.Fatalf("resume past the stream head: %v, want ErrGone", err)
+	}
+	// The legit resume still works after the failed attempts.
+	if _, _, _, err := r.Resume(s.ID, "alice", 3); err != nil {
+		t.Fatalf("legit resume: %v", err)
+	}
+	r.Close(s)
+}
+
+func TestRegistryResumeOutOfWindow(t *testing.T) {
+	r, _ := testRegistry(t, Config{MaxSessions: 4, ReplayWindow: 4})
+	s, _ := r.Open("alice", 8)
+	recordLines(s, r, 10) // window holds seqs 7..10
+	r.Park(s, nil)
+	if _, _, _, err := r.Resume(s.ID, "alice", 2); !errors.Is(err, ErrGone) {
+		t.Fatalf("out-of-window resume: %v, want ErrGone", err)
+	}
+	// The boundary token (everything after it is still held) works.
+	s2, replay, _, err := r.Resume(s.ID, "alice", 6)
+	if err != nil {
+		t.Fatalf("boundary resume: %v", err)
+	}
+	if len(replay) != 4 || replay[0].Seq != 7 {
+		t.Fatalf("boundary replay = %+v", replay)
+	}
+	r.Close(s2)
+}
+
+func TestRegistryResumeAtHead(t *testing.T) {
+	r, _ := testRegistry(t, Config{MaxSessions: 4, ReplayWindow: 4})
+	s, _ := r.Open("alice", 8)
+	recordLines(s, r, 10)
+	r.Park(s, nil)
+	// The client saw everything; nothing to replay, resume continues live.
+	s2, replay, _, err := r.Resume(s.ID, "alice", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 0 {
+		t.Fatalf("replay = %+v, want empty", replay)
+	}
+	r.Close(s2)
+}
+
+func TestRegistryParkTTLExpiry(t *testing.T) {
+	r, clock := testRegistry(t, Config{MaxSessions: 4, ParkTTL: time.Minute})
+	s, _ := r.Open("alice", 8)
+	recordLines(s, r, 2)
+	r.Park(s, nil)
+
+	clock.Advance(59 * time.Second)
+	s2, _, _, err := r.Resume(s.ID, "alice", 2)
+	if err != nil {
+		t.Fatalf("resume within TTL: %v", err)
+	}
+	r.Park(s2, nil)
+
+	clock.Advance(61 * time.Second)
+	if _, _, _, err := r.Resume(s.ID, "alice", 2); !errors.Is(err, ErrGone) {
+		t.Fatalf("resume after TTL: %v, want ErrGone", err)
+	}
+	// The expired session is purged, not just refused.
+	if st := r.Stats(); st.Parked != 0 {
+		t.Fatalf("parked = %d after expiry, want 0", st.Parked)
+	}
+}
+
+func TestRegistryParkedHoldsNoSlot(t *testing.T) {
+	r, _ := testRegistry(t, Config{MaxSessions: 1})
+	s, err := r.Open("alice", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Park(s, nil)
+	// The parked session freed the only slot; a new stream gets in.
+	b, err := r.Open("bob", 8)
+	if err != nil {
+		t.Fatalf("Open with a parked session holding the registry: %v", err)
+	}
+	// And resuming while the registry is full is a retryable refusal, not
+	// a Gone — the stream still exists.
+	_, _, _, err = r.Resume(s.ID, "alice", 0)
+	var re *RetryError
+	if !errors.As(err, &re) || re.Reason != "sessions" {
+		t.Fatalf("resume into a full registry: %v, want RetryError{sessions}", err)
+	}
+	r.Close(b)
+	if _, _, _, err := r.Resume(s.ID, "alice", 0); err != nil {
+		t.Fatalf("resume after a slot freed: %v", err)
+	}
+	r.Close(s)
+}
