@@ -10,6 +10,7 @@
 //	           [-fleet URL,URL,... -self URL] [-peers HOST:PORT,...]
 //	           [-peer-timeout D]
 //	           [-max-sessions N] [-client-rate R] [-frame-budget N]
+//	           [-log-level LEVEL] [-pprof HOST:PORT]
 //
 // Endpoints (see internal/server and docs/http-api.md):
 //
@@ -23,8 +24,19 @@
 //	POST /v1/warmstate   peer exchange, push (fleet mode): a statewire
 //	                     envelope of states replicated here proactively
 //	GET  /healthz        liveness
-//	GET  /statsz         cache, warm-cache, federation, ring and request
-//	                     counters
+//	GET  /statsz         cache, warm-cache, federation, ring, request and
+//	                     runtime counters plus latency summaries
+//	GET  /metricsz       Prometheus text exposition: request/stage latency
+//	                     histograms, counters, runtime gauges
+//	GET  /tracez         recent per-request span traces (?min_ms=, ?limit=)
+//
+// Every request carries an X-Request-ID (the client's, when usable, else
+// minted), echoed on the response, stamped on every log line and trace,
+// and propagated on peer warm-state hops — one slow request correlates
+// across every replica it touched. Logs are structured key=value lines
+// (log/slog) on stderr at -log-level (debug, info, warn, error); -quiet is
+// shorthand for -log-level error. -pprof serves net/http/pprof on a side
+// listener for live profiling.
 //
 // Identical specs (trajectory frames included) share one cache entry and
 // concurrent identical requests solve once (singleflight); near-identical
@@ -61,8 +73,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -89,7 +102,9 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 256, "concurrently attached trajectory streams (<= 0 selects the default)")
 	clientRate := flag.Float64("client-rate", 512, "per-client trajectory frame budget refill, frames per second (<= 0 selects the default)")
 	frameBudget := flag.Int("frame-budget", 4096, "per-client trajectory token bucket capacity, frames (<= 0 selects the default)")
-	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging (shorthand for -log-level error)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (empty = disabled)")
 	flag.Parse()
 
 	var peerList []string
@@ -109,11 +124,15 @@ func main() {
 		}
 	}
 
-	logger := log.New(os.Stderr, "dispersald: ", log.LstdFlags)
-	logf := logger.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "dispersald: -log-level:", err)
+		os.Exit(2)
 	}
+	if *quiet && level < slog.LevelError {
+		level = slog.LevelError
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv := server.New(server.Config{
 		Workers:          *workers,
@@ -129,7 +148,7 @@ func main() {
 		MaxSessions:      *maxSessions,
 		ClientRate:       *clientRate,
 		FrameBudget:      *frameBudget,
-		Logf:             logf,
+		Logger:           logger,
 	})
 	// closeSrv writes the final warm-state snapshot; every exit path below
 	// runs it (the error paths os.Exit, which skips defers).
@@ -158,10 +177,32 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		// The profiler gets its own mux on its own listener so the serving
+		// port never exposes it; registration is explicit rather than the
+		// net/http/pprof DefaultServeMux side effect.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				logger.Warn("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers=%d cache-size=%d timeout=%s state-dir=%q fleet=%d peers=%d)",
-			*addr, *workers, *cacheSize, *timeout, *stateDir, len(fleetList), len(peerList))
+		logger.Info("dispersald listening",
+			"addr", *addr, "workers", *workers, "cache_size", *cacheSize,
+			"warm_cache_size", *warmCacheSize, "timeout", *timeout,
+			"state_dir", *stateDir, "fleet", len(fleetList), "peers", len(peerList),
+			"max_sessions", *maxSessions, "client_rate", *clientRate,
+			"frame_budget", *frameBudget, "log_level", level.String(),
+			"pprof", *pprofAddr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -173,7 +214,7 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		logger.Printf("shutting down")
+		logger.Info("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {

@@ -35,6 +35,14 @@
 // answered without fresh solver work), and four short streams racing one
 // greedy stream on a 2-slot scheduler must all finish while the greedy
 // stream is still in its first half.
+//
+// With -obs-overhead, paperbench proves the observability kernel is cheap
+// enough to leave on: it streams a warm trajectory through a live
+// instrumented dispersald to measure the median per-frame solve time, times
+// the exact per-frame instrumentation sequence (spans, stage and frame
+// histograms, counters, plus amortized request-ID/trace/ring work) in a
+// tight loop -obs-passes times, and fails when the instrumentation-to-frame
+// time ratio exceeds -max-obs-overhead (default 2%).
 package main
 
 import (
@@ -68,6 +76,10 @@ func main() {
 	sessionStreams := flag.Int("session-streams", 8, "identical concurrent streams in the -sessions coalescing phase")
 	sessionFrames := flag.Int("session-frames", 32, "frames per stream in the -sessions coalescing phase")
 	minCoalesceRatio := flag.Float64("min-coalesce-ratio", 0.8, "fail -sessions when the coalesced-frame ratio is below this (0 disables)")
+	obsOverhead := flag.Bool("obs-overhead", false, "prove the observability kernel is cheap: gate the per-frame instrumentation cost against the live warm trajectory frame time")
+	obsFrames := flag.Int("obs-frames", 48, "frames in the -obs-overhead warm trajectory pass")
+	obsPasses := flag.Int("obs-passes", 7, "microbench passes in the -obs-overhead benchmark (median kept)")
+	maxObsOverhead := flag.Float64("max-obs-overhead", 0.02, "fail -obs-overhead when the median instrumentation overhead exceeds this fraction (0 disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -112,6 +124,14 @@ func main() {
 
 	if *sessions {
 		if err := runSessionsBench(ctx, *sessionStreams, *sessionFrames, *minCoalesceRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *obsOverhead {
+		if err := runObsOverheadBench(ctx, *obsFrames, *obsPasses, *maxObsOverhead); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}

@@ -182,5 +182,6 @@ func Default() *framework.Analyzer {
 		"internal/pureeq",
 		"internal/dynamics",
 		"internal/session",
+		"internal/obs",
 	})
 }

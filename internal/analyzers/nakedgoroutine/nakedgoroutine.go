@@ -138,5 +138,6 @@ func Default() *framework.Analyzer {
 		"internal/ring",
 		"internal/statestore",
 		"internal/sweep",
+		"internal/obs",
 	})
 }

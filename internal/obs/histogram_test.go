@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketOf pins the bucket boundaries: bucket 0 is the sub-microsecond
+// tail, bucket i holds durations in [2^(i-1), 2^i) microseconds, and
+// everything at or beyond the last finite bound lands in the overflow.
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{1023 * time.Microsecond, 10},
+		{1024 * time.Microsecond, 11},
+		{time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestBucketBound verifies the bounds double and the last is +Inf, and
+// that every observation lands at or under its bucket's bound.
+func TestBucketBound(t *testing.T) {
+	if !math.IsInf(BucketBound(histBuckets-1), 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", BucketBound(histBuckets-1))
+	}
+	for i := 1; i < histBuckets-1; i++ {
+		if got, want := BucketBound(i), 2*BucketBound(i-1); got != want {
+			t.Errorf("BucketBound(%d) = %v, want %v", i, got, want)
+		}
+	}
+	for _, d := range []time.Duration{time.Nanosecond, time.Microsecond, 333 * time.Microsecond, 5 * time.Second} {
+		b := bucketOf(d)
+		if secs := d.Seconds(); secs > BucketBound(b) {
+			t.Errorf("duration %v lands in bucket %d with bound %v < itself", d, b, BucketBound(b))
+		}
+	}
+}
+
+// TestHistogramSnapshotAndQuantile feeds a known distribution and checks
+// total, mean, and the conservative (upper-bound) quantile estimates.
+func TestHistogramSnapshotAndQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations at 3µs, 10 slow ones at 3ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Total != 100 {
+		t.Fatalf("Total = %d, want 100", s.Total)
+	}
+	wantSum := int64(90*3*time.Microsecond + 10*3*time.Millisecond)
+	if s.SumNS != wantSum {
+		t.Fatalf("SumNS = %d, want %d", s.SumNS, wantSum)
+	}
+	// p50 and p90 land in the 3µs bucket (bound 4µs); p99 in the 3ms
+	// bucket (bound ~4.1ms). The estimate is the bucket's upper bound.
+	if got := s.Quantile(0.50); got != 4*time.Microsecond {
+		t.Errorf("p50 = %v, want 4µs", got)
+	}
+	if got := s.Quantile(0.90); got != 4*time.Microsecond {
+		t.Errorf("p90 = %v, want 4µs", got)
+	}
+	if got := s.Quantile(0.99); got != 4096*time.Microsecond {
+		t.Errorf("p99 = %v, want 4.096ms", got)
+	}
+	if got, want := s.Mean(), time.Duration(wantSum/100); got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramEmptyAndNil pins the zero-value behaviors the serving code
+// leans on: empty snapshots quantile to zero, and the nil histogram
+// swallows observations without panicking.
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Total != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram: Total=%d p99=%v mean=%v, want zeros", s.Total, s.Quantile(0.99), s.Mean())
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if s := nilH.Snapshot(); s.Total != 0 {
+		t.Fatalf("nil histogram Total = %d, want 0", s.Total)
+	}
+	if sum := nilH.Summarize(); sum.Count != 0 {
+		t.Fatalf("nil histogram Summarize count = %d, want 0", sum.Count)
+	}
+}
+
+// TestHistogramSnapshotMonotoneUnderRace hammers one histogram from
+// writers while snapshotting, asserting every snapshot's cumulative
+// counts end exactly at its Total — the no-torn-scrape guarantee.
+func TestHistogramSnapshotMonotoneUnderRace(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			d := time.Duration(seed+1) * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(d)
+					h.Observe(d * 1000)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		cum := uint64(0)
+		for _, c := range s.Counts {
+			cum += c
+		}
+		if cum != s.Total {
+			t.Fatalf("snapshot %d: cumulative %d != Total %d", i, cum, s.Total)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSummarize(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	sum := h.Summarize()
+	if sum.Count != 10 {
+		t.Fatalf("Count = %d, want 10", sum.Count)
+	}
+	if sum.P50MS <= 0 || sum.P99MS < sum.P50MS || sum.P90MS < sum.P50MS {
+		t.Fatalf("quantiles not ordered: %+v", sum)
+	}
+}

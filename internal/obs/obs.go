@@ -1,0 +1,311 @@
+// Package obs is the dispersald observability kernel: latency histograms,
+// a counter/gauge registry with Prometheus text exposition, bounded rings
+// of request traces, and request-ID plumbing — all stdlib-only, matching
+// the module's zero-dependency rule.
+//
+// The kernel is built for hot paths. Histograms are lock-free
+// (log-bucketed atomic counters, one add per observation), counters are a
+// single atomic add, and traces append spans under a per-trace mutex that
+// is never contended in the common one-goroutine-per-request shape.
+// Everything is nil-safe: a nil *Registry hands out nil instruments whose
+// methods no-op, so an uninstrumented build of the same call sites costs a
+// nil check — which is exactly how `paperbench -obs-overhead` measures the
+// instrumentation tax.
+//
+// Scrapes are wait-free with respect to recording: WritePrometheus reads
+// each bucket once into a snapshot and derives the cumulative counts and
+// totals from that snapshot, so a scrape concurrent with recording is
+// internally consistent (cumulative buckets monotone, +Inf equal to the
+// count) even though it may be mid-observation stale by one sample.
+//
+// Request IDs tie the pieces together: the server accepts or mints an
+// X-Request-ID per request (NewRequestID), carries it in the context
+// (WithRequestID/RequestID), stamps it on every structured log line and
+// span trace, and propagates it on peer warm-state HTTP hops — so one slow
+// request correlates across every replica it touched.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant key=value pair attached to an instrument at
+// registration (e.g. stage="decode"). Labels distinguish instruments of
+// one family; they are fixed for the instrument's lifetime.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing count. The nil Counter discards.
+type Counter struct {
+	desc desc
+	v    atomic.Int64
+}
+
+// Inc adds one. Safe on nil.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n < 0 is ignored — counters only go up). Safe on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// gauge is a point-in-time reading supplied by a callback at scrape time —
+// the cheap-`runtime`-read shape: nothing is recorded between scrapes.
+type gauge struct {
+	desc desc
+	fn   func() float64
+}
+
+// desc is the identity of one instrument: its family name, help text and
+// constant labels.
+type desc struct {
+	name   string
+	help   string
+	labels []Label
+}
+
+// key renders the registry identity (family name + rendered label set).
+func (d desc) key() string { return d.name + renderLabels(d.labels, nil) }
+
+// metricKind discriminates the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family groups every instrument sharing one name; exposition emits HELP
+// and TYPE once per family.
+type family struct {
+	name string
+	kind metricKind
+	help string
+
+	counters   []*Counter
+	gauges     []*gauge
+	histograms []*Histogram
+}
+
+// Registry holds the process's instruments and renders them. Construct
+// with NewRegistry; the nil Registry is a safe no-op factory (nil
+// instruments, empty exposition), which is how uninstrumented baselines
+// are built. All methods are safe for concurrent use, though instruments
+// are normally all registered at construction time.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family          // registration order
+	byFam    map[string]*family // family name -> entry
+	byKey    map[string]any     // instrument identity -> instrument
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byFam: make(map[string]*family),
+		byKey: make(map[string]any),
+	}
+}
+
+// familyFor finds or creates name's family, enforcing one kind per family.
+// Caller holds r.mu.
+func (r *Registry) familyFor(name, help string, kind metricKind) *family {
+	f, ok := r.byFam[name]
+	if !ok {
+		f = &family{name: name, kind: kind, help: help}
+		r.byFam[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: family %s registered as two different kinds", name))
+	}
+	return f
+}
+
+// Counter registers (or returns the existing) counter name{labels...}.
+// Safe on a nil registry, which returns the nil no-op counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := desc{name: name, help: help, labels: labels}
+	if existing, ok := r.byKey[d.key()]; ok {
+		return existing.(*Counter)
+	}
+	c := &Counter{desc: d}
+	r.byKey[d.key()] = c
+	f := r.familyFor(name, help, kindCounter)
+	f.counters = append(f.counters, c)
+	return c
+}
+
+// GaugeFunc registers a callback gauge: fn is read at every scrape. Safe
+// on a nil registry (the registration is dropped).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := desc{name: name, help: help, labels: labels}
+	if _, ok := r.byKey[d.key()]; ok {
+		return
+	}
+	g := &gauge{desc: d, fn: fn}
+	r.byKey[d.key()] = g
+	f := r.familyFor(name, help, kindGauge)
+	f.gauges = append(f.gauges, g)
+}
+
+// Histogram registers (or returns the existing) histogram name{labels...}.
+// Safe on a nil registry, which returns the nil no-op histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := desc{name: name, help: help, labels: labels}
+	if existing, ok := r.byKey[d.key()]; ok {
+		return existing.(*Histogram)
+	}
+	h := &Histogram{desc: d}
+	r.byKey[d.key()] = h
+	f := r.familyFor(name, help, kindHistogram)
+	f.histograms = append(f.histograms, h)
+	return h
+}
+
+// renderLabels renders a label set as {k="v",...} with extra appended
+// last; it returns "" for an empty set. Values are escaped per the
+// Prometheus text format (backslash, quote, newline).
+func renderLabels(labels []Label, extra []Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	out := "{"
+	first := true
+	emit := func(l Label) string {
+		s := ""
+		if !first {
+			s = ","
+		}
+		first = false
+		return s + l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	for _, l := range labels {
+		out += emit(l)
+	}
+	for _, l := range extra {
+		out += emit(l)
+	}
+	return out + "}"
+}
+
+func escapeLabel(v string) string {
+	needs := false
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' || v[i] == '"' || v[i] == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return v
+	}
+	out := make([]byte, 0, len(v)+4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// formatFloat renders a sample value; integers render without an exponent
+// so counters read naturally.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ridAlphabetOK reports whether an externally supplied request ID is safe
+// to echo into logs, headers and traces: ASCII letters, digits and a few
+// separators only.
+func ridAlphabetOK(id string) bool {
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// RequestIDHeader is the HTTP header carrying the request ID: accepted or
+// minted at ingress, echoed on the response, and propagated on peer
+// warm-state hops so one request correlates across replicas.
+const RequestIDHeader = "X-Request-ID"
+
+// MaxRequestIDLen bounds an accepted X-Request-ID; longer (or otherwise
+// unsafe) client values are replaced by a minted ID.
+const MaxRequestIDLen = 64
+
+// ridFallback feeds NewRequestID when the system randomness source fails —
+// still unique within the process, which is all correlation needs.
+var ridFallback atomic.Uint64
+
+// NewRequestID mints a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r" + strconv.FormatUint(ridFallback.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// AcceptRequestID returns the client-supplied ID when it is usable
+// (non-empty, bounded, safe alphabet) and a freshly minted one otherwise.
+func AcceptRequestID(supplied string) string {
+	if supplied != "" && len(supplied) <= MaxRequestIDLen && ridAlphabetOK(supplied) {
+		return supplied
+	}
+	return NewRequestID()
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryDedupe: registering the same name+labels twice must return
+// the same instrument, and distinct label values distinct instruments.
+func TestRegistryDedupe(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Fatal("identical registrations returned distinct counters")
+	}
+	c := r.Counter("x_total", "help", L("k", "v"))
+	if c == a {
+		t.Fatal("labeled registration returned the unlabeled counter")
+	}
+	h1 := r.Histogram("h_seconds", "help", L("stage", "a"))
+	h2 := r.Histogram("h_seconds", "help", L("stage", "a"))
+	h3 := r.Histogram("h_seconds", "help", L("stage", "b"))
+	if h1 != h2 || h1 == h3 {
+		t.Fatal("histogram dedupe by name+labels broken")
+	}
+}
+
+// TestRegistryKindConflictPanics: one family name cannot carry two TYPEs.
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering clash as a histogram after a counter did not panic")
+		}
+	}()
+	r.Histogram("clash", "help")
+}
+
+// TestNilRegistry: the nil registry is the uninstrumented build — nil
+// instruments, dropped gauges, no panics anywhere.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "h")
+	if c != nil {
+		t.Fatal("nil registry returned a live counter")
+	}
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	h := r.Histogram("y", "h")
+	if h != nil {
+		t.Fatal("nil registry returned a live histogram")
+	}
+	r.GaugeFunc("z", "h", func() float64 { return 1 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition: err=%v out=%q, want empty", err, sb.String())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "h")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up; negative adds are dropped
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+// TestNewRequestID: minted IDs are 16 hex chars and unique.
+func TestNewRequestID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 || !ridAlphabetOK(id) {
+			t.Fatalf("minted ID %q: want 16 safe chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("minted ID %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestAcceptRequestID pins the accept-or-mint rules for client headers.
+func TestAcceptRequestID(t *testing.T) {
+	for _, ok := range []string{"abc", "A-b_c.d:e", "0123456789", strings.Repeat("x", MaxRequestIDLen)} {
+		if got := AcceptRequestID(ok); got != ok {
+			t.Errorf("AcceptRequestID(%q) = %q, want the supplied ID", ok, got)
+		}
+	}
+	for _, bad := range []string{"", "has space", "quo\"te", "new\nline", "smuggl\r", strings.Repeat("x", MaxRequestIDLen+1), "émoji"} {
+		got := AcceptRequestID(bad)
+		if got == bad || len(got) != 16 || !ridAlphabetOK(got) {
+			t.Errorf("AcceptRequestID(%q) = %q, want a freshly minted safe ID", bad, got)
+		}
+	}
+}
+
+func TestRenderLabelsEscaping(t *testing.T) {
+	got := renderLabels([]Label{L("a", `x"y\z`)}, []Label{L("le", "+Inf")})
+	want := `{a="x\"y\\z",le="+Inf"}`
+	if got != want {
+		t.Fatalf("renderLabels = %s, want %s", got, want)
+	}
+	if renderLabels(nil, nil) != "" {
+		t.Fatal("empty label set should render as the empty string")
+	}
+}

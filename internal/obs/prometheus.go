@@ -1,0 +1,81 @@
+package obs
+
+// Prometheus text exposition (text format 0.0.4): every registered family
+// renders one # HELP line, one # TYPE line, then its samples, in
+// registration order — no map iteration anywhere, so consecutive scrapes
+// of an idle registry are byte-identical. Histograms render the standard
+// cumulative _bucket{le=...} series (ending at le="+Inf" equal to _count),
+// plus _sum and _count, all derived from one per-instrument snapshot so a
+// scrape racing recorders is still internally monotone.
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text format.
+// Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+		bw.WriteString("# TYPE " + f.name + " " + typeName(f.kind) + "\n")
+		switch f.kind {
+		case kindCounter:
+			for _, c := range f.counters {
+				bw.WriteString(f.name + renderLabels(c.desc.labels, nil) + " " +
+					strconv.FormatInt(c.v.Load(), 10) + "\n")
+			}
+		case kindGauge:
+			for _, g := range f.gauges {
+				bw.WriteString(f.name + renderLabels(g.desc.labels, nil) + " " +
+					formatFloat(g.fn()) + "\n")
+			}
+		case kindHistogram:
+			for _, h := range f.histograms {
+				writeHistogram(bw, f.name, h)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// writeHistogram renders one instrument's cumulative bucket series, sum
+// and count from a single snapshot.
+func writeHistogram(w *bufio.Writer, name string, h *Histogram) {
+	s := h.Snapshot()
+	cum := uint64(0)
+	for i := 0; i < histBuckets; i++ {
+		cum += s.Counts[i]
+		le := "+Inf"
+		if b := BucketBound(i); !math.IsInf(b, 1) {
+			le = formatFloat(b)
+		}
+		w.WriteString(name + "_bucket" + renderLabels(h.desc.labels, []Label{{Key: "le", Value: le}}) +
+			" " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	w.WriteString(name + "_sum" + renderLabels(h.desc.labels, nil) + " " +
+		formatFloat(float64(s.SumNS)/1e9) + "\n")
+	w.WriteString(name + "_count" + renderLabels(h.desc.labels, nil) + " " +
+		strconv.FormatUint(s.Total, 10) + "\n")
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusFormat renders one of each instrument kind and pins
+// the exposition: HELP/TYPE per family in registration order, counter and
+// gauge samples, cumulative histogram buckets ending at le="+Inf" ==
+// _count.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Requests served.", L("handler", "analyze"))
+	c.Add(7)
+	r.GaugeFunc("app_goroutines", "Live goroutines.", func() float64 { return 12 })
+	h := r.Histogram("app_latency_seconds", "Request latency.", L("handler", "analyze"))
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP app_requests_total Requests served.\n",
+		"# TYPE app_requests_total counter\n",
+		`app_requests_total{handler="analyze"} 7` + "\n",
+		"# TYPE app_goroutines gauge\n",
+		"app_goroutines 12\n",
+		"# TYPE app_latency_seconds histogram\n",
+		`app_latency_seconds_bucket{handler="analyze",le="+Inf"} 3` + "\n",
+		`app_latency_seconds_count{handler="analyze"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// The 4µs bucket holds the two 3µs observations; the 3ms one lands by
+	// the 0.004096 bound.
+	if !strings.Contains(out, `app_latency_seconds_bucket{handler="analyze",le="4e-06"} 2`+"\n") {
+		t.Fatalf("4µs cumulative bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `app_latency_seconds_bucket{handler="analyze",le="0.004096"} 3`+"\n") {
+		t.Fatalf("4.096ms cumulative bucket wrong:\n%s", out)
+	}
+
+	// Registration order is deterministic: families appear in the order
+	// they were first registered.
+	iReq := strings.Index(out, "# HELP app_requests_total")
+	iG := strings.Index(out, "# HELP app_goroutines")
+	iH := strings.Index(out, "# HELP app_latency_seconds")
+	if !(iReq < iG && iG < iH) {
+		t.Fatalf("families out of registration order:\n%s", out)
+	}
+
+	// Idle registry: two scrapes are byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatal("consecutive idle scrapes differ")
+	}
+}
+
+// TestWritePrometheusMonotoneUnderRace scrapes while writers hammer the
+// histogram, asserting every scrape's cumulative buckets are monotone and
+// end exactly at _count — the wire-level no-torn-scrape guarantee.
+func TestWritePrometheusMonotoneUnderRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race_seconds", "h")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			d := time.Duration(seed+1) * 10 * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(d)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		assertHistogramConsistent(t, sb.String(), "race_seconds")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// assertHistogramConsistent parses one family's bucket series out of an
+// exposition and asserts cumulative monotonicity and +Inf == _count.
+func assertHistogramConsistent(t *testing.T, exposition, name string) {
+	t.Helper()
+	prev := int64(-1)
+	inf := int64(-1)
+	count := int64(-1)
+	for _, line := range strings.Split(exposition, "\n") {
+		switch {
+		case strings.HasPrefix(line, name+"_bucket"):
+			fields := strings.Fields(line)
+			v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("cumulative buckets not monotone: %d after %d in %q", v, prev, line)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(line, name+"_count"):
+			fields := strings.Fields(line)
+			v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("count line %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+	if inf < 0 || count < 0 {
+		t.Fatalf("exposition missing +Inf bucket or _count for %s:\n%s", name, exposition)
+	}
+	if inf != count {
+		t.Fatalf("+Inf bucket %d != _count %d (torn scrape)", inf, count)
+	}
+}

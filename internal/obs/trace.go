@@ -1,0 +1,219 @@
+package obs
+
+// Span tracing: each request carries a Trace that records named spans
+// (decode, queue wait, seed lookup, per-part solve, push enqueue, stream
+// write) with start offsets and durations. Finished traces land in a
+// bounded Ring of recent requests served on GET /tracez?min_ms=, newest
+// first, so "where did the slow request spend its time" is answerable
+// after the fact without a profiler attached.
+//
+// A trace belongs to one request and is touched by one goroutine at a
+// time in practice; the per-trace mutex exists for the exceptions (a
+// singleflight leader publishing while a follower parks) and is never
+// contended enough to matter. Spans beyond maxSpansPerTrace are counted
+// but not recorded — a 4096-frame trajectory keeps its histogram signal
+// while its trace stays bounded.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds one trace's recorded spans; excess spans are
+// tallied in TruncatedSpans instead.
+const maxSpansPerTrace = 512
+
+// SpanRecord is one recorded span in the /tracez wire form: offsets and
+// durations in milliseconds relative to the trace start.
+type SpanRecord struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+}
+
+// TraceRecord is one finished trace in the /tracez wire form.
+type TraceRecord struct {
+	RequestID string       `json:"request_id"`
+	Op        string       `json:"op"`
+	Start     time.Time    `json:"start"`
+	TotalMS   float64      `json:"total_ms"`
+	Spans     []SpanRecord `json:"spans"`
+	// TruncatedSpans counts spans dropped beyond the per-trace bound.
+	TruncatedSpans int `json:"truncated_spans,omitempty"`
+}
+
+// Trace accumulates one request's spans. Construct with NewTrace; the nil
+// Trace discards everything, so uninstrumented paths share call sites.
+type Trace struct {
+	op    string
+	rid   string
+	start time.Time
+
+	mu        sync.Mutex
+	spans     []SpanRecord
+	truncated int
+}
+
+// NewTrace starts a trace for one request. rid should already be in
+// AcceptRequestID form.
+func NewTrace(op, rid string) *Trace {
+	return &Trace{op: op, rid: rid, start: time.Now()}
+}
+
+// RequestID returns the trace's request ID ("" on nil).
+func (t *Trace) RequestID() string {
+	if t == nil {
+		return ""
+	}
+	return t.rid
+}
+
+// Span is one in-flight span; close it with End.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named span now. Safe on a nil trace (the span still
+// measures, records nowhere).
+func (t *Trace) StartSpan(name string) Span {
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// End closes the span, records it, and returns its duration — callers
+// typically feed that into a stage histogram as well.
+func (sp Span) End() time.Duration {
+	d := time.Since(sp.start)
+	sp.record(d)
+	return d
+}
+
+// EndAt closes the span with an explicit duration (used when the caller
+// already measured).
+func (sp Span) EndAt(d time.Duration) { sp.record(d) }
+
+func (sp Span) record(d time.Duration) {
+	t := sp.t
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.truncated++
+		return
+	}
+	t.spans = append(t.spans, SpanRecord{
+		Name:    sp.name,
+		StartMS: float64(sp.start.Sub(t.start)) / float64(time.Millisecond),
+		DurMS:   float64(d) / float64(time.Millisecond),
+	})
+}
+
+// Finish seals the trace into its wire record. Safe on nil (zero record).
+func (t *Trace) Finish() TraceRecord {
+	if t == nil {
+		return TraceRecord{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceRecord{
+		RequestID:      t.rid,
+		Op:             t.op,
+		Start:          t.start,
+		TotalMS:        float64(time.Since(t.start)) / float64(time.Millisecond),
+		Spans:          append([]SpanRecord(nil), t.spans...),
+		TruncatedSpans: t.truncated,
+	}
+}
+
+// Ring is a bounded ring of recent finished traces. Construct with
+// NewRing; the nil Ring discards. All methods are safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next int
+	n    int
+}
+
+// DefaultRingSize is the trace ring bound when NewRing is given a
+// non-positive capacity.
+const DefaultRingSize = 256
+
+// NewRing builds a ring keeping the last capacity traces.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Ring{buf: make([]TraceRecord, capacity)}
+}
+
+// Add records a finished trace, evicting the oldest beyond capacity.
+// Safe on nil.
+func (r *Ring) Add(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Snapshot returns up to limit recent traces whose total is at least
+// minTotal, newest first (limit <= 0 means no limit; nil ring returns
+// nothing).
+func (r *Ring) Snapshot(minTotal time.Duration, limit int) []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	minMS := float64(minTotal) / float64(time.Millisecond)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceRecord, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		rec := r.buf[(r.next-1-i+len(r.buf)*2)%len(r.buf)]
+		if rec.TotalMS < minMS {
+			continue
+		}
+		out = append(out, rec)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// requestIDKey carries the request ID through a context.
+type requestIDKey struct{}
+
+// traceKey carries the active trace through a context.
+type traceKey struct{}
+
+// WithRequestID returns ctx carrying rid.
+func WithRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, rid)
+}
+
+// RequestID extracts the request ID from ctx ("" when absent).
+func RequestID(ctx context.Context) string {
+	rid, _ := ctx.Value(requestIDKey{}).(string)
+	return rid
+}
+
+// WithTrace returns ctx carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the active trace from ctx (nil when absent — and the
+// nil trace is safe to span against).
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestTraceSpans: spans record name, ordering and durations relative to
+// the trace start, and Finish seals them with the request ID.
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("analyze", "rid-1")
+	sp := tr.StartSpan("decode")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Fatalf("span duration %v, want >= 1ms", d)
+	}
+	tr.StartSpan("solve").EndAt(42 * time.Millisecond)
+
+	rec := tr.Finish()
+	if rec.RequestID != "rid-1" || rec.Op != "analyze" {
+		t.Fatalf("record identity = %q/%q, want rid-1/analyze", rec.RequestID, rec.Op)
+	}
+	if len(rec.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(rec.Spans))
+	}
+	if rec.Spans[0].Name != "decode" || rec.Spans[1].Name != "solve" {
+		t.Fatalf("span names = %q,%q", rec.Spans[0].Name, rec.Spans[1].Name)
+	}
+	if rec.Spans[1].DurMS != 42 {
+		t.Fatalf("EndAt span duration = %v, want 42", rec.Spans[1].DurMS)
+	}
+	if rec.TotalMS < 1 {
+		t.Fatalf("TotalMS = %v, want >= 1", rec.TotalMS)
+	}
+}
+
+// TestTraceTruncation: spans beyond the per-trace bound are counted, not
+// stored — a long trajectory keeps its trace bounded.
+func TestTraceTruncation(t *testing.T) {
+	tr := NewTrace("trajectory", "rid-2")
+	for i := 0; i < maxSpansPerTrace+25; i++ {
+		tr.StartSpan("frame").EndAt(time.Microsecond)
+	}
+	rec := tr.Finish()
+	if len(rec.Spans) != maxSpansPerTrace {
+		t.Fatalf("stored %d spans, want %d", len(rec.Spans), maxSpansPerTrace)
+	}
+	if rec.TruncatedSpans != 25 {
+		t.Fatalf("TruncatedSpans = %d, want 25", rec.TruncatedSpans)
+	}
+}
+
+// TestNilTrace: the nil trace is the uninstrumented path — spans still
+// measure, nothing records, nothing panics.
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	if tr.RequestID() != "" {
+		t.Fatal("nil trace has a request ID")
+	}
+	sp := tr.StartSpan("x")
+	if d := sp.End(); d < 0 {
+		t.Fatalf("nil-trace span measured %v", d)
+	}
+	if rec := tr.Finish(); rec.RequestID != "" || len(rec.Spans) != 0 {
+		t.Fatalf("nil trace Finish = %+v, want zero record", rec)
+	}
+}
+
+// TestRingNewestFirst: the ring returns newest first, honors min_ms
+// filtering and the limit, and evicts beyond capacity.
+func TestRingNewestFirst(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Add(TraceRecord{RequestID: string(rune('a' - 1 + i)), TotalMS: float64(i)})
+	}
+	got := r.Snapshot(0, 0)
+	if len(got) != 4 {
+		t.Fatalf("ring of 4 returned %d records", len(got))
+	}
+	for i, want := range []string{"f", "e", "d", "c"} {
+		if got[i].RequestID != want {
+			t.Fatalf("snapshot[%d] = %q, want %q (newest first, oldest evicted)", i, got[i].RequestID, want)
+		}
+	}
+	if got := r.Snapshot(5*time.Millisecond, 0); len(got) != 2 || got[0].RequestID != "f" {
+		t.Fatalf("min filter returned %+v, want f,e", got)
+	}
+	if got := r.Snapshot(0, 1); len(got) != 1 || got[0].RequestID != "f" {
+		t.Fatalf("limit=1 returned %+v, want just f", got)
+	}
+	var nilRing *Ring
+	nilRing.Add(TraceRecord{})
+	if nilRing.Snapshot(0, 0) != nil {
+		t.Fatal("nil ring snapshot should be nil")
+	}
+}
+
+// TestContextPlumbing: request ID and trace ride the context and come
+// back out; absence yields the safe zero values.
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" || TraceFrom(ctx) != nil {
+		t.Fatal("empty context should carry no rid and no trace")
+	}
+	tr := NewTrace("op", "rid-3")
+	ctx = WithTrace(WithRequestID(ctx, "rid-3"), tr)
+	if RequestID(ctx) != "rid-3" {
+		t.Fatalf("RequestID = %q, want rid-3", RequestID(ctx))
+	}
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom did not return the stored trace")
+	}
+}

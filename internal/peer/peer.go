@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strings"
@@ -41,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dispersal/internal/obs"
 	"dispersal/internal/ring"
 	"dispersal/internal/solve"
 	"dispersal/internal/statewire"
@@ -88,23 +90,33 @@ type Source interface {
 // newest candidate's statewire bytes on a hit, 404 on a miss, 400 on a
 // missing key. Candidates beyond the newest stay local — within one
 // locality bucket they are near-duplicates, not worth the extra bytes.
-func Handler(src Source) http.HandlerFunc {
+//
+// Every served pull is logged with the caller's propagated X-Request-ID,
+// so the request that caused a cross-replica fetch correlates in both
+// replicas' logs. A nil logger discards.
+func Handler(src Source, logger *slog.Logger) http.HandlerFunc {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		key := r.URL.Query().Get("key")
 		if key == "" {
 			http.Error(w, "missing key parameter", http.StatusBadRequest)
 			return
 		}
+		rid := r.Header.Get(obs.RequestIDHeader)
 		for _, st := range src.Peek(key) {
 			enc, err := statewire.Encode(st)
 			if err != nil {
 				continue
 			}
+			logger.Info("warmstate pull served", "rid", rid, "key", key, "hit", true)
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.WriteHeader(http.StatusOK)
 			_, _ = w.Write(enc)
 			return
 		}
+		logger.Info("warmstate pull served", "rid", rid, "key", key, "hit", false)
 		http.Error(w, "no warm state for key", http.StatusNotFound)
 	}
 }
@@ -424,12 +436,16 @@ func (c *Client) routeTargets(key string) []string {
 // peer failure.
 var errNotFound = errors.New("peer: no state for key")
 
-// fetchOne performs one GET against one peer.
+// fetchOne performs one GET against one peer, propagating the requesting
+// context's request ID so the donor's logs correlate with this replica's.
 func (c *Client) fetchOne(ctx context.Context, base, key string) (*solve.State, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		base+WarmStatePath+"?key="+url.QueryEscape(key), nil)
 	if err != nil {
 		return nil, err
+	}
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -27,7 +27,7 @@ func testState(nu float64) *solve.State {
 func donor(t *testing.T, cache *warmcache.Cache) (*httptest.Server, *atomic.Int64) {
 	t.Helper()
 	var reqs atomic.Int64
-	h := Handler(cache)
+	h := Handler(cache, nil)
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqs.Add(1)
 		h(w, r)
@@ -150,7 +150,7 @@ func TestCallerCancellationDoesNotPoisonTheKey(t *testing.T) {
 	cache := warmcache.New(8)
 	cache.Store("warm:k", testState(0.8))
 	release := make(chan struct{})
-	h := Handler(cache)
+	h := Handler(cache, nil)
 	var reqs atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if reqs.Add(1) == 1 {
@@ -191,7 +191,7 @@ func TestClientSingleflight(t *testing.T) {
 	cache.Store("warm:k", testState(0.9))
 	var reqs atomic.Int64
 	release := make(chan struct{})
-	h := Handler(cache)
+	h := Handler(cache, nil)
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqs.Add(1)
 		<-release

@@ -21,12 +21,15 @@ package peer
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dispersal/internal/obs"
 	"dispersal/internal/ring"
 	"dispersal/internal/solve"
 	"dispersal/internal/statewire"
@@ -68,8 +71,8 @@ type PusherConfig struct {
 	// Transport overrides the HTTP transport (tests); nil uses
 	// http.DefaultTransport.
 	Transport http.RoundTripper
-	// Logf receives supervision and encode-failure logs; nil discards.
-	Logf func(format string, args ...any)
+	// Logger receives supervision and encode-failure logs; nil discards.
+	Logger *slog.Logger
 }
 
 // PushStats is a point-in-time snapshot of a Pusher's counters.
@@ -89,10 +92,14 @@ type PushStats struct {
 	Errors int64 `json:"errors"`
 }
 
-// pushItem is one queued record bound for one target.
+// pushItem is one queued record bound for one target. rid is the request
+// ID of the solve that produced the record, carried onto the push hop's
+// X-Request-ID header so the receiver's logs correlate with the
+// originating request.
 type pushItem struct {
 	target string
 	hops   int
+	rid    string
 	rec    statewire.Record
 }
 
@@ -105,7 +112,7 @@ type Pusher struct {
 	timeout time.Duration
 	batch   int
 	http    *http.Client
-	logf    func(format string, args ...any)
+	log     *slog.Logger
 
 	queue chan pushItem
 	stop  chan struct{}
@@ -136,16 +143,16 @@ func NewPusher(cfg PusherConfig) *Pusher {
 	if batch > statewire.MaxEnvelopeRecords {
 		batch = statewire.MaxEnvelopeRecords
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	p := &Pusher{
 		ring:    cfg.Ring,
 		timeout: timeout,
 		batch:   batch,
 		http:    &http.Client{Transport: cfg.Transport},
-		logf:    logf,
+		log:     logger,
 		queue:   make(chan pushItem, queueLen),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -157,21 +164,25 @@ func NewPusher(cfg PusherConfig) *Pusher {
 // Solved routes a freshly solved (and stored-locally) state into the
 // fleet: owners replicate to their followers, non-owners forward to the
 // owner. It never blocks — on a full queue the records are shed and
-// counted as dropped. Safe on a nil pusher.
-func (p *Pusher) Solved(key string, st *solve.State) {
+// counted as dropped. The context contributes only the request ID of the
+// originating solve (propagated on the push hop's headers); delivery is
+// asynchronous and never bound by the context's deadline. Safe on a nil
+// pusher.
+func (p *Pusher) Solved(ctx context.Context, key string, st *solve.State) {
 	if p == nil || key == "" || st == nil {
 		return
 	}
+	rid := obs.RequestID(ctx)
 	rec := statewire.Record{Key: key, State: st}
 	if p.ring.Owns(key) {
 		for _, f := range p.ring.Followers(key, pushFollowers) {
-			if p.enqueue(pushItem{target: f, hops: 0, rec: rec}) {
+			if p.enqueue(pushItem{target: f, hops: 0, rid: rid, rec: rec}) {
 				p.sent.Add(1)
 			}
 		}
 		return
 	}
-	if p.enqueue(pushItem{target: p.ring.Owner(key), hops: 1, rec: rec}) {
+	if p.enqueue(pushItem{target: p.ring.Owner(key), hops: 1, rid: rid, rec: rec}) {
 		p.forwarded.Add(1)
 	}
 }
@@ -212,17 +223,19 @@ func (p *Pusher) Handler(dst Store) http.HandlerFunc {
 			http.Error(w, "bad envelope", http.StatusBadRequest)
 			return
 		}
+		rid := r.Header.Get(obs.RequestIDHeader)
 		for _, rec := range recs {
 			dst.Store(rec.Key, rec.State)
 			p.applied.Add(1)
 			if hops > 0 && p.ring.Owns(rec.Key) {
 				for _, f := range p.ring.Followers(rec.Key, pushFollowers) {
-					if p.enqueue(pushItem{target: f, hops: hops - 1, rec: rec}) {
+					if p.enqueue(pushItem{target: f, hops: hops - 1, rid: rid, rec: rec}) {
 						p.sent.Add(1)
 					}
 				}
 			}
 		}
+		p.log.Info("warm-state push applied", "rid", rid, "records", len(recs), "hops", hops)
 		w.WriteHeader(http.StatusNoContent)
 	}
 }
@@ -234,7 +247,7 @@ func (p *Pusher) loop() {
 	defer close(p.done)
 	defer func() {
 		if r := recover(); r != nil {
-			p.logf("warm-state push loop: panic: %v", r)
+			p.log.Error("warm-state push loop panicked", "panic", fmt.Sprint(r))
 		}
 	}()
 	for {
@@ -265,27 +278,31 @@ collect:
 		hops   int
 	}
 	groups := make(map[dest][]statewire.Record, 2)
-	order := make([]dest, 0, 2) // deterministic flush order; map iteration is not
+	rids := make(map[dest]string, 2) // first non-empty rid per envelope (best-effort correlation)
+	order := make([]dest, 0, 2)      // deterministic flush order; map iteration is not
 	for _, it := range items {
 		d := dest{target: it.target, hops: it.hops}
 		if _, ok := groups[d]; !ok {
 			order = append(order, d)
 		}
 		groups[d] = append(groups[d], it.rec)
+		if rids[d] == "" {
+			rids[d] = it.rid
+		}
 	}
 	for _, d := range order {
-		p.send(d.target, d.hops, groups[d])
+		p.send(d.target, d.hops, rids[d], groups[d])
 	}
 }
 
 // send delivers one envelope to one target under the push timeout. Every
 // failure is counted and swallowed: the states are already cached locally
 // and reachable by pull, so a failed push costs nothing but freshness.
-func (p *Pusher) send(target string, hops int, recs []statewire.Record) {
+func (p *Pusher) send(target string, hops int, rid string, recs []statewire.Record) {
 	enc, err := statewire.EncodeEnvelope(hops, recs)
 	if err != nil {
 		p.errors.Add(1)
-		p.logf("warm-state push: encode for %s: %v", target, err)
+		p.log.Warn("warm-state push encode failed", "target", target, "err", err)
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
@@ -296,6 +313,9 @@ func (p *Pusher) send(target string, hops int, recs []statewire.Record) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
 	resp, err := p.http.Do(req)
 	if err != nil {
 		p.errors.Add(1)

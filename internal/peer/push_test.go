@@ -2,6 +2,7 @@ package peer
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -45,7 +46,7 @@ func startFleet(t *testing.T, n int) []*fleetNode {
 		p := NewPusher(PusherConfig{Ring: r, Timeout: 2 * time.Second})
 		mux := http.NewServeMux()
 		mux.Handle("POST "+WarmStatePath, p.Handler(cache))
-		mux.Handle("GET "+WarmStatePath, Handler(cache))
+		mux.Handle("GET "+WarmStatePath, Handler(cache, nil))
 		srv := &http.Server{Handler: mux}
 		go srv.Serve(listeners[i])
 		t.Cleanup(func() {
@@ -76,7 +77,7 @@ func TestPusherOwnerReplicatesToFollowers(t *testing.T) {
 	nodes := startFleet(t, 3)
 	owner := nodes[0]
 	key := ownedKey(t, owner.pusher.ring, owner.url, "own")
-	owner.pusher.Solved(key, testState(0.5))
+	owner.pusher.Solved(context.Background(), key, testState(0.5))
 
 	waitFor(t, "both followers to apply the push", func() bool {
 		applied := 0
@@ -108,7 +109,7 @@ func TestPusherForwardsThroughOwner(t *testing.T) {
 	nodes := startFleet(t, 3)
 	solver := nodes[0]
 	key := ownedKey(t, solver.pusher.ring, nodes[1].url, "fwd")
-	solver.pusher.Solved(key, testState(0.9))
+	solver.pusher.Solved(context.Background(), key, testState(0.9))
 
 	waitFor(t, "the forwarded state to reach every replica", func() bool {
 		for _, n := range nodes {
@@ -156,7 +157,7 @@ func TestPushBackpressureDropsNeverBlocks(t *testing.T) {
 	start := time.Now()
 	const solves = 40
 	for i := 0; i < solves; i++ {
-		p.Solved(ownedKey(t, r, self, "bp"), testState(0.1))
+		p.Solved(context.Background(), ownedKey(t, r, self, "bp"), testState(0.1))
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Fatalf("%d Solved calls took %s; enqueue must never block", solves, elapsed)
@@ -178,7 +179,7 @@ func TestPushToDeadFollowerNeverBlocksSolved(t *testing.T) {
 	defer p.Close()
 
 	start := time.Now()
-	p.Solved(ownedKey(t, r, self, "dead"), testState(0.2))
+	p.Solved(context.Background(), ownedKey(t, r, self, "dead"), testState(0.2))
 	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
 		t.Fatalf("Solved took %s with a dead follower", elapsed)
 	}
@@ -232,7 +233,7 @@ func TestPushHandlerRejectsBadEnvelopes(t *testing.T) {
 
 func TestNilPusherIsSafe(t *testing.T) {
 	var p *Pusher
-	p.Solved("warm:k", testState(0.1))
+	p.Solved(context.Background(), "warm:k", testState(0.1))
 	if s := p.Stats(); s != (PushStats{}) {
 		t.Fatalf("nil pusher stats = %+v", s)
 	}

@@ -1,0 +1,245 @@
+package server
+
+// The server's observability surface: one obs.Registry of request/stage
+// latency histograms and runtime gauges rendered on GET /metricsz
+// (Prometheus text format) and summarized on /statsz, plus a bounded ring
+// of per-request span traces served on GET /tracez?min_ms=. Every request
+// carries an X-Request-ID — accepted from the client or minted at ingress,
+// echoed on the response, threaded through the context onto every
+// structured log line, span trace and peer warm-state hop.
+//
+// The whole surface is optional: Config.DisableObs builds a server whose
+// instruments are all nil (the obs package's nil instruments no-op), which
+// is how `paperbench -obs-overhead` measures the instrumentation tax as
+// the difference between two otherwise identical servers.
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"dispersal/internal/obs"
+)
+
+// serverObs bundles the server's instruments. Built by newServerObs; the
+// disabled form holds nil instruments throughout, so call sites are
+// unconditional.
+type serverObs struct {
+	reg    *obs.Registry
+	traces *obs.Ring
+
+	// reqAnalyze/reqSweep/reqTrajectory time whole requests, one family
+	// split by handler label.
+	reqAnalyze    *obs.Histogram
+	reqSweep      *obs.Histogram
+	reqTrajectory *obs.Histogram
+
+	// The stage family splits a request's time by where it went: body
+	// decode, scheduler queue wait, warm-seed lookup (local bucket vs peer
+	// fetch), the equilibrium and optimum/SPoA solver parts, push
+	// enqueueing, NDJSON stream writes, and a chain follower's wait on its
+	// leader.
+	stageDecode    *obs.Histogram
+	stageQueueWait *obs.Histogram
+	stageSeedLocal *obs.Histogram
+	stageSeedPeer  *obs.Histogram
+	stageSolveEq   *obs.Histogram
+	stageSolveOpt  *obs.Histogram
+	stagePushEnq   *obs.Histogram
+	stageWrite     *obs.Histogram
+	stageChainWait *obs.Histogram
+
+	// frame times one trajectory frame end to end (solve or cache hit to
+	// emitted line).
+	frame *obs.Histogram
+
+	solvesTotal *obs.Counter
+}
+
+// newServerObs builds the instrument set. With enabled false everything is
+// nil and every recording site degrades to a nil check.
+func newServerObs(enabled bool) *serverObs {
+	o := &serverObs{}
+	if !enabled {
+		return o
+	}
+	o.reg = obs.NewRegistry()
+	o.traces = obs.NewRing(obs.DefaultRingSize)
+
+	const reqName = "dispersald_request_seconds"
+	const reqHelp = "Request latency by handler."
+	o.reqAnalyze = o.reg.Histogram(reqName, reqHelp, obs.L("handler", "analyze"))
+	o.reqSweep = o.reg.Histogram(reqName, reqHelp, obs.L("handler", "sweep"))
+	o.reqTrajectory = o.reg.Histogram(reqName, reqHelp, obs.L("handler", "trajectory"))
+
+	const stageName = "dispersald_stage_seconds"
+	const stageHelp = "Time spent per request stage."
+	stage := func(s string) *obs.Histogram { return o.reg.Histogram(stageName, stageHelp, obs.L("stage", s)) }
+	o.stageDecode = stage("decode")
+	o.stageQueueWait = stage("queue_wait")
+	o.stageSeedLocal = stage("seed_local")
+	o.stageSeedPeer = stage("seed_peer")
+	o.stageSolveEq = stage("solve_eq")
+	o.stageSolveOpt = stage("solve_opt")
+	o.stagePushEnq = stage("push_enqueue")
+	o.stageWrite = stage("write")
+	o.stageChainWait = stage("chain_wait")
+
+	o.frame = o.reg.Histogram("dispersald_trajectory_frame_seconds",
+		"One trajectory frame end to end: solve or cache hit through the emitted line.")
+
+	o.solvesTotal = o.reg.Counter("dispersald_solves_total",
+		"Underlying solver runs — the count the caches exist to minimize.")
+
+	o.reg.GaugeFunc("dispersald_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	o.reg.GaugeFunc("dispersald_heap_inuse_bytes", "Bytes in in-use heap spans.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapInuse) })
+	o.reg.GaugeFunc("dispersald_gc_pause_seconds", "Cumulative GC stop-the-world pause time.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.PauseTotalNs) / 1e9 })
+	return o
+}
+
+// observeSpan opens a named span on ctx's trace and returns a closer that
+// records the duration into both the trace and the stage histogram. Both
+// the trace and the histogram may be nil.
+func observeSpan(ctx context.Context, name string, h *obs.Histogram) func() {
+	sp := obs.TraceFrom(ctx).StartSpan(name)
+	return func() { h.Observe(sp.End()) }
+}
+
+// tracedOp maps a request to its trace/latency handler label ("" for
+// endpoints that are not traced: health, stats, scrapes, peer exchange).
+func tracedOp(r *http.Request) string {
+	if r.Method != http.MethodPost {
+		return ""
+	}
+	switch r.URL.Path {
+	case "/v1/analyze":
+		return "analyze"
+	case "/v1/sweep":
+		return "sweep"
+	case "/v1/trajectory":
+		return "trajectory"
+	}
+	return ""
+}
+
+// withObs is the ingress middleware: it accepts or mints the request ID,
+// echoes it on the response, threads it (plus a span trace and a latency
+// observation for the solve endpoints) through the request context.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := obs.AcceptRequestID(r.Header.Get(obs.RequestIDHeader))
+		w.Header().Set(obs.RequestIDHeader, rid)
+		ctx := obs.WithRequestID(r.Context(), rid)
+
+		op := tracedOp(r)
+		var tr *obs.Trace
+		var hist *obs.Histogram
+		if op != "" {
+			switch op {
+			case "analyze":
+				hist = s.o.reqAnalyze
+			case "sweep":
+				hist = s.o.reqSweep
+			case "trajectory":
+				hist = s.o.reqTrajectory
+			}
+			if s.o.traces != nil {
+				tr = obs.NewTrace(op, rid)
+				ctx = obs.WithTrace(ctx, tr)
+			}
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r.WithContext(ctx))
+		if op != "" {
+			hist.Observe(time.Since(start))
+		}
+		if tr != nil {
+			s.o.traces.Add(tr.Finish())
+		}
+	})
+}
+
+// handleMetricsz serves GET /metricsz: the registry in the Prometheus text
+// exposition format. A server built with DisableObs serves an empty body.
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.o.reg.WritePrometheus(w)
+}
+
+// tracezResponse is the GET /tracez body.
+type tracezResponse struct {
+	Traces []obs.TraceRecord `json:"traces"`
+}
+
+// handleTracez serves GET /tracez?min_ms=&limit=: recent request traces,
+// newest first, filtered to totals of at least min_ms milliseconds.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var minTotal time.Duration
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "request",
+				&strconv.NumError{Func: "min_ms", Num: v, Err: strconv.ErrSyntax})
+			return
+		}
+		minTotal = time.Duration(ms * float64(time.Millisecond))
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "request",
+				&strconv.NumError{Func: "limit", Num: v, Err: strconv.ErrSyntax})
+			return
+		}
+		limit = n
+	}
+	recs := s.o.traces.Snapshot(minTotal, limit)
+	if recs == nil {
+		recs = []obs.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, tracezResponse{Traces: recs})
+}
+
+// runtimeStats is the /statsz runtime section (satellite of the /metricsz
+// gauges, for the humans already reading /statsz).
+type runtimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+}
+
+func readRuntimeStats() runtimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return runtimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: m.HeapInuse,
+		GCPauseTotalMS: float64(m.PauseTotalNs) / 1e6,
+	}
+}
+
+// latencyStats summarizes the headline histograms for /statsz: whole
+// requests by handler, per-frame and scheduler/chain waits, and the two
+// solver parts.
+func (o *serverObs) latencyStats() map[string]obs.Summary {
+	if o.reg == nil {
+		return nil
+	}
+	return map[string]obs.Summary{
+		"analyze":          o.reqAnalyze.Summarize(),
+		"sweep":            o.reqSweep.Summarize(),
+		"trajectory":       o.reqTrajectory.Summarize(),
+		"trajectory_frame": o.frame.Summarize(),
+		"queue_wait":       o.stageQueueWait.Summarize(),
+		"chain_wait":       o.stageChainWait.Summarize(),
+		"solve_eq":         o.stageSolveEq.Summarize(),
+		"solve_opt":        o.stageSolveOpt.Summarize(),
+	}
+}

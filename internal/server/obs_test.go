@@ -1,0 +1,500 @@
+package server
+
+// Tests of the observability surface: the /metricsz Prometheus exposition
+// (strict line-format checks, torn-scrape resistance under load), the
+// /tracez span ring, X-Request-ID accept/mint/echo and its propagation to
+// a peer replica's structured logs, and the /statsz runtime and latency
+// sections.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dispersal/internal/obs"
+)
+
+// syncWriter makes a bytes.Buffer safe as an slog sink for a live server.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, payload
+}
+
+// parseExposition strictly parses a Prometheus text exposition: every
+// sample line must parse as `name[{labels}] value`, every sampled family
+// must have both # HELP and # TYPE lines before its first sample, and the
+// returned map carries each family's TYPE.
+func parseExposition(t *testing.T, body string) map[string]string {
+	t.Helper()
+	types := make(map[string]string)
+	helps := make(map[string]bool)
+	sampled := make(map[string]bool)
+	baseOf := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) != 2 || fields[1] == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			helps[fields[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, line)
+			}
+			if sampled[fields[0]] {
+				t.Fatalf("line %d: TYPE for %s after its samples", ln+1, fields[0])
+			}
+			types[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		}
+		// Sample line: name[{labels}] value.
+		name := line
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			rest = strings.TrimSpace(line[j+1:])
+		} else {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+			}
+			name, rest = fields[0], fields[1]
+		}
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			t.Fatalf("line %d: sample value %q does not parse: %v", ln+1, rest, err)
+		}
+		base := baseOf(name)
+		if !helps[base] || types[base] == "" {
+			t.Fatalf("line %d: sample for %s (family %s) before HELP+TYPE", ln+1, name, base)
+		}
+		sampled[base] = true
+	}
+	return types
+}
+
+// assertHistogramSeries checks one labeled histogram series: cumulative
+// buckets monotone in exposition order, the +Inf bucket present and equal
+// to the series' _count.
+func assertHistogramSeries(t *testing.T, body, family, labels string) uint64 {
+	t.Helper()
+	prev := int64(-1)
+	inf := int64(-1)
+	count := int64(-1)
+	sawBucket := false
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case strings.HasPrefix(line, family+"_bucket{"+labels):
+			sawBucket = true
+			fields := strings.Fields(line)
+			v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("%s{%s}: cumulative buckets not monotone (%d after %d)", family, labels, v, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(line, family+"_count{"+labels) || (labels == "" && strings.HasPrefix(line, family+"_count ")):
+			fields := strings.Fields(line)
+			v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("count line %q: %v", line, err)
+			}
+			count = v
+		case labels == "" && strings.HasPrefix(line, family+"_bucket{le="):
+			sawBucket = true
+			fields := strings.Fields(line)
+			v, _ := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if v < prev {
+				t.Fatalf("%s: cumulative buckets not monotone (%d after %d)", family, v, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		}
+	}
+	if !sawBucket || inf < 0 || count < 0 {
+		t.Fatalf("%s{%s}: missing bucket series, +Inf or _count", family, labels)
+	}
+	if inf != count {
+		t.Fatalf("%s{%s}: +Inf bucket %d != _count %d (torn scrape)", family, labels, inf, count)
+	}
+	return uint64(count)
+}
+
+// TestMetricszExposition drives each traced handler once and checks the
+// scrape end to end: strict format, the per-handler request histograms,
+// the stage split, the frame histogram, the solver counter, and the
+// runtime gauges.
+func TestMetricszExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+
+	if resp, payload := postJSON(t, ts.URL+"/v1/analyze", exclusiveSpec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %s\n%s", resp.Status, payload)
+	}
+	if resp, payload := postJSON(t, ts.URL+"/v1/sweep", `{"specs":[`+exclusiveSpec+`]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %s\n%s", resp.Status, payload)
+	}
+	if resp, payload := postJSON(t, ts.URL+"/v1/trajectory", trajectoryBody(6, 4, 3, 0.02)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("trajectory: %s\n%s", resp.Status, payload)
+	}
+
+	resp, payload := getBody(t, ts.URL+"/metricsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metricsz Content-Type = %q, want the 0.0.4 text format", ct)
+	}
+	body := string(payload)
+	types := parseExposition(t, body)
+
+	for family, kind := range map[string]string{
+		"dispersald_request_seconds":          "histogram",
+		"dispersald_stage_seconds":            "histogram",
+		"dispersald_trajectory_frame_seconds": "histogram",
+		"dispersald_solves_total":             "counter",
+		"dispersald_goroutines":               "gauge",
+		"dispersald_heap_inuse_bytes":         "gauge",
+		"dispersald_gc_pause_seconds":         "gauge",
+	} {
+		if types[family] != kind {
+			t.Errorf("family %s: TYPE %q, want %q", family, types[family], kind)
+		}
+	}
+
+	// One request per handler: each per-handler series counts exactly 1.
+	for _, handler := range []string{"analyze", "sweep", "trajectory"} {
+		if n := assertHistogramSeries(t, body, "dispersald_request_seconds", `handler="`+handler+`"`); n != 1 {
+			t.Errorf("request_seconds{handler=%q} count = %d, want 1", handler, n)
+		}
+	}
+	// The solve stages ran (analyze+sweep+trajectory all solve), decode ran
+	// per request, and the trajectory stream wrote frames.
+	for _, stage := range []string{"decode", "solve_eq", "solve_opt", "write", "queue_wait"} {
+		if n := assertHistogramSeries(t, body, "dispersald_stage_seconds", `stage="`+stage+`"`); n == 0 {
+			t.Errorf("stage_seconds{stage=%q} never observed", stage)
+		}
+	}
+	if n := assertHistogramSeries(t, body, "dispersald_trajectory_frame_seconds", ""); n != 3 {
+		t.Errorf("trajectory_frame_seconds count = %d, want 3 (one per frame)", n)
+	}
+}
+
+// TestMetricszNoTornScrape scrapes concurrently with request load and
+// asserts every exposition is internally consistent. Run with -race this
+// also proves the scrape path is data-race-free.
+func TestMetricszNoTornScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(exclusiveSpec))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 30; i++ {
+		resp, payload := getBody(t, ts.URL+"/metricsz")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %d: %s", i, resp.Status)
+		}
+		body := string(payload)
+		parseExposition(t, body)
+		assertHistogramSeries(t, body, "dispersald_request_seconds", `handler="analyze"`)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRequestIDAcceptMintEcho pins the ingress rules: a usable client ID
+// is echoed verbatim, a missing or unsafe one is replaced by a minted ID.
+func TestRequestIDAcceptMintEcho(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", strings.NewReader(exclusiveSpec))
+	req.Header.Set(obs.RequestIDHeader, "client-rid-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "client-rid-1" {
+		t.Fatalf("usable client ID not echoed: got %q", got)
+	}
+
+	for _, supplied := range []string{"", "has space", strings.Repeat("x", obs.MaxRequestIDLen+1)} {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", strings.NewReader(exclusiveSpec))
+		if supplied != "" {
+			req.Header.Set(obs.RequestIDHeader, supplied)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		got := resp.Header.Get(obs.RequestIDHeader)
+		if got == supplied || len(got) != 16 {
+			t.Fatalf("unsafe client ID %q: response carries %q, want a minted 16-char ID", supplied, got)
+		}
+	}
+}
+
+// TestTracez drives one traced request and reads it back: the client's
+// request ID, the op, and the decode/solve spans must all be there, the
+// min_ms filter and limit must apply, and bad parameters must 400.
+func TestTracez(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", strings.NewReader(exclusiveSpec))
+	req.Header.Set(obs.RequestIDHeader, "trace-rid-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	httpResp, payload := getBody(t, ts.URL+"/tracez")
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("tracez: %s\n%s", httpResp.Status, payload)
+	}
+	var out tracezResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatalf("decode tracez: %v\n%s", err, payload)
+	}
+	var found *obs.TraceRecord
+	for i := range out.Traces {
+		if out.Traces[i].RequestID == "trace-rid-7" {
+			found = &out.Traces[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace-rid-7 not in /tracez: %s", payload)
+	}
+	if found.Op != "analyze" {
+		t.Errorf("trace op = %q, want analyze", found.Op)
+	}
+	spans := make(map[string]bool)
+	for _, sp := range found.Spans {
+		spans[sp.Name] = true
+	}
+	for _, want := range []string{"decode", "solve_eq", "solve_opt"} {
+		if !spans[want] {
+			t.Errorf("trace missing span %q (has %v)", want, found.Spans)
+		}
+	}
+
+	// An absurd min_ms filters the trace out; the response is still a
+	// well-formed empty list, not null.
+	_, payload = getBody(t, ts.URL+"/tracez?min_ms=3600000")
+	var filtered tracezResponse
+	if err := json.Unmarshal(payload, &filtered); err != nil {
+		t.Fatalf("decode filtered tracez: %v", err)
+	}
+	if filtered.Traces == nil || len(filtered.Traces) != 0 {
+		t.Errorf("min_ms filter: got %v, want empty non-null list", filtered.Traces)
+	}
+
+	for _, q := range []string{"min_ms=nope", "min_ms=-1", "limit=0", "limit=x"} {
+		resp, _ := getBody(t, ts.URL+"/tracez?"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("tracez?%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatszRuntimeAndLatency: /statsz carries the runtime gauge section
+// and per-handler latency summaries once requests have flowed.
+func TestStatszRuntimeAndLatency(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second})
+	if resp, payload := postJSON(t, ts.URL+"/v1/analyze", exclusiveSpec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %s\n%s", resp.Status, payload)
+	}
+
+	stats := getStats(t, ts.URL)
+	if stats.Runtime.Goroutines < 1 {
+		t.Errorf("runtime.goroutines = %d, want >= 1", stats.Runtime.Goroutines)
+	}
+	if stats.Runtime.HeapInuseBytes == 0 {
+		t.Error("runtime.heap_inuse_bytes = 0")
+	}
+	lat, ok := stats.Latency["analyze"]
+	if !ok {
+		t.Fatalf("statsz latency lacks the analyze summary: %+v", stats.Latency)
+	}
+	if lat.Count != 1 {
+		t.Errorf("analyze latency count = %d, want 1", lat.Count)
+	}
+	if lat.P50MS <= 0 || lat.P99MS < lat.P50MS {
+		t.Errorf("analyze latency quantiles malformed: %+v", lat)
+	}
+}
+
+// TestDisableObs: the uninstrumented build still serves — requests work,
+// the ID is still echoed (correlation stays), /metricsz is empty and
+// /tracez is an empty list.
+func TestDisableObs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Timeout: 30 * time.Second, DisableObs: true})
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", strings.NewReader(exclusiveSpec))
+	req.Header.Set(obs.RequestIDHeader, "noobs-rid")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze with DisableObs: %s\n%s", resp.Status, payload)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "noobs-rid" {
+		t.Errorf("DisableObs dropped the request-ID echo: %q", got)
+	}
+
+	mResp, mPayload := getBody(t, ts.URL+"/metricsz")
+	if mResp.StatusCode != http.StatusOK || len(mPayload) != 0 {
+		t.Errorf("DisableObs /metricsz: status %d body %q, want 200 and empty", mResp.StatusCode, mPayload)
+	}
+	tResp, tPayload := getBody(t, ts.URL+"/tracez")
+	if tResp.StatusCode != http.StatusOK {
+		t.Fatalf("DisableObs /tracez: %s", tResp.Status)
+	}
+	var out tracezResponse
+	if err := json.Unmarshal(tPayload, &out); err != nil || out.Traces == nil || len(out.Traces) != 0 {
+		t.Errorf("DisableObs /tracez: %q, want an empty non-null list (err %v)", tPayload, err)
+	}
+}
+
+// TestPeerRequestIDCorrelation proves the cross-replica story: a request
+// to replica B that peer-fetches warm state from replica A leaves B's
+// client-supplied request ID in BOTH replicas' structured logs and in B's
+// trace.
+func TestPeerRequestIDCorrelation(t *testing.T) {
+	values, k := federationSpec()
+
+	var logA, logB syncWriter
+	_, tsA := newTestServer(t, Config{
+		Timeout: 30 * time.Second,
+		Logger:  slog.New(slog.NewTextHandler(&logA, nil)),
+	})
+	if resp, payload := postJSON(t, tsA.URL+"/v1/analyze", specJSON(values, k, "sharing")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming A: %s\n%s", resp.Status, payload)
+	}
+
+	_, tsB := newTestServer(t, Config{
+		Timeout:     30 * time.Second,
+		Peers:       []string{tsA.URL},
+		PeerTimeout: 2 * time.Second,
+		Logger:      slog.New(slog.NewTextHandler(&logB, nil)),
+	})
+
+	const rid = "fleet-corr-42"
+	req, _ := http.NewRequest(http.MethodPost, tsB.URL+"/v1/analyze",
+		strings.NewReader(specJSON(perturb(values, 1e-4), k, "sharing")))
+	req.Header.Set(obs.RequestIDHeader, rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze via B: %s\n%s", resp.Status, payload)
+	}
+	stats := getStats(t, tsB.URL)
+	if stats.Peers.Hits != 1 {
+		t.Fatalf("peer hits = %d, want 1 — the request never took the peer hop", stats.Peers.Hits)
+	}
+
+	if !strings.Contains(logB.String(), "rid="+rid) {
+		t.Errorf("replica B's logs lack rid=%s:\n%s", rid, logB.String())
+	}
+	if !strings.Contains(logA.String(), "rid="+rid) {
+		t.Errorf("replica A's logs lack rid=%s — the ID did not cross the peer hop:\n%s", rid, logA.String())
+	}
+
+	_, tPayload := getBody(t, tsB.URL+"/tracez")
+	if !strings.Contains(string(tPayload), rid) {
+		t.Errorf("replica B's /tracez lacks %s:\n%s", rid, tPayload)
+	}
+}

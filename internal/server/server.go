@@ -65,11 +65,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"dispersal"
+	"dispersal/internal/obs"
 	"dispersal/internal/peer"
 	"dispersal/internal/rescache"
 	"dispersal/internal/ring"
@@ -138,8 +140,15 @@ type Config struct {
 	// frames — also the largest single stream one client can open; <= 0
 	// selects the session default.
 	FrameBudget int
-	// Logf, when non-nil, receives one line per request.
-	Logf func(format string, args ...any)
+	// Logger receives the server's structured log lines (one per request,
+	// plus warm-tier and federation events), each carrying the request ID
+	// when one is in scope. Nil discards.
+	Logger *slog.Logger
+	// DisableObs builds the server without its observability instruments:
+	// no registry, no histograms, no trace ring — every recording site
+	// degrades to a nil check. `paperbench -obs-overhead` compares this
+	// build against the default to bound the instrumentation tax.
+	DisableObs bool
 
 	// sessionClock, when non-nil, drives the session registry's budget
 	// refills and park TTLs. In-package tests install a session.FakeClock;
@@ -170,8 +179,15 @@ type Analysis struct {
 // Server is the dispersald request handler. Construct with New; it
 // implements http.Handler.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
+	cfg Config
+	mux *http.ServeMux
+	// handler is mux wrapped in the observability middleware (request IDs,
+	// traces, request latency) — what ServeHTTP actually runs.
+	handler http.Handler
+	log     *slog.Logger
+	// o carries the observability instruments; with Config.DisableObs they
+	// are all nil and recording sites no-op.
+	o     *serverObs
 	cache *rescache.Cache[Analysis]
 	// warm shares solver-core states across requests, keyed by landscape
 	// locality (speccodec.LocalityKey): an isolated analyze request or a
@@ -215,12 +231,15 @@ type Server struct {
 
 // New builds a Server with its cache and routes.
 func New(cfg Config) *Server {
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
+		log:   logger,
+		o:     newServerObs(!cfg.DisableObs),
 		cache: rescache.New[Analysis](cfg.CacheSize),
 		warm:  warmcache.New(cfg.WarmCacheSize),
 		start: time.Now(),
@@ -232,20 +251,23 @@ func New(cfg Config) *Server {
 		Workers:     cfg.Workers,
 		Clock:       cfg.sessionClock,
 	})
+	if wait := s.o.stageQueueWait; wait != nil {
+		s.sessions.Scheduler().SetWaitObserver(wait.Observe)
+	}
 	s.chains = rescache.NewChains[Analysis]()
 	peerCfg := peer.Config{Peers: cfg.Peers, Timeout: cfg.PeerTimeout}
 	if len(cfg.Fleet) > 0 {
 		r, err := ring.New(peer.NormalizeAddrs(cfg.Fleet), peer.NormalizeAddr(cfg.SelfID))
 		if err != nil {
 			// The fleet is a warm-tier option; serving must not die over it.
-			cfg.Logf("fleet configuration unusable, running standalone: %v", err)
+			s.log.Warn("fleet configuration unusable, running standalone", "err", err)
 		} else {
 			s.ring = r
 			peerCfg = peer.Config{Ring: r, Timeout: cfg.PeerTimeout}
 			s.pusher = peer.NewPusher(peer.PusherConfig{
 				Ring:    r,
 				Timeout: cfg.PeerTimeout,
-				Logf:    cfg.Logf,
+				Logger:  s.log,
 			})
 		}
 	}
@@ -253,29 +275,32 @@ func New(cfg Config) *Server {
 	if cfg.StateDir != "" {
 		entries, err := statestore.Load(cfg.StateDir)
 		if err != nil {
-			cfg.Logf("warm-state snapshot unusable, booting cold: %v", err)
+			s.log.Warn("warm-state snapshot unusable, booting cold", "err", err)
 		}
 		s.loadedStates = int64(statestore.Seed(s.warm, entries))
 		if s.loadedStates > 0 {
-			cfg.Logf("warm-state snapshot: seeded %d states from %s", s.loadedStates, statestore.Path(cfg.StateDir))
+			s.log.Info("warm-state snapshot seeded", "states", s.loadedStates, "path", statestore.Path(cfg.StateDir))
 		}
-		s.snap = statestore.NewSnapshotter(cfg.StateDir, cfg.SnapshotInterval, s.warm, cfg.Logf)
+		s.snap = statestore.NewSnapshotter(cfg.StateDir, cfg.SnapshotInterval, s.warm, s.log)
 		s.snap.Start()
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/trajectory", s.handleTrajectory)
-	s.mux.HandleFunc("GET "+peer.WarmStatePath, peer.Handler(s.warm))
+	s.mux.HandleFunc("GET "+peer.WarmStatePath, peer.Handler(s.warm, s.log))
 	if s.pusher != nil {
 		s.mux.HandleFunc("POST "+peer.WarmStatePath, s.pusher.Handler(s.warm))
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /tracez", s.handleTracez)
+	s.handler = s.withObs(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Close releases the server's background resources: it stops the push
 // worker, drops the peer client's idle connections, stops the snapshot
@@ -349,15 +374,20 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 // telemetry exists to measure.
 func (s *Server) solve(ctx context.Context, a *dispersal.Analysis) (Analysis, bool, error) {
 	s.solves.Add(1)
+	s.o.solvesTotal.Inc()
 	if err := ctx.Err(); err != nil {
 		return Analysis{}, false, err
 	}
+	endEq := observeSpan(ctx, "solve_eq", s.o.stageSolveEq)
 	ifd, nu, err := a.IFDContext(ctx)
+	endEq()
 	if err != nil {
 		return Analysis{}, false, err
 	}
 	warm := a.Game().Warmed()
+	endOpt := observeSpan(ctx, "solve_opt", s.o.stageSolveOpt)
 	inst, err := a.SPoAContext(ctx)
+	endOpt()
 	if err != nil {
 		return Analysis{}, warm, err
 	}
@@ -410,7 +440,9 @@ func (s *Server) seedAndSolve(ctx context.Context, a *dispersal.Analysis, spec d
 		s.warm.Store(lkey, st)
 		// Replicate the fresh solve toward the key's owner and followers;
 		// Solved never blocks (bounded queue, drop on backpressure).
-		s.pusher.Solved(lkey, st)
+		endPush := observeSpan(ctx, "push_enqueue", s.o.stagePushEnq)
+		s.pusher.Solved(ctx, lkey, st)
+		endPush()
 	}
 	return res, nil
 }
@@ -426,10 +458,16 @@ type seedResult struct {
 // peer-provided state is adopted into the local cache, so one fetch warms
 // the whole bucket for later requests.
 func (s *Server) seedLookup(ctx context.Context, lkey string, f dispersal.Values) *seedResult {
-	if st := s.warm.Lookup(lkey, f); st != nil {
+	endLocal := observeSpan(ctx, "seed_local", s.o.stageSeedLocal)
+	st := s.warm.Lookup(lkey, f)
+	endLocal()
+	if st != nil {
 		return &seedResult{state: st}
 	}
-	if st := s.peers.Fetch(ctx, lkey); st != nil {
+	endPeer := observeSpan(ctx, "seed_peer", s.o.stageSeedPeer)
+	st = s.peers.Fetch(ctx, lkey)
+	endPeer()
+	if st != nil {
 		s.warm.Store(lkey, st)
 		return &seedResult{state: st, fromPeer: true}
 	}
@@ -476,12 +514,15 @@ type analyzeResponse struct {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.analyzeReqs.Add(1)
+	endDecode := observeSpan(r.Context(), "decode", s.o.stageDecode)
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
+		endDecode()
 		writeError(w, http.StatusBadRequest, "request", err)
 		return
 	}
 	spec, err := speccodec.Decode(body)
+	endDecode()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, decodeKind(err), err)
 		return
@@ -494,8 +535,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeSolveError(w, err)
 		return
 	}
-	s.cfg.Logf("analyze m=%d k=%d policy=%s cached=%v in %s",
-		res.M, res.K, res.Policy, cached, time.Since(start).Round(time.Microsecond))
+	s.log.Info("analyze", "rid", obs.RequestID(ctx),
+		"m", res.M, "k", res.K, "policy", res.Policy, "cached", cached,
+		"elapsed", time.Since(start).Round(time.Microsecond))
 	writeJSON(w, http.StatusOK, analyzeResponse{
 		Cached:    cached,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
@@ -544,6 +586,15 @@ type cachedItem struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweepReqs.Add(1)
+	endDecode := observeSpan(r.Context(), "decode", s.o.stageDecode)
+	decoded := false
+	endDecodeOnce := func() {
+		if !decoded {
+			decoded = true
+			endDecode()
+		}
+	}
+	defer endDecodeOnce()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "request", err)
@@ -572,6 +623,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		specs[i] = spec
 	}
+	endDecodeOnce()
 	s.sweepItems.Add(int64(len(specs)))
 
 	ctx, cancel := s.requestContext(r)
@@ -601,7 +653,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = item
 	}
-	s.cfg.Logf("sweep of %d specs in %s", len(specs), time.Since(start).Round(time.Microsecond))
+	s.log.Info("sweep", "rid", obs.RequestID(ctx), "specs", len(specs),
+		"elapsed", time.Since(start).Round(time.Microsecond))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -667,13 +720,18 @@ type statsResponse struct {
 	UptimeS   float64        `json:"uptime_s"`
 	Workers   int            `json:"workers"`
 	TimeoutMS float64        `json:"timeout_ms"`
+	Runtime   runtimeStats   `json:"runtime"`
 	Cache     rescache.Stats `json:"cache"`
 	WarmCache warmCacheStats `json:"warm_cache"`
 	Peers     peerStats      `json:"peers"`
 	Ring      ringStats      `json:"ring"`
 	Sessions  sessionStats   `json:"sessions"`
-	Solves    int64          `json:"solves"`
-	Requests  struct {
+	// Latency summarizes the headline obs histograms (count plus log-bucket
+	// quantile estimates); absent on a DisableObs build. The full-resolution
+	// histograms live on /metricsz.
+	Latency  map[string]obs.Summary `json:"latency,omitempty"`
+	Solves   int64                  `json:"solves"`
+	Requests struct {
 		Analyze          int64 `json:"analyze"`
 		Sweep            int64 `json:"sweep"`
 		SweepItems       int64 `json:"sweep_items"`
@@ -688,6 +746,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	resp.UptimeS = time.Since(s.start).Seconds()
 	resp.Workers = s.cfg.Workers
 	resp.TimeoutMS = float64(s.cfg.Timeout) / float64(time.Millisecond)
+	resp.Runtime = readRuntimeStats()
+	resp.Latency = s.o.latencyStats()
 	resp.Cache = s.cache.Stats()
 	resp.WarmCache = warmCacheStats{
 		Stats:    s.warm.Stats(),

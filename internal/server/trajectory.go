@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"dispersal"
+	"dispersal/internal/obs"
 	"dispersal/internal/rescache"
 	"dispersal/internal/session"
 	"dispersal/internal/speccodec"
@@ -180,6 +181,15 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 		s.resumeTrajectory(w, r)
 		return
 	}
+	endDecode := observeSpan(r.Context(), "decode", s.o.stageDecode)
+	decoded := false
+	endDecodeOnce := func() {
+		if !decoded {
+			decoded = true
+			endDecode()
+		}
+	}
+	defer endDecodeOnce()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "request", err)
@@ -230,6 +240,7 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 		}
 		keys[i] = k
 	}
+	endDecodeOnce()
 
 	// Admission comes strictly after every validation above: a request the
 	// server rejects must cost its client nothing.
@@ -300,10 +311,12 @@ func (s *Server) streamTrajectory(w http.ResponseWriter, r *http.Request, sess *
 		flusher.Flush()
 	}
 	write := func(raw []byte) {
+		endWrite := observeSpan(ctx, "write", s.o.stageWrite)
 		_, _ = w.Write(raw)
 		if flusher != nil {
 			flusher.Flush()
 		}
+		endWrite()
 	}
 	for _, ln := range replay {
 		write(ln.Raw)
@@ -375,8 +388,11 @@ func (s *Server) streamTrajectory(w http.ResponseWriter, r *http.Request, sess *
 		if chain != nil && !lead {
 			// Follower: the leader's published result, byte for byte. A
 			// chain aborted at or before this frame falls through to the
-			// per-key path.
+			// per-key path. The wait is the follower's whole exposure to the
+			// leader's pace, so it is spanned and histogrammed.
+			endWait := observeSpan(ctx, "chain_wait", s.o.stageChainWait)
 			v, ok, werr := chain.Wait(ctx, i)
+			endWait()
 			if werr != nil {
 				park()
 				return
@@ -400,7 +416,11 @@ func (s *Server) streamTrajectory(w http.ResponseWriter, r *http.Request, sess *
 				// An already-cached frame needs no scheduler slot.
 				res, cached = v, true
 			} else {
+				// The scheduler feeds the queue-wait histogram itself (wait
+				// observer); the span records this stream's wall time in line.
+				spWait := obs.TraceFrom(ctx).StartSpan("queue_wait")
 				release, aerr := s.sessions.Scheduler().Acquire(ctx)
+				spWait.End()
 				if aerr != nil {
 					park()
 					return
@@ -472,10 +492,12 @@ func (s *Server) streamTrajectory(w http.ResponseWriter, r *http.Request, sess *
 			ElapsedMS: float64(time.Since(frameStart)) / float64(time.Millisecond),
 			Result:    &resCopy,
 		})
+		s.o.frame.Observe(time.Since(frameStart))
 		st.cur = next
 		st.next++
 	}
 	finish()
-	s.cfg.Logf("trajectory %s of %d frames (%d warmed, %d cached) in %s",
-		sess.ID, st.done.Frames, st.done.Warmed, st.done.Cached, time.Since(start).Round(time.Microsecond))
+	s.log.Info("trajectory", "rid", obs.RequestID(ctx), "session", sess.ID,
+		"frames", st.done.Frames, "warmed", st.done.Warmed, "cached", st.done.Cached,
+		"elapsed", time.Since(start).Round(time.Microsecond))
 }

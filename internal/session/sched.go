@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Scheduler interleaves frame solves across active streams fairly. Slots
@@ -22,6 +23,10 @@ type Scheduler struct {
 	workers int
 	running int
 	queue   []*waiter
+	// observeWait, when non-nil, receives the enqueue-to-grant wait of
+	// every successful Acquire — the queue-wait histogram feed. Set once at
+	// construction time (SetWaitObserver), before the scheduler is shared.
+	observeWait func(time.Duration)
 }
 
 // waiter is one stream's pending frame. ready is closed when the waiter is
@@ -40,6 +45,16 @@ func NewScheduler(workers int) *Scheduler {
 	return &Scheduler{workers: workers}
 }
 
+// SetWaitObserver installs fn as the queue-wait observer: it receives the
+// enqueue-to-grant duration of every granted slot, turning scheduler
+// contention into a latency distribution instead of only the instantaneous
+// Queued gauge. Call before the scheduler is shared across goroutines.
+func (s *Scheduler) SetWaitObserver(fn func(time.Duration)) {
+	s.mu.Lock()
+	s.observeWait = fn
+	s.mu.Unlock()
+}
+
 // Acquire blocks until the caller holds one of the scheduler's slots, then
 // returns the release function for it. The caller must call release exactly
 // once. A ctx expiring while queued abandons the place in line and returns
@@ -48,14 +63,19 @@ func (s *Scheduler) Acquire(ctx context.Context) (release func(), err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	w := &waiter{ready: make(chan struct{})}
 	s.mu.Lock()
 	s.queue = append(s.queue, w)
+	observe := s.observeWait
 	s.dispatchLocked()
 	s.mu.Unlock()
 
 	select {
 	case <-w.ready:
+		if observe != nil {
+			observe(time.Since(start))
+		}
 		return s.release, nil
 	case <-ctx.Done():
 		s.mu.Lock()

@@ -182,3 +182,66 @@ func fairnessRound(t *testing.T, seed int64) {
 		}
 	}
 }
+
+// TestSchedulerWaitObserver: every granted Acquire reports its
+// enqueue-to-grant wait to the installed observer — an uncontended grant
+// near zero, a grant behind a held slot at least the hold time — and a
+// cancelled waiter reports nothing.
+func TestSchedulerWaitObserver(t *testing.T) {
+	s := NewScheduler(1)
+	var mu sync.Mutex
+	var waits []time.Duration
+	s.SetWaitObserver(func(d time.Duration) {
+		mu.Lock()
+		waits = append(waits, d)
+		mu.Unlock()
+	})
+
+	ctx := context.Background()
+	release, err := s.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const hold = 50 * time.Millisecond
+	granted := make(chan struct{})
+	go func() {
+		r, err := s.Acquire(ctx)
+		if err != nil {
+			t.Errorf("queued Acquire: %v", err)
+			close(granted)
+			return
+		}
+		close(granted)
+		r()
+	}()
+
+	// A waiter that gives up must not feed the observer.
+	cancelCtx, cancel := context.WithCancel(ctx)
+	cancelled := make(chan struct{})
+	go func() {
+		defer close(cancelled)
+		if _, err := s.Acquire(cancelCtx); err == nil {
+			t.Error("cancelled Acquire succeeded")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	<-cancelled
+
+	time.Sleep(hold)
+	release()
+	<-granted
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != 2 {
+		t.Fatalf("observer saw %d waits, want 2 (the cancelled waiter must not report): %v", len(waits), waits)
+	}
+	if waits[0] > 20*time.Millisecond {
+		t.Errorf("uncontended grant waited %v, want ~0", waits[0])
+	}
+	if waits[1] < hold/2 {
+		t.Errorf("queued grant reported %v, want >= %v", waits[1], hold/2)
+	}
+}

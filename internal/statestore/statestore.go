@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -195,7 +196,7 @@ type Snapshotter struct {
 	dir      string
 	interval time.Duration
 	cache    *warmcache.Cache
-	logf     func(format string, args ...any)
+	log      *slog.Logger
 
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -209,19 +210,19 @@ type Snapshotter struct {
 const DefaultInterval = 30 * time.Second
 
 // NewSnapshotter builds a snapshotter for cache under dir. interval <= 0
-// selects DefaultInterval; a nil logf discards log lines.
-func NewSnapshotter(dir string, interval time.Duration, cache *warmcache.Cache, logf func(string, ...any)) *Snapshotter {
+// selects DefaultInterval; a nil logger discards log lines.
+func NewSnapshotter(dir string, interval time.Duration, cache *warmcache.Cache, logger *slog.Logger) *Snapshotter {
 	if interval <= 0 {
 		interval = DefaultInterval
 	}
-	if logf == nil {
-		logf = func(string, ...any) {}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	return &Snapshotter{
 		dir:      dir,
 		interval: interval,
 		cache:    cache,
-		logf:     logf,
+		log:      logger,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -241,7 +242,7 @@ func (s *Snapshotter) Start() {
 		// the replica, and done must still close so Close never hangs.
 		defer func() {
 			if r := recover(); r != nil {
-				s.logf("warm-state snapshot loop: panic: %v", r)
+				s.log.Error("warm-state snapshot loop panicked", "panic", fmt.Sprint(r))
 			}
 		}()
 		t := time.NewTicker(s.interval)
@@ -266,7 +267,7 @@ func (s *Snapshotter) SaveNow() error {
 // the loop there is no caller to hand them to.
 func (s *Snapshotter) snapshot() {
 	if err := s.SaveNow(); err != nil {
-		s.logf("warm-state snapshot: %v", err)
+		s.log.Warn("warm-state snapshot failed", "dir", s.dir, "err", err)
 	}
 }
 

@@ -230,7 +230,7 @@ func TestSaveIsAtomicNoTempLeftBehind(t *testing.T) {
 func TestSnapshotterWritesPeriodicallyAndOnClose(t *testing.T) {
 	dir := t.TempDir()
 	c := warmcache.New(8)
-	s := NewSnapshotter(dir, 10*time.Millisecond, c, t.Logf)
+	s := NewSnapshotter(dir, 10*time.Millisecond, c, nil)
 	s.Start()
 	c.Store("k", testState(0.5))
 	deadline := time.Now().Add(5 * time.Second)
